@@ -1,0 +1,174 @@
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+// burst size (via the poll quantum), recorder timestamping discipline,
+// switch fabric, replay-start scheduling slop, and the κ scaling
+// refinements of §8.2. Each reports the consistency metrics the choice
+// moves, so `go test -bench=Ablation` reads as a sensitivity study.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/netsw"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+const ablationScale = 30_000
+
+func ablate(b *testing.B, label string, env testbed.Env) (kappa, i, o float64) {
+	b.Helper()
+	res, err := experiments.Run(env, experiments.TrialConfig{Packets: ablationScale, Runs: 2, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := res.Mean
+	b.ReportMetric(m.Kappa, label+"/κ")
+	b.ReportMetric(m.I*1e3, label+"/I×1e3")
+	return m.Kappa, m.I, m.O
+}
+
+// BenchmarkAblationPollInterval varies the middlebox poll quantum — and
+// with it the recorded burst size (§5: larger bursts buy line rate with
+// fewer resources). Smaller bursts expose more burst-head pull jitter.
+func BenchmarkAblationPollInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, quantum := range []sim.Duration{4 * sim.Microsecond, 15 * sim.Microsecond, 60 * sim.Microsecond} {
+			env := testbed.LocalSingle()
+			env.PollInterval = quantum
+			ablate(b, fmt.Sprintf("poll%dus", quantum/sim.Microsecond), env)
+		}
+	}
+}
+
+// BenchmarkAblationTimestamper swaps the recorder's timestamping
+// discipline (§8.1: E810 real-time stamps vs ConnectX sampled clock).
+// The paper found this does not explain the local-vs-FABRIC gap; the
+// ablation confirms the effect is second-order.
+func BenchmarkAblationTimestamper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e810 := testbed.LocalSingle()
+		k1, _, _ := ablate(b, "e810", e810)
+
+		cx := testbed.LocalSingle()
+		cx.RecorderTimestamper = func() nic.Timestamper {
+			return nic.ConnectXTimestamper{PeriodNs: 1, ConversionJitter: sim.Normal{Mu: 0, Sigma: 4}}
+		}
+		k2, _, _ := ablate(b, "connectx", cx)
+		b.ReportMetric((k1-k2)*1e3, "Δκ×1e3")
+	}
+}
+
+// BenchmarkAblationSwitchFabric swaps the Tofino2 for the Cisco 5700
+// profile on the otherwise-local testbed (§8.1 lists the switch as a
+// candidate source of FABRIC's extra variance).
+func BenchmarkAblationSwitchFabric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tofino := testbed.LocalSingle()
+		ablate(b, "tofino2", tofino)
+
+		cisco := testbed.LocalSingle()
+		cisco.Switch = netsw.Cisco5700(packet.Gbps(100))
+		ablate(b, "cisco5700", cisco)
+	}
+}
+
+// BenchmarkAblationReplayStartSlop varies the dual-replayer start
+// scheduling slop, the knob behind §6.2's reordering: O and L scale
+// with it while single-stream I barely moves.
+func BenchmarkAblationReplayStartSlop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, slop := range []sim.Duration{sim.Millisecond, 12 * sim.Millisecond, 40 * sim.Millisecond} {
+			env := testbed.LocalDual()
+			env.ReplayStartJitter = sim.Uniform{Lo: 0, Hi: slop}
+			res, err := experiments.Run(env, experiments.TrialConfig{Packets: ablationScale, Runs: 2, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := fmt.Sprintf("slop%dms", slop/sim.Millisecond)
+			b.ReportMetric(res.Mean.O*1e3, label+"/O×1e3")
+			b.ReportMetric(res.Mean.Kappa, label+"/κ")
+		}
+	}
+}
+
+// BenchmarkAblationKappaScaling applies the §8.2 future-work scalings
+// to the noisy-shared run, where rare drops exist: linear κ barely sees
+// them, sqrt/quartic make any-drop presence visible.
+func BenchmarkAblationKappaScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Rare drops need the full-length window to occur; run this
+		// ablation at a larger scale than the others.
+		res, err := experiments.Run(testbed.FabricShared40Noisy(),
+			experiments.TrialConfig{Packets: 120_000, Runs: 2, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := res.Results[0]
+		if r.U == 0 {
+			b.Fatal("noisy run produced no drops; scaling ablation is vacuous")
+		}
+		b.ReportMetric(metrics.KappaScaledResult(r, metrics.KappaOptions{}), "linear/κ")
+		b.ReportMetric(metrics.KappaScaledResult(r, metrics.KappaOptions{PresenceScaling: metrics.ScaleSqrt}), "sqrt/κ")
+		b.ReportMetric(metrics.KappaScaledResult(r, metrics.KappaOptions{PresenceScaling: metrics.ScaleQuartic}), "quartic/κ")
+	}
+}
+
+// BenchmarkAblationBurstGrouping compares burst-granular VF arbitration
+// with packet-granular interleaving on the shared NIC — the mechanism
+// switch behind Figure 10.
+func BenchmarkAblationBurstGrouping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		burstGranular := testbed.FabricShared40Noisy()
+		burstGranular.ReplayerNIC.PacketInterleave = false
+		ablate(b, "burstRR", burstGranular)
+
+		pktGranular := testbed.FabricShared40Noisy()
+		ablate(b, "packetDRR", pktGranular)
+	}
+}
+
+// BenchmarkRateSweepSharedNIC extends the paper's two-point rate probe
+// into a curve: consistency of the shared-NIC environment from 10 to
+// 100 Gbps. The paper's observation — higher rates average the VF
+// jitter and *improve* I up to a point — shows up as the κ trend.
+func BenchmarkRateSweepSharedNIC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RateSweep(testbed.FabricShared40(),
+			[]float64{10, 40, 80}, experiments.TrialConfig{Packets: 20_000, Runs: 2, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.Mean.Kappa, fmt.Sprintf("%gG/κ", p.RateGbps))
+		}
+	}
+}
+
+// BenchmarkAblationMemoryBudget exercises §5's RAM constraint: the
+// replay buffer is the only consumer of memory, so a pool smaller than
+// the recording starves RX and truncates the replay, while a
+// sufficient pool ("the program can run with a minimum of 1 GB")
+// behaves identically to unbounded memory.
+func BenchmarkAblationMemoryBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, mib := range []int{16, 64, 0} { // 16 MiB ≈ 8k mbufs < 30k packets
+			env := testbed.LocalSingle()
+			env.MemPoolMiB = mib
+			res, err := experiments.Run(env, experiments.TrialConfig{Packets: ablationScale, Runs: 2, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := fmt.Sprintf("pool%dMiB", mib)
+			if mib == 0 {
+				label = "unbounded"
+			}
+			b.ReportMetric(float64(res.Recorded), label+"/recorded")
+			b.ReportMetric(res.Mean.Kappa, label+"/κ")
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps ids to paper artifacts). Each benchmark
+// runs the full record-and-replay protocol at a scaled packet count and
+// reports the resulting consistency metrics as custom benchmark metrics,
+// so `go test -bench=.` doubles as the reproduction harness:
+//
+//	κ           compound consistency score (paper Table 2)
+//	I×1e3       inter-arrival-time variation, scaled for readability
+//	within10%%   packets with |IAT delta| ≤ 10 ns
+//
+// Use cmd/experiments -full for paper-scale (1.05M packet) runs.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// benchScale keeps each protocol run around a second; the metric shapes
+// are stable from ~30k packets up.
+const benchScale = 40_000
+
+func runEnv(b *testing.B, env testbed.Env) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(env, experiments.TrialConfig{
+			Packets: benchScale, Runs: 3, Seed: int64(i + 1), KeepDeltas: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.Mean
+		b.ReportMetric(m.Kappa, "κ")
+		b.ReportMetric(m.I*1e3, "I×1e3")
+		b.ReportMetric(m.O*1e3, "O×1e3")
+		b.ReportMetric(m.U*1e6, "U×1e6")
+		var within float64
+		for _, r := range res.Results {
+			within += r.PctIATWithin10
+		}
+		b.ReportMetric(within/float64(len(res.Results)), "within10%")
+	}
+}
+
+// BenchmarkFig4LocalSingle regenerates Figures 4a/4b and the §6.1
+// metrics (paper: κ≈0.985, I≈0.029, ~92% within ±10 ns).
+func BenchmarkFig4LocalSingle(b *testing.B) { runEnv(b, testbed.LocalSingle()) }
+
+// BenchmarkFig5LocalDual regenerates Figure 5 and the §6.2 metrics
+// (paper: κ≈0.928, substantial reordering).
+func BenchmarkFig5LocalDual(b *testing.B) { runEnv(b, testbed.LocalDual()) }
+
+// BenchmarkTable1EditScript regenerates Table 1: the move-distance
+// summary of the dual-replayer edit scripts (paper: ~49.8% of packets
+// moved, as whole bursts).
+func BenchmarkTable1EditScript(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(testbed.LocalDual(), experiments.TrialConfig{
+			Packets: benchScale, Runs: 2, Seed: int64(i + 1), KeepDeltas: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := res.Results[0]
+		s := r.MoveSummary()
+		b.ReportMetric(r.MovedFraction()*100, "moved%")
+		b.ReportMetric(s.AbsMean, "absMeanMove")
+	}
+}
+
+// BenchmarkFig6FabricDedicated40 regenerates Figure 6 (paper: I≈0.50,
+// κ≈0.74, 30–48% within ±10 ns).
+func BenchmarkFig6FabricDedicated40(b *testing.B) { runEnv(b, testbed.FabricDedicated40()) }
+
+// BenchmarkFig7FabricShared40 regenerates Figure 7 (paper: I≈0.066,
+// κ≈0.967, 26–29% within ±10 ns).
+func BenchmarkFig7FabricShared40(b *testing.B) { runEnv(b, testbed.FabricShared40()) }
+
+// BenchmarkFig8FabricDedicated40Rerun regenerates Figure 8, the rerun
+// with larger latency offsets (paper: L≈4.2e-4, κ≈0.75).
+func BenchmarkFig8FabricDedicated40Rerun(b *testing.B) { runEnv(b, testbed.FabricDedicated40Second()) }
+
+// BenchmarkFig9FabricDedicated80 regenerates Figure 9a (paper: I≈0.107,
+// κ≈0.946).
+func BenchmarkFig9FabricDedicated80(b *testing.B) { runEnv(b, testbed.FabricDedicated80()) }
+
+// BenchmarkFig9FabricShared80 regenerates Figure 9b (paper: I≈0.111,
+// κ≈0.945 — nearly identical to dedicated at 80 Gbps).
+func BenchmarkFig9FabricShared80(b *testing.B) { runEnv(b, testbed.FabricShared80()) }
+
+// BenchmarkNoiseDedicated80 regenerates the §7.1 dedicated-NIC noise
+// run (paper: almost identical to the quiet 80 Gbps test).
+func BenchmarkNoiseDedicated80(b *testing.B) { runEnv(b, testbed.FabricDedicated80Noisy()) }
+
+// BenchmarkFig10FabricSharedNoisy regenerates Figure 10 (paper: I≈0.50,
+// κ≈0.749, first non-zero U from drops).
+func BenchmarkFig10FabricSharedNoisy(b *testing.B) { runEnv(b, testbed.FabricShared40Noisy()) }
+
+// BenchmarkTable2AllEnvironments regenerates Table 2: one mean-κ row
+// per environment, reported as κ:<row> metrics in env order.
+func BenchmarkTable2AllEnvironments(b *testing.B) {
+	envs := testbed.AllEnvironments()
+	for i := 0; i < b.N; i++ {
+		for row, env := range envs {
+			res, err := experiments.Run(env, experiments.TrialConfig{
+				Packets: benchScale / 2, Runs: 2, Seed: int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			unit := strings.ReplaceAll(testbed.AllEnvironments()[row].Name, " ", "_") + "/κ"
+			b.ReportMetric(res.Mean.Kappa, unit)
+		}
+	}
+}
+
+// BenchmarkReplayerThroughput100G verifies the paper's headline
+// capability: the replay path sustains 100 Gbps (8.9 Mpps of 1400-byte
+// frames) — §10.
+func BenchmarkReplayerThroughput100G(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		n := nic.New(eng, nic.Profile{Name: "100G", LineRateBps: packet.Gbps(100)}, "tput")
+		q := n.NewQueue(1 << 20)
+		sink := &countingSink{}
+		q.Connect(sink, 0)
+		const horizon = 20 * sim.Millisecond
+		pkts := 0
+		for pkts < 200_000 {
+			burst := make([]*packet.Packet, nic.BurstSize)
+			for j := range burst {
+				burst[j] = &packet.Packet{Tag: packet.Tag{Seq: uint64(pkts + j)}, FrameLen: 1400}
+			}
+			q.SendBurst(burst)
+			pkts += nic.BurstSize
+		}
+		eng.RunUntil(horizon)
+		mpps := float64(sink.n) / horizon.Seconds() / 1e6
+		b.ReportMetric(mpps, "Mpps")
+		if mpps < 8.7 {
+			b.Fatalf("replay path sustained only %.2f Mpps", mpps)
+		}
+	}
+}
+
+type countingSink struct{ n int }
+
+func (c *countingSink) Receive(*packet.Packet, sim.Time) { c.n++ }
+
+// BenchmarkBaselineComparison regenerates the §9 comparison: fidelity
+// and co-tenant impact of Choir vs tcpreplay vs MoonGen on a shared VF.
+func BenchmarkBaselineComparison(b *testing.B) {
+	prof := nic.Profile{Name: "shared", LineRateBps: packet.Gbps(100), PacketInterleave: true}
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.Compare(baseline.DefaultSet(), prof,
+			baseline.CompareConfig{Packets: 10_000, Shared: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			b.ReportMetric(r.FidelityI*1e3, r.Strategy+"/I×1e3")
+			b.ReportMetric(r.NoiseThroughputGbps, r.Strategy+"/cotenantGbps")
+		}
+	}
+}
+
+// BenchmarkMetricsCompare measures the analyzer itself: O(n log n)
+// metric computation over million-packet traces is what makes the
+// paper's post-processing tractable.
+func BenchmarkMetricsCompare(b *testing.B) {
+	const n = 200_000
+	mk := func(seed int64) *trace.Trace {
+		eng := sim.NewEngine(seed)
+		rng := eng.Rand("bench")
+		tr := trace.New("t", n)
+		at := sim.Time(0)
+		for i := 0; i < n; i++ {
+			at += 284 + sim.Duration(rng.Int63n(20))
+			tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 1400}, at)
+		}
+		return tr
+	}
+	a, c := mk(1), mk(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.Compare(a, c, metrics.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "packets")
+}

@@ -1,0 +1,158 @@
+// Package choir is the public API of this repository: a reproduction of
+// "Network Replay and Consistency Across Testbeds" (SC Workshops '25).
+//
+// It exposes three capabilities:
+//
+//  1. The consistency metrics — U, O, L, I and the compound score κ
+//     (paper §3) — over any two packet traces, including traces read
+//     from pcap files (Consistency, ReadPcap).
+//  2. The Choir replay system and its simulated testbed substrate:
+//     build an Environment, run the paper's record-then-replay protocol
+//     and get per-run metrics back (Environments, RunExperiment).
+//  3. The paper's evaluation: regenerate any table or figure as a text
+//     document (ReproduceFigure, FigureIDs).
+//
+// The heavy machinery lives in internal/ packages; this package is the
+// stable surface.
+package choir
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// Trace is an ordered packet capture from one trial.
+type Trace = trace.Trace
+
+// Metrics holds the §3 consistency metrics between two trials: the four
+// normalized variations U, O, L, I, the compound score Kappa, and the
+// per-packet deltas behind the paper's histograms.
+type Metrics = metrics.Result
+
+// Options controls metric computation.
+type Options = metrics.Options
+
+// Consistency computes the paper's consistency metrics between trials a
+// and b (Equations 1–5). The result is symmetric in a and b.
+func Consistency(a, b *Trace, opts Options) (*Metrics, error) {
+	return metrics.Compare(a, b, opts)
+}
+
+// Kappa combines four normalized variation metrics into the compound
+// [0,1] consistency score of Equation 5 (1 = perfectly consistent).
+func Kappa(u, o, l, i float64) float64 { return metrics.Kappa(u, o, l, i) }
+
+// ReadPcap parses a libpcap capture (nanosecond or microsecond
+// timestamps) into a Trace.
+func ReadPcap(r io.Reader, name string) (*Trace, error) { return pcap.Read(r, name) }
+
+// ReadPcapFile reads a capture file from disk.
+func ReadPcapFile(path string) (*Trace, error) { return pcap.ReadFile(path) }
+
+// WritePcap serializes a trace in nanosecond pcap format. snapLen <= 0
+// captures full frames (required to preserve trailer tags on re-read).
+func WritePcap(w io.Writer, tr *Trace, snapLen int) error { return pcap.Write(w, tr, snapLen) }
+
+// WritePcapFile writes a capture file to disk.
+func WritePcapFile(path string, tr *Trace, snapLen int) error {
+	return pcap.WriteFile(path, tr, snapLen)
+}
+
+// WritePcapNG serializes a trace in pcapng format (nanosecond
+// timestamps, single Ethernet interface).
+func WritePcapNG(w io.Writer, tr *Trace, snapLen int) error { return pcap.WriteNG(w, tr, snapLen) }
+
+// ReadCapture sniffs the stream's magic and reads either classic pcap
+// or pcapng.
+func ReadCapture(r io.Reader, name string) (*Trace, error) { return pcap.ReadAny(r, name) }
+
+// ReadCaptureFile reads a capture file in either format.
+func ReadCaptureFile(path string) (*Trace, error) { return pcap.ReadAnyFile(path) }
+
+// Environment describes one experiment environment: hardware timing
+// personalities, topology shape, noise, and clock discipline.
+type Environment = testbed.Env
+
+// Environments returns the paper's nine evaluation environments in
+// Table 2 order.
+func Environments() []Environment { return testbed.AllEnvironments() }
+
+// Named environment constructors, re-exported for direct use.
+var (
+	LocalSingle             = testbed.LocalSingle
+	LocalDual               = testbed.LocalDual
+	FabricDedicated40       = testbed.FabricDedicated40
+	FabricShared40          = testbed.FabricShared40
+	FabricDedicated40Second = testbed.FabricDedicated40Second
+	FabricDedicated80       = testbed.FabricDedicated80
+	FabricShared80          = testbed.FabricShared80
+	FabricDedicated80Noisy  = testbed.FabricDedicated80Noisy
+	FabricShared40Noisy     = testbed.FabricShared40Noisy
+)
+
+// ExperimentConfig scales an experiment run.
+type ExperimentConfig = experiments.TrialConfig
+
+// ExperimentResult is the outcome of one environment's trial set:
+// captured traces, per-run metrics against baseline run A, and their
+// mean (one Table 2 row).
+type ExperimentResult = experiments.RunResult
+
+// RunExperiment executes the paper's protocol on one environment:
+// record a traffic window through the Choir middlebox(es), replay it
+// cfg.Runs times, and compare every replay against the first.
+func RunExperiment(env Environment, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiments.Run(env, cfg)
+}
+
+// FigureIDs lists the reproducible paper artifacts (figures and tables)
+// accepted by ReproduceFigure.
+func FigureIDs() []string { return experiments.AllFigureIDs() }
+
+// ReproduceFigure regenerates one paper table or figure and returns it
+// rendered as text.
+func ReproduceFigure(id string, cfg ExperimentConfig) (string, error) {
+	doc, err := experiments.Figure(id, cfg)
+	if err != nil {
+		return "", err
+	}
+	return doc.String(), nil
+}
+
+// KappaOptions configures the §8.2 refinements of the compound score:
+// per-component weights and non-linear presence scalings for U and O.
+type KappaOptions = metrics.KappaOptions
+
+// Scaling selects a non-linear component refinement.
+type Scaling = metrics.Scaling
+
+// Scaling choices for KappaScaled.
+const (
+	// ScaleLinear is the paper's published formulation.
+	ScaleLinear = metrics.ScaleLinear
+	// ScaleSqrt amplifies rare drops/reordering (√U, √O).
+	ScaleSqrt = metrics.ScaleSqrt
+	// ScaleQuartic amplifies them further (∜U, ∜O).
+	ScaleQuartic = metrics.ScaleQuartic
+)
+
+// KappaScaled computes the refined compound score; with zero options it
+// equals Kappa exactly.
+func KappaScaled(u, o, l, i float64, opts KappaOptions) float64 {
+	return metrics.KappaScaled(u, o, l, i, opts)
+}
+
+// ReorderProfile expresses reordering as a probability per packet
+// spacing (Bellardo–Savage style, §9).
+type ReorderProfile = metrics.ReorderProfile
+
+// ReorderBySpacing profiles the reordering of trial B relative to trial
+// A for spacings 1..maxSpacing.
+func ReorderBySpacing(a, b *Trace, maxSpacing int) *ReorderProfile {
+	return metrics.ReorderBySpacing(a, b, maxSpacing)
+}

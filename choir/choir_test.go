@@ -1,0 +1,143 @@
+package choir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func sampleTrace(name string, n int, gap sim.Duration) *Trace {
+	tr := trace.New(name, n)
+	for i := 0; i < n; i++ {
+		tr.Append(&packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Seq: uint64(i)},
+			Kind:     packet.KindData,
+			FrameLen: 256,
+			Flow:     packet.FiveTuple{Src: packet.IPForNode(1), Dst: packet.IPForNode(2), Proto: packet.ProtoUDP},
+		}, sim.Time(i)*gap)
+	}
+	return tr
+}
+
+func TestConsistencyIdentical(t *testing.T) {
+	a := sampleTrace("A", 100, 284)
+	b := sampleTrace("B", 100, 284)
+	m, err := Consistency(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kappa != 1 {
+		t.Fatalf("κ = %v", m.Kappa)
+	}
+}
+
+func TestKappaExported(t *testing.T) {
+	if Kappa(0, 0, 0, 0) != 1 || Kappa(1, 1, 1, 1) != 0 {
+		t.Fatal("Kappa formula wrong")
+	}
+}
+
+func TestPcapRoundTripThroughFacade(t *testing.T) {
+	tr := sampleTrace("A", 50, 1000)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("round trip %d packets", got.Len())
+	}
+	m, err := Consistency(tr.Normalize(), got.Normalize(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kappa != 1 {
+		t.Fatalf("pcap round trip not lossless: %v", m)
+	}
+}
+
+func TestEnvironmentsExposed(t *testing.T) {
+	if len(Environments()) != 9 {
+		t.Fatalf("%d environments", len(Environments()))
+	}
+	if LocalSingle().Name == "" || FabricShared40Noisy().Name == "" {
+		t.Fatal("constructors broken")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	res, err := RunExperiment(LocalSingle(), ExperimentConfig{Packets: 5000, Runs: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.Kappa < 0.9 {
+		t.Fatalf("local κ = %v", res.Mean.Kappa)
+	}
+}
+
+func TestReproduceFigureSmoke(t *testing.T) {
+	out, err := ReproduceFigure("fig4a", ExperimentConfig{Packets: 4000, Runs: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 4a") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := ReproduceFigure("nope", ExperimentConfig{}); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	if len(FigureIDs()) == 0 {
+		t.Fatal("no figure ids")
+	}
+}
+
+func TestScalingExports(t *testing.T) {
+	if KappaScaled(0, 0, 0, 0, KappaOptions{}) != 1 {
+		t.Fatal("KappaScaled broken")
+	}
+	if KappaScaled(1e-6, 0, 0, 0, KappaOptions{PresenceScaling: ScaleQuartic}) >=
+		KappaScaled(1e-6, 0, 0, 0, KappaOptions{PresenceScaling: ScaleLinear}) {
+		t.Fatal("quartic scaling should penalize rare drops more")
+	}
+}
+
+func TestReorderBySpacingExport(t *testing.T) {
+	a := sampleTrace("A", 20, 100)
+	b := sampleTrace("B", 20, 100)
+	p := ReorderBySpacing(a, b, 4)
+	if p.AnyReordering() {
+		t.Fatal("identical traces reordered")
+	}
+	if p.MaxSpacing() != 4 {
+		t.Fatalf("MaxSpacing = %d", p.MaxSpacing())
+	}
+}
+
+func TestPcapNGThroughFacade(t *testing.T) {
+	tr := sampleTrace("A", 30, 500)
+	var buf bytes.Buffer
+	if err := WritePcapNG(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCapture(&buf, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 30 {
+		t.Fatalf("round trip %d packets", got.Len())
+	}
+	m, err := Consistency(tr.Normalize(), got.Normalize(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kappa != 1 {
+		t.Fatalf("pcapng round trip lossy: %v", m)
+	}
+}

@@ -1,0 +1,94 @@
+package choir_test
+
+import (
+	"fmt"
+
+	"repro/choir"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// trial builds a tiny synthetic capture: n packets, one every gap ns,
+// with optional perturbations.
+func trial(name string, n int, gap sim.Duration, mutate func(i int, t sim.Time) sim.Time) *choir.Trace {
+	tr := trace.New(name, n)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * gap
+		if mutate != nil {
+			at = mutate(i, at)
+		}
+		tr.Append(&packet.Packet{
+			Tag:  packet.Tag{Replayer: 1, Seq: uint64(i)},
+			Kind: packet.KindData, FrameLen: 1400,
+		}, at)
+	}
+	return tr
+}
+
+// ExampleConsistency scores two identical trials: every variation
+// metric is zero and κ is 1.
+func ExampleConsistency() {
+	a := trial("A", 1000, 284, nil)
+	b := trial("B", 1000, 284, nil)
+	m, err := choir.Consistency(a, b, choir.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("U=%.0f O=%.0f L=%.0f I=%.0f κ=%.0f\n", m.U, m.O, m.L, m.I, m.Kappa)
+	// Output: U=0 O=0 L=0 I=0 κ=1
+}
+
+// ExampleConsistency_drops reproduces the paper's §3 worked example: a
+// 10-packet trial where run B drops one packet gives U = 1/19.
+func ExampleConsistency_drops() {
+	a := trial("A", 10, 100, nil)
+	b := trace.New("B", 9)
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			continue // the dropped packet
+		}
+		b.Append(a.Packets[i], a.Times[i])
+	}
+	m, _ := choir.Consistency(a, b, choir.Options{})
+	fmt.Printf("U = %.6f (1/19 = %.6f)\n", m.U, 1.0/19)
+	// Output: U = 0.052632 (1/19 = 0.052632)
+}
+
+// ExampleKappa shows the compound score's extremes (Equation 5).
+func ExampleKappa() {
+	fmt.Printf("identical trials:    κ = %.1f\n", choir.Kappa(0, 0, 0, 0))
+	fmt.Printf("maximally different: κ = %.1f\n", choir.Kappa(1, 1, 1, 1))
+	// Output:
+	// identical trials:    κ = 1.0
+	// maximally different: κ = 0.0
+}
+
+// ExampleKappaScaled applies the §8.2 presence scaling: one drop in a
+// million packets is invisible to linear κ but visible under ∜-scaling.
+func ExampleKappaScaled() {
+	u := 5e-7 // one drop in ~a million packets
+	linear := choir.KappaScaled(u, 0, 0, 0, choir.KappaOptions{})
+	quartic := choir.KappaScaled(u, 0, 0, 0, choir.KappaOptions{PresenceScaling: choir.ScaleQuartic})
+	fmt.Printf("linear κ = %.4f, quartic κ = %.4f\n", linear, quartic)
+	// Output: linear κ = 1.0000, quartic κ = 0.9867
+}
+
+// ExampleReorderBySpacing profiles where reordering happens: a single
+// adjacent swap only affects spacing 1.
+func ExampleReorderBySpacing() {
+	a := trial("A", 6, 100, nil)
+	b := trace.New("B", 6)
+	order := []int{0, 2, 1, 3, 4, 5}
+	for i, j := range order {
+		b.Append(a.Packets[j], a.Times[i])
+	}
+	p := choir.ReorderBySpacing(a, b, 3)
+	for d, prob := range p.Prob {
+		fmt.Printf("spacing %d: P(reorder) = %.2f\n", d+1, prob)
+	}
+	// Output:
+	// spacing 1: P(reorder) = 0.20
+	// spacing 2: P(reorder) = 0.00
+	// spacing 3: P(reorder) = 0.00
+}

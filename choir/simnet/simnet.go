@@ -1,0 +1,199 @@
+// Package simnet is the public surface for composing custom simulated
+// topologies out of the same building blocks the paper reproduction
+// uses: the discrete-event engine, NIC and switch models, clocks, the
+// Choir middlebox, traffic generators and recorders.
+//
+// The nine paper environments (package repro/choir) cover the published
+// evaluation; use this package when you want a different shape — more
+// hops, asymmetric links, your own NIC personality:
+//
+//	eng := simnet.NewEngine(1)
+//	nicProf := simnet.NICProfile{Name: "mine", LineRateBps: simnet.Gbps(100)}
+//	genQ := simnet.NewNIC(eng, nicProf, "gen").NewQueue(0)
+//	mbQ := simnet.NewNIC(eng, nicProf, "mb").NewQueue(0)
+//	mb := simnet.NewMiddlebox(eng, simnet.MiddleboxConfig{
+//	        ID: 1, TSC: simnet.NewTSC(2.5e9, 0, 0),
+//	        Wall: simnet.NewSystemClock(0), Out: mbQ,
+//	})
+//	genQ.Connect(mb, 0)
+//	rec := simnet.NewRecorder(eng, "A", nil, true)
+//	mbQ.Connect(rec, 0)
+//
+// The declarations below are type aliases, so values interoperate freely
+// with the environments and experiment harnesses in repro/choir.
+package simnet
+
+import (
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netsw"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// --- simulation engine ---
+
+// Engine is the deterministic discrete-event scheduler all components
+// share.
+type Engine = sim.Engine
+
+// Time is simulated time in nanoseconds.
+type Time = sim.Time
+
+// Dist is a sampled duration distribution (see Constant, Uniform,
+// Normal, LogNormal, Exponential, Mixture, Clamp).
+type Dist = sim.Dist
+
+// Distribution constructors.
+type (
+	// Constant always samples its value.
+	Constant = sim.Constant
+	// Uniform samples uniformly from [Lo, Hi].
+	Uniform = sim.Uniform
+	// Normal samples a Gaussian.
+	Normal = sim.Normal
+	// LogNormal samples exp(N(mu, sigma)) — heavy right tails.
+	LogNormal = sim.LogNormal
+	// Exponential samples an exponential with the given mean.
+	Exponential = sim.Exponential
+	// Mixture samples one of its components by weight.
+	Mixture = sim.Mixture
+	// Clamp truncates another distribution's samples.
+	Clamp = sim.Clamp
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine creates a deterministic engine from a seed.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// --- hardware ---
+
+// NICProfile is a NIC timing personality.
+type NICProfile = nic.Profile
+
+// NIC is one physical adapter with one or more transmit queues (VFs).
+type NIC = nic.NIC
+
+// Queue is a transmit queue.
+type Queue = nic.Queue
+
+// Endpoint is anything terminating a wire.
+type Endpoint = nic.Endpoint
+
+// NewNIC creates an adapter.
+func NewNIC(eng *Engine, prof NICProfile, label string) *NIC { return nic.New(eng, prof, label) }
+
+// SwitchProfile is a switch timing personality; Tofino2 and Cisco5700
+// reproduce the paper's fabrics.
+type SwitchProfile = netsw.Profile
+
+// Switch is a statically routed L2 element.
+type Switch = netsw.Switch
+
+// NewSwitch creates a switch.
+func NewSwitch(eng *Engine, prof SwitchProfile, label string) *Switch {
+	return netsw.New(eng, prof, label)
+}
+
+// Tofino2 is the local testbed's switch profile.
+func Tofino2(rateBps int64) SwitchProfile { return netsw.Tofino2(rateBps) }
+
+// Cisco5700 is the FABRIC site switch profile.
+func Cisco5700(rateBps int64) SwitchProfile { return netsw.Cisco5700(rateBps) }
+
+// Gbps converts gigabits/second to bits/second.
+func Gbps(g float64) int64 { return packet.Gbps(g) }
+
+// --- clocks ---
+
+// TSC is a CPU cycle counter with calibration error.
+type TSC = clock.TSC
+
+// SystemClock is a settable wall clock.
+type SystemClock = clock.SystemClock
+
+// NewTSC creates a counter (reported Hz, calibration error in ppm,
+// base value).
+func NewTSC(reportedHz, errPPM float64, base uint64) *TSC {
+	return clock.NewTSC(reportedHz, errPPM, base)
+}
+
+// NewSystemClock creates a wall clock with the given initial offset
+// from true (grandmaster) time.
+func NewSystemClock(offset Time) *SystemClock { return clock.NewSystemClock(offset) }
+
+// --- Choir ---
+
+// MiddleboxConfig assembles a Choir middlebox.
+type MiddleboxConfig = core.Config
+
+// Middlebox is one Choir instance: transparent forwarder, recorder,
+// replayer.
+type Middlebox = core.Middlebox
+
+// Recorder is a capture endpoint producing traces.
+type Recorder = core.Recorder
+
+// Timestamper converts wire arrivals to reported capture timestamps.
+type Timestamper = nic.Timestamper
+
+// NewMiddlebox creates a Choir instance.
+func NewMiddlebox(eng *Engine, cfg MiddleboxConfig) *Middlebox { return core.New(eng, cfg) }
+
+// NewRecorder creates a capture endpoint; a nil timestamper reports
+// exact wire times, dataOnly filters non-tagged frames.
+func NewRecorder(eng *Engine, label string, ts Timestamper, dataOnly bool) *Recorder {
+	return core.NewRecorder(eng, label, ts, dataOnly)
+}
+
+// --- control plane ---
+
+// Command is a control-plane instruction.
+type Command = control.Command
+
+// Control commands.
+type (
+	// StartRecord begins recording at a wall-clock time.
+	StartRecord = control.StartRecord
+	// StopRecord ends recording.
+	StopRecord = control.StopRecord
+	// StartReplay replays the buffer aligned to a future wall time.
+	StartReplay = control.StartReplay
+	// PauseReplay suspends an in-progress replay.
+	PauseReplay = control.PauseReplay
+	// ResumeReplay resumes it.
+	ResumeReplay = control.ResumeReplay
+)
+
+// Bus delivers commands out-of-band.
+type Bus = control.Bus
+
+// NewBus creates a control bus with the given delivery latency (nil =
+// instantaneous).
+func NewBus(eng *Engine, latency Dist) *Bus { return control.NewBus(eng, latency) }
+
+// --- traffic ---
+
+// CBRConfig configures a constant-bit-rate stream.
+type CBRConfig = gen.CBRConfig
+
+// StartCBR launches a Pktgen-style CBR stream into a queue.
+func StartCBR(eng *Engine, q *Queue, cfg CBRConfig) *gen.Generator {
+	return gen.StartCBR(eng, q, cfg)
+}
+
+// Flow identifies a 5-tuple for header synthesis.
+type Flow = packet.FiveTuple
+
+// IPForNode derives a stable simulated address.
+func IPForNode(node uint16) packet.IPv4 { return packet.IPForNode(node) }

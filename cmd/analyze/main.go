@@ -1,0 +1,134 @@
+// Command analyze implements the paper artifact's analysis stage: point
+// it at a directory of per-trial pcap captures (as written by
+// cmd/choirsim -out) and it produces the §3 metrics for every run
+// against the baseline, ASCII histogram "figures", the Table 1-style
+// move-distance summary, and an optional CSV dump for external
+// plotting.
+//
+//	analyze /tmp/choir                 # run-A.pcap is the baseline
+//	analyze -baseline run-C.pcap dir   # choose another baseline
+//	analyze -csv out.csv dir           # histogram data as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	baseline := flag.String("baseline", "run-A.pcap", "baseline capture filename within the directory")
+	csvPath := flag.String("csv", "", "write per-bucket histogram data to this CSV file")
+	hist := flag.Bool("hist", true, "render ASCII histograms")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-baseline run-A.pcap] [-csv out.csv] <capture-dir>")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pcap") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		fatal(fmt.Errorf("need at least two .pcap files in %s, found %d", dir, len(names)))
+	}
+
+	load := func(name string) *trace.Trace {
+		tr, err := pcap.ReadAnyFile(filepath.Join(dir, name))
+		if err != nil {
+			fatal(err)
+		}
+		clean := tr.DataOnly().Normalize()
+		clean.Name = strings.TrimSuffix(name, ".pcap")
+		return clean
+	}
+
+	var base *trace.Trace
+	var others []*trace.Trace
+	for _, n := range names {
+		if n == *baseline {
+			base = load(n)
+		} else {
+			others = append(others, load(n))
+		}
+	}
+	if base == nil {
+		fatal(fmt.Errorf("baseline %s not found in %s", *baseline, dir))
+	}
+
+	fmt.Printf("baseline %s: %d packets over %.6fs\n\n", base.Name, base.Len(), base.Span().Seconds())
+
+	var csv strings.Builder
+	csv.WriteString("run,metric,bucket_lo,bucket_hi,count,percent\n")
+
+	tb := report.NewTable("consistency vs "+base.Name, "Run", "U", "O", "I", "L", "κ", "within ±10ns", "moved%")
+	for _, tr := range others {
+		r, err := metrics.Compare(base, tr, metrics.Options{KeepDeltas: true})
+		if err != nil {
+			fatal(err)
+		}
+		tb.AddRow(tr.Name, report.G(r.U), report.G(r.O), report.G(r.I), report.G(r.L),
+			fmt.Sprintf("%.4f", r.Kappa), report.Pct(r.PctIATWithin10),
+			report.Pct(r.MovedFraction()*100))
+
+		if *hist {
+			hi := stats.NewSymLogHistogram(8)
+			hi.AddAll(r.IATDeltas)
+			fmt.Println(hi.Render(fmt.Sprintf("%s vs %s: IAT delta (ns)", tr.Name, base.Name), 46))
+			hl := stats.NewSymLogHistogram(8)
+			hl.AddAll(r.LatencyDeltas)
+			fmt.Println(hl.Render(fmt.Sprintf("%s vs %s: latency delta (ns)", tr.Name, base.Name), 46))
+		}
+		if len(r.MoveDistances) > 0 {
+			s := stats.SummarizeInts(r.MoveDistances)
+			fmt.Printf("%s move distances: mean %.2f (σ %.2f), abs %.2f (σ %.2f), min %.0f, max %.0f\n\n",
+				tr.Name, s.Mean, s.Std, s.AbsMean, s.AbsStd, s.Min, s.Max)
+		}
+		if *csvPath != "" {
+			appendCSV(&csv, tr.Name, "iat", r.IATDeltas)
+			appendCSV(&csv, tr.Name, "latency", r.LatencyDeltas)
+		}
+	}
+	fmt.Println(tb.String())
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func appendCSV(b *strings.Builder, run, metric string, deltas []int64) {
+	h := stats.NewSymLogHistogram(8)
+	h.AddAll(deltas)
+	for _, bk := range h.Buckets() {
+		if bk.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "%s,%s,%d,%d,%d,%.6f\n", run, metric, bk.Lo, bk.Hi, bk.Count, bk.Percent)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command calibrate runs every environment at a configurable scale and
+// prints the per-run and mean consistency metrics next to the paper's
+// targets — the tool used to tune internal/testbed profile constants.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+var targets = map[string]string{
+	"Local Single-Replayer":      "I≈0.029 L≈4.3e-6 κ≈0.985 within10≈92.3%",
+	"Local Dual-Replayer":        "I≈0.20 L≈9.7e-3 O≈0.026 κ≈0.928 moved≈49.8%",
+	"FABRIC Dedicated 40 Gbps 1": "I≈0.50 L≈3.1e-5 κ≈0.74 within10 30-48%",
+	"FABRIC Shared 40 Gbps":      "I≈0.066 L≈2.2e-5 κ≈0.967 within10 26-29%",
+	"FABRIC Dedicated 40 Gbps 2": "I≈0.50 L≈4.2e-4 κ≈0.75 within10 24-27%",
+	"FABRIC Dedicated 80 Gbps":   "I≈0.107 L≈8.2e-6 κ≈0.946 within10≈30.1%",
+	"FABRIC Shared 80 Gbps":      "I≈0.111 L≈2.3e-5 κ≈0.945 within10≈30.2%",
+	"FABRIC Ded. 80 Gbps Noisy":  "I≈0.109 L≈1.4e-5 κ≈0.946 within10 30-32%",
+	"FABRIC Shd. 40 Gbps Noisy":  "I≈0.50 L≈2.0e-4 κ≈0.749 U≈2e-4 within10 9-14%",
+}
+
+func main() {
+	packets := flag.Int("packets", experiments.DefaultScale, "recorded packets per experiment")
+	runs := flag.Int("runs", 5, "replay trials per experiment")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "substring filter on environment name")
+	flag.Parse()
+
+	for _, env := range testbed.AllEnvironments() {
+		if *only != "" && !strings.Contains(strings.ToLower(env.Name), strings.ToLower(*only)) {
+			continue
+		}
+		res, err := experiments.Run(env, experiments.TrialConfig{
+			Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", env.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (recorded %d)\n", env.Name, res.Recorded)
+		fmt.Printf("   target: %s\n", targets[env.Name])
+		for i, r := range res.Results {
+			within := r.PctIATWithin10
+			moved := r.MovedFraction() * 100
+			fmt.Printf("   run %s: U=%.3g O=%.4g I=%.4g L=%.3g κ=%.4f within10=%.2f%% moved=%.1f%% missing=%d\n",
+				experiments.RunNames[i+1], r.U, r.O, r.I, r.L, r.Kappa, within, moved, res.Missing[i])
+			if len(r.MoveDistances) > 0 {
+				s := stats.SummarizeInts(r.MoveDistances)
+				fmt.Printf("          moves: %s\n", s.String())
+			}
+			if len(r.LatencyDeltas) > 0 {
+				s := stats.SummarizeInts(r.LatencyDeltas)
+				fmt.Printf("          lat Δ: absMean=%.0fns min=%.0f max=%.0f\n", s.AbsMean, s.Min, s.Max)
+			}
+			if len(r.IATDeltas) > 0 {
+				s := stats.SummarizeInts(r.IATDeltas)
+				fmt.Printf("          iat Δ: absMean=%.1fns min=%.0f max=%.0f\n", s.AbsMean, s.Min, s.Max)
+			}
+		}
+		m := res.Mean
+		fmt.Printf("   mean : U=%.3g O=%.4g I=%.4g L=%.3g κ=%.4f\n\n", m.U, m.O, m.I, m.L, m.Kappa)
+	}
+}

@@ -1,0 +1,120 @@
+// Command choirsim runs one end-to-end Choir experiment on a chosen
+// environment and optionally exports every trial as a pcap file that
+// cmd/consistency can analyze — the simulated equivalent of the paper's
+// Jupyter artifact workflow.
+//
+//	choirsim -env "Local Single-Replayer" -packets 100000 -runs 5
+//	choirsim -env "FABRIC Shared 40 Gbps" -out /tmp/choir
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/choir"
+	"repro/internal/experiments"
+	"repro/internal/pcap"
+	"repro/internal/report"
+)
+
+func main() {
+	envName := flag.String("env", "Local Single-Replayer", "environment name (see -list)")
+	list := flag.Bool("list", false, "list environment names and exit")
+	packets := flag.Int("packets", 100_000, "packets to record")
+	runs := flag.Int("runs", 5, "replay trials")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "directory to write per-trial pcap files")
+	snapLen := flag.Int("snaplen", 0, "pcap snap length (0 = full frames)")
+	capture := flag.String("pcap", "", "replay this capture file through the environment instead of generating traffic")
+	jsonOut := flag.String("json", "", "write a machine-readable result summary to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range choir.Environments() {
+			fmt.Printf("  %-28s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	var env choir.Environment
+	found := false
+	for _, e := range choir.Environments() {
+		if strings.EqualFold(e.Name, *envName) {
+			env, found = e, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "choirsim: unknown environment %q (try -list)\n", *envName)
+		os.Exit(1)
+	}
+
+	var res *choir.ExperimentResult
+	var err error
+	if *capture != "" {
+		tr, rerr := choir.ReadCaptureFile(*capture)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "choirsim: %v\n", rerr)
+			os.Exit(1)
+		}
+		src := tr.DataOnly().Normalize()
+		fmt.Printf("replaying capture %s (%d tagged packets) through %s\n", *capture, src.Len(), env.Name)
+		res, err = experiments.ReplayCapture(env, src, experiments.TrialConfig{
+			Packets: 1, Runs: *runs, Seed: *seed, KeepDeltas: true,
+		})
+	} else {
+		res, err = choir.RunExperiment(env, choir.ExperimentConfig{
+			Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true,
+		})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("environment: %s\n  %s\n", env.Name, env.Description)
+	fmt.Printf("recorded %d packets; %d replay trials\n\n", res.Recorded, len(res.Traces))
+
+	tb := report.NewTable("consistency vs run A", "Run", "U", "O", "I", "L", "κ", "within ±10ns", "missing")
+	for i, r := range res.Results {
+		tb.AddRow(experiments.RunNames[i+1],
+			report.G(r.U), report.G(r.O), report.G(r.I), report.G(r.L),
+			fmt.Sprintf("%.4f", r.Kappa), report.Pct(r.PctIATWithin10),
+			fmt.Sprintf("%d", res.Missing[i]))
+	}
+	fmt.Println(tb.String())
+	m := res.Mean
+	fmt.Printf("mean: U=%s O=%s I=%s L=%s κ=%.4f\n", report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), m.Kappa)
+
+	if *jsonOut != "" {
+		raw, err := json.MarshalIndent(res.Summary(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tr := range res.Traces {
+			path := filepath.Join(*out, fmt.Sprintf("run-%s.pcap", tr.Name))
+			if err := pcap.WriteFile(path, tr, *snapLen); err != nil {
+				fmt.Fprintf(os.Stderr, "choirsim: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d packets)\n", path, tr.Len())
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command consistency computes the paper's §3 metrics between two pcap
+// captures — the analysis half of Choir's workflow:
+//
+//	consistency runA.pcap runB.pcap
+//	consistency -hist runA.pcap runB.pcap   # plus delta histograms
+//
+// Packets are matched by their 16-byte Choir trailer tag; frames
+// without a valid tag (noise, truncated captures) are excluded, exactly
+// like the paper's evaluation pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	hist := flag.Bool("hist", false, "print IAT/latency delta histograms")
+	within := flag.Int64("within", 10, "report percent of packets with |IAT delta| <= this many ns")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: consistency [-hist] <runA.pcap> <runB.pcap>")
+		os.Exit(2)
+	}
+
+	load := func(path string) (*trace.Trace, int) {
+		tr, err := pcap.ReadAnyFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "consistency: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return tr.DataOnly().Normalize(), tr.Len()
+	}
+	a, totalA := load(flag.Arg(0))
+	b, totalB := load(flag.Arg(1))
+	fmt.Printf("trial A: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		flag.Arg(0), totalA, a.Len(), a.Span().Seconds())
+	fmt.Printf("trial B: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		flag.Arg(1), totalB, b.Len(), b.Span().Seconds())
+
+	res, err := metrics.Compare(a, b, metrics.Options{KeepDeltas: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "consistency: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println()
+	fmt.Printf("U (uniqueness) = %.6g   (%d common, %d only-A, %d only-B)\n", res.U, res.Common, res.OnlyA, res.OnlyB)
+	fmt.Printf("O (ordering)   = %.6g   (%d packets moved, %.1f%% of common)\n", res.O, res.MovedPackets, res.MovedFraction()*100)
+	fmt.Printf("L (latency)    = %.6g\n", res.L)
+	fmt.Printf("I (IAT)        = %.6g   (%.2f%% within ±%dns)\n", res.I, stats.PercentWithin(res.IATDeltas, *within), *within)
+	fmt.Printf("κ              = %.4f\n", res.Kappa)
+
+	if *hist {
+		fmt.Println()
+		hi := stats.NewSymLogHistogram(8)
+		hi.AddAll(res.IATDeltas)
+		fmt.Println(hi.Render("IAT delta (ns)", 46))
+		hl := stats.NewSymLogHistogram(8)
+		hl.AddAll(res.LatencyDeltas)
+		fmt.Println(hl.Render("latency delta (ns)", 46))
+	}
+}

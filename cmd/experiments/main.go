@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -run fig4a            # one artifact, scaled down
+//	experiments -run all -full        # everything at paper scale (~1.05M packets)
+//	experiments -list                 # artifact index
+//
+// Output is text: ASCII histograms for figures, aligned tables for
+// tables, with the §3 metrics alongside. See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+func main() {
+	run := flag.String("run", "all", "artifact id (see -list) or 'all'")
+	sweep := flag.String("sweep", "", "run a rate sweep on this environment name instead of an artifact")
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	full := flag.Bool("full", false, "paper scale: 0.3s recordings (~1.05M packets) and 5 runs")
+	packets := flag.Int("packets", experiments.DefaultScale, "recorded packets per experiment (ignored with -full)")
+	runs := flag.Int("runs", 5, "replay trials per experiment")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Reproducible artifacts (paper table/figure → id):")
+		for _, id := range experiments.AllFigureIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+
+	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed}
+	if *full {
+		env := testbed.LocalSingle()
+		cfg.Packets = env.PacketsFor(300 * sim.Millisecond)
+		cfg.Runs = 5
+	}
+
+	if *sweep != "" {
+		var env testbed.Env
+		found := false
+		for _, e := range testbed.AllEnvironments() {
+			if strings.EqualFold(e.Name, *sweep) {
+				env, found = e, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "experiments: unknown environment %q\n", *sweep)
+			os.Exit(1)
+		}
+		rates := []float64{10, 20, 40, 60, 80, 100}
+		pts, err := experiments.RateSweep(env, rates, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.SweepTable("consistency vs offered load — "+env.Name, pts))
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.AllFigureIDs()
+	}
+	for _, id := range ids {
+		doc, err := experiments.Figure(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(doc.String())
+	}
+}

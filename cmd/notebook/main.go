@@ -1,0 +1,122 @@
+// Command notebook walks the paper's artifact workflow (Appendix A/B)
+// end to end, narrating each step the Jupyter notebook performs:
+//
+//  1. create a FABRIC slice with three VMs and two dedicated smart NICs
+//     on the least-utilized PTP-capable site,
+//
+//  2. record a traffic window and run replays through Choir,
+//
+//  3. save per-trial packet captures,
+//
+//  4. analyze the captures into figures and metrics.
+//
+//     notebook -out /tmp/choir-artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/pcap"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func main() {
+	packets := flag.Int("packets", 100_000, "packets per recording")
+	runs := flag.Int("runs", 5, "replay trials")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	out := flag.String("out", "", "directory for per-trial pcap files (optional)")
+	shared := flag.Bool("shared", false, "use shared SR-IOV VFs instead of dedicated smart NICs")
+	flag.Parse()
+
+	step := func(format string, args ...interface{}) {
+		fmt.Printf("==> "+format+"\n", args...)
+	}
+
+	// Step 1: provision the slice.
+	step("selecting a large yet barely used PTP-capable site")
+	fed := fabric.DefaultFederation()
+	site, err := fed.LeastUtilizedSite(true)
+	check(err)
+	spec := site.Spec()
+	step("site %s: %d cores, %d GiB RAM, utilization %.1f%%",
+		spec.Name, spec.Cores, spec.RAMGiB, site.Utilization()*100)
+
+	model := fabric.DedicatedConnectX6
+	if *shared {
+		model = fabric.SharedNIC
+	}
+	step("creating slice with three VMs and %v NICs", model)
+	slice := fed.NewSlice("choir-artifact")
+	gen, err := slice.AddNode("generator", spec.Name, 4, 16, 100)
+	check(err)
+	rep, err := slice.AddNode("replayer", spec.Name, 4, 16, 100)
+	check(err)
+	rec, err := slice.AddNode("recorder", spec.Name, 4, 16, 100)
+	check(err)
+	gi, err := gen.AddNIC("gen-nic", model)
+	check(err)
+	ri, err := rep.AddNIC("rep-nic", model)
+	check(err)
+	ci, err := rec.AddNIC("rec-nic", model)
+	check(err)
+	_, err = slice.AddService("net", fabric.L2Bridge, gi, ri, ci)
+	check(err)
+	check(slice.Submit())
+	step("slice submitted: state=%v, site utilization now %.1f%%",
+		slice.State(), site.Utilization()*100)
+
+	// Step 2: record and replay.
+	env, err := slice.Environment(fabric.ExperimentPlan{
+		Generator: "generator", Recorder: "recorder", Replayers: []string{"replayer"},
+	})
+	check(err)
+	step("instantiated environment %q, recording %d packets and running %d replays", env.Name, *packets, *runs)
+	res, err := experiments.Run(env, experiments.TrialConfig{
+		Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true,
+	})
+	check(err)
+	step("recorded %d packets; %d trials captured", res.Recorded, len(res.Traces))
+
+	// Step 3: save captures.
+	if *out != "" {
+		check(os.MkdirAll(*out, 0o755))
+		for _, tr := range res.Traces {
+			path := filepath.Join(*out, fmt.Sprintf("run-%s.pcap", tr.Name))
+			check(pcap.WriteFile(path, tr, 0))
+			step("wrote %s (%d packets)", path, tr.Len())
+		}
+	}
+
+	// Step 4: analyze.
+	step("analyzing captures")
+	tb := report.NewTable("consistency vs run A", "Run", "U", "O", "I", "L", "κ", "within ±10ns")
+	for i, r := range res.Results {
+		tb.AddRow(experiments.RunNames[i+1],
+			report.G(r.U), report.G(r.O), report.G(r.I), report.G(r.L),
+			fmt.Sprintf("%.4f", r.Kappa), report.Pct(r.PctIATWithin10))
+	}
+	fmt.Println()
+	fmt.Println(tb.String())
+	h := stats.NewSymLogHistogram(8)
+	h.AddAll(res.Results[0].IATDeltas)
+	fmt.Println(h.Render("run B vs A: IAT delta (ns)", 46))
+	m := res.Mean
+	fmt.Printf("mean: U=%s O=%s I=%s L=%s κ=%.4f\n\n", report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), m.Kappa)
+
+	// Cleanup.
+	check(slice.Delete())
+	step("slice deleted; site utilization back to %.1f%%", site.Utilization()*100)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "notebook: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Network Replay and Consistency Across
+// Testbeds" (Wolosewicz et al., SC Workshops '25) in pure Go: the Choir
+// 100 Gbps in-situ packet replayer, the κ consistency metric, a
+// discrete-event testbed substrate standing in for the paper's physical
+// hardware, and a benchmark harness regenerating every table and figure
+// of the evaluation.
+//
+// Start with the public API in package repro/choir, the runnable
+// examples under examples/, and the CLIs under cmd/. DESIGN.md maps the
+// paper onto the module layout; EXPERIMENTS.md records paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,79 @@
+// Debugging: the interactive primitives Choir's in-situ design enables
+// (paper §1: "a foundation for more interactive debugging primitives,
+// such as breakpointing and backtracing").
+//
+// A watcher taps the recorder link with a breakpoint predicate; when the
+// packet of interest passes, it snapshots the traffic window around it.
+// A backtracer then maps that packet back to its recorded burst inside
+// the middlebox — which burst, which position, which TSC instant.
+//
+//	go run ./examples/debugging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/gen"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func main() {
+	eng := sim.NewEngine(1)
+	perfect := nic.Profile{Name: "100G", LineRateBps: packet.Gbps(100)}
+
+	// generator → middlebox → watcher → recorder
+	genQ := nic.New(eng, perfect, "gen").NewQueue(0)
+	mbQ := nic.New(eng, perfect, "mb").NewQueue(0)
+	mb := core.New(eng, core.Config{
+		ID: 1, TSC: clock.NewTSC(2.5e9, 0, 0), Wall: clock.NewSystemClock(0), Out: mbQ,
+	})
+	genQ.Connect(mb, 0)
+	rec := core.NewRecorder(eng, "A", nic.PerfectTimestamper{}, true)
+
+	// Breakpoint: fire on packet #7777 and capture 4 packets around it.
+	watcher := &debug.Watcher{
+		Next:    rec,
+		Window:  4,
+		MaxHits: 1,
+		Match: func(p *packet.Packet, _ sim.Time) bool {
+			return p.Tag.Seq == 7777
+		},
+	}
+	mbQ.Connect(watcher, 0)
+
+	// Record 20k packets of 40 Gbps traffic.
+	bus := control.NewBus(eng, nil)
+	bus.Send(mb, control.StartRecord{At: 0})
+	gen.StartCBR(eng, genQ, gen.CBRConfig{
+		RateBps: packet.Gbps(40), FrameLen: 1400, Count: 20_000,
+		Flow: packet.FiveTuple{Src: packet.IPForNode(1), Dst: packet.IPForNode(2), Proto: packet.ProtoUDP},
+	})
+	eng.Run()
+	watcher.Flush()
+
+	hits := watcher.Hits()
+	if len(hits) != 1 {
+		log.Fatalf("breakpoint fired %d times", len(hits))
+	}
+	h := hits[0]
+	fmt.Printf("breakpoint hit: packet %v at t=%v\n", h.Packet.Tag, h.At)
+	fmt.Printf("  %d packets before, %d after captured\n", len(h.Before), len(h.After))
+	fmt.Printf("  window: %v .. %v\n\n", h.Before[0].Tag, h.After[len(h.After)-1].Tag)
+
+	// Backtrace the hit into the middlebox's replay buffer.
+	bt := debug.NewBacktracer(mb)
+	origin, ok := bt.Trace(h.Packet.Tag)
+	if !ok {
+		log.Fatal("packet not found in the recording")
+	}
+	fmt.Printf("backtrace: packet %v was recorded in %v\n", h.Packet.Tag, origin)
+	fmt.Printf("  in-burst neighbours: %v ← packet → %v\n", origin.Before, origin.After)
+	fmt.Printf("  (%d packets indexed across %d bursts)\n", bt.Packets(), mb.RecordedBursts())
+}

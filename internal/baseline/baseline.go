@@ -1,0 +1,306 @@
+// Package baseline implements the replay strategies the paper compares
+// against (§9), so the benches can show where each breaks down:
+//
+//   - Tcpreplay: OS-timer pacing — sleep until each packet's offset
+//     using the system clock, at scheduler granularity. No bursting, no
+//     TSC busy-wait; fidelity is bounded by timer resolution.
+//   - MoonGen: invalid-packet gap control — keep the NIC saturated with
+//     filler frames so data packets land at exact byte offsets in the
+//     stream. Extremely precise when the full line is available, but it
+//     floods the link (hurting co-tenants) and its timing collapses on
+//     a shared VF where the line cannot be owned.
+//   - Choir (reference): burst + TSC pacing as implemented by
+//     internal/core, reproduced here in harness form for side-by-side
+//     fidelity measurements.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Replayer schedules the transmission of a recorded trace onto a queue,
+// starting at startAt.
+type Replayer interface {
+	// Name identifies the strategy.
+	Name() string
+	// Replay schedules tr's packets on q with their recorded relative
+	// timing, beginning at startAt.
+	Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time)
+}
+
+// Tcpreplay paces with OS sleeps: each packet is sent at its recorded
+// offset quantized to the timer resolution plus scheduler wakeup noise,
+// one packet per syscall.
+type Tcpreplay struct {
+	// TimerResolution is the kernel timer granularity (default 1 µs,
+	// a tuned low-latency host).
+	TimerResolution sim.Duration
+	// WakeupJitter is the scheduler wakeup error after a sleep
+	// (default uniform 0–30 µs).
+	WakeupJitter sim.Dist
+	rng          *rand.Rand
+}
+
+// Name implements Replayer.
+func (t *Tcpreplay) Name() string { return "tcpreplay" }
+
+// Replay implements Replayer.
+func (t *Tcpreplay) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time) {
+	res := t.TimerResolution
+	if res <= 0 {
+		res = sim.Microsecond
+	}
+	jit := t.WakeupJitter
+	if jit == nil {
+		jit = sim.Uniform{Lo: 0, Hi: 30_000}
+	}
+	if t.rng == nil {
+		t.rng = eng.Rand("baseline/tcpreplay")
+	}
+	base := tr.Start()
+	// Sequential sender thread: each send happens no earlier than the
+	// previous (a single process cannot reorder its own writes).
+	prev := startAt
+	for i, p := range tr.Packets {
+		offset := tr.Times[i] - base
+		at := startAt + offset/res*res + maxD(0, jit.Sample(t.rng))
+		if at < prev {
+			at = prev
+		}
+		prev = at
+		pkt := p
+		eng.Schedule(at, func() { q.SendBurst([]*packet.Packet{pkt}) })
+	}
+}
+
+// MoonGen paces by keeping the line saturated with invalid filler
+// frames sized so each data frame starts at its exact recorded byte
+// offset.
+type MoonGen struct {
+	// FillerFrameLen is the filler frame size (default 1514; MoonGen's
+	// minimum effective gap is one minimum frame).
+	FillerFrameLen int
+	// LineRateBps must match the NIC the replay transmits on.
+	LineRateBps int64
+}
+
+// Name implements Replayer.
+func (m *MoonGen) Name() string { return "moongen" }
+
+// Replay implements Replayer. The whole replay is enqueued as a
+// continuous back-to-back stream: data frames separated by filler
+// frames whose serialization occupies exactly the recorded gaps.
+func (m *MoonGen) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time) {
+	filler := m.FillerFrameLen
+	if filler <= 0 {
+		filler = 1514
+	}
+	rate := m.LineRateBps
+	if rate <= 0 {
+		rate = packet.Gbps(100)
+	}
+	eng.Schedule(startAt, func() {
+		var burst []*packet.Packet
+		flush := func() {
+			if len(burst) > 0 {
+				q.SendBurst(burst)
+				burst = nil
+			}
+		}
+		push := func(p *packet.Packet) {
+			burst = append(burst, p)
+			if len(burst) == nic.BurstSize {
+				flush()
+			}
+		}
+		fillerSeq := uint64(0)
+		for i, p := range tr.Packets {
+			if i > 0 {
+				// Fill the recorded gap minus the previous data
+				// frame's own serialization with invalid frames.
+				gap := tr.Times[i] - tr.Times[i-1]
+				gap -= packet.SerializationTime(tr.Packets[i-1].FrameLen, rate)
+				for gap > 0 {
+					f := filler
+					ser := packet.SerializationTime(f, rate)
+					if ser > gap {
+						// Last filler shrinks toward the minimum frame.
+						f = int(gap * sim.Duration(rate) / 8 / 1e9)
+						if f < 64 {
+							break
+						}
+					}
+					push(&packet.Packet{
+						Tag:      packet.Tag{Replayer: 0xFFFE, Seq: fillerSeq},
+						Kind:     packet.KindInvalid,
+						FrameLen: f,
+					})
+					fillerSeq++
+					gap -= packet.SerializationTime(f, rate)
+				}
+			}
+			push(p)
+		}
+		flush()
+	})
+}
+
+// Choir is the paper's strategy in harness form: recorded bursts (≤64
+// packets grouped by arrival) are scheduled at their recorded offsets;
+// pacing inside a burst is left to the line, exactly like the real
+// middlebox after recording.
+type Choir struct {
+	// BurstWindow groups packets recorded within this window into one
+	// burst (default 15 µs, the middlebox poll quantum).
+	BurstWindow sim.Duration
+}
+
+// Name implements Replayer.
+func (c *Choir) Name() string { return "choir" }
+
+// Replay implements Replayer.
+func (c *Choir) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time) {
+	win := c.BurstWindow
+	if win <= 0 {
+		win = 15 * sim.Microsecond
+	}
+	base := tr.Start()
+	var burst []*packet.Packet
+	var burstAt sim.Time
+	flush := func() {
+		if len(burst) == 0 {
+			return
+		}
+		pkts := burst
+		burst = nil
+		eng.Schedule(startAt+burstAt, func() { q.SendBurst(pkts) })
+	}
+	for i, p := range tr.Packets {
+		off := tr.Times[i] - base
+		if len(burst) == 0 {
+			burstAt = off
+		}
+		if off-burstAt >= win || len(burst) == nic.BurstSize {
+			flush()
+			burstAt = off
+		}
+		burst = append(burst, p)
+	}
+	flush()
+}
+
+func maxD(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String helper for diagnostics.
+func Describe(r Replayer) string { return fmt.Sprintf("replayer(%s)", r.Name()) }
+
+// Hybrid is the integration the paper's §9 proposes as future work:
+// Choir's burst-level TSC scheduling between bursts, with MoonGen-style
+// invalid-packet gap control *inside* each burst. Unlike pure MoonGen
+// it only occupies the line for the duration of a burst, so it stays
+// usable on links it cannot own outright while recovering most of the
+// intra-burst gap fidelity Choir's re-bursting loses.
+type Hybrid struct {
+	// BurstWindow groups packets recorded within this window (default
+	// 15 µs).
+	BurstWindow sim.Duration
+	// FillerFrameLen is the filler frame size (default 1514).
+	FillerFrameLen int
+	// LineRateBps must match the transmitting NIC.
+	LineRateBps int64
+}
+
+// Name implements Replayer.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Replay implements Replayer.
+func (h *Hybrid) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time) {
+	win := h.BurstWindow
+	if win <= 0 {
+		win = 15 * sim.Microsecond
+	}
+	filler := h.FillerFrameLen
+	if filler <= 0 {
+		filler = 1514
+	}
+	rate := h.LineRateBps
+	if rate <= 0 {
+		rate = packet.Gbps(100)
+	}
+
+	base := tr.Start()
+	fillerSeq := uint64(0)
+	var burstPkts []*packet.Packet
+	var burstTimes []sim.Time
+	var burstAt sim.Time
+
+	flush := func() {
+		if len(burstPkts) == 0 {
+			return
+		}
+		// Expand the burst with gap filler, MoonGen-style, then
+		// schedule the whole padded burst at its recorded offset.
+		var padded []*packet.Packet
+		for i, p := range burstPkts {
+			if i > 0 {
+				gap := burstTimes[i] - burstTimes[i-1]
+				gap -= packet.SerializationTime(burstPkts[i-1].FrameLen, rate)
+				for gap > 0 {
+					f := filler
+					ser := packet.SerializationTime(f, rate)
+					if ser > gap {
+						f = int(gap * sim.Duration(rate) / 8 / 1e9)
+						if f < 64 {
+							break
+						}
+					}
+					padded = append(padded, &packet.Packet{
+						Tag:      packet.Tag{Replayer: 0xFFFE, Seq: fillerSeq},
+						Kind:     packet.KindInvalid,
+						FrameLen: f,
+					})
+					fillerSeq++
+					gap -= packet.SerializationTime(f, rate)
+				}
+			}
+			padded = append(padded, p)
+		}
+		at := startAt + burstAt
+		eng.Schedule(at, func() {
+			for len(padded) > 0 {
+				n := nic.BurstSize
+				if n > len(padded) {
+					n = len(padded)
+				}
+				q.SendBurst(padded[:n])
+				padded = padded[n:]
+			}
+		})
+		burstPkts, burstTimes = nil, nil
+	}
+
+	for i, p := range tr.Packets {
+		off := tr.Times[i] - base
+		if len(burstPkts) == 0 {
+			burstAt = off
+		}
+		if off-burstAt >= win || len(burstPkts) == nic.BurstSize {
+			flush()
+			burstAt = off
+		}
+		burstPkts = append(burstPkts, p)
+		burstTimes = append(burstTimes, off)
+	}
+	flush()
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+)
+
+// ComparisonResult is one strategy's outcome on one NIC personality —
+// the quantitative form of the paper's §9 discussion.
+type ComparisonResult struct {
+	// Strategy is the replayer name.
+	Strategy string
+	// FidelityI is the IAT variation between the reference timeline
+	// and the captured replay: how faithfully the strategy reproduces
+	// the recorded gaps (lower is better).
+	FidelityI float64
+	// ConsistencyKappa is κ between two independent replays (higher is
+	// better).
+	ConsistencyKappa float64
+	// Delivered counts captured data packets per run.
+	Delivered int
+	// NoiseThroughputGbps is the co-tenant's achieved goodput while
+	// the replay ran (shared rigs only) — MoonGen's filler crushes it.
+	NoiseThroughputGbps float64
+}
+
+// String renders one row.
+func (r ComparisonResult) String() string {
+	return fmt.Sprintf("%-9s fidelity I=%.4f  replay-vs-replay κ=%.4f  delivered=%d  co-tenant=%.1f Gbps",
+		r.Strategy, r.FidelityI, r.ConsistencyKappa, r.Delivered, r.NoiseThroughputGbps)
+}
+
+// CompareConfig scales the comparison rig.
+type CompareConfig struct {
+	// Packets in the reference timeline (default 20000).
+	Packets int
+	// RateGbps of the reference CBR timeline (default 40).
+	RateGbps float64
+	// Shared adds a TCP co-tenant on a second VF of the same NIC.
+	Shared bool
+	// Seed for determinism.
+	Seed int64
+}
+
+func (c CompareConfig) defaults() CompareConfig {
+	if c.Packets == 0 {
+		c.Packets = 20000
+	}
+	if c.RateGbps == 0 {
+		c.RateGbps = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// referenceTrace builds the ideal recorded timeline: CBR at the given
+// rate with unique tags.
+func referenceTrace(cfg CompareConfig) *trace.Trace {
+	tr := trace.New("reference", cfg.Packets)
+	gap := packet.SerializationTime(1400, packet.Gbps(cfg.RateGbps))
+	for i := 0; i < cfg.Packets; i++ {
+		tr.Append(&packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Seq: uint64(i)},
+			Kind:     packet.KindData,
+			FrameLen: 1400,
+			Flow:     packet.FiveTuple{Src: packet.IPForNode(1), Dst: packet.IPForNode(2), Proto: packet.ProtoUDP},
+		}, sim.Time(i)*gap)
+	}
+	return tr
+}
+
+// Compare runs each strategy twice on a fresh rig with the given NIC
+// personality and reports fidelity, run-to-run consistency and
+// co-tenant impact.
+func Compare(replayers []Replayer, prof nic.Profile, cfg CompareConfig) ([]ComparisonResult, error) {
+	cfg = cfg.defaults()
+	ref := referenceTrace(cfg)
+	span := ref.Span()
+
+	var out []ComparisonResult
+	for _, rp := range replayers {
+		var captures []*trace.Trace
+		var noiseGbps float64
+		for run := 0; run < 2; run++ {
+			eng := sim.NewEngine(cfg.Seed + int64(run)*7919)
+			n := nic.New(eng, prof, "cmp/"+rp.Name())
+			q := n.NewQueue(1 << 16)
+			rec := core.NewRecorder(eng, fmt.Sprintf("%s-%d", rp.Name(), run), nic.PerfectTimestamper{}, true)
+			q.Connect(rec, 0)
+
+			start := 10 * sim.Millisecond
+			horizon := start + span + 40*sim.Millisecond
+			if cfg.Shared {
+				noiseQ := n.NewQueue(4096)
+				sinkRec := core.NewRecorder(eng, "noise-sink", nic.PerfectTimestamper{}, false)
+				noiseQ.Connect(sinkRec, 0)
+				// The co-tenant transmits exactly during the replay
+				// window so its throughput measures the replay's
+				// interference, not idle line time.
+				flows := tcpsim.StartIperf(eng, []*nic.Queue{noiseQ}, 8, tcpsim.Config{
+					ID: 50, SegmentLen: 9000, RTT: 60 * sim.Microsecond,
+					StartAt: start, StopAt: start + span,
+					Flow: packet.FiveTuple{Src: packet.IPForNode(7), Dst: packet.IPForNode(8), DstPort: 5201, Proto: packet.ProtoTCP},
+				})
+				rp.Replay(eng, q, ref, start)
+				eng.RunUntil(start + span)
+				noiseGbps = tcpsim.AggregateThroughput(flows, eng.Now()) / 1e9
+				eng.RunUntil(horizon)
+			} else {
+				rp.Replay(eng, q, ref, start)
+				eng.RunUntil(horizon)
+			}
+			captures = append(captures, rec.Trace().Normalize())
+		}
+
+		fid, err := metrics.Compare(ref.Normalize(), captures[0], metrics.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s fidelity: %w", rp.Name(), err)
+		}
+		cons, err := metrics.Compare(captures[0], captures[1], metrics.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("baseline: %s consistency: %w", rp.Name(), err)
+		}
+		out = append(out, ComparisonResult{
+			Strategy:            rp.Name(),
+			FidelityI:           fid.I,
+			ConsistencyKappa:    cons.Kappa,
+			Delivered:           captures[0].Len(),
+			NoiseThroughputGbps: noiseGbps,
+		})
+	}
+	return out, nil
+}
+
+// DefaultSet returns the three strategies configured for a 100 Gbps
+// line.
+func DefaultSet() []Replayer {
+	return []Replayer{
+		&Choir{},
+		&Tcpreplay{},
+		&MoonGen{LineRateBps: packet.Gbps(100)},
+	}
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+	"repro/internal/trace"
+)
+
+// TCPOperaStyle models the TCPOpera/DETER class of tools the paper's
+// §9 discusses: instead of replaying the recorded packets, it replays
+// TCP *connections* with equivalent volume through a live stack. The
+// result is behaviourally similar traffic whose packets are entirely
+// different objects — which is exactly why such tools cannot support
+// the paper's packet-identity consistency metrics ("TCPOpera does not
+// replay the specific packets").
+type TCPOperaStyle struct {
+	// RTT is the stack's round-trip time (default 100 µs).
+	RTT sim.Duration
+	// Connections is the number of parallel connections used to carry
+	// the recorded volume (default 4).
+	Connections int
+}
+
+// Name implements Replayer.
+func (o *TCPOperaStyle) Name() string { return "tcpopera" }
+
+// Replay implements Replayer: it derives the recorded byte volume and
+// duration, then drives TCP flows that reproduce the volume over the
+// same window. None of the original packets are transmitted.
+func (o *TCPOperaStyle) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt sim.Time) {
+	conns := o.Connections
+	if conns <= 0 {
+		conns = 4
+	}
+	rtt := o.RTT
+	if rtt <= 0 {
+		rtt = 100 * sim.Microsecond
+	}
+	span := tr.Span()
+	if span <= 0 {
+		span = sim.Millisecond
+	}
+	for c := 0; c < conns; c++ {
+		tcpsim.Start(eng, q, tcpsim.Config{
+			ID:         uint16(300 + c),
+			SegmentLen: 1514,
+			RTT:        rtt,
+			StartAt:    startAt,
+			StopAt:     startAt + span,
+			Flow: packet.FiveTuple{
+				Src: packet.IPForNode(50), Dst: packet.IPForNode(51),
+				SrcPort: uint16(42000 + c), DstPort: 5201, Proto: packet.ProtoTCP,
+			},
+		})
+	}
+}

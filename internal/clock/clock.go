@@ -1,0 +1,181 @@
+// Package clock models the time sources Choir depends on: the CPU Time
+// Stamp Counter (TSC) used for burst timestamping and replay pacing, and
+// PTP/NTP-disciplined system clocks used to agree on replay start times
+// across nodes.
+//
+// Simulated time (sim.Time) plays the role of "true" time; the PTP
+// grandmaster is defined to be perfectly aligned with it. Every other
+// clock exposes what *software on the node* would observe, including
+// frequency error and synchronization residuals.
+package clock
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// TSC is a per-CPU monotonically increasing cycle counter. Software knows
+// a reported ("nominal") frequency; the hardware ticks at a slightly
+// different actual frequency (the calibration error, in parts per
+// million). Choir converts wall-clock deltas to cycle deltas using the
+// reported frequency, so the ppm error shows up as replay start skew.
+type TSC struct {
+	reportedHz float64
+	actualHz   float64
+	base       uint64 // counter value at sim time 0
+}
+
+// NewTSC creates a counter with the given nominal frequency, calibration
+// error in ppm (actual = reported * (1 + ppm/1e6)) and base value.
+func NewTSC(reportedHz, errPPM float64, base uint64) *TSC {
+	if reportedHz <= 0 {
+		panic("clock: TSC frequency must be positive")
+	}
+	return &TSC{
+		reportedHz: reportedHz,
+		actualHz:   reportedHz * (1 + errPPM/1e6),
+		base:       base,
+	}
+}
+
+// ReportedHz returns the frequency software believes the counter runs at.
+func (t *TSC) ReportedHz() float64 { return t.reportedHz }
+
+// ActualHz returns the true tick rate.
+func (t *TSC) ActualHz() float64 { return t.actualHz }
+
+// Read returns the counter value at simulated time now. This is what a
+// RDTSC instruction would return.
+func (t *TSC) Read(now sim.Time) uint64 {
+	return t.base + uint64(math.Round(float64(now)*t.actualHz/1e9))
+}
+
+// SimTimeAt returns the earliest simulated time at which Read reaches
+// cycles. Values before the base map to time 0.
+func (t *TSC) SimTimeAt(cycles uint64) sim.Time {
+	if cycles <= t.base {
+		return 0
+	}
+	return sim.Time(math.Ceil(float64(cycles-t.base) * 1e9 / t.actualHz))
+}
+
+// CyclesIn converts a duration to cycles the way node software would:
+// using the reported frequency. The calibration error between reported
+// and actual frequency is exactly the replay-start skew the paper's
+// TSC-delta scheme is exposed to.
+func (t *TSC) CyclesIn(d sim.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(math.Round(float64(d) * t.reportedHz / 1e9))
+}
+
+// DurationOf converts cycles back to nanoseconds using the reported
+// frequency (software view).
+func (t *TSC) DurationOf(cycles uint64) sim.Duration {
+	return sim.Duration(math.Round(float64(cycles) * 1e9 / t.reportedHz))
+}
+
+// SystemClock is a settable wall clock: wall = sim time + offset. The
+// grandmaster has offset 0 by definition; synchronized clients have a
+// small residual offset that a sync process refreshes periodically.
+type SystemClock struct {
+	offset sim.Duration
+}
+
+// NewSystemClock creates a clock with the given initial offset from true
+// time.
+func NewSystemClock(initialOffset sim.Duration) *SystemClock {
+	return &SystemClock{offset: initialOffset}
+}
+
+// Wall returns the wall-clock reading at simulated time now.
+func (c *SystemClock) Wall(now sim.Time) sim.Time { return now + c.offset }
+
+// SimTimeFor maps a wall-clock instant back to simulated time under the
+// current offset — the instant at which a thread polling the clock would
+// observe the wall time wall.
+func (c *SystemClock) SimTimeFor(wall sim.Time) sim.Time { return wall - c.offset }
+
+// Offset returns the current offset from true time.
+func (c *SystemClock) Offset() sim.Duration { return c.offset }
+
+// SetOffset overrides the offset (used by sync processes and tests).
+func (c *SystemClock) SetOffset(o sim.Duration) { c.offset = o }
+
+// SyncConfig describes a clock-synchronization discipline. Residual is
+// the post-sync offset distribution: tens of nanoseconds for PTP with
+// hardware timestamping (FABRIC's ptp_kvm path), hundreds of microseconds
+// for plain NTP.
+type SyncConfig struct {
+	// Interval between synchronization adjustments.
+	Interval sim.Duration
+	// Residual offset after each adjustment.
+	Residual sim.Dist
+}
+
+// PTPDefault mirrors the sub-microsecond ptp_kvm + NIC sync the paper
+// relies on: residual within tens of nanoseconds, refreshed every second.
+func PTPDefault() SyncConfig {
+	return SyncConfig{
+		Interval: sim.Second,
+		Residual: sim.Normal{Mu: 0, Sigma: 15},
+	}
+}
+
+// NTPDefault mirrors a stratum-1 LAN NTP client: residual on the order of
+// tens of microseconds.
+func NTPDefault() SyncConfig {
+	return SyncConfig{
+		Interval: 16 * sim.Second,
+		Residual: sim.Normal{Mu: 0, Sigma: 20_000},
+	}
+}
+
+// Synchronizer periodically disciplines a SystemClock toward the
+// grandmaster. Create with StartSync.
+type Synchronizer struct {
+	cfg     SyncConfig
+	clock   *SystemClock
+	rng     *rand.Rand
+	stopped bool
+	syncs   uint64
+}
+
+// StartSync performs an immediate synchronization and schedules periodic
+// refreshes on the engine. It returns the Synchronizer, whose Stop method
+// halts future adjustments.
+func StartSync(e *sim.Engine, c *SystemClock, cfg SyncConfig, rng *rand.Rand) *Synchronizer {
+	if cfg.Interval <= 0 {
+		panic("clock: sync interval must be positive")
+	}
+	if cfg.Residual == nil {
+		cfg.Residual = sim.Zero
+	}
+	s := &Synchronizer{cfg: cfg, clock: c, rng: rng}
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		c.SetOffset(cfg.Residual.Sample(rng))
+		s.syncs++
+		e.After(cfg.Interval, tick)
+	}
+	e.After(0, tick)
+	return s
+}
+
+// Stop halts future synchronizations; the current offset is retained.
+func (s *Synchronizer) Stop() { s.stopped = true }
+
+// Syncs returns how many adjustments have been applied.
+func (s *Synchronizer) Syncs() uint64 { return s.syncs }
+
+// String describes the sync discipline.
+func (s *Synchronizer) String() string {
+	return fmt.Sprintf("sync(every %v, residual %v)", s.cfg.Interval, s.cfg.Residual)
+}

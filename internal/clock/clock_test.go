@@ -1,0 +1,202 @@
+package clock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTSCMonotonic(t *testing.T) {
+	tsc := NewTSC(2.5e9, 3.2, 1000)
+	last := uint64(0)
+	for now := sim.Time(0); now < 10*sim.Microsecond; now += 7 {
+		v := tsc.Read(now)
+		if v < last {
+			t.Fatalf("TSC went backwards at %v: %d < %d", now, v, last)
+		}
+		last = v
+	}
+}
+
+func TestTSCReadAtZeroIsBase(t *testing.T) {
+	tsc := NewTSC(3e9, 0, 12345)
+	if got := tsc.Read(0); got != 12345 {
+		t.Fatalf("Read(0) = %d, want base 12345", got)
+	}
+}
+
+func TestTSCFrequency(t *testing.T) {
+	tsc := NewTSC(2e9, 0, 0)
+	// 2 GHz: 1 µs = 2000 cycles.
+	if got := tsc.Read(sim.Microsecond); got != 2000 {
+		t.Fatalf("Read(1µs) = %d, want 2000", got)
+	}
+	if got := tsc.CyclesIn(sim.Microsecond); got != 2000 {
+		t.Fatalf("CyclesIn(1µs) = %d, want 2000", got)
+	}
+	if got := tsc.DurationOf(2000); got != sim.Microsecond {
+		t.Fatalf("DurationOf(2000) = %v, want 1µs", got)
+	}
+}
+
+func TestTSCPPMError(t *testing.T) {
+	// +100 ppm: after 1 second the counter is 100µs worth of cycles ahead.
+	tsc := NewTSC(1e9, 100, 0)
+	got := tsc.Read(sim.Second)
+	want := uint64(1e9 + 1e9*100/1e6)
+	if got != want {
+		t.Fatalf("Read(1s) = %d, want %d", got, want)
+	}
+	if tsc.ActualHz() <= tsc.ReportedHz() {
+		t.Fatal("positive ppm should raise actual frequency")
+	}
+}
+
+func TestTSCSimTimeAtInvertsRead(t *testing.T) {
+	tsc := NewTSC(2.2e9, -4.7, 777)
+	for _, now := range []sim.Time{0, 1, 283, 100_000, sim.Second / 3} {
+		c := tsc.Read(now)
+		back := tsc.SimTimeAt(c)
+		// Rounding can move the inversion by at most one tick (~0.45ns).
+		if diff := back - now; diff > 1 || diff < -1 {
+			t.Fatalf("SimTimeAt(Read(%v)) = %v, off by %v", now, back, diff)
+		}
+		if tsc.Read(back) < c {
+			t.Fatalf("Read(SimTimeAt(%d)) = %d < %d: target not reached", c, tsc.Read(back), c)
+		}
+	}
+}
+
+func TestTSCSimTimeAtBeforeBase(t *testing.T) {
+	tsc := NewTSC(1e9, 0, 500)
+	if got := tsc.SimTimeAt(100); got != 0 {
+		t.Fatalf("SimTimeAt(pre-base) = %v, want 0", got)
+	}
+}
+
+func TestTSCCyclesInNegative(t *testing.T) {
+	tsc := NewTSC(1e9, 0, 0)
+	if got := tsc.CyclesIn(-50); got != 0 {
+		t.Fatalf("CyclesIn(-50) = %d, want 0", got)
+	}
+}
+
+func TestTSCInvalidFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTSC(0,...) did not panic")
+		}
+	}()
+	NewTSC(0, 0, 0)
+}
+
+func TestQuickTSCRoundTrip(t *testing.T) {
+	tsc := NewTSC(2.7e9, 1.5, 42)
+	f := func(raw uint32) bool {
+		d := sim.Duration(raw)
+		c := tsc.CyclesIn(d)
+		back := tsc.DurationOf(c)
+		diff := back - d
+		return diff <= 1 && diff >= -1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemClockWall(t *testing.T) {
+	c := NewSystemClock(250)
+	if got := c.Wall(1000); got != 1250 {
+		t.Fatalf("Wall(1000) = %v, want 1250", got)
+	}
+	if got := c.SimTimeFor(1250); got != 1000 {
+		t.Fatalf("SimTimeFor(1250) = %v, want 1000", got)
+	}
+	c.SetOffset(-10)
+	if got := c.Offset(); got != -10 {
+		t.Fatalf("Offset() = %v, want -10", got)
+	}
+}
+
+func TestQuickSystemClockInverse(t *testing.T) {
+	f := func(off int32, now uint32) bool {
+		c := NewSystemClock(sim.Duration(off))
+		n := sim.Time(now)
+		return c.SimTimeFor(c.Wall(n)) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartSyncAppliesResidual(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewSystemClock(1_000_000) // 1 ms off before first sync
+	s := StartSync(e, c, SyncConfig{Interval: sim.Second, Residual: sim.Constant{V: 42}}, e.Rand("ptp"))
+	e.RunUntil(0)
+	if c.Offset() != 42 {
+		t.Fatalf("offset after first sync = %v, want 42", c.Offset())
+	}
+	e.RunUntil(5 * sim.Second)
+	if s.Syncs() != 6 { // t=0,1,2,3,4,5
+		t.Fatalf("Syncs() = %d, want 6", s.Syncs())
+	}
+}
+
+func TestSyncStop(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := NewSystemClock(0)
+	s := StartSync(e, c, SyncConfig{Interval: sim.Second, Residual: sim.Constant{V: 7}}, e.Rand("ptp"))
+	e.RunUntil(2 * sim.Second)
+	s.Stop()
+	before := s.Syncs()
+	e.RunUntil(10 * sim.Second)
+	if s.Syncs() != before {
+		t.Fatalf("sync continued after Stop: %d -> %d", before, s.Syncs())
+	}
+}
+
+func TestPTPResidualScale(t *testing.T) {
+	// The paper's PTP setup synchronizes to within tens of nanoseconds;
+	// check the default residual honours that scale.
+	e := sim.NewEngine(2)
+	c := NewSystemClock(0)
+	StartSync(e, c, PTPDefault(), e.Rand("ptp"))
+	maxAbs := 0.0
+	for i := 0; i < 200; i++ {
+		e.RunFor(sim.Second)
+		if a := math.Abs(float64(c.Offset())); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		t.Fatal("PTP residual never nonzero")
+	}
+	if maxAbs > 100 {
+		t.Fatalf("PTP residual %v ns exceeds the tens-of-ns claim", maxAbs)
+	}
+}
+
+func TestNTPCoarserThanPTP(t *testing.T) {
+	if NTPDefault().Residual.(sim.Normal).Sigma <= PTPDefault().Residual.(sim.Normal).Sigma {
+		t.Fatal("NTP residual should be coarser than PTP")
+	}
+}
+
+func TestStartSyncDefaults(t *testing.T) {
+	e := sim.NewEngine(3)
+	c := NewSystemClock(99)
+	StartSync(e, c, SyncConfig{Interval: sim.Second}, e.Rand("x"))
+	e.RunUntil(0)
+	if c.Offset() != 0 {
+		t.Fatalf("nil residual should sync perfectly; offset = %v", c.Offset())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	StartSync(e, c, SyncConfig{}, e.Rand("y"))
+}

@@ -1,0 +1,113 @@
+package clock
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// This file models the actual IEEE 1588 two-step exchange (paper §2.2)
+// instead of an abstract residual: the client's post-sync offset
+// *emerges* from path-delay asymmetry and timestamping noise, exactly
+// the two error sources a real ptp_kvm + NIC chain has.
+//
+//	master            client
+//	  t1 --- Sync ----> t2        (follow-up carries precise t1)
+//	  t4 <-- DelayReq - t3
+//
+//	offset = ((t2 − t1) − (t4 − t3)) / 2
+//
+// With symmetric paths the estimate is exact; asymmetry ε shifts it by
+// ε/2, which is precisely the residual that survives synchronization.
+
+// ExchangeConfig parameterizes a two-step PTP client.
+type ExchangeConfig struct {
+	// Interval between Sync messages (default 1 s).
+	Interval sim.Duration
+	// PathDelay is the one-way network delay, sampled per message.
+	PathDelay sim.Dist
+	// Asymmetry is extra delay added only to the master→client
+	// direction (queueing imbalance); its half shows up as residual
+	// offset.
+	Asymmetry sim.Dist
+	// StampError is per-timestamp hardware quantization noise.
+	StampError sim.Dist
+}
+
+func (c ExchangeConfig) defaults() ExchangeConfig {
+	if c.Interval <= 0 {
+		c.Interval = sim.Second
+	}
+	if c.PathDelay == nil {
+		c.PathDelay = sim.Constant{V: 500}
+	}
+	if c.Asymmetry == nil {
+		c.Asymmetry = sim.Normal{Mu: 0, Sigma: 20}
+	}
+	if c.StampError == nil {
+		c.StampError = sim.Uniform{Lo: -4, Hi: 4}
+	}
+	return c
+}
+
+// PTPClient disciplines a SystemClock against the grandmaster (true
+// simulated time) through explicit message exchanges.
+type PTPClient struct {
+	cfg     ExchangeConfig
+	clock   *SystemClock
+	rng     *rand.Rand
+	stopped bool
+	rounds  uint64
+}
+
+// StartExchange begins the periodic two-step exchange on the engine.
+func StartExchange(e *sim.Engine, c *SystemClock, cfg ExchangeConfig, rng *rand.Rand) *PTPClient {
+	p := &PTPClient{cfg: cfg.defaults(), clock: c, rng: rng}
+	var round func()
+	round = func() {
+		if p.stopped {
+			return
+		}
+		p.exchange(e.Now())
+		p.rounds++
+		e.After(p.cfg.Interval, round)
+	}
+	e.After(0, round)
+	return p
+}
+
+// exchange performs one Sync/Delay-Req round at true time now and steps
+// the clock by the estimated offset.
+func (p *PTPClient) exchange(now sim.Time) {
+	sampleD := func() sim.Duration {
+		d := p.cfg.PathDelay.Sample(p.rng)
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+	stampErr := func() sim.Duration { return p.cfg.StampError.Sample(p.rng) }
+
+	trueOffset := p.clock.Offset()
+	dMS := sampleD() + p.cfg.Asymmetry.Sample(p.rng) // master → slave
+	dSM := sampleD()                                 // slave → master
+	if dMS < 0 {
+		dMS = 0
+	}
+
+	// All timestamps in each side's own clock. The master is the
+	// grandmaster: its clock equals true time.
+	t1 := now + stampErr()
+	t2 := now + dMS + trueOffset + stampErr() // client stamps in its clock
+	t3 := now + dMS + 1000 + trueOffset + stampErr()
+	t4 := now + dMS + 1000 + dSM + stampErr() // master stamps in true time
+
+	est := ((t2 - t1) - (t4 - t3)) / 2
+	p.clock.SetOffset(trueOffset - est)
+}
+
+// Rounds returns completed exchanges.
+func (p *PTPClient) Rounds() uint64 { return p.rounds }
+
+// Stop halts further exchanges.
+func (p *PTPClient) Stop() { p.stopped = true }

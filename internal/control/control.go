@@ -1,0 +1,269 @@
+// Package control implements Choir's control plane: the out-of-band
+// channel over which the user instructs middleboxes to record and replay
+// (paper §4, "all middleboxes are joined out-of-band for
+// inter-communication and receiving user commands").
+//
+// Commands have a compact binary wire format so they can also be carried
+// in-band as control packets, the resource-saving configuration the
+// paper's evaluations use.
+package control
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Command is a control-plane instruction.
+type Command interface {
+	// kind returns the wire-format discriminator.
+	kind() uint8
+	fmt.Stringer
+}
+
+// Wire-format discriminators.
+const (
+	kindStartRecord  = 1
+	kindStopRecord   = 2
+	kindStartReplay  = 3
+	kindStatus       = 4
+	kindPauseReplay  = 5
+	kindResumeReplay = 6
+)
+
+// StartRecord instructs a middlebox to begin recording forwarded traffic
+// at the given wall-clock time.
+type StartRecord struct {
+	// At is the wall-clock start time.
+	At sim.Time
+	// MaxPackets bounds the recording buffer (RAM is the primary
+	// restriction, §5); 0 means unbounded.
+	MaxPackets uint64
+	// Rolling keeps the most recent MaxPackets instead of stopping at
+	// the bound — the circular-buffer mode the paper lists as future
+	// work ("future work can add recording in a rolling manner", §4).
+	Rolling bool
+}
+
+func (StartRecord) kind() uint8 { return kindStartRecord }
+func (c StartRecord) String() string {
+	mode := ""
+	if c.Rolling {
+		mode = ", rolling"
+	}
+	return fmt.Sprintf("start-record(at=%v, max=%d%s)", c.At, c.MaxPackets, mode)
+}
+
+// StopRecord instructs a middlebox to stop recording at the given
+// wall-clock time.
+type StopRecord struct {
+	At sim.Time
+}
+
+func (StopRecord) kind() uint8      { return kindStopRecord }
+func (c StopRecord) String() string { return fmt.Sprintf("stop-record(at=%v)", c.At) }
+
+// StartReplay instructs a middlebox to replay its recording, aligning
+// the first recorded burst with the given future wall-clock time.
+type StartReplay struct {
+	At sim.Time
+}
+
+func (StartReplay) kind() uint8      { return kindStartReplay }
+func (c StartReplay) String() string { return fmt.Sprintf("start-replay(at=%v)", c.At) }
+
+// PauseReplay suspends an in-progress replay: bursts not yet
+// transmitted are held. Together with ResumeReplay this is the
+// breakpointing primitive the paper's introduction motivates.
+type PauseReplay struct{}
+
+func (PauseReplay) kind() uint8    { return kindPauseReplay }
+func (PauseReplay) String() string { return "pause-replay" }
+
+// ResumeReplay resumes a paused replay at the given wall-clock time;
+// remaining bursts keep their recorded relative spacing.
+type ResumeReplay struct {
+	At sim.Time
+}
+
+func (ResumeReplay) kind() uint8      { return kindResumeReplay }
+func (c ResumeReplay) String() string { return fmt.Sprintf("resume-replay(at=%v)", c.At) }
+
+// Status is a middlebox's report back to the controller.
+type Status struct {
+	// Recorded is the number of packets currently held in the replay
+	// buffer.
+	Recorded uint64
+	// Replaying reports whether a replay is in progress.
+	Replaying bool
+}
+
+func (Status) kind() uint8 { return kindStatus }
+func (c Status) String() string {
+	return fmt.Sprintf("status(recorded=%d, replaying=%v)", c.Recorded, c.Replaying)
+}
+
+// Marshal encodes a command into its wire form.
+func Marshal(c Command) []byte {
+	buf := []byte{c.kind()}
+	switch v := c.(type) {
+	case StartRecord:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.At))
+		buf = binary.BigEndian.AppendUint64(buf, v.MaxPackets)
+		if v.Rolling {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case StopRecord:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.At))
+	case StartReplay:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.At))
+	case PauseReplay:
+		// No payload.
+	case ResumeReplay:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.At))
+	case Status:
+		buf = binary.BigEndian.AppendUint64(buf, v.Recorded)
+		if v.Replaying {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	default:
+		panic(fmt.Sprintf("control: unknown command %T", c))
+	}
+	return buf
+}
+
+// Unmarshal decodes a wire-form command.
+func Unmarshal(b []byte) (Command, error) {
+	if len(b) == 0 {
+		return nil, errors.New("control: empty message")
+	}
+	need := func(n int) error {
+		if len(b)-1 < n {
+			return fmt.Errorf("control: message kind %d truncated: %d bytes", b[0], len(b))
+		}
+		return nil
+	}
+	switch b[0] {
+	case kindStartRecord:
+		if err := need(17); err != nil {
+			return nil, err
+		}
+		return StartRecord{
+			At:         sim.Time(binary.BigEndian.Uint64(b[1:9])),
+			MaxPackets: binary.BigEndian.Uint64(b[9:17]),
+			Rolling:    b[17] != 0,
+		}, nil
+	case kindStopRecord:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		return StopRecord{At: sim.Time(binary.BigEndian.Uint64(b[1:9]))}, nil
+	case kindStartReplay:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		return StartReplay{At: sim.Time(binary.BigEndian.Uint64(b[1:9]))}, nil
+	case kindPauseReplay:
+		return PauseReplay{}, nil
+	case kindResumeReplay:
+		if err := need(8); err != nil {
+			return nil, err
+		}
+		return ResumeReplay{At: sim.Time(binary.BigEndian.Uint64(b[1:9]))}, nil
+	case kindStatus:
+		if err := need(9); err != nil {
+			return nil, err
+		}
+		return Status{
+			Recorded:  binary.BigEndian.Uint64(b[1:9]),
+			Replaying: b[9] != 0,
+		}, nil
+	default:
+		return nil, fmt.Errorf("control: unknown command kind %d", b[0])
+	}
+}
+
+// Handler consumes commands delivered by a Bus.
+type Handler interface {
+	HandleCommand(cmd Command, at sim.Time)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(cmd Command, at sim.Time)
+
+// HandleCommand implements Handler.
+func (f HandlerFunc) HandleCommand(cmd Command, at sim.Time) { f(cmd, at) }
+
+// Bus is the out-of-band control network: command delivery with a
+// sampled latency, independent of the experimental data plane.
+type Bus struct {
+	eng     *sim.Engine
+	latency sim.Dist
+	rng     *rand.Rand
+	sent    uint64
+}
+
+// NewBus creates a bus whose deliveries take latency (nil means
+// instantaneous).
+func NewBus(eng *sim.Engine, latency sim.Dist) *Bus {
+	return &Bus{eng: eng, latency: latency, rng: eng.Rand("control-bus")}
+}
+
+// Send marshals, "transmits" and delivers the command to the handler
+// after the bus latency. The round trip through the wire format keeps
+// the in-band and out-of-band paths identical.
+func (b *Bus) Send(to Handler, cmd Command) {
+	raw := Marshal(cmd)
+	var d sim.Duration
+	if b.latency != nil {
+		if d = b.latency.Sample(b.rng); d < 0 {
+			d = 0
+		}
+	}
+	b.sent++
+	b.eng.After(d, func() {
+		decoded, err := Unmarshal(raw)
+		if err != nil {
+			panic(fmt.Sprintf("control: self-marshalled command failed to decode: %v", err))
+		}
+		to.HandleCommand(decoded, b.eng.Now())
+	})
+}
+
+// Sent returns the number of commands sent on the bus.
+func (b *Bus) Sent() uint64 { return b.sent }
+
+// InBandFrameLen is the frame size used for in-band control packets —
+// small, but large enough for every command plus headers and trailer.
+const InBandFrameLen = 128
+
+// inBandSeq distinguishes successive in-band control frames' tags.
+var inBandSeq uint64
+
+// InBandPacket wraps a command into a control frame ready to transmit
+// on the experimental data plane ("the program ... can run with just
+// the 2 bridged interfaces if the control signals run in-band", §5).
+// The receiving middlebox recognizes the control port, executes the
+// command, and does not forward the frame.
+func InBandPacket(cmd Command, src, dst packet.IPv4) *packet.Packet {
+	inBandSeq++
+	return &packet.Packet{
+		Tag:      packet.Tag{Replayer: 0xFFFD, Seq: inBandSeq},
+		Kind:     packet.KindControl,
+		FrameLen: InBandFrameLen,
+		Flow: packet.FiveTuple{
+			Src: src, Dst: dst,
+			SrcPort: packet.ControlPort, DstPort: packet.ControlPort,
+			Proto: packet.ProtoUDP,
+		},
+		Control: Marshal(cmd),
+	}
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Recorder is the capture node at the end of the topology (dpdkcap in
+// the paper's artifact): it timestamps every arriving frame with its
+// NIC's timestamping discipline and accumulates a trace per trial.
+type Recorder struct {
+	eng       *sim.Engine
+	ts        nic.Timestamper
+	rng       *rand.Rand
+	tr        *trace.Trace
+	last      sim.Time
+	dataOnly  bool
+	received  uint64
+	discarded uint64
+}
+
+// NewRecorder creates a recorder using the given timestamper. When
+// dataOnly is true, noise/control/invalid frames are counted but not
+// captured — the tag filter the paper's analysis applies.
+func NewRecorder(eng *sim.Engine, label string, ts nic.Timestamper, dataOnly bool) *Recorder {
+	if ts == nil {
+		ts = nic.PerfectTimestamper{}
+	}
+	return &Recorder{
+		eng:      eng,
+		ts:       ts,
+		rng:      eng.Rand("recorder/" + label),
+		tr:       trace.New(label, 1024),
+		dataOnly: dataOnly,
+	}
+}
+
+// Receive implements nic.Endpoint.
+func (r *Recorder) Receive(p *packet.Packet, wire sim.Time) {
+	r.received++
+	if r.dataOnly && p.Kind != packet.KindData {
+		r.discarded++
+		return
+	}
+	st := r.ts.Stamp(wire, r.rng)
+	// Capture stacks report monotone timestamps even when hardware
+	// clock sampling jitters across adjacent frames.
+	if st < r.last {
+		st = r.last
+	}
+	r.last = st
+	r.tr.Append(p, st)
+}
+
+// StartTrial begins a fresh capture named name; the previous trace is
+// returned.
+func (r *Recorder) StartTrial(name string) *trace.Trace {
+	prev := r.tr
+	r.tr = trace.New(name, prev.Len()+1024)
+	r.last = 0
+	return prev
+}
+
+// Trace returns the in-progress capture.
+func (r *Recorder) Trace() *trace.Trace { return r.tr }
+
+// Received returns total frames seen (including discarded noise).
+func (r *Recorder) Received() uint64 { return r.received }
+
+// Discarded returns non-data frames dropped by the tag filter.
+func (r *Recorder) Discarded() uint64 { return r.discarded }

@@ -1,0 +1,181 @@
+// Package debug builds the interactive debugging primitives the paper
+// motivates Choir with ("a foundation for more interactive debugging
+// primitives, such as breakpointing and backtracing", §1):
+//
+//   - Backtracer maps a packet observed anywhere in the network back to
+//     its recorded burst in a Choir middlebox, with its original TSC
+//     time and in-burst neighbours.
+//   - Watcher is a transparent tap with a breakpoint predicate: when a
+//     matching packet passes, it snapshots a window of traffic around
+//     the hit without perturbing forwarding.
+package debug
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Origin locates a packet inside a middlebox recording.
+type Origin struct {
+	// BurstIndex is the burst's position in the replay buffer.
+	BurstIndex int
+	// PositionInBurst is the packet's index within the burst.
+	PositionInBurst int
+	// BurstTSC is the burst's recorded transmission TSC value.
+	BurstTSC uint64
+	// Before and After are the tags of the in-burst neighbours
+	// (zero-value tags at burst edges).
+	Before, After packet.Tag
+}
+
+// String renders the origin.
+func (o Origin) String() string {
+	return fmt.Sprintf("burst %d[%d] @TSC %d", o.BurstIndex, o.PositionInBurst, o.BurstTSC)
+}
+
+// Backtracer indexes a middlebox recording by tag for O(1) origin
+// lookups.
+type Backtracer struct {
+	bursts []core.BurstInfo
+	index  map[packet.Tag]Origin
+}
+
+// NewBacktracer snapshots the middlebox's current recording. Build a
+// new one after re-recording.
+func NewBacktracer(mb *core.Middlebox) *Backtracer {
+	bursts := mb.Recording()
+	bt := &Backtracer{bursts: bursts, index: make(map[packet.Tag]Origin)}
+	for bi, b := range bursts {
+		for pi, p := range b.Packets {
+			o := Origin{BurstIndex: bi, PositionInBurst: pi, BurstTSC: b.TSC}
+			if pi > 0 {
+				o.Before = b.Packets[pi-1].Tag
+			}
+			if pi+1 < len(b.Packets) {
+				o.After = b.Packets[pi+1].Tag
+			}
+			bt.index[p.Tag] = o
+		}
+	}
+	return bt
+}
+
+// Trace looks up where a tag was recorded; ok is false for packets not
+// in the recording (noise, drops before the middlebox, foreign tags).
+func (bt *Backtracer) Trace(tag packet.Tag) (Origin, bool) {
+	o, ok := bt.index[tag]
+	return o, ok
+}
+
+// Packets returns the total indexed packet count.
+func (bt *Backtracer) Packets() int { return len(bt.index) }
+
+// Hit is one breakpoint firing: the matching packet plus the window of
+// traffic captured around it.
+type Hit struct {
+	// Packet is the frame that matched.
+	Packet *packet.Packet
+	// At is the arrival time of the match.
+	At sim.Time
+	// Before holds up to Window packets preceding the match, oldest
+	// first; After holds the Window packets following it.
+	Before, After []*packet.Packet
+}
+
+// Watcher is a transparent tap (nic.Endpoint) with a breakpoint
+// predicate. Insert it between a queue and its destination; forwarding
+// is unmodified.
+type Watcher struct {
+	// Next receives every packet unchanged; nil discards.
+	Next nic.Endpoint
+	// Match is the breakpoint predicate.
+	Match func(p *packet.Packet, at sim.Time) bool
+	// Window is the number of packets captured on each side of a hit
+	// (default 8).
+	Window int
+	// OnHit is invoked when a hit's post-window completes.
+	OnHit func(Hit)
+	// MaxHits disarms the watcher after this many hits (0 = unlimited).
+	MaxHits int
+
+	ring    []*packet.Packet
+	pending []*pendingHit
+	hits    []Hit
+	armed   bool
+	started bool
+}
+
+type pendingHit struct {
+	hit  Hit
+	need int
+}
+
+// Hits returns completed hits so far.
+func (w *Watcher) Hits() []Hit { return w.hits }
+
+// Receive implements nic.Endpoint.
+func (w *Watcher) Receive(p *packet.Packet, at sim.Time) {
+	if !w.started {
+		w.started = true
+		w.armed = true
+	}
+	window := w.Window
+	if window <= 0 {
+		window = 8
+	}
+
+	// Complete pending post-windows.
+	remaining := w.pending[:0]
+	for _, ph := range w.pending {
+		ph.hit.After = append(ph.hit.After, p)
+		ph.need--
+		if ph.need == 0 {
+			w.finish(ph.hit)
+		} else {
+			remaining = append(remaining, ph)
+		}
+	}
+	w.pending = remaining
+
+	if w.armed && w.Match != nil && w.Match(p, at) {
+		before := make([]*packet.Packet, len(w.ring))
+		copy(before, w.ring)
+		w.pending = append(w.pending, &pendingHit{
+			hit:  Hit{Packet: p, At: at, Before: before},
+			need: window,
+		})
+		if w.MaxHits > 0 && len(w.hits)+len(w.pending) >= w.MaxHits {
+			w.armed = false
+		}
+	}
+
+	// Maintain the pre-window ring.
+	w.ring = append(w.ring, p)
+	if len(w.ring) > window {
+		w.ring = w.ring[1:]
+	}
+
+	if w.Next != nil {
+		w.Next.Receive(p, at)
+	}
+}
+
+// Flush completes pending hits whose post-window will never fill (end
+// of experiment).
+func (w *Watcher) Flush() {
+	for _, ph := range w.pending {
+		w.finish(ph.hit)
+	}
+	w.pending = nil
+}
+
+func (w *Watcher) finish(h Hit) {
+	w.hits = append(w.hits, h)
+	if w.OnHit != nil {
+		w.OnHit(h)
+	}
+}

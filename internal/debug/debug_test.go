@@ -1,0 +1,192 @@
+package debug
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// buildRecording produces a middlebox with n recorded packets.
+func buildRecording(t *testing.T, n int) *core.Middlebox {
+	t.Helper()
+	e := sim.NewEngine(1)
+	perfect := nic.Profile{Name: "perfect", LineRateBps: packet.Gbps(100)}
+	genQ := nic.New(e, perfect, "gen").NewQueue(0)
+	mbQ := nic.New(e, perfect, "mb").NewQueue(0)
+	mb := core.New(e, core.Config{
+		ID: 1, TSC: clock.NewTSC(2.5e9, 0, 0), Wall: clock.NewSystemClock(0), Out: mbQ,
+	})
+	genQ.Connect(mb, 0)
+	rec := core.NewRecorder(e, "A", nic.PerfectTimestamper{}, true)
+	mbQ.Connect(rec, 0)
+	bus := control.NewBus(e, nil)
+	bus.Send(mb, control.StartRecord{At: 0})
+	gen.StartCBR(e, genQ, gen.CBRConfig{
+		RateBps: packet.Gbps(40), FrameLen: 1400, Count: n,
+		Flow: packet.FiveTuple{Src: packet.IPForNode(1), Dst: packet.IPForNode(2), Proto: packet.ProtoUDP},
+	})
+	e.Run()
+	if got := int(mb.Recorded()); got != n {
+		t.Fatalf("recorded %d, want %d", got, n)
+	}
+	return mb
+}
+
+func TestBacktracerFindsEveryPacket(t *testing.T) {
+	mb := buildRecording(t, 1000)
+	bt := NewBacktracer(mb)
+	if bt.Packets() != 1000 {
+		t.Fatalf("indexed %d packets", bt.Packets())
+	}
+	for seq := uint64(0); seq < 1000; seq += 97 {
+		o, ok := bt.Trace(packet.Tag{Replayer: 1, Seq: seq})
+		if !ok {
+			t.Fatalf("packet %d not found", seq)
+		}
+		if o.String() == "" {
+			t.Fatal("empty origin string")
+		}
+	}
+}
+
+func TestBacktracerNeighbours(t *testing.T) {
+	mb := buildRecording(t, 200)
+	bt := NewBacktracer(mb)
+	bursts := mb.Recording()
+	// A mid-burst packet has both neighbours; check against the burst
+	// layout itself.
+	b0 := bursts[0]
+	if len(b0.Packets) < 3 {
+		t.Skip("first burst too small")
+	}
+	mid := b0.Packets[1]
+	o, ok := bt.Trace(mid.Tag)
+	if !ok {
+		t.Fatal("mid packet not found")
+	}
+	if o.Before != b0.Packets[0].Tag || o.After != b0.Packets[2].Tag {
+		t.Fatalf("neighbours wrong: %+v", o)
+	}
+	if o.BurstTSC != b0.TSC {
+		t.Fatalf("TSC %d, want %d", o.BurstTSC, b0.TSC)
+	}
+}
+
+func TestBacktracerUnknownTag(t *testing.T) {
+	mb := buildRecording(t, 10)
+	bt := NewBacktracer(mb)
+	if _, ok := bt.Trace(packet.Tag{Replayer: 9, Seq: 1}); ok {
+		t.Fatal("foreign tag resolved")
+	}
+}
+
+// feed pushes n data packets through a watcher.
+func feed(w *Watcher, n int) {
+	for i := 0; i < n; i++ {
+		w.Receive(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 100}, sim.Time(i)*100)
+	}
+}
+
+func TestWatcherCapturesWindow(t *testing.T) {
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq == 50 },
+		Window: 4,
+	}
+	feed(w, 100)
+	hits := w.Hits()
+	if len(hits) != 1 {
+		t.Fatalf("%d hits, want 1", len(hits))
+	}
+	h := hits[0]
+	if h.Packet.Tag.Seq != 50 {
+		t.Fatalf("hit packet %v", h.Packet.Tag)
+	}
+	if len(h.Before) != 4 || len(h.After) != 4 {
+		t.Fatalf("window sizes %d/%d", len(h.Before), len(h.After))
+	}
+	if h.Before[0].Tag.Seq != 46 || h.Before[3].Tag.Seq != 49 {
+		t.Fatalf("pre-window wrong: %v..%v", h.Before[0].Tag, h.Before[3].Tag)
+	}
+	if h.After[0].Tag.Seq != 51 || h.After[3].Tag.Seq != 54 {
+		t.Fatalf("post-window wrong: %v..%v", h.After[0].Tag, h.After[3].Tag)
+	}
+}
+
+func TestWatcherForwardsTransparently(t *testing.T) {
+	var forwarded int
+	w := &Watcher{
+		Next:  endpointFunc(func(*packet.Packet, sim.Time) { forwarded++ }),
+		Match: func(p *packet.Packet, _ sim.Time) bool { return false },
+	}
+	feed(w, 50)
+	if forwarded != 50 {
+		t.Fatalf("forwarded %d, want 50", forwarded)
+	}
+}
+
+func TestWatcherMaxHitsDisarms(t *testing.T) {
+	w := &Watcher{
+		Match:   func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq%10 == 0 },
+		Window:  2,
+		MaxHits: 2,
+	}
+	feed(w, 100)
+	if len(w.Hits()) != 2 {
+		t.Fatalf("%d hits, want 2 (MaxHits)", len(w.Hits()))
+	}
+}
+
+func TestWatcherOnHitCallback(t *testing.T) {
+	called := 0
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq == 5 },
+		Window: 2,
+		OnHit:  func(Hit) { called++ },
+	}
+	feed(w, 20)
+	if called != 1 {
+		t.Fatalf("OnHit called %d times", called)
+	}
+}
+
+func TestWatcherFlushCompletesTail(t *testing.T) {
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq == 98 },
+		Window: 8,
+	}
+	feed(w, 100) // only 1 packet after the hit
+	if len(w.Hits()) != 0 {
+		t.Fatal("hit completed without enough post-window packets")
+	}
+	w.Flush()
+	if len(w.Hits()) != 1 {
+		t.Fatalf("Flush left %d hits", len(w.Hits()))
+	}
+	if got := len(w.Hits()[0].After); got != 1 {
+		t.Fatalf("flushed post-window has %d packets, want 1", got)
+	}
+}
+
+func TestWatcherPreWindowShortAtStart(t *testing.T) {
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq == 1 },
+		Window: 8,
+	}
+	feed(w, 20)
+	if len(w.Hits()) != 1 {
+		t.Fatalf("%d hits", len(w.Hits()))
+	}
+	if got := len(w.Hits()[0].Before); got != 1 {
+		t.Fatalf("pre-window at trace start has %d packets, want 1", got)
+	}
+}
+
+type endpointFunc func(*packet.Packet, sim.Time)
+
+func (f endpointFunc) Receive(p *packet.Packet, t sim.Time) { f(p, t) }

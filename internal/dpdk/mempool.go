@@ -1,0 +1,87 @@
+// Package dpdk models the DPDK runtime facilities Choir sits on (paper
+// §2.3/§5): fixed-size message-buffer (mbuf) pools allocated from
+// hugepage memory. Packets received by the NIC occupy mbufs until
+// software frees them; Choir's zero-copy recording works by simply not
+// freeing the mbufs of forwarded packets — which is why RAM is the
+// tool's primary restriction and why the program "can run with a
+// minimum of 1 GB".
+//
+// The pool makes that constraint mechanical: when a recording pins all
+// buffers, the receive path has nothing to allocate from and drops on
+// the floor, exactly like rte_pktmbuf_alloc failing.
+package dpdk
+
+import (
+	"fmt"
+)
+
+// MbufSize is the default buffer size (rte_mbuf default dataroom plus
+// headroom, rounded): one buffer holds one frame up to ~2 KB.
+const MbufSize = 2048
+
+// MemPool is a fixed-capacity buffer pool.
+type MemPool struct {
+	name     string
+	capacity int
+	inUse    int
+	failed   uint64
+	peak     int
+}
+
+// NewMemPool creates a pool with the given total memory budget; the
+// capacity in buffers is budgetBytes / MbufSize.
+func NewMemPool(name string, budgetBytes int64) *MemPool {
+	cap := int(budgetBytes / MbufSize)
+	if cap < 1 {
+		panic(fmt.Sprintf("dpdk: pool %q budget %d too small for a single mbuf", name, budgetBytes))
+	}
+	return &MemPool{name: name, capacity: cap}
+}
+
+// Capacity returns the pool size in buffers.
+func (p *MemPool) Capacity() int { return p.capacity }
+
+// InUse returns currently allocated buffers.
+func (p *MemPool) InUse() int { return p.inUse }
+
+// Available returns free buffers.
+func (p *MemPool) Available() int { return p.capacity - p.inUse }
+
+// AllocFailures counts allocation attempts that found the pool empty.
+func (p *MemPool) AllocFailures() uint64 { return p.failed }
+
+// Peak returns the high-water mark of buffers in use.
+func (p *MemPool) Peak() int { return p.peak }
+
+// Alloc claims n buffers; it reports how many were actually granted
+// (all-or-nothing per buffer, like a burst of rte_pktmbuf_alloc calls).
+func (p *MemPool) Alloc(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	granted := n
+	if avail := p.capacity - p.inUse; granted > avail {
+		p.failed += uint64(granted - avail)
+		granted = avail
+	}
+	p.inUse += granted
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return granted
+}
+
+// Free returns n buffers to the pool. Freeing more than allocated
+// panics: it is a double-free bug in the caller.
+func (p *MemPool) Free(n int) {
+	if n < 0 || n > p.inUse {
+		panic(fmt.Sprintf("dpdk: pool %q double free (%d freed, %d in use)", p.name, n, p.inUse))
+	}
+	p.inUse -= n
+}
+
+// String summarizes the pool.
+func (p *MemPool) String() string {
+	return fmt.Sprintf("mempool %q: %d/%d in use (peak %d, %d alloc failures)",
+		p.name, p.inUse, p.capacity, p.peak, p.failed)
+}

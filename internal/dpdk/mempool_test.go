@@ -1,0 +1,89 @@
+package dpdk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolBasics(t *testing.T) {
+	p := NewMemPool("t", 10*MbufSize)
+	if p.Capacity() != 10 || p.Available() != 10 {
+		t.Fatalf("capacity %d available %d", p.Capacity(), p.Available())
+	}
+	if got := p.Alloc(4); got != 4 {
+		t.Fatalf("Alloc(4) = %d", got)
+	}
+	if p.InUse() != 4 || p.Available() != 6 {
+		t.Fatalf("in use %d", p.InUse())
+	}
+	p.Free(2)
+	if p.InUse() != 2 {
+		t.Fatalf("in use %d after free", p.InUse())
+	}
+	if p.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestPoolExhaustionPartialGrant(t *testing.T) {
+	p := NewMemPool("t", 5*MbufSize)
+	if got := p.Alloc(8); got != 5 {
+		t.Fatalf("Alloc(8) on 5-cap pool = %d", got)
+	}
+	if p.AllocFailures() != 3 {
+		t.Fatalf("failures %d, want 3", p.AllocFailures())
+	}
+	if p.Alloc(1) != 0 {
+		t.Fatal("empty pool granted a buffer")
+	}
+	if p.Peak() != 5 {
+		t.Fatalf("peak %d", p.Peak())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewMemPool("t", 2*MbufSize)
+	p.Alloc(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not caught")
+		}
+	}()
+	p.Free(2)
+}
+
+func TestPoolTinyBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sub-mbuf budget accepted")
+		}
+	}()
+	NewMemPool("t", MbufSize-1)
+}
+
+func TestQuickPoolConservation(t *testing.T) {
+	f := func(ops []int8) bool {
+		p := NewMemPool("q", 64*MbufSize)
+		for _, op := range ops {
+			if op >= 0 {
+				p.Alloc(int(op))
+			} else {
+				n := -int(op) // negate after widening: int8(-128) is its own negation
+				if n > p.InUse() {
+					n = p.InUse()
+				}
+				p.Free(n)
+			}
+			if p.InUse() < 0 || p.InUse() > p.Capacity() {
+				return false
+			}
+			if p.InUse()+p.Available() != p.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

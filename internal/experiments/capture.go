@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsw"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// ReplayCapture replays a user-supplied capture (e.g. loaded from a
+// pcap file) through an environment's replayer NIC and switch, running
+// cfg.Runs trials and scoring them against the first — "how consistent
+// would this testbed be replaying *my* traffic?".
+//
+// The capture's packets must be tagged data packets (apply
+// Trace.DataOnly first when loading foreign captures); the recorded
+// inter-arrival timeline is replayed with Choir's burst strategy.
+func ReplayCapture(env testbed.Env, tr *trace.Trace, cfg TrialConfig) (*RunResult, error) {
+	cfg = cfg.defaults()
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("experiments: capture is empty")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: capture: %w", err)
+	}
+	src := tr.Normalize()
+	res := &RunResult{Env: env, Recorded: uint64(src.Len())}
+
+	span := src.Span()
+	for r := 0; r < cfg.Runs; r++ {
+		eng := sim.NewEngine(cfg.Seed + int64(r)*104729)
+		n := nic.New(eng, env.ReplayerNIC, "capture-replayer")
+		q := n.NewQueue(env.ReplayerQueuePkts)
+		sw := netsw.New(eng, env.Switch, "capture")
+		sw.AddPort()
+		sw.AddPort()
+		rec := core.NewRecorder(eng, RunNames[r], env.RecorderTimestamper(), true)
+		q.Connect(sw.Port(0), 50)
+		sw.Forward(0, 1)
+		sw.Port(1).Attach(rec, 50)
+
+		(&baseline.Choir{}).Replay(eng, q, src, 10*sim.Millisecond)
+		eng.RunUntil(10*sim.Millisecond + span + 60*sim.Millisecond)
+
+		clean := rec.Trace().DataOnly().Normalize()
+		clean.Name = RunNames[r]
+		if err := clean.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: capture run %s: %w", RunNames[r], err)
+		}
+		res.Traces = append(res.Traces, clean)
+	}
+
+	for i := 1; i < len(res.Traces); i++ {
+		m, err := metrics.Compare(res.Traces[0], res.Traces[i], metrics.Options{KeepDeltas: cfg.KeepDeltas})
+		if err != nil {
+			return nil, err
+		}
+		res.Results = append(res.Results, m)
+		res.Missing = append(res.Missing, src.Len()-res.Traces[i].Len())
+	}
+	res.Mean = metrics.Mean(res.Results)
+	return res, nil
+}

@@ -1,0 +1,177 @@
+// Package experiments drives the paper's evaluation protocol end to end:
+// build a topology, record a 0.3 s window of generator traffic, run five
+// replay trials (A–E), capture each at the recorder, and compare trials
+// B–E against baseline A with the §3 consistency metrics.
+//
+// Every table and figure in the paper maps to one harness in this
+// package; see DESIGN.md §4 for the index.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/control"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// TrialConfig scales an experiment.
+type TrialConfig struct {
+	// Packets is the total recorded packet count across all streams.
+	// The paper's full scale is ~1.05M (0.3 s at 40 Gbps); scaled-down
+	// runs preserve the metric shapes at a fraction of the runtime.
+	Packets int
+	// Runs is the number of replay trials (paper: 5 → A..E).
+	Runs int
+	// Seed drives every random stream in the simulation.
+	Seed int64
+	// KeepDeltas retains per-packet deltas for histograms.
+	KeepDeltas bool
+}
+
+// DefaultScale is the scaled-down per-experiment packet count used by
+// tests and benches.
+const DefaultScale = 120_000
+
+// Defaults fills zero fields.
+func (c TrialConfig) defaults() TrialConfig {
+	if c.Packets == 0 {
+		c.Packets = DefaultScale
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RunNames labels trials the way the paper does.
+var RunNames = []string{"A", "B", "C", "D", "E", "F", "G", "H"}
+
+// RunResult is the outcome of one environment's trial set.
+type RunResult struct {
+	Env testbed.Env
+	// Traces are the captured trials (normalized, data-only), index 0
+	// is baseline run A.
+	Traces []*trace.Trace
+	// Results[i] compares Traces[i+1] (run B..) against Traces[0].
+	Results []*metrics.Result
+	// Mean aggregates Results — one Table 2 row.
+	Mean metrics.MeanResult
+	// Recorded is the replay buffer size (packets, summed over
+	// middleboxes).
+	Recorded uint64
+	// Missing[i] counts packets absent from trial i+1 relative to the
+	// recording (drops).
+	Missing []int
+}
+
+// Run executes the full protocol for one environment.
+func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
+	cfg = cfg.defaults()
+	eng := sim.NewEngine(cfg.Seed)
+	top := testbed.Build(eng, env)
+
+	perStream := cfg.Packets / env.Replayers
+	streamRate := env.RateGbps / float64(env.Replayers)
+	recordDur := sim.Duration(float64(perStream) / (streamRate * 1e9 / float64((env.FrameLen+20)*8)) * 1e9)
+	slack := 60 * sim.Millisecond
+
+	// --- record phase ---
+	top.Broadcast(control.StartRecord{At: top.WallNow() + sim.Millisecond})
+	top.StartGenerators(perStream, 2*sim.Millisecond)
+	eng.RunUntil(2*sim.Millisecond + recordDur + slack)
+	top.Broadcast(control.StopRecord{At: top.WallNow()})
+	eng.RunUntil(eng.Now() + sim.Millisecond)
+
+	res := &RunResult{Env: env}
+	for _, mb := range top.Middleboxes {
+		res.Recorded += mb.Recorded()
+	}
+	if res.Recorded == 0 {
+		return nil, fmt.Errorf("experiments: %s recorded nothing", env.Name)
+	}
+
+	// --- replay trials ---
+	var raw []*trace.Trace
+	for r := 0; r < cfg.Runs; r++ {
+		top.Recorder.StartTrial(RunNames[r])
+		if env.Noise {
+			top.StartNoise(eng.Now() + recordDur + 3*slack)
+		}
+		start := top.WallNow() + 20*sim.Millisecond
+		top.Broadcast(control.StartReplay{At: start})
+		eng.RunUntil(start + recordDur + 2*slack)
+		raw = append(raw, top.Recorder.StartTrial("scratch"))
+	}
+
+	for i, tr := range raw {
+		tr.Name = RunNames[i]
+		clean := tr.DataOnly().Normalize()
+		if err := clean.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %s run %s: %w", env.Name, tr.Name, err)
+		}
+		res.Traces = append(res.Traces, clean)
+	}
+
+	for i := 1; i < len(res.Traces); i++ {
+		r, err := metrics.Compare(res.Traces[0], res.Traces[i], metrics.Options{KeepDeltas: cfg.KeepDeltas})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s comparing run %s: %w", env.Name, RunNames[i], err)
+		}
+		res.Results = append(res.Results, r)
+		res.Missing = append(res.Missing, int(res.Recorded)-res.Traces[i].Len())
+	}
+	res.Mean = metrics.Mean(res.Results)
+	return res, nil
+}
+
+// Summary is the machine-readable form of a RunResult, suitable for
+// JSON export and downstream tooling.
+type Summary struct {
+	Environment string       `json:"environment"`
+	Recorded    uint64       `json:"recorded_packets"`
+	Runs        []RunSummary `json:"runs"`
+	Mean        MeanSummary  `json:"mean"`
+}
+
+// RunSummary is one trial's metric vector.
+type RunSummary struct {
+	Run            string  `json:"run"`
+	U              float64 `json:"u"`
+	O              float64 `json:"o"`
+	I              float64 `json:"i"`
+	L              float64 `json:"l"`
+	Kappa          float64 `json:"kappa"`
+	PctIATWithin10 float64 `json:"pct_iat_within_10ns"`
+	Missing        int     `json:"missing_packets"`
+}
+
+// MeanSummary aggregates the runs.
+type MeanSummary struct {
+	U     float64 `json:"u"`
+	O     float64 `json:"o"`
+	I     float64 `json:"i"`
+	L     float64 `json:"l"`
+	Kappa float64 `json:"kappa"`
+}
+
+// Summary converts the result for export.
+func (r *RunResult) Summary() Summary {
+	s := Summary{
+		Environment: r.Env.Name,
+		Recorded:    r.Recorded,
+		Mean:        MeanSummary{U: r.Mean.U, O: r.Mean.O, I: r.Mean.I, L: r.Mean.L, Kappa: r.Mean.Kappa},
+	}
+	for i, m := range r.Results {
+		s.Runs = append(s.Runs, RunSummary{
+			Run: RunNames[i+1], U: m.U, O: m.O, I: m.I, L: m.L,
+			Kappa: m.Kappa, PctIATWithin10: m.PctIATWithin10, Missing: r.Missing[i],
+		})
+	}
+	return s
+}

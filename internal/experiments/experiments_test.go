@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// small keeps unit-test runtime modest while exercising the full
+// protocol.
+var small = TrialConfig{Packets: 8000, Runs: 3, Seed: 7}
+
+func TestRunLocalSingleShape(t *testing.T) {
+	res, err := Run(testbed.LocalSingle(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorded != 8000 {
+		t.Fatalf("recorded %d, want 8000", res.Recorded)
+	}
+	if len(res.Traces) != 3 || len(res.Results) != 2 {
+		t.Fatalf("traces=%d results=%d", len(res.Traces), len(res.Results))
+	}
+	for i, r := range res.Results {
+		if r.U != 0 {
+			t.Fatalf("run %d: local testbed dropped packets (U=%v)", i, r.U)
+		}
+		if r.O != 0 {
+			t.Fatalf("run %d: local single-replayer reordered (O=%v)", i, r.O)
+		}
+		if r.Kappa < 0.96 {
+			t.Fatalf("run %d: local κ=%v, expected near-perfect consistency", i, r.Kappa)
+		}
+	}
+	if res.Mean.Runs != 2 {
+		t.Fatalf("mean over %d runs", res.Mean.Runs)
+	}
+}
+
+func TestRunDualProducesReordering(t *testing.T) {
+	res, err := Run(testbed.LocalDual(), TrialConfig{Packets: 20000, Runs: 2, Seed: 3, KeepDeltas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Results[0]
+	if r.O == 0 {
+		t.Fatal("dual-replayer run showed no reordering")
+	}
+	if r.MovedPackets == 0 {
+		t.Fatal("no packets in the edit script")
+	}
+	frac := r.MovedFraction()
+	if frac < 0.2 || frac > 0.8 {
+		t.Fatalf("moved fraction %.2f far from the paper's ~0.5", frac)
+	}
+	// Both replayers' packets present.
+	replayers := map[uint16]bool{}
+	for _, p := range res.Traces[0].Packets {
+		replayers[p.Tag.Replayer] = true
+	}
+	if !replayers[1] || !replayers[2] {
+		t.Fatalf("streams present: %v", replayers)
+	}
+}
+
+func TestRunOrderingAcrossEnvironments(t *testing.T) {
+	// The paper's headline comparison: local beats FABRIC-dedicated by
+	// a wide margin in κ.
+	local, err := Run(testbed.LocalSingle(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric, err := Run(testbed.FabricDedicated40(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Mean.Kappa <= fabric.Mean.Kappa {
+		t.Fatalf("local κ=%v should exceed FABRIC dedicated κ=%v",
+			local.Mean.Kappa, fabric.Mean.Kappa)
+	}
+	if fabric.Mean.I <= 3*local.Mean.I {
+		t.Fatalf("FABRIC I=%v should be several times local I=%v (paper: >10x)",
+			fabric.Mean.I, local.Mean.I)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := Run(testbed.LocalSingle(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testbed.LocalSingle(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean.Kappa != b.Mean.Kappa || a.Mean.I != b.Mean.I {
+		t.Fatalf("same seed, different results: %v vs %v", a.Mean, b.Mean)
+	}
+	c, err := Run(testbed.LocalSingle(), TrialConfig{Packets: 8000, Runs: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean.I == c.Mean.I {
+		t.Fatal("different seeds produced identical I")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := TrialConfig{}.defaults()
+	if c.Packets != DefaultScale || c.Runs != 5 || c.Seed != 1 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestFigureUnknownID(t *testing.T) {
+	if _, err := Figure("fig99", small); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFigureFig4a(t *testing.T) {
+	doc, err := Figure(IDFig4a, TrialConfig{Packets: 6000, Runs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := doc.String()
+	for _, want := range []string{"Figure 4a", "IAT delta", "within ±10ns", "run B vs A", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureTable1(t *testing.T) {
+	doc, err := Figure(IDTable1, TrialConfig{Packets: 12000, Runs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := doc.String()
+	for _, want := range []string{"Table 1", "Abs. Mean", "Moved"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllFigureIDsResolve(t *testing.T) {
+	// Every advertised id must dispatch (validated structurally; the
+	// expensive ones are exercised by the bench harness).
+	for _, id := range AllFigureIDs() {
+		if id == "" {
+			t.Fatal("empty figure id")
+		}
+	}
+	if len(AllFigureIDs()) != 11 {
+		t.Fatalf("%d figure ids", len(AllFigureIDs()))
+	}
+}
+
+func TestSortedEnvNames(t *testing.T) {
+	names := SortedEnvNames()
+	if len(names) != 9 {
+		t.Fatalf("%d names", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestRunThreeReplayers(t *testing.T) {
+	// Figure 1 sketches three replay nodes feeding one receiver; the
+	// topology builder must scale beyond the paper's evaluated pair.
+	env := testbed.LocalDual()
+	env.Name = "Local Triple-Replayer"
+	env.Replayers = 3
+	res, err := Run(env, TrialConfig{Packets: 15000, Runs: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorded != 15000 {
+		t.Fatalf("recorded %d", res.Recorded)
+	}
+	replayers := map[uint16]bool{}
+	for _, p := range res.Traces[0].Packets {
+		replayers[p.Tag.Replayer] = true
+	}
+	if len(replayers) != 3 {
+		t.Fatalf("streams from %d replayers, want 3: %v", len(replayers), replayers)
+	}
+	// Ordering should remain constant per stream (Figure 1's goal);
+	// cross-stream interleave may shift.
+	if res.Results[0].U != 0 {
+		t.Fatalf("triple-replayer dropped packets: %v", res.Results[0])
+	}
+}
+
+func TestRateSweepScalesPacketsAndRuns(t *testing.T) {
+	pts, err := RateSweep(testbed.LocalSingle(), []float64{20, 40},
+		TrialConfig{Packets: 8000, Runs: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Mean.Kappa < 0.9 || p.Mean.Kappa > 1 {
+			t.Fatalf("rate %g: κ=%v", p.RateGbps, p.Mean.Kappa)
+		}
+	}
+	out := SweepTable("sweep", pts)
+	if !strings.Contains(out, "Rate (Gbps)") || !strings.Contains(out, "20") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}
+
+func TestRateSweepValidation(t *testing.T) {
+	if _, err := RateSweep(testbed.LocalSingle(), nil, TrialConfig{}); err == nil {
+		t.Fatal("empty rate list accepted")
+	}
+	if _, err := RateSweep(testbed.LocalSingle(), []float64{-1}, TrialConfig{Packets: 2000, Runs: 2}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestReplayCapture(t *testing.T) {
+	// Build a source capture by running a quick experiment, then feed
+	// its baseline trace back through ReplayCapture on two envs.
+	seedRun, err := Run(testbed.LocalSingle(), TrialConfig{Packets: 6000, Runs: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := seedRun.Traces[0]
+
+	local, err := ReplayCapture(testbed.LocalSingle(), src, TrialConfig{Packets: 1, Runs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Results) != 2 {
+		t.Fatalf("%d results", len(local.Results))
+	}
+	if local.Results[0].U != 0 {
+		t.Fatalf("capture replay dropped packets: %v", local.Results[0])
+	}
+	fabric, err := ReplayCapture(testbed.FabricDedicated40(), src, TrialConfig{Packets: 1, Runs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fabric.Mean.Kappa >= local.Mean.Kappa {
+		t.Fatalf("FABRIC κ=%v should be below local κ=%v for the same capture",
+			fabric.Mean.Kappa, local.Mean.Kappa)
+	}
+}
+
+func TestReplayCaptureValidation(t *testing.T) {
+	if _, err := ReplayCapture(testbed.LocalSingle(), trace.New("e", 0), TrialConfig{}); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	res, err := Run(testbed.LocalSingle(), TrialConfig{Packets: 4000, Runs: 2, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Environment != "Local Single-Replayer" || len(back.Runs) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Mean.Kappa != res.Mean.Kappa {
+		t.Fatalf("κ %v != %v", back.Mean.Kappa, res.Mean.Kappa)
+	}
+	if !strings.Contains(string(raw), "pct_iat_within_10ns") {
+		t.Fatalf("json keys: %s", raw)
+	}
+}
+
+func TestPaperScaleSoak(t *testing.T) {
+	// Full paper-scale soak (~1.05M packets, 15s): validates the
+	// million-packet path end to end. Skipped with -short.
+	if testing.Short() {
+		t.Skip("paper-scale soak skipped in -short mode")
+	}
+	env := testbed.LocalSingle()
+	res, err := Run(env, TrialConfig{
+		Packets: env.PacketsFor(300 * sim.Millisecond),
+		Runs:    2,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorded < 1_040_000 {
+		t.Fatalf("recorded %d packets, want ~1.05M", res.Recorded)
+	}
+	r := res.Results[0]
+	if r.U != 0 || r.O != 0 {
+		t.Fatalf("full-scale local run inconsistent: %v", r)
+	}
+	// Paper §6.1 bands at full scale.
+	if r.I < 0.02 || r.I > 0.04 {
+		t.Fatalf("I = %v outside the §6.1 band", r.I)
+	}
+	if r.Kappa < 0.98 {
+		t.Fatalf("κ = %v below the §6.1 band", r.Kappa)
+	}
+}

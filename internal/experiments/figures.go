@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// Figure identifiers, one per paper table/figure (DESIGN.md §4).
+const (
+	IDFig4a   = "fig4a"
+	IDFig4b   = "fig4b"
+	IDFig5    = "fig5"
+	IDTable1  = "table1"
+	IDFig6    = "fig6"
+	IDFig7    = "fig7"
+	IDFig8    = "fig8"
+	IDFig9    = "fig9"
+	IDFig10   = "fig10"
+	IDNoiseDd = "noisededicated"
+	IDTable2  = "table2"
+)
+
+// AllFigureIDs lists every reproducible artifact in paper order.
+func AllFigureIDs() []string {
+	return []string{
+		IDFig4a, IDFig4b, IDFig5, IDTable1, IDFig6, IDFig7, IDFig8,
+		IDFig9, IDFig10, IDNoiseDd, IDTable2,
+	}
+}
+
+// Figure reproduces one paper artifact and renders it as a text
+// document. Unknown ids return an error listing the valid ones.
+func Figure(id string, cfg TrialConfig) (*report.Document, error) {
+	switch id {
+	case IDFig4a:
+		return histFigure("Figure 4a — Local single-replayer IAT deltas",
+			testbed.LocalSingle(), cfg, true)
+	case IDFig4b:
+		return histFigure("Figure 4b — Local single-replayer latency deltas",
+			testbed.LocalSingle(), cfg, false)
+	case IDFig5:
+		return histFigure("Figure 5 — Local dual-replayer IAT deltas",
+			testbed.LocalDual(), cfg, true)
+	case IDTable1:
+		return table1(cfg)
+	case IDFig6:
+		return histFigure("Figure 6 — FABRIC dedicated 40 Gbps IAT deltas",
+			testbed.FabricDedicated40(), cfg, true)
+	case IDFig7:
+		return histFigure("Figure 7 — FABRIC shared 40 Gbps IAT deltas",
+			testbed.FabricShared40(), cfg, true)
+	case IDFig8:
+		return histFigure("Figure 8 — FABRIC dedicated 40 Gbps (rerun) IAT deltas",
+			testbed.FabricDedicated40Second(), cfg, true)
+	case IDFig9:
+		return fig9(cfg)
+	case IDFig10:
+		return histFigure("Figure 10 — FABRIC shared 40 Gbps with noise, IAT deltas",
+			testbed.FabricShared40Noisy(), cfg, true)
+	case IDNoiseDd:
+		return histFigure("§7.1 — FABRIC dedicated 80 Gbps with a noisy co-tenant",
+			testbed.FabricDedicated80Noisy(), cfg, true)
+	case IDTable2:
+		return table2(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown figure %q (valid: %s)",
+			id, strings.Join(AllFigureIDs(), ", "))
+	}
+}
+
+// histFigure runs one environment and renders per-run delta histograms
+// plus the §3 metrics.
+func histFigure(title string, env testbed.Env, cfg TrialConfig, iat bool) (*report.Document, error) {
+	cfg.KeepDeltas = true
+	res, err := Run(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	doc := &report.Document{Title: title}
+	doc.Add("environment", env.Description)
+	for i, r := range res.Results {
+		h := stats.NewSymLogHistogram(8)
+		var deltas []int64
+		kind := "IAT delta (ns)"
+		if iat {
+			deltas = r.IATDeltas
+		} else {
+			deltas = r.LatencyDeltas
+			kind = "latency delta (ns)"
+		}
+		h.AddAll(deltas)
+		run := RunNames[i+1]
+		doc.Add(fmt.Sprintf("run %s vs A", run),
+			h.Render(kind, 46)+
+				fmt.Sprintf("within ±10ns: %s   %v\n", report.Pct(r.PctIATWithin10), r))
+	}
+	doc.Add("mean", meanLine(res))
+	return doc, nil
+}
+
+// fig9 runs both 80 Gbps environments side by side.
+func fig9(cfg TrialConfig) (*report.Document, error) {
+	doc := &report.Document{Title: "Figure 9 — FABRIC 80 Gbps IAT deltas (dedicated vs shared)"}
+	for _, env := range []testbed.Env{testbed.FabricDedicated80(), testbed.FabricShared80()} {
+		sub, err := histFigure(env.Name, env, cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sub.Sections {
+			doc.Add(env.Name+": "+s.Heading, s.Body)
+		}
+	}
+	return doc, nil
+}
+
+// table1 reproduces Table 1: the edit-script move-distance summaries of
+// the dual-replayer runs.
+func table1(cfg TrialConfig) (*report.Document, error) {
+	cfg.KeepDeltas = true
+	res, err := Run(testbed.LocalDual(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	doc := &report.Document{Title: "Table 1 — Distances packets moved in edit scripts (dual replayer)"}
+	tb := report.NewTable("", "Run", "Mean (σ)", "Abs. Mean (σ)", "Min", "Max", "Moved", "Moved %")
+	for i, r := range res.Results {
+		s := r.MoveSummary()
+		tb.AddRow(
+			RunNames[i+1],
+			fmt.Sprintf("%.2f (%.2f)", s.Mean, s.Std),
+			fmt.Sprintf("%.2f (%.2f)", s.AbsMean, s.AbsStd),
+			fmt.Sprintf("%.0f", s.Min),
+			fmt.Sprintf("%.0f", s.Max),
+			fmt.Sprintf("%d", r.MovedPackets),
+			report.Pct(r.MovedFraction()*100),
+		)
+	}
+	doc.Add("", tb.String())
+	doc.Add("metrics", metricsTable(res))
+	return doc, nil
+}
+
+// table2 reproduces Table 2: mean metrics for every environment.
+func table2(cfg TrialConfig) (*report.Document, error) {
+	doc := &report.Document{Title: "Table 2 — Mean consistency metrics per environment"}
+	tb := report.NewTable("", "Environment", "U", "O", "I", "L", "κ")
+	for _, env := range testbed.AllEnvironments() {
+		res, err := Run(env, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := res.Mean
+		tb.AddRow(env.Name, report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), fmt.Sprintf("%.4f", m.Kappa))
+	}
+	doc.Add("", tb.String())
+	return doc, nil
+}
+
+// metricsTable renders the per-run metric vectors.
+func metricsTable(res *RunResult) string {
+	tb := report.NewTable("", "Run", "U", "O", "I", "L", "κ", "within ±10ns", "missing")
+	for i, r := range res.Results {
+		tb.AddRow(RunNames[i+1], report.G(r.U), report.G(r.O), report.G(r.I), report.G(r.L),
+			fmt.Sprintf("%.4f", r.Kappa), report.Pct(r.PctIATWithin10), fmt.Sprintf("%d", res.Missing[i]))
+	}
+	return tb.String()
+}
+
+func meanLine(res *RunResult) string {
+	m := res.Mean
+	return fmt.Sprintf("U=%s O=%s I=%s L=%s κ=%.4f over %d runs (recorded %d packets)",
+		report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), m.Kappa, m.Runs, res.Recorded)
+}
+
+// SortedEnvNames returns environment names alphabetically (test helper).
+func SortedEnvNames() []string {
+	var names []string
+	for _, e := range testbed.AllEnvironments() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/testbed"
+)
+
+// This file generalizes the paper's two-point rate probe (40 and
+// 80 Gbps, §7) into a sweep: consistency as a function of offered load
+// on one environment — the "more varied environments" exploration the
+// conclusion calls for.
+
+// SweepPoint is one sweep sample.
+type SweepPoint struct {
+	// RateGbps is the offered load.
+	RateGbps float64
+	// Mean aggregates runs B.. against baseline A at this rate.
+	Mean metrics.MeanResult
+	// MaxMissing is the worst per-run drop count.
+	MaxMissing int
+}
+
+// RateSweep runs the record-and-replay protocol on copies of base at
+// each offered load. The packet count per trial is scaled with the rate
+// so every trial records the same wall-clock window.
+func RateSweep(base testbed.Env, rates []float64, cfg TrialConfig) ([]SweepPoint, error) {
+	cfg = cfg.defaults()
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("experiments: sweep needs at least one rate")
+	}
+	baselinePkts := cfg.Packets
+	var out []SweepPoint
+	for _, rate := range rates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("experiments: invalid sweep rate %v", rate)
+		}
+		env := base
+		env.Name = fmt.Sprintf("%s @%gG", base.Name, rate)
+		env.RateGbps = rate
+		c := cfg
+		c.Packets = int(float64(baselinePkts) * rate / base.RateGbps)
+		if c.Packets < 1000 {
+			c.Packets = 1000
+		}
+		res, err := Run(env, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep at %gG: %w", rate, err)
+		}
+		p := SweepPoint{RateGbps: rate, Mean: res.Mean}
+		for _, m := range res.Missing {
+			if m > p.MaxMissing {
+				p.MaxMissing = m
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SweepTable renders sweep points as a text table.
+func SweepTable(title string, pts []SweepPoint) string {
+	tb := report.NewTable(title, "Rate (Gbps)", "U", "O", "I", "L", "κ", "max drops")
+	for _, p := range pts {
+		tb.AddRow(
+			fmt.Sprintf("%g", p.RateGbps),
+			report.G(p.Mean.U), report.G(p.Mean.O), report.G(p.Mean.I), report.G(p.Mean.L),
+			fmt.Sprintf("%.4f", p.Mean.Kappa),
+			fmt.Sprintf("%d", p.MaxMissing),
+		)
+	}
+	return tb.String()
+}

@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// ExperimentPlan names the experiment roles within a slice — the shape
+// of the paper's three-VM artifact topology (generator → replayer(s) →
+// recorder on an L2Bridge).
+type ExperimentPlan struct {
+	// Generator and Recorder are node names in the slice.
+	Generator, Recorder string
+	// Replayers are the Choir middlebox nodes (1 or more).
+	Replayers []string
+	// RateGbps is the offered load (default 40).
+	RateGbps float64
+}
+
+// Environment derives a runnable testbed environment from an active
+// slice: NIC component models select the dedicated/shared timing
+// personality, the site's PTP capability selects the clock discipline,
+// and the site's utilization drives the virtualization-noise intensity
+// — busier hosts steal more CPU from the experiment's VMs.
+func (s *Slice) Environment(plan ExperimentPlan) (testbed.Env, error) {
+	var zero testbed.Env
+	if s.state != StateActive {
+		return zero, fmt.Errorf("fabric: slice %s is %v; submit it first", s.Name, s.state)
+	}
+	if plan.RateGbps == 0 {
+		plan.RateGbps = 40
+	}
+	if len(plan.Replayers) == 0 {
+		return zero, fmt.Errorf("fabric: plan needs at least one replayer")
+	}
+
+	byName := map[string]*Node{}
+	for _, n := range s.nodes {
+		byName[n.Name] = n
+	}
+	need := func(name, role string) (*Node, error) {
+		n, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("fabric: %s node %q not in slice", role, name)
+		}
+		if len(n.nics) == 0 {
+			return nil, fmt.Errorf("fabric: %s node %q has no NIC", role, name)
+		}
+		return n, nil
+	}
+	gen, err := need(plan.Generator, "generator")
+	if err != nil {
+		return zero, err
+	}
+	rec, err := need(plan.Recorder, "recorder")
+	if err != nil {
+		return zero, err
+	}
+
+	// Replayer NIC models must agree; they select the environment
+	// family.
+	dedicated := false
+	for idx, name := range plan.Replayers {
+		n, err := need(name, "replayer")
+		if err != nil {
+			return zero, err
+		}
+		d := n.nics[0].Model.Dedicated()
+		if idx == 0 {
+			dedicated = d
+		} else if d != dedicated {
+			return zero, fmt.Errorf("fabric: replayers mix shared and dedicated NICs")
+		}
+	}
+
+	var env testbed.Env
+	switch {
+	case dedicated && plan.RateGbps > 40:
+		env = testbed.FabricDedicated80()
+	case dedicated:
+		env = testbed.FabricDedicated40()
+	case plan.RateGbps > 40:
+		env = testbed.FabricShared80()
+	default:
+		env = testbed.FabricShared40()
+	}
+	env.Name = fmt.Sprintf("slice %s (%s)", s.Name, env.Name)
+	env.RateGbps = plan.RateGbps
+	env.Replayers = len(plan.Replayers)
+
+	// Clock discipline: PTP where the site provides it, plain NTP
+	// elsewhere (§2.2: 23 of 33 sites provide PTP).
+	site, _ := s.fed.Site(byName[plan.Replayers[0]].Site)
+	if !site.Spec().PTP {
+		env.Sync = clock.NTPDefault()
+	}
+
+	// Host pressure: scale steal-time density with the site's
+	// utilization. The paper's site sat at ~2% allocated; a site at
+	// 50% pressures VMs roughly an order of magnitude harder.
+	if u := site.Utilization(); u > 0 && env.StallGap != nil {
+		scale := 1 + 25*u
+		env.StallGap = sim.Exponential{MeanNs: 8e6 / scale}
+	}
+
+	_ = gen
+	_ = rec
+	return env, nil
+}

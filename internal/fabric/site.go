@@ -1,0 +1,193 @@
+// Package fabric models the FABRIC federated testbed's management plane
+// (paper §2.1): a federation of sites with finite CPU/RAM/disk/NIC
+// inventories, slices reserving nodes and network services across them,
+// and a FABlib-style builder API. A submitted slice can be instantiated
+// into a runnable experiment environment, with the site's utilization
+// feeding the virtualization-noise model — the mechanism behind the
+// paper's observation that shared infrastructure load degrades
+// consistency.
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NICModel enumerates the NIC components a node can attach, mirroring
+// the FABRIC component catalog the paper uses.
+type NICModel int
+
+const (
+	// SharedNIC is an SR-IOV virtual function of a site-shared
+	// ConnectX-6 ("NIC_Basic") — 100 Gbps, most abundant.
+	SharedNIC NICModel = iota
+	// DedicatedConnectX6 is a whole ConnectX-6 ("NIC_ConnectX_6").
+	DedicatedConnectX6
+	// DedicatedConnectX5 is a whole ConnectX-5 ("NIC_ConnectX_5").
+	DedicatedConnectX5
+)
+
+// String implements fmt.Stringer.
+func (m NICModel) String() string {
+	switch m {
+	case SharedNIC:
+		return "NIC_Basic (SR-IOV VF)"
+	case DedicatedConnectX6:
+		return "NIC_ConnectX_6"
+	case DedicatedConnectX5:
+		return "NIC_ConnectX_5"
+	default:
+		return fmt.Sprintf("NICModel(%d)", int(m))
+	}
+}
+
+// Dedicated reports whether the model reserves a whole physical NIC.
+func (m NICModel) Dedicated() bool { return m != SharedNIC }
+
+// SiteSpec is a site's total inventory.
+type SiteSpec struct {
+	Name    string
+	Cores   int
+	RAMGiB  int
+	DiskGiB int
+	// SharedVFs is the number of SR-IOV virtual functions available.
+	SharedVFs int
+	// DedicatedNICs is the number of whole smart NICs available.
+	DedicatedNICs int
+	// PTP reports whether the site provides PTP time service (23 of
+	// FABRIC's 33 sites do, §2.2).
+	PTP bool
+}
+
+// Site tracks allocations against a spec.
+type Site struct {
+	spec SiteSpec
+
+	usedCores     int
+	usedRAM       int
+	usedDisk      int
+	usedVFs       int
+	usedDedicated int
+}
+
+// Spec returns the site's inventory.
+func (s *Site) Spec() SiteSpec { return s.spec }
+
+// Utilization returns the maximum allocated fraction across CPU, RAM
+// and disk — the "2% of CPU, 1.1% of RAM and 0.8% of disk" figure the
+// paper reports for its site, and the knob that drives the noise model
+// at instantiation.
+func (s *Site) Utilization() float64 {
+	u := 0.0
+	if s.spec.Cores > 0 {
+		u = max(u, float64(s.usedCores)/float64(s.spec.Cores))
+	}
+	if s.spec.RAMGiB > 0 {
+		u = max(u, float64(s.usedRAM)/float64(s.spec.RAMGiB))
+	}
+	if s.spec.DiskGiB > 0 {
+		u = max(u, float64(s.usedDisk)/float64(s.spec.DiskGiB))
+	}
+	return u
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Federation is a set of sites — the management plane's view of the
+// testbed.
+type Federation struct {
+	sites map[string]*Site
+}
+
+// NewFederation creates a federation from site specs.
+func NewFederation(specs ...SiteSpec) *Federation {
+	f := &Federation{sites: make(map[string]*Site, len(specs))}
+	for _, sp := range specs {
+		f.sites[sp.Name] = &Site{spec: sp}
+	}
+	return f
+}
+
+// DefaultFederation returns a FABRIC-like federation: a handful of
+// large sites, most PTP-capable.
+func DefaultFederation() *Federation {
+	return NewFederation(
+		SiteSpec{Name: "STAR", Cores: 640, RAMGiB: 5120, DiskGiB: 100_000, SharedVFs: 128, DedicatedNICs: 8, PTP: true},
+		SiteSpec{Name: "DALL", Cores: 512, RAMGiB: 4096, DiskGiB: 80_000, SharedVFs: 96, DedicatedNICs: 6, PTP: true},
+		SiteSpec{Name: "UTAH", Cores: 448, RAMGiB: 3584, DiskGiB: 60_000, SharedVFs: 96, DedicatedNICs: 4, PTP: true},
+		SiteSpec{Name: "TACC", Cores: 384, RAMGiB: 3072, DiskGiB: 60_000, SharedVFs: 64, DedicatedNICs: 4, PTP: false},
+		SiteSpec{Name: "MASS", Cores: 320, RAMGiB: 2560, DiskGiB: 40_000, SharedVFs: 64, DedicatedNICs: 2, PTP: true},
+	)
+}
+
+// Site returns a site by name.
+func (f *Federation) Site(name string) (*Site, bool) {
+	s, ok := f.sites[name]
+	return s, ok
+}
+
+// SiteNames returns site names sorted alphabetically.
+func (f *Federation) SiteNames() []string {
+	out := make([]string, 0, len(f.sites))
+	for n := range f.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LeastUtilizedSite returns the site with the lowest utilization,
+// preferring PTP-capable sites when requirePTP is set — how an
+// experimenter picks "a large yet barely used site".
+func (f *Federation) LeastUtilizedSite(requirePTP bool) (*Site, error) {
+	var best *Site
+	for _, name := range f.SiteNames() {
+		s := f.sites[name]
+		if requirePTP && !s.spec.PTP {
+			continue
+		}
+		if best == nil || s.Utilization() < best.Utilization() {
+			best = s
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("fabric: no site satisfies requirePTP=%v", requirePTP)
+	}
+	return best, nil
+}
+
+// allocate reserves node resources; it is all-or-nothing.
+func (s *Site) allocate(cores, ramGiB, diskGiB, vfs, dedicated int) error {
+	switch {
+	case s.usedCores+cores > s.spec.Cores:
+		return fmt.Errorf("fabric: site %s out of cores (%d used of %d, need %d)", s.spec.Name, s.usedCores, s.spec.Cores, cores)
+	case s.usedRAM+ramGiB > s.spec.RAMGiB:
+		return fmt.Errorf("fabric: site %s out of RAM", s.spec.Name)
+	case s.usedDisk+diskGiB > s.spec.DiskGiB:
+		return fmt.Errorf("fabric: site %s out of disk", s.spec.Name)
+	case s.usedVFs+vfs > s.spec.SharedVFs:
+		return fmt.Errorf("fabric: site %s out of shared NIC VFs", s.spec.Name)
+	case s.usedDedicated+dedicated > s.spec.DedicatedNICs:
+		return fmt.Errorf("fabric: site %s out of dedicated NICs", s.spec.Name)
+	}
+	s.usedCores += cores
+	s.usedRAM += ramGiB
+	s.usedDisk += diskGiB
+	s.usedVFs += vfs
+	s.usedDedicated += dedicated
+	return nil
+}
+
+// release returns node resources.
+func (s *Site) release(cores, ramGiB, diskGiB, vfs, dedicated int) {
+	s.usedCores -= cores
+	s.usedRAM -= ramGiB
+	s.usedDisk -= diskGiB
+	s.usedVFs -= vfs
+	s.usedDedicated -= dedicated
+}

@@ -1,0 +1,249 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SliceState is the reservation lifecycle.
+type SliceState int
+
+const (
+	// StateDraft is a slice under construction (AddNode etc. allowed).
+	StateDraft SliceState = iota
+	// StateActive is a submitted slice holding real resources.
+	StateActive
+	// StateDeleted has released its resources.
+	StateDeleted
+)
+
+// String implements fmt.Stringer.
+func (s SliceState) String() string {
+	switch s {
+	case StateDraft:
+		return "draft"
+	case StateActive:
+		return "active"
+	case StateDeleted:
+		return "deleted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ServiceKind enumerates FABRIC network services (§2.1: L2 abstractions
+// connecting resources, or L3 connecting to the internal network).
+type ServiceKind int
+
+const (
+	// L2Bridge connects multiple interfaces within one site — the
+	// service the paper's evaluation uses.
+	L2Bridge ServiceKind = iota
+	// L2PTP is a point-to-point layer-2 circuit between two
+	// interfaces, possibly across sites.
+	L2PTP
+	// FABNetv4 attaches interfaces to the testbed-internal IPv4
+	// network.
+	FABNetv4
+)
+
+// String implements fmt.Stringer.
+func (k ServiceKind) String() string {
+	switch k {
+	case L2Bridge:
+		return "L2Bridge"
+	case L2PTP:
+		return "L2PTP"
+	case FABNetv4:
+		return "FABNetv4"
+	default:
+		return fmt.Sprintf("service(%d)", int(k))
+	}
+}
+
+// Node is a VM reservation on a site.
+type Node struct {
+	Name    string
+	Site    string
+	Cores   int
+	RAMGiB  int
+	DiskGiB int
+	nics    []*Interface
+	slice   *Slice
+}
+
+// Interface is a NIC component attached to a node.
+type Interface struct {
+	Name  string
+	Model NICModel
+	node  *Node
+}
+
+// Node returns the owning node.
+func (i *Interface) Node() *Node { return i.node }
+
+// NetworkService connects interfaces.
+type NetworkService struct {
+	Name string
+	Kind ServiceKind
+	Ifs  []*Interface
+}
+
+// Slice is a reservation of nodes and services (§2.1). Build it in the
+// draft state, Submit to allocate, Delete to release.
+type Slice struct {
+	Name     string
+	fed      *Federation
+	state    SliceState
+	nodes    []*Node
+	services []*NetworkService
+}
+
+// NewSlice starts a draft slice on the federation.
+func (f *Federation) NewSlice(name string) *Slice {
+	return &Slice{Name: name, fed: f}
+}
+
+// State returns the lifecycle state.
+func (s *Slice) State() SliceState { return s.state }
+
+// Nodes returns the slice's nodes.
+func (s *Slice) Nodes() []*Node { return s.nodes }
+
+// Services returns the slice's network services.
+func (s *Slice) Services() []*NetworkService { return s.services }
+
+// AddNode declares a VM on a site. Resources are validated at Submit.
+func (s *Slice) AddNode(name, site string, cores, ramGiB, diskGiB int) (*Node, error) {
+	if s.state != StateDraft {
+		return nil, fmt.Errorf("fabric: slice %s is %v, not draft", s.Name, s.state)
+	}
+	if _, ok := s.fed.Site(site); !ok {
+		return nil, fmt.Errorf("fabric: unknown site %q", site)
+	}
+	for _, n := range s.nodes {
+		if n.Name == name {
+			return nil, fmt.Errorf("fabric: duplicate node name %q", name)
+		}
+	}
+	if cores <= 0 || ramGiB <= 0 || diskGiB <= 0 {
+		return nil, fmt.Errorf("fabric: node %q needs positive resources", name)
+	}
+	n := &Node{Name: name, Site: site, Cores: cores, RAMGiB: ramGiB, DiskGiB: diskGiB, slice: s}
+	s.nodes = append(s.nodes, n)
+	return n, nil
+}
+
+// AddNIC attaches a NIC component to the node.
+func (n *Node) AddNIC(name string, model NICModel) (*Interface, error) {
+	if n.slice.state != StateDraft {
+		return nil, fmt.Errorf("fabric: slice %s is %v, not draft", n.slice.Name, n.slice.state)
+	}
+	i := &Interface{Name: name, Model: model, node: n}
+	n.nics = append(n.nics, i)
+	return i, nil
+}
+
+// Interfaces returns the node's NICs.
+func (n *Node) Interfaces() []*Interface { return n.nics }
+
+// AddService declares a network service over the given interfaces.
+func (s *Slice) AddService(name string, kind ServiceKind, ifs ...*Interface) (*NetworkService, error) {
+	if s.state != StateDraft {
+		return nil, fmt.Errorf("fabric: slice %s is %v, not draft", s.Name, s.state)
+	}
+	if len(ifs) == 0 {
+		return nil, errors.New("fabric: service needs at least one interface")
+	}
+	switch kind {
+	case L2PTP:
+		if len(ifs) != 2 {
+			return nil, fmt.Errorf("fabric: L2PTP connects exactly 2 interfaces, got %d", len(ifs))
+		}
+	case L2Bridge:
+		// All interfaces must be within one site (§2.1: "can connect
+		// multiple resources within a site").
+		site := ifs[0].node.Site
+		for _, i := range ifs[1:] {
+			if i.node.Site != site {
+				return nil, fmt.Errorf("fabric: L2Bridge cannot span sites %s and %s", site, i.node.Site)
+			}
+		}
+	}
+	for _, i := range ifs {
+		if i.node.slice != s {
+			return nil, fmt.Errorf("fabric: interface %s belongs to another slice", i.Name)
+		}
+	}
+	svc := &NetworkService{Name: name, Kind: kind, Ifs: ifs}
+	s.services = append(s.services, svc)
+	return svc, nil
+}
+
+// Submit validates the slice and allocates resources on every site,
+// all-or-nothing.
+func (s *Slice) Submit() error {
+	if s.state != StateDraft {
+		return fmt.Errorf("fabric: slice %s is %v, not draft", s.Name, s.state)
+	}
+	if len(s.nodes) == 0 {
+		return errors.New("fabric: empty slice")
+	}
+	// Group demand per site.
+	type demand struct{ cores, ram, disk, vfs, dedicated int }
+	demands := map[string]*demand{}
+	for _, n := range s.nodes {
+		d := demands[n.Site]
+		if d == nil {
+			d = &demand{}
+			demands[n.Site] = d
+		}
+		d.cores += n.Cores
+		d.ram += n.RAMGiB
+		d.disk += n.DiskGiB
+		for _, i := range n.nics {
+			if i.Model.Dedicated() {
+				d.dedicated++
+			} else {
+				d.vfs++
+			}
+		}
+	}
+	// Allocate with rollback on failure.
+	var done []string
+	for site, d := range demands {
+		st, _ := s.fed.Site(site)
+		if err := st.allocate(d.cores, d.ram, d.disk, d.vfs, d.dedicated); err != nil {
+			for _, prev := range done {
+				pd := demands[prev]
+				ps, _ := s.fed.Site(prev)
+				ps.release(pd.cores, pd.ram, pd.disk, pd.vfs, pd.dedicated)
+			}
+			return err
+		}
+		done = append(done, site)
+	}
+	s.state = StateActive
+	return nil
+}
+
+// Delete releases the slice's resources.
+func (s *Slice) Delete() error {
+	if s.state != StateActive {
+		return fmt.Errorf("fabric: slice %s is %v, not active", s.Name, s.state)
+	}
+	for _, n := range s.nodes {
+		st, _ := s.fed.Site(n.Site)
+		vfs, dedicated := 0, 0
+		for _, i := range n.nics {
+			if i.Model.Dedicated() {
+				dedicated++
+			} else {
+				vfs++
+			}
+		}
+		st.release(n.Cores, n.RAMGiB, n.DiskGiB, vfs, dedicated)
+	}
+	s.state = StateDeleted
+	return nil
+}

@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type collector struct {
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, t sim.Time) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, t)
+}
+
+func setup(seed int64) (*sim.Engine, *nic.Queue, *collector) {
+	e := sim.NewEngine(seed)
+	n := nic.New(e, nic.Profile{Name: "gen", LineRateBps: packet.Gbps(100)}, "gen")
+	q := n.NewQueue(1 << 20)
+	sink := &collector{}
+	q.Connect(sink, 0)
+	return e, q, sink
+}
+
+func TestCBRRate(t *testing.T) {
+	e, q, sink := setup(1)
+	g := StartCBR(e, q, CBRConfig{
+		RateBps:  packet.Gbps(40),
+		FrameLen: 1400,
+		Count:    10000,
+		Stream:   1,
+	})
+	e.Run()
+	if g.Emitted() != 10000 {
+		t.Fatalf("emitted %d", g.Emitted())
+	}
+	if len(sink.pkts) != 10000 {
+		t.Fatalf("delivered %d", len(sink.pkts))
+	}
+	// Average IAT should be the 40G serialization time (284 ns).
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.pkts)-1)
+	if math.Abs(avg-284) > 1 {
+		t.Fatalf("average IAT %.2f ns, want ~284", avg)
+	}
+	// Sequence numbers in order.
+	for i, p := range sink.pkts {
+		if p.Tag.Seq != uint64(i) || p.Tag.Stream != 1 {
+			t.Fatalf("packet %d has tag %v", i, p.Tag)
+		}
+	}
+}
+
+func TestCBRPaperScale(t *testing.T) {
+	// 0.3 s of 40 Gbps 1400-byte packets ≈ 1.05 M packets; check the
+	// generator arithmetic at a scaled-down count.
+	pps := packet.RateForPPS(1400, packet.Gbps(40))
+	wantCount := pps * 0.3
+	if wantCount < 1.04e6 || wantCount > 1.07e6 {
+		t.Fatalf("0.3s at 40G = %.0f packets, paper says ~1.05M", wantCount)
+	}
+}
+
+func TestCBRBursty(t *testing.T) {
+	e, q, sink := setup(2)
+	StartCBR(e, q, CBRConfig{
+		RateBps:  packet.Gbps(40),
+		FrameLen: 1400,
+		Count:    1000,
+		Burst:    32,
+	})
+	e.Run()
+	if len(sink.pkts) != 1000 {
+		t.Fatalf("delivered %d", len(sink.pkts))
+	}
+	// Intra-burst gaps are at line rate (114 ns), inter-burst larger.
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	if gap := sink.times[1] - sink.times[0]; gap != ser {
+		t.Fatalf("intra-burst gap %v, want %v", gap, ser)
+	}
+	if gap := sink.times[32] - sink.times[31]; gap <= ser {
+		t.Fatalf("inter-burst gap %v should exceed line-rate gap", gap)
+	}
+	// Average rate still ~40G.
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.pkts)-1)
+	if math.Abs(avg-284) > 15 {
+		t.Fatalf("average IAT %.2f ns, want ~284", avg)
+	}
+}
+
+func TestCBRValidation(t *testing.T) {
+	e, q, _ := setup(3)
+	for _, cfg := range []CBRConfig{
+		{RateBps: 0, FrameLen: 1400, Count: 1},
+		{RateBps: 1e9, FrameLen: 10, Count: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v accepted", cfg)
+				}
+			}()
+			StartCBR(e, q, cfg)
+		}()
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	e, q, sink := setup(4)
+	StartPoisson(e, q, PoissonConfig{
+		MeanRatePPS: 1e6,
+		FrameLen:    256,
+		Count:       20000,
+	})
+	e.Run()
+	if len(sink.pkts) != 20000 {
+		t.Fatalf("delivered %d", len(sink.pkts))
+	}
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.pkts)-1)
+	if math.Abs(avg-1000)/1000 > 0.05 {
+		t.Fatalf("average IAT %.2f ns, want ~1000 ±5%%", avg)
+	}
+	// Poisson gaps vary (unlike CBR): standard deviation near the mean.
+	var sq float64
+	for i := 1; i < len(sink.times); i++ {
+		d := float64(sink.times[i]-sink.times[i-1]) - avg
+		sq += d * d
+	}
+	sd := math.Sqrt(sq / float64(len(sink.times)-1))
+	if sd < avg*0.7 {
+		t.Fatalf("poisson σ %.1f too low for mean %.1f", sd, avg)
+	}
+}
+
+func TestIMIXMixesSizes(t *testing.T) {
+	e, q, sink := setup(5)
+	StartIMIX(e, q, IMIXConfig{RatePPS: 1e6, Count: 12000})
+	e.Run()
+	counts := map[int]int{}
+	for _, p := range sink.pkts {
+		counts[p.FrameLen]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("IMIX produced %d sizes, want 3: %v", len(counts), counts)
+	}
+	// 7:4:1 ratios, loosely.
+	small := counts[packet.MinDataFrameLen]
+	large := counts[1400]
+	if small < 5*large {
+		t.Fatalf("IMIX ratio off: small=%d large=%d", small, large)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		e, q, sink := setup(7)
+		StartPoisson(e, q, PoissonConfig{MeanRatePPS: 1e6, FrameLen: 256, Count: 500})
+		e.Run()
+		return sink.times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestEmpiricalMatchesSourceShape(t *testing.T) {
+	e, q, sink := setup(9)
+	// Source distribution: bimodal gaps (100ns and 900ns), two sizes.
+	gaps := []sim.Duration{100, 100, 100, 900}
+	sizes := []int{128, 1400}
+	StartEmpirical(e, q, EmpiricalConfig{
+		Gaps: gaps, FrameLens: sizes, Count: 20000,
+	})
+	e.Run()
+	if len(sink.pkts) != 20000 {
+		t.Fatalf("delivered %d", len(sink.pkts))
+	}
+	// Mean gap of the source: (3*100+900)/4 = 300.
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.pkts)-1)
+	if math.Abs(avg-300)/300 > 0.08 {
+		t.Fatalf("mean IAT %.1f, want ~300 (resampled)", avg)
+	}
+	sizesSeen := map[int]int{}
+	for _, p := range sink.pkts {
+		sizesSeen[p.FrameLen]++
+	}
+	if len(sizesSeen) != 2 {
+		t.Fatalf("sizes seen: %v", sizesSeen)
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	e, q, _ := setup(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty samples accepted")
+		}
+	}()
+	StartEmpirical(e, q, EmpiricalConfig{Count: 1})
+}

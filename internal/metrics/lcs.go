@@ -1,0 +1,130 @@
+package metrics
+
+// This file computes the ordering machinery of Equation 2: the Longest
+// Common Subsequence of two trials and the move distances of the minimum
+// edit script that transforms B into A.
+//
+// Because each trial is a permutation of unique packets, the LCS of A and
+// B equals the Longest Increasing Subsequence of the A-ranks of B's
+// common packets taken in B order (Schensted), which is computable in
+// O(n log n) — the property the paper relies on for million-packet traces.
+
+// lisMembers returns a boolean mask over seq marking one maximal
+// increasing subsequence (patience sorting with predecessor recovery).
+// seq must contain distinct values.
+func lisMembers(seq []int32) []bool {
+	n := len(seq)
+	member := make([]bool, n)
+	if n == 0 {
+		return member
+	}
+	// tails[k] = index into seq of the smallest tail of an increasing
+	// subsequence of length k+1.
+	tails := make([]int32, 0, n)
+	prev := make([]int32, n)
+	for i := 0; i < n; i++ {
+		v := seq[i]
+		// Binary search for the first tail with value >= v.
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if seq[tails[mid]] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			prev[i] = tails[lo-1]
+		} else {
+			prev[i] = -1
+		}
+		if lo == len(tails) {
+			tails = append(tails, int32(i))
+		} else {
+			tails[lo] = int32(i)
+		}
+	}
+	// Walk back from the tail of the longest subsequence.
+	for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+		member[i] = true
+	}
+	return member
+}
+
+// editScript holds the per-packet move distances of the minimum edit
+// script transforming B into A. Packets on the LCS are not moved
+// (distance 0) and are excluded from Moves; packets only in B are also
+// distance 0 per the paper ("If p_i ∉ A then d_i = 0").
+//
+// A minimum edit script is not unique: every maximal LCS yields one, and
+// different LCS choices can leave different packets "unmoved". To honour
+// the paper's O_AB = O_BA symmetry claim, the Equation 2 numerator is the
+// average of the B→A and A→B script sums (the per-packet |d| magnitudes
+// are direction-independent; only LCS membership differs).
+type editScript struct {
+	// Moves holds the signed distance (rank in A − rank in B, in
+	// common-packet ranks) for every packet moved by the B→A script, in
+	// B order. This is the sample Table 1 summarizes.
+	Moves []int64
+	// LCSLen is the number of packets left in place (identical in both
+	// directions).
+	LCSLen int
+	// sumForward and sumBackward are Σ|d_i| for the B→A and A→B
+	// scripts respectively.
+	sumForward, sumBackward int64
+}
+
+// editScriptOf derives the edit script from a matching.
+func editScriptOf(m *matching) *editScript {
+	es := &editScript{}
+	n := len(m.rankA)
+	if n == 0 {
+		return es
+	}
+	// Forward: B order, values are A-ranks.
+	memberF := lisMembers(m.rankA)
+	for i, isLCS := range memberF {
+		if isLCS {
+			es.LCSLen++
+			continue
+		}
+		d := int64(m.rankA[i]) - int64(i)
+		es.Moves = append(es.Moves, d)
+		if d < 0 {
+			es.sumForward -= d
+		} else {
+			es.sumForward += d
+		}
+	}
+	// Backward: A order, values are B-ranks (the inverse permutation).
+	inv := make([]int32, n)
+	for i, ra := range m.rankA {
+		inv[ra] = int32(i)
+	}
+	for j, isLCS := range lisMembers(inv) {
+		if isLCS {
+			continue
+		}
+		d := int64(inv[j]) - int64(j)
+		if d < 0 {
+			es.sumBackward -= d
+		} else {
+			es.sumBackward += d
+		}
+	}
+	return es
+}
+
+// symmetricAbsMove returns the direction-averaged Σ|d_i| — the numerator
+// of Equation 2.
+func (es *editScript) symmetricAbsMove() float64 {
+	return float64(es.sumForward+es.sumBackward) / 2
+}
+
+// orderingDenominator is Equation 2's normalizer: Σ_{n=0}^{m} n for
+// m = |A∩B|, i.e. m(m+1)/2 — the move cost of a full reversal.
+func orderingDenominator(m int) int64 {
+	mm := int64(m)
+	return mm * (mm + 1) / 2
+}

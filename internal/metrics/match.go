@@ -1,0 +1,121 @@
+// Package metrics implements the paper's consistency metrics between two
+// trials: U (uniqueness), O (ordering), L (latency), I (inter-arrival
+// time) and the compound score κ (Equations 1–5).
+//
+// Two trials are sequences of received packets. Packets are identified by
+// their unique trailer tag; duplicate tags are disambiguated by occurrence
+// number exactly as the paper prescribes ("where packets are completely
+// identical in data, they can be tagged with their occurrence").
+package metrics
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Key uniquely identifies a packet within a trial: trailer tag plus
+// occurrence index for (defensively) duplicated tags.
+type Key struct {
+	Tag packet.Tag
+	Occ uint32
+}
+
+// keysOf assigns each packet its identity key in arrival order.
+func keysOf(t *trace.Trace) []Key {
+	keys := make([]Key, t.Len())
+	seen := make(map[packet.Tag]uint32, t.Len())
+	for i, p := range t.Packets {
+		occ := seen[p.Tag]
+		seen[p.Tag] = occ + 1
+		keys[i] = Key{Tag: p.Tag, Occ: occ}
+	}
+	return keys
+}
+
+// matching pairs up the common packets of two trials.
+//
+// For each common packet it records the full-sequence positions in A and
+// B as well as the "common rank" (position counting common packets only),
+// ordered by appearance in B. Common ranks are what the ordering metric
+// operates on: they are invariant to packets present in only one trial,
+// which U already accounts for.
+type matching struct {
+	// Ordered by position in B.
+	posA, posB []int32 // full-sequence positions
+	rankA      []int32 // common-only rank in A for the i-th common packet of B
+	onlyA      int     // packets present only in A
+	onlyB      int     // packets present only in B
+}
+
+func match(a, b *trace.Trace) *matching {
+	keysA := keysOf(a)
+	keysB := keysOf(b)
+	inA := make(map[Key]int32, len(keysA))
+	for i, k := range keysA {
+		inA[k] = int32(i)
+	}
+
+	m := &matching{}
+	common := make(map[Key]struct{}, len(keysB))
+	for i, k := range keysB {
+		if pa, ok := inA[k]; ok {
+			m.posA = append(m.posA, pa)
+			m.posB = append(m.posB, int32(i))
+			common[k] = struct{}{}
+		} else {
+			m.onlyB++
+		}
+	}
+	m.onlyA = len(keysA) - len(common)
+
+	// Common ranks in A: sort order of posA. Compute by counting, in A
+	// order, how many common packets precede each position.
+	isCommon := make([]bool, len(keysA))
+	for _, pa := range m.posA {
+		isCommon[pa] = true
+	}
+	rankAt := make([]int32, len(keysA))
+	var r int32
+	for i := range keysA {
+		if isCommon[i] {
+			rankAt[i] = r
+			r++
+		}
+	}
+	m.rankA = make([]int32, len(m.posA))
+	for i, pa := range m.posA {
+		m.rankA[i] = rankAt[pa]
+	}
+	return m
+}
+
+// commonCount returns |A ∩ B|.
+func (m *matching) commonCount() int { return len(m.posA) }
+
+// lenA and lenB reconstruct the trial sizes.
+func (m *matching) lenA() int { return m.commonCount() + m.onlyA }
+func (m *matching) lenB() int { return m.commonCount() + m.onlyB }
+
+// latencyPair returns (l_A, l_B) for the i-th common packet: arrival
+// times relative to each trial's first packet (Equation 3 semantics).
+func (m *matching) latencyPair(a, b *trace.Trace, i int) (sim.Duration, sim.Duration) {
+	la := a.Times[m.posA[i]] - a.Times[0]
+	lb := b.Times[m.posB[i]] - b.Times[0]
+	return la, lb
+}
+
+// gapPair returns (g_A, g_B) for the i-th common packet: the inter-
+// arrival gap before that packet in each full trial, 0 for a trial's
+// first packet (Equation 4 semantics, including the t_X0 == t_X(-1)
+// base case).
+func (m *matching) gapPair(a, b *trace.Trace, i int) (sim.Duration, sim.Duration) {
+	var ga, gb sim.Duration
+	if j := m.posA[i]; j > 0 {
+		ga = a.Times[j] - a.Times[j-1]
+	}
+	if k := m.posB[i]; k > 0 {
+		gb = b.Times[k] - b.Times[k-1]
+	}
+	return ga, gb
+}

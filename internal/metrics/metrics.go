@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Result holds the four normalized variation metrics, the compound score
+// κ, and the raw per-packet deltas the paper's figures are drawn from.
+type Result struct {
+	// U is the uniqueness variation (Equation 1): 0 when both trials
+	// contain exactly the same packets.
+	U float64
+	// O is the ordering variation (Equation 2): 0 when common packets
+	// arrive in the same order.
+	O float64
+	// L is the latency variation (Equation 3): 0 when common packets
+	// arrive at the same trial-relative times.
+	L float64
+	// I is the inter-arrival-time variation (Equation 4): 0 when common
+	// packets have the same gaps before them.
+	I float64
+	// Kappa is the compound consistency score (Equation 5): 1 is
+	// complete consistency, 0 complete inconsistency.
+	Kappa float64
+
+	// Common is |A ∩ B|; OnlyA/OnlyB count packets seen in one trial
+	// only (drops, duplicates, corruption).
+	Common, OnlyA, OnlyB int
+
+	// MovedPackets is the number of packets in the edit script that
+	// transforms B into A (§6.2 reports this as a count and fraction).
+	MovedPackets int
+	// MoveDistances are the signed common-rank distances of the moved
+	// packets (Table 1's sample). Present only with Options.KeepDeltas.
+	MoveDistances []int64
+	// IATDeltas[i] = g_B − g_A per common packet in ns (Figure 4a/5/…).
+	// Present only with Options.KeepDeltas.
+	IATDeltas []int64
+	// LatencyDeltas[i] = l_B − l_A per common packet in ns
+	// (Figure 4b/…). Present only with Options.KeepDeltas.
+	LatencyDeltas []int64
+
+	// PctIATWithin10 is the percentage of common packets whose IAT delta
+	// is within ±10 ns — the headline per-run statistic in §6–7.
+	PctIATWithin10 float64
+}
+
+// Options controls Compare.
+type Options struct {
+	// KeepDeltas retains the per-packet IAT/latency deltas and move
+	// distances for histogramming; costs O(n) extra memory.
+	KeepDeltas bool
+	// Parallelism splits the per-packet delta pass across this many
+	// goroutines (0 or 1 = serial). Sums are accumulated in integers,
+	// so results are bit-identical to the serial computation for
+	// million-packet traces.
+	Parallelism int
+}
+
+// Compare computes all metrics between trials A and B (Equations 1–5).
+// Both traces must be internally valid; B is conventionally a later run
+// compared against baseline run A. All metrics are symmetric, so the
+// order only affects the sign conventions of the retained deltas.
+func Compare(a, b *trace.Trace, opts Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("metrics: trial A: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("metrics: trial B: %w", err)
+	}
+	m := match(a, b)
+	r := &Result{
+		Common: m.commonCount(),
+		OnlyA:  m.onlyA,
+		OnlyB:  m.onlyB,
+	}
+
+	// U (Equation 1).
+	if total := m.lenA() + m.lenB(); total > 0 {
+		r.U = 1 - 2*float64(r.Common)/float64(total)
+	}
+
+	// O (Equation 2).
+	if r.Common > 0 {
+		es := editScriptOf(m)
+		r.MovedPackets = len(es.Moves)
+		if opts.KeepDeltas {
+			r.MoveDistances = es.Moves
+		}
+		if den := orderingDenominator(r.Common); den > 0 {
+			r.O = es.symmetricAbsMove() / float64(den)
+		}
+	}
+
+	// L (Equation 3) and I (Equation 4). The per-packet pass is
+	// embarrassingly parallel; integer accumulation keeps the reduction
+	// order-independent, so parallel and serial results are identical.
+	if r.Common > 0 {
+		if opts.KeepDeltas {
+			r.IATDeltas = make([]int64, r.Common)
+			r.LatencyDeltas = make([]int64, r.Common)
+		}
+		chunk := func(lo, hi int) (sumL, sumI int64, within10 int) {
+			for i := lo; i < hi; i++ {
+				la, lb := m.latencyPair(a, b, i)
+				dl := int64(lb - la)
+				sumL += absInt64(dl)
+
+				ga, gb := m.gapPair(a, b, i)
+				di := int64(gb - ga)
+				sumI += absInt64(di)
+				if di <= 10 && di >= -10 {
+					within10++
+				}
+				if opts.KeepDeltas {
+					r.LatencyDeltas[i] = dl
+					r.IATDeltas[i] = di
+				}
+			}
+			return
+		}
+
+		var sumL, sumI int64
+		var within10 int
+		workers := opts.Parallelism
+		if workers > r.Common {
+			workers = r.Common
+		}
+		if workers > 1 {
+			type partial struct {
+				l, i int64
+				w    int
+			}
+			parts := make([]partial, workers)
+			var wg sync.WaitGroup
+			per := (r.Common + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * per
+				hi := lo + per
+				if hi > r.Common {
+					hi = r.Common
+				}
+				if lo >= hi {
+					continue
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					l, i, c := chunk(lo, hi)
+					parts[w] = partial{l: l, i: i, w: c}
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, p := range parts {
+				sumL += p.l
+				sumI += p.i
+				within10 += p.w
+			}
+		} else {
+			sumL, sumI, within10 = chunk(0, r.Common)
+		}
+		r.PctIATWithin10 = 100 * float64(within10) / float64(r.Common)
+
+		// Equation 3 denominator: |A∩B| · max(t_B|B| − t_A0, t_A|A| − t_B0).
+		// Trials are compared on trial-relative timelines, so t_X0 is
+		// each trial's first arrival.
+		spanCross := math.Max(float64(b.Span()), float64(a.Span()))
+		if den := float64(r.Common) * spanCross; den > 0 {
+			r.L = float64(sumL) / den
+		}
+		// Equation 4 denominator: (t_B|B| − t_B0) + (t_A|A| − t_A0).
+		if den := float64(b.Span() + a.Span()); den > 0 {
+			r.I = float64(sumI) / den
+		}
+	}
+
+	r.Kappa = Kappa(r.U, r.O, r.L, r.I)
+	return r, nil
+}
+
+// Kappa combines the four normalized variations into the compound
+// consistency score of Equation 5.
+func Kappa(u, o, l, i float64) float64 {
+	return 1 - math.Sqrt(u*u+o*o+l*l+i*i)/2
+}
+
+// MoveSummary summarizes the edit-script distances in the shape of the
+// paper's Table 1 (requires Options.KeepDeltas).
+func (r *Result) MoveSummary() stats.Summary {
+	return stats.SummarizeInts(r.MoveDistances)
+}
+
+// MovedFraction is the share of common packets that appear in the edit
+// script (§6.2 reports 49.8%).
+func (r *Result) MovedFraction() float64 {
+	if r.Common == 0 {
+		return 0
+	}
+	return float64(r.MovedPackets) / float64(r.Common)
+}
+
+// String renders the metric vector the way the paper quotes it.
+func (r *Result) String() string {
+	return fmt.Sprintf("U=%.3g O=%.3g I=%.4g L=%.3g κ=%.4f (common=%d, onlyA=%d, onlyB=%d)",
+		r.U, r.O, r.I, r.L, r.Kappa, r.Common, r.OnlyA, r.OnlyB)
+}
+
+// MeanResult averages metric vectors across runs (Table 2 rows). Kappa
+// is recomputed from the averaged components the way the paper's table
+// aggregates per-run scores — by averaging the per-run κ values.
+type MeanResult struct {
+	U, O, L, I, Kappa float64
+	Runs              int
+}
+
+// Mean aggregates results.
+func Mean(rs []*Result) MeanResult {
+	var m MeanResult
+	m.Runs = len(rs)
+	if m.Runs == 0 {
+		return m
+	}
+	for _, r := range rs {
+		m.U += r.U
+		m.O += r.O
+		m.L += r.L
+		m.I += r.I
+		m.Kappa += r.Kappa
+	}
+	n := float64(m.Runs)
+	m.U /= n
+	m.O /= n
+	m.L /= n
+	m.I /= n
+	m.Kappa /= n
+	return m
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

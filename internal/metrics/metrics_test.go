@@ -1,0 +1,517 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// mk builds a trace from (seq, time) pairs; seq identifies the packet.
+func mk(name string, seqs []uint64, times []sim.Time) *trace.Trace {
+	tr := trace.New(name, len(seqs))
+	for i, s := range seqs {
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: s}, Kind: packet.KindData, FrameLen: 100}, times[i])
+	}
+	return tr
+}
+
+// evenly builds a trace of n packets with the given IAT.
+func evenly(name string, n int, iat sim.Duration) *trace.Trace {
+	seqs := make([]uint64, n)
+	times := make([]sim.Time, n)
+	for i := range seqs {
+		seqs[i] = uint64(i)
+		times[i] = sim.Time(i) * iat
+	}
+	return mk(name, seqs, times)
+}
+
+func mustCompare(t *testing.T, a, b *trace.Trace, opts Options) *Result {
+	t.Helper()
+	r, err := Compare(a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIdenticalTrials(t *testing.T) {
+	a := evenly("A", 100, 284)
+	b := evenly("B", 100, 284)
+	r := mustCompare(t, a, b, Options{})
+	if r.U != 0 || r.O != 0 || r.L != 0 || r.I != 0 {
+		t.Fatalf("identical trials: %v", r)
+	}
+	if r.Kappa != 1 {
+		t.Fatalf("κ = %v, want 1", r.Kappa)
+	}
+	if r.PctIATWithin10 != 100 {
+		t.Fatalf("within10 = %v, want 100", r.PctIATWithin10)
+	}
+}
+
+func TestPaperUniquenessExample(t *testing.T) {
+	// Paper §3: A has 10 packets, B drops one → U = 1/19.
+	a := evenly("A", 10, 100)
+	b := trace.New("B", 9)
+	for i, p := range a.Packets {
+		if i == 4 {
+			continue
+		}
+		b.Append(p, a.Times[i])
+	}
+	r := mustCompare(t, a, b, Options{})
+	if math.Abs(r.U-1.0/19) > 1e-12 {
+		t.Fatalf("U = %v, want 1/19", r.U)
+	}
+	if r.OnlyA != 1 || r.OnlyB != 0 || r.Common != 9 {
+		t.Fatalf("counts: %+v", r)
+	}
+}
+
+func TestReversalMaximizesOrdering(t *testing.T) {
+	n := 101
+	a := evenly("A", n, 100)
+	b := trace.New("B", n)
+	for i := n - 1; i >= 0; i-- {
+		b.Append(a.Packets[i], a.Times[n-1-i])
+	}
+	r := mustCompare(t, a, b, Options{KeepDeltas: true})
+	if r.U != 0 {
+		t.Fatalf("U = %v, want 0", r.U)
+	}
+	// Reversal moves n−1 packets a total of ~n²/2 ranks against a
+	// denominator of n(n+1)/2, so O approaches 1 from below.
+	if r.O < 0.95 || r.O > 1 {
+		t.Fatalf("reversal should be near max: O = %v", r.O)
+	}
+	if r.MovedPackets != n-1 {
+		t.Fatalf("moved %d packets, want %d (LCS of reversal is 1)", r.MovedPackets, n-1)
+	}
+}
+
+func TestSingleSwapOrdering(t *testing.T) {
+	// Swap adjacent packets 3 and 4: one packet moves distance 1.
+	a := evenly("A", 10, 100)
+	seqs := []uint64{0, 1, 2, 4, 3, 5, 6, 7, 8, 9}
+	times := make([]sim.Time, 10)
+	for i := range times {
+		times[i] = a.Times[i]
+	}
+	b := mk("B", seqs, times)
+	r := mustCompare(t, a, b, Options{KeepDeltas: true})
+	if r.MovedPackets != 1 {
+		t.Fatalf("moved %d, want 1", r.MovedPackets)
+	}
+	den := float64(orderingDenominator(10))
+	if math.Abs(r.O-1/den) > 1e-12 {
+		t.Fatalf("O = %v, want %v", r.O, 1/den)
+	}
+}
+
+func TestLatencyShiftDetected(t *testing.T) {
+	// Packet 5 arrives 50ns late in B; everything else identical.
+	a := evenly("A", 10, 100)
+	times := make([]sim.Time, 10)
+	copy(times, a.Times)
+	times[5] += 50
+	seqs := make([]uint64, 10)
+	for i := range seqs {
+		seqs[i] = uint64(i)
+	}
+	b := mk("B", seqs, times)
+	r := mustCompare(t, a, b, Options{KeepDeltas: true})
+	// L numerator: |Δl| = 50 for packet 5 only. Denominator: 10 * 900.
+	if want := 50.0 / (10 * 900); math.Abs(r.L-want) > 1e-12 {
+		t.Fatalf("L = %v, want %v", r.L, want)
+	}
+	// I numerator: gap before packet 5 grows 50, gap before 6 shrinks 50.
+	// Denominator: 900 + 900.
+	if want := 100.0 / 1800; math.Abs(r.I-want) > 1e-12 {
+		t.Fatalf("I = %v, want %v", r.I, want)
+	}
+	if r.LatencyDeltas[5] != 50 {
+		t.Fatalf("latency delta = %d, want 50", r.LatencyDeltas[5])
+	}
+	if r.IATDeltas[5] != 50 || r.IATDeltas[6] != -50 {
+		t.Fatalf("IAT deltas: %v", r.IATDeltas[4:8])
+	}
+}
+
+func TestConstantShiftInvisible(t *testing.T) {
+	// A whole-trial time shift must not register: metrics are computed
+	// on trial-relative timelines.
+	a := evenly("A", 50, 284)
+	b := trace.New("B", 50)
+	for i, p := range a.Packets {
+		b.Append(p, a.Times[i]+123456789)
+	}
+	r := mustCompare(t, a, b, Options{})
+	if r.L != 0 || r.I != 0 || r.Kappa != 1 {
+		t.Fatalf("constant shift changed metrics: %v", r)
+	}
+}
+
+func TestFirstPacketGapBaseCase(t *testing.T) {
+	// Equation 4 base case: the first packet has g = 0 in both trials,
+	// even when the trials start differently.
+	a := mk("A", []uint64{0, 1}, []sim.Time{0, 100})
+	b := mk("B", []uint64{1, 0}, []sim.Time{0, 100})
+	r := mustCompare(t, a, b, Options{KeepDeltas: true})
+	// Packet 1 (first in B, second in A): g_A=100, g_B=0 → |Δ|=100.
+	// Packet 0 (second in B, first in A): g_A=0, g_B=100 → |Δ|=100.
+	if want := 200.0 / 200.0; math.Abs(r.I-want) > 1e-12 {
+		t.Fatalf("I = %v, want %v", r.I, want)
+	}
+}
+
+func TestDuplicateTagsUseOccurrences(t *testing.T) {
+	// Two packets share a tag; occurrence numbering keeps them distinct.
+	a := mk("A", []uint64{7, 7, 8}, []sim.Time{0, 100, 200})
+	b := mk("B", []uint64{7, 7, 8}, []sim.Time{0, 100, 200})
+	r := mustCompare(t, a, b, Options{})
+	if r.Common != 3 || r.U != 0 {
+		t.Fatalf("duplicate handling: %v", r)
+	}
+	// B has one fewer duplicate → exactly one unmatched packet in A.
+	b2 := mk("B2", []uint64{7, 8}, []sim.Time{0, 200})
+	r2 := mustCompare(t, a, b2, Options{})
+	if r2.Common != 2 || r2.OnlyA != 1 {
+		t.Fatalf("missing duplicate: %v", r2)
+	}
+}
+
+func TestKappaFormula(t *testing.T) {
+	if got := Kappa(0, 0, 0, 0); got != 1 {
+		t.Fatalf("κ(0,0,0,0) = %v", got)
+	}
+	if got := Kappa(1, 1, 1, 1); got != 0 {
+		t.Fatalf("κ(1,1,1,1) = %v", got)
+	}
+	if got := Kappa(1, 0, 0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("κ(1,0,0,0) = %v, want 0.5", got)
+	}
+}
+
+func TestEmptyTrials(t *testing.T) {
+	e1, e2 := trace.New("A", 0), trace.New("B", 0)
+	r := mustCompare(t, e1, e2, Options{})
+	if r.U != 0 || r.Kappa != 1 {
+		t.Fatalf("empty vs empty: %v", r)
+	}
+	a := evenly("A", 5, 10)
+	r2 := mustCompare(t, a, e2, Options{})
+	if r2.U != 1 {
+		t.Fatalf("full vs empty: U = %v, want 1", r2.U)
+	}
+}
+
+func TestDisjointTrials(t *testing.T) {
+	a := mk("A", []uint64{1, 2}, []sim.Time{0, 10})
+	b := mk("B", []uint64{3, 4}, []sim.Time{0, 10})
+	r := mustCompare(t, a, b, Options{})
+	if r.U != 1 {
+		t.Fatalf("disjoint U = %v, want 1", r.U)
+	}
+	if r.O != 0 || r.L != 0 || r.I != 0 {
+		t.Fatalf("no common packets should zero O/L/I: %v", r)
+	}
+	if math.Abs(r.Kappa-0.5) > 1e-12 {
+		t.Fatalf("κ = %v, want 0.5", r.Kappa)
+	}
+}
+
+func TestInvalidTraceRejected(t *testing.T) {
+	bad := mk("bad", []uint64{0, 1}, []sim.Time{10, 5})
+	good := evenly("good", 2, 10)
+	if _, err := Compare(bad, good, Options{}); err == nil {
+		t.Fatal("invalid trial A accepted")
+	}
+	if _, err := Compare(good, bad, Options{}); err == nil {
+		t.Fatal("invalid trial B accepted")
+	}
+}
+
+// --- property tests ---
+
+// randomTrial builds a trial by shuffling/perturbing a base of n packets.
+func randomTrial(rng *rand.Rand, name string, n int, shuffle bool, drop float64) *trace.Trace {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if shuffle {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	}
+	tr := trace.New(name, n)
+	tm := sim.Time(0)
+	for _, i := range idx {
+		if rng.Float64() < drop {
+			continue
+		}
+		tm += sim.Duration(rng.Int63n(500) + 1)
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 100}, tm)
+	}
+	return tr
+}
+
+func TestPropertySymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		a := randomTrial(rng, "A", 60, true, 0.1)
+		b := randomTrial(rng, "B", 60, true, 0.1)
+		ab := mustCompare(t, a, b, Options{})
+		ba := mustCompare(t, b, a, Options{})
+		const eps = 1e-9
+		if math.Abs(ab.U-ba.U) > eps || math.Abs(ab.O-ba.O) > eps ||
+			math.Abs(ab.L-ba.L) > eps || math.Abs(ab.I-ba.I) > eps ||
+			math.Abs(ab.Kappa-ba.Kappa) > eps {
+			t.Fatalf("asymmetry:\nAB %v\nBA %v", ab, ba)
+		}
+	}
+}
+
+func TestPropertyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 20; trial++ {
+		a := randomTrial(rng, "A", 80, true, 0)
+		r := mustCompare(t, a, a, Options{})
+		if r.U != 0 || r.O != 0 || r.L != 0 || r.I != 0 || r.Kappa != 1 {
+			t.Fatalf("M(A,A) ≠ 0: %v", r)
+		}
+	}
+}
+
+func TestPropertyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		a := randomTrial(rng, "A", 40, true, 0.2)
+		b := randomTrial(rng, "B", 40, true, 0.2)
+		r := mustCompare(t, a, b, Options{})
+		for name, v := range map[string]float64{"U": r.U, "O": r.O, "L": r.L, "I": r.I, "κ": r.Kappa} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s = %v out of [0,1]\n%v", name, v, r)
+			}
+		}
+	}
+}
+
+func TestPropertyUDropFormula(t *testing.T) {
+	// Dropping k of n packets gives U = k/(2n-k).
+	f := func(rawN, rawK uint8) bool {
+		n := int(rawN%50) + 2
+		k := int(rawK) % n
+		a := evenly("A", n, 100)
+		b := trace.New("B", n-k)
+		for i := k; i < n; i++ {
+			b.Append(a.Packets[i], a.Times[i])
+		}
+		r, err := Compare(a, b, Options{})
+		if err != nil {
+			return false
+		}
+		want := float64(k) / float64(2*n-k)
+		return math.Abs(r.U-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- LCS reference check ---
+
+// refLCSLen is a O(n²) DP reference for the LIS-based LCS length.
+func refLCSLen(seq []int32) int {
+	n := len(seq)
+	if n == 0 {
+		return 0
+	}
+	best := make([]int, n)
+	ans := 0
+	for i := 0; i < n; i++ {
+		best[i] = 1
+		for j := 0; j < i; j++ {
+			if seq[j] < seq[i] && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+			}
+		}
+		if best[i] > ans {
+			ans = best[i]
+		}
+	}
+	return ans
+}
+
+func TestLISMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		perm := rng.Perm(n)
+		seq := make([]int32, n)
+		for i, v := range perm {
+			seq[i] = int32(v)
+		}
+		member := lisMembers(seq)
+		got := 0
+		last := int32(-1)
+		for i, m := range member {
+			if !m {
+				continue
+			}
+			got++
+			if seq[i] <= last {
+				t.Fatalf("LIS not increasing at %d: %v", i, seq)
+			}
+			last = seq[i]
+		}
+		if want := refLCSLen(seq); got != want {
+			t.Fatalf("LIS length %d, reference %d for %v", got, want, seq)
+		}
+	}
+}
+
+func TestLISEmptyAndSingle(t *testing.T) {
+	if m := lisMembers(nil); len(m) != 0 {
+		t.Fatal("empty LIS mask should be empty")
+	}
+	m := lisMembers([]int32{5})
+	if !m[0] {
+		t.Fatal("single element must be on the LIS")
+	}
+}
+
+func TestMoveSummaryAndFraction(t *testing.T) {
+	a := evenly("A", 10, 100)
+	b := trace.New("B", 10)
+	order := []int{1, 0, 2, 3, 4, 5, 6, 7, 8, 9}
+	for i, j := range order {
+		b.Append(a.Packets[j], a.Times[i])
+	}
+	r := mustCompare(t, a, b, Options{KeepDeltas: true})
+	if r.MovedPackets != 1 {
+		t.Fatalf("moved %d, want 1", r.MovedPackets)
+	}
+	if got := r.MovedFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MovedFraction = %v, want 0.1", got)
+	}
+	s := r.MoveSummary()
+	if s.N != 1 || s.AbsMean != 1 {
+		t.Fatalf("MoveSummary = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	rs := []*Result{
+		{U: 0, O: 0.2, L: 0.1, I: 0.4, Kappa: 0.8},
+		{U: 0.2, O: 0, L: 0.3, I: 0.2, Kappa: 0.6},
+	}
+	m := Mean(rs)
+	if m.Runs != 2 || math.Abs(m.U-0.1) > 1e-12 || math.Abs(m.Kappa-0.7) > 1e-12 {
+		t.Fatalf("Mean = %+v", m)
+	}
+	if z := Mean(nil); z.Runs != 0 {
+		t.Fatalf("Mean(nil) = %+v", z)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{U: 0.1, O: 0.2, L: 0.3, I: 0.4, Kappa: 0.5}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestParallelCompareMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 10; trial++ {
+		a := randomTrial(rng, "A", 500, true, 0.05)
+		b := randomTrial(rng, "B", 500, true, 0.05)
+		serial := mustCompare(t, a, b, Options{KeepDeltas: true})
+		for _, workers := range []int{2, 4, 7, 1000} {
+			par := mustCompare(t, a, b, Options{KeepDeltas: true, Parallelism: workers})
+			if par.L != serial.L || par.I != serial.I ||
+				par.PctIATWithin10 != serial.PctIATWithin10 ||
+				par.Kappa != serial.Kappa {
+				t.Fatalf("workers=%d: parallel %v != serial %v", workers, par, serial)
+			}
+			for i := range serial.IATDeltas {
+				if par.IATDeltas[i] != serial.IATDeltas[i] {
+					t.Fatalf("workers=%d: delta %d differs", workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMyersMatchesLISOnPermutations(t *testing.T) {
+	// On permutations of unique values, the general O(ND) algorithm and
+	// the Schensted LIS shortcut must agree on LCS length.
+	rng := rand.New(rand.NewSource(91))
+	identity := func(n int) []int32 {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(80)
+		perm := rng.Perm(n)
+		seq := make([]int32, n)
+		for i, v := range perm {
+			seq[i] = int32(v)
+		}
+		lisLen := 0
+		for _, m := range lisMembers(seq) {
+			if m {
+				lisLen++
+			}
+		}
+		if got := myersLCSLen(identity(n), seq); got != lisLen {
+			t.Fatalf("trial %d: myers %d != lis %d for %v", trial, got, lisLen, seq)
+		}
+	}
+}
+
+func TestMyersGeneralSequences(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		dist int
+	}{
+		{nil, nil, 0},
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 0},
+		{[]int32{1, 2, 3}, nil, 3},
+		{[]int32{1, 2, 3}, []int32{3, 2, 1}, 4},       // LCS 1
+		{[]int32{1, 2, 3, 4}, []int32{2, 3, 4, 5}, 2}, // LCS 3
+		{[]int32{1, 1, 2, 2}, []int32{1, 2, 1, 2}, 2}, // repeats: LCS 3
+	}
+	for _, c := range cases {
+		if got := MyersEditDistance(c.a, c.b); got != c.dist {
+			t.Fatalf("MyersEditDistance(%v,%v) = %d, want %d", c.a, c.b, got, c.dist)
+		}
+	}
+}
+
+func TestQuickMyersSymmetric(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a := make([]int32, len(ra))
+		for i, v := range ra {
+			a[i] = int32(v % 8)
+		}
+		b := make([]int32, len(rb))
+		for i, v := range rb {
+			b[i] = int32(v % 8)
+		}
+		d1 := MyersEditDistance(a, b)
+		d2 := MyersEditDistance(b, a)
+		return d1 == d2 && d1 >= 0 && d1 <= len(a)+len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package metrics
+
+// Reference implementation of Myers' O(ND) difference algorithm
+// (the paper's citation for deriving the minimum edit script alongside
+// the LCS). The production path uses the LIS shortcut, which is valid
+// because trials are permutations of unique packets; this general
+// algorithm works on arbitrary sequences and serves as the
+// cross-validation oracle in tests and as the fallback for callers with
+// non-unique inputs.
+
+// myersLCSLen returns the LCS length of two int32 sequences using the
+// forward O(ND) algorithm with linear space for the V array.
+func myersLCSLen(a, b []int32) int {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	max := n + m
+	// v[k+offset] = furthest x on diagonal k.
+	v := make([]int, 2*max+1)
+	offset := max
+	for d := 0; d <= max; d++ {
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1] // down: insertion
+			} else {
+				x = v[offset+k-1] + 1 // right: deletion
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				// d = total edits = (n - lcs) + (m - lcs).
+				return (n + m - d) / 2
+			}
+		}
+	}
+	return 0
+}
+
+// MyersEditDistance returns the minimum number of insertions plus
+// deletions transforming a into b.
+func MyersEditDistance(a, b []int32) int {
+	return len(a) + len(b) - 2*myersLCSLen(a, b)
+}

@@ -1,0 +1,70 @@
+package metrics
+
+import "repro/internal/trace"
+
+// This file implements the Bellardo–Savage style view the paper's §9
+// relates to: reordering expressed as a probability as a function of
+// packet spacing, complementing O's single number with the *structure*
+// of the reordering.
+
+// ReorderProfile is the probability, per spacing d, that two common
+// packets sent d positions apart (in trial A's order) arrive inverted
+// in trial B.
+type ReorderProfile struct {
+	// Prob[d-1] is the inversion probability at spacing d (1-based
+	// spacings up to MaxSpacing).
+	Prob []float64
+	// Pairs[d-1] counts the pairs examined at spacing d.
+	Pairs []int
+}
+
+// MaxSpacing returns the largest spacing profiled.
+func (p *ReorderProfile) MaxSpacing() int { return len(p.Prob) }
+
+// AnyReordering reports whether any spacing shows inversions.
+func (p *ReorderProfile) AnyReordering() bool {
+	for _, v := range p.Prob {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ReorderBySpacing computes the reorder profile of trial B relative to
+// trial A for spacings 1..maxSpacing. Packets present in only one trial
+// are skipped (that inconsistency belongs to U).
+func ReorderBySpacing(a, b *trace.Trace, maxSpacing int) *ReorderProfile {
+	if maxSpacing < 1 {
+		maxSpacing = 1
+	}
+	m := match(a, b)
+	n := len(m.rankA)
+	// posInB[r] = common rank in B of the packet whose common rank in
+	// A is r: the permutation A-order → B-order.
+	posInB := make([]int32, n)
+	for bRank, aRank := range m.rankA {
+		posInB[aRank] = int32(bRank)
+	}
+	p := &ReorderProfile{
+		Prob:  make([]float64, maxSpacing),
+		Pairs: make([]int, maxSpacing),
+	}
+	for d := 1; d <= maxSpacing; d++ {
+		inv := 0
+		for i := 0; i+d < n; i++ {
+			if posInB[i+d] < posInB[i] {
+				inv++
+			}
+		}
+		pairs := n - d
+		if pairs < 0 {
+			pairs = 0
+		}
+		p.Pairs[d-1] = pairs
+		if pairs > 0 {
+			p.Prob[d-1] = float64(inv) / float64(pairs)
+		}
+	}
+	return p
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import "math"
+
+// This file implements the refinements the paper sketches as future
+// work in §8.2/§10: per-component weights and non-linear scalings that
+// make the *presence* of rare events (any drop, any reordering) weigh
+// more than their linear magnitude.
+
+// Weights scales each component's contribution to the compound score.
+// The zero value means "unweighted" (all ones).
+type Weights struct {
+	U, O, L, I float64
+}
+
+// DefaultWeights is the paper's implicit equal weighting.
+func DefaultWeights() Weights { return Weights{U: 1, O: 1, L: 1, I: 1} }
+
+func (w Weights) orDefault() Weights {
+	if w == (Weights{}) {
+		return DefaultWeights()
+	}
+	return w
+}
+
+// norm returns the normalization constant so that the weighted score
+// still spans [0,1].
+func (w Weights) norm() float64 {
+	return math.Sqrt(w.U*w.U + w.O*w.O + w.L*w.L + w.I*w.I)
+}
+
+// Scaling selects the refinement applied to individual components
+// before combination.
+type Scaling int
+
+const (
+	// ScaleLinear is the paper's published formulation.
+	ScaleLinear Scaling = iota
+	// ScaleSqrt takes the square root of U and O, amplifying small
+	// non-zero values: one drop in a million packets moves the score
+	// visibly ("non-linear scalings that would make the presence of
+	// any drops more heavily impact the score", §8.2).
+	ScaleSqrt
+	// ScaleQuartic takes the fourth root — even more sensitive to
+	// rare events.
+	ScaleQuartic
+)
+
+// apply scales a single component value.
+func (s Scaling) apply(v float64) float64 {
+	switch s {
+	case ScaleSqrt:
+		return math.Sqrt(v)
+	case ScaleQuartic:
+		return math.Sqrt(math.Sqrt(v))
+	default:
+		return v
+	}
+}
+
+// KappaOptions configures the refined compound score.
+type KappaOptions struct {
+	// Weights are per-component multipliers (zero value = equal).
+	Weights Weights
+	// PresenceScaling is applied to U and O, the discrete-event
+	// components where the paper argues presence matters more than
+	// magnitude. L and I remain linear.
+	PresenceScaling Scaling
+}
+
+// KappaScaled computes the refined compound score. With the zero
+// options it equals Kappa exactly.
+func KappaScaled(u, o, l, i float64, opts KappaOptions) float64 {
+	w := opts.Weights.orDefault()
+	u = opts.PresenceScaling.apply(clamp01(u))
+	o = opts.PresenceScaling.apply(clamp01(o))
+	l = clamp01(l)
+	i = clamp01(i)
+	n := w.norm()
+	if n == 0 {
+		return 1
+	}
+	mag := math.Sqrt(w.U*w.U*u*u + w.O*w.O*o*o + w.L*w.L*l*l + w.I*w.I*i*i)
+	return 1 - mag/n
+}
+
+// KappaScaledResult applies KappaScaled to a computed Result.
+func KappaScaledResult(r *Result, opts KappaOptions) float64 {
+	return KappaScaled(r.U, r.O, r.L, r.I, opts)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestKappaScaledZeroOptionsEqualsKappa(t *testing.T) {
+	cases := [][4]float64{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{0.1, 0.2, 0.3, 0.4},
+		{1e-4, 0, 0.05, 2e-6},
+	}
+	for _, c := range cases {
+		got := KappaScaled(c[0], c[1], c[2], c[3], KappaOptions{})
+		want := Kappa(c[0], c[1], c[2], c[3])
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("KappaScaled(%v) = %v, Kappa = %v", c, got, want)
+		}
+	}
+}
+
+func TestSqrtScalingAmplifiesRareDrops(t *testing.T) {
+	// One drop in a million: U ≈ 5e-7; linear κ barely moves, sqrt
+	// scaling makes it visible.
+	u := 5e-7
+	linear := KappaScaled(u, 0, 0, 0, KappaOptions{})
+	sqrt := KappaScaled(u, 0, 0, 0, KappaOptions{PresenceScaling: ScaleSqrt})
+	quartic := KappaScaled(u, 0, 0, 0, KappaOptions{PresenceScaling: ScaleQuartic})
+	if 1-linear > 1e-6 {
+		t.Fatalf("linear κ should barely move: %v", linear)
+	}
+	if sqrt >= linear {
+		t.Fatalf("sqrt scaling should penalize more: %v >= %v", sqrt, linear)
+	}
+	if quartic >= sqrt {
+		t.Fatalf("quartic should penalize more than sqrt: %v >= %v", quartic, sqrt)
+	}
+	// Quartic of 5e-7 is ~0.027: the drop is now visible at the third
+	// decimal of κ.
+	if 1-quartic < 0.005 {
+		t.Fatalf("quartic penalty too weak: κ=%v", quartic)
+	}
+}
+
+func TestScalingLeavesLatencyLinear(t *testing.T) {
+	a := KappaScaled(0, 0, 0.04, 0, KappaOptions{PresenceScaling: ScaleQuartic})
+	b := KappaScaled(0, 0, 0.04, 0, KappaOptions{})
+	if a != b {
+		t.Fatalf("L must stay linear: %v vs %v", a, b)
+	}
+}
+
+func TestWeightsShiftEmphasis(t *testing.T) {
+	// The paper observes I overpowering L; weighting L up rebalances.
+	u, o, l, i := 0.0, 0.0, 1e-5, 0.1
+	plain := KappaScaled(u, o, l, i, KappaOptions{})
+	iDown := KappaScaled(u, o, l, i, KappaOptions{Weights: Weights{U: 1, O: 1, L: 1, I: 0.25}})
+	if iDown <= plain {
+		t.Fatalf("down-weighting I should raise κ: %v <= %v", iDown, plain)
+	}
+	// Weighted score still bounded.
+	if iDown > 1 || iDown < 0 {
+		t.Fatalf("weighted κ out of range: %v", iDown)
+	}
+}
+
+func TestQuickKappaScaledBounds(t *testing.T) {
+	f := func(ru, ro, rl, ri uint8, scale uint8) bool {
+		u := float64(ru) / 255
+		o := float64(ro) / 255
+		l := float64(rl) / 255
+		i := float64(ri) / 255
+		k := KappaScaled(u, o, l, i, KappaOptions{PresenceScaling: Scaling(scale % 3)})
+		return k >= 0 && k <= 1 && !math.IsNaN(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKappaScaledResult(t *testing.T) {
+	r := &Result{U: 0.01, O: 0.02, L: 0.03, I: 0.04}
+	if got, want := KappaScaledResult(r, KappaOptions{}), Kappa(0.01, 0.02, 0.03, 0.04); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("KappaScaledResult = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultWeights(t *testing.T) {
+	if DefaultWeights() != (Weights{1, 1, 1, 1}) {
+		t.Fatal("default weights changed")
+	}
+	if (Weights{}).orDefault() != DefaultWeights() {
+		t.Fatal("zero weights should default")
+	}
+}
+
+// --- reorder profile ---
+
+func reorderTrace(name string, order []int) *trace.Trace {
+	tr := trace.New(name, len(order))
+	for i, v := range order {
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(v)}, Kind: packet.KindData, FrameLen: 100}, sim.Time(i)*100)
+	}
+	return tr
+}
+
+func TestReorderProfileIdentity(t *testing.T) {
+	a := reorderTrace("A", []int{0, 1, 2, 3, 4, 5})
+	b := reorderTrace("B", []int{0, 1, 2, 3, 4, 5})
+	p := ReorderBySpacing(a, b, 3)
+	if p.AnyReordering() {
+		t.Fatalf("identical trials show reordering: %v", p.Prob)
+	}
+	if p.MaxSpacing() != 3 {
+		t.Fatalf("MaxSpacing = %d", p.MaxSpacing())
+	}
+	if p.Pairs[0] != 5 || p.Pairs[2] != 3 {
+		t.Fatalf("pair counts: %v", p.Pairs)
+	}
+}
+
+func TestReorderProfileAdjacentSwap(t *testing.T) {
+	a := reorderTrace("A", []int{0, 1, 2, 3, 4, 5})
+	b := reorderTrace("B", []int{0, 2, 1, 3, 4, 5}) // swap packets 1 and 2
+	p := ReorderBySpacing(a, b, 3)
+	// Only the (1,2) pair at spacing 1 inverts: 1 of 5 pairs.
+	if math.Abs(p.Prob[0]-0.2) > 1e-12 {
+		t.Fatalf("spacing-1 probability %v, want 0.2", p.Prob[0])
+	}
+	if p.Prob[1] != 0 || p.Prob[2] != 0 {
+		t.Fatalf("larger spacings should be clean: %v", p.Prob)
+	}
+	if !p.AnyReordering() {
+		t.Fatal("AnyReordering false")
+	}
+}
+
+func TestReorderProfileReversal(t *testing.T) {
+	a := reorderTrace("A", []int{0, 1, 2, 3})
+	b := reorderTrace("B", []int{3, 2, 1, 0})
+	p := ReorderBySpacing(a, b, 3)
+	for d, prob := range p.Prob {
+		if prob != 1 {
+			t.Fatalf("reversal spacing %d probability %v, want 1", d+1, prob)
+		}
+	}
+}
+
+func TestReorderProfileIgnoresMissing(t *testing.T) {
+	a := reorderTrace("A", []int{0, 1, 2, 3})
+	b := reorderTrace("B", []int{0, 2, 3}) // packet 1 dropped, order intact
+	p := ReorderBySpacing(a, b, 2)
+	if p.AnyReordering() {
+		t.Fatalf("drop misread as reordering: %v", p.Prob)
+	}
+}
+
+func TestReorderProfileClampsSpacing(t *testing.T) {
+	a := reorderTrace("A", []int{0, 1})
+	b := reorderTrace("B", []int{0, 1})
+	p := ReorderBySpacing(a, b, 0)
+	if p.MaxSpacing() != 1 {
+		t.Fatalf("MaxSpacing = %d, want clamp to 1", p.MaxSpacing())
+	}
+	// Spacing beyond trace length yields zero pairs without panicking.
+	p2 := ReorderBySpacing(a, b, 10)
+	if p2.Pairs[9] != 0 {
+		t.Fatalf("expected zero pairs at oversize spacing: %v", p2.Pairs)
+	}
+}

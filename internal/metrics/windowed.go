@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file extends the compound metric along the axis the abstract
+// promises ("designed to support comparison across time, configurations
+// and environments"): κ computed per time window, exposing *when* in a
+// trial the environment misbehaved — a steal burst, a congestion
+// episode — that a single whole-trial score averages away.
+
+// WindowResult is the metric vector of one time window.
+type WindowResult struct {
+	// Start and End bound the window on the trial-relative timeline.
+	Start, End sim.Time
+	// Result holds the §3 metrics restricted to this window.
+	Result *Result
+}
+
+// String renders the window score.
+func (w WindowResult) String() string {
+	return fmt.Sprintf("[%v,%v) κ=%.4f", w.Start, w.End, w.Result.Kappa)
+}
+
+// CompareWindowed slices both trials into consecutive windows of the
+// given length (on each trial's own relative timeline, starting at its
+// first packet) and computes the §3 metrics per window pair. Windows
+// where both trials are empty are skipped.
+//
+// Whole-trial U catches packets that migrated across a window edge as
+// well as real drops; within-window scores should therefore be read as
+// a locality profile, with the aggregate Compare remaining the
+// authoritative total.
+func CompareWindowed(a, b *trace.Trace, window sim.Duration, opts Options) ([]WindowResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("metrics: window must be positive, got %v", window)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("metrics: trial A: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("metrics: trial B: %w", err)
+	}
+	an := a.Normalize()
+	bn := b.Normalize()
+	span := an.Span()
+	if bn.Span() > span {
+		span = bn.Span()
+	}
+	var out []WindowResult
+	ai, bi := 0, 0
+	for start := sim.Time(0); start <= span; start += window {
+		end := start + window
+		subA, na := sliceWindow(an, ai, end)
+		subB, nb := sliceWindow(bn, bi, end)
+		ai, bi = na, nb
+		if subA.Len() == 0 && subB.Len() == 0 {
+			continue
+		}
+		r, err := Compare(subA, subB, opts)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: window [%v,%v): %w", start, end, err)
+		}
+		out = append(out, WindowResult{Start: start, End: end, Result: r})
+	}
+	return out, nil
+}
+
+// sliceWindow returns the packets of tr from index from up to (not
+// including) the first packet at or after end, plus the next index.
+// The sub-trace shares the parent's backing arrays.
+func sliceWindow(tr *trace.Trace, from int, end sim.Time) (*trace.Trace, int) {
+	i := from
+	for i < tr.Len() && tr.Times[i] < end {
+		i++
+	}
+	return &trace.Trace{
+		Name:    tr.Name,
+		Packets: tr.Packets[from:i],
+		Times:   tr.Times[from:i],
+	}, i
+}
+
+// WorstWindow returns the window with the lowest κ (the episode to go
+// debugging), or a zero value when ws is empty.
+func WorstWindow(ws []WindowResult) WindowResult {
+	var worst WindowResult
+	for i, w := range ws {
+		if i == 0 || w.Result.Kappa < worst.Result.Kappa {
+			worst = w
+		}
+	}
+	return worst
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// windowedTrial builds n packets at the given IAT with a perturbation
+// applied inside [from, to).
+func windowedTrial(name string, n int, iat sim.Duration, perturb func(i int, t sim.Time) sim.Time) *trace.Trace {
+	tr := trace.New(name, n)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * iat
+		if perturb != nil {
+			at = perturb(i, at)
+		}
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 100}, at)
+	}
+	return tr
+}
+
+func TestWindowedIdenticalAllPerfect(t *testing.T) {
+	a := windowedTrial("A", 1000, 100, nil)
+	b := windowedTrial("B", 1000, 100, nil)
+	ws, err := CompareWindowed(a, b, 10_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 10 {
+		t.Fatalf("%d windows, want 10", len(ws))
+	}
+	for _, w := range ws {
+		if w.Result.Kappa != 1 {
+			t.Fatalf("window %v not perfect: %v", w, w.Result)
+		}
+	}
+}
+
+func TestWindowedLocalizesEpisode(t *testing.T) {
+	// Jitter only in the 4th of 10 windows; the other windows stay
+	// clean and the worst window is the episode.
+	a := windowedTrial("A", 1000, 100, nil)
+	b := windowedTrial("B", 1000, 100, func(i int, at sim.Time) sim.Time {
+		if i >= 300 && i < 400 {
+			return at + sim.Time(i%3)*30 // local IAT churn, stays monotone
+		}
+		return at
+	})
+	ws, err := CompareWindowed(a, b, 10_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := WorstWindow(ws)
+	if worst.Start != 30_000 {
+		t.Fatalf("worst window at %v, want 30000 (the perturbed one)", worst.Start)
+	}
+	clean := 0
+	for _, w := range ws {
+		if w.Result.Kappa > 0.99 {
+			clean++
+		}
+	}
+	if clean < 7 {
+		t.Fatalf("only %d of %d windows clean", clean, len(ws))
+	}
+}
+
+func TestWindowedInvalidWindow(t *testing.T) {
+	a := windowedTrial("A", 10, 100, nil)
+	if _, err := CompareWindowed(a, a, 0, Options{}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestWindowedEmptyTrials(t *testing.T) {
+	a, b := trace.New("A", 0), trace.New("B", 0)
+	ws, err := CompareWindowed(a, b, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single empty window pair is produced at start (span 0).
+	for _, w := range ws {
+		if w.Result.Kappa != 1 {
+			t.Fatalf("empty window scored %v", w)
+		}
+	}
+}
+
+func TestWindowedCoversAllPackets(t *testing.T) {
+	a := windowedTrial("A", 777, 130, nil)
+	b := windowedTrial("B", 777, 130, nil)
+	ws, err := CompareWindowed(a, b, 9_999, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range ws {
+		total += w.Result.Common
+	}
+	if total != 777 {
+		t.Fatalf("windows cover %d packets, want 777", total)
+	}
+}
+
+func TestWindowedAggregateAgreesOnCleanTrials(t *testing.T) {
+	// With no cross-window migration, the mean of window I values is
+	// close to the whole-trial I.
+	a := windowedTrial("A", 2000, 100, nil)
+	b := windowedTrial("B", 2000, 100, func(i int, at sim.Time) sim.Time {
+		return at + sim.Time(i%3) // small global jitter
+	})
+	whole, err := Compare(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := CompareWindowed(a, b, 20_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanI float64
+	for _, w := range ws {
+		meanI += w.Result.I
+	}
+	meanI /= float64(len(ws))
+	if math.Abs(meanI-whole.I) > whole.I*0.5 {
+		t.Fatalf("window mean I %v far from whole-trial I %v", meanI, whole.I)
+	}
+}
+
+func TestWorstWindowEmpty(t *testing.T) {
+	w := WorstWindow(nil)
+	if w.Result != nil {
+		t.Fatal("zero value expected")
+	}
+}
+
+func TestWindowResultString(t *testing.T) {
+	w := WindowResult{Start: 0, End: 100, Result: &Result{Kappa: 0.5}}
+	if w.String() == "" {
+		t.Fatal("empty string")
+	}
+}

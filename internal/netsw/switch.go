@@ -1,0 +1,189 @@
+// Package netsw models the experiment switches: the local testbed's
+// Tofino2 running a simple ingress→egress port-forwarding program, and
+// the Cisco 5700s FABRIC sites deploy. Forwarding is statically
+// configured per ingress port, exactly like the paper's P4 program.
+//
+// Each egress port serializes frames at its line rate with a finite
+// byte-bounded queue; congestion across ingress ports is the only way a
+// switch drops packets.
+package netsw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Profile captures a switch's timing personality.
+type Profile struct {
+	// Name for diagnostics ("Tofino2", "Cisco5700").
+	Name string
+	// ForwardLatency is the ingress→egress pipeline latency per frame.
+	// Cut-through switches have a tight, small distribution;
+	// store-and-forward switches add the buffering variance the paper
+	// suspects contributes to FABRIC's extra IAT noise.
+	ForwardLatency sim.Dist
+	// PortRateBps is each port's line rate.
+	PortRateBps int64
+	// EgressQueueBytes bounds each egress queue; 0 means 16 MiB.
+	EgressQueueBytes int
+}
+
+func (p *Profile) queueBytes() int {
+	if p.EgressQueueBytes <= 0 {
+		return 16 << 20
+	}
+	return p.EgressQueueBytes
+}
+
+// Tofino2 returns the local testbed's AS9516-32D profile: cut-through
+// with a sub-100ns, very tight pipeline.
+func Tofino2(rateBps int64) Profile {
+	return Profile{
+		Name:           "Tofino2",
+		ForwardLatency: sim.Clamp{D: sim.Normal{Mu: 60, Sigma: 1.2}, Lo: 50, Hi: 120},
+		PortRateBps:    rateBps,
+	}
+}
+
+// Cisco5700 returns the FABRIC site switch profile: store-and-forward
+// with a larger and noisier pipeline latency.
+func Cisco5700(rateBps int64) Profile {
+	return Profile{
+		Name:           "Cisco5700",
+		ForwardLatency: sim.Clamp{D: sim.Normal{Mu: 800, Sigma: 9}, Lo: 500, Hi: 3000},
+		PortRateBps:    rateBps,
+	}
+}
+
+// Switch is a statically-routed L2 forwarding element.
+type Switch struct {
+	eng   *sim.Engine
+	prof  Profile
+	rng   *rand.Rand
+	ports []*Port
+}
+
+// New creates a switch; label seeds its private random stream.
+func New(eng *sim.Engine, prof Profile, label string) *Switch {
+	if prof.PortRateBps <= 0 {
+		panic("netsw: port rate must be positive")
+	}
+	return &Switch{eng: eng, prof: prof, rng: eng.Rand("switch/" + label)}
+}
+
+// Port is one switch port. It implements nic.Endpoint so device queues
+// can connect straight to it; frames received on a port are forwarded to
+// the port configured with Forward.
+type Port struct {
+	sw        *Switch
+	id        int
+	out       nic.Endpoint
+	prop      sim.Duration
+	routeTo   int
+	busyTil   sim.Time
+	queued    int
+	forwarded uint64
+	dropped   uint64
+	downFrom  sim.Time
+	downTo    sim.Time
+	lost      uint64
+}
+
+// AddPort creates the next port (ids are sequential from 0); routes
+// default to "drop" until Forward is called.
+func (s *Switch) AddPort() *Port {
+	p := &Port{sw: s, id: len(s.ports), routeTo: -1}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Forward installs the static route: frames arriving on ingress leave
+// through egress — one table entry of the paper's forwarding program.
+func (s *Switch) Forward(ingress, egress int) {
+	if ingress < 0 || ingress >= len(s.ports) || egress < 0 || egress >= len(s.ports) {
+		panic(fmt.Sprintf("netsw: route %d->%d out of range", ingress, egress))
+	}
+	s.ports[ingress].routeTo = egress
+}
+
+// Attach connects the port's egress side to a device with the given
+// propagation delay.
+func (p *Port) Attach(dev nic.Endpoint, prop sim.Duration) {
+	p.out = dev
+	p.prop = prop
+}
+
+// Forwarded returns frames sent out of this port.
+func (p *Port) Forwarded() uint64 { return p.forwarded }
+
+// Dropped returns frames dropped at this port's egress queue.
+func (p *Port) Dropped() uint64 { return p.dropped }
+
+// FailBetween takes the port's ingress down for [from, to): frames
+// arriving in the window are lost, as in a link flap or optic failure.
+// Use for failure-injection experiments; the consistency metrics (U,
+// and windowed κ) should localize the episode.
+func (p *Port) FailBetween(from, to sim.Time) {
+	p.downFrom, p.downTo = from, to
+}
+
+// Lost returns frames dropped by an injected failure window.
+func (p *Port) Lost() uint64 { return p.lost }
+
+// Receive implements nic.Endpoint: a frame has fully arrived on this
+// ingress port.
+func (p *Port) Receive(pkt *packet.Packet, at sim.Time) {
+	if at >= p.downFrom && at < p.downTo {
+		p.lost++
+		return
+	}
+	if p.routeTo < 0 {
+		return // no route: dropped silently like an unprogrammed table
+	}
+	eg := p.sw.ports[p.routeTo]
+	fl := p.sw.prof.ForwardLatency
+	var lat sim.Duration
+	if fl != nil {
+		lat = fl.Sample(p.sw.rng)
+		if lat < 0 {
+			lat = 0
+		}
+	}
+	eg.transmit(pkt, at+lat)
+}
+
+// transmit serializes the frame out of the egress port.
+func (p *Port) transmit(pkt *packet.Packet, ready sim.Time) {
+	if p.out == nil {
+		return
+	}
+	wb := packet.WireBytes(pkt.FrameLen)
+	if p.queued+wb > p.sw.prof.queueBytes() {
+		p.dropped++
+		return
+	}
+	p.queued += wb
+	start := ready
+	if p.busyTil > start {
+		start = p.busyTil
+	}
+	end := start + packet.SerializationTime(pkt.FrameLen, p.sw.prof.PortRateBps)
+	p.busyTil = end
+	p.forwarded++
+	out, prop := p.out, p.prop
+	p.sw.eng.Schedule(end, func() {
+		p.queued -= wb
+		if out != nil {
+			p.sw.eng.Schedule(p.sw.eng.Now()+prop, func() {
+				out.Receive(pkt, end+prop)
+			})
+		}
+	})
+}

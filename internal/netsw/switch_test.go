@@ -1,0 +1,223 @@
+package netsw
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type collector struct {
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, t sim.Time) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, t)
+}
+
+func mkPkt(seq uint64, frameLen int) *packet.Packet {
+	return &packet.Packet{Tag: packet.Tag{Seq: seq}, FrameLen: frameLen}
+}
+
+func perfectProfile(rate int64) Profile {
+	return Profile{Name: "ideal", PortRateBps: rate}
+}
+
+func twoPortSwitch(e *sim.Engine, prof Profile) (*Switch, *collector) {
+	s := New(e, prof, "t")
+	s.AddPort()
+	s.AddPort()
+	sink := &collector{}
+	s.Port(1).Attach(sink, 0)
+	s.Forward(0, 1)
+	return s, sink
+}
+
+func TestForwardBasic(t *testing.T) {
+	e := sim.NewEngine(1)
+	s, sink := twoPortSwitch(e, perfectProfile(packet.Gbps(100)))
+	s.Port(0).Receive(mkPkt(1, 1400), 0)
+	e.Run()
+	if len(sink.pkts) != 1 {
+		t.Fatalf("forwarded %d, want 1", len(sink.pkts))
+	}
+	want := packet.SerializationTime(1400, packet.Gbps(100))
+	if sink.times[0] != want {
+		t.Fatalf("arrival %v, want %v", sink.times[0], want)
+	}
+	if s.Port(1).Forwarded() != 1 {
+		t.Fatal("forwarded counter wrong")
+	}
+}
+
+func TestForwardLatencyApplied(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.ForwardLatency = sim.Constant{V: 555}
+	s, sink := twoPortSwitch(e, prof)
+	s.Port(0).Receive(mkPkt(1, 1400), 100)
+	e.Run()
+	want := sim.Time(100) + 555 + packet.SerializationTime(1400, packet.Gbps(100))
+	if sink.times[0] != want {
+		t.Fatalf("arrival %v, want %v", sink.times[0], want)
+	}
+}
+
+func TestNoRouteDropsSilently(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := New(e, perfectProfile(packet.Gbps(100)), "t")
+	s.AddPort()
+	s.Port(0).Receive(mkPkt(1, 1400), 0)
+	e.Run() // no panic, nothing delivered
+}
+
+func TestBadRoutePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := New(e, perfectProfile(packet.Gbps(100)), "t")
+	s.AddPort()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range route accepted")
+		}
+	}()
+	s.Forward(0, 3)
+}
+
+func TestZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	New(sim.NewEngine(1), Profile{}, "t")
+}
+
+func TestEgressSerializesContention(t *testing.T) {
+	// Two ingress ports feed one egress: frames cannot overlap on the
+	// egress line.
+	e := sim.NewEngine(1)
+	s := New(e, perfectProfile(packet.Gbps(100)), "t")
+	s.AddPort() // 0 in
+	s.AddPort() // 1 in
+	s.AddPort() // 2 out
+	sink := &collector{}
+	s.Port(2).Attach(sink, 0)
+	s.Forward(0, 2)
+	s.Forward(1, 2)
+
+	s.Port(0).Receive(mkPkt(1, 1400), 0)
+	s.Port(1).Receive(mkPkt(2, 1400), 0)
+	e.Run()
+	if len(sink.pkts) != 2 {
+		t.Fatalf("forwarded %d, want 2", len(sink.pkts))
+	}
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	if gap := sink.times[1] - sink.times[0]; gap != ser {
+		t.Fatalf("egress gap %v, want serialization %v", gap, ser)
+	}
+}
+
+func TestEgressQueueOverflowDrops(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(1)) // slow egress
+	prof.EgressQueueBytes = 3 * packet.WireBytes(1400)
+	s, sink := twoPortSwitch(e, prof)
+	for i := 0; i < 10; i++ {
+		s.Port(0).Receive(mkPkt(uint64(i), 1400), 0)
+	}
+	e.Run()
+	if s.Port(1).Dropped() != 7 {
+		t.Fatalf("dropped %d, want 7", s.Port(1).Dropped())
+	}
+	if len(sink.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3", len(sink.pkts))
+	}
+}
+
+func TestQueueDrainsAllowsLaterTraffic(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(1))
+	prof.EgressQueueBytes = 2 * packet.WireBytes(1400)
+	s, sink := twoPortSwitch(e, prof)
+	s.Port(0).Receive(mkPkt(1, 1400), 0)
+	s.Port(0).Receive(mkPkt(2, 1400), 0)
+	e.Run() // queue drained
+	s.Port(0).Receive(mkPkt(3, 1400), e.Now())
+	e.Run()
+	if len(sink.pkts) != 3 {
+		t.Fatalf("delivered %d, want 3 after drain", len(sink.pkts))
+	}
+	if s.Port(1).Dropped() != 0 {
+		t.Fatalf("dropped %d, want 0", s.Port(1).Dropped())
+	}
+}
+
+func TestFIFOWithinIngress(t *testing.T) {
+	e := sim.NewEngine(4)
+	prof := Tofino2(packet.Gbps(100))
+	s, sink := twoPortSwitch(e, prof)
+	at := sim.Time(0)
+	for i := 0; i < 200; i++ {
+		i := i
+		e.Schedule(at, func() { s.Port(0).Receive(mkPkt(uint64(i), 1400), e.Now()) })
+		at += 284
+	}
+	e.Run()
+	if len(sink.pkts) != 200 {
+		t.Fatalf("delivered %d, want 200", len(sink.pkts))
+	}
+	for i := 1; i < len(sink.pkts); i++ {
+		if sink.pkts[i].Tag.Seq != sink.pkts[i-1].Tag.Seq+1 {
+			t.Fatalf("reordered at %d", i)
+		}
+		if sink.times[i] < sink.times[i-1] {
+			t.Fatalf("time inversion at %d", i)
+		}
+	}
+}
+
+func TestPresetProfilesOrdering(t *testing.T) {
+	// The Cisco profile must be slower and noisier than the Tofino one.
+	tf := Tofino2(packet.Gbps(100))
+	cs := Cisco5700(packet.Gbps(100))
+	if tf.ForwardLatency.Mean() >= cs.ForwardLatency.Mean() {
+		t.Fatal("Tofino should have lower mean latency than Cisco")
+	}
+}
+
+func TestAttachPropagation(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := New(e, perfectProfile(packet.Gbps(100)), "t")
+	s.AddPort()
+	s.AddPort()
+	sink := &collector{}
+	s.Port(1).Attach(sink, 2_500) // 2.5µs of fibre
+	s.Forward(0, 1)
+	s.Port(0).Receive(mkPkt(1, 1400), 0)
+	e.Run()
+	want := packet.SerializationTime(1400, packet.Gbps(100)) + 2_500
+	if sink.times[0] != want {
+		t.Fatalf("arrival %v, want %v", sink.times[0], want)
+	}
+}
+
+func TestFailBetweenDropsWindow(t *testing.T) {
+	e := sim.NewEngine(8)
+	s, sink := twoPortSwitch(e, perfectProfile(packet.Gbps(100)))
+	s.Port(0).FailBetween(1000, 2000)
+	for i := 0; i < 30; i++ {
+		at := sim.Time(i) * 100 // arrivals at 0,100,...,2900
+		i := i
+		e.Schedule(at, func() { s.Port(0).Receive(mkPkt(uint64(i), 1400), e.Now()) })
+	}
+	e.Run()
+	// Arrivals in [1000,2000) are 10 packets (1000..1900).
+	if got := s.Port(0).Lost(); got != 10 {
+		t.Fatalf("lost %d, want 10", got)
+	}
+	if len(sink.pkts) != 20 {
+		t.Fatalf("delivered %d, want 20", len(sink.pkts))
+	}
+}

@@ -1,0 +1,360 @@
+// Package nic models the network interface cards of the testbed: DPDK
+// burst transmission, the doorbell→DMA pull delay that bounds replay
+// accuracy (paper §2.3), SR-IOV virtual functions sharing one physical
+// pipe, and receive-side hardware timestamping.
+//
+// A NIC owns one physical line. Dedicated NICs have a single queue;
+// shared NICs expose several virtual functions (VFs), each with its own
+// finite queue, arbitrated round-robin onto the line. Timing noise is
+// injected per the NIC's Profile; queue overflow under contention is how
+// packet drops arise (they are never injected directly).
+package nic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// BurstSize is the largest burst a DPDK application hands to the NIC in
+// one call; Choir transmits "in up to 64-packet bursts" (paper §5).
+const BurstSize = 64
+
+// Endpoint is anything that can terminate a wire: a switch port, a
+// recorder, a middlebox.
+type Endpoint interface {
+	// Receive is called when a frame finishes arriving at wireTime.
+	Receive(p *packet.Packet, wireTime sim.Time)
+}
+
+// Profile captures a NIC's timing personality. All distributions may be
+// nil, meaning "perfect" (zero).
+type Profile struct {
+	// Name for diagnostics ("ConnectX-5", "ConnectX-6 VF", ...).
+	Name string
+	// LineRateBps is the physical line rate.
+	LineRateBps int64
+	// PullLatency is the doorbell→wire delay sampled for each DMA pull
+	// that starts from an idle engine — the delay the paper identifies
+	// as the accuracy bound for any DPDK replayer.
+	PullLatency sim.Dist
+	// ColdPullExtra is added to the first pull after the engine has
+	// been idle for ColdThreshold — descriptor caches and doorbell
+	// paths are cold at the start of a replay run. This is the run-level
+	// constant offset behind the paper's one-sided latency spikes.
+	ColdPullExtra sim.Dist
+	// ColdThreshold is the idle time after which a pull is cold.
+	// Zero means 1 ms.
+	ColdThreshold sim.Duration
+	// PerPacketJitter perturbs each frame's wire emission instant
+	// without reordering the line.
+	PerPacketJitter sim.Dist
+	// RepaceProb is the probability that a pulled burst is "re-paced":
+	// its frames get jitter from RepaceJitter instead of
+	// PerPacketJitter. This models the FABRIC dedicated-NIC path where
+	// the virtualized DMA occasionally re-batches a burst, producing
+	// the bimodal IAT distribution of Figures 6/8.
+	RepaceProb   float64
+	RepaceJitter sim.Dist
+	// VFSwitchOverhead is added whenever the arbiter moves to a
+	// different VF's queue (shared NICs only).
+	VFSwitchOverhead sim.Dist
+	// PacketInterleave makes the VF arbiter multiplex at packet
+	// granularity instead of burst granularity — how a physical SR-IOV
+	// scheduler actually shares the line. Scheduling is byte-fair
+	// (deficit round robin) so a VF sending jumbo frames cannot starve
+	// one sending small frames. Under contention, competing VFs'
+	// frames land between a flow's packets, perturbing its IATs by
+	// whole serialization times.
+	PacketInterleave bool
+}
+
+// drrQuantum is the per-visit byte credit of the packet-interleaving
+// arbiter.
+const drrQuantum = 2048
+
+func (p *Profile) coldThreshold() sim.Duration {
+	if p.ColdThreshold == 0 {
+		return sim.Millisecond
+	}
+	return p.ColdThreshold
+}
+
+func sample(d sim.Dist, rng *rand.Rand) sim.Duration {
+	if d == nil {
+		return 0
+	}
+	return d.Sample(rng)
+}
+
+// NIC is one physical adapter. Use NewQueue to create its queues (one
+// for a dedicated NIC, several for SR-IOV VFs).
+type NIC struct {
+	eng        *sim.Engine
+	prof       Profile
+	rng        *rand.Rand
+	queues     []*Queue
+	nextVF     int
+	lastServed *Queue
+	active     bool
+	busyTil    sim.Time // line busy-until
+	lastUse    sim.Time // when the DMA engine last finished work
+	stall      *sim.StallTimeline
+}
+
+// New creates a NIC with the given profile. The label seeds this NIC's
+// private random stream.
+func New(eng *sim.Engine, prof Profile, label string) *NIC {
+	if prof.LineRateBps <= 0 {
+		panic("nic: line rate must be positive")
+	}
+	return &NIC{
+		eng:  eng,
+		prof: prof,
+		rng:  eng.Rand("nic/" + label),
+		// A never-used engine is maximally cold.
+		lastUse: -(1 << 62),
+	}
+}
+
+// SetStallTimeline attaches a host-side stall model (vCPU steal); DMA
+// pulls scheduled during a stall are deferred to its end.
+func (n *NIC) SetStallTimeline(s *sim.StallTimeline) { n.stall = s }
+
+// Profile returns the NIC's timing profile.
+func (n *NIC) Profile() Profile { return n.prof }
+
+// Queue is a transmit queue: the sole queue of a dedicated NIC or one
+// SR-IOV virtual function of a shared NIC.
+type Queue struct {
+	nic      *NIC
+	peer     Endpoint
+	prop     sim.Duration
+	capPkts  int
+	bursts   [][]*packet.Packet
+	deficit  int
+	queued   int
+	sent     uint64
+	dropped  uint64
+	doorbell uint64
+}
+
+// NewQueue adds a transmit queue with the given capacity in packets
+// (<=0 means a deep 64 Ki-packet ring).
+func (n *NIC) NewQueue(capPkts int) *Queue {
+	if capPkts <= 0 {
+		capPkts = 64 * 1024
+	}
+	q := &Queue{nic: n, capPkts: capPkts}
+	n.queues = append(n.queues, q)
+	return q
+}
+
+// Connect attaches the queue's traffic to a far-end endpoint with the
+// given propagation delay.
+func (q *Queue) Connect(peer Endpoint, prop sim.Duration) {
+	q.peer = peer
+	q.prop = prop
+}
+
+// Sent returns frames put on the wire from this queue.
+func (q *Queue) Sent() uint64 { return q.sent }
+
+// Dropped returns frames tail-dropped due to queue overflow.
+func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Depth returns the packets currently queued.
+func (q *Queue) Depth() int { return q.queued }
+
+// SendBurst enqueues up to BurstSize packets and rings the doorbell.
+// Packets beyond the queue capacity are tail-dropped, which is how
+// drops materialize under shared-NIC contention (§7.1).
+func (q *Queue) SendBurst(pkts []*packet.Packet) {
+	if len(pkts) == 0 {
+		return
+	}
+	if q.peer == nil {
+		panic(fmt.Sprintf("nic %s: queue not connected", q.nic.prof.Name))
+	}
+	room := q.capPkts - q.queued
+	if room <= 0 {
+		q.dropped += uint64(len(pkts))
+		return
+	}
+	if len(pkts) > room {
+		q.dropped += uint64(len(pkts) - room)
+		pkts = pkts[:room]
+	}
+	q.bursts = append(q.bursts, pkts)
+	q.queued += len(pkts)
+	q.doorbell++
+	q.nic.kick()
+}
+
+// kick starts the DMA engine if it is idle.
+func (n *NIC) kick() {
+	if n.active {
+		return
+	}
+	n.active = true
+	now := n.eng.Now()
+	delay := sample(n.prof.PullLatency, n.rng)
+	if now-n.lastUse >= n.prof.coldThreshold() {
+		delay += sample(n.prof.ColdPullExtra, n.rng)
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	at := now + delay
+	if n.stall != nil {
+		at = n.stall.Adjust(at)
+	}
+	n.eng.Schedule(at, n.drain)
+}
+
+// drain pulls the next unit of work — a whole burst, or a single packet
+// when the arbiter interleaves at packet granularity — from the next
+// eligible queue and serializes it onto the line, then reschedules
+// itself while work remains.
+func (n *NIC) drain() {
+	interleave := n.prof.PacketInterleave && len(n.queues) > 1
+	var q *Queue
+	var burst []*packet.Packet
+	if interleave {
+		q = n.pickDRR()
+		if q != nil {
+			head := q.bursts[0]
+			burst = head[:1]
+			if len(head) == 1 {
+				q.bursts = q.bursts[1:]
+			} else {
+				q.bursts[0] = head[1:]
+			}
+		}
+	} else {
+		q = n.pickQueue()
+		if q != nil {
+			burst = q.bursts[0]
+			q.bursts = q.bursts[1:]
+		}
+	}
+	if q == nil {
+		n.active = false
+		n.lastUse = n.eng.Now()
+		return
+	}
+	q.queued -= len(burst)
+
+	now := n.eng.Now()
+	if n.busyTil < now {
+		n.busyTil = now
+	}
+	// Changing VF mid-stream costs the arbiter a context switch.
+	if n.lastServed != nil && n.lastServed != q {
+		n.busyTil += maxD(0, sample(n.prof.VFSwitchOverhead, n.rng))
+	}
+	n.lastServed = q
+
+	jitterDist := n.prof.PerPacketJitter
+	if n.prof.RepaceProb > 0 && n.rng.Float64() < n.prof.RepaceProb {
+		jitterDist = n.prof.RepaceJitter
+	}
+	for _, p := range burst {
+		start := n.busyTil
+		if j := sample(jitterDist, n.rng); j > 0 {
+			start += j
+		} else {
+			// Negative jitter cannot pre-empt the line; it only
+			// tightens a gap if one exists.
+			start += j
+			if start < n.busyTil {
+				start = n.busyTil
+			}
+		}
+		end := start + packet.SerializationTime(p.FrameLen, n.prof.LineRateBps)
+		n.busyTil = end
+		p.SentAt = end
+		q.sent++
+		peer, prop := q.peer, q.prop
+		pkt := p
+		n.eng.Schedule(end+prop, func() {
+			peer.Receive(pkt, end+prop)
+		})
+	}
+
+	// Continue when the line frees up.
+	if n.peekQueue() == nil {
+		n.active = false
+		n.lastUse = n.busyTil
+		return
+	}
+	at := n.busyTil
+	if at < n.eng.Now() {
+		at = n.eng.Now()
+	}
+	n.eng.Schedule(at, n.drain)
+}
+
+// pickDRR selects the next queue by byte-fair deficit round robin and
+// leaves its head packet eligible (deficit already charged). Returns nil
+// when every queue is empty.
+func (n *NIC) pickDRR() *Queue {
+	nonEmpty := 0
+	for _, q := range n.queues {
+		if len(q.bursts) > 0 {
+			nonEmpty++
+		} else {
+			q.deficit = 0
+		}
+	}
+	if nonEmpty == 0 {
+		return nil
+	}
+	for {
+		q := n.queues[n.nextVF]
+		if len(q.bursts) == 0 {
+			n.nextVF = (n.nextVF + 1) % len(n.queues)
+			continue
+		}
+		need := packet.WireBytes(q.bursts[0][0].FrameLen)
+		if q.deficit >= need {
+			q.deficit -= need
+			return q
+		}
+		q.deficit += drrQuantum
+		n.nextVF = (n.nextVF + 1) % len(n.queues)
+	}
+}
+
+// pickQueue returns the next non-empty queue round-robin, advancing the
+// arbiter, or nil.
+func (n *NIC) pickQueue() *Queue {
+	for i := 0; i < len(n.queues); i++ {
+		q := n.queues[(n.nextVF+i)%len(n.queues)]
+		if len(q.bursts) > 0 {
+			n.nextVF = (n.nextVF + i + 1) % len(n.queues)
+			return q
+		}
+	}
+	return nil
+}
+
+// peekQueue returns the queue pickQueue would choose without advancing.
+func (n *NIC) peekQueue() *Queue {
+	for i := 0; i < len(n.queues); i++ {
+		q := n.queues[(n.nextVF+i)%len(n.queues)]
+		if len(q.bursts) > 0 {
+			return q
+		}
+	}
+	return nil
+}
+
+func maxD(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,356 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// collector records delivered packets with their arrival times.
+type collector struct {
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, t sim.Time) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, t)
+}
+
+func mkPkts(n, frameLen int) []*packet.Packet {
+	out := make([]*packet.Packet, n)
+	for i := range out {
+		out[i] = &packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: frameLen}
+	}
+	return out
+}
+
+func perfectProfile(rateBps int64) Profile {
+	return Profile{Name: "perfect", LineRateBps: rateBps}
+}
+
+func TestPerfectNICPreservesOrderAndRate(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(100)), "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	pkts := mkPkts(64, 1400)
+	q.SendBurst(pkts)
+	e.Run()
+
+	if len(sink.pkts) != 64 {
+		t.Fatalf("delivered %d packets, want 64", len(sink.pkts))
+	}
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	for i, p := range sink.pkts {
+		if p.Tag.Seq != uint64(i) {
+			t.Fatalf("packet %d out of order: seq %d", i, p.Tag.Seq)
+		}
+		if i > 0 {
+			gap := sink.times[i] - sink.times[i-1]
+			if gap != ser {
+				t.Fatalf("packet %d: gap %v, want serialization time %v", i, gap, ser)
+			}
+		}
+	}
+	if q.Sent() != 64 || q.Dropped() != 0 {
+		t.Fatalf("sent=%d dropped=%d", q.Sent(), q.Dropped())
+	}
+}
+
+func TestPullLatencyDelaysFirstFrame(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.PullLatency = sim.Constant{V: 500}
+	n := New(e, prof, "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	q.SendBurst(mkPkts(1, 1400))
+	e.Run()
+	want := sim.Time(500) + packet.SerializationTime(1400, packet.Gbps(100))
+	if sink.times[0] != want {
+		t.Fatalf("first arrival %v, want %v", sink.times[0], want)
+	}
+}
+
+func TestColdPullExtraOnlyAfterIdle(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.ColdPullExtra = sim.Constant{V: 10_000}
+	prof.ColdThreshold = sim.Millisecond
+	n := New(e, prof, "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+
+	// First burst at t=0 is cold (NIC never used).
+	q.SendBurst(mkPkts(1, 1400))
+	e.Run()
+	if sink.times[0] != 10_000+ser {
+		t.Fatalf("cold first arrival %v, want %v", sink.times[0], 10_000+ser)
+	}
+
+	// Second burst shortly after is warm.
+	e.After(1000, func() { q.SendBurst(mkPkts(1, 1400)) })
+	e.Run()
+	warmStart := sink.times[1] - ser
+	if warmStart != sink.times[0]+1000-ser+ser { // doorbell at times[0]+1000... compute directly
+		// warm pull: no extra; doorbell time = 10_000+ser+1000
+		want := 10_000 + ser + 1000 + ser
+		if sink.times[1] != want {
+			t.Fatalf("warm arrival %v, want %v", sink.times[1], want)
+		}
+	}
+
+	// Third burst after a long idle period is cold again.
+	e.After(5*sim.Millisecond, func() { q.SendBurst(mkPkts(1, 1400)) })
+	start := e.Now() + 5*sim.Millisecond
+	e.Run()
+	if got, want := sink.times[2], start+10_000+ser; got != want {
+		t.Fatalf("re-cold arrival %v, want %v", got, want)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(10)), "tx")
+	q := n.NewQueue(10)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	// 3 bursts of 8 before the engine can drain: capacity 10 → 8 + 2
+	// admitted, 14 dropped.
+	q.SendBurst(mkPkts(8, 1400))
+	q.SendBurst(mkPkts(8, 1400))
+	q.SendBurst(mkPkts(8, 1400))
+	e.Run()
+	if q.Dropped() != 14 {
+		t.Fatalf("dropped %d, want 14", q.Dropped())
+	}
+	if len(sink.pkts) != 10 {
+		t.Fatalf("delivered %d, want 10", len(sink.pkts))
+	}
+}
+
+func TestUnconnectedQueuePanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(10)), "tx")
+	q := n.NewQueue(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SendBurst on unconnected queue did not panic")
+		}
+	}()
+	q.SendBurst(mkPkts(1, 100))
+}
+
+func TestZeroLineRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero line rate accepted")
+		}
+	}()
+	New(sim.NewEngine(1), Profile{}, "bad")
+}
+
+func TestEmptyBurstIgnored(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(10)), "tx")
+	q := n.NewQueue(0)
+	q.SendBurst(nil) // must not panic even unconnected
+	e.Run()
+	if q.Sent() != 0 {
+		t.Fatal("empty burst sent something")
+	}
+}
+
+func TestJitterNeverReordersWire(t *testing.T) {
+	e := sim.NewEngine(7)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.PerPacketJitter = sim.Normal{Mu: 0, Sigma: 200}
+	n := New(e, prof, "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	for b := 0; b < 20; b++ {
+		pkts := make([]*packet.Packet, BurstSize)
+		for i := range pkts {
+			pkts[i] = &packet.Packet{Tag: packet.Tag{Seq: uint64(b*BurstSize + i)}, FrameLen: 1400}
+		}
+		q.SendBurst(pkts)
+	}
+	e.Run()
+	for i := 1; i < len(sink.pkts); i++ {
+		if sink.times[i] < sink.times[i-1] {
+			t.Fatalf("wire reordered in time at %d", i)
+		}
+		if sink.pkts[i].Tag.Seq != sink.pkts[i-1].Tag.Seq+1 {
+			t.Fatalf("wire reordered packets at %d", i)
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(100)), "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 1000)
+	q.SendBurst(mkPkts(1, 1400))
+	e.Run()
+	want := packet.SerializationTime(1400, packet.Gbps(100)) + 1000
+	if sink.times[0] != want {
+		t.Fatalf("arrival %v, want %v", sink.times[0], want)
+	}
+}
+
+func TestVFArbitrationSharesLine(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(100)), "shared")
+	vf1 := n.NewQueue(0)
+	vf2 := n.NewQueue(0)
+	s1, s2 := &collector{}, &collector{}
+	vf1.Connect(s1, 0)
+	vf2.Connect(s2, 0)
+
+	vf1.SendBurst(mkPkts(10, 1400))
+	vf2.SendBurst(mkPkts(10, 1400))
+	e.Run()
+
+	if len(s1.pkts) != 10 || len(s2.pkts) != 10 {
+		t.Fatalf("deliveries %d/%d", len(s1.pkts), len(s2.pkts))
+	}
+	// The line is shared: total completion time is 20 serialization
+	// slots, so the later of the two final arrivals reflects contention.
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	last := s1.times[len(s1.times)-1]
+	if l2 := s2.times[len(s2.times)-1]; l2 > last {
+		last = l2
+	}
+	if want := 20 * ser; last != want {
+		t.Fatalf("shared line finished at %v, want %v", last, want)
+	}
+	// And each VF's own stream is delayed relative to a dedicated NIC:
+	// VF2's burst cannot finish before 11 slots.
+	if s2.times[len(s2.times)-1] < 11*ser {
+		t.Fatal("VF2 finished too early for a shared line")
+	}
+}
+
+func TestVFSwitchOverheadApplied(t *testing.T) {
+	e := sim.NewEngine(1)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.VFSwitchOverhead = sim.Constant{V: 77}
+	n := New(e, prof, "shared")
+	vf1 := n.NewQueue(0)
+	vf2 := n.NewQueue(0)
+	s1, s2 := &collector{}, &collector{}
+	vf1.Connect(s1, 0)
+	vf2.Connect(s2, 0)
+
+	vf1.SendBurst(mkPkts(1, 1400))
+	vf2.SendBurst(mkPkts(1, 1400))
+	e.Run()
+
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	if s1.times[0] != ser {
+		t.Fatalf("vf1 arrival %v", s1.times[0])
+	}
+	if want := ser + 77 + ser; s2.times[0] != want {
+		t.Fatalf("vf2 arrival %v, want %v (switch overhead)", s2.times[0], want)
+	}
+}
+
+func TestStallTimelineDefersPull(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, perfectProfile(packet.Gbps(100)), "tx")
+	// Stall [0, 5000).
+	n.SetStallTimeline(sim.NewStallTimeline(e.Rand("st"), sim.Constant{V: 0}, sim.Constant{V: 5000}))
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+	q.SendBurst(mkPkts(1, 1400))
+	e.Run()
+	if sink.times[0] < 5000 {
+		t.Fatalf("stalled pull delivered at %v, want >= 5000", sink.times[0])
+	}
+}
+
+func TestRepaceJitterSelected(t *testing.T) {
+	e := sim.NewEngine(3)
+	prof := perfectProfile(packet.Gbps(100))
+	prof.RepaceProb = 1.0
+	prof.RepaceJitter = sim.Constant{V: 1000}
+	n := New(e, prof, "tx")
+	q := n.NewQueue(0)
+	sink := &collector{}
+	q.Connect(sink, 0)
+	q.SendBurst(mkPkts(3, 1400))
+	e.Run()
+	ser := packet.SerializationTime(1400, packet.Gbps(100))
+	// Every frame delayed 1000 beyond line availability.
+	if sink.times[0] != 1000+ser {
+		t.Fatalf("first arrival %v, want %v", sink.times[0], 1000+ser)
+	}
+	if gap := sink.times[1] - sink.times[0]; gap != 1000+ser {
+		t.Fatalf("repaced gap %v, want %v", gap, 1000+ser)
+	}
+}
+
+func TestThroughputSustains100G(t *testing.T) {
+	// The paper's headline: 100 Gbps (8.9 Mpps at 1400B). Saturate the
+	// NIC for 10 ms of virtual time and verify line-rate delivery.
+	e := sim.NewEngine(5)
+	n := New(e, perfectProfile(packet.Gbps(100)), "tx")
+	q := n.NewQueue(1 << 20)
+	sink := &collector{}
+	q.Connect(sink, 0)
+
+	const horizon = 10 * sim.Millisecond
+	total := 0
+	for i := 0; total < 90_000; i++ {
+		q.SendBurst(mkPkts(BurstSize, 1400))
+		total += BurstSize
+	}
+	e.RunUntil(horizon)
+	rate := float64(len(sink.pkts)) / horizon.Seconds()
+	if rate < 8.7e6 {
+		t.Fatalf("delivered %.2f Mpps, want >= 8.7 Mpps (100G line rate)", rate/1e6)
+	}
+}
+
+func TestTimestampers(t *testing.T) {
+	e := sim.NewEngine(9)
+	rng := e.Rand("ts")
+
+	perfect := PerfectTimestamper{}
+	if perfect.Stamp(12345, rng) != 12345 {
+		t.Fatal("perfect timestamper altered time")
+	}
+
+	e810 := E810Timestamper{ResolutionNs: 4}
+	if got := e810.Stamp(1003, rng); got != 1000 {
+		t.Fatalf("E810 stamp %v, want 1000", got)
+	}
+	if got := (E810Timestamper{}).Stamp(7, rng); got != 7 {
+		t.Fatalf("default-resolution E810 stamp %v, want 7", got)
+	}
+
+	cx := ConnectXTimestamper{PeriodNs: 8, ConversionJitter: sim.Constant{V: 3}}
+	if got := cx.Stamp(100, rng); got != 96+3 {
+		t.Fatalf("ConnectX stamp %v, want 99", got)
+	}
+	// Never negative.
+	cx2 := ConnectXTimestamper{PeriodNs: 1, ConversionJitter: sim.Constant{V: -100}}
+	if got := cx2.Stamp(5, rng); got != 0 {
+		t.Fatalf("ConnectX stamp clamped to %v, want 0", got)
+	}
+}

@@ -1,0 +1,68 @@
+package nic
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Timestamper converts a frame's true wire-arrival instant into the
+// timestamp the capture stack reports. The paper contrasts the Intel
+// E810's real-time hardware timestamps with the ConnectX-6's hardware
+// clock, whose readings are converted to nanoseconds by sampling —
+// different cards, different noise.
+type Timestamper interface {
+	// Stamp maps a true arrival time to a reported timestamp.
+	Stamp(wire sim.Time, rng *rand.Rand) sim.Time
+}
+
+// E810Timestamper models real-time hardware timestamps: arrival rounded
+// to the PHY's resolution with negligible extra noise.
+type E810Timestamper struct {
+	// ResolutionNs is the timestamp granularity (the E810 reports in
+	// single-nanosecond units; 0 means 1).
+	ResolutionNs sim.Duration
+}
+
+// Stamp implements Timestamper.
+func (e E810Timestamper) Stamp(wire sim.Time, _ *rand.Rand) sim.Time {
+	res := e.ResolutionNs
+	if res <= 0 {
+		res = 1
+	}
+	return wire / res * res
+}
+
+// ConnectXTimestamper models a free-running hardware clock sampled and
+// converted to nanoseconds in the driver: quantized to the clock period
+// plus a small conversion jitter.
+type ConnectXTimestamper struct {
+	// PeriodNs is the hardware clock period (ConnectX clocks tick at
+	// ~1 GHz; 0 means 1).
+	PeriodNs sim.Duration
+	// ConversionJitter is the sampling/conversion noise.
+	ConversionJitter sim.Dist
+}
+
+// Stamp implements Timestamper.
+func (c ConnectXTimestamper) Stamp(wire sim.Time, rng *rand.Rand) sim.Time {
+	period := c.PeriodNs
+	if period <= 0 {
+		period = 1
+	}
+	ts := wire / period * period
+	if c.ConversionJitter != nil {
+		ts += c.ConversionJitter.Sample(rng)
+	}
+	if ts < 0 {
+		ts = 0
+	}
+	return ts
+}
+
+// PerfectTimestamper reports the exact wire time; used by tests and
+// zero-jitter ablations.
+type PerfectTimestamper struct{}
+
+// Stamp implements Timestamper.
+func (PerfectTimestamper) Stamp(wire sim.Time, _ *rand.Rand) sim.Time { return wire }

@@ -1,0 +1,238 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers used in the IPv4 header.
+const (
+	ProtoUDP = 17
+	ProtoTCP = 6
+)
+
+// EtherType values used in the Ethernet header.
+const (
+	EtherTypeIPv4 = 0x0800
+)
+
+// Header sizes in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MACForNode derives a stable locally-administered unicast MAC for a
+// simulated node/port pair.
+func MACForNode(node uint16, port uint8) MAC {
+	return MAC{0x02, 0xC4, byte(node >> 8), byte(node), port, 0x01}
+}
+
+// IPv4 is a 32-bit address.
+type IPv4 [4]byte
+
+// String renders the address in dotted-quad form.
+func (a IPv4) String() string { return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3]) }
+
+// IPForNode derives a stable 10.0/16 address for a simulated node.
+func IPForNode(node uint16) IPv4 { return IPv4{10, 0, byte(node >> 8), byte(node)} }
+
+// FiveTuple identifies a flow.
+type FiveTuple struct {
+	Src, Dst         IPv4
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String implements fmt.Stringer.
+func (f FiveTuple) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d/%d", f.Src, f.SrcPort, f.Dst, f.DstPort, f.Proto)
+}
+
+// EthernetHeader is the 14-byte L2 header (FCS handled separately).
+type EthernetHeader struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// Marshal appends the header's wire form to dst.
+func (h EthernetHeader) Marshal(dst []byte) []byte {
+	dst = append(dst, h.Dst[:]...)
+	dst = append(dst, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(dst, h.EtherType)
+}
+
+// ParseEthernet decodes an Ethernet header and returns the remaining
+// payload bytes.
+func ParseEthernet(b []byte) (EthernetHeader, []byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return EthernetHeader{}, nil, errors.New("packet: short ethernet header")
+	}
+	var h EthernetHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return h, b[EthernetHeaderLen:], nil
+}
+
+// IPv4Header is a 20-byte IPv4 header without options.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	TTL      uint8
+	Proto    uint8
+	Src, Dst IPv4
+}
+
+// Marshal appends the header's wire form (with checksum) to dst.
+func (h IPv4Header) Marshal(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst,
+		0x45, h.TOS,
+		byte(h.TotalLen>>8), byte(h.TotalLen),
+		byte(h.ID>>8), byte(h.ID),
+		0, 0, // flags+fragment offset
+		h.TTL, h.Proto,
+		0, 0, // checksum placeholder
+	)
+	dst = append(dst, h.Src[:]...)
+	dst = append(dst, h.Dst[:]...)
+	sum := Checksum(dst[start : start+IPv4HeaderLen])
+	dst[start+10] = byte(sum >> 8)
+	dst[start+11] = byte(sum)
+	return dst
+}
+
+// ParseIPv4 decodes an IPv4 header, verifies its checksum, and returns
+// the remaining payload bytes.
+func ParseIPv4(b []byte) (IPv4Header, []byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return IPv4Header{}, nil, errors.New("packet: short ipv4 header")
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, nil, fmt.Errorf("packet: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0F) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return IPv4Header{}, nil, errors.New("packet: bad IHL")
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return IPv4Header{}, nil, errors.New("packet: ipv4 checksum mismatch")
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.TTL = b[8]
+	h.Proto = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, b[ihl:], nil
+}
+
+// UDPHeader is the 8-byte UDP header. The checksum is left zero
+// (permitted by RFC 768 over IPv4), matching high-rate generators that
+// skip it.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+}
+
+// Marshal appends the header's wire form to dst.
+func (h UDPHeader) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.Length)
+	return binary.BigEndian.AppendUint16(dst, 0)
+}
+
+// ParseUDP decodes a UDP header and returns the remaining payload bytes.
+func ParseUDP(b []byte) (UDPHeader, []byte, error) {
+	if len(b) < UDPHeaderLen {
+		return UDPHeader{}, nil, errors.New("packet: short udp header")
+	}
+	h := UDPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Length:  binary.BigEndian.Uint16(b[4:6]),
+	}
+	return h, b[UDPHeaderLen:], nil
+}
+
+// TCPHeader is a 20-byte TCP header without options; enough for the
+// iperf3-style noise traffic and trace export.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// Marshal appends the header's wire form to dst (checksum zero).
+func (h TCPHeader) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, h.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, h.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, h.Ack)
+	dst = append(dst, 5<<4, h.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, h.Window)
+	dst = append(dst, 0, 0, 0, 0) // checksum + urgent pointer
+	return dst
+}
+
+// ParseTCP decodes a TCP header and returns the remaining payload bytes.
+func ParseTCP(b []byte) (TCPHeader, []byte, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, nil, errors.New("packet: short tcp header")
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(b) < dataOff {
+		return TCPHeader{}, nil, errors.New("packet: bad tcp data offset")
+	}
+	h := TCPHeader{
+		SrcPort: binary.BigEndian.Uint16(b[0:2]),
+		DstPort: binary.BigEndian.Uint16(b[2:4]),
+		Seq:     binary.BigEndian.Uint32(b[4:8]),
+		Ack:     binary.BigEndian.Uint32(b[8:12]),
+		Flags:   b[13],
+		Window:  binary.BigEndian.Uint16(b[14:16]),
+	}
+	return h, b[dataOff:], nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum over b. Computing it
+// over a header whose checksum field is filled in yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}

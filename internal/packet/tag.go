@@ -1,0 +1,67 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TagSize is the length of the unique trailer stamped onto every
+// replay-eligible packet, mirroring the paper's 16-byte tags.
+const TagSize = 16
+
+// TagMagic marks a trailer as a Choir tag. ASCII "CHO1".
+const TagMagic uint32 = 0x43484F31
+
+// Tag is the unique 16-byte trailer identity of a packet:
+//
+//	bytes 0..3   magic
+//	bytes 4..5   replayer node that emitted the packet
+//	bytes 6..7   stream within that replayer
+//	bytes 8..15  sequence number
+//
+// Two packets are "the same packet" for the consistency metrics exactly
+// when their tags are equal.
+type Tag struct {
+	Replayer uint16
+	Stream   uint16
+	Seq      uint64
+}
+
+// String implements fmt.Stringer.
+func (t Tag) String() string {
+	return fmt.Sprintf("r%d/s%d/#%d", t.Replayer, t.Stream, t.Seq)
+}
+
+// Marshal encodes the tag into its 16-byte wire form.
+func (t Tag) Marshal() [TagSize]byte {
+	var b [TagSize]byte
+	binary.BigEndian.PutUint32(b[0:4], TagMagic)
+	binary.BigEndian.PutUint16(b[4:6], t.Replayer)
+	binary.BigEndian.PutUint16(b[6:8], t.Stream)
+	binary.BigEndian.PutUint64(b[8:16], t.Seq)
+	return b
+}
+
+// AppendTag appends the wire form of the tag to dst.
+func AppendTag(dst []byte, t Tag) []byte {
+	b := t.Marshal()
+	return append(dst, b[:]...)
+}
+
+// ParseTag decodes a tag from the last TagSize bytes of data. It reports
+// ok=false when data is too short or the magic does not match (e.g. an
+// invalid filler frame or noise traffic).
+func ParseTag(data []byte) (Tag, bool) {
+	if len(data) < TagSize {
+		return Tag{}, false
+	}
+	b := data[len(data)-TagSize:]
+	if binary.BigEndian.Uint32(b[0:4]) != TagMagic {
+		return Tag{}, false
+	}
+	return Tag{
+		Replayer: binary.BigEndian.Uint16(b[4:6]),
+		Stream:   binary.BigEndian.Uint16(b[6:8]),
+		Seq:      binary.BigEndian.Uint64(b[8:16]),
+	}, true
+}

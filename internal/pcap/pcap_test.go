@@ -1,0 +1,198 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func sampleTrace(n int) *trace.Trace {
+	tr := trace.New("sample", n)
+	for i := 0; i < n; i++ {
+		p := &packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Stream: 0, Seq: uint64(i)},
+			Kind:     packet.KindData,
+			FrameLen: 256,
+			Flow: packet.FiveTuple{
+				Src: packet.IPForNode(1), Dst: packet.IPForNode(2),
+				SrcPort: 7000, DstPort: 7001, Proto: packet.ProtoUDP,
+			},
+		}
+		tr.Append(p, sim.Time(i)*284+sim.Second) // cross the 1s boundary
+	}
+	return tr
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace(100)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("read %d packets, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Packets {
+		if got.Times[i] != tr.Times[i] {
+			t.Fatalf("packet %d: time %v, want %v", i, got.Times[i], tr.Times[i])
+		}
+		if got.Packets[i].Tag != tr.Packets[i].Tag {
+			t.Fatalf("packet %d: tag %v, want %v", i, got.Packets[i].Tag, tr.Packets[i].Tag)
+		}
+		if got.Packets[i].FrameLen != tr.Packets[i].FrameLen {
+			t.Fatalf("packet %d: len %d, want %d", i, got.Packets[i].FrameLen, tr.Packets[i].FrameLen)
+		}
+		if got.Packets[i].Kind != packet.KindData {
+			t.Fatalf("packet %d: kind %v", i, got.Packets[i].Kind)
+		}
+	}
+}
+
+func TestNanosecondPrecision(t *testing.T) {
+	tr := trace.New("ns", 1)
+	p := &packet.Packet{
+		Tag: packet.Tag{Seq: 1}, Kind: packet.KindData, FrameLen: 128,
+		Flow: packet.FiveTuple{Src: packet.IPForNode(1), Dst: packet.IPForNode(2), Proto: packet.ProtoUDP},
+	}
+	tr.Append(p, 1234567891) // 1.234567891 s: needs ns resolution
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Times[0] != 1234567891 {
+		t.Fatalf("timestamp %v lost nanosecond precision", got.Times[0])
+	}
+}
+
+func TestTruncatedFramesBecomeNoise(t *testing.T) {
+	tr := sampleTrace(5)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 64); err != nil { // below frame size
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "trunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("read %d packets, want 5", got.Len())
+	}
+	for i, p := range got.Packets {
+		if p.Kind == packet.KindData {
+			t.Fatalf("packet %d: truncated frame still parsed as data", i)
+		}
+		if p.FrameLen != 256 {
+			t.Fatalf("packet %d: orig_len not preserved: %d", i, p.FrameLen)
+		}
+	}
+}
+
+func TestMicrosecondFormatAccepted(t *testing.T) {
+	tr := sampleTrace(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Rewrite magic to microseconds and scale each timestamp's sub-second
+	// field down by 1000.
+	binary.LittleEndian.PutUint32(raw[0:4], MagicMicros)
+	off := 24
+	for i := 0; i < 3; i++ {
+		sub := binary.LittleEndian.Uint32(raw[off+4 : off+8])
+		binary.LittleEndian.PutUint32(raw[off+4:off+8], sub/1000)
+		incl := binary.LittleEndian.Uint32(raw[off+8 : off+12])
+		off += 16 + int(incl)
+	}
+	got, err := Read(bytes.NewReader(raw), "us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got.Times {
+		wantApprox := tr.Times[i] / 1000 * 1000
+		if got.Times[i] != wantApprox {
+			t.Fatalf("packet %d: time %v, want %v", i, got.Times[i], wantApprox)
+		}
+	}
+}
+
+func TestRejectBadMagic(t *testing.T) {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint32(buf[0:4], 0xDEADBEEF)
+	if _, err := Read(bytes.NewReader(buf), "bad"); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestRejectShortHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{1, 2, 3}), "short"); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestRejectBadLinkType(t *testing.T) {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint32(buf[0:4], MagicNanos)
+	binary.LittleEndian.PutUint32(buf[20:24], 101) // DLT_RAW
+	if _, err := Read(bytes.NewReader(buf), "lt"); err == nil {
+		t.Fatal("bad link type accepted")
+	}
+}
+
+func TestTruncatedBodyErrors(t *testing.T) {
+	tr := sampleTrace(1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-10] // chop mid-frame
+	if _, err := Read(bytes.NewReader(raw), "chopped"); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestEmptyTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, trace.New("e", 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip has %d packets", got.Len())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.pcap")
+	tr := sampleTrace(10)
+	if err := WriteFile(path, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("file round trip read %d packets", got.Len())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII histograms — the textual equivalents of the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			// Display width is rune count ("κ" is one column).
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(c)
+			fmt.Fprintf(&b, "| %s%s ", c, strings.Repeat(" ", pad))
+		}
+		b.WriteString("|\n")
+	}
+	line(t.Headers)
+	for i := 0; i < cols; i++ {
+		fmt.Fprintf(&b, "|%s", strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("|\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Fmt helpers for metric cells.
+
+// G formats a metric in compact scientific/decimal form the way the
+// paper quotes it.
+func G(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	if v >= 0.01 {
+		return fmt.Sprintf("%.4f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Pct formats a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// Section is one titled block of a rendered experiment.
+type Section struct {
+	Heading string
+	Body    string
+}
+
+// Document is a rendered experiment output.
+type Document struct {
+	Title    string
+	Sections []Section
+}
+
+// Add appends a section.
+func (d *Document) Add(heading, body string) {
+	d.Sections = append(d.Sections, Section{Heading: heading, Body: body})
+}
+
+// String renders the document.
+func (d *Document) String() string {
+	var b strings.Builder
+	bar := strings.Repeat("=", len(d.Title))
+	fmt.Fprintf(&b, "%s\n%s\n\n", d.Title, bar)
+	for _, s := range d.Sections {
+		if s.Heading != "" {
+			fmt.Fprintf(&b, "--- %s ---\n", s.Heading)
+		}
+		b.WriteString(s.Body)
+		if !strings.HasSuffix(s.Body, "\n") {
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

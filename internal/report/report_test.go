@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "Env", "κ")
+	tb.AddRow("Local", "0.9853")
+	tb.AddRow("FABRIC Dedicated 40 Gbps 1", "0.7426")
+	out := tb.String()
+	if !strings.Contains(out, "title") {
+		t.Fatal("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// All data lines same display width (aligned columns, counted in
+	// runes since headers may contain κ).
+	want := utf8.RuneCountInString(lines[1])
+	for i := 2; i < len(lines); i++ {
+		if got := utf8.RuneCountInString(lines[i]); got != want {
+			t.Fatalf("line %d width %d != header width %d:\n%s", i, got, want, out)
+		}
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "| x") {
+		t.Fatalf("row missing: %s", out)
+	}
+}
+
+func TestTableExtraWideRow(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.Rows = append(tb.Rows, []string{"1", "2", "3"})
+	out := tb.String() // must not panic, renders extra columns
+	if !strings.Contains(out, "3") {
+		t.Fatalf("wide row lost: %s", out)
+	}
+}
+
+func TestG(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5000",
+		0.01:    "0.0100",
+		2.5e-05: "2.5e-05",
+	}
+	for v, want := range cases {
+		if got := G(v); got != want {
+			t.Errorf("G(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(92.25) != "92.25%" {
+		t.Fatalf("Pct = %q", Pct(92.25))
+	}
+}
+
+func TestDocument(t *testing.T) {
+	d := &Document{Title: "Figure X"}
+	d.Add("part 1", "body one")
+	d.Add("", "untitled body\n")
+	out := d.String()
+	for _, want := range []string{"Figure X", "===", "--- part 1 ---", "body one", "untitled body"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "---  ---") {
+		t.Fatal("empty heading rendered")
+	}
+}

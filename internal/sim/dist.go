@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dist is a distribution over durations, sampled with an explicit random
+// stream so that callers control determinism.
+type Dist interface {
+	// Sample draws one value. Implementations may return negative
+	// durations (e.g. symmetric jitter); callers clamp if needed.
+	Sample(r *rand.Rand) Duration
+	// Mean returns the distribution's expected value, used for
+	// documentation and sanity checks.
+	Mean() float64
+	fmt.Stringer
+}
+
+// Constant is a degenerate distribution that always returns V.
+type Constant struct{ V Duration }
+
+// Sample implements Dist.
+func (c Constant) Sample(_ *rand.Rand) Duration { return c.V }
+
+// Mean implements Dist.
+func (c Constant) Mean() float64 { return float64(c.V) }
+
+func (c Constant) String() string { return fmt.Sprintf("const(%dns)", int64(c.V)) }
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct{ Lo, Hi Duration }
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *rand.Rand) Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + Duration(r.Int63n(int64(u.Hi-u.Lo)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d,%d)", int64(u.Lo), int64(u.Hi)) }
+
+// Normal samples from a Gaussian with the given mean and standard
+// deviation (both in nanoseconds).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Sample implements Dist.
+func (n Normal) Sample(r *rand.Rand) Duration {
+	return Duration(math.Round(n.Mu + n.Sigma*r.NormFloat64()))
+}
+
+// Mean implements Dist.
+func (n Normal) Mean() float64 { return n.Mu }
+
+func (n Normal) String() string { return fmt.Sprintf("normal(%g,%g)", n.Mu, n.Sigma) }
+
+// Exponential samples from an exponential distribution with the given
+// mean, useful for renewal processes such as stall inter-arrival times.
+type Exponential struct{ MeanNs float64 }
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *rand.Rand) Duration {
+	return Duration(math.Round(r.ExpFloat64() * e.MeanNs))
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanNs }
+
+func (e Exponential) String() string { return fmt.Sprintf("exp(%g)", e.MeanNs) }
+
+// LogNormal samples exp(N(MuLog, SigmaLog)). It produces the heavy right
+// tails characteristic of scheduler and hypervisor stalls.
+type LogNormal struct {
+	MuLog    float64
+	SigmaLog float64
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(r *rand.Rand) Duration {
+	return Duration(math.Round(math.Exp(l.MuLog + l.SigmaLog*r.NormFloat64())))
+}
+
+// Mean implements Dist.
+func (l LogNormal) Mean() float64 { return math.Exp(l.MuLog + l.SigmaLog*l.SigmaLog/2) }
+
+func (l LogNormal) String() string { return fmt.Sprintf("lognormal(%g,%g)", l.MuLog, l.SigmaLog) }
+
+// Mixture samples component i with probability Weights[i] (weights need
+// not sum to one; they are normalized). It models bimodal behaviour such
+// as "mostly tight timing with occasional large stalls".
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(r *rand.Rand) Duration {
+	if len(m.Components) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := r.Float64() * total
+	for i, w := range m.Weights {
+		x -= w
+		if x < 0 {
+			return m.Components[i].Sample(r)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(r)
+}
+
+// Mean implements Dist.
+func (m Mixture) Mean() float64 {
+	total, mean := 0.0, 0.0
+	for i, w := range m.Weights {
+		total += w
+		mean += w * m.Components[i].Mean()
+	}
+	if total == 0 {
+		return 0
+	}
+	return mean / total
+}
+
+func (m Mixture) String() string { return fmt.Sprintf("mixture(%d components)", len(m.Components)) }
+
+// Clamp wraps a distribution and truncates samples into [Lo, Hi].
+type Clamp struct {
+	D      Dist
+	Lo, Hi Duration
+}
+
+// Sample implements Dist.
+func (c Clamp) Sample(r *rand.Rand) Duration {
+	v := c.D.Sample(r)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Mean implements Dist.
+func (c Clamp) Mean() float64 { return c.D.Mean() }
+
+func (c Clamp) String() string {
+	return fmt.Sprintf("clamp(%v,[%d,%d])", c.D, int64(c.Lo), int64(c.Hi))
+}
+
+// Zero is a Dist that always samples 0; useful for "perfect hardware"
+// test profiles.
+var Zero Dist = Constant{0}

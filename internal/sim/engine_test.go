@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine(1)
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran in order %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %v, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: position %d has %d", i, v)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.After(-100, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event with negative delay never fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("negative delay should clamp to now; time = %v", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {})
+	e.Schedule(100, func() {})
+	e.RunUntil(50)
+	if e.Now() != 50 {
+		t.Fatalf("RunUntil(50) left time at %v", e.Now())
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("executed %d events, want 1", e.Executed())
+	}
+	e.RunFor(60)
+	if e.Now() != 110 {
+		t.Fatalf("RunFor(60) left time at %v, want 110", e.Now())
+	}
+	if e.Executed() != 2 {
+		t.Fatalf("executed %d events, want 2", e.Executed())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 50 {
+			e.After(1, recurse)
+		}
+	}
+	e.After(0, recurse)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("nested chain depth %d, want 50", depth)
+	}
+	if e.Now() != 49 {
+		t.Fatalf("final time %v, want 49", e.Now())
+	}
+}
+
+func TestCausalityNeverRunsEarly(t *testing.T) {
+	e := NewEngine(42)
+	r := e.Rand("causality")
+	last := Time(-1)
+	for i := 0; i < 1000; i++ {
+		at := Time(r.Int63n(10000))
+		e.Schedule(at, func() {
+			if e.Now() < last {
+				t.Fatalf("time went backwards: %v after %v", e.Now(), last)
+			}
+			if e.Now() != at {
+				t.Fatalf("event at %v ran at %v", at, e.Now())
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		r := e.Rand("load")
+		var times []Time
+		var spawn func()
+		spawn = func() {
+			times = append(times, e.Now())
+			if len(times) < 500 {
+				e.After(Duration(r.Int63n(100)+1), spawn)
+			}
+		}
+		e.After(0, spawn)
+		e.Run()
+		return times
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical simulations")
+	}
+}
+
+func TestRandStreamsIndependent(t *testing.T) {
+	e := NewEngine(9)
+	a := e.Rand("alpha")
+	b := e.Rand("beta")
+	a2 := e.Rand("alpha")
+	if a.Int63() != a2.Int63() {
+		t.Fatal("same label should give identical streams")
+	}
+	// Different labels should give (almost surely) different streams.
+	diff := false
+	for i := 0; i < 8; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("streams for different labels are identical")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d", int64(Second))
+	}
+	if got := Time(1500000000).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds() = %v, want 1.5", got)
+	}
+	if Time(42).String() != "42ns" {
+		t.Fatalf("String() = %q", Time(42).String())
+	}
+}
+
+// Property: RunUntil is equivalent to Run for deadlines past all events.
+func TestQuickRunUntilCoversRun(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		mk := func() (*Engine, *int) {
+			e := NewEngine(3)
+			n := 0
+			for _, v := range raw {
+				e.Schedule(Time(v), func() { n++ })
+			}
+			return e, &n
+		}
+		e1, n1 := mk()
+		e1.Run()
+		e2, n2 := mk()
+		e2.RunUntil(Time(1 << 20))
+		return *n1 == *n2 && *n1 == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStallTimelineDisabled(t *testing.T) {
+	s := NewStallTimeline(rand.New(rand.NewSource(1)), nil, nil)
+	for _, tm := range []Time{0, 5, 100, 1e9} {
+		if got := s.Adjust(tm); got != tm {
+			t.Fatalf("disabled timeline adjusted %v to %v", tm, got)
+		}
+	}
+}
+
+func TestStallTimelinePushesIntoGap(t *testing.T) {
+	// Deterministic stalls: gap 100ns, duration 50ns.
+	// Stalls: [100,150), [250,300), [400,450), ...
+	s := NewStallTimeline(rand.New(rand.NewSource(1)), Constant{100}, Constant{50})
+	cases := []struct{ in, want Time }{
+		{0, 0},
+		{99, 99},
+		{100, 150},
+		{149, 150},
+		{150, 150},
+		{200, 200},
+		{260, 300},
+		{1000, 1000}, // between stalls [1000 is within? stalls at 100+150k..] depends; checked below
+	}
+	for _, c := range cases[:7] {
+		if got := s.Adjust(c.in); got != c.want {
+			t.Fatalf("Adjust(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if s.Hits() != 3 {
+		t.Fatalf("Hits() = %d, want 3", s.Hits())
+	}
+}
+
+func TestStallTimelineMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewStallTimeline(rng, Exponential{500}, LogNormal{MuLog: 3, SigmaLog: 1})
+	last := Time(0)
+	tm := Time(0)
+	for i := 0; i < 10000; i++ {
+		tm += Duration(rng.Int63n(50))
+		got := s.Adjust(tm)
+		if got < tm {
+			t.Fatalf("Adjust moved time backwards: %v -> %v", tm, got)
+		}
+		if got < last {
+			t.Fatalf("outputs not monotonic: %v after %v", got, last)
+		}
+		last = got
+	}
+	if s.Hits() == 0 {
+		t.Fatal("expected at least one stall hit with these parameters")
+	}
+}
+
+func TestDistSamplesAndMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	check := func(d Dist, tol float64) {
+		t.Helper()
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(d.Sample(rng))
+		}
+		got := sum / n
+		want := d.Mean()
+		if want == 0 {
+			if got != 0 {
+				t.Fatalf("%v: mean %v, want 0", d, got)
+			}
+			return
+		}
+		if rel := (got - want) / want; rel > tol || rel < -tol {
+			t.Fatalf("%v: sample mean %v, analytic mean %v", d, got, want)
+		}
+	}
+	check(Constant{123}, 0)
+	check(Uniform{10, 30}, 0.05)
+	check(Exponential{200}, 0.05)
+	check(LogNormal{MuLog: 4, SigmaLog: 0.5}, 0.08)
+	check(Mixture{Weights: []float64{1, 1}, Components: []Dist{Constant{100}, Constant{300}}}, 0.05)
+}
+
+func TestNormalDistSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := Normal{Mu: 0, Sigma: 10}
+	sum := 0.0
+	for i := 0; i < 50000; i++ {
+		sum += float64(d.Sample(rng))
+	}
+	if mean := sum / 50000; mean > 0.5 || mean < -0.5 {
+		t.Fatalf("normal(0,10) sample mean %v, want ~0", mean)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := Clamp{D: Normal{Mu: 0, Sigma: 100}, Lo: -5, Hi: 5}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(rng)
+		if v < -5 || v > 5 {
+			t.Fatalf("clamped sample %v outside [-5,5]", v)
+		}
+	}
+}
+
+func TestMixtureWeighting(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := Mixture{
+		Weights:    []float64{0.9, 0.1},
+		Components: []Dist{Constant{0}, Constant{1000}},
+	}
+	big := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) == 1000 {
+			big++
+		}
+	}
+	frac := float64(big) / n
+	if frac < 0.07 || frac > 0.13 {
+		t.Fatalf("heavy component sampled %.3f of the time, want ~0.10", frac)
+	}
+}
+
+func TestMixtureEmpty(t *testing.T) {
+	var m Mixture
+	if m.Sample(rand.New(rand.NewSource(1))) != 0 {
+		t.Fatal("empty mixture should sample 0")
+	}
+	if m.Mean() != 0 {
+		t.Fatal("empty mixture mean should be 0")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "math/rand"
+
+// StallTimeline models periods during which a (virtual) CPU is unavailable
+// — hypervisor steal time, scheduler preemption, interrupt storms. Stalls
+// form a renewal process: after each stall ends, the next one starts after
+// a sampled gap and lasts for a sampled duration.
+//
+// Components call Adjust with the time they intend to act; if that instant
+// falls inside a stall the action is pushed to the stall's end, exactly as
+// a busy-polling DPDK thread would resume late after being descheduled.
+type StallTimeline struct {
+	rng       *rand.Rand
+	gap       Dist
+	dur       Dist
+	start     Time // start of the current/next stall
+	end       Time // end of the current/next stall
+	enabled   bool
+	stallHits uint64
+}
+
+// NewStallTimeline creates a timeline whose first stall begins after a gap
+// sampled from gap. A nil gap or dur disables stalls entirely.
+func NewStallTimeline(rng *rand.Rand, gap, dur Dist) *StallTimeline {
+	s := &StallTimeline{rng: rng, gap: gap, dur: dur}
+	if gap == nil || dur == nil {
+		return s
+	}
+	s.enabled = true
+	s.start = maxDur(0, gap.Sample(rng))
+	s.end = s.start + maxDur(0, dur.Sample(rng))
+	return s
+}
+
+// Adjust maps an intended action time to the earliest instant the CPU is
+// actually available. Calls must use non-decreasing times (simulation
+// order); earlier times are answered against the already-advanced window.
+func (s *StallTimeline) Adjust(t Time) Time {
+	if !s.enabled {
+		return t
+	}
+	// Advance past stalls that ended before t.
+	for s.end < t {
+		s.advance()
+	}
+	if t >= s.start && t < s.end {
+		s.stallHits++
+		return s.end
+	}
+	return t
+}
+
+// Hits returns how many actions landed inside a stall so far.
+func (s *StallTimeline) Hits() uint64 { return s.stallHits }
+
+func (s *StallTimeline) advance() {
+	g := maxDur(0, s.gap.Sample(s.rng))
+	d := maxDur(0, s.dur.Sample(s.rng))
+	s.start = s.end + g
+	s.end = s.start + d
+}
+
+func maxDur(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+// Package stats provides the descriptive statistics the paper's figures
+// and tables are built from: signed symmetric-log histograms of IAT and
+// latency deltas, percent-within-bounds measures, and summary rows
+// (mean/σ, abs-mean/σ, min, max) matching Table 1.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the moments of a sample, in the shape of the paper's
+// Table 1 rows.
+type Summary struct {
+	N       int
+	Mean    float64
+	Std     float64
+	AbsMean float64
+	AbsStd  float64
+	Min     float64
+	Max     float64
+}
+
+// Summarize computes a Summary over xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum, absSum float64
+	for _, x := range xs {
+		sum += x
+		absSum += math.Abs(x)
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(s.N)
+	s.Mean = sum / n
+	s.AbsMean = absSum / n
+	var sq, absSq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+		ad := math.Abs(x) - s.AbsMean
+		absSq += ad * ad
+	}
+	s.Std = math.Sqrt(sq / n)
+	s.AbsStd = math.Sqrt(absSq / n)
+	return s
+}
+
+// SummarizeInts converts and summarizes an int64 sample.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// String renders the summary as a Table 1-style row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f(σ=%.2f) abs=%.2f(σ=%.2f) min=%.0f max=%.0f",
+		s.N, s.Mean, s.Std, s.AbsMean, s.AbsStd, s.Min, s.Max)
+}
+
+// PercentWithin returns the percentage of samples with |x| <= bound —
+// the paper's headline "% of packets within ±10 ns" statistic.
+func PercentWithin(xs []int64, bound int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= bound && x >= -bound {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on
+// a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// SymLogHistogram buckets signed values on a symmetric logarithmic axis,
+// matching the paper's IAT/latency-delta figures: one bucket for zero,
+// then per-decade buckets on each side ((10^k, 10^(k+1)]).
+type SymLogHistogram struct {
+	// MaxDecade is the exponent of the last finite decade; values with
+	// |x| > 10^(MaxDecade+1) land in overflow buckets.
+	MaxDecade int
+	// counts[0..MaxDecade] negative decades from small to large
+	// magnitude live in neg; positives in pos. zero counts exact zeros.
+	neg, pos []int64
+	negOver  int64
+	posOver  int64
+	zero     int64
+	total    int64
+}
+
+// NewSymLogHistogram creates a histogram covering ±10^(maxDecade+1).
+// maxDecade 7 covers the ±100 ms deltas the dual-replayer runs produce.
+func NewSymLogHistogram(maxDecade int) *SymLogHistogram {
+	if maxDecade < 0 {
+		maxDecade = 0
+	}
+	return &SymLogHistogram{
+		MaxDecade: maxDecade,
+		neg:       make([]int64, maxDecade+1),
+		pos:       make([]int64, maxDecade+1),
+	}
+}
+
+// Add records one value.
+func (h *SymLogHistogram) Add(v int64) {
+	h.total++
+	if v == 0 {
+		h.zero++
+		return
+	}
+	mag := v
+	buckets := h.pos
+	over := &h.posOver
+	if v < 0 {
+		mag = -v
+		buckets = h.neg
+		over = &h.negOver
+	}
+	d := 0
+	for threshold := int64(10); mag > threshold; threshold *= 10 {
+		d++
+	}
+	if d > h.MaxDecade {
+		*over++
+		return
+	}
+	buckets[d]++
+}
+
+// AddAll records every value in vs.
+func (h *SymLogHistogram) AddAll(vs []int64) {
+	for _, v := range vs {
+		h.Add(v)
+	}
+}
+
+// Total returns the number of recorded values.
+func (h *SymLogHistogram) Total() int64 { return h.total }
+
+// Bucket describes one histogram bar.
+type Bucket struct {
+	// Label like "-1e4..-1e3", "0", or "+1e1..1e2".
+	Label string
+	// Lo and Hi are the signed magnitude bounds (Lo exclusive toward
+	// zero, Hi inclusive away from zero; 0 bucket has both zero).
+	Lo, Hi int64
+	Count  int64
+	// Percent of all recorded values.
+	Percent float64
+}
+
+// Buckets returns the bars from most-negative to most-positive,
+// skipping empty outer overflow bars.
+func (h *SymLogHistogram) Buckets() []Bucket {
+	var out []Bucket
+	pct := func(c int64) float64 {
+		if h.total == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(h.total)
+	}
+	lim := int64(math.Pow(10, float64(h.MaxDecade+1)))
+	if h.negOver > 0 {
+		out = append(out, Bucket{
+			Label: fmt.Sprintf("< -1e%d", h.MaxDecade+1),
+			Lo:    math.MinInt64, Hi: -lim,
+			Count: h.negOver, Percent: pct(h.negOver),
+		})
+	}
+	for d := h.MaxDecade; d >= 0; d-- {
+		lo, hi := decadeBounds(d)
+		out = append(out, Bucket{
+			Label: fmt.Sprintf("-1e%d..-1e%d", d+1, d),
+			Lo:    -hi, Hi: -lo,
+			Count: h.neg[d], Percent: pct(h.neg[d]),
+		})
+	}
+	out = append(out, Bucket{Label: "0", Count: h.zero, Percent: pct(h.zero)})
+	for d := 0; d <= h.MaxDecade; d++ {
+		lo, hi := decadeBounds(d)
+		out = append(out, Bucket{
+			Label: fmt.Sprintf("+1e%d..1e%d", d, d+1),
+			Lo:    lo, Hi: hi,
+			Count: h.pos[d], Percent: pct(h.pos[d]),
+		})
+	}
+	if h.posOver > 0 {
+		out = append(out, Bucket{
+			Label: fmt.Sprintf("> +1e%d", h.MaxDecade+1),
+			Lo:    lim, Hi: math.MaxInt64,
+			Count: h.posOver, Percent: pct(h.posOver),
+		})
+	}
+	return out
+}
+
+// decadeBounds returns (10^d, 10^(d+1)] except d=0, which covers [1,10].
+func decadeBounds(d int) (lo, hi int64) {
+	hi = int64(math.Pow(10, float64(d+1)))
+	if d == 0 {
+		return 1, hi
+	}
+	return int64(math.Pow(10, float64(d))), hi
+}
+
+// Render draws an ASCII bar chart of the non-empty buckets, the textual
+// equivalent of the paper's histogram figures.
+func (h *SymLogHistogram) Render(title string, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, h.total)
+	maxPct := 0.0
+	bk := h.Buckets()
+	for _, x := range bk {
+		if x.Percent > maxPct {
+			maxPct = x.Percent
+		}
+	}
+	for _, x := range bk {
+		if x.Count == 0 {
+			continue
+		}
+		bar := 0
+		if maxPct > 0 {
+			bar = int(math.Round(x.Percent / maxPct * float64(width)))
+		}
+		fmt.Fprintf(&b, "%14s %7.3f%% |%s\n", x.Label, x.Percent, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

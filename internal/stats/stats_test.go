@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Min != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{-2, 0, 2, 4})
+	if s.N != 4 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 1 {
+		t.Fatalf("Mean = %v, want 1", s.Mean)
+	}
+	if s.Min != -2 || s.Max != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.AbsMean != 2 {
+		t.Fatalf("AbsMean = %v, want 2", s.AbsMean)
+	}
+	// Population σ of {-2,0,2,4} = sqrt((9+1+1+9)/4) = sqrt(5).
+	if math.Abs(s.Std-math.Sqrt(5)) > 1e-12 {
+		t.Fatalf("Std = %v, want sqrt(5)", s.Std)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("SummarizeInts: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(xs []int16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		fs := make([]float64, len(xs))
+		for i, x := range xs {
+			fs[i] = float64(x)
+		}
+		s := Summarize(fs)
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.AbsMean >= 0 && s.Std >= 0 &&
+			s.AbsMean >= math.Abs(s.Mean)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentWithin(t *testing.T) {
+	xs := []int64{-15, -10, -5, 0, 5, 10, 15, 100}
+	if got := PercentWithin(xs, 10); got != 62.5 {
+		t.Fatalf("PercentWithin = %v, want 62.5 (5 of 8)", got)
+	}
+	if PercentWithin(nil, 10) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted its input")
+	}
+}
+
+func TestHistogramZeroBucket(t *testing.T) {
+	h := NewSymLogHistogram(3)
+	h.AddAll([]int64{0, 0, 0, 5})
+	bks := h.Buckets()
+	var zero, small Bucket
+	for _, b := range bks {
+		switch b.Label {
+		case "0":
+			zero = b
+		case "+1e0..1e1":
+			small = b
+		}
+	}
+	if zero.Count != 3 {
+		t.Fatalf("zero bucket count %d, want 3", zero.Count)
+	}
+	if zero.Percent != 75 {
+		t.Fatalf("zero bucket percent %v, want 75", zero.Percent)
+	}
+	if small.Count != 1 {
+		t.Fatalf("+1e0..1e1 count %d, want 1", small.Count)
+	}
+}
+
+func TestHistogramDecadePlacement(t *testing.T) {
+	h := NewSymLogHistogram(5)
+	// 10 is in the first decade [1,10]; 11 in (10,100].
+	h.Add(10)
+	h.Add(11)
+	h.Add(-100)
+	h.Add(-101)
+	counts := map[string]int64{}
+	for _, b := range h.Buckets() {
+		counts[b.Label] = b.Count
+	}
+	if counts["+1e0..1e1"] != 1 {
+		t.Fatalf("10 not in first decade: %v", counts)
+	}
+	if counts["+1e1..1e2"] != 1 {
+		t.Fatalf("11 not in second decade: %v", counts)
+	}
+	if counts["-1e2..-1e1"] != 1 {
+		t.Fatalf("-100 not in (10,100] negative decade: %v", counts)
+	}
+	if counts["-1e3..-1e2"] != 1 {
+		t.Fatalf("-101 not in (100,1000] negative decade: %v", counts)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewSymLogHistogram(2) // covers up to 1000
+	h.Add(999)
+	h.Add(1000)
+	h.Add(1001)
+	h.Add(-5000)
+	bks := h.Buckets()
+	var posOver, negOver int64
+	for _, b := range bks {
+		if strings.HasPrefix(b.Label, "> ") {
+			posOver = b.Count
+		}
+		if strings.HasPrefix(b.Label, "< ") {
+			negOver = b.Count
+		}
+	}
+	if posOver != 1 {
+		t.Fatalf("positive overflow %d, want 1 (only 1001)", posOver)
+	}
+	if negOver != 1 {
+		t.Fatalf("negative overflow %d, want 1", negOver)
+	}
+}
+
+func TestHistogramTotalsConserved(t *testing.T) {
+	f := func(xs []int32) bool {
+		h := NewSymLogHistogram(7)
+		for _, x := range xs {
+			h.Add(int64(x))
+		}
+		var sum int64
+		for _, b := range h.Buckets() {
+			sum += b.Count
+		}
+		return sum == int64(len(xs)) && h.Total() == int64(len(xs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentSums(t *testing.T) {
+	h := NewSymLogHistogram(4)
+	for i := int64(-1000); i <= 1000; i += 7 {
+		h.Add(i)
+	}
+	total := 0.0
+	for _, b := range h.Buckets() {
+		total += b.Percent
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("percents sum to %v, want 100", total)
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewSymLogHistogram(3)
+	h.AddAll([]int64{0, 1, 5, 50, -3, 500})
+	out := h.Render("IAT delta (ns)", 40)
+	if !strings.Contains(out, "IAT delta (ns)") {
+		t.Fatal("title missing from render")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no bars rendered")
+	}
+	// Empty histogram renders without panic.
+	empty := NewSymLogHistogram(2)
+	if out := empty.Render("empty", 0); !strings.Contains(out, "empty") {
+		t.Fatal("empty render missing title")
+	}
+}
+
+func TestNegativeMaxDecadeClamped(t *testing.T) {
+	h := NewSymLogHistogram(-5)
+	h.Add(5)
+	if h.Total() != 1 {
+		t.Fatal("clamped histogram unusable")
+	}
+}

@@ -1,0 +1,142 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type sink struct{ n int }
+
+func (s *sink) Receive(*packet.Packet, sim.Time) { s.n++ }
+
+func TestFlowRampsUp(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(100)}, "tx")
+	q := n.NewQueue(1 << 16)
+	s := &sink{}
+	q.Connect(s, 0)
+
+	f := Start(e, q, Config{ID: 1, StopAt: 20 * sim.Millisecond})
+	e.RunUntil(25 * sim.Millisecond)
+
+	st := f.Stats()
+	if st.AckedSegments == 0 {
+		t.Fatal("no segments acknowledged")
+	}
+	if st.Cwnd <= 10 {
+		t.Fatalf("cwnd never grew: %.1f", st.Cwnd)
+	}
+	if f.Throughput(e.Now()) <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestFlowBackoffOnDrops(t *testing.T) {
+	e := sim.NewEngine(2)
+	// Slow NIC with a tiny queue: drops guaranteed once cwnd grows.
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(1)}, "tx")
+	q := n.NewQueue(12)
+	s := &sink{}
+	q.Connect(s, 0)
+
+	f := Start(e, q, Config{ID: 1, StopAt: 50 * sim.Millisecond})
+	e.RunUntil(60 * sim.Millisecond)
+	st := f.Stats()
+	if st.Timeouts == 0 {
+		t.Fatal("expected timeouts on a congested path")
+	}
+	if q.Dropped() == 0 {
+		t.Fatal("expected queue drops")
+	}
+	// AIMD must keep cwnd bounded well below the max on a 1G path.
+	if st.Cwnd > 2000 {
+		t.Fatalf("cwnd %.0f did not back off", st.Cwnd)
+	}
+}
+
+func TestThroughputApproachesLineRate(t *testing.T) {
+	e := sim.NewEngine(3)
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(10)}, "tx")
+	q := n.NewQueue(1 << 16)
+	s := &sink{}
+	q.Connect(s, 0)
+
+	flows := StartIperf(e, []*nic.Queue{q}, 8, Config{StopAt: 50 * sim.Millisecond})
+	e.RunUntil(50 * sim.Millisecond)
+	agg := AggregateThroughput(flows, e.Now())
+	// 8 flows on a 10G line: aggregate should reach a good fraction of
+	// line rate (goodput excludes overhead, ramp-up and losses).
+	if agg < 5e9 {
+		t.Fatalf("aggregate throughput %.2f Gbps, want >= 5", agg/1e9)
+	}
+	if agg > 10.5e9 {
+		t.Fatalf("aggregate throughput %.2f Gbps exceeds line rate", agg/1e9)
+	}
+}
+
+func TestIperfFlowsDistinct(t *testing.T) {
+	e := sim.NewEngine(4)
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(10)}, "tx")
+	q := n.NewQueue(1 << 16)
+	s := &sink{}
+	q.Connect(s, 0)
+	flows := StartIperf(e, []*nic.Queue{q}, 3, Config{ID: 10, StopAt: sim.Millisecond})
+	e.RunUntil(2 * sim.Millisecond)
+	seen := map[uint16]bool{}
+	for _, f := range flows {
+		if seen[f.cfg.ID] {
+			t.Fatalf("duplicate flow id %d", f.cfg.ID)
+		}
+		seen[f.cfg.ID] = true
+		if f.String() == "" {
+			t.Fatal("empty String()")
+		}
+	}
+	if !seen[10] || !seen[11] || !seen[12] {
+		t.Fatalf("flow ids %v", seen)
+	}
+}
+
+func TestStopHaltsFlow(t *testing.T) {
+	e := sim.NewEngine(5)
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(10)}, "tx")
+	q := n.NewQueue(1 << 16)
+	s := &sink{}
+	q.Connect(s, 0)
+	f := Start(e, q, Config{ID: 1})
+	e.RunUntil(sim.Millisecond)
+	f.Stop()
+	sentAtStop := f.Stats().SentSegments
+	e.RunUntil(10 * sim.Millisecond)
+	// A few in-flight pumps may still fire, but growth must stop.
+	if got := f.Stats().SentSegments; got > sentAtStop+int64ToUint64(int(f.cfg.MaxCwnd)) {
+		t.Fatalf("flow kept sending after Stop: %d -> %d", sentAtStop, got)
+	}
+}
+
+func int64ToUint64(v int) uint64 { return uint64(v) }
+
+func TestNoiseSegmentsAreNoiseKind(t *testing.T) {
+	e := sim.NewEngine(6)
+	n := nic.New(e, nic.Profile{Name: "tx", LineRateBps: packet.Gbps(10)}, "tx")
+	q := n.NewQueue(1 << 16)
+	var kinds []packet.Kind
+	q.Connect(collectorFunc(func(p *packet.Packet, _ sim.Time) { kinds = append(kinds, p.Kind) }), 0)
+	Start(e, q, Config{ID: 1, StopAt: 100 * sim.Microsecond})
+	e.RunUntil(200 * sim.Microsecond)
+	if len(kinds) == 0 {
+		t.Fatal("no segments delivered")
+	}
+	for _, k := range kinds {
+		if k != packet.KindNoise {
+			t.Fatalf("segment kind %v, want noise", k)
+		}
+	}
+}
+
+type collectorFunc func(*packet.Packet, sim.Time)
+
+func (f collectorFunc) Receive(p *packet.Packet, t sim.Time) { f(p, t) }

@@ -1,0 +1,207 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/dpdk"
+	"repro/internal/gen"
+	"repro/internal/netsw"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/tcpsim"
+)
+
+// linkProp is the propagation delay of the short in-rack fibre runs
+// connecting every element (~10 m).
+const linkProp = 50 * sim.Nanosecond
+
+// Topology is a fully wired experiment: generator(s) → switch →
+// middlebox(es) → switch → recorder, plus the optional noise slice.
+type Topology struct {
+	Env Env
+	Eng *sim.Engine
+
+	// GenQueues has one TX queue per replayer stream.
+	GenQueues []*nic.Queue
+	// Middleboxes are the Choir instances, index-aligned with
+	// GenQueues.
+	Middleboxes []*core.Middlebox
+	// Recorder is the capture node.
+	Recorder *core.Recorder
+	// Bus is the control plane reaching every middlebox.
+	Bus *control.Bus
+	// Switch is the fabric.
+	Switch *netsw.Switch
+	// NoiseQueue is the noise VF (nil unless Env.Noise).
+	NoiseQueue *nic.Queue
+	// NoiseFlows are the running iperf3-style flows (empty until
+	// StartNoise).
+	NoiseFlows []*tcpsim.Flow
+
+	noiseSink *discard
+}
+
+// discard terminates noise traffic.
+type discard struct{ n uint64 }
+
+func (d *discard) Receive(*packet.Packet, sim.Time) { d.n++ }
+
+// Build wires a topology for env on the engine. The same engine can
+// host only one topology.
+func Build(eng *sim.Engine, env Env) *Topology {
+	if env.Replayers < 1 {
+		panic("testbed: environment needs at least one replayer")
+	}
+	t := &Topology{Env: env, Eng: eng}
+	r := env.Replayers
+
+	// Switch ports: 2 per replayer stream (gen in / mb out) +1 per
+	// replayer return path, one recorder egress, two for noise.
+	sw := netsw.New(eng, env.Switch, env.Name)
+	for i := 0; i < 3*r+3; i++ {
+		sw.AddPort()
+	}
+	t.Switch = sw
+	recorderPort := 3 * r
+
+	// Recorder.
+	t.Recorder = core.NewRecorder(eng, "A", env.RecorderTimestamper(), true)
+	sw.Port(recorderPort).Attach(t.Recorder, linkProp)
+
+	// Control plane: sub-millisecond out-of-band delivery.
+	t.Bus = control.NewBus(eng, sim.Uniform{Lo: 20_000, Hi: 120_000})
+
+	ppmRng := eng.Rand("testbed/tsc-ppm")
+	for i := 0; i < r; i++ {
+		// Generator stream i.
+		genNIC := nic.New(eng, env.GenNIC, fmt.Sprintf("gen%d", i))
+		genQ := genNIC.NewQueue(0)
+		genQ.Connect(sw.Port(2*i), linkProp)
+		t.GenQueues = append(t.GenQueues, genQ)
+
+		// Replayer i hardware.
+		mbNIC := nic.New(eng, env.ReplayerNIC, fmt.Sprintf("replayer%d", i))
+		mbQ := mbNIC.NewQueue(env.ReplayerQueuePkts)
+		mbQ.Connect(sw.Port(2*r+i), linkProp)
+
+		// Clocks: TSC with sampled calibration error, PTP-disciplined
+		// wall clock.
+		tsc := clock.NewTSC(2.5e9, env.TSCErrPPM*ppmRng.NormFloat64(), uint64(1000*(i+1)))
+		wall := clock.NewSystemClock(0)
+		clock.StartSync(eng, wall, env.Sync, eng.Rand(fmt.Sprintf("ptp/%d", i)))
+
+		var stall *sim.StallTimeline
+		if env.StallGap != nil && env.StallDur != nil {
+			stall = sim.NewStallTimeline(eng.Rand(fmt.Sprintf("stall/%d", i)), env.StallGap, env.StallDur)
+		}
+
+		var pool *dpdk.MemPool
+		if env.MemPoolMiB > 0 {
+			pool = dpdk.NewMemPool(fmt.Sprintf("replayer%d", i), int64(env.MemPoolMiB)<<20)
+		}
+
+		mb := core.New(eng, core.Config{
+			ID:                uint16(i + 1),
+			TSC:               tsc,
+			Wall:              wall,
+			Out:               mbQ,
+			Stall:             stall,
+			ReplayStartJitter: env.ReplayStartJitter,
+			PollInterval:      env.PollInterval,
+			Pool:              pool,
+		})
+		t.Middleboxes = append(t.Middleboxes, mb)
+
+		// Wiring: gen i → mb i → recorder.
+		sw.Forward(2*i, 2*i+1)
+		sw.Port(2*i+1).Attach(mb, linkProp)
+		sw.Forward(2*r+i, recorderPort)
+
+		// Noise VF shares replayer 0's physical NIC.
+		if env.Noise && i == 0 {
+			noiseQ := mbNIC.NewQueue(env.NoiseQueuePkts)
+			noiseQ.Connect(sw.Port(3*r+1), linkProp)
+			sw.Forward(3*r+1, 3*r+2)
+			t.noiseSink = &discard{}
+			sw.Port(3*r+2).Attach(t.noiseSink, linkProp)
+			t.NoiseQueue = noiseQ
+		}
+	}
+	return t
+}
+
+// StartGenerators launches one CBR stream per replayer; each stream
+// carries RateGbps/Replayers so the aggregate offered load matches the
+// environment (the paper's dual-replayer test splits 40 Gbps into two
+// 20 Gbps streams).
+func (t *Topology) StartGenerators(count int, startAt sim.Time) []*gen.Generator {
+	perStream := packet.Gbps(t.Env.RateGbps / float64(t.Env.Replayers))
+	gens := make([]*gen.Generator, len(t.GenQueues))
+	for i, q := range t.GenQueues {
+		gens[i] = gen.StartCBR(t.Eng, q, gen.CBRConfig{
+			RateBps:  perStream,
+			FrameLen: t.Env.FrameLen,
+			Count:    count,
+			StartAt:  startAt,
+			Stream:   uint16(i),
+			Flow: packet.FiveTuple{
+				Src: packet.IPForNode(uint16(10 + i)), Dst: packet.IPForNode(99),
+				SrcPort: uint16(7000 + i), DstPort: 7001, Proto: packet.ProtoUDP,
+			},
+		})
+	}
+	return gens
+}
+
+// StartNoise launches the iperf3-style flows; no-op unless the
+// environment has a noise slice.
+func (t *Topology) StartNoise(stopAt sim.Time) {
+	if t.NoiseQueue == nil {
+		return
+	}
+	t.NoiseFlows = tcpsim.StartIperf(t.Eng, []*nic.Queue{t.NoiseQueue}, t.Env.NoiseFlows, tcpsim.Config{
+		ID:         100,
+		SegmentLen: 9000, // FABRIC L2 services run jumbo MTU
+		RTT:        60 * sim.Microsecond,
+		StartAt:    t.Eng.Now(),
+		StopAt:     stopAt,
+		Flow: packet.FiveTuple{
+			Src: packet.IPForNode(200), Dst: packet.IPForNode(201),
+			DstPort: 5201, Proto: packet.ProtoTCP,
+		},
+	})
+}
+
+// NoiseDelivered returns how many noise frames reached the noise sink.
+func (t *Topology) NoiseDelivered() uint64 {
+	if t.noiseSink == nil {
+		return 0
+	}
+	return t.noiseSink.n
+}
+
+// Broadcast sends a control command to every middlebox.
+func (t *Topology) Broadcast(cmd control.Command) {
+	for _, mb := range t.Middleboxes {
+		t.Bus.Send(mb, cmd)
+	}
+}
+
+// WallNow returns middlebox 0's wall-clock reading — what the
+// experimenter's tooling would use to pick future start times.
+func (t *Topology) WallNow() sim.Time {
+	return t.Eng.Now() // grandmaster time; node clocks are within ns of it
+}
+
+// Statuses polls every middlebox's control-plane status.
+func (t *Topology) Statuses() []control.Status {
+	out := make([]control.Status, len(t.Middleboxes))
+	for i, mb := range t.Middleboxes {
+		out[i] = mb.Status()
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package trace holds received packet sequences — the unit the paper's
+// consistency metrics compare. A Trace is what the recorder node captures
+// during one trial: packets in arrival order with receive timestamps.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Trace is an ordered packet capture from a single trial.
+type Trace struct {
+	// Name identifies the trial (e.g. "run-A").
+	Name string
+	// Packets in arrival order.
+	Packets []*packet.Packet
+	// Times[i] is the receive timestamp of Packets[i]. Timestamps are
+	// non-decreasing.
+	Times []sim.Time
+}
+
+// New returns an empty trace with capacity hint n.
+func New(name string, n int) *Trace {
+	return &Trace{
+		Name:    name,
+		Packets: make([]*packet.Packet, 0, n),
+		Times:   make([]sim.Time, 0, n),
+	}
+}
+
+// Append records a packet arrival.
+func (t *Trace) Append(p *packet.Packet, at sim.Time) {
+	t.Packets = append(t.Packets, p)
+	t.Times = append(t.Times, at)
+}
+
+// Len returns the number of captured packets.
+func (t *Trace) Len() int { return len(t.Packets) }
+
+// Span returns the time between the first and last packet, or 0 for
+// traces with fewer than two packets.
+func (t *Trace) Span() sim.Duration {
+	if len(t.Times) < 2 {
+		return 0
+	}
+	return t.Times[len(t.Times)-1] - t.Times[0]
+}
+
+// Start returns the first packet's timestamp (0 when empty).
+func (t *Trace) Start() sim.Time {
+	if len(t.Times) == 0 {
+		return 0
+	}
+	return t.Times[0]
+}
+
+// IATs returns the inter-arrival time sequence; element i is the gap
+// before packet i, with IATs[0] == 0 (the paper's t_X0 == t_X(-1) base
+// case).
+func (t *Trace) IATs() []sim.Duration {
+	out := make([]sim.Duration, len(t.Times))
+	for i := 1; i < len(t.Times); i++ {
+		out[i] = t.Times[i] - t.Times[i-1]
+	}
+	return out
+}
+
+// Normalize returns a copy whose first packet arrives at time 0; all
+// other timestamps shift by the same amount. Metrics compare trials on
+// trial-relative timelines.
+func (t *Trace) Normalize() *Trace {
+	out := &Trace{
+		Name:    t.Name,
+		Packets: t.Packets,
+		Times:   make([]sim.Time, len(t.Times)),
+	}
+	if len(t.Times) == 0 {
+		return out
+	}
+	t0 := t.Times[0]
+	for i, tm := range t.Times {
+		out.Times[i] = tm - t0
+	}
+	return out
+}
+
+// DataOnly returns a trace containing only replay-eligible data packets,
+// discarding noise, control and invalid frames (the receiver's tag
+// filter).
+func (t *Trace) DataOnly() *Trace {
+	out := New(t.Name, len(t.Packets))
+	for i, p := range t.Packets {
+		if p.Kind == packet.KindData {
+			out.Append(p, t.Times[i])
+		}
+	}
+	return out
+}
+
+// Rate returns the average packet rate in packets per second.
+func (t *Trace) Rate() float64 {
+	span := t.Span()
+	if span <= 0 || t.Len() < 2 {
+		return 0
+	}
+	return float64(t.Len()-1) / span.Seconds()
+}
+
+// Validate checks the trace's internal invariants: matching slice
+// lengths and non-decreasing timestamps.
+func (t *Trace) Validate() error {
+	if len(t.Packets) != len(t.Times) {
+		return fmt.Errorf("trace %s: %d packets but %d timestamps", t.Name, len(t.Packets), len(t.Times))
+	}
+	for i := 1; i < len(t.Times); i++ {
+		if t.Times[i] < t.Times[i-1] {
+			return fmt.Errorf("trace %s: timestamps decrease at %d: %v < %v", t.Name, i, t.Times[i], t.Times[i-1])
+		}
+	}
+	return nil
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace %s: %d packets over %v", t.Name, t.Len(), t.Span())
+}
+
+// Filter returns a trace containing only packets for which keep returns
+// true; timestamps are preserved.
+func (t *Trace) Filter(keep func(p *packet.Packet, at sim.Time) bool) *Trace {
+	out := New(t.Name, t.Len())
+	for i, p := range t.Packets {
+		if keep(p, t.Times[i]) {
+			out.Append(p, t.Times[i])
+		}
+	}
+	return out
+}
+
+// Between returns the packets with timestamps in [from, to), sharing
+// the parent's backing arrays.
+func (t *Trace) Between(from, to sim.Time) *Trace {
+	lo := 0
+	for lo < t.Len() && t.Times[lo] < from {
+		lo++
+	}
+	hi := lo
+	for hi < t.Len() && t.Times[hi] < to {
+		hi++
+	}
+	return &Trace{Name: t.Name, Packets: t.Packets[lo:hi], Times: t.Times[lo:hi]}
+}
+
+// Merge combines two traces into one sequence ordered by timestamp —
+// what a single observation point would have captured seeing both
+// streams. Ties keep a's packet first.
+func Merge(name string, a, b *Trace) *Trace {
+	out := New(name, a.Len()+b.Len())
+	i, j := 0, 0
+	for i < a.Len() || j < b.Len() {
+		takeA := j >= b.Len() || (i < a.Len() && a.Times[i] <= b.Times[j])
+		if takeA {
+			out.Append(a.Packets[i], a.Times[i])
+			i++
+		} else {
+			out.Append(b.Packets[j], b.Times[j])
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+func mkTrace(times ...sim.Time) *Trace {
+	t := New("t", len(times))
+	for i, tm := range times {
+		t.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 100}, tm)
+	}
+	return t
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := New("empty", 0)
+	if tr.Len() != 0 || tr.Span() != 0 || tr.Start() != 0 || tr.Rate() != 0 {
+		t.Fatal("empty trace should be all zeros")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Normalize(); n.Len() != 0 {
+		t.Fatal("normalize of empty trace should be empty")
+	}
+}
+
+func TestSpanAndStart(t *testing.T) {
+	tr := mkTrace(100, 200, 450)
+	if tr.Span() != 350 {
+		t.Fatalf("Span = %v, want 350", tr.Span())
+	}
+	if tr.Start() != 100 {
+		t.Fatalf("Start = %v, want 100", tr.Start())
+	}
+}
+
+func TestIATs(t *testing.T) {
+	tr := mkTrace(100, 150, 350)
+	iats := tr.IATs()
+	want := []sim.Duration{0, 50, 200}
+	for i := range want {
+		if iats[i] != want[i] {
+			t.Fatalf("IATs[%d] = %v, want %v", i, iats[i], want[i])
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	tr := mkTrace(1000, 1100, 1300)
+	n := tr.Normalize()
+	if n.Times[0] != 0 || n.Times[1] != 100 || n.Times[2] != 300 {
+		t.Fatalf("normalized times %v", n.Times)
+	}
+	// Original untouched.
+	if tr.Times[0] != 1000 {
+		t.Fatal("Normalize mutated the original")
+	}
+	// Packets shared (zero-copy).
+	if n.Packets[0] != tr.Packets[0] {
+		t.Fatal("Normalize should share packet pointers")
+	}
+}
+
+func TestDataOnly(t *testing.T) {
+	tr := New("mixed", 4)
+	tr.Append(&packet.Packet{Kind: packet.KindData}, 1)
+	tr.Append(&packet.Packet{Kind: packet.KindNoise}, 2)
+	tr.Append(&packet.Packet{Kind: packet.KindInvalid}, 3)
+	tr.Append(&packet.Packet{Kind: packet.KindData}, 4)
+	d := tr.DataOnly()
+	if d.Len() != 2 {
+		t.Fatalf("DataOnly kept %d packets, want 2", d.Len())
+	}
+	if d.Times[0] != 1 || d.Times[1] != 4 {
+		t.Fatalf("DataOnly times %v", d.Times)
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 3 packets over 1 second: 2 intervals -> 2 pps... wait, rate counts
+	// packets per second between first and last.
+	tr := mkTrace(0, sim.Second/2, sim.Second)
+	if got := tr.Rate(); got != 2 {
+		t.Fatalf("Rate = %v, want 2", got)
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	tr := mkTrace(10, 5)
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted decreasing timestamps")
+	}
+}
+
+func TestValidateCatchesLengthMismatch(t *testing.T) {
+	tr := mkTrace(1, 2)
+	tr.Times = tr.Times[:1]
+	if err := tr.Validate(); err == nil {
+		t.Fatal("Validate accepted mismatched lengths")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := mkTrace(0, 10).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := mkTrace(0, 10, 20, 30)
+	even := tr.Filter(func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq%2 == 0 })
+	if even.Len() != 2 || even.Packets[1].Tag.Seq != 2 {
+		t.Fatalf("filter result: %v", even)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tr := mkTrace(0, 10, 20, 30, 40)
+	mid := tr.Between(10, 30)
+	if mid.Len() != 2 || mid.Times[0] != 10 || mid.Times[1] != 20 {
+		t.Fatalf("between: %v", mid.Times)
+	}
+	if tr.Between(100, 200).Len() != 0 {
+		t.Fatal("out-of-range window not empty")
+	}
+	// Shares backing arrays (no copy).
+	if mid.Packets[0] != tr.Packets[1] {
+		t.Fatal("Between copied packets")
+	}
+}
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := mkTrace(0, 100, 200)
+	b := New("b", 3)
+	for i, tm := range []sim.Time{50, 150, 250} {
+		b.Append(&packet.Packet{Tag: packet.Tag{Replayer: 2, Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 100}, tm)
+	}
+	m := Merge("merged", a, b)
+	if m.Len() != 6 {
+		t.Fatalf("merged %d", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Time{0, 50, 100, 150, 200, 250}
+	for i, tm := range want {
+		if m.Times[i] != tm {
+			t.Fatalf("merge order: %v", m.Times)
+		}
+	}
+	// Ties prefer a.
+	tie := Merge("tie", mkTrace(5), mkTrace(5))
+	if tie.Len() != 2 {
+		t.Fatal("tie merge")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	a := mkTrace(1, 2)
+	if got := Merge("m", a, New("e", 0)); got.Len() != 2 {
+		t.Fatalf("merge with empty: %d", got.Len())
+	}
+	if got := Merge("m", New("e", 0), New("e2", 0)); got.Len() != 0 {
+		t.Fatalf("empty merge: %d", got.Len())
+	}
+}
