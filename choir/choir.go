@@ -22,6 +22,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/pcap"
+	"repro/internal/sim"
+	"repro/internal/stream"
 	"repro/internal/testbed"
 	"repro/internal/trace"
 )
@@ -156,3 +158,66 @@ type ReorderProfile = metrics.ReorderProfile
 func ReorderBySpacing(a, b *Trace, maxSpacing int) *ReorderProfile {
 	return metrics.ReorderBySpacing(a, b, maxSpacing)
 }
+
+// ---- Streaming κ: comparison across time in bounded memory ----
+
+// WindowMetrics is one time window's §3 metric vector.
+type WindowMetrics = metrics.WindowResult
+
+// ConsistencyWindowed slices both trials into consecutive windows on
+// their trial-relative timelines and scores each window pair — the
+// batch path. For traces too large to hold in memory, or for live runs,
+// use StreamConsistency instead; the two agree window for window.
+func ConsistencyWindowed(a, b *Trace, window sim.Duration, opts Options) ([]WindowMetrics, error) {
+	return metrics.CompareWindowed(a, b, window, opts)
+}
+
+// StreamSource yields one trial's packets in arrival order. Implemented
+// by PcapStream (files), TraceSource (in-memory traces) and LiveTap
+// (running simulations).
+type StreamSource = stream.Source
+
+// StreamConfig parameterizes the streaming engine: window length, flow
+// shard count, per-shard buffering and the backpressure lag bound.
+type StreamConfig = stream.Config
+
+// StreamSummary is the outcome of a streaming comparison: per-window
+// vectors (unless discarded), the running aggregate, and memory
+// high-water marks.
+type StreamSummary = stream.Summary
+
+// StreamAggregate is the combined whole-run vector of a streaming
+// comparison.
+type StreamAggregate = stream.Aggregate
+
+// LiveTap is a channel-backed capture point: wire it into a simulated
+// testbed as a receiver endpoint and stream κ while the trial runs.
+type LiveTap = stream.Tap
+
+// StreamConsistency compares two packet streams window by window in
+// bounded memory — the scalable form of ConsistencyWindowed. Every
+// window score is bit-identical to the batch path on the same input;
+// memory is bounded by the window size and shard buffers, never by the
+// stream length.
+func StreamConsistency(a, b StreamSource, cfg StreamConfig) (*StreamSummary, error) {
+	return stream.Run(a, b, cfg)
+}
+
+// TraceSource adapts an in-memory trace to a StreamSource.
+func TraceSource(tr *Trace) StreamSource { return stream.NewTraceSource(tr) }
+
+// NewLiveTap creates a live capture tap with the given buffer capacity;
+// dataOnly applies the recorder's tag filter at the tap.
+func NewLiveTap(buffer int, dataOnly bool) *LiveTap { return stream.NewTap(buffer, dataOnly) }
+
+// PcapStream is an incremental pcap reader (one record per Next call);
+// it implements StreamSource.
+type PcapStream = pcap.Stream
+
+// OpenPcapStream opens a capture file for incremental reading. Close the
+// returned stream to release the file handle.
+func OpenPcapStream(path string) (*PcapStream, error) { return pcap.OpenStream(path) }
+
+// ErrTruncatedCapture marks a capture that ends mid-record (e.g. an
+// in-progress file); the packets before the cut are still delivered.
+var ErrTruncatedCapture = pcap.ErrTruncated

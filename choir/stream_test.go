@@ -1,0 +1,82 @@
+package choir
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStreamConsistencyFromPcapFiles drives the public streaming path
+// end to end: write two captures to disk, stream them back record at a
+// time, and check the windows agree with the batch ConsistencyWindowed.
+func TestStreamConsistencyFromPcapFiles(t *testing.T) {
+	a := sampleTrace("A", 2_000, 284)
+	b := sampleTrace("B", 2_000, 290) // slightly slower pacing → L/I > 0
+
+	dir := t.TempDir()
+	pa := filepath.Join(dir, "a.pcap")
+	pb := filepath.Join(dir, "b.pcap")
+	if err := WritePcapFile(pa, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePcapFile(pb, b, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const window = 20 * sim.Microsecond
+	want, err := ConsistencyWindowed(a, b, window, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sa, err := OpenPcapStream(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sa.Close()
+	sb, err := OpenPcapStream(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sb.Close()
+
+	sum, err := StreamConsistency(sa, sb, StreamConfig{Window: window, DataOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Windows) != len(want) {
+		t.Fatalf("streaming %d windows, batch %d", len(sum.Windows), len(want))
+	}
+	for i := range want {
+		if sum.Windows[i].Result.Kappa != want[i].Result.Kappa {
+			t.Fatalf("window %d: streaming κ %v != batch %v",
+				i, sum.Windows[i].Result.Kappa, want[i].Result.Kappa)
+		}
+	}
+	if sum.PacketsA != int64(a.Len()) || sum.PacketsB != int64(b.Len()) {
+		t.Fatalf("streamed (%d,%d) packets, want (%d,%d)", sum.PacketsA, sum.PacketsB, a.Len(), b.Len())
+	}
+	if sum.Aggregate.Kappa <= 0 || sum.Aggregate.Kappa > 1 {
+		t.Fatalf("aggregate κ out of range: %v", sum.Aggregate)
+	}
+}
+
+// TestLiveTapExported sanity-checks the live tap through the facade.
+func TestLiveTapExported(t *testing.T) {
+	a := sampleTrace("A", 500, 284)
+	tap := NewLiveTap(32, true)
+	go func() {
+		for i := 0; i < a.Len(); i++ {
+			tap.Receive(a.Packets[i], a.Times[i])
+		}
+		tap.Close()
+	}()
+	sum, err := StreamConsistency(tap, TraceSource(a), StreamConfig{Window: 50 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Aggregate.Kappa != 1 {
+		t.Fatalf("identical live stream scored %v", sum.Aggregate)
+	}
+}

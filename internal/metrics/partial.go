@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file is the batch↔streaming bridge: the streaming consistency
+// engine (internal/stream) accumulates order-independent integer partials
+// per window across flow shards, then assembles them into a *Result here
+// using the exact float operations Compare performs. Keeping the Eq. 1–5
+// normalizations in this package (next to Compare) is what lets the
+// stream package guarantee bit-identical window scores without ever
+// materializing the window sub-traces.
+
+// Sums holds everything a window's §3 metric vector depends on, in a form
+// that can be accumulated incrementally and merged across shards:
+// integer sums (exact, order-independent) plus the full-window positions
+// of the common packets for the ordering metric.
+type Sums struct {
+	// Common is |A ∩ B| for the window; OnlyA/OnlyB count packets seen
+	// in one trial only.
+	Common, OnlyA, OnlyB int
+	// SumAbsLat is Σ|l_B − l_A| over common packets (Equation 3
+	// numerator), with latencies relative to each side's first packet in
+	// the window.
+	SumAbsLat int64
+	// SumAbsIAT is Σ|g_B − g_A| over common packets (Equation 4
+	// numerator), with gaps computed within the window (first packet of
+	// the window has gap 0).
+	SumAbsIAT int64
+	// Within10 counts common packets with |g_B − g_A| ≤ 10 ns.
+	Within10 int
+	// SpanA and SpanB are each side's window sub-trace span (last −
+	// first packet time; 0 with fewer than two packets).
+	SpanA, SpanB sim.Duration
+	// PosA[i], PosB[i] are the i-th common packet's positions within the
+	// window sub-traces of A and B. Order of i is arbitrary — Assemble
+	// sorts by PosB — so shard partials can be concatenated freely.
+	PosA, PosB []int32
+}
+
+// Merge folds another shard's partials into s. All fields are plain sums
+// or concatenations, so merging is associative and commutative.
+func (s *Sums) Merge(o *Sums) {
+	s.Common += o.Common
+	s.OnlyA += o.OnlyA
+	s.OnlyB += o.OnlyB
+	s.SumAbsLat += o.SumAbsLat
+	s.SumAbsIAT += o.SumAbsIAT
+	s.Within10 += o.Within10
+	s.PosA = append(s.PosA, o.PosA...)
+	s.PosB = append(s.PosB, o.PosB...)
+	// Spans are window-global, carried by the ingest metadata rather
+	// than per-shard; Merge keeps the widest seen so metadata can be
+	// applied on any summand.
+	if o.SpanA > s.SpanA {
+		s.SpanA = o.SpanA
+	}
+	if o.SpanB > s.SpanB {
+		s.SpanB = o.SpanB
+	}
+}
+
+// Assemble builds the window's Result from the partial sums, applying the
+// identical Equation 1–5 operations Compare uses — same operand order,
+// same int→float conversion points — so a streaming window score equals
+// the batch CompareWindowed score bit for bit.
+func (s *Sums) Assemble() *Result {
+	r := &Result{Common: s.Common, OnlyA: s.OnlyA, OnlyB: s.OnlyB}
+
+	// U (Equation 1).
+	lenA := s.Common + s.OnlyA
+	lenB := s.Common + s.OnlyB
+	if total := lenA + lenB; total > 0 {
+		r.U = 1 - 2*float64(r.Common)/float64(total)
+	}
+
+	if r.Common > 0 {
+		// O (Equation 2): rebuild the common-rank permutation from the
+		// window positions and reuse the batch edit-script machinery.
+		rankA := commonRanks(s.PosA, s.PosB)
+		es := editScriptOf(&matching{rankA: rankA})
+		r.MovedPackets = len(es.Moves)
+		if den := orderingDenominator(r.Common); den > 0 {
+			r.O = es.symmetricAbsMove() / float64(den)
+		}
+
+		r.PctIATWithin10 = 100 * float64(s.Within10) / float64(r.Common)
+
+		// L (Equation 3).
+		spanCross := math.Max(float64(s.SpanB), float64(s.SpanA))
+		if den := float64(r.Common) * spanCross; den > 0 {
+			r.L = float64(s.SumAbsLat) / den
+		}
+		// I (Equation 4).
+		if den := float64(s.SpanB + s.SpanA); den > 0 {
+			r.I = float64(s.SumAbsIAT) / den
+		}
+	}
+
+	r.Kappa = Kappa(r.U, r.O, r.L, r.I)
+	return r
+}
+
+// OrderingParts returns Equation 2's numerator and denominator for the
+// assembled window — what a running aggregate sums across windows.
+func (s *Sums) OrderingParts() (num float64, den int64) {
+	if s.Common == 0 {
+		return 0, 0
+	}
+	rankA := commonRanks(s.PosA, s.PosB)
+	es := editScriptOf(&matching{rankA: rankA})
+	return es.symmetricAbsMove(), orderingDenominator(s.Common)
+}
+
+// commonRanks reproduces match()'s rankA: order the common packets by
+// their position in B, then rank each one's A-position among all common
+// A-positions. posA/posB are consumed in place (sorted).
+func commonRanks(posA, posB []int32) []int32 {
+	n := len(posA)
+	// Sort pairs by posB (B order).
+	sort.Sort(&pairsByB{a: posA, b: posB})
+	// rankA[i] = rank of posA[i] among the sorted posA values.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(x, y int) bool { return posA[idx[x]] < posA[idx[y]] })
+	rankA := make([]int32, n)
+	for r, i := range idx {
+		rankA[i] = int32(r)
+	}
+	return rankA
+}
+
+type pairsByB struct{ a, b []int32 }
+
+func (p *pairsByB) Len() int           { return len(p.a) }
+func (p *pairsByB) Less(i, j int) bool { return p.b[i] < p.b[j] }
+func (p *pairsByB) Swap(i, j int) {
+	p.a[i], p.a[j] = p.a[j], p.a[i]
+	p.b[i], p.b[j] = p.b[j], p.b[i]
+}

@@ -13,7 +13,6 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -99,53 +98,24 @@ func WriteFile(path string, tr *trace.Trace, snapLen int) error {
 // Read parses a pcap stream back into a trace. Unparseable or truncated
 // frames are kept as noise packets so counts still line up with the
 // original capture.
+//
+// When the stream ends mid-record — an in-progress or cut-off capture —
+// Read returns the packets parsed so far *alongside* an error wrapping
+// ErrTruncated, so streaming callers can keep the prefix while batch
+// callers still see the failure.
 func Read(r io.Reader, name string) (*trace.Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	s, err := NewStream(r, name)
+	if err != nil {
+		return nil, err
 	}
-	magic := binary.LittleEndian.Uint32(hdr[0:4])
-	var tsScale sim.Duration
-	switch magic {
-	case MagicNanos:
-		tsScale = 1
-	case MagicMicros:
-		tsScale = sim.Microsecond
-	default:
-		return nil, fmt.Errorf("pcap: unsupported magic %#08x", magic)
-	}
-	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
-		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
-	}
-
 	tr := trace.New(name, 1024)
-	var rec [16]byte
 	for {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+		p, ts, err := s.Next()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return tr, nil
 			}
-			return nil, fmt.Errorf("pcap: reading record header: %w", err)
-		}
-		sec := binary.LittleEndian.Uint32(rec[0:4])
-		sub := binary.LittleEndian.Uint32(rec[4:8])
-		inclLen := binary.LittleEndian.Uint32(rec[8:12])
-		origLen := binary.LittleEndian.Uint32(rec[12:16])
-		if inclLen > DefaultSnapLen {
-			return nil, fmt.Errorf("pcap: implausible incl_len %d", inclLen)
-		}
-		buf := make([]byte, inclLen)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("pcap: reading frame body: %w", err)
-		}
-		ts := sim.Time(sec)*sim.Second + sim.Time(sub)*tsScale
-		p, err := packet.ParseFrame(buf)
-		if err != nil || inclLen < origLen {
-			// Truncated or foreign frame: keep as noise.
-			p = &packet.Packet{Kind: packet.KindNoise, FrameLen: int(origLen) + packet.FCSLen}
-		} else {
-			p.FrameLen = int(origLen) + packet.FCSLen
+			return tr, err
 		}
 		tr.Append(p, ts)
 	}

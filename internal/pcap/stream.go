@@ -1,0 +1,141 @@
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// ErrTruncated marks a capture that ends mid-record — the normal state of
+// an in-progress capture file (the writer got ahead of a flush, or the
+// capture box died). Callers streaming over live files typically treat it
+// as a soft end-of-input; batch callers surface it.
+var ErrTruncated = errors.New("pcap: truncated record")
+
+// Stream is an incremental pcap reader: one record per Next call, no
+// whole-trace materialization. It is the file-backed Source of the
+// streaming consistency engine (internal/stream), and the batch Read is
+// built on top of it, so both paths share one record parser.
+type Stream struct {
+	br      *bufio.Reader
+	closer  io.Closer
+	name    string
+	tsScale sim.Duration
+	count   int
+	err     error // sticky terminal error (incl. io.EOF)
+}
+
+// NewStream parses the global pcap header from r and returns an iterator
+// over its records. Both nanosecond and microsecond little-endian
+// captures are accepted.
+func NewStream(r io.Reader, name string) (*Stream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("pcap: reading global header: %w: %w", ErrTruncated, err)
+		}
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	var tsScale sim.Duration
+	switch magic {
+	case MagicNanos:
+		tsScale = 1
+	case MagicMicros:
+		tsScale = sim.Microsecond
+	default:
+		return nil, fmt.Errorf("pcap: unsupported magic %#08x", magic)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Stream{br: br, name: name, tsScale: tsScale}, nil
+}
+
+// OpenStream opens a pcap file for incremental reading. Close the stream
+// to release the file handle.
+func OpenStream(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStream(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// Name returns the stream's trial name.
+func (s *Stream) Name() string { return s.name }
+
+// Count returns how many records have been decoded so far.
+func (s *Stream) Count() int { return s.count }
+
+// Close releases the underlying file when the stream was opened with
+// OpenStream; otherwise it is a no-op.
+func (s *Stream) Close() error {
+	if s.closer != nil {
+		c := s.closer
+		s.closer = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// Next decodes one record. It returns io.EOF at a clean record boundary
+// and an error wrapping ErrTruncated when the stream ends mid-record.
+// Unparseable or snap-truncated frames are returned as noise packets so
+// counts line up with the capture, exactly like the batch Read.
+func (s *Stream) Next() (*packet.Packet, sim.Time, error) {
+	if s.err != nil {
+		return nil, 0, s.err
+	}
+	var rec [16]byte
+	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			s.err = io.EOF
+		} else if errors.Is(err, io.ErrUnexpectedEOF) {
+			s.err = fmt.Errorf("pcap: record %d header: %w: %w", s.count, ErrTruncated, err)
+		} else {
+			s.err = fmt.Errorf("pcap: record %d header: %w", s.count, err)
+		}
+		return nil, 0, s.err
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	sub := binary.LittleEndian.Uint32(rec[4:8])
+	inclLen := binary.LittleEndian.Uint32(rec[8:12])
+	origLen := binary.LittleEndian.Uint32(rec[12:16])
+	if inclLen > DefaultSnapLen {
+		s.err = fmt.Errorf("pcap: record %d: implausible incl_len %d", s.count, inclLen)
+		return nil, 0, s.err
+	}
+	buf := make([]byte, inclLen)
+	if _, err := io.ReadFull(s.br, buf); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			s.err = fmt.Errorf("pcap: record %d body: %w: %w", s.count, ErrTruncated, err)
+		} else {
+			s.err = fmt.Errorf("pcap: record %d body: %w", s.count, err)
+		}
+		return nil, 0, s.err
+	}
+	ts := sim.Time(sec)*sim.Second + sim.Time(sub)*s.tsScale
+	p, err := packet.ParseFrame(buf)
+	if err != nil || inclLen < origLen {
+		// Truncated or foreign frame: keep as noise.
+		p = &packet.Packet{Kind: packet.KindNoise, FrameLen: int(origLen) + packet.FCSLen}
+	} else {
+		p.FrameLen = int(origLen) + packet.FCSLen
+	}
+	s.count++
+	return p, ts, nil
+}

@@ -1,0 +1,61 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// BenchmarkStreamKappa measures the streaming engine's throughput
+// (pkts/s) and allocation footprint against the batch CompareWindowed
+// path on the same pair of jittered trials. Run via verify.sh or:
+//
+//	go test ./internal/stream -bench=StreamKappa -benchmem
+func BenchmarkStreamKappa(b *testing.B) {
+	const n = 50_000
+	ta := jitteredTrial("A", n, 11)
+	tb := jitteredTrial("B", n, 12)
+	window := 50 * sim.Microsecond
+
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("stream/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum, err := Run(NewTraceSource(ta), NewTraceSource(tb), Config{
+					Window:         window,
+					Shards:         shards,
+					DiscardWindows: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Aggregate.Windows == 0 {
+					b.Fatal("no windows scored")
+				}
+			}
+			b.StopTimer()
+			pkts := float64(2*n) * float64(b.N)
+			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+
+	b.Run("batch/CompareWindowed", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wins, err := metrics.CompareWindowed(ta, tb, window, metrics.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(wins) == 0 {
+				b.Fatal("no windows scored")
+			}
+		}
+		b.StopTimer()
+		pkts := float64(2*n) * float64(b.N)
+		b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+	})
+}

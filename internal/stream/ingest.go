@@ -1,0 +1,224 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// rec is one packet reduced to what the metrics need: its identity key,
+// which window it fell in, and its window-relative position, latency and
+// inter-arrival gap. Everything downstream of ingest works on recs; the
+// packet itself is dropped immediately, which is what keeps per-packet
+// streaming cost flat.
+type rec struct {
+	key  metrics.Key
+	side side
+	win  int64
+	pos  int32        // index within the window sub-trace (per side)
+	lat  sim.Duration // arrival − first arrival in window (per side)
+	gap  sim.Duration // gap before the packet within the window; 0 for the window's first
+}
+
+// shardMsg is a shard worker's input: a record or a close watermark.
+type shardMsg struct {
+	rec   rec
+	upTo  int64 // when close: flush all windows < upTo
+	close bool
+}
+
+// winMeta carries window-global facts only the ingest stage knows: how
+// many packets one side put in the window and the side's window span.
+type winMeta struct {
+	side  side
+	win   int64
+	count int
+	span  sim.Duration
+}
+
+// wmUpdate tells the coordinator a side finished all windows < win, and
+// hands over the metadata of the windows it retired on the way.
+type wmUpdate struct {
+	side  side
+	win   int64
+	metas []winMeta
+}
+
+// gate is the backpressure valve: ingest may not open window w until
+// w − closed < maxLag.
+type gate struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed int64
+	maxLag int64
+}
+
+func newGate(maxLag int64) *gate {
+	g := &gate{maxLag: maxLag}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *gate) wait(win int64) {
+	g.mu.Lock()
+	for win-g.closed >= g.maxLag {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) advance(closed int64) {
+	g.mu.Lock()
+	if closed > g.closed {
+		g.closed = closed
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// ingester pulls one source, normalizes it onto the trial-relative
+// timeline, splits it into tumbling windows and fans records out to the
+// flow shards.
+type ingester struct {
+	side    side
+	src     Source
+	cfg     Config
+	shards  []chan shardMsg
+	wmCh    chan<- wmUpdate
+	g       *gate
+	packets int64
+	err     error
+}
+
+func newIngester(s side, src Source, cfg Config, shards []chan shardMsg, wmCh chan<- wmUpdate, g *gate) *ingester {
+	return &ingester{side: s, src: src, cfg: cfg, shards: shards, wmCh: wmCh, g: g}
+}
+
+func (in *ingester) run() {
+	var (
+		started  bool
+		t0, prev sim.Time
+		curWin   = int64(-1)
+		pos      int32
+		winFirst sim.Time
+		winLast  sim.Time
+		seen     map[packet.Tag]uint32
+		metas    []winMeta
+	)
+	retire := func() {
+		if curWin >= 0 && pos > 0 {
+			span := sim.Duration(0)
+			if pos > 1 {
+				span = winLast - winFirst
+			}
+			metas = append(metas, winMeta{side: in.side, win: curWin, count: int(pos), span: span})
+		}
+	}
+	for {
+		p, t, err := in.src.Next()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				in.err = err
+			}
+			break
+		}
+		if in.cfg.DataOnly && p.Kind != packet.KindData {
+			continue
+		}
+		if !started {
+			started = true
+			t0 = t
+			prev = t
+		}
+		if t < prev {
+			in.err = fmt.Errorf("timestamps decrease: %v < %v", t, prev)
+			break
+		}
+		prev = t
+		nt := t - t0
+		w := int64(nt / in.cfg.Window)
+		if w != curWin {
+			retire()
+			// Announce "done with all windows < w" (records for them are
+			// already enqueued), then wait for the close watermark to
+			// come within MaxLag.
+			in.wmCh <- wmUpdate{side: in.side, win: w, metas: metas}
+			metas = nil
+			in.g.wait(w)
+			curWin = w
+			pos = 0
+			winFirst = nt
+			seen = make(map[packet.Tag]uint32, len(seen))
+		}
+		occ := seen[p.Tag]
+		seen[p.Tag] = occ + 1
+		r := rec{
+			key:  metrics.Key{Tag: p.Tag, Occ: occ},
+			side: in.side,
+			win:  w,
+			pos:  pos,
+			lat:  nt - winFirst,
+		}
+		if pos > 0 {
+			r.gap = nt - winLast
+		}
+		winLast = nt
+		pos++
+		in.packets++
+		in.shards[shardOf(r.key, len(in.shards))] <- shardMsg{rec: r}
+	}
+	retire()
+	in.wmCh <- wmUpdate{side: in.side, win: maxWin, metas: metas}
+}
+
+// shardOf maps an identity key onto a shard with a splitmix64-style
+// mixer — deterministic across runs, uniform across tag layouts.
+func shardOf(k metrics.Key, n int) int {
+	x := k.Tag.Seq
+	x ^= uint64(k.Tag.Replayer)<<48 ^ uint64(k.Tag.Stream)<<32 ^ uint64(k.Occ)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// coordinate turns the two ingest watermarks into close broadcasts: when
+// both sides have passed a window, every shard is told to flush it, and
+// the backpressure gate advances.
+func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winMeta, g *gate) {
+	wm := [2]int64{0, 0}
+	closed := int64(0)
+	for upd := range wmCh {
+		for _, m := range upd.metas {
+			metaCh <- m
+		}
+		if upd.win > wm[upd.side] {
+			wm[upd.side] = upd.win
+		}
+		min := wm[0]
+		if wm[1] < min {
+			min = wm[1]
+		}
+		if min > closed {
+			closed = min
+			for _, ch := range shards {
+				ch <- shardMsg{close: true, upTo: closed}
+			}
+			g.advance(closed)
+		}
+		if wm[0] == maxWin && wm[1] == maxWin {
+			break
+		}
+	}
+	for _, ch := range shards {
+		close(ch)
+	}
+	close(metaCh)
+}

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// winAgg is the merge stage's per-window collection point: shard partials
+// merged as they arrive, plus the ingest metadata (counts, spans).
+type winAgg struct {
+	sums  metrics.Sums
+	metaA *winMeta
+	metaB *winMeta
+}
+
+// complete reports whether every fact needed to score the window has
+// arrived: any side with packets must have delivered its metadata.
+func (wa *winAgg) complete() bool {
+	if wa.sums.Common+wa.sums.OnlyA > 0 && wa.metaA == nil {
+		return false
+	}
+	if wa.sums.Common+wa.sums.OnlyB > 0 && wa.metaB == nil {
+		return false
+	}
+	return true
+}
+
+// merge collects shard partials and ingest metadata, finalizes windows in
+// order as the flush watermark advances, and maintains the running
+// aggregate. It returns when both input channels are closed.
+func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialMsg) *Summary {
+	sum := &Summary{Aggregate: Aggregate{Kappa: 1, MeanKappa: 1}}
+	pending := make(map[int64]*winAgg)
+	flushed := make([]int64, shards)
+
+	// Aggregate accumulators: numerators and denominators of Eq. 1–5
+	// summed across windows.
+	var (
+		totCommon, totOnlyA, totOnlyB int64
+		sumAbsLat, sumAbsIAT          int64
+		lDen, iDen, oNum              float64
+		oDen                          int64
+		kappaSum                      float64
+	)
+
+	finalize := func(win int64, wa *winAgg) {
+		s := &wa.sums
+		if wa.metaA != nil {
+			s.SpanA = wa.metaA.span
+		}
+		if wa.metaB != nil {
+			s.SpanB = wa.metaB.span
+		}
+		res := s.Assemble()
+		wr := metrics.WindowResult{
+			Start:  sim.Time(win) * cfg.Window,
+			End:    sim.Time(win+1) * cfg.Window,
+			Result: res,
+		}
+		if cfg.OnWindow != nil {
+			cfg.OnWindow(wr)
+		}
+		if !cfg.DiscardWindows {
+			sum.Windows = append(sum.Windows, wr)
+		}
+
+		// Fold the window into the running aggregate.
+		totCommon += int64(s.Common)
+		totOnlyA += int64(s.OnlyA)
+		totOnlyB += int64(s.OnlyB)
+		sumAbsLat += s.SumAbsLat
+		sumAbsIAT += s.SumAbsIAT
+		lDen += float64(s.Common) * math.Max(float64(s.SpanB), float64(s.SpanA))
+		iDen += float64(s.SpanB + s.SpanA)
+		num, den := s.OrderingParts()
+		oNum += num
+		oDen += den
+		kappaSum += res.Kappa
+		sum.Aggregate.Windows++
+	}
+
+	// sweep finalizes every complete window below the joint flush
+	// watermark, in window order, stopping at the first window whose
+	// metadata is still in flight (to preserve emission order).
+	sweep := func() {
+		minFlushed := flushed[0]
+		for _, f := range flushed[1:] {
+			if f < minFlushed {
+				minFlushed = f
+			}
+		}
+		if len(pending) == 0 {
+			return
+		}
+		var order []int64
+		for win := range pending {
+			if win < minFlushed {
+				order = append(order, win)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, win := range order {
+			wa := pending[win]
+			if !wa.complete() {
+				return
+			}
+			delete(pending, win)
+			finalize(win, wa)
+		}
+	}
+
+	for metaCh != nil || partCh != nil {
+		select {
+		case m, ok := <-metaCh:
+			if !ok {
+				metaCh = nil
+				continue
+			}
+			wa := pending[m.win]
+			if wa == nil {
+				wa = &winAgg{}
+				pending[m.win] = wa
+			}
+			mc := m
+			if m.side == sideA {
+				wa.metaA = &mc
+			} else {
+				wa.metaB = &mc
+			}
+			sweep()
+		case p, ok := <-partCh:
+			if !ok {
+				partCh = nil
+				continue
+			}
+			if p.flush {
+				if p.upTo > flushed[p.shard] {
+					flushed[p.shard] = p.upTo
+				}
+				sweep()
+				continue
+			}
+			wa := pending[p.win]
+			if wa == nil {
+				wa = &winAgg{}
+				pending[p.win] = wa
+			}
+			wa.sums.Merge(p.sums)
+		}
+	}
+	// Both channels closed: everything is flushed and all metadata has
+	// arrived; finalize any stragglers in order.
+	var order []int64
+	for win := range pending {
+		order = append(order, win)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, win := range order {
+		finalize(win, pending[win])
+		delete(pending, win)
+	}
+
+	// Normalize the aggregate with the Eq. 1–5 shapes.
+	a := &sum.Aggregate
+	a.Common, a.OnlyA, a.OnlyB = totCommon, totOnlyA, totOnlyB
+	if total := 2*totCommon + totOnlyA + totOnlyB; total > 0 {
+		a.U = 1 - 2*float64(totCommon)/float64(total)
+	} else {
+		a.U = 0
+	}
+	if oDen > 0 {
+		a.O = oNum / float64(oDen)
+	}
+	if lDen > 0 {
+		a.L = float64(sumAbsLat) / lDen
+	}
+	if iDen > 0 {
+		a.I = float64(sumAbsIAT) / iDen
+	}
+	a.Kappa = metrics.Kappa(a.U, a.O, a.L, a.I)
+	if a.Windows > 0 {
+		a.MeanKappa = kappaSum / float64(a.Windows)
+	} else {
+		a.MeanKappa = a.Kappa
+	}
+	return sum
+}

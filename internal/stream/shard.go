@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// pendRec is an unmatched packet waiting for its twin from the other
+// trial.
+type pendRec struct {
+	side side
+	pos  int32
+	lat  sim.Duration
+	gap  sim.Duration
+}
+
+// winState is one shard's open-window accumulator: unmatched packets plus
+// integer partial sums over the matches seen so far.
+type winState struct {
+	pend map[metrics.Key]pendRec
+	sums metrics.Sums
+}
+
+// partialMsg is the shard→merge stream: per-window partial sums followed
+// by flush watermarks.
+type partialMsg struct {
+	shard int
+	win   int64
+	sums  *metrics.Sums
+	upTo  int64 // flush marker: this shard has flushed all windows < upTo
+	flush bool
+}
+
+// shardWorker matches A/B records of its key subspace window by window.
+// Memory is bounded by the open windows the backpressure gate allows.
+type shardWorker struct {
+	id          int
+	in          <-chan shardMsg
+	out         chan<- partialMsg
+	wins        map[int64]*winState
+	entries     int // live pend entries + retained match pairs
+	peakEntries int
+	peakWindows int
+}
+
+func (w *shardWorker) run() {
+	w.wins = make(map[int64]*winState)
+	for msg := range w.in {
+		if msg.close {
+			w.flush(msg.upTo)
+			continue
+		}
+		w.ingest(msg.rec)
+	}
+	// Channel closed: a final close{maxWin} always precedes it, so
+	// nothing is left; flush defensively anyway.
+	w.flush(maxWin)
+}
+
+func (w *shardWorker) ingest(r rec) {
+	ws := w.wins[r.win]
+	if ws == nil {
+		ws = &winState{pend: make(map[metrics.Key]pendRec)}
+		w.wins[r.win] = ws
+		if len(w.wins) > w.peakWindows {
+			w.peakWindows = len(w.wins)
+		}
+	}
+	if tw, ok := ws.pend[r.key]; ok && tw.side != r.side {
+		// Matched pair: fold into the partial sums. Deltas are B − A.
+		// One pending entry becomes one retained (posA, posB) pair, so
+		// the entry count is unchanged.
+		delete(ws.pend, r.key)
+		var (
+			posA, posB int32
+			latA, latB sim.Duration
+			gapA, gapB sim.Duration
+		)
+		if r.side == sideA {
+			posA, latA, gapA = r.pos, r.lat, r.gap
+			posB, latB, gapB = tw.pos, tw.lat, tw.gap
+		} else {
+			posA, latA, gapA = tw.pos, tw.lat, tw.gap
+			posB, latB, gapB = r.pos, r.lat, r.gap
+		}
+		s := &ws.sums
+		s.Common++
+		s.PosA = append(s.PosA, posA)
+		s.PosB = append(s.PosB, posB)
+		s.SumAbsLat += absInt64(int64(latB - latA))
+		di := int64(gapB - gapA)
+		s.SumAbsIAT += absInt64(di)
+		if di <= 10 && di >= -10 {
+			s.Within10++
+		}
+	} else {
+		// First sighting (or a same-side duplicate, impossible by
+		// construction of the occurrence key).
+		ws.pend[r.key] = pendRec{side: r.side, pos: r.pos, lat: r.lat, gap: r.gap}
+		w.entries++
+		if w.entries > w.peakEntries {
+			w.peakEntries = w.entries
+		}
+	}
+}
+
+// flush retires every window below upTo: leftover pending packets become
+// OnlyA/OnlyB, the partial ships to the merge stage, and the state is
+// freed.
+func (w *shardWorker) flush(upTo int64) {
+	if len(w.wins) == 0 {
+		w.out <- partialMsg{shard: w.id, flush: true, upTo: upTo}
+		return
+	}
+	var order []int64
+	for win := range w.wins {
+		if win < upTo {
+			order = append(order, win)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, win := range order {
+		ws := w.wins[win]
+		for _, p := range ws.pend {
+			if p.side == sideA {
+				ws.sums.OnlyA++
+			} else {
+				ws.sums.OnlyB++
+			}
+		}
+		w.entries -= len(ws.pend) + ws.sums.Common
+		s := ws.sums
+		delete(w.wins, win)
+		w.out <- partialMsg{shard: w.id, win: win, sums: &s}
+	}
+	w.out <- partialMsg{shard: w.id, flush: true, upTo: upTo}
+}
+
+func absInt64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+package stream
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TraceSource adapts an in-memory trace to the Source interface — handy
+// for tests and for comparing a live tap against a reference capture.
+type TraceSource struct {
+	tr *trace.Trace
+	i  int
+}
+
+// NewTraceSource wraps tr.
+func NewTraceSource(tr *trace.Trace) *TraceSource { return &TraceSource{tr: tr} }
+
+// Next implements Source.
+func (s *TraceSource) Next() (*packet.Packet, sim.Time, error) {
+	if s.i >= s.tr.Len() {
+		return nil, 0, io.EOF
+	}
+	p, t := s.tr.Packets[s.i], s.tr.Times[s.i]
+	s.i++
+	return p, t, nil
+}
+
+// Tap is a channel-backed live Source: wire it as a nic.Endpoint (or
+// call Receive from a core.Recorder-style capture point) on a running
+// simulation and feed the streaming engine while the trial executes.
+// Receive applies the same monotone clamp capture stacks do, so the
+// stream satisfies the Source timestamp contract even when hardware
+// clock sampling jitters across adjacent frames.
+//
+// Receive blocks when the tap's buffer is full — backpressure extends
+// into the producer, which keeps the engine's memory bounded. Close the
+// tap when the trial ends; Next then drains the buffer and reports EOF.
+type Tap struct {
+	ch       chan tapItem
+	mu       sync.Mutex
+	last     sim.Time
+	closed   bool
+	dataOnly bool
+	received uint64
+}
+
+type tapItem struct {
+	p  *packet.Packet
+	at sim.Time
+}
+
+// NewTap creates a tap with the given buffer capacity (minimum 1). When
+// dataOnly is set, non-data frames are dropped at the tap, mirroring the
+// recorder's tag filter.
+func NewTap(buffer int, dataOnly bool) *Tap {
+	if buffer < 1 {
+		buffer = 1
+	}
+	return &Tap{ch: make(chan tapItem, buffer), dataOnly: dataOnly}
+}
+
+// Receive implements nic.Endpoint.
+func (t *Tap) Receive(p *packet.Packet, at sim.Time) {
+	if t.dataOnly && p.Kind != packet.KindData {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if at < t.last {
+		at = t.last
+	}
+	t.last = at
+	t.received++
+	// Sending under the lock makes Receive/Close race-free; the consumer
+	// (Next) never takes the lock, so a full buffer still drains.
+	t.ch <- tapItem{p: p, at: at}
+}
+
+// Received returns how many frames the tap has accepted.
+func (t *Tap) Received() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.received
+}
+
+// Close ends the stream; Next returns io.EOF once the buffer drains.
+// Safe to call once per tap.
+func (t *Tap) Close() {
+	t.mu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.ch)
+	}
+	t.mu.Unlock()
+}
+
+// Next implements Source.
+func (t *Tap) Next() (*packet.Packet, sim.Time, error) {
+	it, ok := <-t.ch
+	if !ok {
+		return nil, 0, io.EOF
+	}
+	return it.p, it.at, nil
+}

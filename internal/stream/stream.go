@@ -1,0 +1,251 @@
+// Package stream is the streaming consistency engine: it computes the
+// paper's per-window §3 metrics (U, O, L, I, κ) over two packet streams
+// in bounded memory, without ever materializing the full traces that the
+// batch metrics.Compare / CompareWindowed paths require.
+//
+// The abstract pitches κ as "designed to support comparison across time,
+// configurations and environments"; this package supplies the "across
+// time" half at scale. Architecture (ft-replay-style flow sharding,
+// IoTreeplay-style synchronized merge):
+//
+//		source A ─ ingest ─┐                 ┌─ shard 0 ─┐
+//		                   ├─ hash(tag,occ) ─┤    ...    ├─ merge ─ window κ, aggregate κ
+//		source B ─ ingest ─┘                 └─ shard N ─┘
+//
+//	  - Two ingest stages pull packets (from an incremental pcap.Stream, a
+//	    live Tap fed by the simulated testbed, or any Source), normalize
+//	    times onto the trial-relative timeline, assign tumbling windows and
+//	    per-window occurrence keys, and emit compact records.
+//	  - A flow-sharding stage hashes the packet identity key (trailer tag +
+//	    occurrence, the same key metrics/match.go matches on) onto N worker
+//	    goroutines. Each worker matches A/B records per window and folds
+//	    them into integer partial sums (metrics.Sums).
+//	  - Watermarks close windows: when both sources have advanced past a
+//	    window's end, the coordinator broadcasts a close, shards flush
+//	    their partials, and the merge stage assembles them with the exact
+//	    Equation 1–5 operations (metrics.(*Sums).Assemble) — so every
+//	    streaming window score equals metrics.CompareWindowed bit for bit.
+//	  - Backpressure bounds memory: shard channels are bounded, and a gate
+//	    stops either ingest from running more than MaxLag windows ahead of
+//	    the close watermark, so per-shard state never exceeds a few
+//	    windows' worth of packets no matter how long the capture is.
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Source yields one trial's packets in arrival order (non-decreasing
+// timestamps). Next returns io.EOF at a clean end of stream; any other
+// error terminates ingestion of that side and is reported by Run.
+// pcap.Stream, TraceSource and Tap all implement Source.
+type Source interface {
+	Next() (*packet.Packet, sim.Time, error)
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Window is the tumbling-window length on the trial-relative
+	// timeline (required, > 0). Matches metrics.CompareWindowed.
+	Window sim.Duration
+	// Shards is the number of flow-shard workers (default: GOMAXPROCS,
+	// capped at 8).
+	Shards int
+	// Buffer is the per-shard channel capacity in records (default 512).
+	Buffer int
+	// MaxLag bounds how many windows either source may run ahead of the
+	// joint close watermark (default 8, minimum 1). Together with Buffer
+	// it caps per-shard memory.
+	MaxLag int
+	// DataOnly drops noise/control/invalid packets at ingest, mirroring
+	// trace.DataOnly — what the paper's analysis pipeline does before
+	// scoring pcap captures.
+	DataOnly bool
+	// DiscardWindows drops per-window results after OnWindow (if any)
+	// has seen them, keeping only the running aggregate — constant
+	// memory for arbitrarily long runs.
+	DiscardWindows bool
+	// OnWindow, when non-nil, is invoked from the merge stage for every
+	// closed window, in window order. It must not block indefinitely:
+	// the pipeline's backpressure extends through it.
+	OnWindow func(metrics.WindowResult)
+}
+
+func (c Config) defaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 512
+	}
+	if c.MaxLag <= 0 {
+		c.MaxLag = 8
+	}
+	return c
+}
+
+// Aggregate is the running whole-run vector, combined from window
+// partials with the Equation 1–5 normalizations: numerators and
+// denominators are summed across windows, then normalized once. It is
+// the streaming counterpart of a whole-trial Compare restricted to
+// within-window effects (cross-window migrations appear as OnlyA/OnlyB,
+// exactly as in CompareWindowed's locality profile).
+type Aggregate struct {
+	// U, O, L, I, Kappa combine all closed windows' partial sums.
+	U, O, L, I, Kappa float64
+	// MeanKappa is the unweighted mean of per-window κ (the way Table 2
+	// aggregates per-run scores). 1 when no window closed.
+	MeanKappa float64
+	// Windows is the number of non-empty windows scored.
+	Windows int
+	// Common, OnlyA, OnlyB are whole-run packet counts.
+	Common, OnlyA, OnlyB int64
+}
+
+// String renders the aggregate the way the paper quotes metric vectors.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("U=%.3g O=%.3g I=%.4g L=%.3g κ=%.4f mean-κ=%.4f (windows=%d, common=%d, onlyA=%d, onlyB=%d)",
+		a.U, a.O, a.I, a.L, a.Kappa, a.MeanKappa, a.Windows, a.Common, a.OnlyA, a.OnlyB)
+}
+
+// Stats reports the engine's memory high-water marks — the evidence that
+// streaming stayed bounded regardless of input length.
+type Stats struct {
+	// PeakShardEntries is the largest number of buffered (unmatched +
+	// matched-pair) entries any single shard held at once.
+	PeakShardEntries int
+	// PeakOpenWindows is the largest number of simultaneously open
+	// windows on any shard.
+	PeakOpenWindows int
+}
+
+// Summary is the outcome of one streaming comparison.
+type Summary struct {
+	// Windows holds the per-window §3 vectors in window order (nil when
+	// Config.DiscardWindows).
+	Windows []metrics.WindowResult
+	// Aggregate is the combined whole-run vector.
+	Aggregate Aggregate
+	// PacketsA and PacketsB count ingested packets per side (after the
+	// DataOnly filter).
+	PacketsA, PacketsB int64
+	// Stats holds memory high-water marks.
+	Stats Stats
+}
+
+// Engine is a reusable streaming comparison pipeline configuration.
+type Engine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("stream: window must be positive, got %v", cfg.Window)
+	}
+	return &Engine{cfg: cfg.defaults()}, nil
+}
+
+// Run is a convenience wrapper: configure an engine and compare a and b.
+func Run(a, b Source, cfg Config) (*Summary, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(a, b)
+}
+
+// maxWin is the watermark value meaning "this side is done".
+const maxWin = int64(1<<62 - 1)
+
+// side indexes the two trials.
+type side int
+
+const (
+	sideA side = 0
+	sideB side = 1
+)
+
+// Run streams both sources through the shard/merge pipeline and blocks
+// until every window is closed. On a source error (e.g. a truncated
+// capture) the already-ingested prefix is still scored and the summary is
+// returned alongside the error.
+func (e *Engine) Run(a, b Source) (*Summary, error) {
+	cfg := e.cfg
+	n := cfg.Shards
+
+	shardCh := make([]chan shardMsg, n)
+	for i := range shardCh {
+		shardCh[i] = make(chan shardMsg, cfg.Buffer)
+	}
+	wmCh := make(chan wmUpdate, 16)
+	metaCh := make(chan winMeta, 64)
+	partCh := make(chan partialMsg, n*4)
+
+	g := newGate(int64(cfg.MaxLag))
+
+	// Ingest stages.
+	ing := [2]*ingester{
+		newIngester(sideA, a, cfg, shardCh, wmCh, g),
+		newIngester(sideB, b, cfg, shardCh, wmCh, g),
+	}
+	var ingWG sync.WaitGroup
+	for _, in := range ing {
+		ingWG.Add(1)
+		go func(in *ingester) {
+			defer ingWG.Done()
+			in.run()
+		}(in)
+	}
+
+	// Shard workers.
+	workers := make([]*shardWorker, n)
+	var workWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		workers[i] = &shardWorker{id: i, in: shardCh[i], out: partCh}
+		workWG.Add(1)
+		go func(w *shardWorker) {
+			defer workWG.Done()
+			w.run()
+		}(workers[i])
+	}
+	go func() {
+		workWG.Wait()
+		close(partCh)
+	}()
+
+	// Coordinator: watermark → window closes.
+	go coordinate(wmCh, shardCh, metaCh, g)
+
+	// Merge stage runs on the caller's goroutine.
+	sum := merge(cfg, n, metaCh, partCh)
+
+	ingWG.Wait()
+	sum.PacketsA = ing[0].packets
+	sum.PacketsB = ing[1].packets
+	for _, w := range workers {
+		if w.peakEntries > sum.Stats.PeakShardEntries {
+			sum.Stats.PeakShardEntries = w.peakEntries
+		}
+		if w.peakWindows > sum.Stats.PeakOpenWindows {
+			sum.Stats.PeakOpenWindows = w.peakWindows
+		}
+	}
+
+	var err error
+	for _, in := range ing {
+		if in.err != nil && err == nil {
+			err = fmt.Errorf("stream: trial %s: %w", [2]string{"A", "B"}[in.side], in.err)
+		}
+	}
+	return sum, err
+}

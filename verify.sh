@@ -1,0 +1,24 @@
+#!/bin/sh
+# verify.sh — the repo's check suite: vet, build, race-enabled tests,
+# and the streaming-vs-batch κ benchmark (pkts/s and bytes allocated).
+#
+#	./verify.sh          # vet + build + tests under -race
+#	./verify.sh -bench   # also run BenchmarkStreamKappa
+set -eu
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+if [ "${1:-}" = "-bench" ]; then
+	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ)"
+	go test ./internal/stream -run='^$' -bench=StreamKappa -benchmem
+fi
+
+echo "ok"
