@@ -17,6 +17,7 @@ import (
 
 	"repro/choir"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/report"
 )
@@ -31,6 +32,7 @@ func main() {
 	snapLen := flag.Int("snaplen", 0, "pcap snap length (0 = full frames)")
 	capture := flag.String("pcap", "", "replay this capture file through the environment instead of generating traffic")
 	jsonOut := flag.String("json", "", "write a machine-readable result summary to this file")
+	ocli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -52,6 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "choirsim: unknown environment %q (try -list)\n", *envName)
 		os.Exit(1)
 	}
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	var res *choir.ExperimentResult
 	var err error
@@ -64,11 +70,11 @@ func main() {
 		src := tr.DataOnly().Normalize()
 		fmt.Printf("replaying capture %s (%d tagged packets) through %s\n", *capture, src.Len(), env.Name)
 		res, err = experiments.ReplayCapture(env, src, experiments.TrialConfig{
-			Packets: 1, Runs: *runs, Seed: *seed, KeepDeltas: true,
+			Packets: 1, Runs: *runs, Seed: *seed, KeepDeltas: true, Obs: ocli.Obs(),
 		})
 	} else {
 		res, err = choir.RunExperiment(env, choir.ExperimentConfig{
-			Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true,
+			Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true, Obs: ocli.Obs(),
 		})
 	}
 	if err != nil {
@@ -89,6 +95,10 @@ func main() {
 	fmt.Println(tb.String())
 	m := res.Mean
 	fmt.Printf("mean: U=%s O=%s I=%s L=%s κ=%.4f\n", report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), m.Kappa)
+
+	if ocli.Enabled() {
+		fmt.Printf("\n%s", ocli.Summary())
+	}
 
 	if *jsonOut != "" {
 		raw, err := json.MarshalIndent(res.Summary(), "", "  ")
@@ -116,5 +126,10 @@ func main() {
 			}
 			fmt.Printf("wrote %s (%d packets)\n", path, tr.Len())
 		}
+	}
+
+	if err := ocli.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "choirsim: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -6,6 +6,7 @@
 //	choirstream runA.pcap runB.pcap
 //	choirstream -window 1ms -windows runA.pcap runB.pcap   # per-window κ lines
 //	choirstream -shards 8 -buffer 4096 big-A.pcap big-B.pcap
+//	choirstream -metrics run.prom -pprof localhost:6060 A.pcap B.pcap
 //
 // Records are read incrementally, flow-sharded across worker goroutines,
 // and scored per window as watermarks close; peak memory depends on the
@@ -14,6 +15,11 @@
 // constant-memory claim is checkable from the outside. A capture that
 // ends mid-record (still being written, or cut off) is scored up to the
 // cut and flagged.
+//
+// With -pprof, the running whole-run κ (and the rest of the engine's
+// telemetry) is scrapeable at /metrics while the comparison streams —
+// `stream_running_kappa` reports the score the run would get if it
+// ended now.
 package main
 
 import (
@@ -23,11 +29,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -40,11 +45,16 @@ func main() {
 	maxLag := flag.Int("maxlag", 8, "max windows a source may run ahead of the close watermark")
 	dataOnly := flag.Bool("data-only", true, "score only tagged data packets (the paper's tag filter)")
 	perWindow := flag.Bool("windows", false, "print one line per closed window")
+	ocli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: choirstream [flags] <runA.pcap> <runB.pcap>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "choirstream: %v\n", err)
+		os.Exit(1)
 	}
 
 	open := func(path string) *pcap.Stream {
@@ -67,6 +77,7 @@ func main() {
 		MaxLag:         *maxLag,
 		DataOnly:       *dataOnly,
 		DiscardWindows: true, // constant memory: never accumulate windows
+		Obs:            ocli.Obs(),
 	}
 	worst := 2.0
 	var worstAt sim.Time
@@ -82,9 +93,8 @@ func main() {
 		}
 	}
 
-	start := time.Now()
+	meter := obs.StartMeter()
 	sum, err := stream.Run(a, b, cfg)
-	wall := time.Since(start)
 	truncated := false
 	if err != nil {
 		if errors.Is(err, pcap.ErrTruncated) {
@@ -106,10 +116,22 @@ func main() {
 	if sum.Aggregate.Windows > 0 {
 		fmt.Printf("worst window: κ=%.4f at %v\n", worst, worstAt)
 	}
-	fmt.Printf("throughput: %.0f pkts/s (%d packets in %v, %d shards)\n",
-		float64(total)/wall.Seconds(), total, wall.Round(time.Millisecond), cfgShards(cfg))
+	fmt.Printf("throughput: %s, %d shards\n", meter.ThroughputLine(total), cfgShards(cfg))
 	fmt.Printf("memory: peak shard entries %d, peak open windows %d, peak RSS %s\n",
-		sum.Stats.PeakShardEntries, sum.Stats.PeakOpenWindows, peakRSS())
+		sum.Stats.PeakShardEntries, sum.Stats.PeakOpenWindows, obs.PeakRSS())
+	if ocli.Enabled() {
+		// The running gauges now hold the final aggregate: cross-check
+		// the whole-run κ straight from the registry, the same value a
+		// mid-run /metrics scrape tracks as windows close.
+		if k, ok := ocli.Obs().Registry().GaugeValue("stream_running_kappa"); ok {
+			fmt.Printf("registry: stream_running_kappa=%.4f\n", k)
+		}
+		fmt.Printf("\n%s", ocli.Summary())
+	}
+	if err := ocli.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "choirstream: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // cfgShards reports the effective shard count after defaults.
@@ -122,25 +144,4 @@ func cfgShards(cfg stream.Config) int {
 		n = 8
 	}
 	return n
-}
-
-// peakRSS reads the process's high-water resident set from
-// /proc/self/status (Linux); elsewhere it falls back to the Go heap
-// footprint.
-func peakRSS() string {
-	if data, err := os.ReadFile("/proc/self/status"); err == nil {
-		for _, line := range strings.Split(string(data), "\n") {
-			if strings.HasPrefix(line, "VmHWM:") {
-				fields := strings.Fields(line)
-				if len(fields) >= 2 {
-					if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
-						return fmt.Sprintf("%.1f MiB", float64(kb)/1024)
-					}
-				}
-			}
-		}
-	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	return fmt.Sprintf("%.1f MiB (go heap sys)", float64(ms.Sys)/(1<<20))
 }

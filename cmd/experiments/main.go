@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -28,6 +29,7 @@ func main() {
 	packets := flag.Int("packets", experiments.DefaultScale, "recorded packets per experiment (ignored with -full)")
 	runs := flag.Int("runs", 5, "replay trials per experiment")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	ocli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -38,7 +40,11 @@ func main() {
 		return
 	}
 
-	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed}
+	if err := ocli.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs()}
 	if *full {
 		env := testbed.LocalSingle()
 		cfg.Packets = env.PacketsFor(300 * sim.Millisecond)
@@ -65,6 +71,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.SweepTable("consistency vs offered load — "+env.Name, pts))
+		finishObs(ocli)
 		return
 	}
 
@@ -79,5 +86,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(doc.String())
+	}
+	finishObs(ocli)
+}
+
+// finishObs prints the telemetry summary and writes -metrics/-trace
+// artifacts accumulated across every artifact run in this invocation.
+func finishObs(ocli *obs.CLI) {
+	if ocli.Enabled() {
+		fmt.Printf("%s\n", ocli.Summary())
+	}
+	if err := ocli.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/dpdk"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -96,6 +97,48 @@ type Middlebox struct {
 	replayNext   int
 	paused       bool
 	endEvent     *sim.Event
+
+	ob *mbObs
+}
+
+// mbObs bundles the middlebox's instruments; created only by EnableObs.
+type mbObs struct {
+	tr           *obs.Tracer
+	track        string
+	recorded     *obs.Counter
+	replayed     *obs.Counter
+	pauses       *obs.Counter
+	resumes      *obs.Counter
+	rxNoMbuf     *obs.Counter
+	bufOccupancy *obs.Gauge
+	bufPeak      *obs.Gauge
+	slip         *obs.Histogram
+}
+
+// EnableObs attaches metrics and tracing to this middlebox: recording
+// buffer occupancy (current + high-water), burst schedule slip between
+// the TSC-ideal emission instant and the actually scheduled one
+// (jitter + stall + ordering delays), pause/resume events, mbuf-pool RX
+// drops — plus `mb:record` / `mb:replay` instants for sampled packets.
+// A nil handle is a no-op.
+func (m *Middlebox) EnableObs(o *obs.Obs) {
+	if o == nil || (o.Reg == nil && o.Tracer == nil) {
+		return
+	}
+	lbl := obs.L("mb", fmt.Sprintf("%d", m.cfg.ID))
+	reg := o.Reg
+	m.ob = &mbObs{
+		tr:           o.Tracer,
+		track:        fmt.Sprintf("mb/%d", m.cfg.ID),
+		recorded:     reg.Counter("mb_recorded_packets_total", "packets appended to the replay buffer", lbl),
+		replayed:     reg.Counter("mb_replayed_packets_total", "packets re-transmitted by replays", lbl),
+		pauses:       reg.Counter("mb_replay_pauses_total", "PauseReplay commands honored", lbl),
+		resumes:      reg.Counter("mb_replay_resumes_total", "ResumeReplay commands honored", lbl),
+		rxNoMbuf:     reg.Counter("mb_rx_drops_no_mbuf_total", "frames lost to mbuf pool exhaustion", lbl),
+		bufOccupancy: reg.Gauge("mb_record_buffer_packets", "current replay buffer occupancy", lbl),
+		bufPeak:      reg.Gauge("mb_record_buffer_peak_packets", "high-water replay buffer occupancy", lbl),
+		slip:         reg.Histogram("mb_replay_burst_slip_ns", "scheduled burst emission minus TSC-ideal instant (sim ns)", 7, lbl),
+	}
 }
 
 // New creates a middlebox. It panics on an incomplete config: a
@@ -132,6 +175,9 @@ func (m *Middlebox) Receive(p *packet.Packet, at sim.Time) {
 		// No mbuf available: the frame is lost at RX, exactly like
 		// rte_pktmbuf_alloc failing under memory pressure.
 		m.rxNoMbuf++
+		if m.ob != nil {
+			m.ob.rxNoMbuf.Inc()
+		}
 		return
 	}
 	m.rxbuf = append(m.rxbuf, p)
@@ -208,6 +254,17 @@ func (m *Middlebox) poll() {
 			}
 		default:
 			m.truncated = true
+		}
+	}
+	if kept && m.ob != nil {
+		m.ob.recorded.Add(int64(n))
+		m.ob.bufOccupancy.SetInt(int64(m.recorded))
+		m.ob.bufPeak.MaxInt(int64(m.recorded))
+		if m.ob.tr != nil {
+			now := m.eng.Now()
+			for _, p := range burst {
+				m.ob.tr.Instant(p.Tag, obs.StageRecord, m.ob.track, now)
+			}
 		}
 	}
 	if !kept && m.cfg.Pool != nil {
@@ -305,7 +362,8 @@ func (m *Middlebox) startReplay(atWall sim.Time) {
 
 	last := now
 	for i, b := range m.bursts {
-		at := m.cfg.TSC.SimTimeAt(b.tsc+delta) + slop
+		ideal := m.cfg.TSC.SimTimeAt(b.tsc + delta)
+		at := ideal + slop
 		if m.cfg.Stall != nil {
 			at = m.cfg.Stall.Adjust(at)
 		}
@@ -317,6 +375,11 @@ func (m *Middlebox) startReplay(atWall sim.Time) {
 		last = at
 		m.replayTimes[i] = at
 		m.replayEvents[i] = m.scheduleBurst(i, at)
+		if m.ob != nil {
+			// Schedule slip: how far jitter, stall windows and in-order
+			// emission pushed this burst off its TSC-ideal instant.
+			m.ob.slip.Observe(int64(at - ideal))
+		}
 	}
 	m.endEvent = m.eng.Schedule(last, func() { m.replaying = false })
 }
@@ -328,6 +391,14 @@ func (m *Middlebox) scheduleBurst(i int, at sim.Time) *sim.Event {
 		m.cfg.Out.SendBurst(pkts)
 		m.replayedPkts += uint64(len(pkts))
 		m.replayNext = i + 1
+		if ob := m.ob; ob != nil {
+			ob.replayed.Add(int64(len(pkts)))
+			if ob.tr != nil {
+				for _, p := range pkts {
+					ob.tr.Instant(p.Tag, obs.StageReplay, ob.track, at)
+				}
+			}
+		}
 	})
 }
 
@@ -338,6 +409,12 @@ func (m *Middlebox) pauseReplay() {
 		return
 	}
 	m.paused = true
+	if ob := m.ob; ob != nil {
+		ob.pauses.Inc()
+		if ob.tr != nil {
+			ob.tr.Mark("replay:pause", ob.track, m.eng.Now(), nil)
+		}
+	}
 	for i := m.replayNext; i < len(m.replayEvents); i++ {
 		if m.replayEvents[i] != nil {
 			m.replayEvents[i].Cancel()
@@ -355,6 +432,12 @@ func (m *Middlebox) resumeReplay(atWall sim.Time) {
 		return
 	}
 	m.paused = false
+	if ob := m.ob; ob != nil {
+		ob.resumes.Inc()
+		if ob.tr != nil {
+			ob.tr.Mark("replay:resume", ob.track, m.eng.Now(), nil)
+		}
+	}
 	next := m.replayNext
 	if next >= len(m.replayTimes) {
 		m.replaying = false

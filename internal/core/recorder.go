@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -21,6 +22,32 @@ type Recorder struct {
 	dataOnly  bool
 	received  uint64
 	discarded uint64
+
+	label string
+	ob    *recObs
+}
+
+// recObs bundles the recorder's instruments; created only by EnableObs.
+type recObs struct {
+	tr        *obs.Tracer
+	track     string
+	received  *obs.Counter
+	discarded *obs.Counter
+}
+
+// EnableObs attaches capture counters and a terminal `capture` instant
+// for sampled packets. A nil handle is a no-op.
+func (r *Recorder) EnableObs(o *obs.Obs) {
+	if o == nil || (o.Reg == nil && o.Tracer == nil) {
+		return
+	}
+	lbl := obs.L("recorder", r.label)
+	r.ob = &recObs{
+		tr:        o.Tracer,
+		track:     "recorder/" + r.label,
+		received:  o.Reg.Counter("capture_received_total", "frames seen by the capture node", lbl),
+		discarded: o.Reg.Counter("capture_discarded_total", "non-data frames dropped by the tag filter", lbl),
+	}
 }
 
 // NewRecorder creates a recorder using the given timestamper. When
@@ -36,14 +63,21 @@ func NewRecorder(eng *sim.Engine, label string, ts nic.Timestamper, dataOnly boo
 		rng:      eng.Rand("recorder/" + label),
 		tr:       trace.New(label, 1024),
 		dataOnly: dataOnly,
+		label:    label,
 	}
 }
 
 // Receive implements nic.Endpoint.
 func (r *Recorder) Receive(p *packet.Packet, wire sim.Time) {
 	r.received++
+	if ob := r.ob; ob != nil {
+		ob.received.Inc()
+	}
 	if r.dataOnly && p.Kind != packet.KindData {
 		r.discarded++
+		if ob := r.ob; ob != nil {
+			ob.discarded.Inc()
+		}
 		return
 	}
 	st := r.ts.Stamp(wire, r.rng)
@@ -54,6 +88,9 @@ func (r *Recorder) Receive(p *packet.Packet, wire sim.Time) {
 	}
 	r.last = st
 	r.tr.Append(p, st)
+	if ob := r.ob; ob != nil && ob.tr != nil {
+		ob.tr.Instant(p.Tag, obs.StageCapture, ob.track, st)
+	}
 }
 
 // StartTrial begins a fresh capture named name; the previous trace is

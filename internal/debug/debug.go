@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -107,6 +108,31 @@ type Watcher struct {
 	hits    []Hit
 	armed   bool
 	started bool
+
+	ob *watchObs
+}
+
+// watchObs bundles the watcher's instruments; created only by EnableObs.
+type watchObs struct {
+	tr    *obs.Tracer
+	track string
+	hits  *obs.Counter
+}
+
+// EnableObs publishes breakpoint hits into the observability layer: a
+// `debug_breakpoint_hits_total` counter and, for every completed hit, a
+// `breakpoint` trace instant at the hit's arrival time on the watcher's
+// track (always emitted — hits are rare and significant, so they bypass
+// tag sampling). A nil handle is a no-op.
+func (w *Watcher) EnableObs(o *obs.Obs, label string) {
+	if o == nil || (o.Reg == nil && o.Tracer == nil) {
+		return
+	}
+	w.ob = &watchObs{
+		tr:    o.Tracer,
+		track: "watch/" + label,
+		hits:  o.Reg.Counter("debug_breakpoint_hits_total", "breakpoint predicate hits completed", obs.L("watcher", label)),
+	}
 }
 
 type pendingHit struct {
@@ -175,6 +201,16 @@ func (w *Watcher) Flush() {
 
 func (w *Watcher) finish(h Hit) {
 	w.hits = append(w.hits, h)
+	if ob := w.ob; ob != nil {
+		ob.hits.Inc()
+		if ob.tr != nil {
+			ob.tr.Mark(obs.StageBreak, ob.track, h.At, map[string]string{
+				"replayer": fmt.Sprintf("%d", h.Packet.Tag.Replayer),
+				"stream":   fmt.Sprintf("%d", h.Packet.Tag.Stream),
+				"seq":      fmt.Sprintf("%d", h.Packet.Tag.Seq),
+			})
+		}
+	}
 	if w.OnHit != nil {
 		w.OnHit(h)
 	}

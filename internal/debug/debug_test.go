@@ -1,6 +1,8 @@
 package debug
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"repro/internal/clock"
@@ -8,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -184,6 +187,60 @@ func TestWatcherPreWindowShortAtStart(t *testing.T) {
 	}
 	if got := len(w.Hits()[0].Before); got != 1 {
 		t.Fatalf("pre-window at trace start has %d packets, want 1", got)
+	}
+}
+
+// TestWatcherPublishesObs: with observability attached, every completed
+// hit increments the breakpoint counter and drops a `breakpoint` mark on
+// the watcher's trace track at the hit's sim time (bypassing the 1-in-N
+// tag sampling — hits are rare and always significant).
+func TestWatcherPublishesObs(t *testing.T) {
+	o := obs.New().WithTracer(1 << 30) // sample ~nothing: marks must still appear
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq%40 == 10 },
+		Window: 2,
+	}
+	w.EnableObs(o, "test")
+	feed(w, 100) // hits at seq 10, 50, 90; 90's post-window needs Flush
+	w.Flush()
+	if got := len(w.Hits()); got != 3 {
+		t.Fatalf("%d hits, want 3", got)
+	}
+	c := o.Reg.Counter("debug_breakpoint_hits_total", "", obs.L("watcher", "test"))
+	if c.Value() != 3 {
+		t.Fatalf("hit counter %d, want 3", c.Value())
+	}
+	if o.Tracer.Len() != 3 {
+		t.Fatalf("tracer recorded %d marks, want 3", o.Tracer.Len())
+	}
+	var buf bytes.Buffer
+	if err := o.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"breakpoint"`) || !strings.Contains(out, "watch/test") {
+		t.Fatalf("trace JSON missing breakpoint mark:\n%s", out)
+	}
+	if !strings.Contains(out, `"seq":"10"`) {
+		t.Fatalf("mark args missing hit identity:\n%s", out)
+	}
+}
+
+// TestWatcherObsDisabled: no handle, or an empty handle, leaves the
+// watcher untouched.
+func TestWatcherObsDisabled(t *testing.T) {
+	w := &Watcher{
+		Match:  func(p *packet.Packet, _ sim.Time) bool { return p.Tag.Seq == 5 },
+		Window: 2,
+	}
+	w.EnableObs(nil, "x")
+	w.EnableObs(&obs.Obs{}, "x")
+	feed(w, 20)
+	if w.ob != nil {
+		t.Fatal("empty obs handle installed instruments")
+	}
+	if len(w.Hits()) != 1 {
+		t.Fatalf("%d hits, want 1", len(w.Hits()))
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/control"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -29,6 +30,11 @@ type TrialConfig struct {
 	Seed int64
 	// KeepDeltas retains per-packet deltas for histograms.
 	KeepDeltas bool
+	// Obs, when non-nil, attaches metrics and packet-lifecycle tracing
+	// to every element of the topology before the protocol starts. The
+	// simulated results are bit-identical with or without it (asserted
+	// by TestObsDifferential).
+	Obs *obs.Obs
 }
 
 // DefaultScale is the scaled-down per-experiment packet count used by
@@ -75,6 +81,7 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	cfg = cfg.defaults()
 	eng := sim.NewEngine(cfg.Seed)
 	top := testbed.Build(eng, env)
+	top.EnableObs(cfg.Obs)
 
 	perStream := cfg.Packets / env.Replayers
 	streamRate := env.RateGbps / float64(env.Replayers)

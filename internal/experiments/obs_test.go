@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/testbed"
+)
+
+// TestObsDifferential is the guarantee the observability layer is built
+// on: attaching metrics + packet-lifecycle tracing to a seeded run must
+// leave every simulated outcome bit-identical — same capture timestamps,
+// same §3 metric vectors — because instruments never touch the engine's
+// RNG streams or event schedule.
+func TestObsDifferential(t *testing.T) {
+	envs := []testbed.Env{testbed.LocalSingle(), testbed.FabricShared40()}
+	for _, env := range envs {
+		cfg := TrialConfig{Packets: 4000, Runs: 2, Seed: 97}
+		plain, err := Run(env, cfg)
+		if err != nil {
+			t.Fatalf("%s plain: %v", env.Name, err)
+		}
+
+		o := obs.New().WithTracer(8)
+		cfg.Obs = o
+		instr, err := Run(env, cfg)
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", env.Name, err)
+		}
+
+		if plain.Recorded != instr.Recorded {
+			t.Fatalf("%s: recorded %d vs %d", env.Name, plain.Recorded, instr.Recorded)
+		}
+		if len(plain.Traces) != len(instr.Traces) {
+			t.Fatalf("%s: trace count differs", env.Name)
+		}
+		for i := range plain.Traces {
+			a, b := plain.Traces[i], instr.Traces[i]
+			if a.Len() != b.Len() {
+				t.Fatalf("%s trace %d: %d vs %d packets", env.Name, i, a.Len(), b.Len())
+			}
+			for j := range a.Times {
+				if a.Times[j] != b.Times[j] {
+					t.Fatalf("%s trace %d packet %d: timestamp %v vs %v — observability perturbed the sim",
+						env.Name, i, j, a.Times[j], b.Times[j])
+				}
+				if a.Packets[j].Tag != b.Packets[j].Tag {
+					t.Fatalf("%s trace %d packet %d: tag %v vs %v", env.Name, i, j, a.Packets[j].Tag, b.Packets[j].Tag)
+				}
+			}
+		}
+		for i := range plain.Results {
+			p, q := plain.Results[i], instr.Results[i]
+			if p.U != q.U || p.O != q.O || p.L != q.L || p.I != q.I || p.Kappa != q.Kappa ||
+				p.PctIATWithin10 != q.PctIATWithin10 {
+				t.Fatalf("%s run %d: metric vector differs with obs on:\n  plain %+v\n  instr %+v",
+					env.Name, i, p, q)
+			}
+			if plain.Missing[i] != instr.Missing[i] {
+				t.Fatalf("%s run %d: missing %d vs %d", env.Name, i, plain.Missing[i], instr.Missing[i])
+			}
+		}
+
+		// The instrumented run must actually have observed the pipeline.
+		totals := map[string]float64{}
+		for _, fam := range o.Reg.Snapshot() {
+			for _, s := range fam.Series {
+				if s.Value != nil {
+					totals[fam.Name] += *s.Value
+				}
+				if s.Count != nil {
+					totals[fam.Name] += float64(*s.Count)
+				}
+			}
+		}
+		for _, name := range []string{
+			"gen_emitted_total",
+			"mb_recorded_packets_total",
+			"mb_replayed_packets_total",
+			"capture_received_total",
+		} {
+			if totals[name] <= 0 {
+				t.Fatalf("%s: counter %s empty (totals %v)", env.Name, name, totals)
+			}
+		}
+		if o.Tracer.Len() == 0 {
+			t.Fatalf("%s: tracer recorded no packet lifecycles", env.Name)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -33,6 +34,10 @@ type CBRConfig struct {
 	// Burst emits packets in back-to-back groups of this size while
 	// preserving the average rate (1 = perfectly paced).
 	Burst int
+	// Obs, when non-nil, counts emitted packets per stream and opens
+	// the packet-lifecycle `gen` instant for sampled packets. Purely
+	// observational: it never touches the engine's RNG or schedule.
+	Obs *obs.Obs
 }
 
 // Generator emits a packet schedule into a NIC queue.
@@ -63,6 +68,17 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 		burst = nic.BurstSize
 	}
 	g := &Generator{eng: eng, q: q}
+	var (
+		emCtr *obs.Counter
+		tr    *obs.Tracer
+		track string
+	)
+	if cfg.Obs != nil {
+		emCtr = cfg.Obs.Reg.Counter("gen_emitted_total", "packets handed to the generator NIC",
+			obs.L("stream", fmt.Sprintf("%d", cfg.Stream)))
+		tr = cfg.Obs.Tracer
+		track = fmt.Sprintf("gen/%d", cfg.Stream)
+	}
 	interval := float64(packet.WireBytes(cfg.FrameLen)*8) * 1e9 / float64(cfg.RateBps)
 	// Self-scheduling emission keeps the event heap small at
 	// million-packet scale; times are computed from the packet index so
@@ -82,8 +98,15 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 				Flow:     cfg.Flow,
 			}
 		}
+		if tr != nil {
+			now := eng.Now()
+			for _, p := range pkts {
+				tr.Instant(p.Tag, obs.StageGen, track, now)
+			}
+		}
 		g.q.SendBurst(pkts)
 		g.emitted += n
+		emCtr.Add(int64(n))
 		if next := i + n; next < cfg.Count {
 			eng.Schedule(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
 		}

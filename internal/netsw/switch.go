@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -63,8 +64,21 @@ func Cisco5700(rateBps int64) Profile {
 type Switch struct {
 	eng   *sim.Engine
 	prof  Profile
+	label string
 	rng   *rand.Rand
 	ports []*Port
+
+	ob *swObs
+}
+
+// swObs bundles the switch's instruments; created only by EnableObs.
+type swObs struct {
+	tr        *obs.Tracer
+	track     string
+	forwarded *obs.Counter
+	dropped   *obs.Counter
+	lost      *obs.Counter
+	queuePeak *obs.Gauge
 }
 
 // New creates a switch; label seeds its private random stream.
@@ -72,7 +86,26 @@ func New(eng *sim.Engine, prof Profile, label string) *Switch {
 	if prof.PortRateBps <= 0 {
 		panic("netsw: port rate must be positive")
 	}
-	return &Switch{eng: eng, prof: prof, rng: eng.Rand("switch/" + label)}
+	return &Switch{eng: eng, prof: prof, label: label, rng: eng.Rand("switch/" + label)}
+}
+
+// EnableObs attaches metrics and packet-lifecycle tracing: forwarded /
+// egress-drop / failure-loss counters, egress queue depth high-water
+// (bytes), and a `switch` span (ingress arrival → egress serialization
+// done) for sampled packets. A nil handle is a no-op.
+func (s *Switch) EnableObs(o *obs.Obs) {
+	if o == nil || (o.Reg == nil && o.Tracer == nil) {
+		return
+	}
+	lbl := obs.L("switch", s.label)
+	s.ob = &swObs{
+		tr:        o.Tracer,
+		track:     "switch/" + s.label,
+		forwarded: o.Reg.Counter("switch_forwarded_total", "frames forwarded out an egress port", lbl),
+		dropped:   o.Reg.Counter("switch_egress_drops_total", "frames dropped at a full egress queue", lbl),
+		lost:      o.Reg.Counter("switch_failure_losses_total", "frames lost to injected failure windows", lbl),
+		queuePeak: o.Reg.Gauge("switch_egress_queue_peak_bytes", "high-water egress queue depth across ports", lbl),
+	}
 }
 
 // Port is one switch port. It implements nic.Endpoint so device queues
@@ -142,6 +175,9 @@ func (p *Port) Lost() uint64 { return p.lost }
 func (p *Port) Receive(pkt *packet.Packet, at sim.Time) {
 	if at >= p.downFrom && at < p.downTo {
 		p.lost++
+		if ob := p.sw.ob; ob != nil {
+			ob.lost.Inc()
+		}
 		return
 	}
 	if p.routeTo < 0 {
@@ -156,6 +192,11 @@ func (p *Port) Receive(pkt *packet.Packet, at sim.Time) {
 			lat = 0
 		}
 	}
+	if ob := p.sw.ob; ob != nil && ob.tr != nil {
+		// Span opens at ingress arrival; it closes when the egress port
+		// finishes serializing the frame (see transmit).
+		ob.tr.Begin(pkt.Tag, obs.StageSwitch, ob.track, at)
+	}
 	eg.transmit(pkt, at+lat)
 }
 
@@ -167,6 +208,9 @@ func (p *Port) transmit(pkt *packet.Packet, ready sim.Time) {
 	wb := packet.WireBytes(pkt.FrameLen)
 	if p.queued+wb > p.sw.prof.queueBytes() {
 		p.dropped++
+		if ob := p.sw.ob; ob != nil {
+			ob.dropped.Inc()
+		}
 		return
 	}
 	p.queued += wb
@@ -177,9 +221,17 @@ func (p *Port) transmit(pkt *packet.Packet, ready sim.Time) {
 	end := start + packet.SerializationTime(pkt.FrameLen, p.sw.prof.PortRateBps)
 	p.busyTil = end
 	p.forwarded++
+	ob := p.sw.ob
+	if ob != nil {
+		ob.forwarded.Inc()
+		ob.queuePeak.MaxInt(int64(p.queued))
+	}
 	out, prop := p.out, p.prop
 	p.sw.eng.Schedule(end, func() {
 		p.queued -= wb
+		if ob != nil && ob.tr != nil {
+			ob.tr.End(pkt.Tag, obs.StageSwitch, end)
+		}
 		if out != nil {
 			p.sw.eng.Schedule(p.sw.eng.Now()+prop, func() {
 				out.Receive(pkt, end+prop)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -94,6 +95,7 @@ func sample(d sim.Dist, rng *rand.Rand) sim.Duration {
 type NIC struct {
 	eng        *sim.Engine
 	prof       Profile
+	label      string
 	rng        *rand.Rand
 	queues     []*Queue
 	nextVF     int
@@ -102,6 +104,22 @@ type NIC struct {
 	busyTil    sim.Time // line busy-until
 	lastUse    sim.Time // when the DMA engine last finished work
 	stall      *sim.StallTimeline
+
+	// ob is the optional observability hookup; nil (the default) keeps
+	// every hot path un-instrumented behind a single branch.
+	ob *nicObs
+}
+
+// nicObs bundles this NIC's instruments; created only by EnableObs.
+type nicObs struct {
+	tr         *obs.Tracer
+	track      string
+	sent       *obs.Counter
+	drops      *obs.Counter
+	doorbells  *obs.Counter
+	vfSwitches *obs.Counter
+	ringPeak   *obs.Gauge
+	pullLat    *obs.Histogram
 }
 
 // New creates a NIC with the given profile. The label seeds this NIC's
@@ -111,11 +129,36 @@ func New(eng *sim.Engine, prof Profile, label string) *NIC {
 		panic("nic: line rate must be positive")
 	}
 	return &NIC{
-		eng:  eng,
-		prof: prof,
-		rng:  eng.Rand("nic/" + label),
+		eng:   eng,
+		prof:  prof,
+		label: label,
+		rng:   eng.Rand("nic/" + label),
 		// A never-used engine is maximally cold.
 		lastUse: -(1 << 62),
+	}
+}
+
+// EnableObs attaches metrics and packet-lifecycle tracing to this NIC:
+// TX-ring occupancy high-water, doorbell rings, per-pull DMA latency,
+// VF arbitration context switches, drops — plus, for sampled packets,
+// a `nic:ring` span (enqueue → DMA pull) and a `nic:wire` span
+// (pull → wire emission) in simulated nanoseconds. A nil handle is a
+// no-op, keeping the hot path free of instrumentation.
+func (n *NIC) EnableObs(o *obs.Obs) {
+	if o == nil || (o.Reg == nil && o.Tracer == nil) {
+		return
+	}
+	lbl := obs.L("nic", n.label)
+	reg := o.Reg
+	n.ob = &nicObs{
+		tr:         o.Tracer,
+		track:      "nic/" + n.label,
+		sent:       reg.Counter("nic_tx_packets_total", "frames put on the wire", lbl),
+		drops:      reg.Counter("nic_tx_drops_total", "frames tail-dropped at TX ring overflow", lbl),
+		doorbells:  reg.Counter("nic_doorbells_total", "doorbell rings (SendBurst calls that enqueued)", lbl),
+		vfSwitches: reg.Counter("nic_vf_switches_total", "VF arbitration context switches", lbl),
+		ringPeak:   reg.Gauge("nic_ring_occupancy_peak_packets", "high-water TX ring occupancy across all queues", lbl),
+		pullLat:    reg.Histogram("nic_pull_latency_ns", "doorbell→DMA pull latency (sim ns)", 7, lbl),
 	}
 }
 
@@ -181,15 +224,31 @@ func (q *Queue) SendBurst(pkts []*packet.Packet) {
 	room := q.capPkts - q.queued
 	if room <= 0 {
 		q.dropped += uint64(len(pkts))
+		if ob := q.nic.ob; ob != nil {
+			ob.drops.Add(int64(len(pkts)))
+		}
 		return
 	}
 	if len(pkts) > room {
 		q.dropped += uint64(len(pkts) - room)
+		if ob := q.nic.ob; ob != nil {
+			ob.drops.Add(int64(len(pkts) - room))
+		}
 		pkts = pkts[:room]
 	}
 	q.bursts = append(q.bursts, pkts)
 	q.queued += len(pkts)
 	q.doorbell++
+	if ob := q.nic.ob; ob != nil {
+		ob.doorbells.Inc()
+		ob.ringPeak.MaxInt(int64(q.queued))
+		if ob.tr != nil {
+			now := q.nic.eng.Now()
+			for _, p := range pkts {
+				ob.tr.Begin(p.Tag, obs.StageNICRing, ob.track, now)
+			}
+		}
+	}
 	q.nic.kick()
 }
 
@@ -210,6 +269,9 @@ func (n *NIC) kick() {
 	at := now + delay
 	if n.stall != nil {
 		at = n.stall.Adjust(at)
+	}
+	if n.ob != nil {
+		n.ob.pullLat.Observe(int64(at - now))
 	}
 	n.eng.Schedule(at, n.drain)
 }
@@ -254,6 +316,9 @@ func (n *NIC) drain() {
 	// Changing VF mid-stream costs the arbiter a context switch.
 	if n.lastServed != nil && n.lastServed != q {
 		n.busyTil += maxD(0, sample(n.prof.VFSwitchOverhead, n.rng))
+		if n.ob != nil {
+			n.ob.vfSwitches.Inc()
+		}
 	}
 	n.lastServed = q
 
@@ -277,6 +342,15 @@ func (n *NIC) drain() {
 		n.busyTil = end
 		p.SentAt = end
 		q.sent++
+		if ob := n.ob; ob != nil {
+			ob.sent.Inc()
+			if ob.tr != nil {
+				// Ring residency ends at the pull; the wire span covers
+				// DMA + serialization in simulated nanoseconds.
+				ob.tr.End(p.Tag, obs.StageNICRing, now)
+				ob.tr.Span(p.Tag, obs.StageNICWire, ob.track, now, end)
+			}
+		}
 		peer, prop := q.peer, q.prop
 		pkt := p
 		n.eng.Schedule(end+prop, func() {

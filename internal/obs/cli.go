@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/report"
+)
+
+// CLI is the standard observability command-line surface shared by the
+// repository's binaries (choirsim, choirstream, experiments):
+//
+//	-metrics FILE        Prometheus text snapshot written at exit
+//	-trace FILE          Chrome trace_event JSON written at exit
+//	-trace-sample N      trace 1 in N packets (trailer-tag hash)
+//	-pprof ADDR          live /metrics, /metrics.json, /trace and
+//	                     /debug/pprof/* while the run is in progress
+//
+// Usage: BindFlags before flag.Parse, Obs() for the handle to pass into
+// the run (nil when no flag was given, so instrumentation stays off),
+// Start() after parsing, and Finish() on the way out.
+type CLI struct {
+	Metrics string
+	Trace   string
+	Pprof   string
+	Sample  int
+
+	obs *Obs
+	srv *http.Server
+}
+
+// BindFlags registers the observability flags on fs (use flag.CommandLine
+// for the default set) and returns the handle that collects them.
+func BindFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	fs.StringVar(&c.Metrics, "metrics", "", "write a Prometheus text snapshot of run telemetry to `FILE` at exit")
+	fs.StringVar(&c.Trace, "trace", "", "write Chrome trace_event JSON of sampled packet lifecycles to `FILE` at exit (open in Perfetto)")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve /metrics, /trace and /debug/pprof on `ADDR` (e.g. localhost:6060) during the run")
+	fs.IntVar(&c.Sample, "trace-sample", DefaultTraceSample, "trace 1 in `N` packets, selected by trailer-tag hash")
+	return c
+}
+
+// Enabled reports whether any observability flag was given.
+func (c *CLI) Enabled() bool {
+	return c != nil && (c.Metrics != "" || c.Trace != "" || c.Pprof != "")
+}
+
+// Obs returns the handle implied by the flags: nil when observability is
+// off (so instrumented code keeps its single-branch disabled path), a
+// registry always when on, and a tracer only when -trace or -pprof asked
+// for one.
+func (c *CLI) Obs() *Obs {
+	if !c.Enabled() {
+		return nil
+	}
+	if c.obs == nil {
+		c.obs = New()
+		if c.Trace != "" || c.Pprof != "" {
+			c.obs.WithTracer(c.Sample)
+		}
+	}
+	return c.obs
+}
+
+// Start launches the -pprof listener, if requested. Call after
+// flag.Parse and before the run.
+func (c *CLI) Start() error {
+	if c == nil || c.Pprof == "" {
+		return nil
+	}
+	srv, err := Serve(c.Pprof, c.Obs())
+	if err != nil {
+		return err
+	}
+	c.srv = srv
+	return nil
+}
+
+// Finish writes the requested artifacts (-metrics and -trace files),
+// stops the -pprof listener, and returns the first error encountered.
+func (c *CLI) Finish() error {
+	if !c.Enabled() {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.Metrics != "" {
+		keep(writeFile(c.Metrics, func(f *os.File) error {
+			return c.Obs().Registry().WritePrometheus(f)
+		}))
+	}
+	if c.Trace != "" {
+		keep(writeFile(c.Trace, func(f *os.File) error {
+			return c.Obs().Trace().WriteJSON(f)
+		}))
+	}
+	if c.srv != nil {
+		keep(c.srv.Close())
+		c.srv = nil
+	}
+	return first
+}
+
+// Summary returns the end-of-run telemetry table, or nil when
+// observability is off (callers can print it unconditionally through
+// report's nil-tolerant renderers by checking for nil).
+func (c *CLI) Summary() *report.Table {
+	if !c.Enabled() {
+		return nil
+	}
+	return SummaryTable(c.Obs().Registry())
+}
+
+func writeFile(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", path, err)
+	}
+	return nil
+}

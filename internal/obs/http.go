@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve exposes the observability surface on an opt-in HTTP listener:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   JSON snapshot of the same registry
+//	/trace          Chrome trace_event JSON of everything traced so far
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// The server runs on its own goroutine; Close the returned server to
+// stop it. Instruments are atomic, so scraping mid-run is safe; values
+// read mid-run are a consistent-enough snapshot for dashboards, and the
+// sim's own determinism is never affected.
+func Serve(addr string, o *Obs) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Registry().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Trace().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,594 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// ---- registry ----
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // counters are monotone: negative deltas ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+}
+
+func TestGaugeSetAndMax(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge %v, want 3.5", got)
+	}
+	g.Max(2) // below current: no change
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("Max lowered the gauge to %v", got)
+	}
+	g.MaxInt(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("MaxInt left %v, want 7", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help", 3)
+	for _, v := range []int64{0, 5, -12, 999, 100000} { // 100000 overflows decade 3 → clamped bucket
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if want := int64(0 + 5 - 12 + 999 + 100000); h.Sum() != want {
+		t.Fatalf("sum %d, want %d", h.Sum(), want)
+	}
+}
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h", L("k", "v"))
+	b := r.Counter("same_total", "h", L("k", "v"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("same_total", "h", L("k", "other"))
+	if a == c {
+		t.Fatal("different labels shared a counter")
+	}
+	if r.Gauge("g", "h") != r.Gauge("g", "h") {
+		t.Fatal("gauge identity broken")
+	}
+	if r.Histogram("h", "h", 3) != r.Histogram("h", "h", 3) {
+		t.Fatal("histogram identity broken")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflicted", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering conflicted as gauge did not panic")
+		}
+	}()
+	r.Gauge("conflicted", "h")
+}
+
+func TestGaugeFuncAndGaugeValue(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("fn_gauge", "h", func() float64 { return v }, L("x", "1"))
+	got, ok := r.GaugeValue("fn_gauge", L("x", "1"))
+	if !ok || got != 1.5 {
+		t.Fatalf("GaugeValue = %v,%v, want 1.5,true", got, ok)
+	}
+	v = 2.5
+	if got, _ := r.GaugeValue("fn_gauge", L("x", "1")); got != 2.5 {
+		t.Fatalf("callback gauge not re-evaluated: %v", got)
+	}
+	if _, ok := r.GaugeValue("fn_gauge", L("x", "2")); ok {
+		t.Fatal("missing series reported ok")
+	}
+	if _, ok := r.GaugeValue("no_such"); ok {
+		t.Fatal("missing family reported ok")
+	}
+	g := r.Gauge("plain_gauge", "h")
+	g.Set(9)
+	if got, ok := r.GaugeValue("plain_gauge"); !ok || got != 9 {
+		t.Fatalf("plain GaugeValue = %v,%v", got, ok)
+	}
+	// Counter families are not gauges.
+	r.Counter("ctr_total", "h")
+	if _, ok := r.GaugeValue("ctr_total"); ok {
+		t.Fatal("counter family answered GaugeValue")
+	}
+}
+
+// TestNilSafety: every instrument, and the registry/tracer/obs handles
+// themselves, must be no-ops when nil — this is the disabled path every
+// hot loop relies on.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "h") // nil registry → nil counter
+	if c != nil {
+		t.Fatal("nil registry returned a counter")
+	}
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	g := r.Gauge("x", "h")
+	g.Set(1)
+	g.Max(2)
+	g.SetInt(3)
+	g.MaxInt(4)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	h := r.Histogram("x", "h", 3)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram holds observations")
+	}
+	r.GaugeFunc("x", "h", func() float64 { return 1 })
+	if _, ok := r.GaugeValue("x"); ok {
+		t.Fatal("nil registry answered GaugeValue")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr *Tracer
+	tag := packet.Tag{Seq: 1}
+	if tr.Sampled(tag) {
+		t.Fatal("nil tracer sampled a tag")
+	}
+	tr.Begin(tag, "s", "trk", 0)
+	tr.End(tag, "s", 1)
+	tr.Span(tag, "s", "trk", 0, 1)
+	tr.Instant(tag, "s", "trk", 0)
+	tr.Event("e", "trk", 0, 1, nil)
+	tr.Mark("m", "trk", 0, nil)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+
+	var o *Obs
+	if o.Registry() != nil || o.Trace() != nil || o.WithTracer(4) != nil {
+		t.Fatal("nil Obs produced handles")
+	}
+
+	var cli *CLI
+	if cli.Enabled() {
+		t.Fatal("nil CLI enabled")
+	}
+	if err := cli.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bbb_total", "b help", L("shard", "0")).Add(3)
+	r.Counter("bbb_total", "b help", L("shard", "1")).Add(4)
+	r.Gauge("aaa_gauge", "a help").Set(1.25)
+	h := r.Histogram("ccc_ns", "c help", 2)
+	for _, v := range []int64{-50, 0, 3, 40, 999} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+
+	// Families sorted by name: aaa before bbb before ccc.
+	if !strings.HasPrefix(lines[0], "# HELP aaa_gauge") {
+		t.Fatalf("families not sorted; first line %q", lines[0])
+	}
+	for _, want := range []string{
+		"# TYPE aaa_gauge gauge",
+		"aaa_gauge 1.25",
+		"# TYPE bbb_total counter",
+		`bbb_total{shard="0"} 3`,
+		`bbb_total{shard="1"} 4`,
+		"# TYPE ccc_ns histogram",
+		"ccc_ns_sum 992",
+		"ccc_ns_count 5",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets cumulative and non-decreasing, last == count.
+	var last, bucketLines int64 = -1, 0
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "ccc_ns_bucket") {
+			continue
+		}
+		bucketLines++
+		fields := strings.Fields(ln)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", ln, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %d after %d", n, last)
+		}
+		last = n
+	}
+	if bucketLines == 0 || last != 5 {
+		t.Fatalf("final cumulative bucket %d over %d lines, want 5", last, bucketLines)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("events_total", "h", L("kind", "x")).Add(7)
+	r.Histogram("lat_ns", "h", 3).Observe(42)
+	r.Gauge("depth", "h").Set(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &fams); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	ev, ok := byName["events_total"]
+	if !ok || ev.Type != "counter" || len(ev.Series) != 1 {
+		t.Fatalf("events_total snapshot wrong: %+v", ev)
+	}
+	if ev.Series[0].Labels["kind"] != "x" || *ev.Series[0].Value != 7 {
+		t.Fatalf("events_total series wrong: %+v", ev.Series[0])
+	}
+	lat := byName["lat_ns"]
+	if lat.Type != "histogram" || *lat.Series[0].Count != 1 || *lat.Series[0].Sum != 42 {
+		t.Fatalf("lat_ns snapshot wrong: %+v", lat.Series[0])
+	}
+	if len(lat.Series[0].Buckets) != 1 {
+		t.Fatalf("expected a single occupied bucket, got %v", lat.Series[0].Buckets)
+	}
+}
+
+// TestRegistryConcurrency hammers instruments from many goroutines while
+// scraping — the mid-run /metrics path. Run under -race (verify.sh).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("conc_total", "h", L("w", fmt.Sprintf("%d", w%2)))
+			g := r.Gauge("conc_peak", "h")
+			h := r.Histogram("conc_ns", "h", 4)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.MaxInt(int64(i))
+				h.Observe(int64(i - 500))
+			}
+		}()
+	}
+	// Concurrent scrapers.
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+				r.GaugeValue("conc_peak")
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, f := range r.Snapshot() {
+		if f.Name != "conc_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			total += int64(*s.Value)
+		}
+	}
+	if total != workers*iters {
+		t.Fatalf("lost increments: %d, want %d", total, workers*iters)
+	}
+	if v, _ := r.GaugeValue("conc_peak"); v != iters-1 {
+		t.Fatalf("peak gauge %v, want %d", v, iters-1)
+	}
+}
+
+// ---- tracer ----
+
+func TestTracerSampledDeterministic(t *testing.T) {
+	tr := NewTracer(4)
+	hits := 0
+	for i := 0; i < 10_000; i++ {
+		tag := packet.Tag{Replayer: 1, Stream: uint16(i % 3), Seq: uint64(i)}
+		a, b := tr.Sampled(tag), tr.Sampled(tag)
+		if a != b {
+			t.Fatal("sampling not deterministic")
+		}
+		if a {
+			hits++
+		}
+	}
+	// 1-in-4 over 10k tags: allow generous hash slack.
+	if hits < 1_500 || hits > 3_500 {
+		t.Fatalf("1-in-4 sampling hit %d/10000", hits)
+	}
+	if !NewTracer(1).Sampled(packet.Tag{Seq: 12345}) {
+		t.Fatal("sampleN=1 must sample everything")
+	}
+	if !NewTracer(0).Sampled(packet.Tag{Seq: 1}) {
+		t.Fatal("sampleN=0 must clamp to sample-everything")
+	}
+}
+
+func TestTracerSpansAndEvents(t *testing.T) {
+	tr := NewTracer(1)
+	tag := packet.Tag{Replayer: 1, Seq: 9}
+	tr.Begin(tag, StageNICRing, "nic/0", 100)
+	tr.End(tag, StageNICRing, 350)
+	tr.End(tag, StageSwitch, 400) // unmatched End: ignored
+	tr.Span(tag, StageNICWire, "nic/0", 350, 470)
+	tr.Instant(tag, StageGen, "gen/0", 90)
+	tr.Event("window", "stream", 0, 1000, map[string]string{"n": "3"})
+	tr.Mark("pause", "mb/1", 500, nil)
+	if got := tr.Len(); got != 5 {
+		t.Fatalf("recorded %d events, want 5", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("spurious drops")
+	}
+	if s := tr.String(); !strings.Contains(s, "5 events") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestTracerJSONSchema decodes WriteJSON output and checks the Chrome
+// trace_event contract Perfetto relies on.
+func TestTracerJSONSchema(t *testing.T) {
+	tr := NewTracer(1)
+	tag := packet.Tag{Replayer: 2, Stream: 1, Seq: 77}
+	tr.Span(tag, StageSwitch, "switch", 1_000, 3_500) // 2.5 µs span
+	tr.Instant(tag, StageCapture, "recorder/A", 4_000)
+	tr.Mark("breakpoint", "watch/w", 4_100, map[string]string{"seq": "77"})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// 1 process_name + 3 thread_name metadata + 3 events.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("%d events, want 7", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["name"] != "process_name" || doc.TraceEvents[0]["ph"] != "M" {
+		t.Fatalf("first event not process metadata: %v", doc.TraceEvents[0])
+	}
+	threads := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			if args, ok := ev["args"].(map[string]interface{}); ok && ev["name"] == "thread_name" {
+				threads[args["name"].(string)] = true
+			}
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event lacks dur: %v", ev)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s == "" {
+				t.Fatalf("instant lacks scope: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected ph %q in %v", ph, ev)
+		}
+		if pid, ok := ev["pid"].(float64); !ok || pid != 1 {
+			t.Fatalf("event pid wrong: %v", ev)
+		}
+	}
+	for _, trk := range []string{"switch", "recorder/A", "watch/w"} {
+		if !threads[trk] {
+			t.Fatalf("thread metadata missing track %q (have %v)", trk, threads)
+		}
+	}
+	// Sim ns → trace µs conversion: the span started at 1000 ns = 1 µs.
+	foundSpan := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == StageSwitch {
+			foundSpan = true
+			if ts := ev["ts"].(float64); ts != 1.0 {
+				t.Fatalf("span ts %v µs, want 1.0", ts)
+			}
+			if dur := ev["dur"].(float64); dur != 2.5 {
+				t.Fatalf("span dur %v µs, want 2.5", dur)
+			}
+		}
+	}
+	if !foundSpan {
+		t.Fatal("switch span not exported")
+	}
+}
+
+func TestTracerNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer(1)
+	tag := packet.Tag{Seq: 3}
+	tr.Span(tag, "s", "trk", 500, 400) // end before start
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"dur":-`) {
+		t.Fatal("negative duration exported")
+	}
+}
+
+// ---- summary, CLI, runtime helpers ----
+
+func TestSummaryTableSkipsZeroSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("seen_total", "h").Add(3)
+	r.Counter("zero_total", "h") // never incremented
+	r.Histogram("lat_ns", "h", 3).Observe(10)
+	r.Gauge("labeled", "h", L("shard", "1")).Set(4)
+	out := SummaryTable(r).String()
+	for _, want := range []string{"seen_total", "lat_ns", "n=1 sum=10", "shard=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "zero_total") {
+		t.Fatalf("summary shows empty series:\n%s", out)
+	}
+	if SummaryTable(nil) == nil {
+		t.Fatal("nil registry summary not renderable")
+	}
+}
+
+func TestCLIWiring(t *testing.T) {
+	var c CLI
+	if c.Enabled() {
+		t.Fatal("zero CLI enabled")
+	}
+	if c.Obs() != nil {
+		t.Fatal("disabled CLI returned an Obs handle")
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c = CLI{
+		Metrics: filepath.Join(dir, "run.prom"),
+		Trace:   filepath.Join(dir, "run.trace.json"),
+		Sample:  1,
+	}
+	if !c.Enabled() {
+		t.Fatal("CLI with -metrics not enabled")
+	}
+	o := c.Obs()
+	if o == nil || o.Reg == nil || o.Tracer == nil {
+		t.Fatal("CLI Obs missing registry or tracer")
+	}
+	if c.Obs() != o {
+		t.Fatal("Obs not memoized")
+	}
+	o.Reg.Counter("cli_total", "h").Add(2)
+	o.Tracer.Instant(packet.Tag{Seq: 1}, StageGen, "gen/0", sim.Time(5))
+	if err := c.Start(); err != nil { // no -pprof: no-op
+		t.Fatal(err)
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(c.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "cli_total 2") {
+		t.Fatalf("metrics file missing counter:\n%s", prom)
+	}
+	traceRaw, err := os.ReadFile(c.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceRaw, &doc); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file empty")
+	}
+	if !strings.Contains(c.Summary().String(), "cli_total") {
+		t.Fatal("CLI summary missing counter")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.256.256.256:0", New()); err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+func TestPeakRSSAndMeter(t *testing.T) {
+	b, src := PeakRSSBytes()
+	if b <= 0 {
+		t.Fatalf("peak RSS %d (%s)", b, src)
+	}
+	if s := PeakRSS(); !strings.Contains(s, "MiB") {
+		t.Fatalf("PeakRSS = %q", s)
+	}
+	m := StartMeter()
+	line := m.ThroughputLine(1000)
+	if !strings.Contains(line, "pkts/s") || !strings.Contains(line, "1000 packets") {
+		t.Fatalf("ThroughputLine = %q", line)
+	}
+	if m.Throughput(0) != 0 {
+		t.Fatal("zero packets nonzero throughput")
+	}
+	if FormatBytes(1<<20) != "1.0 MiB" {
+		t.Fatalf("FormatBytes = %q", FormatBytes(1<<20))
+	}
+}

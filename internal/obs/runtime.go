@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the shared run-telemetry toolkit: the peak-RSS and
+// pkts/s reporting that cmd/choirstream used to hand-roll now lives here
+// and is reused by every CLI.
+
+// PeakRSSBytes returns the process's high-water resident set in bytes
+// plus the source of the figure: "VmHWM" when /proc/self/status is
+// available (Linux), "go-heap-sys" as the portable fallback.
+func PeakRSSBytes() (int64, string) {
+	if data, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(line, "VmHWM:") {
+				fields := strings.Fields(line)
+				if len(fields) >= 2 {
+					if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+						return kb << 10, "VmHWM"
+					}
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys), "go-heap-sys"
+}
+
+// FormatBytes renders a byte count in MiB, the unit the streaming-κ
+// memory claims are quoted in.
+func FormatBytes(b int64) string {
+	return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+}
+
+// PeakRSS renders the peak resident set for human output, annotating the
+// fallback source when /proc is unavailable.
+func PeakRSS() string {
+	b, src := PeakRSSBytes()
+	if src == "VmHWM" {
+		return FormatBytes(b)
+	}
+	return FormatBytes(b) + " (" + src + ")"
+}
+
+// Meter measures a run's wall time for throughput reporting.
+type Meter struct{ start time.Time }
+
+// StartMeter begins timing.
+func StartMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Elapsed returns the wall time since StartMeter.
+func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
+
+// Throughput returns packets-per-second over the elapsed wall time.
+func (m *Meter) Throughput(packets int64) float64 {
+	s := m.Elapsed().Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(packets) / s
+}
+
+// ThroughputLine renders the standard "<pkts/s> (<n> packets in <wall>)"
+// line the CLIs print.
+func (m *Meter) ThroughputLine(packets int64) string {
+	return fmt.Sprintf("%.0f pkts/s (%d packets in %v)",
+		m.Throughput(packets), packets, m.Elapsed().Round(time.Millisecond))
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// SummaryTable renders the registry's current state as an aligned text
+// table — the end-of-run telemetry block the CLIs print. Histograms are
+// summarized as count/sum/mean; empty series are skipped.
+func SummaryTable(r *Registry) *report.Table {
+	t := report.NewTable("run telemetry", "metric", "labels", "value")
+	if r == nil {
+		return t
+	}
+	for _, fam := range r.Snapshot() {
+		for _, s := range fam.Series {
+			labels := ""
+			if len(s.Labels) > 0 {
+				keys := make([]string, 0, len(s.Labels))
+				for k := range s.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				parts := make([]string, len(keys))
+				for i, k := range keys {
+					parts[i] = k + "=" + s.Labels[k]
+				}
+				labels = strings.Join(parts, ",")
+			}
+			switch {
+			case s.Count != nil:
+				if *s.Count == 0 {
+					continue
+				}
+				mean := float64(*s.Sum) / float64(*s.Count)
+				t.AddRow(fam.Name, labels,
+					fmt.Sprintf("n=%d sum=%d mean=%.1f", *s.Count, *s.Sum, mean))
+			case s.Value != nil:
+				if *s.Value == 0 {
+					continue
+				}
+				t.AddRow(fam.Name, labels, formatFloat(*s.Value))
+			}
+		}
+	}
+	return t
+}

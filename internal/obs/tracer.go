@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Tracer records packet-lifecycle spans keyed to *simulated* time — the
+// replayed clock, not host wall time — and exports them as Chrome
+// trace_event JSON, so a run opens directly in Perfetto or
+// chrome://tracing. This follows the replay-clock tracing literature:
+// spans on the wall clock of the analysis host would be meaningless for
+// a discrete-event replay, so every timestamp below is a sim.Time.
+//
+// Tracing a million-packet run span-by-span would be unaffordable, so
+// the tracer samples 1-in-N packets by trailer tag: a deterministic hash
+// of the tag decides once, and the same packet is then traced at every
+// stage of its life (gen → NIC TX ring → DMA/wire → switch egress →
+// middlebox record → replay → wire). Sampling is hash-based, not
+// RNG-based, so enabling tracing never perturbs the simulation's random
+// streams.
+//
+// All methods are nil-safe no-ops on a nil receiver.
+type Tracer struct {
+	mu      sync.Mutex
+	sampleN uint64
+	max     int
+	dropped int64
+	events  []traceEvent
+	open    map[spanKey]openSpan
+	tids    map[string]int
+	tidSeq  int
+}
+
+// Lifecycle stage names used by the instrumented subsystems. Using the
+// shared constants keeps one packet's spans on a coherent storyline.
+const (
+	StageGen       = "gen"          // generator emitted the packet
+	StageNICRing   = "nic:ring"     // sitting in a NIC TX ring awaiting DMA pull
+	StageNICWire   = "nic:wire"     // DMA pull → serialization onto the wire
+	StageSwitch    = "switch"       // switch ingress → egress serialization
+	StageRecord    = "mb:record"    // middlebox recorded the forwarded packet
+	StageReplay    = "mb:replay"    // middlebox re-emitted the packet in a replay burst
+	StageCapture   = "capture"      // recorder stamped the packet into a trace
+	StageBreak     = "breakpoint"   // debug watcher predicate hit
+	StagePause     = "replay:pause" // replay paused/resumed (global events)
+	StageSchedSlip = "sched-slip"   // burst scheduled later than its TSC-ideal instant
+)
+
+// DefaultTraceSample is the default 1-in-N packet sampling rate: at the
+// paper's 1.05M-packet scale it keeps a full lifecycle trace near 10k
+// packets — a few MB of JSON.
+const DefaultTraceSample = 128
+
+// maxTraceEvents bounds tracer memory; beyond it events are counted as
+// dropped rather than recorded.
+const maxTraceEvents = 1 << 20
+
+type spanKey struct {
+	tag   packet.Tag
+	stage string
+}
+
+type openSpan struct {
+	start sim.Time
+	track string
+}
+
+type traceEvent struct {
+	name  string
+	cat   string
+	ph    byte // 'X' complete, 'i' instant
+	ts    sim.Time
+	dur   sim.Duration
+	tid   int
+	args  map[string]string
+	scope byte // for instants: 't' thread, 'g' global
+}
+
+// NewTracer creates a tracer sampling 1-in-sampleN packets by trailer
+// tag (sampleN <= 1 samples everything).
+func NewTracer(sampleN int) *Tracer {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	return &Tracer{
+		sampleN: uint64(sampleN),
+		max:     maxTraceEvents,
+		open:    make(map[spanKey]openSpan),
+		tids:    make(map[string]int),
+	}
+}
+
+// Sampled reports whether packets with this tag are traced. The decision
+// is a pure function of the tag, so every stage of one packet's life
+// agrees. Nil-safe: a nil tracer samples nothing.
+func (t *Tracer) Sampled(tag packet.Tag) bool {
+	if t == nil {
+		return false
+	}
+	if t.sampleN <= 1 {
+		return true
+	}
+	// splitmix64-style mix of the identity fields.
+	x := tag.Seq ^ uint64(tag.Replayer)<<48 ^ uint64(tag.Stream)<<32
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x%t.sampleN == 0
+}
+
+func (t *Tracer) tidFor(track string) int {
+	id, ok := t.tids[track]
+	if !ok {
+		t.tidSeq++
+		id = t.tidSeq
+		t.tids[track] = id
+	}
+	return id
+}
+
+func (t *Tracer) push(ev traceEvent) {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Begin opens a span for a sampled packet at sim time at. track names
+// the component (becomes a Perfetto thread row). A Begin without a
+// matching End is dropped at export.
+func (t *Tracer) Begin(tag packet.Tag, stage, track string, at sim.Time) {
+	if t == nil || !t.Sampled(tag) {
+		return
+	}
+	t.mu.Lock()
+	t.open[spanKey{tag, stage}] = openSpan{start: at, track: track}
+	t.mu.Unlock()
+}
+
+// End closes the span opened by Begin and records a complete event.
+// Unmatched Ends are ignored.
+func (t *Tracer) End(tag packet.Tag, stage string, at sim.Time) {
+	if t == nil || !t.Sampled(tag) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := spanKey{tag, stage}
+	o, ok := t.open[k]
+	if !ok {
+		return
+	}
+	delete(t.open, k)
+	dur := at - o.start
+	if dur < 0 {
+		dur = 0
+	}
+	t.push(traceEvent{
+		name: stage, cat: "packet", ph: 'X',
+		ts: o.start, dur: dur,
+		tid:  t.tidFor(o.track),
+		args: map[string]string{"tag": tag.String()},
+	})
+}
+
+// Span records a complete span for a sampled packet in one call, when
+// both endpoints are known at once.
+func (t *Tracer) Span(tag packet.Tag, stage, track string, start, end sim.Time) {
+	if t == nil || !t.Sampled(tag) {
+		return
+	}
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	t.push(traceEvent{
+		name: stage, cat: "packet", ph: 'X',
+		ts: start, dur: dur,
+		tid:  t.tidFor(track),
+		args: map[string]string{"tag": tag.String()},
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration event for a sampled packet.
+func (t *Tracer) Instant(tag packet.Tag, stage, track string, at sim.Time) {
+	if t == nil || !t.Sampled(tag) {
+		return
+	}
+	t.mu.Lock()
+	t.push(traceEvent{
+		name: stage, cat: "packet", ph: 'i', scope: 't',
+		ts: at, tid: t.tidFor(track),
+		args: map[string]string{"tag": tag.String()},
+	})
+	t.mu.Unlock()
+}
+
+// Event records an unsampled component-level span (window close, replay
+// run, stall episode...). args may be nil.
+func (t *Tracer) Event(name, track string, start sim.Time, dur sim.Duration, args map[string]string) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	t.push(traceEvent{
+		name: name, cat: "component", ph: 'X',
+		ts: start, dur: dur, tid: t.tidFor(track), args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Mark records an unsampled global instant (pause, resume, breakpoint
+// fired) visible across all tracks.
+func (t *Tracer) Mark(name, track string, at sim.Time, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.push(traceEvent{
+		name: name, cat: "component", ph: 'i', scope: 't',
+		ts: at, tid: t.tidFor(track), args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns events discarded after the memory cap was hit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// jsonEvent is the Chrome trace_event wire form. ts/dur are in
+// microseconds (fractional values carry the sub-µs precision of the
+// simulated clock).
+type jsonEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// jsonTrace is the top-level JSON object.
+type jsonTrace struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+const tracePid = 1
+
+// WriteJSON exports the trace in Chrome trace_event JSON object format
+// ({"traceEvents": [...]}), with thread-name metadata so Perfetto labels
+// each component track.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	tids := make(map[string]int, len(t.tids))
+	for k, v := range t.tids {
+		tids[k] = v
+	}
+	t.mu.Unlock()
+
+	var raw []json.RawMessage
+	appendEv := func(v interface{}) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+		return nil
+	}
+
+	// Process + thread name metadata, in stable order.
+	if err := appendEv(map[string]interface{}{
+		"name": "process_name", "ph": "M", "pid": tracePid,
+		"args": map[string]string{"name": "choir-sim"},
+	}); err != nil {
+		return err
+	}
+	tracks := make([]string, 0, len(tids))
+	for name := range tids {
+		tracks = append(tracks, name)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tids[tracks[i]] < tids[tracks[j]] })
+	for _, name := range tracks {
+		if err := appendEv(map[string]interface{}{
+			"name": "thread_name", "ph": "M", "pid": tracePid, "tid": tids[name],
+			"args": map[string]string{"name": name},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, ev := range events {
+		je := jsonEvent{
+			Name: ev.name, Cat: ev.cat, Ph: string(ev.ph),
+			Ts:  float64(ev.ts) / 1e3, // sim ns → trace µs
+			Pid: tracePid, Tid: ev.tid, Args: ev.args,
+		}
+		if ev.ph == 'X' {
+			d := float64(ev.dur) / 1e3
+			je.Dur = &d
+		}
+		if ev.ph == 'i' {
+			je.S = string(ev.scope)
+		}
+		if err := appendEv(je); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTrace{TraceEvents: raw, DisplayTimeUnit: "ns"})
+}
+
+// String summarizes the tracer state for end-of-run reporting.
+func (t *Tracer) String() string {
+	if t == nil {
+		return "tracer: disabled"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("tracer: %d events (1-in-%d sampling, %d dropped)", len(t.events), t.sampleN, t.dropped)
+}

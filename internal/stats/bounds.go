@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file exports the symmetric-log bucket layout SymLogHistogram uses
+// internally, so other packages (notably internal/obs, whose histograms
+// must be updatable with atomics from hot paths) can classify values with
+// the exact same decade structure the paper's figures are drawn in.
+//
+// The canonical layout for maxDecade D has 2D+5 buckets:
+//
+//	index 0          negative overflow (|v| > 10^(D+1), v < 0)
+//	index 1 .. D+1   negative decades, large magnitude → small
+//	index D+2        exact zero
+//	index D+3 .. 2D+3 positive decades, small magnitude → large
+//	index 2D+4       positive overflow
+
+// SymLogBucketCount returns the number of buckets in the canonical layout.
+func SymLogBucketCount(maxDecade int) int {
+	if maxDecade < 0 {
+		maxDecade = 0
+	}
+	return 2*maxDecade + 5
+}
+
+// SymLogIndex classifies v exactly the way SymLogHistogram.Add does and
+// returns its index in the canonical layout.
+func SymLogIndex(v int64, maxDecade int) int {
+	if maxDecade < 0 {
+		maxDecade = 0
+	}
+	if v == 0 {
+		return maxDecade + 2
+	}
+	mag := v
+	neg := false
+	if v < 0 {
+		mag = -v
+		neg = true
+	}
+	d := 0
+	for threshold := int64(10); mag > threshold; threshold *= 10 {
+		d++
+	}
+	if d > maxDecade {
+		if neg {
+			return 0
+		}
+		return 2*maxDecade + 4
+	}
+	if neg {
+		// Negative decades run large magnitude → small: decade D at
+		// index 1, decade 0 at index D+1.
+		return 1 + (maxDecade - d)
+	}
+	return maxDecade + 3 + d
+}
+
+// SymLogLabels returns human-readable bucket labels aligned with
+// SymLogIndex, matching SymLogHistogram.Buckets' labelling.
+func SymLogLabels(maxDecade int) []string {
+	if maxDecade < 0 {
+		maxDecade = 0
+	}
+	out := make([]string, 0, SymLogBucketCount(maxDecade))
+	out = append(out, fmt.Sprintf("< -1e%d", maxDecade+1))
+	for d := maxDecade; d >= 0; d-- {
+		out = append(out, fmt.Sprintf("-1e%d..-1e%d", d+1, d))
+	}
+	out = append(out, "0")
+	for d := 0; d <= maxDecade; d++ {
+		out = append(out, fmt.Sprintf("+1e%d..1e%d", d, d+1))
+	}
+	out = append(out, fmt.Sprintf("> +1e%d", maxDecade+1))
+	return out
+}
+
+// SymLogUpperBounds returns Prometheus-style `le` upper bounds aligned
+// with SymLogIndex (the last bound is +Inf). Bounds are the decade edges;
+// exact classification of values on an edge follows SymLogIndex.
+func SymLogUpperBounds(maxDecade int) []float64 {
+	if maxDecade < 0 {
+		maxDecade = 0
+	}
+	out := make([]float64, 0, SymLogBucketCount(maxDecade))
+	out = append(out, -math.Pow(10, float64(maxDecade+1)))
+	for d := maxDecade; d >= 1; d-- {
+		out = append(out, -math.Pow(10, float64(d)))
+	}
+	out = append(out, -1)
+	out = append(out, 0)
+	for d := 0; d <= maxDecade; d++ {
+		out = append(out, math.Pow(10, float64(d+1)))
+	}
+	out = append(out, math.Inf(1))
+	return out
+}

@@ -5,14 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
 // BenchmarkStreamKappa measures the streaming engine's throughput
 // (pkts/s) and allocation footprint against the batch CompareWindowed
-// path on the same pair of jittered trials. Run via verify.sh or:
+// path on the same pair of jittered trials, with and without the obs
+// registry attached — verify.sh's guard compares the shards=4 pair to
+// bound the enabled-telemetry overhead. Run via verify.sh -bench or:
 //
-//	go test ./internal/stream -bench=StreamKappa -benchmem
+//	go test ./internal/stream -run='^$' -bench=StreamKappa -benchmem
 func BenchmarkStreamKappa(b *testing.B) {
 	const n = 50_000
 	ta := jitteredTrial("A", n, 11)
@@ -20,26 +23,37 @@ func BenchmarkStreamKappa(b *testing.B) {
 	window := 50 * sim.Microsecond
 
 	for _, shards := range []int{1, 4} {
-		b.Run(fmt.Sprintf("stream/shards=%d", shards), func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				sum, err := Run(NewTraceSource(ta), NewTraceSource(tb), Config{
-					Window:         window,
-					Shards:         shards,
-					DiscardWindows: true,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				if sum.Aggregate.Windows == 0 {
-					b.Fatal("no windows scored")
-				}
+		for _, withObs := range []bool{false, true} {
+			name := fmt.Sprintf("stream/shards=%d", shards)
+			if withObs {
+				name += "/obs"
 			}
-			b.StopTimer()
-			pkts := float64(2*n) * float64(b.N)
-			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
-		})
+			shards, withObs := shards, withObs
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg := Config{
+						Window:         window,
+						Shards:         shards,
+						DiscardWindows: true,
+					}
+					if withObs {
+						cfg.Obs = obs.New()
+					}
+					sum, err := Run(NewTraceSource(ta), NewTraceSource(tb), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if sum.Aggregate.Windows == 0 {
+						b.Fatal("no windows scored")
+					}
+				}
+				b.StopTimer()
+				pkts := float64(2*n) * float64(b.N)
+				b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+			})
+		}
 	}
 
 	b.Run("batch/CompareWindowed", func(b *testing.B) {

@@ -81,6 +81,14 @@ func (g *gate) advance(closed int64) {
 	g.mu.Unlock()
 }
 
+// lag reports how many windows ahead of the close watermark win is.
+// Only called on the observability path.
+func (g *gate) lag(win int64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return win - g.closed
+}
+
 // ingester pulls one source, normalizes it onto the trial-relative
 // timeline, splits it into tumbling windows and fans records out to the
 // flow shards.
@@ -91,12 +99,13 @@ type ingester struct {
 	shards  []chan shardMsg
 	wmCh    chan<- wmUpdate
 	g       *gate
+	ob      *streamObs
 	packets int64
 	err     error
 }
 
-func newIngester(s side, src Source, cfg Config, shards []chan shardMsg, wmCh chan<- wmUpdate, g *gate) *ingester {
-	return &ingester{side: s, src: src, cfg: cfg, shards: shards, wmCh: wmCh, g: g}
+func newIngester(s side, src Source, cfg Config, shards []chan shardMsg, wmCh chan<- wmUpdate, g *gate, ob *streamObs) *ingester {
+	return &ingester{side: s, src: src, cfg: cfg, shards: shards, wmCh: wmCh, g: g, ob: ob}
 }
 
 func (in *ingester) run() {
@@ -149,6 +158,11 @@ func (in *ingester) run() {
 			// come within MaxLag.
 			in.wmCh <- wmUpdate{side: in.side, win: w, metas: metas}
 			metas = nil
+			if in.ob != nil {
+				// How far this side tried to run ahead before the gate
+				// (possibly) held it back.
+				in.ob.lagPeak[in.side].MaxInt(in.g.lag(w))
+			}
 			in.g.wait(w)
 			curWin = w
 			pos = 0
@@ -170,7 +184,13 @@ func (in *ingester) run() {
 		winLast = nt
 		pos++
 		in.packets++
-		in.shards[shardOf(r.key, len(in.shards))] <- shardMsg{rec: r}
+		sh := shardOf(r.key, len(in.shards))
+		if in.ob != nil {
+			// Occupancy just before our send: an instantaneous sample,
+			// folded into the per-shard high-water gauge.
+			in.ob.shardQPeak[sh].MaxInt(int64(len(in.shards[sh]) + 1))
+		}
+		in.shards[sh] <- shardMsg{rec: r}
 	}
 	retire()
 	in.wmCh <- wmUpdate{side: in.side, win: maxWin, metas: metas}
@@ -192,7 +212,7 @@ func shardOf(k metrics.Key, n int) int {
 // coordinate turns the two ingest watermarks into close broadcasts: when
 // both sides have passed a window, every shard is told to flush it, and
 // the backpressure gate advances.
-func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winMeta, g *gate) {
+func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winMeta, g *gate, ob *streamObs) {
 	wm := [2]int64{0, 0}
 	closed := int64(0)
 	for upd := range wmCh {
@@ -207,6 +227,7 @@ func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winM
 			min = wm[1]
 		}
 		if min > closed {
+			ob.noteClose(closed, min)
 			closed = min
 			for _, ch := range shards {
 				ch <- shardMsg{close: true, upTo: closed}

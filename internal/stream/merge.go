@@ -28,23 +28,71 @@ func (wa *winAgg) complete() bool {
 	return true
 }
 
+// aggState accumulates the numerators and denominators of Eq. 1–5
+// summed across windows; normalize turns it into an Aggregate. Kept as
+// a struct so the merge stage can publish a running whole-run vector to
+// the observability gauges after every closed window.
+type aggState struct {
+	totCommon, totOnlyA, totOnlyB int64
+	sumAbsLat, sumAbsIAT          int64
+	lDen, iDen, oNum              float64
+	oDen                          int64
+	kappaSum                      float64
+	windows                       int
+}
+
+// fold adds one closed window's partial sums and assembled κ.
+func (g *aggState) fold(s *metrics.Sums, kappa float64) {
+	g.totCommon += int64(s.Common)
+	g.totOnlyA += int64(s.OnlyA)
+	g.totOnlyB += int64(s.OnlyB)
+	g.sumAbsLat += s.SumAbsLat
+	g.sumAbsIAT += s.SumAbsIAT
+	g.lDen += float64(s.Common) * math.Max(float64(s.SpanB), float64(s.SpanA))
+	g.iDen += float64(s.SpanB + s.SpanA)
+	num, den := s.OrderingParts()
+	g.oNum += num
+	g.oDen += den
+	g.kappaSum += kappa
+	g.windows++
+}
+
+// normalize applies the Eq. 1–5 shapes to the summed parts.
+func (g *aggState) normalize(a *Aggregate) {
+	a.Windows = g.windows
+	a.Common, a.OnlyA, a.OnlyB = g.totCommon, g.totOnlyA, g.totOnlyB
+	if total := 2*g.totCommon + g.totOnlyA + g.totOnlyB; total > 0 {
+		a.U = 1 - 2*float64(g.totCommon)/float64(total)
+	} else {
+		a.U = 0
+	}
+	a.O, a.L, a.I = 0, 0, 0
+	if g.oDen > 0 {
+		a.O = g.oNum / float64(g.oDen)
+	}
+	if g.lDen > 0 {
+		a.L = float64(g.sumAbsLat) / g.lDen
+	}
+	if g.iDen > 0 {
+		a.I = float64(g.sumAbsIAT) / g.iDen
+	}
+	a.Kappa = metrics.Kappa(a.U, a.O, a.L, a.I)
+	if g.windows > 0 {
+		a.MeanKappa = g.kappaSum / float64(g.windows)
+	} else {
+		a.MeanKappa = a.Kappa
+	}
+}
+
 // merge collects shard partials and ingest metadata, finalizes windows in
 // order as the flush watermark advances, and maintains the running
 // aggregate. It returns when both input channels are closed.
-func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialMsg) *Summary {
+func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialMsg, ob *streamObs) *Summary {
 	sum := &Summary{Aggregate: Aggregate{Kappa: 1, MeanKappa: 1}}
 	pending := make(map[int64]*winAgg)
 	flushed := make([]int64, shards)
 
-	// Aggregate accumulators: numerators and denominators of Eq. 1–5
-	// summed across windows.
-	var (
-		totCommon, totOnlyA, totOnlyB int64
-		sumAbsLat, sumAbsIAT          int64
-		lDen, iDen, oNum              float64
-		oDen                          int64
-		kappaSum                      float64
-	)
+	var agg aggState
 
 	finalize := func(win int64, wa *winAgg) {
 		s := &wa.sums
@@ -68,18 +116,17 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 		}
 
 		// Fold the window into the running aggregate.
-		totCommon += int64(s.Common)
-		totOnlyA += int64(s.OnlyA)
-		totOnlyB += int64(s.OnlyB)
-		sumAbsLat += s.SumAbsLat
-		sumAbsIAT += s.SumAbsIAT
-		lDen += float64(s.Common) * math.Max(float64(s.SpanB), float64(s.SpanA))
-		iDen += float64(s.SpanB + s.SpanA)
-		num, den := s.OrderingParts()
-		oNum += num
-		oDen += den
-		kappaSum += res.Kappa
+		agg.fold(s, res.Kappa)
 		sum.Aggregate.Windows++
+		if ob != nil {
+			ob.windows.Inc()
+			ob.matched.Add(int64(s.Common))
+			ob.orphaned.Add(int64(s.OnlyA + s.OnlyB))
+			ob.observeClose(win)
+			var running Aggregate
+			agg.normalize(&running)
+			ob.publishAggregate(&running)
+		}
 	}
 
 	// sweep finalizes every complete window below the joint flush
@@ -164,27 +211,9 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 	}
 
 	// Normalize the aggregate with the Eq. 1–5 shapes.
-	a := &sum.Aggregate
-	a.Common, a.OnlyA, a.OnlyB = totCommon, totOnlyA, totOnlyB
-	if total := 2*totCommon + totOnlyA + totOnlyB; total > 0 {
-		a.U = 1 - 2*float64(totCommon)/float64(total)
-	} else {
-		a.U = 0
-	}
-	if oDen > 0 {
-		a.O = oNum / float64(oDen)
-	}
-	if lDen > 0 {
-		a.L = float64(sumAbsLat) / lDen
-	}
-	if iDen > 0 {
-		a.I = float64(sumAbsIAT) / iDen
-	}
-	a.Kappa = metrics.Kappa(a.U, a.O, a.L, a.I)
-	if a.Windows > 0 {
-		a.MeanKappa = kappaSum / float64(a.Windows)
-	} else {
-		a.MeanKappa = a.Kappa
+	agg.normalize(&sum.Aggregate)
+	if ob != nil {
+		ob.publishAggregate(&sum.Aggregate)
 	}
 	return sum
 }

@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// streamObs bundles the engine's instruments; created per Run when
+// Config.Obs is set. Everything here is observational: counters and
+// gauges are atomic, the close-time map has its own lock, and nothing
+// feeds back into the pipeline — summaries are bit-identical with
+// observability on or off (asserted by TestStreamObsDifferential).
+type streamObs struct {
+	// Per-shard input channel occupancy high-water (records). Written by
+	// both ingesters, so the gauge's atomic Max is what makes it safe.
+	shardQPeak []*obs.Gauge
+	// Per-trial peak distance between the window an ingester wants to
+	// open and the close watermark — how hard backpressure worked.
+	lagPeak [2]*obs.Gauge
+	// Wall-clock latency from the coordinator broadcasting a window's
+	// close to the merge stage finalizing it.
+	closeLat *obs.Histogram
+
+	matched  *obs.Counter
+	orphaned *obs.Counter
+	windows  *obs.Counter
+
+	// Running whole-run aggregate (the streaming metrics.Sums exposure):
+	// refreshed after every closed window so a scrape mid-run reports
+	// the κ the run would score if it ended now.
+	runU, runO, runL, runI *obs.Gauge
+	runKappa, runMeanKappa *obs.Gauge
+	runCommon              *obs.Gauge
+	runOnlyA, runOnlyB     *obs.Gauge
+
+	mu        sync.Mutex
+	closeTime map[int64]time.Time
+}
+
+// newStreamObs registers the engine's instrument families. Returns nil
+// when o is nil or has no registry, so every call site can stay a single
+// nil check.
+func newStreamObs(o *obs.Obs, shards int) *streamObs {
+	if o == nil || o.Reg == nil {
+		return nil
+	}
+	reg := o.Reg
+	so := &streamObs{
+		closeLat:     reg.Histogram("stream_window_close_latency_ns", "wall-clock delay from close broadcast to merge finalize", 10),
+		matched:      reg.Counter("stream_pairs_matched_total", "A/B packet pairs matched across all windows"),
+		orphaned:     reg.Counter("stream_pairs_orphaned_total", "packets left unmatched (OnlyA + OnlyB) across all windows"),
+		windows:      reg.Counter("stream_windows_closed_total", "tumbling windows finalized by the merge stage"),
+		runU:         reg.Gauge("stream_running_u", "running whole-run unordered metric U"),
+		runO:         reg.Gauge("stream_running_o", "running whole-run ordering metric O"),
+		runL:         reg.Gauge("stream_running_l", "running whole-run latency metric L"),
+		runI:         reg.Gauge("stream_running_i", "running whole-run inter-arrival metric I"),
+		runKappa:     reg.Gauge("stream_running_kappa", "running whole-run consistency score κ"),
+		runMeanKappa: reg.Gauge("stream_running_mean_kappa", "running unweighted mean of per-window κ"),
+		runCommon:    reg.Gauge("stream_running_common_packets", "running matched-pair count"),
+		runOnlyA:     reg.Gauge("stream_running_only_a_packets", "running packets seen only in trial A"),
+		runOnlyB:     reg.Gauge("stream_running_only_b_packets", "running packets seen only in trial B"),
+		closeTime:    make(map[int64]time.Time),
+	}
+	so.shardQPeak = make([]*obs.Gauge, shards)
+	for i := range so.shardQPeak {
+		so.shardQPeak[i] = reg.Gauge("stream_shard_queue_peak_records",
+			"high-water occupancy of a shard's input channel", obs.L("shard", fmt.Sprintf("%d", i)))
+	}
+	so.lagPeak[sideA] = reg.Gauge("stream_watermark_lag_peak_windows",
+		"peak windows an ingester ran ahead of the close watermark", obs.L("trial", "A"))
+	so.lagPeak[sideB] = reg.Gauge("stream_watermark_lag_peak_windows",
+		"peak windows an ingester ran ahead of the close watermark", obs.L("trial", "B"))
+	return so
+}
+
+// maxCloseTimed bounds the close-time map: windows closed but never
+// finalized (sparse inputs, or the final maxWin jump when both sources
+// drain) must not accumulate, so only the most recent windows of a
+// batch are timestamped and the map is capped. Missing entries simply
+// skip the latency sample.
+const maxCloseTimed = 1 << 12
+
+// noteClose timestamps windows [from, to) at the close broadcast.
+func (so *streamObs) noteClose(from, to int64) {
+	if so == nil || to >= maxWin {
+		// The terminal watermark is "everything": there is no bounded
+		// window range to timestamp.
+		return
+	}
+	if to-from > maxCloseTimed {
+		from = to - maxCloseTimed
+	}
+	now := time.Now()
+	so.mu.Lock()
+	for w := from; w < to && len(so.closeTime) < maxCloseTimed; w++ {
+		so.closeTime[w] = now
+	}
+	so.mu.Unlock()
+}
+
+// observeClose records the close→finalize latency for win, if its close
+// broadcast was timestamped (stragglers finalized after channel close
+// were not, and are skipped).
+func (so *streamObs) observeClose(win int64) {
+	if so == nil {
+		return
+	}
+	so.mu.Lock()
+	t, ok := so.closeTime[win]
+	if ok {
+		delete(so.closeTime, win)
+	}
+	so.mu.Unlock()
+	if ok {
+		so.closeLat.Observe(time.Since(t).Nanoseconds())
+	}
+}
+
+// publishAggregate refreshes the running whole-run gauges.
+func (so *streamObs) publishAggregate(a *Aggregate) {
+	if so == nil {
+		return
+	}
+	so.runU.Set(a.U)
+	so.runO.Set(a.O)
+	so.runL.Set(a.L)
+	so.runI.Set(a.I)
+	so.runKappa.Set(a.Kappa)
+	so.runMeanKappa.Set(a.MeanKappa)
+	so.runCommon.SetInt(a.Common)
+	so.runOnlyA.SetInt(a.OnlyA)
+	so.runOnlyB.SetInt(a.OnlyB)
+}

@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestStreamObsDifferential: enabling the engine's telemetry must leave
+// the streaming summary bit-identical — instruments observe the pipeline
+// but never steer it — while the registry ends up holding the same
+// whole-run aggregate the summary reports.
+func TestStreamObsDifferential(t *testing.T) {
+	a := jitteredTrial("A", 4000, 31)
+	b := jitteredTrial("B", 4000, 32)
+	base := Config{Window: 9_000, Shards: 4, Buffer: 32, MaxLag: 3}
+
+	plain, err := Run(NewTraceSource(a), NewTraceSource(b), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := obs.New()
+	cfg := base
+	cfg.Obs = o
+	instr, err := Run(NewTraceSource(a), NewTraceSource(b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if instr.Aggregate != plain.Aggregate {
+		t.Fatalf("aggregate differs with obs on:\n  plain %v\n  instr %v", plain.Aggregate, instr.Aggregate)
+	}
+	if instr.PacketsA != plain.PacketsA || instr.PacketsB != plain.PacketsB {
+		t.Fatalf("ingest counts differ: (%d,%d) vs (%d,%d)",
+			instr.PacketsA, instr.PacketsB, plain.PacketsA, plain.PacketsB)
+	}
+	assertWindowsEqual(t, instr.Windows, plain.Windows)
+
+	// The running gauges' final state is the whole-run aggregate — the
+	// value a mid-run /metrics scrape converges to.
+	reg := o.Reg
+	mustGauge := func(name string, want float64) {
+		t.Helper()
+		got, ok := reg.GaugeValue(name)
+		if !ok {
+			t.Fatalf("gauge %s missing", name)
+		}
+		if got != want {
+			t.Fatalf("gauge %s = %v, want %v", name, got, want)
+		}
+	}
+	ag := instr.Aggregate
+	mustGauge("stream_running_kappa", ag.Kappa)
+	mustGauge("stream_running_mean_kappa", ag.MeanKappa)
+	mustGauge("stream_running_u", ag.U)
+	mustGauge("stream_running_o", ag.O)
+	mustGauge("stream_running_l", ag.L)
+	mustGauge("stream_running_i", ag.I)
+	mustGauge("stream_running_common_packets", float64(ag.Common))
+	mustGauge("stream_running_only_a_packets", float64(ag.OnlyA))
+	mustGauge("stream_running_only_b_packets", float64(ag.OnlyB))
+
+	// Counters cross-check against the aggregate's packet accounting.
+	find := func(name string) float64 {
+		t.Helper()
+		for _, fam := range reg.Snapshot() {
+			if fam.Name != name {
+				continue
+			}
+			var v float64
+			for _, s := range fam.Series {
+				if s.Value != nil {
+					v += *s.Value
+				}
+				if s.Count != nil {
+					v += float64(*s.Count)
+				}
+			}
+			return v
+		}
+		t.Fatalf("metric %s not registered", name)
+		return 0
+	}
+	if got := find("stream_windows_closed_total"); got != float64(ag.Windows) {
+		t.Fatalf("windows counter %v, aggregate %d", got, ag.Windows)
+	}
+	if got := find("stream_pairs_matched_total"); got != float64(ag.Common) {
+		t.Fatalf("matched counter %v, aggregate %d", got, ag.Common)
+	}
+	if got := find("stream_pairs_orphaned_total"); got != float64(ag.OnlyA+ag.OnlyB) {
+		t.Fatalf("orphaned counter %v, aggregate %d", got, ag.OnlyA+ag.OnlyB)
+	}
+	if got := find("stream_window_close_latency_ns"); got == 0 {
+		t.Fatal("close-latency histogram empty")
+	}
+	// Shard queue peaks: at least one shard saw occupancy.
+	if got := find("stream_shard_queue_peak_records"); got <= 0 {
+		t.Fatal("no shard queue peak recorded")
+	}
+}
+
+// TestStreamObsNil: a Config.Obs with no registry must disable engine
+// telemetry entirely (newStreamObs returns nil and every hook no-ops).
+func TestStreamObsNil(t *testing.T) {
+	if so := newStreamObs(nil, 4); so != nil {
+		t.Fatal("nil Obs produced instruments")
+	}
+	if so := newStreamObs(&obs.Obs{}, 4); so != nil {
+		t.Fatal("registry-less Obs produced instruments")
+	}
+	var so *streamObs
+	so.noteClose(0, 10)
+	so.observeClose(3)
+	so.publishAggregate(&Aggregate{})
+}
+
+// TestNoteCloseBounded guards the terminal-watermark regression: the
+// end-of-stream close broadcast jumps to maxWin, and timestamping that
+// range (or an unbounded backlog) must not allocate per window.
+func TestNoteCloseBounded(t *testing.T) {
+	o := obs.New()
+	so := newStreamObs(o, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		so.noteClose(0, maxWin)         // terminal watermark: no-op
+		so.noteClose(0, 1<<40)          // huge batch: clamped to the tail
+		so.noteClose(1<<40, maxWin-1)   // near-terminal, still bounded
+		so.noteClose(maxWin-10, maxWin) // touches the sentinel: no-op
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("noteClose did not return — unbounded close-time loop")
+	}
+	so.mu.Lock()
+	n := len(so.closeTime)
+	so.mu.Unlock()
+	if n > maxCloseTimed {
+		t.Fatalf("close-time map grew to %d entries (cap %d)", n, maxCloseTimed)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -75,6 +76,13 @@ type Config struct {
 	// closed window, in window order. It must not block indefinitely:
 	// the pipeline's backpressure extends through it.
 	OnWindow func(metrics.WindowResult)
+	// Obs, when non-nil, attaches run telemetry: per-shard queue
+	// high-water, per-trial watermark lag peaks, window close latency,
+	// pairs matched/orphaned, and running whole-run U/O/L/I/κ gauges
+	// refreshed after every closed window (readable mid-run via
+	// Registry.GaugeValue or a /metrics scrape). Summaries are
+	// bit-identical with or without it.
+	Obs *obs.Obs
 }
 
 func (c Config) defaults() Config {
@@ -192,11 +200,12 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	partCh := make(chan partialMsg, n*4)
 
 	g := newGate(int64(cfg.MaxLag))
+	ob := newStreamObs(cfg.Obs, n)
 
 	// Ingest stages.
 	ing := [2]*ingester{
-		newIngester(sideA, a, cfg, shardCh, wmCh, g),
-		newIngester(sideB, b, cfg, shardCh, wmCh, g),
+		newIngester(sideA, a, cfg, shardCh, wmCh, g, ob),
+		newIngester(sideB, b, cfg, shardCh, wmCh, g, ob),
 	}
 	var ingWG sync.WaitGroup
 	for _, in := range ing {
@@ -224,10 +233,10 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	}()
 
 	// Coordinator: watermark → window closes.
-	go coordinate(wmCh, shardCh, metaCh, g)
+	go coordinate(wmCh, shardCh, metaCh, g, ob)
 
 	// Merge stage runs on the caller's goroutine.
-	sum := merge(cfg, n, metaCh, partCh)
+	sum := merge(cfg, n, metaCh, partCh, ob)
 
 	ingWG.Wait()
 	sum.PacketsA = ing[0].packets

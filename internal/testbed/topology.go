@@ -10,6 +10,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netsw"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
@@ -43,6 +44,28 @@ type Topology struct {
 	NoiseFlows []*tcpsim.Flow
 
 	noiseSink *discard
+	nics      []*nic.NIC
+	obs       *obs.Obs
+}
+
+// EnableObs turns on metrics and packet-lifecycle tracing across every
+// element of the topology: generator NICs, replayer NICs, the switch,
+// the middleboxes and the recorder. Generators started after this call
+// also emit `gen` trace instants. A nil handle is a no-op, and enabling
+// observability never perturbs the simulation (see package obs).
+func (t *Topology) EnableObs(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	t.obs = o
+	t.Switch.EnableObs(o)
+	for _, n := range t.nics {
+		n.EnableObs(o)
+	}
+	for _, mb := range t.Middleboxes {
+		mb.EnableObs(o)
+	}
+	t.Recorder.EnableObs(o)
 }
 
 // discard terminates noise traffic.
@@ -82,9 +105,11 @@ func Build(eng *sim.Engine, env Env) *Topology {
 		genQ := genNIC.NewQueue(0)
 		genQ.Connect(sw.Port(2*i), linkProp)
 		t.GenQueues = append(t.GenQueues, genQ)
+		t.nics = append(t.nics, genNIC)
 
 		// Replayer i hardware.
 		mbNIC := nic.New(eng, env.ReplayerNIC, fmt.Sprintf("replayer%d", i))
+		t.nics = append(t.nics, mbNIC)
 		mbQ := mbNIC.NewQueue(env.ReplayerQueuePkts)
 		mbQ.Connect(sw.Port(2*r+i), linkProp)
 
@@ -152,6 +177,7 @@ func (t *Topology) StartGenerators(count int, startAt sim.Time) []*gen.Generator
 				Src: packet.IPForNode(uint16(10 + i)), Dst: packet.IPForNode(99),
 				SrcPort: uint16(7000 + i), DstPort: 7001, Proto: packet.ProtoUDP,
 			},
+			Obs: t.obs,
 		})
 	}
 	return gens

@@ -1,9 +1,11 @@
 #!/bin/sh
-# verify.sh — the repo's check suite: vet, build, race-enabled tests,
-# and the streaming-vs-batch κ benchmark (pkts/s and bytes allocated).
+# verify.sh — the repo's check suite: vet, build, race-enabled tests
+# (the obs registry/tracer concurrency tests gate first), and the
+# streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
+# guard bounding the overhead of enabled telemetry.
 #
 #	./verify.sh          # vet + build + tests under -race
-#	./verify.sh -bench   # also run BenchmarkStreamKappa
+#	./verify.sh -bench   # also run BenchmarkStreamKappa + obs guard
 set -eu
 cd "$(dirname "$0")"
 
@@ -13,12 +15,30 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== go test -race ./internal/obs (concurrency gate)"
+go test -race ./internal/obs
+
 echo "== go test -race ./..."
 go test -race ./...
 
 if [ "${1:-}" = "-bench" ]; then
-	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ)"
-	go test ./internal/stream -run='^$' -bench=StreamKappa -benchmem
+	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ, obs on vs off)"
+	out=$(go test ./internal/stream -run='^$' -bench=StreamKappa -benchmem)
+	printf '%s\n' "$out"
+	echo "== obs overhead guard (shards=4, enabled registry vs disabled)"
+	printf '%s\n' "$out" | awk '
+		{
+			for (i = 2; i <= NF; i++) if ($i == "pkts/s") {
+				if ($1 ~ /shards=4\/obs(-[0-9]+)?$/) on = $(i-1)
+				else if ($1 ~ /shards=4(-[0-9]+)?$/) off = $(i-1)
+			}
+		}
+		END {
+			if (on <= 0 || off <= 0) { print "FAIL: missing pkts/s samples"; exit 1 }
+			ovh = (off - on) / off * 100
+			printf "obs-enabled throughput %.0f pkts/s vs %.0f disabled (%.1f%% overhead)\n", on, off, ovh
+			if (ovh > 25) { print "FAIL: enabled-obs overhead exceeds 25%"; exit 1 }
+		}'
 fi
 
 echo "ok"
