@@ -12,6 +12,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nic"
 	"repro/internal/packet"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -190,6 +192,7 @@ func BenchmarkMetricsCompare(b *testing.B) {
 		return tr
 	}
 	a, c := mk(1), mk(2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := metrics.Compare(a, c, metrics.Options{}); err != nil {
@@ -197,4 +200,40 @@ func BenchmarkMetricsCompare(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n), "packets")
+}
+
+// BenchmarkTable2AllEnvironmentsParallel sweeps the trial scheduler
+// width over the Table 2 fan-out (nine environments per op). The
+// workers=1 sub-benchmark is the sequential baseline the BENCH_PR3.json
+// speedups divide by; on multi-core hosts the wider widths shrink
+// wall-clock while producing bit-identical rows (differential tests
+// assert the identity).
+func BenchmarkTable2AllEnvironmentsParallel(b *testing.B) {
+	envs := testbed.AllEnvironments()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := parallel.New(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inner := experiments.TrialConfig{Packets: benchScale / 2, Runs: 2, Seed: int64(i + 1)}
+				kappas := make([]float64, len(envs))
+				if err := pool.Do(len(envs), func(row int) error {
+					res, err := experiments.Run(envs[row], inner)
+					if err != nil {
+						return err
+					}
+					kappas[row] = res.Mean.Kappa
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				for row, k := range kappas {
+					if k <= 0 || k > 1 {
+						b.Fatalf("row %d (%s): κ=%v out of range", row, envs[row].Name, k)
+					}
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,224 @@
+// Command benchreport measures the PR's performance envelope and writes
+// it as a machine-readable JSON artifact (BENCH_PR3.json at the repo
+// root). It exercises three surfaces:
+//
+//   - metrics.Compare on a 200k-packet trace pair — ns/op, B/op,
+//     allocs/op and pkts/s, with the pre-overhaul baseline recorded for
+//     the allocation-reduction claim;
+//   - the streaming κ engine (shards=4) on a 50k-packet pair;
+//   - the Table 2 all-environments fan-out on the parallel trial
+//     scheduler at widths 1/2/4/8, reporting wall-clock and speedup
+//     versus the width-1 sequential baseline.
+//
+// Speedups are honest host measurements: the artifact records num_cpu
+// and gomaxprocs so a single-core CI container's ~1.0x is read as what
+// it is. Differential tests (internal/experiments, internal/metrics)
+// separately prove the parallel results are bit-identical, so the
+// speedup is free of correctness caveats on any host.
+//
+//	go run ./cmd/benchreport -out BENCH_PR3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/stream"
+	"repro/internal/testbed"
+	"repro/internal/trace"
+)
+
+// seedAllocsPerOp and seedNsPerOp are BenchmarkMetricsCompare measured
+// on the pre-overhaul tree (same 200k-packet workload, same host class):
+// the scratch-arena work in internal/metrics is judged against them.
+const (
+	seedAllocsPerOp = 2128
+	seedNsPerOp     = 192_000_000
+)
+
+type benchLine struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	PktsPerSec  float64 `json:"pkts_per_sec,omitempty"`
+}
+
+type speedupLine struct {
+	Workers   int     `json:"workers"`
+	WallMs    float64 `json:"wall_ms"`
+	BusyMs    float64 `json:"busy_ms"`
+	Speedup   float64 `json:"speedup_vs_workers1"`
+	KappaSum  float64 `json:"kappa_sum"` // integrity check: identical across widths
+	Identical bool    `json:"identical_to_sequential"`
+}
+
+type report struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	MetricsCompare struct {
+		benchLine
+		Packets           int     `json:"packets"`
+		SeedAllocsPerOp   int64   `json:"seed_allocs_per_op"`
+		SeedNsPerOp       int64   `json:"seed_ns_per_op"`
+		AllocReductionPct float64 `json:"alloc_reduction_pct"`
+		NsPerOpReduction  float64 `json:"ns_per_op_reduction_pct"`
+	} `json:"metrics_compare"`
+
+	StreamKappa struct {
+		benchLine
+		Packets int `json:"packets"`
+		Shards  int `json:"shards"`
+	} `json:"stream_kappa"`
+
+	Table2Parallel []speedupLine `json:"table2_parallel"`
+}
+
+func synthTrace(seed int64, n int) *trace.Trace {
+	eng := sim.NewEngine(seed)
+	rng := eng.Rand("benchreport")
+	tr := trace.New("t", n)
+	at := sim.Time(0)
+	for i := 0; i < n; i++ {
+		at += 284 + sim.Duration(rng.Int63n(20))
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 1400}, at)
+	}
+	return tr
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path")
+	table2Packets := flag.Int("table2-packets", 20_000, "recorded packets per Table 2 environment")
+	flag.Parse()
+
+	var rep report
+	rep.Date = time.Now().UTC().Format(time.RFC3339)
+	rep.GoVersion = runtime.Version()
+	rep.NumCPU = runtime.NumCPU()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	// --- metrics.Compare ---
+	const nCmp = 200_000
+	a, b := synthTrace(1, nCmp), synthTrace(2, nCmp)
+	r := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			if _, err := metrics.Compare(a, b, metrics.Options{}); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	})
+	rep.MetricsCompare.NsPerOp = r.NsPerOp()
+	rep.MetricsCompare.BytesPerOp = r.AllocedBytesPerOp()
+	rep.MetricsCompare.AllocsPerOp = r.AllocsPerOp()
+	rep.MetricsCompare.PktsPerSec = float64(2*nCmp) / (float64(r.NsPerOp()) / 1e9)
+	rep.MetricsCompare.Packets = nCmp
+	rep.MetricsCompare.SeedAllocsPerOp = seedAllocsPerOp
+	rep.MetricsCompare.SeedNsPerOp = seedNsPerOp
+	rep.MetricsCompare.AllocReductionPct = 100 * (1 - float64(r.AllocsPerOp())/float64(seedAllocsPerOp))
+	rep.MetricsCompare.NsPerOpReduction = 100 * (1 - float64(r.NsPerOp())/float64(seedNsPerOp))
+
+	// --- streaming κ ---
+	const nStream = 50_000
+	sa, sb := synthTrace(11, nStream), synthTrace(12, nStream)
+	const shards = 4
+	rs := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			cfg := stream.Config{Window: 50 * sim.Microsecond, Shards: shards, DiscardWindows: true}
+			sum, err := stream.Run(stream.NewTraceSource(sa), stream.NewTraceSource(sb), cfg)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			if sum.Aggregate.Windows == 0 {
+				tb.Fatal("no windows scored")
+			}
+		}
+	})
+	rep.StreamKappa.NsPerOp = rs.NsPerOp()
+	rep.StreamKappa.BytesPerOp = rs.AllocedBytesPerOp()
+	rep.StreamKappa.AllocsPerOp = rs.AllocsPerOp()
+	rep.StreamKappa.PktsPerSec = float64(2*nStream) / (float64(rs.NsPerOp()) / 1e9)
+	rep.StreamKappa.Packets = nStream
+	rep.StreamKappa.Shards = shards
+
+	// --- Table 2 fan-out across scheduler widths ---
+	envs := testbed.AllEnvironments()
+	table2 := func(workers int) (wall, busy time.Duration, kappaSum float64, err error) {
+		pool := parallel.New(workers)
+		cfg := experiments.TrialConfig{Packets: *table2Packets, Runs: 2, Seed: 1}
+		kappas := make([]float64, len(envs))
+		start := time.Now()
+		err = pool.Do(len(envs), func(row int) error {
+			res, rerr := experiments.Run(envs[row], cfg)
+			if rerr != nil {
+				return rerr
+			}
+			kappas[row] = res.Mean.Kappa
+			return nil
+		})
+		wall = time.Since(start)
+		busy = pool.Stats().Busy
+		for _, k := range kappas {
+			kappaSum += k
+		}
+		return
+	}
+	// Warm-up run so the first width doesn't pay one-time costs.
+	if _, _, _, err := table2(1); err != nil {
+		fatal(err)
+	}
+	var baseWall time.Duration
+	var baseKappa float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		wall, busy, kappaSum, err := table2(workers)
+		if err != nil {
+			fatal(err)
+		}
+		line := speedupLine{
+			Workers:  workers,
+			WallMs:   float64(wall.Microseconds()) / 1e3,
+			BusyMs:   float64(busy.Microseconds()) / 1e3,
+			KappaSum: kappaSum,
+		}
+		if workers == 1 {
+			baseWall, baseKappa = wall, kappaSum
+			line.Speedup = 1
+			line.Identical = true
+		} else {
+			line.Speedup = float64(baseWall) / float64(wall)
+			line.Identical = kappaSum == baseKappa
+		}
+		rep.Table2Parallel = append(rep.Table2Parallel, line)
+		fmt.Fprintf(os.Stderr, "table2 workers=%d wall=%v busy=%v speedup=%.2fx identical=%v\n",
+			workers, wall.Round(time.Millisecond), busy.Round(time.Millisecond), line.Speedup, line.Identical)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (metrics.Compare: %d allocs/op, −%.1f%% vs seed)\n",
+		*out, rep.MetricsCompare.AllocsPerOp, rep.MetricsCompare.AllocReductionPct)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+	os.Exit(1)
+}

@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -29,6 +32,8 @@ func main() {
 	packets := flag.Int("packets", experiments.DefaultScale, "recorded packets per experiment (ignored with -full)")
 	runs := flag.Int("runs", 5, "replay trials per experiment")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", runtime.NumCPU(),
+		"trial scheduler width: independent trials/windows run on this many workers (results are bit-identical to -workers 1)")
 	ocli := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -44,7 +49,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
-	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs()}
+	pool := parallel.New(*workers).WithObs(ocli.Obs().Registry())
+	started := time.Now()
+	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool}
 	if *full {
 		env := testbed.LocalSingle()
 		cfg.Packets = env.PacketsFor(300 * sim.Millisecond)
@@ -71,7 +78,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(experiments.SweepTable("consistency vs offered load — "+env.Name, pts))
-		finishObs(ocli)
+		finishObs(ocli, pool, started)
 		return
 	}
 
@@ -87,12 +94,27 @@ func main() {
 		}
 		fmt.Println(doc.String())
 	}
-	finishObs(ocli)
+	finishObs(ocli, pool, started)
 }
 
-// finishObs prints the telemetry summary and writes -metrics/-trace
-// artifacts accumulated across every artifact run in this invocation.
-func finishObs(ocli *obs.CLI) {
+// finishObs prints the trial scheduler's end-of-run speedup line and the
+// telemetry summary, then writes -metrics/-trace artifacts accumulated
+// across every artifact run in this invocation.
+func finishObs(ocli *obs.CLI, pool *parallel.Pool, started time.Time) {
+	if st := pool.Stats(); st.Tasks > 0 {
+		wall := time.Since(started)
+		speedup := 1.0
+		if wall > 0 {
+			// Busy sums the host time spent inside jobs — what a
+			// sequential loop would have needed for the same work.
+			speedup = float64(st.Busy) / float64(wall)
+			if speedup < 1 {
+				speedup = 1 // scheduling overhead, not a slowdown claim
+			}
+		}
+		fmt.Printf("scheduler: %d workers, %d jobs, %v busy over %v wall (speedup ≈ %.2fx vs sequential)\n",
+			pool.Workers(), st.Tasks, st.Busy.Round(time.Millisecond), wall.Round(time.Millisecond), speedup)
+	}
 	if ocli.Enabled() {
 		fmt.Printf("%s\n", ocli.Summary())
 	}

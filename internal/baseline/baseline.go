@@ -75,7 +75,7 @@ func (t *Tcpreplay) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, start
 		}
 		prev = at
 		pkt := p
-		eng.Schedule(at, func() { q.SendBurst([]*packet.Packet{pkt}) })
+		eng.Post(at, func() { q.SendBurst([]*packet.Packet{pkt}) })
 	}
 }
 
@@ -105,7 +105,7 @@ func (m *MoonGen) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt
 	if rate <= 0 {
 		rate = packet.Gbps(100)
 	}
-	eng.Schedule(startAt, func() {
+	eng.Post(startAt, func() {
 		var burst []*packet.Packet
 		flush := func() {
 			if len(burst) > 0 {
@@ -179,7 +179,7 @@ func (c *Choir) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt s
 		}
 		pkts := burst
 		burst = nil
-		eng.Schedule(startAt+burstAt, func() { q.SendBurst(pkts) })
+		eng.Post(startAt+burstAt, func() { q.SendBurst(pkts) })
 	}
 	for i, p := range tr.Packets {
 		off := tr.Times[i] - base
@@ -277,7 +277,7 @@ func (h *Hybrid) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, startAt 
 			padded = append(padded, p)
 		}
 		at := startAt + burstAt
-		eng.Schedule(at, func() {
+		eng.Post(at, func() {
 			for len(padded) > 0 {
 				n := nic.BurstSize
 				if n > len(padded) {

@@ -163,9 +163,9 @@ func StartSync(e *sim.Engine, c *SystemClock, cfg SyncConfig, rng *rand.Rand) *S
 		}
 		c.SetOffset(cfg.Residual.Sample(rng))
 		s.syncs++
-		e.After(cfg.Interval, tick)
+		e.PostAfter(cfg.Interval, tick)
 	}
-	e.After(0, tick)
+	e.PostAfter(0, tick)
 	return s
 }
 

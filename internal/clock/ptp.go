@@ -70,9 +70,9 @@ func StartExchange(e *sim.Engine, c *SystemClock, cfg ExchangeConfig, rng *rand.
 		}
 		p.exchange(e.Now())
 		p.rounds++
-		e.After(p.cfg.Interval, round)
+		e.PostAfter(p.cfg.Interval, round)
 	}
-	e.After(0, round)
+	e.PostAfter(0, round)
 	return p
 }
 

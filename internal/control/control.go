@@ -229,7 +229,7 @@ func (b *Bus) Send(to Handler, cmd Command) {
 		}
 	}
 	b.sent++
-	b.eng.After(d, func() {
+	b.eng.PostAfter(d, func() {
 		decoded, err := Unmarshal(raw)
 		if err != nil {
 			panic(fmt.Sprintf("control: self-marshalled command failed to decode: %v", err))

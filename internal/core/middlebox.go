@@ -198,7 +198,7 @@ func (m *Middlebox) armPoll(at sim.Time) {
 	if at < m.eng.Now() {
 		at = m.eng.Now()
 	}
-	m.eng.Schedule(at, m.poll)
+	m.eng.Post(at, m.poll)
 }
 
 // poll drains up to one burst from the RX staging buffer, transmits it,
@@ -288,14 +288,14 @@ func (m *Middlebox) HandleCommand(cmd control.Command, _ sim.Time) {
 			at = m.eng.Now()
 		}
 		maxPkts, rolling := c.MaxPackets, c.Rolling
-		m.eng.Schedule(at, func() { m.startRecord(maxPkts, rolling) })
+		m.eng.Post(at, func() { m.startRecord(maxPkts, rolling) })
 	case control.StopRecord:
 		at := m.cfg.Wall.SimTimeFor(c.At)
 		if at <= m.eng.Now() {
 			m.stopRecord()
 			return
 		}
-		m.eng.Schedule(at, m.stopRecord)
+		m.eng.Post(at, m.stopRecord)
 	case control.StartReplay:
 		m.startReplay(c.At)
 	case control.PauseReplay:

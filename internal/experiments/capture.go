@@ -32,8 +32,12 @@ func ReplayCapture(env testbed.Env, tr *trace.Trace, cfg TrialConfig) (*RunResul
 	src := tr.Normalize()
 	res := &RunResult{Env: env, Recorded: uint64(src.Len())}
 
+	// Each capture-replay trial owns its own engine and seed, so the
+	// trials themselves fan out across the scheduler (unlike Run's
+	// B..E trials, which share one topology and stay sequential).
 	span := src.Span()
-	for r := 0; r < cfg.Runs; r++ {
+	res.Traces = make([]*trace.Trace, cfg.Runs)
+	trialErr := cfg.pool().Do(cfg.Runs, func(r int) error {
 		eng := sim.NewEngine(cfg.Seed + int64(r)*104729)
 		n := nic.New(eng, env.ReplayerNIC, "capture-replayer")
 		q := n.NewQueue(env.ReplayerQueuePkts)
@@ -51,18 +55,28 @@ func ReplayCapture(env testbed.Env, tr *trace.Trace, cfg TrialConfig) (*RunResul
 		clean := rec.Trace().DataOnly().Normalize()
 		clean.Name = RunNames[r]
 		if err := clean.Validate(); err != nil {
-			return nil, fmt.Errorf("experiments: capture run %s: %w", RunNames[r], err)
+			return fmt.Errorf("experiments: capture run %s: %w", RunNames[r], err)
 		}
-		res.Traces = append(res.Traces, clean)
+		res.Traces[r] = clean
+		return nil
+	})
+	if trialErr != nil {
+		return nil, trialErr
 	}
 
-	for i := 1; i < len(res.Traces); i++ {
-		m, err := metrics.Compare(res.Traces[0], res.Traces[i], metrics.Options{KeepDeltas: cfg.KeepDeltas})
+	res.Results = make([]*metrics.Result, len(res.Traces)-1)
+	res.Missing = make([]int, len(res.Traces)-1)
+	cmpErr := cfg.pool().Do(len(res.Traces)-1, func(i int) error {
+		m, err := metrics.Compare(res.Traces[0], res.Traces[i+1], metrics.Options{KeepDeltas: cfg.KeepDeltas})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Results = append(res.Results, m)
-		res.Missing = append(res.Missing, src.Len()-res.Traces[i].Len())
+		res.Results[i] = m
+		res.Missing[i] = src.Len() - res.Traces[i+1].Len()
+		return nil
+	})
+	if cmpErr != nil {
+		return nil, cmpErr
 	}
 	res.Mean = metrics.Mean(res.Results)
 	return res, nil

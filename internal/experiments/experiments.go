@@ -13,6 +13,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -35,6 +36,18 @@ type TrialConfig struct {
 	// simulated results are bit-identical with or without it (asserted
 	// by TestObsDifferential).
 	Obs *obs.Obs
+	// Workers sets the harness parallelism: the B..E-vs-A Compare
+	// fan-out inside Run, the per-environment fan-out of Table 2, and
+	// the per-rate fan-out of RateSweep all run on a shared scheduler.
+	// 0 or 1 keeps everything sequential. Each unit of work owns its
+	// own sim.Engine and seed and writes to an index-addressed slot, so
+	// parallel results are bit-identical to the sequential path
+	// (asserted by TestParallelDifferential under -race).
+	Workers int
+	// Pool, when non-nil, supplies the scheduler instance (so one
+	// pool's telemetry spans a whole invocation); otherwise Workers > 1
+	// creates one per harness call.
+	Pool *parallel.Pool
 }
 
 // DefaultScale is the scaled-down per-experiment packet count used by
@@ -52,6 +65,28 @@ func (c TrialConfig) defaults() TrialConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	return c
+}
+
+// pool returns the scheduler implied by the config: the explicit Pool,
+// a fresh one for Workers > 1, or nil (sequential — parallel.Pool
+// methods are nil-safe).
+func (c TrialConfig) pool() *parallel.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	if c.Workers > 1 {
+		return parallel.New(c.Workers)
+	}
+	return nil
+}
+
+// sequential strips the scheduler from a config handed to nested
+// harness calls, so a fan-out over environments or sweep points does
+// not recursively multiply goroutines.
+func (c TrialConfig) sequential() TrialConfig {
+	c.Pool = nil
+	c.Workers = 1
 	return c
 }
 
@@ -125,13 +160,22 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 		res.Traces = append(res.Traces, clean)
 	}
 
-	for i := 1; i < len(res.Traces); i++ {
-		r, err := metrics.Compare(res.Traces[0], res.Traces[i], metrics.Options{KeepDeltas: cfg.KeepDeltas})
+	// B..E-vs-A comparisons are independent of each other; fan them out
+	// across the scheduler into index-addressed slots. With a nil pool
+	// this is the plain sequential loop.
+	res.Results = make([]*metrics.Result, len(res.Traces)-1)
+	res.Missing = make([]int, len(res.Traces)-1)
+	err := cfg.pool().Do(len(res.Traces)-1, func(i int) error {
+		r, err := metrics.Compare(res.Traces[0], res.Traces[i+1], metrics.Options{KeepDeltas: cfg.KeepDeltas})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s comparing run %s: %w", env.Name, RunNames[i], err)
+			return fmt.Errorf("experiments: %s comparing run %s: %w", env.Name, RunNames[i+1], err)
 		}
-		res.Results = append(res.Results, r)
-		res.Missing = append(res.Missing, int(res.Recorded)-res.Traces[i].Len())
+		res.Results[i] = r
+		res.Missing[i] = int(res.Recorded) - res.Traces[i+1].Len()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	res.Mean = metrics.Mean(res.Results)
 	return res, nil

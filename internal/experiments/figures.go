@@ -103,16 +103,27 @@ func histFigure(title string, env testbed.Env, cfg TrialConfig, iat bool) (*repo
 	return doc, nil
 }
 
-// fig9 runs both 80 Gbps environments side by side.
+// fig9 runs both 80 Gbps environments side by side (in parallel when
+// the config carries a scheduler; each env owns its own engine).
 func fig9(cfg TrialConfig) (*report.Document, error) {
 	doc := &report.Document{Title: "Figure 9 — FABRIC 80 Gbps IAT deltas (dedicated vs shared)"}
-	for _, env := range []testbed.Env{testbed.FabricDedicated80(), testbed.FabricShared80()} {
-		sub, err := histFigure(env.Name, env, cfg, true)
+	envs := []testbed.Env{testbed.FabricDedicated80(), testbed.FabricShared80()}
+	subs := make([]*report.Document, len(envs))
+	inner := cfg.sequential()
+	err := cfg.pool().Do(len(envs), func(i int) error {
+		sub, err := histFigure(envs[i].Name, envs[i], inner, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		subs[i] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sub := range subs {
 		for _, s := range sub.Sections {
-			doc.Add(env.Name+": "+s.Heading, s.Body)
+			doc.Add(envs[i].Name+": "+s.Heading, s.Body)
 		}
 	}
 	return doc, nil
@@ -145,17 +156,31 @@ func table1(cfg TrialConfig) (*report.Document, error) {
 	return doc, nil
 }
 
-// table2 reproduces Table 2: mean metrics for every environment.
+// table2 reproduces Table 2: mean metrics for every environment. The
+// environments are independent seeded protocol runs — the paper's §7
+// evaluation matrix — so they fan out across the scheduler and the rows
+// are rendered from index-addressed results in environment order,
+// bit-identical to the sequential loop.
 func table2(cfg TrialConfig) (*report.Document, error) {
 	doc := &report.Document{Title: "Table 2 — Mean consistency metrics per environment"}
 	tb := report.NewTable("", "Environment", "U", "O", "I", "L", "κ")
-	for _, env := range testbed.AllEnvironments() {
-		res, err := Run(env, cfg)
+	envs := testbed.AllEnvironments()
+	results := make([]*RunResult, len(envs))
+	inner := cfg.sequential()
+	err := cfg.pool().Do(len(envs), func(i int) error {
+		res, err := Run(envs[i], inner)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		m := res.Mean
-		tb.AddRow(env.Name, report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), fmt.Sprintf("%.4f", m.Kappa))
+		tb.AddRow(envs[i].Name, report.G(m.U), report.G(m.O), report.G(m.I), report.G(m.L), fmt.Sprintf("%.4f", m.Kappa))
 	}
 	doc.Add("", tb.String())
 	return doc, nil

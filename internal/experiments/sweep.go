@@ -32,22 +32,29 @@ func RateSweep(base testbed.Env, rates []float64, cfg TrialConfig) ([]SweepPoint
 		return nil, fmt.Errorf("experiments: sweep needs at least one rate")
 	}
 	baselinePkts := cfg.Packets
-	var out []SweepPoint
 	for _, rate := range rates {
 		if rate <= 0 {
 			return nil, fmt.Errorf("experiments: invalid sweep rate %v", rate)
 		}
+	}
+	// Every sweep point is an independent seeded protocol run; fan the
+	// points out across the scheduler into index-addressed slots (the
+	// nested Run stays sequential so goroutines don't multiply).
+	out := make([]SweepPoint, len(rates))
+	inner := cfg.sequential()
+	err := cfg.pool().Do(len(rates), func(i int) error {
+		rate := rates[i]
 		env := base
 		env.Name = fmt.Sprintf("%s @%gG", base.Name, rate)
 		env.RateGbps = rate
-		c := cfg
+		c := inner
 		c.Packets = int(float64(baselinePkts) * rate / base.RateGbps)
 		if c.Packets < 1000 {
 			c.Packets = 1000
 		}
 		res, err := Run(env, c)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: sweep at %gG: %w", rate, err)
+			return fmt.Errorf("experiments: sweep at %gG: %w", rate, err)
 		}
 		p := SweepPoint{RateGbps: rate, Mean: res.Mean}
 		for _, m := range res.Missing {
@@ -55,7 +62,11 @@ func RateSweep(base testbed.Env, rates []float64, cfg TrialConfig) ([]SweepPoint
 				p.MaxMissing = m
 			}
 		}
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

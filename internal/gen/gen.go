@@ -108,10 +108,10 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 		g.emitted += n
 		emCtr.Add(int64(n))
 		if next := i + n; next < cfg.Count {
-			eng.Schedule(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
+			eng.Post(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
 		}
 	}
-	eng.Schedule(cfg.StartAt, func() { emit(0) })
+	eng.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }
 
@@ -146,10 +146,10 @@ func StartPoisson(eng *sim.Engine, q *nic.Queue, cfg PoissonConfig) *Generator {
 		}})
 		g.emitted++
 		if i+1 < cfg.Count {
-			eng.After(sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(i + 1) })
+			eng.PostAfter(sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(i + 1) })
 		}
 	}
-	eng.Schedule(cfg.StartAt+sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(0) })
+	eng.Post(cfg.StartAt+sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(0) })
 	return g
 }
 
@@ -192,10 +192,10 @@ func StartIMIX(eng *sim.Engine, q *nic.Queue, cfg IMIXConfig) *Generator {
 		}})
 		g.emitted++
 		if i+1 < cfg.Count {
-			eng.After(gap, func() { emit(i + 1) })
+			eng.PostAfter(gap, func() { emit(i + 1) })
 		}
 	}
-	eng.Schedule(cfg.StartAt, func() { emit(0) })
+	eng.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }
 
@@ -259,9 +259,9 @@ func StartEmpirical(eng *sim.Engine, q *nic.Queue, cfg EmpiricalConfig) *Generat
 			if gap < 0 {
 				gap = 0
 			}
-			eng.After(gap, func() { emit(i + 1) })
+			eng.PostAfter(gap, func() { emit(i + 1) })
 		}
 	}
-	eng.Schedule(cfg.StartAt, func() { emit(0) })
+	eng.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }

@@ -11,17 +11,20 @@ package metrics
 
 // lisMembers returns a boolean mask over seq marking one maximal
 // increasing subsequence (patience sorting with predecessor recovery).
-// seq must contain distinct values.
-func lisMembers(seq []int32) []bool {
+// seq must contain distinct values. The mask and working arrays come
+// from the scratch arena, so it is valid only until the next
+// lisMembers call on the same scratch — callers must fully consume it
+// first (editScriptOf does).
+func lisMembers(s *scratch, seq []int32) []bool {
 	n := len(seq)
-	member := make([]bool, n)
+	member := boolbuf(&s.member, n)
 	if n == 0 {
 		return member
 	}
 	// tails[k] = index into seq of the smallest tail of an increasing
 	// subsequence of length k+1.
-	tails := make([]int32, 0, n)
-	prev := make([]int32, n)
+	tails := i32buf(&s.tails, n)[:0] // appends stay within capacity n
+	prev := i32buf(&s.prev, n)
 	for i := 0; i < n; i++ {
 		v := seq[i]
 		// Binary search for the first tail with value >= v.
@@ -75,15 +78,18 @@ type editScript struct {
 	sumForward, sumBackward int64
 }
 
-// editScriptOf derives the edit script from a matching.
-func editScriptOf(m *matching) *editScript {
-	es := &editScript{}
+// editScriptOf derives the edit script from a matching. The returned
+// editScript's Moves slice is backed by scratch memory: callers that
+// retain it past the scratch release must copy it (Compare does for
+// KeepDeltas).
+func editScriptOf(s *scratch, m *matching) *editScript {
+	es := &editScript{Moves: s.moves[:0]}
 	n := len(m.rankA)
 	if n == 0 {
 		return es
 	}
 	// Forward: B order, values are A-ranks.
-	memberF := lisMembers(m.rankA)
+	memberF := lisMembers(s, m.rankA)
 	for i, isLCS := range memberF {
 		if isLCS {
 			es.LCSLen++
@@ -97,12 +103,13 @@ func editScriptOf(m *matching) *editScript {
 			es.sumForward += d
 		}
 	}
+	s.moves = es.Moves[:0] // retain grown capacity
 	// Backward: A order, values are B-ranks (the inverse permutation).
-	inv := make([]int32, n)
+	inv := i32buf(&s.inv, n)
 	for i, ra := range m.rankA {
 		inv[ra] = int32(i)
 	}
-	for j, isLCS := range lisMembers(inv) {
+	for j, isLCS := range lisMembers(s, inv) {
 		if isLCS {
 			continue
 		}

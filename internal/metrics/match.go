@@ -21,16 +21,31 @@ type Key struct {
 	Occ uint32
 }
 
-// keysOf assigns each packet its identity key in arrival order.
+// keysOf assigns each packet its identity key in arrival order,
+// allocating fresh storage (tests and one-shot callers).
 func keysOf(t *trace.Trace) []Key {
+	s := getScratch()
+	defer putScratch(s)
 	keys := make([]Key, t.Len())
-	seen := make(map[packet.Tag]uint32, t.Len())
+	fillKeys(keys, s.tagMap(t.Len()), t)
+	return keys
+}
+
+// keysInto fills dst (reusing its capacity) with each packet's identity
+// key in arrival order, numbering duplicate tags by occurrence using
+// the scratch arena's cleared map.
+func keysInto(s *scratch, dst *[]Key, t *trace.Trace) []Key {
+	keys := keybuf(dst, t.Len())
+	fillKeys(keys, s.tagMap(t.Len()), t)
+	return keys
+}
+
+func fillKeys(keys []Key, seen map[packet.Tag]uint32, t *trace.Trace) {
 	for i, p := range t.Packets {
 		occ := seen[p.Tag]
 		seen[p.Tag] = occ + 1
 		keys[i] = Key{Tag: p.Tag, Occ: occ}
 	}
-	return keys
 }
 
 // matching pairs up the common packets of two trials.
@@ -48,34 +63,40 @@ type matching struct {
 	onlyB      int     // packets present only in B
 }
 
-func match(a, b *trace.Trace) *matching {
-	keysA := keysOf(a)
-	keysB := keysOf(b)
-	inA := make(map[Key]int32, len(keysA))
+// matchInto computes the matching using s's reusable buffers. The
+// returned *matching is backed by scratch memory and is valid only
+// until s is released.
+func matchInto(s *scratch, a, b *trace.Trace) *matching {
+	keysA := keysInto(s, &s.keysA, a)
+	keysB := keysInto(s, &s.keysB, b)
+	inA := s.keyMap(len(keysA))
 	for i, k := range keysA {
 		inA[k] = int32(i)
 	}
 
-	m := &matching{}
-	common := make(map[Key]struct{}, len(keysB))
+	m := &s.m
+	*m = matching{posA: s.posA[:0], posB: s.posB[:0]}
 	for i, k := range keysB {
 		if pa, ok := inA[k]; ok {
 			m.posA = append(m.posA, pa)
 			m.posB = append(m.posB, int32(i))
-			common[k] = struct{}{}
 		} else {
 			m.onlyB++
 		}
 	}
-	m.onlyA = len(keysA) - len(common)
+	// Keys are unique within a trial (tag + occurrence), so every
+	// matched pair consumes a distinct key of A: |common keys| is
+	// exactly the number of matches — no dedup map needed.
+	m.onlyA = len(keysA) - len(m.posA)
+	s.posA, s.posB = m.posA, m.posB // retain grown capacity
 
 	// Common ranks in A: sort order of posA. Compute by counting, in A
 	// order, how many common packets precede each position.
-	isCommon := make([]bool, len(keysA))
+	isCommon := boolbuf(&s.isCommon, len(keysA))
 	for _, pa := range m.posA {
 		isCommon[pa] = true
 	}
-	rankAt := make([]int32, len(keysA))
+	rankAt := i32buf(&s.rankAt, len(keysA))
 	var r int32
 	for i := range keysA {
 		if isCommon[i] {
@@ -83,9 +104,26 @@ func match(a, b *trace.Trace) *matching {
 			r++
 		}
 	}
-	m.rankA = make([]int32, len(m.posA))
+	m.rankA = i32buf(&s.rankA, len(m.posA))
 	for i, pa := range m.posA {
 		m.rankA[i] = rankAt[pa]
+	}
+	return m
+}
+
+// match pairs two trials with freshly allocated storage — the
+// convenience entry point for callers that hold on to the matching
+// (ReorderBySpacing, tests). The hot path uses matchInto.
+func match(a, b *trace.Trace) *matching {
+	s := getScratch()
+	defer putScratch(s)
+	sm := matchInto(s, a, b)
+	m := &matching{
+		posA:  append([]int32(nil), sm.posA...),
+		posB:  append([]int32(nil), sm.posB...),
+		rankA: append([]int32(nil), sm.rankA...),
+		onlyA: sm.onlyA,
+		onlyB: sm.onlyB,
 	}
 	return m
 }

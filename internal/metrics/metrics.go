@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -60,6 +61,12 @@ type Options struct {
 	// so results are bit-identical to the serial computation for
 	// million-packet traces.
 	Parallelism int
+	// Pool, when non-nil, fans CompareWindowed's independent windows
+	// out across the trial scheduler. Window results land in
+	// index-addressed slots, so they are bit-identical to the
+	// sequential pass (asserted by TestCompareWindowedParallel under
+	// -race). Compare itself ignores it.
+	Pool *parallel.Pool
 }
 
 // Compare computes all metrics between trials A and B (Equations 1–5).
@@ -73,7 +80,12 @@ func Compare(a, b *trace.Trace, opts Options) (*Result, error) {
 	if err := b.Validate(); err != nil {
 		return nil, fmt.Errorf("metrics: trial B: %w", err)
 	}
-	m := match(a, b)
+	// All working memory — key arrays, occurrence and match maps, LIS
+	// and edit-script buffers — comes from a pooled scratch arena, so a
+	// steady-state Compare allocates only what escapes into the Result.
+	s := getScratch()
+	defer putScratch(s)
+	m := matchInto(s, a, b)
 	r := &Result{
 		Common: m.commonCount(),
 		OnlyA:  m.onlyA,
@@ -87,10 +99,11 @@ func Compare(a, b *trace.Trace, opts Options) (*Result, error) {
 
 	// O (Equation 2).
 	if r.Common > 0 {
-		es := editScriptOf(m)
+		es := editScriptOf(s, m)
 		r.MovedPackets = len(es.Moves)
 		if opts.KeepDeltas {
-			r.MoveDistances = es.Moves
+			// es.Moves is scratch-backed; copy what outlives the call.
+			r.MoveDistances = append([]int64(nil), es.Moves...)
 		}
 		if den := orderingDenominator(r.Common); den > 0 {
 			r.O = es.symmetricAbsMove() / float64(den)

@@ -349,6 +349,8 @@ func refLCSLen(seq []int32) int {
 
 func TestLISMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(34))
+	sc := getScratch()
+	defer putScratch(sc)
 	for trial := 0; trial < 200; trial++ {
 		n := rng.Intn(60)
 		perm := rng.Perm(n)
@@ -356,7 +358,7 @@ func TestLISMatchesReference(t *testing.T) {
 		for i, v := range perm {
 			seq[i] = int32(v)
 		}
-		member := lisMembers(seq)
+		member := lisMembers(sc, seq)
 		got := 0
 		last := int32(-1)
 		for i, m := range member {
@@ -376,10 +378,12 @@ func TestLISMatchesReference(t *testing.T) {
 }
 
 func TestLISEmptyAndSingle(t *testing.T) {
-	if m := lisMembers(nil); len(m) != 0 {
+	sc := getScratch()
+	defer putScratch(sc)
+	if m := lisMembers(sc, nil); len(m) != 0 {
 		t.Fatal("empty LIS mask should be empty")
 	}
-	m := lisMembers([]int32{5})
+	m := lisMembers(sc, []int32{5})
 	if !m[0] {
 		t.Fatal("single element must be on the LIS")
 	}
@@ -467,11 +471,13 @@ func TestMyersMatchesLISOnPermutations(t *testing.T) {
 			seq[i] = int32(v)
 		}
 		lisLen := 0
-		for _, m := range lisMembers(seq) {
+		sc := getScratch()
+		for _, m := range lisMembers(sc, seq) {
 			if m {
 				lisLen++
 			}
 		}
+		putScratch(sc)
 		if got := myersLCSLen(identity(n), seq); got != lisLen {
 			t.Fatalf("trial %d: myers %d != lis %d for %v", trial, got, lisLen, seq)
 		}

@@ -2,7 +2,7 @@ package metrics
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/sim"
 )
@@ -80,9 +80,12 @@ func (s *Sums) Assemble() *Result {
 
 	if r.Common > 0 {
 		// O (Equation 2): rebuild the common-rank permutation from the
-		// window positions and reuse the batch edit-script machinery.
-		rankA := commonRanks(s.PosA, s.PosB)
-		es := editScriptOf(&matching{rankA: rankA})
+		// window positions and reuse the batch edit-script machinery
+		// (pooled scratch arena, same as Compare).
+		sc := getScratch()
+		defer putScratch(sc)
+		rankA := commonRanksInto(sc, s.PosA, s.PosB)
+		es := editScriptOf(sc, &matching{rankA: rankA})
 		r.MovedPackets = len(es.Moves)
 		if den := orderingDenominator(r.Common); den > 0 {
 			r.O = es.symmetricAbsMove() / float64(den)
@@ -111,36 +114,43 @@ func (s *Sums) OrderingParts() (num float64, den int64) {
 	if s.Common == 0 {
 		return 0, 0
 	}
-	rankA := commonRanks(s.PosA, s.PosB)
-	es := editScriptOf(&matching{rankA: rankA})
+	sc := getScratch()
+	defer putScratch(sc)
+	rankA := commonRanksInto(sc, s.PosA, s.PosB)
+	es := editScriptOf(sc, &matching{rankA: rankA})
 	return es.symmetricAbsMove(), orderingDenominator(s.Common)
 }
 
-// commonRanks reproduces match()'s rankA: order the common packets by
-// their position in B, then rank each one's A-position among all common
-// A-positions. posA/posB are consumed in place (sorted).
-func commonRanks(posA, posB []int32) []int32 {
+// commonRanksInto reproduces match()'s rankA: order the common packets
+// by their position in B, then rank each one's A-position among all
+// common A-positions. Unlike the old in-place pair sort, it works on
+// index permutations from the scratch arena and leaves posA/posB
+// untouched (so the stream engine can recycle those buffers). Both
+// position sets hold distinct values, making every sort order unique
+// and the result independent of sort stability — bit-identical to the
+// previous implementation.
+func commonRanksInto(sc *scratch, posA, posB []int32) []int32 {
 	n := len(posA)
-	// Sort pairs by posB (B order).
-	sort.Sort(&pairsByB{a: posA, b: posB})
-	// rankA[i] = rank of posA[i] among the sorted posA values.
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
+	// byA: indices sorted by position in A → rankOfA[i] is the rank of
+	// posA[i] among all common A-positions.
+	byA := i32buf(&sc.byA, n)
+	for i := range byA {
+		byA[i] = int32(i)
 	}
-	sort.Slice(idx, func(x, y int) bool { return posA[idx[x]] < posA[idx[y]] })
-	rankA := make([]int32, n)
-	for r, i := range idx {
-		rankA[i] = int32(r)
+	slices.SortFunc(byA, func(x, y int32) int { return int(posA[x]) - int(posA[y]) })
+	rankOfA := i32buf(&sc.rankOfA, n)
+	for r, i := range byA {
+		rankOfA[i] = int32(r)
 	}
-	return rankA
-}
-
-type pairsByB struct{ a, b []int32 }
-
-func (p *pairsByB) Len() int           { return len(p.a) }
-func (p *pairsByB) Less(i, j int) bool { return p.b[i] < p.b[j] }
-func (p *pairsByB) Swap(i, j int) {
-	p.a[i], p.a[j] = p.a[j], p.a[i]
-	p.b[i], p.b[j] = p.b[j], p.b[i]
+	// byB: B arrival order of the common packets.
+	byB := i32buf(&sc.byB, n)
+	for i := range byB {
+		byB[i] = int32(i)
+	}
+	slices.SortFunc(byB, func(x, y int32) int { return int(posB[x]) - int(posB[y]) })
+	out := i32buf(&sc.rankOut, n)
+	for i, j := range byB {
+		out[i] = rankOfA[j]
+	}
+	return out
 }

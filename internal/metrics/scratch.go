@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+)
+
+// This file holds the pooled working memory of the comparison hot path.
+// A single Compare over an n-packet trace pair needs two key arrays, two
+// occurrence maps' worth of hashing, the match maps, the LIS buffers and
+// the edit-script buffers — rebuilt from cold on every call, that was
+// ~2100 allocations per 200k-packet comparison. The evaluation harness
+// calls Compare once per trial pair per environment (and CompareWindowed
+// once per window), so all of that memory is recycled through a
+// sync.Pool of scratch arenas: steady-state comparisons allocate only
+// what escapes into the Result.
+//
+// Safety rules, enforced by construction:
+//
+//   - A scratch is owned by exactly one Compare/Assemble/OrderingParts
+//     call, acquired on entry and released on exit. sync.Pool makes that
+//     safe under the parallel scheduler (one arena per in-flight call).
+//   - Nothing backed by scratch memory may escape into a Result: deltas
+//     and move distances that outlive the call are copied out.
+
+type scratch struct {
+	keysA, keysB []Key
+
+	// occurrence numbering (keysInto) — reused for both trials.
+	seen map[packet.Tag]uint32
+	// key → position in A (matchInto).
+	inA map[Key]int32
+
+	// matching backing store.
+	m        matching
+	posA     []int32
+	posB     []int32
+	rankA    []int32
+	rankAt   []int32
+	isCommon []bool
+
+	// LIS buffers (lisMembers, editScriptOf).
+	member []bool
+	tails  []int32
+	prev   []int32
+	inv    []int32
+	moves  []int64
+
+	// common-rank reconstruction (commonRanksInto).
+	byA     []int32
+	byB     []int32
+	rankOfA []int32
+	rankOut []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// i32buf returns a length-n slice reusing buf's capacity.
+func i32buf(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// boolbuf returns a length-n zeroed slice reusing buf's capacity.
+func boolbuf(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	} else {
+		*buf = (*buf)[:n]
+		for i := range *buf {
+			(*buf)[i] = false
+		}
+	}
+	return *buf
+}
+
+// keybuf returns a length-n slice reusing buf's capacity.
+func keybuf(buf *[]Key, n int) []Key {
+	if cap(*buf) < n {
+		*buf = make([]Key, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// tagMap returns the cleared occurrence map.
+func (s *scratch) tagMap(sizeHint int) map[packet.Tag]uint32 {
+	if s.seen == nil {
+		s.seen = make(map[packet.Tag]uint32, sizeHint)
+	} else {
+		clear(s.seen)
+	}
+	return s.seen
+}
+
+// keyMap returns the cleared key→position map.
+func (s *scratch) keyMap(sizeHint int) map[Key]int32 {
+	if s.inA == nil {
+		s.inA = make(map[Key]int32, sizeHint)
+	} else {
+		clear(s.inA)
+	}
+	return s.inA
+}

@@ -51,38 +51,79 @@ func CompareWindowed(a, b *trace.Trace, window sim.Duration, opts Options) ([]Wi
 	if bn.Span() > span {
 		span = bn.Span()
 	}
-	var out []WindowResult
+	// Pass 1: window index bounds — a cheap sequential scan over both
+	// timelines. Windows where both trials are empty are skipped.
+	type winBounds struct {
+		start          sim.Time
+		a0, a1, b0, b1 int
+	}
+	var wins []winBounds
 	ai, bi := 0, 0
 	for start := sim.Time(0); start <= span; start += window {
 		end := start + window
-		subA, na := sliceWindow(an, ai, end)
-		subB, nb := sliceWindow(bn, bi, end)
-		ai, bi = na, nb
-		if subA.Len() == 0 && subB.Len() == 0 {
-			continue
+		na := windowEnd(an, ai, end)
+		nb := windowEnd(bn, bi, end)
+		if na > ai || nb > bi {
+			wins = append(wins, winBounds{start: start, a0: ai, a1: na, b0: bi, b1: nb})
 		}
+		ai, bi = na, nb
+	}
+
+	if len(wins) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: score each window. Every window is an independent Compare
+	// over shared backing arrays, so they fan out across the scheduler
+	// into index-addressed slots; the sequential path reuses two
+	// sub-trace headers across all windows (sliceWindow is copy-free:
+	// no packet or timestamp data is ever duplicated).
+	out := make([]WindowResult, len(wins))
+	score := func(i int, subA, subB *trace.Trace) error {
+		w := wins[i]
+		sliceWindow(subA, an, w.a0, w.a1)
+		sliceWindow(subB, bn, w.b0, w.b1)
 		r, err := Compare(subA, subB, opts)
 		if err != nil {
-			return nil, fmt.Errorf("metrics: window [%v,%v): %w", start, end, err)
+			return fmt.Errorf("metrics: window [%v,%v): %w", w.start, w.start+window, err)
 		}
-		out = append(out, WindowResult{Start: start, End: end, Result: r})
+		out[i] = WindowResult{Start: w.start, End: w.start + window, Result: r}
+		return nil
+	}
+	if opts.Pool.Workers() > 1 && len(wins) > 1 {
+		if err := opts.Pool.Do(len(wins), func(i int) error {
+			var subA, subB trace.Trace
+			return score(i, &subA, &subB)
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		var subA, subB trace.Trace
+		for i := range wins {
+			if err := score(i, &subA, &subB); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return out, nil
 }
 
-// sliceWindow returns the packets of tr from index from up to (not
-// including) the first packet at or after end, plus the next index.
-// The sub-trace shares the parent's backing arrays.
-func sliceWindow(tr *trace.Trace, from int, end sim.Time) (*trace.Trace, int) {
+// windowEnd returns the index of the first packet of tr at or after
+// end, starting the scan at from.
+func windowEnd(tr *trace.Trace, from int, end sim.Time) int {
 	i := from
 	for i < tr.Len() && tr.Times[i] < end {
 		i++
 	}
-	return &trace.Trace{
-		Name:    tr.Name,
-		Packets: tr.Packets[from:i],
-		Times:   tr.Times[from:i],
-	}, i
+	return i
+}
+
+// sliceWindow points dst at the [from,to) packets of tr without copying
+// packet or timestamp data; dst shares the parent's backing arrays.
+func sliceWindow(dst *trace.Trace, tr *trace.Trace, from, to int) {
+	dst.Name = tr.Name
+	dst.Packets = tr.Packets[from:to]
+	dst.Times = tr.Times[from:to]
 }
 
 // WorstWindow returns the window with the lowest κ (the episode to go

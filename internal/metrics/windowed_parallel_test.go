@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// TestCompareWindowedParallel is the differential test Options.Pool
+// references: fanning windows across the trial scheduler must yield the
+// exact WindowResult sequence of the sequential pass — same float bits,
+// same retained deltas — because every window lands in its own
+// index-addressed slot. Run under -race via verify.sh.
+func TestCompareWindowedParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randomTrial(rng, "A", 6000, true, 0.01)
+	b := randomTrial(rng, "B", 6000, true, 0.02)
+	window := 64 * sim.Microsecond
+
+	for _, keep := range []bool{false, true} {
+		seq, err := CompareWindowed(a, b, window, Options{KeepDeltas: keep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := CompareWindowed(a, b, window, Options{KeepDeltas: keep, Pool: parallel.New(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("keep=%v: %d windows sequential, %d parallel", keep, len(seq), len(par))
+		}
+		for i := range seq {
+			s, p := seq[i], par[i]
+			if s.Start != p.Start || s.End != p.End {
+				t.Fatalf("keep=%v window %d: bounds differ: %v vs %v", keep, i, s, p)
+			}
+			assertBitEqual(t, "U", i, s.Result.U, p.Result.U)
+			assertBitEqual(t, "O", i, s.Result.O, p.Result.O)
+			assertBitEqual(t, "L", i, s.Result.L, p.Result.L)
+			assertBitEqual(t, "I", i, s.Result.I, p.Result.I)
+			assertBitEqual(t, "Kappa", i, s.Result.Kappa, p.Result.Kappa)
+			assertBitEqual(t, "PctIATWithin10", i, s.Result.PctIATWithin10, p.Result.PctIATWithin10)
+			if s.Result.Common != p.Result.Common || s.Result.OnlyA != p.Result.OnlyA ||
+				s.Result.OnlyB != p.Result.OnlyB || s.Result.MovedPackets != p.Result.MovedPackets {
+				t.Fatalf("keep=%v window %d: counts differ: %+v vs %+v", keep, i, s.Result, p.Result)
+			}
+			if keep {
+				if !reflect.DeepEqual(s.Result.IATDeltas, p.Result.IATDeltas) ||
+					!reflect.DeepEqual(s.Result.LatencyDeltas, p.Result.LatencyDeltas) ||
+					!reflect.DeepEqual(s.Result.MoveDistances, p.Result.MoveDistances) {
+					t.Fatalf("window %d: retained deltas differ", i)
+				}
+			}
+		}
+	}
+}
+
+func assertBitEqual(t *testing.T, what string, win int, a, b float64) {
+	t.Helper()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("window %d: %s differs: %v (%#x) vs %v (%#x)",
+			win, what, a, math.Float64bits(a), b, math.Float64bits(b))
+	}
+}
+
+// TestCompareWindowedParallelErrorPropagates checks the pool path
+// surfaces a window's error the way the sequential loop does.
+func TestCompareWindowedParallelErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomTrial(rng, "A", 100, false, 0)
+	b := randomTrial(rng, "B", 100, false, 0)
+	_, err := CompareWindowed(a, b, -1, Options{Pool: parallel.New(4)})
+	if err == nil {
+		t.Fatal("negative window accepted")
+	}
+}

@@ -227,13 +227,13 @@ func (p *Port) transmit(pkt *packet.Packet, ready sim.Time) {
 		ob.queuePeak.MaxInt(int64(p.queued))
 	}
 	out, prop := p.out, p.prop
-	p.sw.eng.Schedule(end, func() {
+	p.sw.eng.Post(end, func() {
 		p.queued -= wb
 		if ob != nil && ob.tr != nil {
 			ob.tr.End(pkt.Tag, obs.StageSwitch, end)
 		}
 		if out != nil {
-			p.sw.eng.Schedule(p.sw.eng.Now()+prop, func() {
+			p.sw.eng.Post(p.sw.eng.Now()+prop, func() {
 				out.Receive(pkt, end+prop)
 			})
 		}

@@ -273,7 +273,7 @@ func (n *NIC) kick() {
 	if n.ob != nil {
 		n.ob.pullLat.Observe(int64(at - now))
 	}
-	n.eng.Schedule(at, n.drain)
+	n.eng.Post(at, n.drain)
 }
 
 // drain pulls the next unit of work — a whole burst, or a single packet
@@ -353,7 +353,7 @@ func (n *NIC) drain() {
 		}
 		peer, prop := q.peer, q.prop
 		pkt := p
-		n.eng.Schedule(end+prop, func() {
+		n.eng.Post(end+prop, func() {
 			peer.Receive(pkt, end+prop)
 		})
 	}
@@ -368,7 +368,7 @@ func (n *NIC) drain() {
 	if at < n.eng.Now() {
 		at = n.eng.Now()
 	}
-	n.eng.Schedule(at, n.drain)
+	n.eng.Post(at, n.drain)
 }
 
 // pickDRR selects the next queue by byte-fair deficit round robin and

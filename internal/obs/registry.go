@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -330,7 +330,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
 
 	for _, f := range fams {
 		if f.help != "" {
@@ -404,7 +404,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	fams := make([]*family, len(r.fams))
 	copy(fams, r.fams)
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
 
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {

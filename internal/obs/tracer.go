@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/packet"
@@ -319,7 +319,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	for name := range tids {
 		tracks = append(tracks, name)
 	}
-	sort.Slice(tracks, func(i, j int) bool { return tids[tracks[i]] < tids[tracks[j]] })
+	slices.SortFunc(tracks, func(a, b string) int { return tids[a] - tids[b] })
 	for _, name := range tracks {
 		if err := appendEv(map[string]interface{}{
 			"name": "thread_name", "ph": "M", "pid": tracePid, "tid": tids[name],

@@ -1,0 +1,206 @@
+// Package parallel is the deterministic trial scheduler behind the
+// evaluation stack: a fixed-width worker pool that fans independent,
+// index-addressed jobs (environments, sweep points, B..E-vs-A
+// comparisons, windows) out across goroutines while guaranteeing that
+// the collected results are bit-identical to a sequential loop.
+//
+// Determinism comes from the job contract, not from scheduling: each job
+// owns its index and writes only to its own slot (its own sim.Engine,
+// its own seed, its own result cell), so the dynamic work-stealing order
+// in which workers claim indices is invisible in the output. The paper's
+// evaluation protocol (§7: eight environments × five trials, plus rate
+// sweeps) is exactly this shape — independent seeded runs — which is
+// what makes "as fast as the hardware allows" compatible with the
+// bit-for-bit reproducibility every differential test in this
+// repository asserts.
+//
+// Error semantics match a sequential loop as closely as concurrency
+// allows: on failure, Do returns the error of the lowest-index failed
+// job (the one a sequential loop would have hit first) and stops
+// claiming new work; jobs already in flight run to completion.
+//
+// A nil *Pool (and a pool with one worker) degrades to an inline
+// sequential loop on the caller's goroutine, so call sites can thread
+// one optional *Pool through unconditionally.
+package parallel
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Pool is a fixed-width deterministic work scheduler. The zero value is
+// not useful; use New. Pools keep no background goroutines: workers are
+// spawned per Do call and drained before it returns, so there is
+// nothing to shut down and nothing to leak.
+type Pool struct {
+	workers int
+
+	// Cumulative scheduling statistics across every Do call.
+	tasks    atomic.Int64 // jobs completed
+	busy     atomic.Int64 // summed per-job host nanoseconds
+	inFlight atomic.Int64 // jobs currently executing
+	queued   atomic.Int64 // jobs admitted but not yet claimed
+
+	// Telemetry (nil-safe; set by WithObs).
+	gInFlight *obs.Gauge
+	gQueue    *obs.Gauge
+	cTasks    *obs.Counter
+	gBusy     []*obs.Gauge // per-worker busy seconds
+	busyNanos []atomic.Int64
+}
+
+// New returns a pool running up to workers jobs concurrently. Values
+// below 1 are clamped to 1 (sequential).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers, busyNanos: make([]atomic.Int64, workers)}
+}
+
+// Default returns a pool sized to the host (runtime.NumCPU).
+func Default() *Pool { return New(runtime.NumCPU()) }
+
+// Workers returns the configured width; 1 for a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// WithObs registers the scheduler's gauges on reg and returns p for
+// chaining: in-flight jobs, queue depth, total jobs, and per-worker
+// busy time. All updates use host time and atomics only — nothing
+// touches a sim.Engine, so instrumented runs stay bit-identical.
+func (p *Pool) WithObs(reg *obs.Registry) *Pool {
+	if p == nil || reg == nil {
+		return p
+	}
+	p.gInFlight = reg.Gauge("parallel_inflight_trials", "jobs currently executing on the trial scheduler")
+	p.gQueue = reg.Gauge("parallel_queue_depth", "jobs admitted to the trial scheduler but not yet claimed")
+	p.cTasks = reg.Counter("parallel_tasks_total", "jobs completed by the trial scheduler")
+	p.gBusy = make([]*obs.Gauge, p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.gBusy[w] = reg.Gauge("parallel_worker_busy_seconds",
+			"cumulative host time each scheduler worker spent executing jobs",
+			obs.L("worker", strconv.Itoa(w)))
+	}
+	return p
+}
+
+// Stats is a snapshot of the pool's cumulative scheduling counters.
+type Stats struct {
+	// Tasks is the number of jobs completed across all Do calls.
+	Tasks int64
+	// Busy is the summed host time spent inside jobs — an estimate of
+	// the wall-clock a sequential loop would have needed, which is what
+	// the end-of-run speedup line divides by.
+	Busy time.Duration
+}
+
+// Stats returns the cumulative counters (zero for a nil pool).
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{Tasks: p.tasks.Load(), Busy: time.Duration(p.busy.Load())}
+}
+
+// Do runs jobs fn(0) … fn(n-1) across the pool and returns after every
+// started job has finished. Jobs are claimed dynamically (work
+// stealing): an idle worker takes the lowest unclaimed index, so load
+// imbalance between jobs does not idle the pool.
+//
+// Contract for bit-identical results: fn(i) must write only to
+// index-i-addressed state. On error, the remaining unclaimed jobs are
+// abandoned and Do returns the lowest-index error once in-flight jobs
+// drain; the caller must treat all output slots as invalid.
+//
+// A nil pool or a single-worker pool runs the jobs inline, in order, on
+// the calling goroutine — the exact sequential loop the differential
+// tests compare against.
+func (p *Pool) Do(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := p.run(0, i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	p.queued.Add(int64(n))
+	p.gQueue.SetInt(p.queued.Load())
+	for wid := 0; wid < w; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p.queued.Add(-1)
+				p.gQueue.SetInt(p.queued.Load())
+				if err := p.run(wid, i, fn); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	// Remove abandoned jobs from the queue-depth accounting.
+	if claimed := int(next.Load()); claimed < n {
+		p.queued.Add(-int64(n - claimed))
+		p.gQueue.SetInt(p.queued.Load())
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes one job with telemetry.
+func (p *Pool) run(wid, i int, fn func(i int) error) error {
+	if p == nil {
+		return fn(i)
+	}
+	p.gInFlight.SetInt(p.inFlight.Add(1))
+	start := time.Now()
+	err := fn(i)
+	d := time.Since(start).Nanoseconds()
+	p.gInFlight.SetInt(p.inFlight.Add(-1))
+	p.busy.Add(d)
+	p.tasks.Add(1)
+	p.cTasks.Inc()
+	if wid < len(p.busyNanos) {
+		total := p.busyNanos[wid].Add(d)
+		if wid < len(p.gBusy) {
+			p.gBusy[wid].Set(float64(total) / 1e9)
+		}
+	}
+	return err
+}

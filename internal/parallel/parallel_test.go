@@ -1,0 +1,180 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		if err := p.Do(n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+		if st := p.Stats(); st.Tasks != n {
+			t.Fatalf("workers=%d: stats report %d tasks", workers, st.Tasks)
+		}
+	}
+}
+
+func TestDoNilPoolRunsSequentially(t *testing.T) {
+	var p *Pool
+	var order []int
+	if err := p.Do(5, func(i int) error {
+		order = append(order, i) // single goroutine: no race
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	// Several jobs fail; the reported error must be the one a
+	// sequential loop would have hit first, regardless of scheduling.
+	for _, workers := range []int{1, 3, 8} {
+		p := New(workers)
+		err := p.Do(64, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, …
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: got %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestDoCancelsRemainingJobsOnError(t *testing.T) {
+	// After a failure, unclaimed jobs must be abandoned: with 2 workers
+	// and an early error, nowhere near all 10k jobs may run.
+	p := New(2)
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := p.Do(10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got > 100 {
+		t.Fatalf("%d jobs ran after early failure; cancellation is broken", got)
+	}
+}
+
+func TestDoShutdownLeaksNoGoroutines(t *testing.T) {
+	// The pool keeps no background workers: after Do returns — even an
+	// erroring Do — the goroutine count returns to its baseline.
+	before := runtime.NumGoroutine()
+	p := New(8)
+	for round := 0; round < 5; round++ {
+		_ = p.Do(100, func(i int) error {
+			if i == 50 {
+				return errors.New("mid-run failure")
+			}
+			return nil
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestDoZeroAndNegativeCounts(t *testing.T) {
+	p := New(4)
+	if err := p.Do(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Do(-3, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewClampsWorkers(t *testing.T) {
+	if New(0).Workers() != 1 || New(-5).Workers() != 1 {
+		t.Fatal("workers not clamped to 1")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("default pool has no workers")
+	}
+}
+
+func TestWithObsPublishesSchedulerTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(4).WithObs(reg)
+	if err := p.Do(200, func(i int) error {
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var tasks float64
+	for _, fam := range reg.Snapshot() {
+		for _, s := range fam.Series {
+			if fam.Name == "parallel_tasks_total" && s.Value != nil {
+				tasks += *s.Value
+			}
+		}
+	}
+	if tasks != 200 {
+		t.Fatalf("parallel_tasks_total = %v, want 200", tasks)
+	}
+	if v, ok := reg.GaugeValue("parallel_queue_depth"); !ok || v != 0 {
+		t.Fatalf("queue depth after drain = %v (ok=%v), want 0", v, ok)
+	}
+	if v, ok := reg.GaugeValue("parallel_inflight_trials"); !ok || v != 0 {
+		t.Fatalf("in-flight after drain = %v (ok=%v), want 0", v, ok)
+	}
+	if st := p.Stats(); st.Busy <= 0 {
+		t.Fatalf("busy time not accumulated: %+v", st)
+	}
+}
+
+func TestStressManySmallJobsUnderRace(t *testing.T) {
+	// Exercised under -race by verify.sh: hammer the claim counter.
+	p := New(8)
+	var sum atomic.Int64
+	const n = 50_000
+	if err := p.Do(n, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+		t.Fatalf("sum %d != %d", sum.Load(), want)
+	}
+}

@@ -36,13 +36,17 @@ func (t Time) String() string { return fmt.Sprintf("%dns", int64(t)) }
 // Seconds converts the time to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 
-// Event is a scheduled callback. Cancelled events stay in the heap but are
-// skipped when popped; this keeps cancellation O(1).
+// Event is a scheduled callback. Cancelled events are skipped when
+// popped — cancellation itself is O(1) — and when cancellations pile up
+// (mass-cancel workloads like pausing a long replay) the engine compacts
+// them out of the heap so they cannot hold memory for the rest of a run.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
+	eng       *Engine
 	cancelled bool
+	pooled    bool
 }
 
 // At returns the time the event is scheduled for.
@@ -50,7 +54,15 @@ func (e *Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Safe to call multiple times and
 // after the event has fired (in which case it is a no-op).
-func (e *Event) Cancel() { e.cancelled = true }
+func (e *Event) Cancel() {
+	if e.cancelled {
+		return
+	}
+	e.cancelled = true
+	if e.eng != nil {
+		e.eng.noteCancelled()
+	}
+}
 
 // Cancelled reports whether Cancel has been called.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -77,13 +89,31 @@ func (h *eventHeap) Pop() interface{} {
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; all simulated components run inside event callbacks.
+// (Distinct engines are fully independent, which is what lets the
+// parallel trial scheduler run one engine per worker.)
 type Engine struct {
 	now      Time
 	seq      uint64
 	events   eventHeap
 	seed     int64
 	executed uint64
+
+	// free is the event free list backing Post/PostAfter. Pooled events
+	// are never handed to callers, so recycling one can never confuse a
+	// retained *Event handle.
+	free []*Event
+	// cancelled counts cancelled events still sitting in the heap; when
+	// they dominate, the heap is compacted (see maybeCompact).
+	cancelled int
 }
+
+// freeListCap bounds the event free list so bursty schedules don't pin
+// memory for the rest of a run.
+const freeListCap = 4096
+
+// compactMinHeap is the heap size below which compaction is never
+// worth the re-heapify.
+const compactMinHeap = 64
 
 // NewEngine returns an engine whose random streams derive from seed.
 // The same seed always produces the same simulation.
@@ -100,18 +130,26 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events that have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been popped).
+// Pending returns the number of events still queued. Cancelled events
+// count until they are popped or compacted away; compaction guarantees
+// they never exceed half the queue (above a small threshold).
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule queues fn to run at absolute time at. Scheduling in the past
-// (before Now) panics: it would violate causality and always indicates a
+// Schedule queues fn to run at absolute time at and returns a handle
+// that can be retained and cancelled. Scheduling in the past (before
+// Now) panics: it would violate causality and always indicates a
 // component bug.
+//
+// Handle-returning events are always freshly allocated — the engine
+// never recycles them, so a handle stays valid (and Cancel stays a
+// no-op after firing) for the life of the simulation. Hot paths that
+// discard the handle should use Post/PostAfter, which draw from the
+// engine's event free list.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
@@ -125,17 +163,63 @@ func (e *Engine) After(d Duration, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// Post queues fn to run at absolute time at, without returning a
+// handle. The backing event comes from the engine's free list and is
+// recycled after it fires, so steady-state fire-and-forget scheduling
+// (NIC drains, generator emissions, switch forwards) does not allocate
+// event structs. Firing order is identical to Schedule: same (time,
+// sequence) key, same panic on scheduling into the past.
+func (e *Engine) Post(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: post at %v before now %v", at, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.fn, ev.cancelled = at, fn, false
+	} else {
+		ev = &Event{at: at, fn: fn, pooled: true}
+	}
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// PostAfter queues fn to run d nanoseconds from now, handle-free (see
+// Post).
+func (e *Engine) PostAfter(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Post(e.now+d, fn)
+}
+
+// recycle returns a pooled event to the free list.
+func (e *Engine) recycle(ev *Event) {
+	if !ev.pooled || len(e.free) >= freeListCap {
+		return
+	}
+	ev.fn = nil // drop the closure reference
+	e.free = append(e.free, ev)
+}
+
 // Step fires the next pending event. It returns false when no runnable
 // events remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancelled {
+			e.cancelled--
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -155,6 +239,8 @@ func (e *Engine) RunUntil(deadline Time) {
 		next := e.events[0]
 		if next.cancelled {
 			heap.Pop(&e.events)
+			e.cancelled--
+			e.recycle(next)
 			continue
 		}
 		if next.at > deadline {
@@ -165,6 +251,43 @@ func (e *Engine) RunUntil(deadline Time) {
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// noteCancelled records one more cancelled event in the heap and
+// compacts when cancellations dominate. Without this, a mass cancel
+// (pausing a replay with hundreds of thousands of armed bursts) would
+// leave the heap holding every dead event — and its packet-burst
+// closure — until simulated time happened to pop it.
+func (e *Engine) noteCancelled() {
+	e.cancelled++
+	e.maybeCompact()
+}
+
+// maybeCompact rebuilds the heap without cancelled events once they
+// outnumber the live ones (and the heap is big enough to care). The
+// rebuild is O(n) and preserves the (time, sequence) firing order —
+// Less is a total order over unique keys, so pop order, and therefore
+// the simulation, is bit-identical with or without compaction.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactMinHeap || e.cancelled*2 <= len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			e.recycle(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	// Zero the tail so dropped events (and their closures) are
+	// collectable.
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.cancelled = 0
+	heap.Init(&e.events)
 }
 
 // RunFor runs the simulation for d nanoseconds of virtual time.

@@ -375,3 +375,150 @@ func TestMixtureEmpty(t *testing.T) {
 		t.Fatal("empty mixture mean should be 0")
 	}
 }
+
+// TestPostMatchesScheduleOrdering asserts Post/PostAfter events interleave
+// with Schedule events exactly as Schedule-only scheduling would: same
+// (time, sequence) key space, one shared sequence counter.
+func TestPostMatchesScheduleOrdering(t *testing.T) {
+	run := func(post bool) []int {
+		e := NewEngine(1)
+		var order []int
+		add := func(id int, at Time) {
+			if post && id%2 == 0 {
+				e.Post(at, func() { order = append(order, id) })
+			} else {
+				e.Schedule(at, func() { order = append(order, id) })
+			}
+		}
+		// Mixed times including ties; ties must fire in schedule order.
+		add(0, 50)
+		add(1, 50)
+		add(2, 10)
+		add(3, 50)
+		add(4, 10)
+		add(5, 0)
+		e.Run()
+		return order
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d: schedule-only %v, mixed %v", i, a, b)
+		}
+	}
+}
+
+// TestPostRecyclesEvents verifies steady-state Post scheduling reuses
+// pooled events instead of allocating a fresh struct per event.
+func TestPostRecyclesEvents(t *testing.T) {
+	e := NewEngine(1)
+	var fired int
+	var emit func()
+	emit = func() {
+		fired++
+		if fired < 10000 {
+			e.PostAfter(1, emit)
+		}
+	}
+	e.PostAfter(0, emit)
+	allocs := testing.AllocsPerRun(1, func() { e.Run() })
+	if fired != 10000 {
+		t.Fatalf("fired = %d, want 10000", fired)
+	}
+	// The whole 10k-event chain should complete with a handful of
+	// allocations (the closure itself), not one event struct per post.
+	if allocs > 50 {
+		t.Fatalf("Run allocated %.0f times for a pooled event chain", allocs)
+	}
+}
+
+// TestMassCancelCompactsHeap is the regression test for cancelled events
+// lingering in the heap: pausing a long replay cancels hundreds of
+// thousands of armed events at once, and before compaction they (and
+// their closures) stayed queued until simulated time popped them.
+func TestMassCancelCompactsHeap(t *testing.T) {
+	e := NewEngine(1)
+	const n = 100000
+	evs := make([]*Event, 0, n)
+	for i := 0; i < n; i++ {
+		evs = append(evs, e.Schedule(Time(i+1)*Millisecond, func() {}))
+	}
+	// One live sentinel far in the future.
+	var sentinel bool
+	e.Schedule(Time(n+1)*Millisecond, func() { sentinel = true })
+	for _, ev := range evs {
+		ev.Cancel()
+	}
+	// Compaction must have evicted the dead events immediately, without
+	// running the simulation forward.
+	if p := e.Pending(); p > n/2 {
+		t.Fatalf("heap still holds %d events after mass cancel (want <= %d)", p, n/2)
+	}
+	e.Run()
+	if !sentinel {
+		t.Fatal("live event lost during compaction")
+	}
+	if e.Now() != Time(n+1)*Millisecond {
+		t.Fatalf("clock at %v, want %v", e.Now(), Time(n+1)*Millisecond)
+	}
+}
+
+// TestCompactionPreservesDeterminism runs the same randomized
+// schedule/cancel workload with compaction exercised and asserts the
+// firing order matches a reference engine where nothing is cancelled
+// except the same subset.
+func TestCompactionPreservesDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type op struct {
+		at     Time
+		cancel bool
+	}
+	ops := make([]op, 5000)
+	for i := range ops {
+		ops[i] = op{at: Time(rng.Intn(1000)), cancel: rng.Intn(3) == 0}
+	}
+	run := func() []int {
+		e := NewEngine(1)
+		var order []int
+		var cancels []*Event
+		for i, o := range ops {
+			id := i
+			ev := e.Schedule(o.at, func() { order = append(order, id) })
+			if o.cancel {
+				cancels = append(cancels, ev)
+			}
+		}
+		for _, ev := range cancels {
+			ev.Cancel() // triggers maybeCompact once cancels dominate
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("length diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverged at %d", i)
+		}
+	}
+}
+
+// TestCancelPooledNever ensures Cancel on a fired-and-recycled pooled
+// event can never happen: Post never exposes handles, so the only
+// cancellable events are Schedule's, which are never recycled.
+func TestScheduleHandleStableAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.Schedule(5, func() {})
+	// Heavy pooled traffic that would recycle ev if Schedule events were
+	// pooled.
+	for i := 0; i < 100; i++ {
+		e.Post(Time(i), func() {})
+	}
+	e.Run()
+	ev.Cancel() // must be a harmless no-op on the original event
+	if ev.At() != 5 {
+		t.Fatalf("handle mutated after fire: at=%v", ev.At())
+	}
+}

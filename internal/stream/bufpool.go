@@ -1,0 +1,35 @@
+package stream
+
+import "sync"
+
+// posBufPool recycles the PosA/PosB position buffers that flow from the
+// shard workers (which fill them match by match) to the merge stage
+// (which folds them into the window aggregate and assembles the score).
+// The pool is what makes the crossing cheap: buffers retired by merge
+// after Assemble come back to the shards for the next window, so
+// steady-state ingest allocates no position storage at all.
+//
+// Recycling is only sound because metrics.Sums.Assemble/OrderingParts no
+// longer mutate PosA/PosB (they sort index permutations in a scratch
+// arena instead) — a returned buffer carries no aliasing hazard.
+var posBufPool = sync.Pool{
+	New: func() any {
+		b := make([]int32, 0, 64)
+		return &b
+	},
+}
+
+// getPosBuf returns an empty position buffer with whatever capacity a
+// previous window grew.
+func getPosBuf() []int32 {
+	return (*posBufPool.Get().(*[]int32))[:0]
+}
+
+// putPosBuf returns a buffer to the pool. Nil (never-pooled) buffers are
+// ignored so callers can hand back Sums fields unconditionally.
+func putPosBuf(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	posBufPool.Put(&b)
+}

@@ -2,7 +2,7 @@ package stream
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -127,6 +127,12 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 			agg.normalize(&running)
 			ob.publishAggregate(&running)
 		}
+
+		// The window is fully scored; its position buffers go back to
+		// the shard workers via the pool.
+		putPosBuf(s.PosA)
+		putPosBuf(s.PosB)
+		s.PosA, s.PosB = nil, nil
 	}
 
 	// sweep finalizes every complete window below the joint flush
@@ -148,7 +154,7 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 				order = append(order, win)
 			}
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		slices.Sort(order)
 		for _, win := range order {
 			wa := pending[win]
 			if !wa.complete() {
@@ -196,6 +202,11 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 				pending[p.win] = wa
 			}
 			wa.sums.Merge(p.sums)
+			// Merge copied the shard's positions into the aggregate;
+			// recycle the shard-side buffers immediately.
+			putPosBuf(p.sums.PosA)
+			putPosBuf(p.sums.PosB)
+			p.sums.PosA, p.sums.PosB = nil, nil
 		}
 	}
 	// Both channels closed: everything is flushed and all metadata has
@@ -204,7 +215,7 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 	for win := range pending {
 		order = append(order, win)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
 	for _, win := range order {
 		finalize(win, pending[win])
 		delete(pending, win)

@@ -1,7 +1,7 @@
 package stream
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -43,6 +43,44 @@ type shardWorker struct {
 	entries     int // live pend entries + retained match pairs
 	peakEntries int
 	peakWindows int
+
+	// free recycles retired winStates (pend map buckets and all); their
+	// position buffers come back separately through posBufPool once the
+	// merge stage is done with them. order is the flush sort scratch.
+	free  []*winState
+	order []int64
+}
+
+// freeWinStates bounds the per-shard winState free list; open windows are
+// already bounded by the backpressure gate, so this is belt and braces.
+const freeWinStates = 64
+
+// newWinState returns a recycled (or fresh) open-window accumulator with
+// pooled position buffers.
+func (w *shardWorker) newWinState() *winState {
+	var ws *winState
+	if n := len(w.free); n > 0 {
+		ws = w.free[n-1]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
+	} else {
+		ws = &winState{pend: make(map[metrics.Key]pendRec)}
+	}
+	ws.sums.PosA = getPosBuf()
+	ws.sums.PosB = getPosBuf()
+	return ws
+}
+
+// recycleWinState clears a flushed window's state for reuse. The sums —
+// including the position buffers, which now belong to the merge stage —
+// are zeroed, not returned to the pool here.
+func (w *shardWorker) recycleWinState(ws *winState) {
+	if len(w.free) >= freeWinStates {
+		return
+	}
+	clear(ws.pend)
+	ws.sums = metrics.Sums{}
+	w.free = append(w.free, ws)
 }
 
 func (w *shardWorker) run() {
@@ -62,7 +100,7 @@ func (w *shardWorker) run() {
 func (w *shardWorker) ingest(r rec) {
 	ws := w.wins[r.win]
 	if ws == nil {
-		ws = &winState{pend: make(map[metrics.Key]pendRec)}
+		ws = w.newWinState()
 		w.wins[r.win] = ws
 		if len(w.wins) > w.peakWindows {
 			w.peakWindows = len(w.wins)
@@ -114,13 +152,14 @@ func (w *shardWorker) flush(upTo int64) {
 		w.out <- partialMsg{shard: w.id, flush: true, upTo: upTo}
 		return
 	}
-	var order []int64
+	order := w.order[:0]
 	for win := range w.wins {
 		if win < upTo {
 			order = append(order, win)
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	slices.Sort(order)
+	w.order = order[:0]
 	for _, win := range order {
 		ws := w.wins[win]
 		for _, p := range ws.pend {
@@ -133,6 +172,7 @@ func (w *shardWorker) flush(upTo int64) {
 		w.entries -= len(ws.pend) + ws.sums.Common
 		s := ws.sums
 		delete(w.wins, win)
+		w.recycleWinState(ws)
 		w.out <- partialMsg{shard: w.id, win: win, sums: &s}
 	}
 	w.out <- partialMsg{shard: w.id, flush: true, upTo: upTo}

@@ -76,7 +76,7 @@ func Start(eng *sim.Engine, q *nic.Queue, cfg Config) *Flow {
 		cwnd:     float64(cfg.InitialCwnd),
 		ssthresh: float64(cfg.MaxCwnd) / 2,
 	}
-	eng.Schedule(cfg.StartAt, f.pump)
+	eng.Post(cfg.StartAt, f.pump)
 	return f
 }
 
@@ -146,14 +146,14 @@ func (f *Flow) sendBatch(n int) {
 	for _, p := range pkts {
 		p := p
 		acked := false
-		f.eng.After(f.cfg.RTT, func() {
+		f.eng.PostAfter(f.cfg.RTT, func() {
 			if p.SentAt != 0 {
 				acked = true
 				f.onAck()
 			}
 		})
 		// RTO at 4x RTT.
-		f.eng.After(4*f.cfg.RTT, func() {
+		f.eng.PostAfter(4*f.cfg.RTT, func() {
 			if !acked {
 				f.onTimeout()
 			}

@@ -5,7 +5,9 @@
 # guard bounding the overhead of enabled telemetry.
 #
 #	./verify.sh          # vet + build + tests under -race
-#	./verify.sh -bench   # also run BenchmarkStreamKappa + obs guard
+#	./verify.sh -bench   # also: BenchmarkStreamKappa + obs guard,
+#	                     # and allocs/op regression guards on
+#	                     # MetricsCompare and StreamKappa
 set -eu
 cd "$(dirname "$0")"
 
@@ -17,6 +19,9 @@ go build ./...
 
 echo "== go test -race ./internal/obs (concurrency gate)"
 go test -race ./internal/obs
+
+echo "== go test -race ./internal/parallel ./internal/experiments (scheduler differential gate)"
+go test -race ./internal/parallel ./internal/experiments
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -38,6 +43,36 @@ if [ "${1:-}" = "-bench" ]; then
 			ovh = (off - on) / off * 100
 			printf "obs-enabled throughput %.0f pkts/s vs %.0f disabled (%.1f%% overhead)\n", on, off, ovh
 			if (ovh > 25) { print "FAIL: enabled-obs overhead exceeds 25%"; exit 1 }
+		}'
+
+	echo "== allocs/op regression guards (hot-path allocation overhaul)"
+	# BenchmarkMetricsCompare: seed tree measured 2128 allocs/op on the
+	# same 200k-packet workload; the guard holds the scratch-arena win at
+	# >=30% below seed (budget 1490; currently ~222).
+	cmp_out=$(go test . -run='^$' -bench='MetricsCompare$' -benchmem -benchtime=3x)
+	printf '%s\n' "$cmp_out"
+	printf '%s\n' "$cmp_out" | awk '
+		/BenchmarkMetricsCompare/ {
+			for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+		}
+		END {
+			if (allocs == "") { print "FAIL: no allocs/op sample for MetricsCompare"; exit 1 }
+			printf "BenchmarkMetricsCompare: %d allocs/op (budget 1490 = 30%% under the 2128 seed)\n", allocs
+			if (allocs + 0 > 1490) { print "FAIL: MetricsCompare allocs/op regressed past budget"; exit 1 }
+		}'
+	# BenchmarkStreamKappa shards=4: position-buffer and winState reuse
+	# landed ~4.5k allocs/op on the 50k-packet pair; budget 9000 catches
+	# a pooling regression while leaving noise headroom.
+	printf '%s\n' "$out" | awk '
+		{
+			for (i = 2; i <= NF; i++) if ($i == "allocs/op") {
+				if ($1 ~ /stream\/shards=4(-[0-9]+)?$/) allocs = $(i-1)
+			}
+		}
+		END {
+			if (allocs == "") { print "FAIL: no allocs/op sample for StreamKappa shards=4"; exit 1 }
+			printf "BenchmarkStreamKappa shards=4: %d allocs/op (budget 9000)\n", allocs
+			if (allocs + 0 > 9000) { print "FAIL: StreamKappa allocs/op regressed past budget"; exit 1 }
 		}'
 fi
 
