@@ -7,11 +7,16 @@
 // Packets are matched by their 16-byte Choir trailer tag; frames
 // without a valid tag (noise, truncated captures) are excluded, exactly
 // like the paper's evaluation pipeline.
+//
+// Output is deterministic: the same pair of captures always renders
+// byte-identical text (golden-tested in main_test.go).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/metrics"
@@ -20,50 +25,72 @@ import (
 	"repro/internal/trace"
 )
 
+// errUsage distinguishes bad invocations (exit 2, Unix convention) from
+// runtime failures (exit 1).
+var errUsage = errors.New("usage: consistency [-hist] <runA.pcap> <runB.pcap>")
+
 func main() {
-	hist := flag.Bool("hist", false, "print IAT/latency delta histograms")
-	within := flag.Int64("within", 10, "report percent of packets with |IAT delta| <= this many ns")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: consistency [-hist] <runA.pcap> <runB.pcap>")
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "consistency: %v\n", err)
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("consistency", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	hist := fs.Bool("hist", false, "print IAT/latency delta histograms")
+	within := fs.Int64("within", 10, "report percent of packets with |IAT delta| <= this many ns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return errUsage
 	}
 
-	load := func(path string) (*trace.Trace, int) {
+	load := func(path string) (*trace.Trace, int, error) {
 		tr, err := pcap.ReadAnyFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "consistency: %s: %v\n", path, err)
-			os.Exit(1)
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
 		}
-		return tr.DataOnly().Normalize(), tr.Len()
+		return tr.DataOnly().Normalize(), tr.Len(), nil
 	}
-	a, totalA := load(flag.Arg(0))
-	b, totalB := load(flag.Arg(1))
-	fmt.Printf("trial A: %s — %d frames, %d tagged data packets, span %.6fs\n",
-		flag.Arg(0), totalA, a.Len(), a.Span().Seconds())
-	fmt.Printf("trial B: %s — %d frames, %d tagged data packets, span %.6fs\n",
-		flag.Arg(1), totalB, b.Len(), b.Span().Seconds())
+	a, totalA, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, totalB, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trial A: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		fs.Arg(0), totalA, a.Len(), a.Span().Seconds())
+	fmt.Fprintf(stdout, "trial B: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		fs.Arg(1), totalB, b.Len(), b.Span().Seconds())
 
 	res, err := metrics.Compare(a, b, metrics.Options{KeepDeltas: true})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "consistency: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
-	fmt.Println()
-	fmt.Printf("U (uniqueness) = %.6g   (%d common, %d only-A, %d only-B)\n", res.U, res.Common, res.OnlyA, res.OnlyB)
-	fmt.Printf("O (ordering)   = %.6g   (%d packets moved, %.1f%% of common)\n", res.O, res.MovedPackets, res.MovedFraction()*100)
-	fmt.Printf("L (latency)    = %.6g\n", res.L)
-	fmt.Printf("I (IAT)        = %.6g   (%.2f%% within ±%dns)\n", res.I, stats.PercentWithin(res.IATDeltas, *within), *within)
-	fmt.Printf("κ              = %.4f\n", res.Kappa)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "U (uniqueness) = %.6g   (%d common, %d only-A, %d only-B)\n", res.U, res.Common, res.OnlyA, res.OnlyB)
+	fmt.Fprintf(stdout, "O (ordering)   = %.6g   (%d packets moved, %.1f%% of common)\n", res.O, res.MovedPackets, res.MovedFraction()*100)
+	fmt.Fprintf(stdout, "L (latency)    = %.6g\n", res.L)
+	fmt.Fprintf(stdout, "I (IAT)        = %.6g   (%.2f%% within ±%dns)\n", res.I, stats.PercentWithin(res.IATDeltas, *within), *within)
+	fmt.Fprintf(stdout, "κ              = %.4f\n", res.Kappa)
 
 	if *hist {
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		hi := stats.NewSymLogHistogram(8)
 		hi.AddAll(res.IATDeltas)
-		fmt.Println(hi.Render("IAT delta (ns)", 46))
+		fmt.Fprintln(stdout, hi.Render("IAT delta (ns)", 46))
 		hl := stats.NewSymLogHistogram(8)
 		hl.AddAll(res.LatencyDeltas)
-		fmt.Println(hl.Render("latency delta (ns)", 46))
+		fmt.Fprintln(stdout, hl.Render("latency delta (ns)", 46))
 	}
+	return nil
 }

@@ -7,11 +7,18 @@
 // Output is text: ASCII histograms for figures, aligned tables for
 // tables, with the §3 metrics alongside. See EXPERIMENTS.md for the
 // recorded paper-vs-measured comparison.
+//
+// Artifact text goes to stdout and is fully deterministic in
+// (-run, -packets, -runs, -seed) — byte-identical across invocations
+// and scheduler widths (golden-tested in main_test.go). Runtime
+// diagnostics — the trial-scheduler speedup line and the telemetry
+// summary — go to stderr, since they depend on wall-clock timing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -25,29 +32,39 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "artifact id (see -list) or 'all'")
-	sweep := flag.String("sweep", "", "run a rate sweep on this environment name instead of an artifact")
-	list := flag.Bool("list", false, "list artifact ids and exit")
-	full := flag.Bool("full", false, "paper scale: 0.3s recordings (~1.05M packets) and 5 runs")
-	packets := flag.Int("packets", experiments.DefaultScale, "recorded packets per experiment (ignored with -full)")
-	runs := flag.Int("runs", 5, "replay trials per experiment")
-	seed := flag.Int64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", runtime.NumCPU(),
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runID := fs.String("run", "all", "artifact id (see -list) or 'all'")
+	sweep := fs.String("sweep", "", "run a rate sweep on this environment name instead of an artifact")
+	list := fs.Bool("list", false, "list artifact ids and exit")
+	full := fs.Bool("full", false, "paper scale: 0.3s recordings (~1.05M packets) and 5 runs")
+	packets := fs.Int("packets", experiments.DefaultScale, "recorded packets per experiment (ignored with -full)")
+	runs := fs.Int("runs", 5, "replay trials per experiment")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", runtime.NumCPU(),
 		"trial scheduler width: independent trials/windows run on this many workers (results are bit-identical to -workers 1)")
-	ocli := obs.BindFlags(flag.CommandLine)
-	flag.Parse()
+	ocli := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("Reproducible artifacts (paper table/figure → id):")
+		fmt.Fprintln(stdout, "Reproducible artifacts (paper table/figure → id):")
 		for _, id := range experiments.AllFigureIDs() {
-			fmt.Printf("  %s\n", id)
+			fmt.Fprintf(stdout, "  %s\n", id)
 		}
-		return
+		return nil
 	}
 
 	if err := ocli.Start(); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	pool := parallel.New(*workers).WithObs(ocli.Obs().Registry())
 	started := time.Now()
@@ -68,39 +85,36 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "experiments: unknown environment %q\n", *sweep)
-			os.Exit(1)
+			return fmt.Errorf("unknown environment %q", *sweep)
 		}
 		rates := []float64{10, 20, 40, 60, 80, 100}
 		pts, err := experiments.RateSweep(env, rates, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(experiments.SweepTable("consistency vs offered load — "+env.Name, pts))
-		finishObs(ocli, pool, started)
-		return
+		fmt.Fprintln(stdout, experiments.SweepTable("consistency vs offered load — "+env.Name, pts))
+		return finishObs(stderr, ocli, pool, started)
 	}
 
-	ids := []string{*run}
-	if *run == "all" {
+	ids := []string{*runID}
+	if *runID == "all" {
 		ids = experiments.AllFigureIDs()
 	}
 	for _, id := range ids {
 		doc, err := experiments.Figure(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(doc.String())
+		fmt.Fprintln(stdout, doc.String())
 	}
-	finishObs(ocli, pool, started)
+	return finishObs(stderr, ocli, pool, started)
 }
 
 // finishObs prints the trial scheduler's end-of-run speedup line and the
-// telemetry summary, then writes -metrics/-trace artifacts accumulated
-// across every artifact run in this invocation.
-func finishObs(ocli *obs.CLI, pool *parallel.Pool, started time.Time) {
+// telemetry summary to stderr (they depend on wall-clock timing, unlike
+// the artifact text on stdout), then writes -metrics/-trace artifacts
+// accumulated across every artifact run in this invocation.
+func finishObs(stderr io.Writer, ocli *obs.CLI, pool *parallel.Pool, started time.Time) error {
 	if st := pool.Stats(); st.Tasks > 0 {
 		wall := time.Since(started)
 		speedup := 1.0
@@ -112,14 +126,11 @@ func finishObs(ocli *obs.CLI, pool *parallel.Pool, started time.Time) {
 				speedup = 1 // scheduling overhead, not a slowdown claim
 			}
 		}
-		fmt.Printf("scheduler: %d workers, %d jobs, %v busy over %v wall (speedup ≈ %.2fx vs sequential)\n",
+		fmt.Fprintf(stderr, "scheduler: %d workers, %d jobs, %v busy over %v wall (speedup ≈ %.2fx vs sequential)\n",
 			pool.Workers(), st.Tasks, st.Busy.Round(time.Millisecond), wall.Round(time.Millisecond), speedup)
 	}
 	if ocli.Enabled() {
-		fmt.Printf("%s\n", ocli.Summary())
+		fmt.Fprintf(stderr, "%s\n", ocli.Summary())
 	}
-	if err := ocli.Finish(); err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		os.Exit(1)
-	}
+	return ocli.Finish()
 }

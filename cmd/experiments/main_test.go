@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// checkGolden byte-compares got against testdata/golden/<name>, or
+// rewrites the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// runCLI invokes the command in-process and returns stdout; stderr (the
+// wall-clock-dependent scheduler/telemetry diagnostics) is swallowed —
+// only stdout is contractually deterministic.
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// TestGoldenList pins the artifact index.
+func TestGoldenList(t *testing.T) {
+	checkGolden(t, "list.txt", runCLI(t, "-list"))
+}
+
+// TestGoldenTable2 pins the scaled-down Table 2 text byte-for-byte: the
+// whole pipeline — testbed synthesis, replay simulation, §3 metrics,
+// table rendering — is deterministic in (-packets, -runs, -seed).
+func TestGoldenTable2(t *testing.T) {
+	checkGolden(t, "table2.txt",
+		runCLI(t, "-run", "table2", "-packets", "1500", "-runs", "2", "-seed", "7", "-workers", "3"))
+}
+
+// TestGoldenFig9 pins the scaled-down Figure 9 artifact — the paper's
+// κ-degradation figure that cmd/faultsweep reproduces qualitatively from
+// the fault layer; this golden is its full-simulation counterpart.
+func TestGoldenFig9(t *testing.T) {
+	checkGolden(t, "fig9.txt",
+		runCLI(t, "-run", "fig9", "-packets", "1200", "-runs", "2", "-seed", "7", "-workers", "2"))
+}
+
+// TestStdoutIndependentOfWorkers: the PR 3 contract, held at the CLI
+// boundary — scheduler width changes wall-clock, never bytes. (Width 3
+// is pinned by the golden above; width 1 must match it.)
+func TestStdoutIndependentOfWorkers(t *testing.T) {
+	wide := runCLI(t, "-run", "table2", "-packets", "1500", "-runs", "2", "-seed", "7", "-workers", "3")
+	narrow := runCLI(t, "-run", "table2", "-packets", "1500", "-runs", "2", "-seed", "7", "-workers", "1")
+	if !bytes.Equal(wide, narrow) {
+		t.Fatalf("stdout depends on -workers:\n--- workers=3 ---\n%s\n--- workers=1 ---\n%s", wide, narrow)
+	}
+}
+
+// TestUnknownArtifactFails: a bad id is reported as an error, with
+// nothing emitted on stdout.
+func TestUnknownArtifactFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "no-such-figure"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown artifact id did not error")
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("failed run wrote to stdout: %q", stdout.String())
+	}
+}

@@ -1,0 +1,89 @@
+// Command faultsweep drives seeded fault plans through a clean baseline
+// trial and prints κ-vs-fault-intensity tables — the qualitative shape
+// of the paper's Figure 9 degradation, one table per fault axis:
+//
+//	faultsweep                          # every axis, default intensities
+//	faultsweep -axis drop -seed 7       # one axis, replayable from the seed
+//	faultsweep -steps 0,0.1,0.5,1       # custom intensity grid
+//
+// Every number in the output derives from (-seed, -packets, -steps), so
+// two invocations with the same flags are byte-identical — verify.sh
+// diffs exactly that as its deterministic-replay gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "faultsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("faultsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	axis := fs.String("axis", "all", "fault axis to sweep (drop, dup, corrupt, burst, reorder, jitter, skew or 'all')")
+	packets := fs.Int("packets", 20000, "baseline trial length in packets")
+	seed := fs.Uint64("seed", 1, "fault plan seed; the same seed always renders identical bytes")
+	steps := fs.String("steps", "0,0.01,0.02,0.05,0.1,0.2,0.5,1", "comma-separated axis intensities in [0,1]")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	xs, err := parseSteps(*steps)
+	if err != nil {
+		return err
+	}
+	axes := harness.Axes()
+	if *axis != "all" {
+		ax, ok := harness.AxisByName(*axis)
+		if !ok {
+			return fmt.Errorf("unknown axis %q (try drop, dup, corrupt, burst, reorder, jitter, skew)", *axis)
+		}
+		axes = []harness.Axis{ax}
+	}
+
+	base := harness.Baseline("baseline", *packets, *seed)
+	fmt.Fprintf(stdout, "faultsweep: %d-packet baseline, seed %d — κ degradation per fault axis\n\n", *packets, *seed)
+	for i, ax := range axes {
+		pts, err := harness.Sweep(ax, base, *seed, xs)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		harness.RenderTable(stdout, ax, pts)
+	}
+	return nil
+}
+
+// parseSteps parses the comma-separated intensity grid.
+func parseSteps(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	xs := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad step %q: %w", part, err)
+		}
+		if x < 0 || x > 1 {
+			return nil, fmt.Errorf("step %g outside [0,1]", x)
+		}
+		xs = append(xs, x)
+	}
+	return xs, nil
+}

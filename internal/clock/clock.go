@@ -79,6 +79,19 @@ func (t *TSC) DurationOf(cycles uint64) sim.Duration {
 	return sim.Duration(math.Round(float64(cycles) * 1e9 / t.reportedHz))
 }
 
+// WithSkew returns a copy of the counter whose actual frequency is
+// scaled by an additional (1 + extraPPM/1e6) — a fault-injected
+// miscalibration on top of whatever error the counter already carries.
+// The reported frequency is unchanged: software still converts with the
+// nominal rate, so the extra ppm surfaces exactly as replay-start skew.
+func (t *TSC) WithSkew(extraPPM float64) *TSC {
+	return &TSC{
+		reportedHz: t.reportedHz,
+		actualHz:   t.actualHz * (1 + extraPPM/1e6),
+		base:       t.base,
+	}
+}
+
 // SystemClock is a settable wall clock: wall = sim time + offset. The
 // grandmaster has offset 0 by definition; synchronized clients have a
 // small residual offset that a sync process refreshes periodically.
@@ -115,6 +128,21 @@ type SyncConfig struct {
 	Interval sim.Duration
 	// Residual offset after each adjustment.
 	Residual sim.Dist
+}
+
+// Jittered returns a copy of the discipline whose residual is widened
+// by the extra noise term — the fault layer's handle for degrading a
+// clean PTP sync into a lossy one without touching its cadence.
+func (c SyncConfig) Jittered(extra sim.Dist) SyncConfig {
+	if extra == nil {
+		return c
+	}
+	base := c.Residual
+	if base == nil {
+		base = sim.Zero
+	}
+	c.Residual = sim.Sum{A: base, B: extra}
+	return c
 }
 
 // PTPDefault mirrors the sub-microsecond ptp_kvm + NIC sync the paper

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// faultCfg is small enough for CI but large enough that a 6% drop rate
+// shows up unambiguously in U.
+func faultCfg() TrialConfig {
+	return TrialConfig{Packets: 3000, Runs: 2, Seed: 71}
+}
+
+// TestFaultInjectionDegradesConsistency runs the full simulated
+// protocol twice — once clean, once with a seeded drop+reorder injector
+// spliced in front of the recorder via fault.Plan.PerturbEnv — and
+// checks the metric response the paper predicts: U rises (different
+// packets go missing in each trial) and κ falls.
+func TestFaultInjectionDegradesConsistency(t *testing.T) {
+	env := testbed.LocalSingle()
+	clean, err := Run(env, faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Seed: 72, Drop: 0.06, Reorder: 0.05}
+	hurt, err := Run(plan.PerturbEnv(env), faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hurt.Mean.U <= clean.Mean.U {
+		t.Fatalf("injected drops did not raise U: clean %v, faulted %v", clean.Mean.U, hurt.Mean.U)
+	}
+	if hurt.Mean.Kappa >= clean.Mean.Kappa {
+		t.Fatalf("injected faults did not lower κ: clean %v, faulted %v", clean.Mean.Kappa, hurt.Mean.Kappa)
+	}
+}
+
+// TestFaultRunIsReplayable: the whole simulated experiment under a
+// fault plan is replayable from (env seed, plan seed) — two runs give
+// bit-identical traces and metric vectors. This is the full-stack
+// version of the verify.sh deterministic-replay gate.
+func TestFaultRunIsReplayable(t *testing.T) {
+	plan := fault.Plan{Seed: 73, Drop: 0.04, Dup: 0.03, Jitter: 300}
+	env := plan.PerturbEnv(testbed.LocalSingle())
+	a, err := Run(env, faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(env, faultCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Traces) != len(b.Traces) {
+		t.Fatalf("trace counts differ: %d vs %d", len(a.Traces), len(b.Traces))
+	}
+	for i := range a.Traces {
+		ta, tb := a.Traces[i], b.Traces[i]
+		if ta.Len() != tb.Len() {
+			t.Fatalf("trial %d: %d vs %d packets", i, ta.Len(), tb.Len())
+		}
+		for j := range ta.Times {
+			if ta.Times[j] != tb.Times[j] || ta.Packets[j].Tag != tb.Packets[j].Tag {
+				t.Fatalf("trial %d packet %d differs across replays", i, j)
+			}
+		}
+	}
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.U != rb.U || ra.O != rb.O || ra.L != rb.L || ra.I != rb.I || ra.Kappa != rb.Kappa {
+			t.Fatalf("run %d metric vectors differ across replays:\n %v\n %v", i, ra, rb)
+		}
+	}
+}
+
+// TestPerturbEnvWiring checks the env-level split: clock knobs land on
+// the clock models, delivery knobs install the recorder interposer, and
+// an existing WrapRecorder is stacked, not clobbered.
+func TestPerturbEnvWiring(t *testing.T) {
+	base := testbed.LocalSingle()
+
+	clock := fault.Plan{Seed: 74, SkewPPM: 50, Jitter: 2000}.PerturbEnv(base)
+	if clock.WrapRecorder != nil {
+		t.Fatal("clock-only plan installed a recorder interposer")
+	}
+	if clock.TSCErrPPM != base.TSCErrPPM+50 {
+		t.Fatalf("TSCErrPPM = %v, want %v", clock.TSCErrPPM, base.TSCErrPPM+50)
+	}
+	if clock.Sync.Residual == base.Sync.Residual {
+		t.Fatal("jitter did not widen the sync residual")
+	}
+
+	prevCalled := false
+	stacked := base
+	stacked.WrapRecorder = func(eng *sim.Engine, down nic.Endpoint) nic.Endpoint {
+		prevCalled = true
+		return down
+	}
+	deliv := fault.Plan{Seed: 75, Drop: 0.1}.PerturbEnv(stacked)
+	if deliv.WrapRecorder == nil {
+		t.Fatal("delivery plan did not install a recorder interposer")
+	}
+	eng := sim.NewEngine(1)
+	sink := sinkEndpoint{}
+	wrapped := deliv.WrapRecorder(eng, sink)
+	if !prevCalled {
+		t.Fatal("pre-existing WrapRecorder was clobbered, not stacked")
+	}
+	if wrapped == nic.Endpoint(sink) {
+		t.Fatal("interposer returned the bare downstream endpoint")
+	}
+}
+
+type sinkEndpoint struct{}
+
+func (sinkEndpoint) Receive(*packet.Packet, sim.Time) {}

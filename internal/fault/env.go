@@ -1,0 +1,53 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// PerturbEnv folds the plan into a testbed environment, splitting it
+// across the two surfaces a full experiment exposes:
+//
+//   - the clock knobs (SkewPPM, Jitter) degrade the environment's time
+//     sources — SkewPPM widens the per-node TSC calibration-error scale
+//     and Jitter fattens the PTP sync residual — so replay arming and
+//     burst timestamping feel the fault the way §5's clock discussion
+//     describes;
+//   - every delivery knob (drop, dup, corrupt, burst, reorder) is wired
+//     as an Injector in front of the recorder via Env.WrapRecorder, so
+//     the capture point sees the perturbed flow.
+//
+// The split means no fault applies twice: the injector spliced here
+// carries SkewPPM = 0 and Jitter = 0. An existing WrapRecorder is
+// preserved — the injector stacks in front of it.
+func (p Plan) PerturbEnv(env testbed.Env) testbed.Env {
+	p = p.withDefaults()
+	if p.SkewPPM != 0 {
+		env.TSCErrPPM += math.Abs(p.SkewPPM)
+	}
+	if p.Jitter > 0 {
+		env.Sync = env.Sync.Jittered(sim.Uniform{Lo: 0, Hi: p.Jitter})
+	}
+	dp := p
+	dp.SkewPPM, dp.Jitter = 0, 0
+	if dp.IsIdentity() {
+		return env
+	}
+	prev := env.WrapRecorder
+	env.WrapRecorder = func(eng *sim.Engine, down nic.Endpoint) nic.Endpoint {
+		if prev != nil {
+			down = prev(eng, down)
+		}
+		inj, err := NewInjector(eng, dp, down)
+		if err != nil {
+			// Unreachable: eng/down are non-nil and dp has no skew.
+			panic(fmt.Sprintf("fault: PerturbEnv: %v", err))
+		}
+		return inj
+	}
+	return env
+}

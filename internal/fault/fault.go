@@ -1,0 +1,335 @@
+// Package fault is the deterministic fault-injection layer: it drives
+// known, seeded perturbations through the replay/consistency stack so
+// tests can assert that the paper's §3 metrics respond the way
+// Equations 1–5 say they must. The simulator already *produces* noise
+// (NIC jitter, VF contention, vCPU steal); this package is the
+// adversary that injects *controlled* noise — packet drops,
+// duplication, reorder-by-delay, payload corruption, burst truncation,
+// clock skew/jitter — and the metamorphic test harness on top
+// (internal/fault/harness, plus suites in metrics, stream and
+// experiments) checks the directional invariants:
+//
+//   - the identity plan leaves every trace byte-identical and κ = 1;
+//   - drop-only plans raise U monotonically in the rate and leave O at 0;
+//   - delay-only plans (skew/jitter) move L and I but leave U and O at 0;
+//   - reorder-only plans move O but leave U at 0;
+//   - streaming κ stays bit-identical to batch κ under every plan.
+//
+// Every fault decision derives from one Plan: a uint64 seed plus
+// per-fault rates. Decisions are *stateless* — a splitmix64-style hash
+// of (seed, fault id, packet index) — which buys two properties the
+// harness depends on:
+//
+//  1. Replayability: the same Plan applied to the same input always
+//     produces a byte-identical output, so any failing run is
+//     reproducible from the seed alone (gated in verify.sh).
+//  2. Coupling: raising one fault's rate never re-rolls another
+//     packet's dice — the set of dropped packets at rate r is a subset
+//     of the set at rate r' > r, which is what makes "U is monotone in
+//     the drop rate" an exact statement rather than a statistical one.
+//
+// The same Plan drives three injection surfaces: Apply (trace-level,
+// for metric metamorphic tests), Injector (a nic.Endpoint that composes
+// into the sim event path, see inject.go), and the delivery-level
+// stall/late-watermark faults for the streaming engine (see source.go).
+// Apply and Injector are equivalent by construction and a differential
+// test (TestInjectorMatchesApply) holds them bit-identical.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"strings"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Fault ids: each fault consumes its own independent random stream so
+// that enabling or re-rating one fault never perturbs another's
+// decisions (the coupling property above).
+const (
+	fDrop uint64 = 1 + iota
+	fDup
+	fCorrupt
+	fCorruptVal
+	fBurst
+	fReorder
+	fJitter
+	fStall
+)
+
+// Plan is one fully-specified, fully-deterministic perturbation. The
+// zero value is the identity plan: Apply returns an identical trace and
+// an Injector forwards every frame untouched.
+//
+// Rates are per-packet probabilities in [0,1]; durations are simulated
+// nanoseconds. All randomness derives from Seed.
+type Plan struct {
+	// Seed drives every stochastic decision. Two applications of the
+	// same Plan to the same input are byte-identical.
+	Seed uint64
+
+	// Drop is the per-packet drop probability (queue overflow, RX
+	// starvation). Dropping raises U; the survivors keep their relative
+	// order, so O is untouched.
+	Drop float64
+
+	// Dup is the per-packet duplication probability: the duplicate
+	// arrives DupDelay after the original (switch flood, retransmit).
+	// Duplicates appear as OnlyB packets (occurrence keys stay unique),
+	// raising U.
+	Dup float64
+	// DupDelay is how long after the original the duplicate arrives
+	// (default 200 ns).
+	DupDelay sim.Duration
+
+	// Corrupt is the per-packet payload-corruption probability. A
+	// corrupted packet still arrives, but its trailer tag is scrambled:
+	// it matches nothing in the other trial, so *both* OnlyA and OnlyB
+	// rise — a distinct U signature from a plain drop.
+	Corrupt float64
+
+	// BurstRate is the probability that a packet starts a truncated
+	// burst: it and the next BurstLen−1 packets are removed, modelling
+	// a DMA burst cut short by ring exhaustion.
+	BurstRate float64
+	// BurstLen is the burst truncation length (default 16 — a quarter
+	// of a 64-packet DPDK burst).
+	BurstLen int
+
+	// Reorder is the per-packet probability of a reorder-by-delay: the
+	// packet's arrival is postponed by ReorderDelay, letting later
+	// packets overtake it. Reordering moves O (and, inevitably, the
+	// delayed packet's latency) but never changes the packet set: U
+	// stays 0.
+	Reorder float64
+	// ReorderDelay is the postponement applied to reordered packets
+	// (default 2 µs; it must exceed typical inter-arrival gaps to
+	// actually invert arrival order).
+	ReorderDelay sim.Duration
+
+	// SkewPPM scales elapsed time since the first packet by
+	// (1 + SkewPPM/1e6) — a miscalibrated capture clock. Order is
+	// preserved, so only L and I move. Negative skew is valid for
+	// Apply; the sim-path Injector rejects it (it cannot deliver into
+	// the past).
+	SkewPPM float64
+
+	// Jitter adds a one-sided uniform [0, Jitter] per-packet timestamp
+	// delay (capture-path queueing). A monotone clamp keeps arrival
+	// order intact, so jitter-only plans move L/I with U = O = 0.
+	Jitter sim.Duration
+
+	// Stall configures delivery-level scheduling faults for the
+	// streaming engine (shard stalls, bursty late-watermark sources).
+	// Stalls perturb *when* work happens, never *what* is computed:
+	// the engine's output must be bit-identical under any StallPlan,
+	// and the stream test suite asserts exactly that.
+	Stall StallPlan
+}
+
+// StallPlan parameterizes the scheduling faults of StallSource and
+// StallHook (source.go).
+type StallPlan struct {
+	// Rate is the per-record probability of a stall.
+	Rate float64
+	// Yields is how many scheduler yields one stall performs
+	// (default 4).
+	Yields int
+	// Batch, when > 0, makes StallSource withhold records and release
+	// them in batches of this size — a late-watermark fault: one side's
+	// window announcements arrive in lumps while the other runs ahead
+	// into the backpressure gate.
+	Batch int
+}
+
+// withDefaults fills the defaulted knobs.
+func (p Plan) withDefaults() Plan {
+	if p.DupDelay == 0 {
+		p.DupDelay = 200
+	}
+	if p.BurstLen <= 0 {
+		p.BurstLen = 16
+	}
+	if p.ReorderDelay == 0 {
+		p.ReorderDelay = 2 * sim.Microsecond
+	}
+	if p.Stall.Yields <= 0 {
+		p.Stall.Yields = 4
+	}
+	return p
+}
+
+// IsIdentity reports whether the plan perturbs anything at all.
+func (p Plan) IsIdentity() bool {
+	return p.Drop == 0 && p.Dup == 0 && p.Corrupt == 0 && p.BurstRate == 0 &&
+		p.Reorder == 0 && p.SkewPPM == 0 && p.Jitter == 0
+}
+
+// String renders the non-zero knobs, the way failing tests and the
+// faultsweep table identify a plan.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan(seed=%d", p.Seed)
+	add := func(format string, args ...any) { b.WriteString(" "); fmt.Fprintf(&b, format, args...) }
+	if p.Drop > 0 {
+		add("drop=%g", p.Drop)
+	}
+	if p.Dup > 0 {
+		add("dup=%g", p.Dup)
+	}
+	if p.Corrupt > 0 {
+		add("corrupt=%g", p.Corrupt)
+	}
+	if p.BurstRate > 0 {
+		add("burst=%g×%d", p.BurstRate, p.withDefaults().BurstLen)
+	}
+	if p.Reorder > 0 {
+		add("reorder=%g/%dns", p.Reorder, int64(p.withDefaults().ReorderDelay))
+	}
+	if p.SkewPPM != 0 {
+		add("skew=%gppm", p.SkewPPM)
+	}
+	if p.Jitter > 0 {
+		add("jitter=%dns", int64(p.Jitter))
+	}
+	if p.Stall.Rate > 0 {
+		add("stall=%g", p.Stall.Rate)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// bits returns the 64 decision bits for (seed, fault, index):
+// splitmix64's output function over the xor-folded inputs. Stateless,
+// so decisions are independent across faults and replayable across
+// processes.
+func (p Plan) bits(fault, idx uint64) uint64 {
+	x := p.Seed ^ (fault * 0x9E3779B97F4A7C15) ^ (idx * 0xD1342543DE82EF95)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// u returns the decision uniform in [0,1) for (fault, idx).
+func (p Plan) u(fault, idx uint64) float64 {
+	return float64(p.bits(fault, idx)>>11) / (1 << 53)
+}
+
+// hit reports whether fault fires for packet idx at the given rate.
+// Because the underlying uniform does not depend on the rate, hits at
+// rate r are a subset of hits at any r' > r (coupling).
+func (p Plan) hit(fault, idx uint64, rate float64) bool {
+	return rate > 0 && p.u(fault, idx) < rate
+}
+
+// adjustTime applies the clock faults (skew then jitter) to one
+// timestamp. base is the trial's first arrival; the caller applies the
+// monotone clamp.
+func (p Plan) adjustTime(base, t sim.Time, idx uint64) sim.Time {
+	at := t
+	if p.SkewPPM != 0 {
+		at = base + sim.Time(math.Round(float64(t-base)*(1+p.SkewPPM/1e6)))
+	}
+	if p.Jitter > 0 {
+		at += sim.Duration(p.u(fJitter, idx) * float64(p.Jitter+1))
+	}
+	return at
+}
+
+// corruptTag returns a clone of pk whose trailer tag is scrambled with
+// the plan's corruption bits. The high bit is forced so the scrambled
+// sequence can never collide with a generator-assigned one.
+func corruptTag(pk *packet.Packet, bits uint64) *packet.Packet {
+	q := pk.Clone()
+	q.Tag.Seq ^= bits | 1<<63
+	q.Tag.Stream ^= uint16(bits >> 16)
+	return q
+}
+
+// ev is one scheduled arrival of the perturbed trace: the packet, its
+// final timestamp, and its creation rank — 2i for packet i's own
+// arrival, 2i+1 for its duplicate. Sorting by (at, rank) reproduces
+// exactly the firing order a sim.Engine gives the equivalent Injector
+// (events at one instant fire in creation order), which is what keeps
+// Apply and Injector bit-identical.
+type ev struct {
+	pk   *packet.Packet
+	at   sim.Time
+	rank int64
+}
+
+// Apply returns the perturbed copy of tr. The input is never mutated;
+// packet values are shared (packets are immutable once transmitted)
+// except corrupted ones, which are cloned. The output always satisfies
+// trace.Validate.
+func (p Plan) Apply(tr *trace.Trace) *trace.Trace {
+	p = p.withDefaults()
+	out := trace.New(tr.Name, tr.Len())
+	if tr.Len() == 0 {
+		return out
+	}
+	evs := make([]ev, 0, tr.Len())
+	base := tr.Times[0]
+	prev := sim.Time(math.MinInt64)
+	burstLeft := 0
+	for i := 0; i < tr.Len(); i++ {
+		idx := uint64(i)
+		// Clock faults run over *every* packet — including ones a set
+		// fault later removes — so the timeline is independent of the
+		// drop decisions (maximal coupling across plans).
+		at := p.adjustTime(base, tr.Times[i], idx)
+		if at < prev {
+			at = prev // monotone clamp: order-preserving by construction
+		}
+		prev = at
+
+		if burstLeft > 0 {
+			burstLeft--
+			continue
+		}
+		if p.hit(fBurst, idx, p.BurstRate) {
+			burstLeft = p.BurstLen - 1
+			continue
+		}
+		if p.hit(fDrop, idx, p.Drop) {
+			continue
+		}
+		pk := tr.Packets[i]
+		if p.hit(fCorrupt, idx, p.Corrupt) {
+			pk = corruptTag(pk, p.bits(fCorruptVal, idx))
+		}
+		mainAt := at
+		if p.hit(fReorder, idx, p.Reorder) {
+			mainAt = at + p.ReorderDelay
+		}
+		evs = append(evs, ev{pk: pk, at: mainAt, rank: 2 * int64(i)})
+		if p.hit(fDup, idx, p.Dup) {
+			evs = append(evs, ev{pk: pk, at: at + p.DupDelay, rank: 2*int64(i) + 1})
+		}
+	}
+	if p.Reorder > 0 || p.Dup > 0 {
+		// Delayed arrivals land among later packets; (at, rank) is a
+		// total order (ranks are unique), so the sort is deterministic
+		// regardless of algorithm stability.
+		slices.SortFunc(evs, func(a, b ev) int {
+			if a.at != b.at {
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			}
+			return int(a.rank - b.rank)
+		})
+	}
+	for _, e := range evs {
+		out.Append(e.pk, e.at)
+	}
+	return out
+}

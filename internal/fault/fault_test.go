@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// sampleTrace builds n uniquely-tagged data packets with mildly
+// irregular, occasionally tied timestamps — ties exercise the (at, rank)
+// ordering contract between Apply and the Injector.
+func sampleTrace(name string, n int, seed uint64) *trace.Trace {
+	tr := trace.New(name, n)
+	at := sim.Time(sim.Second)
+	x := seed*2862933555777941757 + 3037000493
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if i > 0 {
+			at += sim.Duration(x % 400) // 0..399 ns; zeros create ties
+		}
+		pk := &packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Stream: uint16(i % 4), Seq: uint64(i)},
+			Kind:     packet.KindData,
+			FrameLen: 1400,
+			Flow: packet.FiveTuple{
+				Src: packet.IPForNode(1), Dst: packet.IPForNode(2),
+				SrcPort: 7000, DstPort: 7001, Proto: packet.ProtoUDP,
+			},
+		}
+		tr.Append(pk, at)
+	}
+	return tr
+}
+
+// testPlans is the shared plan matrix: every fault alone, plus
+// combinations, plus the identity.
+func testPlans() []Plan {
+	return []Plan{
+		{Seed: 1},
+		{Seed: 2, Drop: 0.05},
+		{Seed: 3, Dup: 0.04, DupDelay: 150},
+		{Seed: 4, Corrupt: 0.06},
+		{Seed: 5, BurstRate: 0.004, BurstLen: 5},
+		{Seed: 6, Reorder: 0.05, ReorderDelay: 900},
+		{Seed: 7, SkewPPM: 80},
+		{Seed: 8, Jitter: 250},
+		{Seed: 9, Drop: 0.03, Dup: 0.02, Corrupt: 0.02, Reorder: 0.03, Jitter: 120, SkewPPM: 25},
+		{Seed: 10, Drop: 0.2, BurstRate: 0.01, Reorder: 0.1, Dup: 0.1},
+	}
+}
+
+func traceEqual(t *testing.T, got, want *trace.Trace) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("length mismatch: got %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.Times[i] != want.Times[i] {
+			t.Fatalf("time mismatch at %d: got %v, want %v", i, got.Times[i], want.Times[i])
+		}
+		g, w := got.Packets[i], want.Packets[i]
+		if g.Tag != w.Tag || g.Kind != w.Kind || g.FrameLen != w.FrameLen {
+			t.Fatalf("packet mismatch at %d: got %v, want %v", i, g, w)
+		}
+	}
+}
+
+func TestIdentityPlanIsNoOp(t *testing.T) {
+	in := sampleTrace("id", 2000, 11)
+	out := Plan{Seed: 42}.Apply(in)
+	traceEqual(t, out, in)
+	for i := range out.Packets {
+		if out.Packets[i] != in.Packets[i] {
+			t.Fatalf("identity plan cloned packet %d", i)
+		}
+	}
+}
+
+func TestApplyReplayDeterminism(t *testing.T) {
+	in := sampleTrace("det", 3000, 12)
+	for _, p := range testPlans() {
+		a := p.Apply(in)
+		b := p.Apply(in)
+		traceEqual(t, a, b)
+	}
+}
+
+func TestApplyOutputValid(t *testing.T) {
+	in := sampleTrace("valid", 3000, 13)
+	for _, p := range testPlans() {
+		out := p.Apply(in)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%v: invalid output: %v", p, err)
+		}
+	}
+	// Negative skew is legal at trace level; the monotone clamp keeps
+	// the result a valid trace.
+	out := Plan{Seed: 14, SkewPPM: -500, Jitter: 90}.Apply(in)
+	if err := out.Validate(); err != nil {
+		t.Fatalf("negative skew: invalid output: %v", err)
+	}
+}
+
+func TestApplyDoesNotMutateInput(t *testing.T) {
+	in := sampleTrace("immut", 1500, 15)
+	wantTimes := append([]sim.Time(nil), in.Times...)
+	wantTags := make([]packet.Tag, in.Len())
+	for i, pk := range in.Packets {
+		wantTags[i] = pk.Tag
+	}
+	Plan{Seed: 16, Drop: 0.1, Dup: 0.1, Corrupt: 0.2, Reorder: 0.1, Jitter: 300, SkewPPM: 50}.Apply(in)
+	for i := range wantTimes {
+		if in.Times[i] != wantTimes[i] {
+			t.Fatalf("input time %d mutated", i)
+		}
+		if in.Packets[i].Tag != wantTags[i] {
+			t.Fatalf("input packet %d mutated", i)
+		}
+	}
+}
+
+// survivors returns the set of original sequence numbers present in the
+// perturbed trace.
+func survivors(tr *trace.Trace) map[uint64]bool {
+	out := make(map[uint64]bool, tr.Len())
+	for _, pk := range tr.Packets {
+		out[pk.Tag.Seq] = true
+	}
+	return out
+}
+
+// TestDropCouplingIsMonotone is the exactness behind "U is monotone in
+// the drop rate": because decision uniforms do not depend on the rate,
+// the drop set at a lower rate is a subset of the drop set at any higher
+// rate — so survivor sets are nested the other way.
+func TestDropCouplingIsMonotone(t *testing.T) {
+	in := sampleTrace("drop", 4000, 17)
+	rates := []float64{0.01, 0.03, 0.08, 0.2, 0.5}
+	prev := survivors(Plan{Seed: 18, Drop: rates[0]}.Apply(in))
+	if len(prev) >= in.Len() {
+		t.Fatalf("rate %g dropped nothing", rates[0])
+	}
+	for _, r := range rates[1:] {
+		cur := survivors(Plan{Seed: 18, Drop: r}.Apply(in))
+		if len(cur) >= len(prev) {
+			t.Fatalf("drop count not increasing: rate %g kept %d, previous kept %d", r, len(cur), len(prev))
+		}
+		for seq := range cur {
+			if !prev[seq] {
+				t.Fatalf("coupling violated: packet %d survives rate %g but not a lower rate", seq, r)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestClockFaultsPreserveSetAndOrder(t *testing.T) {
+	in := sampleTrace("clock", 2500, 19)
+	for _, p := range []Plan{
+		{Seed: 20, SkewPPM: 120},
+		{Seed: 21, Jitter: 400},
+		{Seed: 22, SkewPPM: -80, Jitter: 250},
+	} {
+		out := p.Apply(in)
+		if out.Len() != in.Len() {
+			t.Fatalf("%v changed the packet set: %d -> %d", p, in.Len(), out.Len())
+		}
+		for i := range out.Packets {
+			if out.Packets[i] != in.Packets[i] {
+				t.Fatalf("%v reordered or replaced packet %d", p, i)
+			}
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestCorruptScramblesTagsOnly(t *testing.T) {
+	in := sampleTrace("corrupt", 3000, 23)
+	out := Plan{Seed: 24, Corrupt: 0.1}.Apply(in)
+	if out.Len() != in.Len() {
+		t.Fatalf("corruption changed the packet count: %d -> %d", in.Len(), out.Len())
+	}
+	changed := 0
+	for i := range out.Packets {
+		if out.Times[i] != in.Times[i] {
+			t.Fatalf("corruption moved timestamp %d", i)
+		}
+		if out.Packets[i].Tag != in.Packets[i].Tag {
+			changed++
+			if out.Packets[i].Tag.Seq&(1<<63) == 0 {
+				t.Fatalf("scrambled tag %d missing the corruption marker bit", i)
+			}
+			if out.Packets[i] == in.Packets[i] {
+				t.Fatalf("corruption mutated the shared packet %d instead of cloning", i)
+			}
+		}
+	}
+	if changed < 200 || changed > 400 {
+		t.Fatalf("corrupt=0.1 over 3000 packets scrambled %d tags, want ~300", changed)
+	}
+}
+
+func TestBurstTruncationRemovesRuns(t *testing.T) {
+	in := sampleTrace("burst", 4000, 25)
+	out := Plan{Seed: 26, BurstRate: 0.005, BurstLen: 8}.Apply(in)
+	if out.Len() >= in.Len() {
+		t.Fatal("burst plan removed nothing")
+	}
+	// The removed set must match a direct replay of the burst process:
+	// a trigger removes itself and the next BurstLen−1 packets, and
+	// triggers inside a burst are swallowed by the countdown.
+	kept := survivors(out)
+	p := Plan{Seed: 26, BurstRate: 0.005, BurstLen: 8}.withDefaults()
+	burstLeft := 0
+	for i := 0; i < in.Len(); i++ {
+		removed := false
+		if burstLeft > 0 {
+			burstLeft--
+			removed = true
+		} else if p.hit(fBurst, uint64(i), p.BurstRate) {
+			burstLeft = p.BurstLen - 1
+			removed = true
+		}
+		if removed == kept[uint64(i)] {
+			t.Fatalf("packet %d: removed=%v but kept=%v", i, removed, kept[uint64(i)])
+		}
+	}
+}
+
+func TestPlanStringListsKnobs(t *testing.T) {
+	s := Plan{Seed: 7, Drop: 0.1, Reorder: 0.2, Jitter: 50, Stall: StallPlan{Rate: 0.3}}.String()
+	for _, want := range []string{"seed=7", "drop=0.1", "reorder=0.2", "jitter=50ns", "stall=0.3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string %q missing %q", s, want)
+		}
+	}
+	if got := (Plan{Seed: 3}).String(); got != "plan(seed=3)" {
+		t.Fatalf("identity plan string = %q", got)
+	}
+}
+
+func TestIsIdentity(t *testing.T) {
+	if !(Plan{Seed: 99}).IsIdentity() {
+		t.Fatal("seed-only plan should be identity")
+	}
+	if (Plan{Drop: 0.1}).IsIdentity() || (Plan{Jitter: 1}).IsIdentity() || (Plan{SkewPPM: -1}).IsIdentity() {
+		t.Fatal("non-trivial plan reported as identity")
+	}
+}
+
+// sliceSource serves a trace as a fault.Source.
+type sliceSource struct {
+	tr *trace.Trace
+	i  int
+}
+
+func (s *sliceSource) Next() (*packet.Packet, sim.Time, error) {
+	if s.i >= s.tr.Len() {
+		return nil, 0, io.EOF
+	}
+	pk, at := s.tr.Packets[s.i], s.tr.Times[s.i]
+	s.i++
+	return pk, at, nil
+}
+
+// drain reads a source to exhaustion.
+func drain(t *testing.T, src Source) *trace.Trace {
+	t.Helper()
+	out := trace.New("drained", 0)
+	for {
+		pk, at, err := src.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("source error: %v", err)
+		}
+		out.Append(pk, at)
+	}
+}
+
+// TestStallSourceIsDeliveryInvariant: stalls and batching perturb when
+// records are handed over, never which records — the wrapped source must
+// deliver the identical sequence.
+func TestStallSourceIsDeliveryInvariant(t *testing.T) {
+	in := sampleTrace("stall", 1000, 27)
+	for _, p := range []Plan{
+		{Seed: 28, Stall: StallPlan{Rate: 0.2, Yields: 2}},
+		{Seed: 29, Stall: StallPlan{Batch: 7}},
+		{Seed: 30, Stall: StallPlan{Rate: 0.5, Yields: 3, Batch: 64}},
+		{Seed: 31, Stall: StallPlan{Batch: 2048}}, // batch larger than the input
+	} {
+		out := drain(t, p.StallSource(&sliceSource{tr: in}))
+		traceEqual(t, out, in)
+		for i := range out.Packets {
+			if out.Packets[i] != in.Packets[i] {
+				t.Fatalf("%v: stall source replaced packet %d", p, i)
+			}
+		}
+	}
+}
+
+func TestStallSourceServesTerminalErrorRepeatedly(t *testing.T) {
+	in := sampleTrace("eof", 10, 32)
+	src := Plan{Seed: 33, Stall: StallPlan{Batch: 4}}.StallSource(&sliceSource{tr: in})
+	drain(t, src)
+	for i := 0; i < 3; i++ {
+		if _, _, err := src.Next(); err != io.EOF {
+			t.Fatalf("read past end %d: err = %v, want io.EOF", i, err)
+		}
+	}
+}
+
+func TestStallHookIsCallableFromManyGoroutines(t *testing.T) {
+	hook := Plan{Seed: 34, Stall: StallPlan{Rate: 0.5, Yields: 1}}.StallHook()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				hook("shard", id)
+				hook("merge", 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

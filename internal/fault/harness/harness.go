@@ -1,0 +1,170 @@
+// Package harness is the metamorphic test harness riding on the fault
+// layer: it builds clean baseline trials, perturbs them with seeded
+// fault.Plans, scores perturbed-vs-baseline with the paper's §3 metrics
+// and exposes the fault *axes* — one knob swept from 0 to 1 with every
+// other knob held at zero — that the metamorphic suites and
+// cmd/faultsweep share.
+//
+// The harness encodes the paper's causal map from perturbation to
+// metric (the directional invariants tested in metrics, stream and
+// experiments):
+//
+//	drop, burst      → U rises (monotonically in the rate), O stays 0
+//	dup, corrupt     → U rises (corruption raises OnlyA and OnlyB)
+//	reorder-by-delay → O rises, U stays 0
+//	jitter, skew     → L and I rise, U and O stay 0
+//	identity         → κ = 1 exactly
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Baseline synthesizes one clean recorded trial: n uniquely-tagged data
+// packets paced at ~284 ns (1400-byte frames at 40 Gbps, the paper's
+// main operating point) with a small deterministic IAT wobble so the
+// timeline is realistic but strictly increasing. The same (n, seed)
+// always yields a byte-identical trace.
+func Baseline(name string, n int, seed uint64) *trace.Trace {
+	tr := trace.New(name, n)
+	at := sim.Time(sim.Second)
+	x := seed ^ 0x9E3779B97F4A7C15
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if i > 0 {
+			at += 284 + sim.Duration(x%41) - 20 // 264..304 ns, never ≤ 0
+		}
+		tr.Append(&packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Stream: uint16(i % 4), Seq: uint64(i)},
+			Kind:     packet.KindData,
+			FrameLen: 1400,
+			Flow: packet.FiveTuple{
+				Src: packet.IPForNode(10), Dst: packet.IPForNode(99),
+				SrcPort: 7000, DstPort: 7001, Proto: packet.ProtoUDP,
+			},
+		}, at)
+	}
+	return tr
+}
+
+// Score compares the perturbed trial against its baseline with the
+// default metric options and returns the full §3 result.
+func Score(baseline, perturbed *trace.Trace) (*metrics.Result, error) {
+	return metrics.Compare(baseline, perturbed, metrics.Options{})
+}
+
+// Axis is one fault dimension: a name and a mapping from an intensity
+// x ∈ [0,1] to a single-knob Plan. Time- and frequency-valued knobs
+// scale x onto a documented range so every axis sweeps 0→1.
+type Axis struct {
+	// Name identifies the axis (drop, dup, corrupt, burst, reorder,
+	// jitter, skew).
+	Name string
+	// Desc is the one-line table caption.
+	Desc string
+	// Plan builds the single-knob plan at intensity x.
+	Plan func(seed uint64, x float64) fault.Plan
+}
+
+// maxJitter is the jitter axis at x=1: 10 µs of one-sided capture
+// jitter, ~35 baseline inter-arrival gaps.
+const maxJitter = 10 * sim.Microsecond
+
+// maxSkewPPM is the skew axis at x=1: a 500 ppm capture-clock
+// miscalibration, ~400× a typical uncalibrated TSC.
+const maxSkewPPM = 500.0
+
+// Axes returns every fault axis in presentation order.
+func Axes() []Axis {
+	return []Axis{
+		{
+			Name: "drop", Desc: "per-packet drop probability x",
+			Plan: func(seed uint64, x float64) fault.Plan { return fault.Plan{Seed: seed, Drop: x} },
+		},
+		{
+			Name: "dup", Desc: "per-packet duplication probability x",
+			Plan: func(seed uint64, x float64) fault.Plan { return fault.Plan{Seed: seed, Dup: x} },
+		},
+		{
+			Name: "corrupt", Desc: "per-packet tag-corruption probability x",
+			Plan: func(seed uint64, x float64) fault.Plan { return fault.Plan{Seed: seed, Corrupt: x} },
+		},
+		{
+			Name: "burst", Desc: "burst-truncation start probability x (16-packet bursts)",
+			Plan: func(seed uint64, x float64) fault.Plan { return fault.Plan{Seed: seed, BurstRate: x} },
+		},
+		{
+			// Disorder peaks at rate ½: delaying *every* packet is a pure
+			// translation (κ = 1 again), so the axis sweeps [0, 0.5].
+			Name: "reorder", Desc: "per-packet reorder-by-delay probability x/2 (2 µs delay)",
+			Plan: func(seed uint64, x float64) fault.Plan { return fault.Plan{Seed: seed, Reorder: 0.5 * x} },
+		},
+		{
+			Name: "jitter", Desc: fmt.Sprintf("one-sided capture jitter x·%v", sim.Duration(maxJitter)),
+			Plan: func(seed uint64, x float64) fault.Plan {
+				return fault.Plan{Seed: seed, Jitter: sim.Duration(x * float64(maxJitter))}
+			},
+		},
+		{
+			Name: "skew", Desc: fmt.Sprintf("capture-clock skew x·%g ppm", maxSkewPPM),
+			Plan: func(seed uint64, x float64) fault.Plan {
+				return fault.Plan{Seed: seed, SkewPPM: x * maxSkewPPM}
+			},
+		},
+	}
+}
+
+// AxisByName looks an axis up by name.
+func AxisByName(name string) (Axis, bool) {
+	for _, ax := range Axes() {
+		if ax.Name == name {
+			return ax, true
+		}
+	}
+	return Axis{}, false
+}
+
+// Point is one sweep sample: the axis intensity and the metric vector
+// of perturbed-vs-baseline.
+type Point struct {
+	X float64
+	R *metrics.Result
+}
+
+// Sweep perturbs base along the axis at each intensity and scores the
+// result. The zero intensity is the identity plan, so a sweep's first
+// row (if xs starts at 0) doubles as the κ=1 sanity anchor.
+func Sweep(ax Axis, base *trace.Trace, seed uint64, xs []float64) ([]Point, error) {
+	pts := make([]Point, 0, len(xs))
+	for _, x := range xs {
+		plan := ax.Plan(seed, x)
+		r, err := Score(base, plan.Apply(base))
+		if err != nil {
+			return nil, fmt.Errorf("harness: axis %s at x=%g (%v): %w", ax.Name, x, plan, err)
+		}
+		pts = append(pts, Point{X: x, R: r})
+	}
+	return pts, nil
+}
+
+// RenderTable writes one axis sweep as the fixed-width κ-degradation
+// table cmd/faultsweep emits — the qualitative Figure 9 shape in text.
+// The rendering is fully deterministic: byte-identical for identical
+// sweeps, which is what the verify.sh replay gate diffs.
+func RenderTable(w io.Writer, ax Axis, pts []Point) {
+	fmt.Fprintf(w, "axis %-8s %s\n", ax.Name, ax.Desc)
+	fmt.Fprintf(w, "%8s %10s %10s %10s %10s %8s %9s\n", "x", "U", "O", "L", "I", "kappa", "common")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8.4f %10.6f %10.6f %10.6f %10.6f %8.4f %9d\n",
+			p.X, p.R.U, p.R.O, p.R.L, p.R.I, p.R.Kappa, p.R.Common)
+	}
+}

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+const trialLen = 4000
+
+func score(t *testing.T, p fault.Plan) *metrics.Result {
+	t.Helper()
+	base := Baseline("base", trialLen, 1)
+	r, err := Score(base, p.Apply(base))
+	if err != nil {
+		t.Fatalf("Score(%v): %v", p, err)
+	}
+	return r
+}
+
+func TestBaselineIsDeterministicAndValid(t *testing.T) {
+	a := Baseline("b", 2000, 7)
+	b := Baseline("b", 2000, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2000 {
+		t.Fatalf("len = %d", a.Len())
+	}
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] || a.Packets[i].Tag != b.Packets[i].Tag {
+			t.Fatalf("baseline not deterministic at %d", i)
+		}
+		if i > 0 && a.Times[i] <= a.Times[i-1] {
+			t.Fatalf("baseline not strictly increasing at %d", i)
+		}
+	}
+}
+
+// TestIdentityPlanScoresKappaOne: κ = 1 *exactly* — not approximately —
+// under the identity plan (acceptance criterion 1).
+func TestIdentityPlanScoresKappaOne(t *testing.T) {
+	r := score(t, fault.Plan{Seed: 9})
+	if r.U != 0 || r.O != 0 || r.L != 0 || r.I != 0 {
+		t.Fatalf("identity plan moved a metric: %v", r)
+	}
+	if r.Kappa != 1 {
+		t.Fatalf("identity plan κ = %v, want exactly 1", r.Kappa)
+	}
+	if r.OnlyA != 0 || r.OnlyB != 0 || r.Common != trialLen {
+		t.Fatalf("identity plan changed the packet set: %v", r)
+	}
+}
+
+// TestDropRaisesUMonotonically: U is *exactly* monotone in the drop
+// rate (coupling, not statistics), and pure drops never move O.
+func TestDropRaisesUMonotonically(t *testing.T) {
+	rates := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+	prevU := 0.0
+	for _, rate := range rates {
+		r := score(t, fault.Plan{Seed: 10, Drop: rate})
+		if r.U <= prevU {
+			t.Fatalf("drop=%g: U=%v not above %v", rate, r.U, prevU)
+		}
+		if r.O != 0 {
+			t.Fatalf("drop=%g: O=%v, want exactly 0 (survivors keep order)", rate, r.O)
+		}
+		if r.OnlyB != 0 {
+			t.Fatalf("drop=%g: OnlyB=%d, drops cannot add packets", rate, r.OnlyB)
+		}
+		prevU = r.U
+	}
+}
+
+// TestBurstTruncationRaisesU: burst truncation is a correlated drop —
+// same U/O signature, bigger steps.
+func TestBurstTruncationRaisesU(t *testing.T) {
+	r := score(t, fault.Plan{Seed: 11, BurstRate: 0.005})
+	if r.U <= 0 || r.O != 0 || r.OnlyB != 0 {
+		t.Fatalf("burst: want U>0, O=0, OnlyB=0; got %v", r)
+	}
+}
+
+// TestDelayOnlyPlansMoveLatencyNotSet: skew and jitter shift time, so L
+// (and I, for jitter) move while U and O stay exactly 0.
+func TestDelayOnlyPlansMoveLatencyNotSet(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		plan  fault.Plan
+		wantI bool
+	}{
+		{"jitter", fault.Plan{Seed: 12, Jitter: 2 * sim.Microsecond}, true},
+		{"skew", fault.Plan{Seed: 13, SkewPPM: 400}, false},
+		{"skew+jitter", fault.Plan{Seed: 14, SkewPPM: 200, Jitter: sim.Microsecond}, true},
+	} {
+		r := score(t, tc.plan)
+		if r.U != 0 || r.O != 0 {
+			t.Fatalf("%s: U=%v O=%v, want exactly 0 (delay faults keep the set and order)", tc.name, r.U, r.O)
+		}
+		if r.L <= 0 {
+			t.Fatalf("%s: L=%v, want > 0", tc.name, r.L)
+		}
+		if tc.wantI && r.I <= 0 {
+			t.Fatalf("%s: I=%v, want > 0", tc.name, r.I)
+		}
+		if r.Kappa >= 1 {
+			t.Fatalf("%s: κ=%v, want < 1", tc.name, r.Kappa)
+		}
+	}
+}
+
+// TestReorderMovesONotU: reorder-by-delay changes order, never the set.
+func TestReorderMovesONotU(t *testing.T) {
+	r := score(t, fault.Plan{Seed: 15, Reorder: 0.05})
+	if r.U != 0 {
+		t.Fatalf("reorder: U=%v, want exactly 0 (the packet set is unchanged)", r.U)
+	}
+	if r.O <= 0 {
+		t.Fatalf("reorder: O=%v, want > 0", r.O)
+	}
+	if r.MovedPackets == 0 {
+		t.Fatal("reorder: edit script is empty")
+	}
+}
+
+// TestDupAndCorruptSignatures: duplication adds B-only packets;
+// corruption removes a match on both sides at once.
+func TestDupAndCorruptSignatures(t *testing.T) {
+	dup := score(t, fault.Plan{Seed: 16, Dup: 0.05})
+	if dup.U <= 0 || dup.OnlyB == 0 || dup.OnlyA != 0 {
+		t.Fatalf("dup: want U>0 with OnlyB>0, OnlyA=0; got %v", dup)
+	}
+	if dup.O != 0 {
+		t.Fatalf("dup: O=%v, want exactly 0 (originals keep their order)", dup.O)
+	}
+	cor := score(t, fault.Plan{Seed: 17, Corrupt: 0.05})
+	if cor.U <= 0 || cor.OnlyA == 0 || cor.OnlyB == 0 {
+		t.Fatalf("corrupt: want U>0 with OnlyA>0 and OnlyB>0; got %v", cor)
+	}
+	if cor.OnlyA != cor.OnlyB {
+		t.Fatalf("corrupt: OnlyA=%d OnlyB=%d, corruption replaces one-for-one", cor.OnlyA, cor.OnlyB)
+	}
+}
+
+// TestEveryAxisDegradesKappa: at full intensity every axis must pull κ
+// strictly below 1, and at intensity 0 every axis is the identity.
+func TestEveryAxisDegradesKappa(t *testing.T) {
+	base := Baseline("axis", trialLen, 2)
+	for _, ax := range Axes() {
+		pts, err := Sweep(ax, base, 18, []float64{0, 1})
+		if err != nil {
+			t.Fatalf("axis %s: %v", ax.Name, err)
+		}
+		if pts[0].R.Kappa != 1 {
+			t.Fatalf("axis %s at x=0: κ=%v, want exactly 1", ax.Name, pts[0].R.Kappa)
+		}
+		if pts[1].R.Kappa >= pts[0].R.Kappa {
+			t.Fatalf("axis %s at x=1: κ=%v did not degrade", ax.Name, pts[1].R.Kappa)
+		}
+	}
+}
+
+func TestAxisByName(t *testing.T) {
+	if _, ok := AxisByName("drop"); !ok {
+		t.Fatal("drop axis missing")
+	}
+	if _, ok := AxisByName("nope"); ok {
+		t.Fatal("unknown axis found")
+	}
+}
+
+// TestSweepRenderIsByteDeterministic is the in-process half of the
+// verify.sh replay gate: the same seed renders the same bytes.
+func TestSweepRenderIsByteDeterministic(t *testing.T) {
+	base := Baseline("det", 2500, 3)
+	ax, _ := AxisByName("drop")
+	render := func() []byte {
+		pts, err := Sweep(ax, base, 19, []float64{0, 0.05, 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		RenderTable(&buf, ax, pts)
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("renders differ:\n%s\n---\n%s", a, b)
+	}
+}

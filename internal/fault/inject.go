@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Injector composes a Plan into the simulated event path: it implements
+// nic.Endpoint, so it can be attached anywhere a wire terminates — a
+// switch egress port, the recorder's ingress, a middlebox RX — and
+// perturbs the frames flowing through before handing them to the
+// downstream endpoint.
+//
+// Drops and burst truncations swallow frames; duplicates and reordered
+// frames are re-posted on the engine at their delayed arrival instants;
+// skew/jitter shift delivery timestamps forward. Decisions use the same
+// stateless (seed, fault, index) streams as Plan.Apply, with the index
+// counting arrivals at this injector — so feeding a trace's arrivals
+// through an Injector produces exactly Plan.Apply of that trace
+// (asserted bit-for-bit by TestInjectorMatchesApply).
+//
+// An Injector is not safe for concurrent use; like every simulated
+// component it runs inside engine callbacks.
+type Injector struct {
+	eng  *sim.Engine
+	plan Plan
+	down nic.Endpoint
+
+	idx       uint64
+	started   bool
+	base      sim.Time
+	prev      sim.Time
+	burstLeft int
+
+	stats InjectorStats
+}
+
+// InjectorStats counts what the injector did to the flow — the ground
+// truth a metamorphic test compares the metric response against.
+type InjectorStats struct {
+	// Received counts frames that reached the injector.
+	Received int64
+	// Delivered counts frames handed downstream (duplicates included).
+	Delivered int64
+	// Dropped and Truncated count removed frames (individual drops vs
+	// burst truncation).
+	Dropped, Truncated int64
+	// Corrupted, Duplicated and Reordered count applied faults.
+	Corrupted, Duplicated, Reordered int64
+}
+
+// NewInjector wires a plan in front of down on eng. Plans with negative
+// skew are rejected: the event path cannot deliver into the past
+// (trace-level Apply supports them).
+func NewInjector(eng *sim.Engine, plan Plan, down nic.Endpoint) (*Injector, error) {
+	if eng == nil || down == nil {
+		return nil, fmt.Errorf("fault: injector needs an engine and a downstream endpoint")
+	}
+	if plan.SkewPPM < 0 {
+		return nil, fmt.Errorf("fault: the sim-path injector cannot apply negative skew (%g ppm); use Plan.Apply", plan.SkewPPM)
+	}
+	return &Injector{eng: eng, plan: plan.withDefaults(), down: down, prev: sim.Time(math.MinInt64)}, nil
+}
+
+// Stats returns the running fault counts.
+func (j *Injector) Stats() InjectorStats { return j.stats }
+
+// Receive implements nic.Endpoint: apply the plan to one arriving frame.
+func (j *Injector) Receive(pk *packet.Packet, at sim.Time) {
+	p := &j.plan
+	idx := j.idx
+	j.idx++
+	j.stats.Received++
+	if !j.started {
+		j.started = true
+		j.base = at
+	}
+	adj := p.adjustTime(j.base, at, idx)
+	if adj < j.prev {
+		adj = j.prev
+	}
+	j.prev = adj
+
+	if j.burstLeft > 0 {
+		j.burstLeft--
+		j.stats.Truncated++
+		return
+	}
+	if p.hit(fBurst, idx, p.BurstRate) {
+		j.burstLeft = p.BurstLen - 1
+		j.stats.Truncated++
+		return
+	}
+	if p.hit(fDrop, idx, p.Drop) {
+		j.stats.Dropped++
+		return
+	}
+	if p.hit(fCorrupt, idx, p.Corrupt) {
+		pk = corruptTag(pk, p.bits(fCorruptVal, idx))
+		j.stats.Corrupted++
+	}
+	mainAt := adj
+	if p.hit(fReorder, idx, p.Reorder) {
+		mainAt = adj + p.ReorderDelay
+		j.stats.Reordered++
+	}
+	j.deliver(pk, mainAt)
+	if p.hit(fDup, idx, p.Dup) {
+		j.stats.Duplicated++
+		j.deliver(pk, adj+p.DupDelay)
+	}
+}
+
+// deliver forwards a frame at instant at. Everything goes through the
+// engine — even undelayed frames — so that arrivals at one instant fire
+// in creation order, matching Plan.Apply's (time, rank) sort exactly.
+func (j *Injector) deliver(pk *packet.Packet, at sim.Time) {
+	j.eng.Post(at, func() {
+		j.stats.Delivered++
+		j.down.Receive(pk, at)
+	})
+}

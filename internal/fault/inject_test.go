@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// capture is a nic.Endpoint that records everything it receives.
+type capture struct{ tr *trace.Trace }
+
+func (c *capture) Receive(pk *packet.Packet, at sim.Time) { c.tr.Append(pk, at) }
+
+// runInjector feeds every arrival of in through an Injector on a fresh
+// engine and returns the captured downstream trace plus the stats.
+func runInjector(t *testing.T, p Plan, in *trace.Trace) (*trace.Trace, InjectorStats) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	sink := &capture{tr: trace.New(in.Name, in.Len())}
+	inj, err := NewInjector(eng, p, sink)
+	if err != nil {
+		t.Fatalf("NewInjector(%v): %v", p, err)
+	}
+	for i := 0; i < in.Len(); i++ {
+		pk, at := in.Packets[i], in.Times[i]
+		eng.Post(at, func() { inj.Receive(pk, at) })
+	}
+	eng.Run()
+	return sink.tr, inj.Stats()
+}
+
+// TestInjectorMatchesApply is the contract at the heart of the package:
+// the trace-level Apply and the event-path Injector are two renderings
+// of the same plan, bit-identical on every input. Negative skew is the
+// one documented exception (the injector cannot deliver into the past).
+func TestInjectorMatchesApply(t *testing.T) {
+	in := sampleTrace("diff", 3000, 40)
+	for _, p := range testPlans() {
+		want := p.Apply(in)
+		got, _ := runInjector(t, p, in)
+		traceEqual(t, got, want)
+	}
+}
+
+func TestInjectorReplayDeterminism(t *testing.T) {
+	in := sampleTrace("replay", 2000, 41)
+	p := Plan{Seed: 42, Drop: 0.05, Dup: 0.05, Corrupt: 0.05, Reorder: 0.08, Jitter: 200, SkewPPM: 40}
+	a, sa := runInjector(t, p, in)
+	b, sb := runInjector(t, p, in)
+	traceEqual(t, a, b)
+	if sa != sb {
+		t.Fatalf("stats differ across replays: %+v vs %+v", sa, sb)
+	}
+}
+
+func TestInjectorStatsAreConsistent(t *testing.T) {
+	in := sampleTrace("stats", 4000, 43)
+	p := Plan{Seed: 44, Drop: 0.04, Dup: 0.03, Corrupt: 0.02, BurstRate: 0.002, BurstLen: 6, Reorder: 0.05}
+	out, s := runInjector(t, p, in)
+	if s.Received != int64(in.Len()) {
+		t.Fatalf("Received = %d, want %d", s.Received, in.Len())
+	}
+	if s.Delivered != int64(out.Len()) {
+		t.Fatalf("Delivered = %d, but downstream saw %d", s.Delivered, out.Len())
+	}
+	if want := s.Received - s.Dropped - s.Truncated + s.Duplicated; s.Delivered != want {
+		t.Fatalf("Delivered = %d, want Received−Dropped−Truncated+Duplicated = %d (%+v)", s.Delivered, want, s)
+	}
+	for _, c := range []struct {
+		name string
+		n    int64
+	}{{"Dropped", s.Dropped}, {"Truncated", s.Truncated}, {"Corrupted", s.Corrupted}, {"Duplicated", s.Duplicated}, {"Reordered", s.Reordered}} {
+		if c.n == 0 {
+			t.Fatalf("fault counter %s never fired under %v", c.name, p)
+		}
+	}
+}
+
+func TestInjectorIdentityForwardsUntouched(t *testing.T) {
+	in := sampleTrace("fwd", 500, 45)
+	out, s := runInjector(t, Plan{Seed: 46}, in)
+	traceEqual(t, out, in)
+	for i := range out.Packets {
+		if out.Packets[i] != in.Packets[i] {
+			t.Fatalf("identity injector cloned packet %d", i)
+		}
+	}
+	if s.Dropped+s.Truncated+s.Corrupted+s.Duplicated+s.Reordered != 0 {
+		t.Fatalf("identity injector reported faults: %+v", s)
+	}
+}
+
+func TestInjectorRejectsBadConfig(t *testing.T) {
+	eng := sim.NewEngine(1)
+	sink := &capture{tr: trace.New("x", 0)}
+	if _, err := NewInjector(nil, Plan{}, sink); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := NewInjector(eng, Plan{}, nil); err == nil {
+		t.Fatal("nil downstream accepted")
+	}
+	if _, err := NewInjector(eng, Plan{SkewPPM: -5}, sink); err == nil {
+		t.Fatal("negative skew accepted by the sim-path injector")
+	}
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Source mirrors stream.Source structurally (declared here to keep the
+// dependency arrow pointing from tests into this package, never from
+// the streaming engine into the fault layer): one trial's packets in
+// arrival order, io.EOF at a clean end.
+type Source interface {
+	Next() (*packet.Packet, sim.Time, error)
+}
+
+// StallSource wraps a streaming source with the plan's delivery-level
+// scheduling faults:
+//
+//   - per-record stalls (Stall.Rate × Stall.Yields scheduler yields)
+//     perturb the goroutine interleaving of the shard/merge pipeline;
+//   - batching (Stall.Batch) withholds records and releases them in
+//     lumps, which makes this side's window watermarks arrive late and
+//     drives the other side into the backpressure gate.
+//
+// Neither fault changes *what* is delivered — only when. The streaming
+// engine's output must therefore be bit-identical with or without the
+// wrapper; the stream test suite asserts exactly that under -race.
+func (p Plan) StallSource(src Source) Source {
+	p = p.withDefaults()
+	return &stallSource{src: src, plan: p}
+}
+
+// stallEntry is one buffered record of a batching stall source.
+type stallEntry struct {
+	pk *packet.Packet
+	at sim.Time
+}
+
+type stallSource struct {
+	src  Source
+	plan Plan
+	idx  uint64
+
+	buf  []stallEntry
+	next int
+	err  error // terminal error, served after the buffer drains
+	done bool
+}
+
+// Next implements Source.
+func (s *stallSource) Next() (*packet.Packet, sim.Time, error) {
+	p := &s.plan
+	idx := s.idx
+	s.idx++
+	if p.hit(fStall, idx, p.Stall.Rate) {
+		for i := 0; i < p.Stall.Yields; i++ {
+			runtime.Gosched()
+		}
+	}
+	if p.Stall.Batch <= 0 {
+		return s.src.Next()
+	}
+	// Batching: pull a whole lump from the underlying source before
+	// releasing its first record.
+	if s.next >= len(s.buf) {
+		if s.done {
+			return nil, 0, s.err
+		}
+		s.buf = s.buf[:0]
+		s.next = 0
+		for len(s.buf) < p.Stall.Batch {
+			pk, at, err := s.src.Next()
+			if err != nil {
+				s.err = err
+				s.done = true
+				break
+			}
+			s.buf = append(s.buf, stallEntry{pk: pk, at: at})
+		}
+		if len(s.buf) == 0 {
+			return nil, 0, s.err
+		}
+	}
+	e := s.buf[s.next]
+	s.next++
+	return e.pk, e.at, nil
+}
+
+// StallHook builds a stream.Config.Stall callback: a shard-stall fault
+// that yields the worker's goroutine at plan-selected points inside the
+// shard and merge stages. Decisions are per-(stage, id) counters over
+// the plan's stall stream, so a given pipeline position stalls at the
+// same logical records on every run; the resulting summaries must be
+// bit-identical to an unstalled run (asserted in the stream suite).
+//
+// The hook is called concurrently from every shard worker, hence the
+// lock — contention is itself part of the fault.
+func (p Plan) StallHook() func(stage string, id int) {
+	p = p.withDefaults()
+	var mu sync.Mutex
+	counts := make(map[[2]int]uint64) // [stage-class, id] → calls
+	class := func(stage string) int {
+		if stage == "merge" {
+			return 1
+		}
+		return 0
+	}
+	return func(stage string, id int) {
+		key := [2]int{class(stage), id}
+		mu.Lock()
+		c := counts[key]
+		counts[key] = c + 1
+		mu.Unlock()
+		// Fold the position into the index so different shards stall at
+		// different records.
+		if p.hit(fStall, c*64+uint64(key[0])*32+uint64(id), p.Stall.Rate) {
+			for i := 0; i < p.Stall.Yields; i++ {
+				runtime.Gosched()
+			}
+		}
+	}
+}

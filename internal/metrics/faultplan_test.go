@@ -1,0 +1,125 @@
+package metrics_test
+
+// External test package: these suites drive metrics through the seeded
+// fault layer (internal/fault), which itself builds on metrics — an
+// in-package test file would be an import cycle.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fault/harness"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// planMatrix are the perturbations the pooled/serial differential runs
+// under — every fault class, alone and combined.
+func planMatrix() []fault.Plan {
+	return []fault.Plan{
+		{Seed: 201}, // identity
+		{Seed: 202, Drop: 0.1},
+		{Seed: 203, Dup: 0.08},
+		{Seed: 204, Corrupt: 0.06},
+		{Seed: 205, BurstRate: 0.004},
+		{Seed: 206, Reorder: 0.12},
+		{Seed: 207, Jitter: 600, SkewPPM: 120},
+		{Seed: 208, Drop: 0.05, Dup: 0.04, Corrupt: 0.03, Reorder: 0.06, BurstRate: 0.002, Jitter: 250},
+	}
+}
+
+// TestCompareWindowedPooledMatchesSerialUnderFaultPlans closes the PR 3
+// gap: the pooled CompareWindowed fan-out was only ever differentially
+// tested on fault-free captures. Here every fault plan perturbs the B
+// trial — drops empty some windows, duplicates inflate others, jitter
+// shifts packets across boundaries — and the pooled pass must still be
+// bit-identical to the serial pass, field for field (run under -race in
+// verify.sh's full-suite gate).
+func TestCompareWindowedPooledMatchesSerialUnderFaultPlans(t *testing.T) {
+	base := harness.Baseline("A", 8000, 81)
+	window := 80 * sim.Microsecond
+	pool := parallel.New(4)
+	for _, plan := range planMatrix() {
+		perturbed := plan.Apply(base)
+		perturbed.Name = "B"
+		for _, keep := range []bool{false, true} {
+			serial, err := metrics.CompareWindowed(base, perturbed, window, metrics.Options{KeepDeltas: keep})
+			if err != nil {
+				t.Fatalf("%v: serial: %v", plan, err)
+			}
+			pooled, err := metrics.CompareWindowed(base, perturbed, window, metrics.Options{KeepDeltas: keep, Pool: pool})
+			if err != nil {
+				t.Fatalf("%v: pooled: %v", plan, err)
+			}
+			if len(serial) != len(pooled) {
+				t.Fatalf("%v keep=%v: %d windows serial, %d pooled", plan, keep, len(serial), len(pooled))
+			}
+			for i := range serial {
+				s, p := serial[i], pooled[i]
+				if s.Start != p.Start || s.End != p.End {
+					t.Fatalf("%v window %d: bounds %v vs %v", plan, i, s, p)
+				}
+				sr, pr := s.Result, p.Result
+				if sr.U != pr.U || sr.O != pr.O || sr.L != pr.L || sr.I != pr.I || sr.Kappa != pr.Kappa ||
+					sr.PctIATWithin10 != pr.PctIATWithin10 {
+					t.Fatalf("%v window %d: vectors differ:\n serial %v\n pooled %v", plan, i, sr, pr)
+				}
+				if sr.Common != pr.Common || sr.OnlyA != pr.OnlyA || sr.OnlyB != pr.OnlyB || sr.MovedPackets != pr.MovedPackets {
+					t.Fatalf("%v window %d: counts differ: %+v vs %+v", plan, i, sr, pr)
+				}
+				if keep && (!reflect.DeepEqual(sr.IATDeltas, pr.IATDeltas) ||
+					!reflect.DeepEqual(sr.LatencyDeltas, pr.LatencyDeltas) ||
+					!reflect.DeepEqual(sr.MoveDistances, pr.MoveDistances)) {
+					t.Fatalf("%v window %d: retained deltas differ", plan, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedDropAccounting cross-checks the windowed metrics against
+// the fault layer's ground truth: under a drop-only plan the total
+// OnlyA across windows is exactly the number of packets the plan
+// removed, and no window ever reports OnlyB.
+func TestWindowedDropAccounting(t *testing.T) {
+	base := harness.Baseline("A", 6000, 82)
+	plan := fault.Plan{Seed: 83, Drop: 0.07}
+	perturbed := plan.Apply(base)
+	dropped := base.Len() - perturbed.Len()
+	if dropped == 0 {
+		t.Fatal("plan dropped nothing")
+	}
+	ws, err := metrics.CompareWindowed(base, perturbed, 50*sim.Microsecond, metrics.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onlyA, onlyB int
+	for _, w := range ws {
+		onlyA += w.Result.OnlyA
+		onlyB += w.Result.OnlyB
+	}
+	if onlyA != dropped || onlyB != 0 {
+		t.Fatalf("windows report onlyA=%d onlyB=%d, injector ground truth: %d dropped", onlyA, onlyB, dropped)
+	}
+}
+
+// TestWindowedIdentityPlanPerfectKappa: the identity plan scores κ = 1
+// in every window, exactly.
+func TestWindowedIdentityPlanPerfectKappa(t *testing.T) {
+	base := harness.Baseline("A", 4000, 84)
+	out := fault.Plan{Seed: 85}.Apply(base)
+	ws, err := metrics.CompareWindowed(base, out, 64*sim.Microsecond, metrics.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) == 0 {
+		t.Fatal("no windows")
+	}
+	for i, w := range ws {
+		if w.Result.Kappa != 1 || w.Result.U != 0 || w.Result.O != 0 || w.Result.L != 0 || w.Result.I != 0 {
+			t.Fatalf("window %d: %v under the identity plan", i, w.Result)
+		}
+	}
+}

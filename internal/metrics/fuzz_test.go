@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fuzzTrace decodes an arbitrary byte string into a valid trace: each
+// byte contributes one packet whose tag and inter-arrival gap are both
+// derived from the byte. Gaps of zero (b % 97 == 0) produce timestamp
+// ties, and the narrow Seq space (b >> 2) produces heavy tag
+// duplication — both are the cases the occurrence-keyed matcher has to
+// get right.
+func fuzzTrace(name string, data []byte) *trace.Trace {
+	tr := trace.New(name, len(data))
+	var at sim.Time
+	for _, b := range data {
+		at += sim.Time(b % 97)
+		tr.Append(&packet.Packet{
+			Tag:      packet.Tag{Replayer: 1, Stream: uint16(b % 3), Seq: uint64(b >> 2)},
+			Kind:     packet.KindData,
+			FrameLen: 64,
+		}, at)
+	}
+	return tr
+}
+
+// checkBounds asserts the Eq. 1–5 ranges that hold for every pair of
+// valid traces: U, O, L, I ∈ [0, 1] and κ ∈ [0, 1], all finite.
+func checkBounds(t *testing.T, label string, r *Result) {
+	t.Helper()
+	const eps = 1e-9
+	for _, m := range []struct {
+		name string
+		v    float64
+	}{{"U", r.U}, {"O", r.O}, {"L", r.L}, {"I", r.I}, {"kappa", r.Kappa}} {
+		if math.IsNaN(m.v) || math.IsInf(m.v, 0) {
+			t.Fatalf("%s: %s = %v is not finite", label, m.name, m.v)
+		}
+		if m.v < -eps || m.v > 1+eps {
+			t.Fatalf("%s: %s = %v outside [0,1]", label, m.name, m.v)
+		}
+	}
+}
+
+// FuzzCompare drives the full Compare/CompareWindowed pipeline —
+// occurrence matching, LIS edit script, delta passes, windowing — with
+// arbitrary packet sets. The invariants are structural, not golden:
+// no panic, metrics stay in range, the set accounting is exact
+// (Common + OnlyA == |A|), the metrics are symmetric in their
+// arguments, self-comparison scores κ = 1 exactly, and the windowed
+// pass partitions both trials without losing or inventing packets.
+func FuzzCompare(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0}, []byte{})
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4, 5})       // identical
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{5, 4, 3, 2, 1})       // reordered
+	f.Add([]byte{10, 20, 30}, []byte{40, 50, 60})             // disjoint tags
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0})                   // all ties, dup tags
+	f.Add([]byte{97, 97, 194}, []byte{97, 1, 97})             // zero gaps mixed in
+	f.Add(bytes.Repeat([]byte{7}, 300), bytes.Repeat([]byte{7, 9}, 150))
+
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		// Unbounded fuzz inputs would make the quadratic-ish windowed
+		// sweep the bottleneck, not the logic under test.
+		if len(da) > 4096 || len(db) > 4096 {
+			t.Skip()
+		}
+		a := fuzzTrace("A", da)
+		b := fuzzTrace("B", db)
+
+		ab, err := Compare(a, b, Options{KeepDeltas: true})
+		if err != nil {
+			t.Fatalf("Compare(a,b): %v", err)
+		}
+		checkBounds(t, "ab", ab)
+		if ab.Common+ab.OnlyA != a.Len() || ab.Common+ab.OnlyB != b.Len() {
+			t.Fatalf("set accounting broken: common=%d onlyA=%d onlyB=%d, |A|=%d |B|=%d",
+				ab.Common, ab.OnlyA, ab.OnlyB, a.Len(), b.Len())
+		}
+		if len(ab.IATDeltas) != ab.Common || len(ab.LatencyDeltas) != ab.Common {
+			t.Fatalf("retained %d IAT / %d latency deltas for %d common packets",
+				len(ab.IATDeltas), len(ab.LatencyDeltas), ab.Common)
+		}
+
+		// Symmetry (the paper's metrics are symmetric; only the side
+		// labels swap).
+		ba, err := Compare(b, a, Options{})
+		if err != nil {
+			t.Fatalf("Compare(b,a): %v", err)
+		}
+		if ba.U != ab.U || ba.O != ab.O || ba.L != ab.L || ba.I != ab.I || ba.Kappa != ab.Kappa {
+			t.Fatalf("metrics not symmetric:\n ab %v\n ba %v", ab, ba)
+		}
+		if ba.OnlyA != ab.OnlyB || ba.OnlyB != ab.OnlyA || ba.Common != ab.Common {
+			t.Fatalf("counts not mirrored: ab %d/%d/%d, ba %d/%d/%d",
+				ab.Common, ab.OnlyA, ab.OnlyB, ba.Common, ba.OnlyA, ba.OnlyB)
+		}
+
+		// Self-comparison is exact unity.
+		aa, err := Compare(a, a, Options{})
+		if err != nil {
+			t.Fatalf("Compare(a,a): %v", err)
+		}
+		if aa.Kappa != 1 || aa.U != 0 || aa.O != 0 || aa.L != 0 || aa.I != 0 || aa.OnlyA != 0 || aa.OnlyB != 0 {
+			t.Fatalf("self-comparison not exact: %v", aa)
+		}
+
+		// Windowing partitions both trials exactly.
+		ws, err := CompareWindowed(a, b, 64, Options{})
+		if err != nil {
+			t.Fatalf("CompareWindowed: %v", err)
+		}
+		var sumA, sumB int
+		for i, w := range ws {
+			checkBounds(t, "window", w.Result)
+			sumA += w.Result.Common + w.Result.OnlyA
+			sumB += w.Result.Common + w.Result.OnlyB
+			if w.End-w.Start != 64 {
+				t.Fatalf("window %d spans %v", i, w.End-w.Start)
+			}
+		}
+		if sumA != a.Len() || sumB != b.Len() {
+			t.Fatalf("windows partition %d/%d packets of %d/%d", sumA, sumB, a.Len(), b.Len())
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"rewrite the checked-in fuzz seed corpus under testdata/fuzz")
+
+// corpusEntries builds the checked-in seed corpus for FuzzStream: every
+// construction is deterministic, so the files are byte-stable and the
+// guard test below can diff them. These extend the in-code f.Add seeds
+// with mutations that took the fuzzer time to discover on its own —
+// checked in so every plain `go test` run covers them forever.
+func corpusEntries() map[string][]byte {
+	tr := sampleTrace(4)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		panic(err)
+	}
+	healthy := buf.Bytes()
+
+	micros := append([]byte(nil), healthy...)
+	binary.LittleEndian.PutUint32(micros[0:4], MagicMicros)
+
+	// A record header claiming 4 GiB − 16 bytes of payload.
+	greedy := append([]byte(nil), healthy[:24]...)
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[8:12], 0xFFFFFFF0)
+	greedy = append(greedy, rec[:]...)
+
+	// incl_len exactly at the snap limit with no payload behind it.
+	snapEdge := append([]byte(nil), healthy[:24]...)
+	binary.LittleEndian.PutUint32(rec[8:12], DefaultSnapLen)
+	snapEdge = append(snapEdge, rec[:]...)
+
+	// A zero-length record followed by a healthy one: incl_len = 0 is
+	// legal pcap and must not stall the incremental reader.
+	zeroRec := append([]byte(nil), healthy[:24]...)
+	var zrec [16]byte
+	zeroRec = append(zeroRec, zrec[:]...)
+	zeroRec = append(zeroRec, healthy[24:]...)
+
+	// Big-endian magic: not a format we write, but one real captures
+	// use; the parser must reject or parse it without panicking.
+	swapped := append([]byte(nil), healthy...)
+	swapped[0], swapped[1], swapped[2], swapped[3] = swapped[3], swapped[2], swapped[1], swapped[0]
+
+	// incl_len one byte larger than the actual remaining payload: the
+	// classic off-by-one truncation.
+	offByOne := append([]byte(nil), healthy...)
+	binary.LittleEndian.PutUint32(offByOne[24+8:24+12],
+		binary.LittleEndian.Uint32(offByOne[24+8:24+12])+1)
+
+	return map[string][]byte{
+		"healthy":          fuzzV1(healthy),
+		"micros-magic":     fuzzV1(micros),
+		"header-only":      fuzzV1(healthy[:24]),
+		"mid-record":       fuzzV1(healthy[:24+7]),
+		"mid-final-body":   fuzzV1(healthy[:len(healthy)-3]),
+		"greedy-incl-len":  fuzzV1(greedy),
+		"snaplen-edge":     fuzzV1(snapEdge),
+		"zero-len-record":  fuzzV1(zeroRec),
+		"big-endian-magic": fuzzV1(swapped),
+		"incl-len-off-by1": fuzzV1(offByOne),
+	}
+}
+
+// fuzzV1 encodes byte-slice arguments in the native Go fuzz corpus file
+// format ("go test fuzz v1" + one quoted literal per argument).
+func fuzzV1(args ...[]byte) []byte {
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, a := range args {
+		fmt.Fprintf(&b, "[]byte(%q)\n", a)
+	}
+	return b.Bytes()
+}
+
+// TestCheckedInCorpus keeps testdata/fuzz/FuzzStream in lockstep with
+// corpusEntries: with -update-corpus it rewrites the files, without it
+// the test fails if any entry is missing, stale, or malformed. The
+// corpus itself is executed by the Go toolchain as FuzzStream's seed
+// set on every plain `go test` run.
+func TestCheckedInCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzStream")
+	want := corpusEntries()
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range want {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	for name, data := range want {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("corpus entry missing (run go test -update-corpus): %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("corpus entry %s is stale (run go test -update-corpus)", name)
+		}
+		if !strings.HasPrefix(string(got), "go test fuzz v1\n") {
+			t.Fatalf("corpus entry %s is not in go fuzz v1 format", name)
+		}
+	}
+}

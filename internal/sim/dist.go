@@ -160,6 +160,20 @@ func (c Clamp) String() string {
 	return fmt.Sprintf("clamp(%v,[%d,%d])", c.D, int64(c.Lo), int64(c.Hi))
 }
 
+// Sum samples A and B independently and returns their sum. It composes
+// an extra noise term onto an existing distribution — e.g. widening a
+// clock-sync residual with an injected fault — without rewriting the
+// base model.
+type Sum struct{ A, B Dist }
+
+// Sample implements Dist.
+func (s Sum) Sample(r *rand.Rand) Duration { return s.A.Sample(r) + s.B.Sample(r) }
+
+// Mean implements Dist.
+func (s Sum) Mean() float64 { return s.A.Mean() + s.B.Mean() }
+
+func (s Sum) String() string { return fmt.Sprintf("sum(%v,%v)", s.A, s.B) }
+
 // Zero is a Dist that always samples 0; useful for "perfect hardware"
 // test profiles.
 var Zero Dist = Constant{0}

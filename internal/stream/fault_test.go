@@ -1,0 +1,244 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fault/harness"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// faultPlans is the acceptance matrix: ≥ 4 distinct fault plans under
+// which streaming κ must stay bit-identical to batch κ (run under -race
+// via verify.sh).
+func faultPlans() []fault.Plan {
+	return []fault.Plan{
+		{Seed: 101, Drop: 0.08},
+		{Seed: 102, Dup: 0.06, DupDelay: 120},
+		{Seed: 103, Reorder: 0.1, ReorderDelay: 1500},
+		{Seed: 104, Corrupt: 0.05, Jitter: 400},
+		{Seed: 105, Drop: 0.05, Dup: 0.03, Reorder: 0.05, BurstRate: 0.002, SkewPPM: 150, Jitter: 200},
+	}
+}
+
+// TestStreamingMatchesBatchUnderFaultPlans: for every fault plan,
+// baseline-vs-perturbed scored by the streaming engine equals
+// metrics.CompareWindowed window for window — the paper's "κ quantifies
+// degradation" claim holds identically on both code paths.
+func TestStreamingMatchesBatchUnderFaultPlans(t *testing.T) {
+	base := harness.Baseline("A", 6000, 51)
+	for _, plan := range faultPlans() {
+		perturbed := plan.Apply(base)
+		perturbed.Name = "B"
+		for _, shards := range []int{1, 4} {
+			sum, want := runBoth(t, base, perturbed, 100_000, Config{Shards: shards, Buffer: 64, MaxLag: 3})
+			assertWindowsEqual(t, sum.Windows, want)
+			if plan.IsIdentity() {
+				continue
+			}
+			if sum.Aggregate.Kappa >= 1 {
+				t.Fatalf("%v: aggregate κ=%v, fault plan did not degrade", plan, sum.Aggregate.Kappa)
+			}
+		}
+	}
+}
+
+// assertSummariesIdentical holds two streaming summaries bit-equal:
+// window vectors, aggregate and packet counts.
+func assertSummariesIdentical(t *testing.T, got, want *Summary) {
+	t.Helper()
+	assertWindowsEqual(t, got.Windows, want.Windows)
+	if got.Aggregate != want.Aggregate {
+		t.Fatalf("aggregates differ:\n got %v\nwant %v", got.Aggregate, want.Aggregate)
+	}
+	if got.PacketsA != want.PacketsA || got.PacketsB != want.PacketsB {
+		t.Fatalf("packet counts (%d,%d) != (%d,%d)", got.PacketsA, got.PacketsB, want.PacketsA, want.PacketsB)
+	}
+}
+
+// TestStallFaultsAreOutputInvariant: shard stalls and bursty
+// late-watermark sources perturb scheduling — goroutine interleavings,
+// channel occupancy, watermark arrival times — but must never change a
+// single output bit. Run under -race this also hunts for ordering bugs
+// that only a perturbed interleaving exposes.
+func TestStallFaultsAreOutputInvariant(t *testing.T) {
+	a := jitteredTrial("A", 4000, 61)
+	b := jitteredTrial("B", 4000, 62)
+	clean, err := Run(NewTraceSource(a), NewTraceSource(b), Config{Window: 20_000, Shards: 4, Buffer: 32, MaxLag: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []fault.Plan{
+		{Seed: 63, Stall: fault.StallPlan{Rate: 0.3, Yields: 2}},
+		{Seed: 64, Stall: fault.StallPlan{Batch: 37}},
+		{Seed: 65, Stall: fault.StallPlan{Rate: 0.6, Yields: 4, Batch: 256}},
+	} {
+		cfg := Config{Window: 20_000, Shards: 4, Buffer: 32, MaxLag: 2, Stall: plan.StallHook()}
+		sum, err := Run(
+			plan.StallSource(NewTraceSource(a)),
+			plan.StallSource(NewTraceSource(b)),
+			cfg,
+		)
+		if err != nil {
+			t.Fatalf("%v: %v", plan, err)
+		}
+		assertSummariesIdentical(t, sum, clean)
+	}
+}
+
+// tiePacket appends one data packet with the given seq and timestamp.
+func tiePacket(tr *trace.Trace, seq uint64, at sim.Time) {
+	tr.Append(&packet.Packet{Tag: packet.Tag{Seq: seq}, Kind: packet.KindData, FrameLen: 64}, at)
+}
+
+// TestWatermarkTieTable pins the window-assignment semantics for the
+// awkward timelines: timestamps exactly on window boundaries, runs of
+// equal timestamps straddling a boundary, empty windows between
+// occupied ones, and single-packet windows — each checked against the
+// batch oracle across shard counts and the tightest backpressure
+// setting.
+func TestWatermarkTieTable(t *testing.T) {
+	const W = sim.Duration(1000)
+	cases := []struct {
+		name  string
+		build func() (*trace.Trace, *trace.Trace)
+	}{
+		{
+			// Every timestamp identical: one window, all gaps zero.
+			name: "all-equal",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for i := 0; i < 40; i++ {
+					tiePacket(a, uint64(i), 500)
+					tiePacket(b, uint64(39-i), 500) // reversed order, same instants
+				}
+				return a, b
+			},
+		},
+		{
+			// Timestamps exactly at k·W: the packet belongs to window k
+			// (half-open [k·W, (k+1)·W)), on both code paths.
+			name: "boundary-exact",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for k := 0; k < 6; k++ {
+					at := sim.Time(k) * sim.Time(W)
+					tiePacket(a, uint64(k), at)
+					tiePacket(b, uint64(k), at)
+				}
+				return a, b
+			},
+		},
+		{
+			// A run of equal timestamps right at the boundary: …, W−1,
+			// then several packets all exactly at W, then W+1. The equal
+			// run must land in window 1 as a block on both sides even
+			// though one side drops a member of the run.
+			name: "tie-straddles-boundary",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				tiePacket(a, 0, sim.Time(W)-1)
+				tiePacket(b, 0, sim.Time(W)-1)
+				for i := 1; i <= 8; i++ {
+					tiePacket(a, uint64(i), sim.Time(W))
+					if i != 4 { // B misses one of the tied packets
+						tiePacket(b, uint64(i), sim.Time(W))
+					}
+				}
+				tiePacket(a, 9, sim.Time(W)+1)
+				tiePacket(b, 9, sim.Time(W)+1)
+				return a, b
+			},
+		},
+		{
+			// Occupied window 0, three empty windows, occupied window 4:
+			// empty windows produce no scores and no watermark stalls.
+			name: "empty-windows-between",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for i := 0; i < 5; i++ {
+					tiePacket(a, uint64(i), sim.Time(100+i))
+					tiePacket(b, uint64(i), sim.Time(100+i))
+				}
+				tiePacket(a, 100, 4*sim.Time(W)+7)
+				tiePacket(b, 100, 4*sim.Time(W)+7)
+				return a, b
+			},
+		},
+		{
+			// One packet per window: spans are zero, gaps are zero, every
+			// window is a singleton on both sides.
+			name: "single-packet-windows",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for k := 0; k < 10; k++ {
+					at := sim.Time(k)*sim.Time(W) + 13
+					tiePacket(a, uint64(k), at)
+					tiePacket(b, uint64(k), at)
+				}
+				return a, b
+			},
+		},
+		{
+			// Duplicate tags *at the same instant* on a boundary: the
+			// per-window occurrence keys must pair them off in order.
+			name: "duplicate-tags-tied",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for i := 0; i < 3; i++ {
+					tiePacket(a, 7, sim.Time(W))
+					tiePacket(b, 7, sim.Time(W))
+				}
+				tiePacket(a, 8, sim.Time(W))
+				return a, b
+			},
+		},
+		{
+			// One side stops exactly on a boundary while the other
+			// continues — the finished side's watermark must still let
+			// later windows close.
+			name: "one-side-ends-on-boundary",
+			build: func() (*trace.Trace, *trace.Trace) {
+				a, b := trace.New("A", 0), trace.New("B", 0)
+				for k := 0; k < 4; k++ {
+					at := sim.Time(k) * sim.Time(W)
+					tiePacket(a, uint64(k), at)
+					tiePacket(b, uint64(k), at)
+				}
+				tiePacket(a, 100, 7*sim.Time(W))
+				return a, b
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.build()
+			for _, shards := range []int{1, 2, 8} {
+				sum, want := runBoth(t, a, b, W, Config{Shards: shards, Buffer: 4, MaxLag: 1})
+				assertWindowsEqual(t, sum.Windows, want)
+			}
+		})
+	}
+}
+
+// TestStallHookSeesBothStages: the engine must actually invoke the hook
+// from the shard and merge stages (otherwise the invariance test above
+// proves nothing).
+func TestStallHookSeesBothStages(t *testing.T) {
+	var mu = make(chan struct{}, 1)
+	stages := map[string]int{}
+	hook := func(stage string, id int) {
+		mu <- struct{}{}
+		stages[stage]++
+		<-mu
+	}
+	a := jitteredTrial("A", 500, 71)
+	if _, err := Run(NewTraceSource(a), NewTraceSource(a), Config{Window: 10_000, Shards: 2, Stall: hook}); err != nil {
+		t.Fatal(err)
+	}
+	if stages["shard"] == 0 || stages["merge"] == 0 {
+		t.Fatalf("stall hook coverage: %v, want both shard and merge calls", stages)
+	}
+}

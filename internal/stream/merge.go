@@ -166,6 +166,9 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 	}
 
 	for metaCh != nil || partCh != nil {
+		if cfg.Stall != nil {
+			cfg.Stall("merge", 0)
+		}
 		select {
 		case m, ok := <-metaCh:
 			if !ok {

@@ -49,6 +49,10 @@ type shardWorker struct {
 	// merge stage is done with them. order is the flush sort scratch.
 	free  []*winState
 	order []int64
+
+	// stall is the fault-injection scheduling hook (Config.Stall); it
+	// may yield the worker goroutine but never touches data.
+	stall func(stage string, id int)
 }
 
 // freeWinStates bounds the per-shard winState free list; open windows are
@@ -86,6 +90,9 @@ func (w *shardWorker) recycleWinState(ws *winState) {
 func (w *shardWorker) run() {
 	w.wins = make(map[int64]*winState)
 	for msg := range w.in {
+		if w.stall != nil {
+			w.stall("shard", w.id)
+		}
 		if msg.close {
 			w.flush(msg.upTo)
 			continue

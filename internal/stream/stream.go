@@ -83,6 +83,15 @@ type Config struct {
 	// Registry.GaugeValue or a /metrics scrape). Summaries are
 	// bit-identical with or without it.
 	Obs *obs.Obs
+	// Stall, when non-nil, is invoked once per message inside the shard
+	// workers (stage "shard", id = shard index) and the merge stage
+	// (stage "merge", id 0). It exists for the fault-injection suite
+	// (fault.Plan.StallHook): the hook may yield or delay the calling
+	// goroutine to perturb pipeline interleavings, but it must not
+	// change any data — summaries are required to stay bit-identical
+	// with any hook installed, and the stream tests assert that under
+	// the race detector.
+	Stall func(stage string, id int)
 }
 
 func (c Config) defaults() Config {
@@ -220,7 +229,7 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	workers := make([]*shardWorker, n)
 	var workWG sync.WaitGroup
 	for i := 0; i < n; i++ {
-		workers[i] = &shardWorker{id: i, in: shardCh[i], out: partCh}
+		workers[i] = &shardWorker{id: i, in: shardCh[i], out: partCh, stall: cfg.Stall}
 		workWG.Add(1)
 		go func(w *shardWorker) {
 			defer workWG.Done()

@@ -68,6 +68,13 @@ type Env struct {
 	// Sync is the clock discipline (PTP on FABRIC, PTP-over-NTP-GM
 	// locally).
 	Sync clock.SyncConfig
+
+	// WrapRecorder, when set, interposes on the recorder's ingress:
+	// Build attaches the returned endpoint to the switch instead of the
+	// recorder itself. The fault layer uses this to splice a seeded
+	// Injector in front of the capture point without the topology
+	// knowing anything about fault plans.
+	WrapRecorder func(eng *sim.Engine, down nic.Endpoint) nic.Endpoint
 }
 
 // PPS returns the offered packet rate.

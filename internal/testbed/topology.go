@@ -91,9 +91,14 @@ func Build(eng *sim.Engine, env Env) *Topology {
 	t.Switch = sw
 	recorderPort := 3 * r
 
-	// Recorder.
+	// Recorder, optionally behind an environment-supplied interposer
+	// (the fault layer's injection point).
 	t.Recorder = core.NewRecorder(eng, "A", env.RecorderTimestamper(), true)
-	sw.Port(recorderPort).Attach(t.Recorder, linkProp)
+	var recIngress nic.Endpoint = t.Recorder
+	if env.WrapRecorder != nil {
+		recIngress = env.WrapRecorder(eng, t.Recorder)
+	}
+	sw.Port(recorderPort).Attach(recIngress, linkProp)
 
 	// Control plane: sub-millisecond out-of-band delivery.
 	t.Bus = control.NewBus(eng, sim.Uniform{Lo: 20_000, Hi: 120_000})

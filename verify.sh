@@ -1,10 +1,13 @@
 #!/bin/sh
 # verify.sh — the repo's check suite: vet, build, race-enabled tests
-# (the obs registry/tracer concurrency tests gate first), and the
-# streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
+# (the obs registry/tracer concurrency tests gate first), a short fuzz
+# smoke over the pcap/metrics fuzz targets, a deterministic-replay gate
+# (the same fault seed twice must render a byte-identical κ report), and
+# the streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
 # guard bounding the overhead of enabled telemetry.
 #
 #	./verify.sh          # vet + build + tests under -race
+#	                     # + fuzz smoke + fault-replay gate
 #	./verify.sh -bench   # also: BenchmarkStreamKappa + obs guard,
 #	                     # and allocs/op regression guards on
 #	                     # MetricsCompare and StreamKappa
@@ -25,6 +28,19 @@ go test -race ./internal/parallel ./internal/experiments
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== fuzz smoke (10s per target; seed corpus under testdata/fuzz runs in every plain go test)"
+go test ./internal/pcap -run='^$' -fuzz='^FuzzStream$' -fuzztime=10s
+go test ./internal/metrics -run='^$' -fuzz='^FuzzCompare$' -fuzztime=10s
+
+echo "== deterministic-replay gate (same fault seed twice => byte-identical kappa report)"
+replay_tmp=$(mktemp -d)
+trap 'rm -rf "$replay_tmp"' EXIT
+go build -o "$replay_tmp/faultsweep" ./cmd/faultsweep
+"$replay_tmp/faultsweep" -seed 7 -packets 8000 >"$replay_tmp/sweep1.txt"
+"$replay_tmp/faultsweep" -seed 7 -packets 8000 >"$replay_tmp/sweep2.txt"
+cmp "$replay_tmp/sweep1.txt" "$replay_tmp/sweep2.txt"
+echo "faultsweep -seed 7: two runs byte-identical ($(wc -c <"$replay_tmp/sweep1.txt") bytes)"
 
 if [ "${1:-}" = "-bench" ]; then
 	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ, obs on vs off)"
