@@ -20,11 +20,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sim"
@@ -50,6 +53,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"trial scheduler width: independent trials/windows run on this many workers (results are bit-identical to -workers 1)")
+	camp := fs.String("campaign", "",
+		"run a crash-safe resumable trial campaign under this name instead of a single artifact (reps × environments × conditions)")
+	journal := fs.String("journal", "campaign.journal", "campaign journal path (checksummed append-only JSONL, fsync'd per trial)")
+	resume := fs.Bool("resume", false, "replay the journal, skip completed trials, and finish the campaign")
+	trialTimeout := fs.Uint64("trial-timeout", 0,
+		"per-trial sim-step budget: a trial firing more simulation events than this fails deterministically (0 = unlimited)")
+	retries := fs.Int("retries", 2, "retry attempts per failed trial before it is journaled as failed")
+	backoff := fs.Duration("retry-backoff", 250*time.Millisecond, "host-time wait before the first retry, doubling per attempt")
+	reps := fs.Int("reps", 10, "campaign repetitions per (environment, condition) cell")
+	conditions := fs.String("conditions", "clean",
+		"semicolon-separated noise conditions, each a fault plan spec like 'drop=0.005,jitter=2e3' ('clean' = none)")
+	envNames := fs.String("envs", "", "comma-separated environment subset for the campaign (default: all)")
+	stopAfter := fs.Int("stop-after", 0,
+		"checkpoint the campaign after this many trials journaled by this invocation (deterministic interrupt for tests/gates; 0 = off)")
 	ocli := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +85,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	pool := parallel.New(*workers).WithObs(ocli.Obs().Registry())
 	started := time.Now()
+
+	if *camp != "" {
+		ccfg := campaign.Config{
+			Name: *camp, Reps: *reps, Packets: *packets, Runs: *runs,
+			Seed: *seed, Retries: *retries, Backoff: *backoff,
+			MaxSteps: *trialTimeout, Pool: pool, Obs: ocli.Obs(),
+			Log: stderr, StopAfter: *stopAfter,
+		}
+		var err error
+		if ccfg.Envs, err = selectEnvs(*envNames); err != nil {
+			return err
+		}
+		if ccfg.Conditions, err = parseConditions(*conditions); err != nil {
+			return err
+		}
+		if err := runCampaign(ccfg, *journal, *resume, stdout, stderr); err != nil {
+			return err
+		}
+		return finishObs(stderr, ocli, pool, started)
+	}
+
 	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool}
 	if *full {
 		env := testbed.LocalSingle()
@@ -133,4 +171,85 @@ func finishObs(stderr io.Writer, ocli *obs.CLI, pool *parallel.Pool, started tim
 		fmt.Fprintf(stderr, "%s\n", ocli.Summary())
 	}
 	return ocli.Finish()
+}
+
+// runCampaign drives the crash-safe campaign runner: SIGINT checkpoints
+// cleanly (in-flight trials finish and journal, then the process exits
+// without a table), and a completed matrix renders the final table on
+// stdout — byte-identical no matter how many interrupt/resume cycles it
+// took (golden-tested in campaign_test.go and gated in verify.sh).
+func runCampaign(cfg campaign.Config, journalPath string, resume bool, stdout, stderr io.Writer) error {
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		if _, ok := <-sigc; ok {
+			fmt.Fprintln(stderr, "experiments: interrupt — checkpointing campaign (in-flight trials will finish and journal)")
+			close(stop)
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc)
+	}()
+
+	res, err := campaign.Run(cfg, journalPath, resume, stop)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "campaign %q: %d planned, %d ok, %d failed, %d skipped via resume, %d executed here, %d retry attempts, journal %d bytes\n",
+		cfg.Name, res.Planned, res.Completed, res.Failed, res.Skipped, res.Executed, res.RetriedAttempts, res.JournalBytes)
+	if res.Interrupted {
+		fmt.Fprintf(stderr, "campaign checkpointed before completion — rerun with -resume to finish\n")
+		return nil
+	}
+	fmt.Fprintln(stdout, res.Doc.String())
+	return nil
+}
+
+// selectEnvs resolves a comma-separated environment subset ("" = all).
+func selectEnvs(names string) ([]testbed.Env, error) {
+	if strings.TrimSpace(names) == "" {
+		return nil, nil // campaign.Config defaults to all environments
+	}
+	all := testbed.AllEnvironments()
+	var out []testbed.Env
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, e := range all {
+			if strings.EqualFold(e.Name, name) {
+				out = append(out, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown environment %q", name)
+		}
+	}
+	return out, nil
+}
+
+// parseConditions parses the semicolon-separated noise-condition list;
+// each condition is a fault plan spec (fault.ParsePlan) named by its
+// spec text.
+func parseConditions(specs string) ([]campaign.Condition, error) {
+	var out []campaign.Condition
+	for _, spec := range strings.Split(specs, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		plan, err := fault.ParsePlan(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := spec
+		if plan.IsIdentity() {
+			name = "clean"
+		}
+		out = append(out, campaign.Condition{Name: name, Plan: plan})
+	}
+	return out, nil
 }

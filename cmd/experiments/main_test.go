@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -86,5 +87,60 @@ func TestUnknownArtifactFails(t *testing.T) {
 	}
 	if stdout.Len() != 0 {
 		t.Fatalf("failed run wrote to stdout: %q", stdout.String())
+	}
+}
+
+// campaignArgs returns the flags for a small two-condition campaign
+// writing its journal to the given path.
+func campaignArgs(journal string, extra ...string) []string {
+	args := []string{
+		"-campaign", "demo",
+		"-journal", journal,
+		"-envs", "Local Single-Replayer",
+		"-conditions", "clean;drop=0.02,jitter=2e3",
+		"-reps", "2", "-packets", "1000", "-runs", "2", "-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+// TestGoldenCampaign pins the campaign table rendered by an
+// uninterrupted run.
+func TestGoldenCampaign(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "demo.journal")
+	checkGolden(t, "campaign.txt", runCLI(t, campaignArgs(journal)...))
+}
+
+// TestCampaignResumeByteIdenticalCLI: checkpoint the campaign after
+// every single trial and resume until it completes; stdout must be
+// byte-identical to the uninterrupted golden run.
+func TestCampaignResumeByteIdenticalCLI(t *testing.T) {
+	dir := t.TempDir()
+	full := runCLI(t, campaignArgs(filepath.Join(dir, "full.journal"))...)
+
+	journal := filepath.Join(dir, "chunked.journal")
+	out := runCLI(t, campaignArgs(journal, "-stop-after", "1")...)
+	if len(out) != 0 {
+		t.Fatalf("checkpointed run wrote a table:\n%s", out)
+	}
+	for i := 0; len(out) == 0; i++ {
+		if i > 20 {
+			t.Fatal("campaign never completed under -resume")
+		}
+		out = runCLI(t, campaignArgs(journal, "-stop-after", "1", "-resume")...)
+	}
+	if !bytes.Equal(out, full) {
+		t.Fatalf("resumed campaign stdout differs:\n--- resumed ---\n%s--- uninterrupted ---\n%s", out, full)
+	}
+}
+
+// TestCampaignJournalGuardCLI: a fresh run over an existing journal is
+// refused with a pointer at -resume.
+func TestCampaignJournalGuardCLI(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "guard.journal")
+	runCLI(t, campaignArgs(journal)...)
+	var stdout, stderr bytes.Buffer
+	err := run(campaignArgs(journal), &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("clobbering an existing journal: err=%v", err)
 	}
 }

@@ -16,7 +16,6 @@ package baseline
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/nic"
 	"repro/internal/packet"
@@ -44,7 +43,6 @@ type Tcpreplay struct {
 	// WakeupJitter is the scheduler wakeup error after a sleep
 	// (default uniform 0–30 µs).
 	WakeupJitter sim.Dist
-	rng          *rand.Rand
 }
 
 // Name implements Replayer.
@@ -60,16 +58,20 @@ func (t *Tcpreplay) Replay(eng *sim.Engine, q *nic.Queue, tr *trace.Trace, start
 	if jit == nil {
 		jit = sim.Uniform{Lo: 0, Hi: 30_000}
 	}
-	if t.rng == nil {
-		t.rng = eng.Rand("baseline/tcpreplay")
-	}
+	// The jitter stream must come from *this* engine on every call: a
+	// replayer reused across engines (baseline.Compare runs each
+	// strategy on two independent rigs) must not leak one engine's RNG
+	// stream into another's trial, or the trial stops being replayable
+	// in isolation from its own seed. Caching the rand across Replay
+	// calls did exactly that (regression: TestTcpreplayTwoEngineDeterminism).
+	rng := eng.Rand("baseline/tcpreplay")
 	base := tr.Start()
 	// Sequential sender thread: each send happens no earlier than the
 	// previous (a single process cannot reorder its own writes).
 	prev := startAt
 	for i, p := range tr.Packets {
 		offset := tr.Times[i] - base
-		at := startAt + offset/res*res + maxD(0, jit.Sample(t.rng))
+		at := startAt + offset/res*res + maxD(0, jit.Sample(rng))
 		if at < prev {
 			at = prev
 		}

@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tcpreplayCapture replays ref on a fresh engine with seed using rp and
+// returns the normalized capture.
+func tcpreplayCapture(t *testing.T, rp Replayer, ref *trace.Trace, seed int64) *trace.Trace {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	n := nic.New(eng, perfectNIC(), "det")
+	q := n.NewQueue(1 << 16)
+	rec := core.NewRecorder(eng, "cap", nic.PerfectTimestamper{}, true)
+	q.Connect(rec, 0)
+	rp.Replay(eng, q, ref, sim.Millisecond)
+	eng.RunUntil(sim.Second)
+	return rec.Trace().Normalize()
+}
+
+// TestTcpreplayTwoEngineDeterminism: regression for the cached-RNG bug.
+// A Tcpreplay instance reused across engines must give each engine the
+// jitter stream derived from *that engine's* seed — replaying on engine
+// B must be byte-identical whether or not the same instance replayed on
+// engine A first. The cached rng consumed engine A's stream during
+// engine B's replay, so reuse broke deterministic replayability.
+func TestTcpreplayTwoEngineDeterminism(t *testing.T) {
+	ref := referenceTrace(CompareConfig{Packets: 1500}.defaults())
+
+	// Shared instance: engine A then engine B.
+	shared := &Tcpreplay{}
+	_ = tcpreplayCapture(t, shared, ref, 11)
+	reused := tcpreplayCapture(t, shared, ref, 22)
+
+	// Fresh instance straight onto engine B.
+	fresh := tcpreplayCapture(t, &Tcpreplay{}, ref, 22)
+
+	if reused.Len() != fresh.Len() {
+		t.Fatalf("reused replayer delivered %d packets, fresh %d", reused.Len(), fresh.Len())
+	}
+	for i := range fresh.Packets {
+		if reused.Times[i] != fresh.Times[i] || reused.Packets[i].Tag != fresh.Packets[i].Tag {
+			t.Fatalf("packet %d: reused replayer (%v @%v) != fresh (%v @%v) — RNG stream leaked across engines",
+				i, reused.Packets[i].Tag, reused.Times[i], fresh.Packets[i].Tag, fresh.Times[i])
+		}
+	}
+
+	// And distinct engine seeds must still produce distinct jitter.
+	other := tcpreplayCapture(t, &Tcpreplay{}, ref, 11)
+	same := true
+	for i := range fresh.Packets {
+		if other.Times[i] != fresh.Times[i] {
+			same = false
+			break
+		}
+	}
+	if same && other.Len() == fresh.Len() {
+		t.Fatal("different engine seeds produced identical tcpreplay timing")
+	}
+}

@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/testbed"
+)
+
+// testConfig is a small, fast campaign: one environment, three reps.
+func testConfig() Config {
+	return Config{
+		Name:    "test",
+		Envs:    []testbed.Env{testbed.LocalSingle()},
+		Reps:    3,
+		Packets: 1000,
+		Runs:    2,
+		Seed:    5,
+	}
+}
+
+// mustRun runs a campaign invocation and fails the test on error.
+func mustRun(t *testing.T, cfg Config, journal string, resume bool) *Result {
+	t.Helper()
+	res, err := Run(cfg, journal, resume, nil)
+	if err != nil {
+		t.Fatalf("campaign.Run(resume=%v): %v", resume, err)
+	}
+	return res
+}
+
+// uninterrupted runs the campaign start-to-finish in a fresh journal
+// and returns the rendered table.
+func uninterrupted(t *testing.T, cfg Config, dir string) string {
+	t.Helper()
+	res := mustRun(t, cfg, filepath.Join(dir, "full.journal"), false)
+	if res.Doc == nil {
+		t.Fatal("uninterrupted campaign did not render")
+	}
+	if res.Interrupted || res.Skipped != 0 {
+		t.Fatalf("uninterrupted run: %+v", res)
+	}
+	return res.Doc.String()
+}
+
+// resumeToCompletion drives a journal to completion with repeated
+// -resume invocations, checkpointing after every `chunk` trials, and
+// returns the final table.
+func resumeToCompletion(t *testing.T, cfg Config, journal string, chunk int) string {
+	t.Helper()
+	cfg.StopAfter = chunk
+	res := mustRun(t, cfg, journal, false)
+	for i := 0; res.Doc == nil; i++ {
+		if !res.Interrupted {
+			t.Fatalf("no doc but not interrupted: %+v", res)
+		}
+		if i > 50 {
+			t.Fatal("campaign never completed")
+		}
+		res = mustRun(t, cfg, journal, true)
+	}
+	return res.Doc.String()
+}
+
+// TestResumeByteIdentical is the tentpole contract: a campaign
+// interrupted and resumed at every journal offset renders a final table
+// byte-identical to an uninterrupted run from the same seed.
+func TestResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	want := uninterrupted(t, cfg, dir)
+	if !strings.Contains(want, "3/3") {
+		t.Fatalf("full campaign table missing 3/3 annotation:\n%s", want)
+	}
+
+	for _, chunk := range []int{1, 2} {
+		journal := filepath.Join(dir, "chunked.journal")
+		os.Remove(journal)
+		got := resumeToCompletion(t, cfg, journal, chunk)
+		if got != want {
+			t.Fatalf("resumed table (chunk=%d) differs from uninterrupted run:\n--- resumed ---\n%s--- uninterrupted ---\n%s", chunk, got, want)
+		}
+	}
+}
+
+// TestResumeByteIdenticalParallel: scheduler width changes neither the
+// uninterrupted nor the interrupted-and-resumed table.
+func TestResumeByteIdenticalParallel(t *testing.T) {
+	dir := t.TempDir()
+	seq := testConfig()
+	want := uninterrupted(t, seq, dir)
+
+	par := testConfig()
+	par.Pool = parallel.New(3)
+	journal := filepath.Join(dir, "par.journal")
+	if got := resumeToCompletion(t, par, journal, 1); got != want {
+		t.Fatalf("parallel resumed table differs:\n--- parallel ---\n%s--- sequential ---\n%s", got, want)
+	}
+}
+
+// TestResumeAfterTornOrCorruptJournal: kill the campaign mid-flight,
+// then damage the journal the way a crash would — truncate mid-record
+// (torn final write) or flip a byte (bit rot) — and resume. Damaged
+// records re-run; the final table stays byte-identical.
+func TestResumeAfterTornOrCorruptJournal(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	want := uninterrupted(t, cfg, dir)
+
+	checkpoint := func(name string) (string, int64) {
+		t.Helper()
+		journal := filepath.Join(dir, name)
+		c := cfg
+		c.StopAfter = 2
+		res := mustRun(t, c, journal, false)
+		if res.Doc != nil || !res.Interrupted {
+			t.Fatalf("checkpoint run completed unexpectedly: %+v", res)
+		}
+		st, err := os.Stat(journal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return journal, st.Size()
+	}
+
+	finish := func(journal string) string {
+		t.Helper()
+		res := mustRun(t, cfg, journal, true)
+		for res.Doc == nil {
+			res = mustRun(t, cfg, journal, true)
+		}
+		return res.Doc.String()
+	}
+
+	// Torn final record: truncate at several offsets inside the tail.
+	for _, back := range []int64{1, 7, 40} {
+		journal, size := checkpoint("torn.journal")
+		if err := os.Truncate(journal, size-back); err != nil {
+			t.Fatal(err)
+		}
+		if got := finish(journal); got != want {
+			t.Fatalf("table differs after truncating %d bytes off the journal tail", back)
+		}
+		os.Remove(journal)
+	}
+
+	// A torn half-line appended with no newline (crash mid-append).
+	journal, _ := checkpoint("halfline.journal")
+	f, err := os.OpenFile(journal, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"trial","idx":2,"key":"half`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := finish(journal); got != want {
+		t.Fatal("table differs after a torn half-record append")
+	}
+	os.Remove(journal)
+
+	// Bit rot inside an earlier record: everything from the flipped
+	// byte onward is discarded and re-run.
+	journal, size := checkpoint("corrupt.journal")
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[size/2] ^= 0x20
+	if err := os.WriteFile(journal, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := finish(journal); got != want {
+		t.Fatal("table differs after mid-journal corruption")
+	}
+}
+
+// TestTimeoutRetriesThenDegrades: a trial that exhausts its sim-step
+// budget retries (deterministically failing the same way) and is then
+// journaled as failed; the campaign completes with a flagged partial
+// row instead of aborting.
+func TestTimeoutRetriesThenDegrades(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Reps = 2
+	cfg.MaxSteps = 500 // far below what the protocol needs
+	cfg.Retries = 1
+	res := mustRun(t, cfg, filepath.Join(dir, "budget.journal"), false)
+	if res.Doc == nil {
+		t.Fatal("degraded campaign did not render")
+	}
+	if res.Failed != res.Planned || res.Completed != 0 {
+		t.Fatalf("want every trial failed: %+v", res)
+	}
+	out := res.Doc.String()
+	if !strings.Contains(out, "0/2") {
+		t.Fatalf("missing 0/2 annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "degraded trials") || !strings.Contains(out, "step budget") {
+		t.Fatalf("degraded section missing or unexplained:\n%s", out)
+	}
+	if !strings.Contains(out, "2 attempt(s)") {
+		t.Fatalf("retry count not recorded:\n%s", out)
+	}
+}
+
+// TestMixedConditionsPartialTable: a condition that deterministically
+// breaks every trial (drop everything before the recorder) degrades its
+// own rows to 0/reps while the clean rows stay n/reps — and the whole
+// degraded campaign is still resume-stable.
+func TestMixedConditionsPartialTable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Reps = 2
+	cfg.Retries = 0
+	cfg.Conditions = []Condition{
+		{Name: "clean"},
+		{Name: "blackhole", Plan: fault.Plan{Drop: 1}},
+	}
+	want := uninterrupted(t, cfg, dir)
+	if !strings.Contains(want, "2/2") || !strings.Contains(want, "0/2") {
+		t.Fatalf("mixed table missing annotations:\n%s", want)
+	}
+	if !strings.Contains(want, "blackhole") {
+		t.Fatalf("condition name missing:\n%s", want)
+	}
+
+	journal := filepath.Join(dir, "mixed.journal")
+	if got := resumeToCompletion(t, cfg, journal, 1); got != want {
+		t.Fatalf("mixed campaign not resume-stable:\n--- resumed ---\n%s--- uninterrupted ---\n%s", got, want)
+	}
+}
+
+// TestJournalGuards: a fresh run refuses to clobber an existing
+// journal, and resume refuses a journal from a different campaign.
+func TestJournalGuards(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Reps = 1
+	journal := filepath.Join(dir, "guard.journal")
+	mustRun(t, cfg, journal, false)
+
+	if _, err := Run(cfg, journal, false, nil); err == nil || !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("fresh run over an existing journal: err=%v", err)
+	}
+
+	other := cfg
+	other.Seed = 999
+	if _, err := Run(other, journal, true, nil); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("resume with mismatched seed: err=%v", err)
+	}
+
+	// Resume with a matching config over a complete journal is a no-op
+	// that still renders the same table.
+	res := mustRun(t, cfg, journal, true)
+	if res.Doc == nil || res.Executed != 0 || res.Skipped != res.Planned {
+		t.Fatalf("no-op resume: %+v", res)
+	}
+}
+
+// TestObsCounters: the runner exports trial/journal/resume telemetry.
+func TestObsCounters(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+	cfg.Reps = 2
+	cfg.Obs = obs.New()
+	journal := filepath.Join(dir, "obs.journal")
+
+	cfg.StopAfter = 1
+	res := mustRun(t, cfg, journal, false)
+	if !res.Interrupted {
+		t.Fatalf("expected checkpoint: %+v", res)
+	}
+	cfg.StopAfter = 0
+	res = mustRun(t, cfg, journal, true)
+	if res.Doc == nil {
+		t.Fatal("resumed campaign did not render")
+	}
+
+	reg := cfg.Obs.Registry()
+	if v := reg.Counter("campaign_trials_completed_total", "").Value(); v != int64(res.Planned) {
+		t.Fatalf("completed counter %d, want %d", v, res.Planned)
+	}
+	if v := reg.Counter("campaign_resume_skipped_total", "").Value(); v != int64(res.Skipped) {
+		t.Fatalf("skip counter %d, want %d", v, res.Skipped)
+	}
+	if v, ok := reg.GaugeValue("campaign_journal_bytes"); !ok || int64(v) != res.JournalBytes {
+		t.Fatalf("journal bytes gauge %v (ok=%v), want %d", v, ok, res.JournalBytes)
+	}
+	if v, ok := reg.GaugeValue("campaign_trials_planned"); !ok || int(v) != res.Planned {
+		t.Fatalf("planned gauge %v, want %d", v, res.Planned)
+	}
+}

@@ -1,0 +1,334 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/experiments"
+)
+
+// The journal is the campaign's crash-safety substrate: an append-only
+// JSONL file with one checksummed record per completed trial, fsync'd
+// record by record. A crash at any instant therefore loses at most the
+// trials that were in flight — everything journaled before the crash is
+// durable, and the loader tolerates (and truncates away) a torn final
+// record, the normal wreckage of a power cut mid-write.
+//
+// Every line is a JSON object with a "sum" field holding the CRC-32
+// (IEEE) of the same object serialized with "sum" empty. Validation
+// re-derives exactly that, so a flipped bit anywhere in a line is
+// detected and the line — plus everything after it, whose provenance is
+// now suspect — is discarded.
+
+// journalVersion is bumped on incompatible record layout changes.
+const journalVersion = 1
+
+// header is the journal's first line: the campaign identity. Resume
+// refuses a journal whose identity does not match the running config,
+// so results from one campaign can never silently leak into another's
+// table.
+type header struct {
+	Kind     string   `json:"kind"` // "campaign"
+	Version  int      `json:"v"`
+	Name     string   `json:"name"`
+	Seed     int64    `json:"seed"`
+	Packets  int      `json:"packets"`
+	Runs     int      `json:"runs"`
+	Reps     int      `json:"reps"`
+	MaxSteps uint64   `json:"max_steps"`
+	Trials   int      `json:"trials"`
+	Envs     []string `json:"envs"`
+	Conds    []string `json:"conds"`
+	Sum      string   `json:"sum"`
+}
+
+// Record is one journaled trial outcome. Ok trials carry the metric
+// summary the final table renders from; failed trials carry the last
+// attempt's error. Both are terminal: resume skips them either way
+// (a trial that exhausted its retries is *completed*, just degraded).
+type Record struct {
+	Kind     string `json:"kind"` // "trial"
+	Idx      int    `json:"idx"`
+	Key      string `json:"key"`
+	Seed     int64  `json:"seed"`
+	Attempts int    `json:"attempts"`
+	Status   string `json:"status"` // StatusOK or StatusFailed
+
+	Recorded   uint64                   `json:"recorded,omitempty"`
+	MaxMissing int                      `json:"max_missing,omitempty"`
+	Mean       *experiments.MeanSummary `json:"mean,omitempty"`
+	Err        string                   `json:"err,omitempty"`
+
+	Sum string `json:"sum"`
+}
+
+// Trial terminal states.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// checksumJSON marshals v (whose Sum field must already be empty) and
+// returns the serialized bytes and their CRC-32 in the form the Sum
+// field stores.
+func checksumJSON(v any) ([]byte, string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, "", err
+	}
+	return raw, fmt.Sprintf("crc32:%08x", crc32.ChecksumIEEE(raw)), nil
+}
+
+// sealHeader fills h.Sum.
+func sealHeader(h *header) error {
+	h.Sum = ""
+	_, sum, err := checksumJSON(h)
+	if err != nil {
+		return err
+	}
+	h.Sum = sum
+	return nil
+}
+
+// sealRecord fills r.Sum.
+func sealRecord(r *Record) error {
+	r.Sum = ""
+	_, sum, err := checksumJSON(r)
+	if err != nil {
+		return err
+	}
+	r.Sum = sum
+	return nil
+}
+
+// verifySum checks a parsed line's checksum by re-deriving it with the
+// Sum field cleared. reseal must clear-and-recompute on the same value
+// the line unmarshaled into.
+func verifyHeaderSum(h header) bool {
+	want := h.Sum
+	if err := sealHeader(&h); err != nil {
+		return false
+	}
+	return want != "" && want == h.Sum
+}
+
+func verifyRecordSum(r Record) bool {
+	want := r.Sum
+	if err := sealRecord(&r); err != nil {
+		return false
+	}
+	return want != "" && want == r.Sum
+}
+
+// journal is the append side: an fsync-per-record JSONL writer shared
+// by the campaign workers.
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	bytes int64
+	added int // records appended by this process
+}
+
+// append seals, writes and fsyncs one record, returning the total
+// number of records this process has appended (the -stop-after hook
+// counts these) and the journal's size in bytes.
+func (j *journal) append(r *Record) (added int, size int64, err error) {
+	if err := sealRecord(r); err != nil {
+		return 0, 0, err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return 0, 0, fmt.Errorf("campaign: journal append: %w", err)
+	}
+	// fsync per record: the record is durable before the trial is
+	// considered complete, so a crash can only lose in-flight work.
+	if err := j.f.Sync(); err != nil {
+		return 0, 0, fmt.Errorf("campaign: journal fsync: %w", err)
+	}
+	j.bytes += int64(len(line))
+	j.added++
+	return j.added, j.bytes, nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadJournal reads an existing journal, validates the header against
+// want, and returns the completed records plus the byte offset of the
+// end of the last *good* line. Reading stops at the first torn or
+// corrupt line: a torn tail is the expected signature of a crash
+// mid-append, so everything from the first bad byte onward is treated
+// as never written (the caller truncates to goodBytes before
+// appending).
+func loadJournal(path string, want header) (recs map[int]Record, goodBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	recs = make(map[int]Record)
+	br := bufio.NewReaderSize(f, 1<<16)
+	var off int64
+	first := true
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF {
+				// No trailing newline: a torn final record. Discard.
+				return recs, off, nil
+			}
+			return nil, 0, fmt.Errorf("campaign: reading journal: %w", err)
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			off += int64(len(line))
+			continue
+		}
+		if first {
+			var h header
+			if json.Unmarshal(trimmed, &h) != nil || h.Kind != "campaign" || !verifyHeaderSum(h) {
+				return nil, 0, fmt.Errorf("campaign: %s: first journal line is not a valid campaign header", path)
+			}
+			if err := matchHeader(h, want); err != nil {
+				return nil, 0, fmt.Errorf("campaign: %s: %w", path, err)
+			}
+			first = false
+			off += int64(len(line))
+			continue
+		}
+		var r Record
+		if json.Unmarshal(trimmed, &r) != nil || r.Kind != "trial" || !verifyRecordSum(r) {
+			// Corrupt or torn line: stop here. Everything after it is
+			// suspect and will be re-run.
+			return recs, off, nil
+		}
+		if r.Idx < 0 || r.Idx >= want.Trials {
+			return recs, off, nil
+		}
+		recs[r.Idx] = r
+		off += int64(len(line))
+	}
+}
+
+// matchHeader verifies that a journal belongs to the campaign the
+// caller is about to run.
+func matchHeader(got, want header) error {
+	switch {
+	case got.Version != want.Version:
+		return fmt.Errorf("journal version %d, this binary writes %d", got.Version, want.Version)
+	case got.Name != want.Name:
+		return fmt.Errorf("journal is for campaign %q, not %q", got.Name, want.Name)
+	case got.Seed != want.Seed:
+		return fmt.Errorf("journal seed %d does not match -seed %d", got.Seed, want.Seed)
+	case got.Packets != want.Packets:
+		return fmt.Errorf("journal packets %d does not match %d", got.Packets, want.Packets)
+	case got.Runs != want.Runs:
+		return fmt.Errorf("journal runs %d does not match %d", got.Runs, want.Runs)
+	case got.Reps != want.Reps:
+		return fmt.Errorf("journal reps %d does not match %d", got.Reps, want.Reps)
+	case got.MaxSteps != want.MaxSteps:
+		return fmt.Errorf("journal trial budget %d does not match %d", got.MaxSteps, want.MaxSteps)
+	case got.Trials != want.Trials:
+		return fmt.Errorf("journal plans %d trials, this config plans %d", got.Trials, want.Trials)
+	case !equalStrings(got.Envs, want.Envs):
+		return fmt.Errorf("journal environments %v do not match %v", got.Envs, want.Envs)
+	case !equalStrings(got.Conds, want.Conds):
+		return fmt.Errorf("journal conditions %v do not match %v", got.Conds, want.Conds)
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// openJournal prepares the journal file for a run. Fresh runs refuse to
+// clobber a non-empty journal (the crash-safe default: losing hours of
+// trial results to a forgotten -resume should be impossible); resume
+// runs load it, truncate any torn tail, and reopen for append. A resume
+// against a missing journal degrades to a fresh start.
+func openJournal(path string, h header, resume bool) (*journal, map[int]Record, error) {
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			recs, good, err := loadJournal(path, h)
+			if err != nil {
+				return nil, nil, err
+			}
+			f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := f.Truncate(good); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("campaign: truncating torn journal tail: %w", err)
+			}
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				f.Close()
+				return nil, nil, err
+			}
+			return &journal{f: f, bytes: good}, recs, nil
+		} else if !os.IsNotExist(err) {
+			return nil, nil, err
+		}
+		// Fall through: resume with no journal yet is a fresh start.
+	}
+	if st, err := os.Stat(path); err == nil && st.Size() > 0 && !resume {
+		return nil, nil, fmt.Errorf("campaign: journal %s already exists (%d bytes); pass -resume to continue it or remove it to start over", path, st.Size())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := sealHeader(&h); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	line, err := json.Marshal(h)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	line = append(line, '\n')
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &journal{f: f, bytes: int64(len(line))}, map[int]Record{}, nil
+}

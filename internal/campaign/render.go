@@ -1,0 +1,78 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// render builds the final campaign table from the terminal records.
+// Everything here is a pure function of the records (which round-trip
+// exactly through the journal's JSON — Go prints shortest-roundtrip
+// floats), so an interrupted-and-resumed campaign renders byte-identical
+// output to an uninterrupted one.
+//
+// Cells aggregate the mean metric vector over the reps that completed;
+// the Runs column carries the explicit n/reps annotation the paper-style
+// table needs to stay honest about degraded cells, and failed trials are
+// itemized in their own section instead of aborting the campaign.
+func (c Config) render(recs map[int]Record) *report.Document {
+	doc := &report.Document{Title: "Campaign — " + c.Name}
+	condNames := make([]string, len(c.Conditions))
+	for i, cond := range c.Conditions {
+		condNames[i] = cond.Name
+	}
+	doc.Add("campaign", fmt.Sprintf(
+		"%d trials = %d environments × %d conditions (%s) × %d reps; %d packets × %d replay runs per trial; base seed %d",
+		len(c.Envs)*len(c.Conditions)*c.Reps, len(c.Envs), len(c.Conditions),
+		strings.Join(condNames, ", "), c.Reps, c.Packets, c.Runs, c.Seed))
+
+	tb := report.NewTable("", "Environment", "Condition", "U", "O", "I", "L", "κ", "Max drops", "Runs")
+	for ei, env := range c.Envs {
+		for ci, cond := range c.Conditions {
+			var n int
+			var u, o, iacc, l, k float64
+			maxMissing := 0
+			for rep := 0; rep < c.Reps; rep++ {
+				idx := (ei*len(c.Conditions)+ci)*c.Reps + rep
+				r, ok := recs[idx]
+				if !ok || r.Status != StatusOK || r.Mean == nil {
+					continue
+				}
+				n++
+				u += r.Mean.U
+				o += r.Mean.O
+				iacc += r.Mean.I
+				l += r.Mean.L
+				k += r.Mean.Kappa
+				if r.MaxMissing > maxMissing {
+					maxMissing = r.MaxMissing
+				}
+			}
+			runs := fmt.Sprintf("%d/%d", n, c.Reps)
+			if n == 0 {
+				tb.AddRow(env.Name, cond.Name, "—", "—", "—", "—", "—", "—", runs)
+				continue
+			}
+			fn := float64(n)
+			tb.AddRow(env.Name, cond.Name,
+				report.G(u/fn), report.G(o/fn), report.G(iacc/fn), report.G(l/fn),
+				fmt.Sprintf("%.4f", k/fn), fmt.Sprintf("%d", maxMissing), runs)
+		}
+	}
+	doc.Add("", tb.String())
+
+	// Degraded trials, in matrix order: which cells the n/reps
+	// annotations are discounting, and why.
+	var fails []string
+	for idx := 0; idx < len(c.Envs)*len(c.Conditions)*c.Reps; idx++ {
+		if r, ok := recs[idx]; ok && r.Status == StatusFailed {
+			fails = append(fails, fmt.Sprintf("%s — %d attempt(s): %s", r.Key, r.Attempts, r.Err))
+		}
+	}
+	if len(fails) > 0 {
+		doc.Add("degraded trials", strings.Join(fails, "\n")+"\n")
+	}
+	return doc
+}

@@ -48,6 +48,13 @@ type TrialConfig struct {
 	// pool's telemetry spans a whole invocation); otherwise Workers > 1
 	// creates one per harness call.
 	Pool *parallel.Pool
+	// MaxSteps, when non-zero, bounds the number of simulation events
+	// one protocol run may fire — a deterministic per-trial timeout. A
+	// run that exhausts it fails with an error wrapping
+	// sim.ErrStepBudget; the same config always halts at the same event,
+	// so a timed-out trial times out identically on every retry and
+	// every resume (the campaign runner's crash-safety contract).
+	MaxSteps uint64
 }
 
 // DefaultScale is the scaled-down per-experiment packet count used by
@@ -115,6 +122,7 @@ type RunResult struct {
 func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	cfg = cfg.defaults()
 	eng := sim.NewEngine(cfg.Seed)
+	eng.SetStepBudget(cfg.MaxSteps)
 	top := testbed.Build(eng, env)
 	top.EnableObs(cfg.Obs)
 
@@ -129,6 +137,10 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	eng.RunUntil(2*sim.Millisecond + recordDur + slack)
 	top.Broadcast(control.StopRecord{At: top.WallNow()})
 	eng.RunUntil(eng.Now() + sim.Millisecond)
+	if eng.BudgetExhausted() {
+		return nil, fmt.Errorf("experiments: %s record phase after %d events: %w",
+			env.Name, eng.Executed(), sim.ErrStepBudget)
+	}
 
 	res := &RunResult{Env: env}
 	for _, mb := range top.Middleboxes {
@@ -148,6 +160,10 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 		start := top.WallNow() + 20*sim.Millisecond
 		top.Broadcast(control.StartReplay{At: start})
 		eng.RunUntil(start + recordDur + 2*slack)
+		if eng.BudgetExhausted() {
+			return nil, fmt.Errorf("experiments: %s replay trial %s after %d events: %w",
+				env.Name, RunNames[r], eng.Executed(), sim.ErrStepBudget)
+		}
 		raw = append(raw, top.Recorder.StartTrial("scratch"))
 	}
 

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParsePlan builds a Plan from a compact textual spec — the form the
+// campaign CLI uses to name noise conditions:
+//
+//	""                      the identity plan (also "clean"/"identity")
+//	"drop=0.01"             1% packet drop
+//	"drop=0.005,jitter=2e3" combined faults, comma-separated
+//
+// Recognized keys (values are floats; durations are simulated
+// nanoseconds): seed, drop, dup, dupdelay, corrupt, burst, burstlen,
+// reorder, reorderdelay, skew (ppm), jitter. Rates outside [0,1] and
+// unknown keys are errors, so a typo in a campaign spec fails fast
+// instead of silently running the wrong experiment.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	s := strings.TrimSpace(spec)
+	switch strings.ToLower(s) {
+	case "", "clean", "identity", "none":
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan field %q (want key=value)", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		x, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %q: %w", key, err)
+		}
+		rate := func(dst *float64) error {
+			if x < 0 || x > 1 {
+				return fmt.Errorf("fault: %s=%g outside [0,1]", key, x)
+			}
+			*dst = x
+			return nil
+		}
+		switch key {
+		case "seed":
+			p.Seed = uint64(x)
+		case "drop":
+			err = rate(&p.Drop)
+		case "dup":
+			err = rate(&p.Dup)
+		case "dupdelay":
+			p.DupDelay = sim.Duration(x)
+		case "corrupt":
+			err = rate(&p.Corrupt)
+		case "burst":
+			err = rate(&p.BurstRate)
+		case "burstlen":
+			p.BurstLen = int(x)
+		case "reorder":
+			err = rate(&p.Reorder)
+		case "reorderdelay":
+			p.ReorderDelay = sim.Duration(x)
+		case "skew":
+			p.SkewPPM = x
+		case "jitter":
+			if x < 0 {
+				return Plan{}, fmt.Errorf("fault: jitter=%g must be >= 0", x)
+			}
+			p.Jitter = sim.Duration(x)
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	return p, nil
+}

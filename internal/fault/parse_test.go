@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParsePlanIdentity(t *testing.T) {
+	for _, spec := range []string{"", "clean", "identity", "none", "  Clean  "} {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		if !p.IsIdentity() {
+			t.Fatalf("ParsePlan(%q) = %v, want identity", spec, p)
+		}
+	}
+}
+
+func TestParsePlanFields(t *testing.T) {
+	p, err := ParsePlan("seed=9, drop=0.01, jitter=2e3, reorder=0.1, reorderdelay=5000, skew=-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.Drop != 0.01 || p.Jitter != 2000*sim.Nanosecond ||
+		p.Reorder != 0.1 || p.ReorderDelay != 5000 || p.SkewPPM != -3 {
+		t.Fatalf("parsed %+v", p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drop",           // missing value
+		"drop=oops",      // non-numeric
+		"drop=1.5",       // rate out of range
+		"jitter=-5",      // negative duration
+		"warp=0.5",       // unknown key
+		"drop=0.1,dup=2", // second field bad
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+// TestParsePlanReplayable: a parsed plan drives the same Apply output
+// as the equivalent literal plan.
+func TestParsePlanReplayable(t *testing.T) {
+	parsed, err := ParsePlan("seed=4,drop=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	literal := Plan{Seed: 4, Drop: 0.2}
+	if parsed != literal {
+		t.Fatalf("parsed %+v != literal %+v", parsed, literal)
+	}
+}

@@ -1,0 +1,80 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoUntilNilStopIsDo: a nil stop channel degrades to plain Do.
+func TestDoUntilNilStopIsDo(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := New(workers)
+		var ran atomic.Int64
+		if err := p.DoUntil(17, nil, func(i int) error { ran.Add(1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if ran.Load() != 17 {
+			t.Fatalf("workers=%d ran %d/17", workers, ran.Load())
+		}
+	}
+}
+
+// TestDoUntilStopsClaiming: once stop closes, no new jobs are claimed
+// and DoUntil returns nil — a checkpoint, not a failure.
+func TestDoUntilStopsClaiming(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		p := New(workers)
+		stop := make(chan struct{})
+		var ran atomic.Int64
+		err := p.DoUntil(1000, stop, func(i int) error {
+			if ran.Add(1) == 5 {
+				close(stop)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ran.Load()
+		if got < 5 {
+			t.Fatalf("workers=%d stopped before the closing job: %d", workers, got)
+		}
+		// In-flight jobs (at most one per worker) may still finish, but
+		// claiming must cease promptly.
+		if got > int64(5+workers) {
+			t.Fatalf("workers=%d ran %d jobs after stop at 5", workers, got)
+		}
+	}
+}
+
+// TestDoUntilStopClosedUpfront: a pre-closed stop runs nothing.
+func TestDoUntilStopClosedUpfront(t *testing.T) {
+	p := New(4)
+	stop := make(chan struct{})
+	close(stop)
+	var ran atomic.Int64
+	if err := p.DoUntil(50, stop, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-stopped DoUntil ran %d jobs", ran.Load())
+	}
+}
+
+// TestDoUntilErrorStillWins: a job error is still reported even with a
+// stop channel armed.
+func TestDoUntilErrorStillWins(t *testing.T) {
+	p := New(3)
+	stop := make(chan struct{})
+	boom := errors.New("boom")
+	err := p.DoUntil(100, stop, func(i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

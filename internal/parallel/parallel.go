@@ -127,11 +127,35 @@ func (p *Pool) Stats() Stats {
 // the calling goroutine — the exact sequential loop the differential
 // tests compare against.
 func (p *Pool) Do(n int, fn func(i int) error) error {
+	return p.DoUntil(n, nil, fn)
+}
+
+// DoUntil is Do with a cooperative stop: once stop is closed, workers
+// finish the jobs they already claimed but claim no more, and DoUntil
+// returns nil (a stop is a checkpoint, not a failure). Jobs that were
+// never claimed simply do not run — the caller is responsible for
+// knowing which jobs completed (the campaign runner journals each one).
+// A nil stop channel makes DoUntil exactly Do.
+func (p *Pool) DoUntil(n int, stop <-chan struct{}, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	stopped := func() bool {
+		if stop == nil {
+			return false
+		}
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
 	if p == nil || p.workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if stopped() {
+				return nil
+			}
 			if err := p.run(0, i, fn); err != nil {
 				return err
 			}
@@ -155,7 +179,7 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(wid int) {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && !stopped() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return

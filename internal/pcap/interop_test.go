@@ -1,0 +1,199 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// swapCapture converts a little-endian classic pcap byte stream into
+// its big-endian-written twin: every global-header and record-header
+// field is byte-swapped; frame bodies are untouched (they are byte
+// streams with no endianness).
+func swapCapture(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	if len(raw) < 24 {
+		t.Fatalf("capture too short: %d bytes", len(raw))
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	swap32 := func(off int) {
+		binary.BigEndian.PutUint32(out[off:off+4], binary.LittleEndian.Uint32(raw[off:off+4]))
+	}
+	swap16 := func(off int) {
+		binary.BigEndian.PutUint16(out[off:off+2], binary.LittleEndian.Uint16(raw[off:off+2]))
+	}
+	swap32(0) // magic
+	swap16(4) // version major
+	swap16(6) // version minor
+	swap32(8)
+	swap32(12)
+	swap32(16) // snaplen
+	swap32(20) // link type
+	off := 24
+	for off < len(raw) {
+		if off+16 > len(raw) {
+			t.Fatalf("record header torn at %d", off)
+		}
+		incl := binary.LittleEndian.Uint32(raw[off+8 : off+12])
+		swap32(off)
+		swap32(off + 4)
+		swap32(off + 8)
+		swap32(off + 12)
+		off += 16 + int(incl)
+	}
+	return out
+}
+
+// TestByteSwappedRoundTrip: a capture written on a big-endian host
+// (swapped magic, swapped header/record fields) decodes identically to
+// its little-endian twin. Regression for NewStream rejecting the
+// swapped magics 0xD4C3B2A1 / 0x4D3CB2A1 outright.
+func TestByteSwappedRoundTrip(t *testing.T) {
+	tr := sampleTrace(120)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	le := buf.Bytes()
+	be := swapCapture(t, le)
+	if bytes.Equal(le, be) {
+		t.Fatal("swapCapture produced identical bytes")
+	}
+	if got := binary.LittleEndian.Uint32(be[0:4]); got != MagicNanosSwapped {
+		t.Fatalf("swapped magic %#08x, want %#08x", got, uint32(MagicNanosSwapped))
+	}
+
+	want, err := Read(bytes.NewReader(le), "le")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(be), "be")
+	if err != nil {
+		t.Fatalf("byte-swapped capture rejected: %v", err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("decoded %d records from swapped capture, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Packets {
+		if got.Times[i] != want.Times[i] || got.Packets[i].Tag != want.Packets[i].Tag ||
+			got.Packets[i].Kind != want.Packets[i].Kind || got.Packets[i].FrameLen != want.Packets[i].FrameLen {
+			t.Fatalf("record %d differs between byte orders", i)
+		}
+	}
+}
+
+// TestByteSwappedMicrosecondScale: the swapped microsecond magic keeps
+// the microsecond timestamp scale.
+func TestByteSwappedMicrosecondScale(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MagicMicros) // BE write of the micros magic
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], DefaultSnapLen)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 3)   // 3 s
+	binary.BigEndian.PutUint32(rec[4:8], 250) // 250 µs
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 4)
+	buf.Write(rec[:])
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+
+	s, err := NewStream(bytes.NewReader(buf.Bytes()), "be-micro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ts, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3*sim.Second + 250*sim.Microsecond; ts != want {
+		t.Fatalf("timestamp %v, want %v", ts, want)
+	}
+	if p.Kind != packet.KindNoise {
+		t.Fatalf("4-byte frame parsed as %v, want noise", p.Kind)
+	}
+	if _, _, err := s.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// writeCustomCapture emits a classic little-endian nanosecond capture
+// with an explicit header snaplen and one record of the given lengths.
+func writeCustomCapture(snapLen, inclLen, origLen uint32) []byte {
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicNanos)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	binary.LittleEndian.PutUint32(hdr[16:20], snapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], 1)
+	binary.LittleEndian.PutUint32(rec[4:8], 42)
+	binary.LittleEndian.PutUint32(rec[8:12], inclLen)
+	binary.LittleEndian.PutUint32(rec[12:16], origLen)
+	buf.Write(rec[:])
+	buf.Write(make([]byte, inclLen))
+	return buf.Bytes()
+}
+
+// TestHeaderSnapLenHonored: a foreign capture written at a snaplen
+// larger than our default is valid — records up to *its* snaplen must
+// decode (as noise when unparseable), not be rejected as implausible.
+// Regression for validating incl_len against the hardcoded
+// DefaultSnapLen while ignoring hdr[16:20].
+func TestHeaderSnapLenHonored(t *testing.T) {
+	const big = 200_000 // > DefaultSnapLen (65535)
+	raw := writeCustomCapture(big, 100_000, 100_000)
+	tr, err := Read(bytes.NewReader(raw), "jumbo")
+	if err != nil {
+		t.Fatalf("capture written at snaplen %d rejected: %v", big, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("decoded %d records, want 1", tr.Len())
+	}
+	if tr.Packets[0].Kind != packet.KindNoise {
+		t.Fatalf("unparseable jumbo frame kept as %v, want noise", tr.Packets[0].Kind)
+	}
+	if want := 100_000 + packet.FCSLen; tr.Packets[0].FrameLen != want {
+		t.Fatalf("frame len %d, want %d", tr.Packets[0].FrameLen, want)
+	}
+}
+
+// TestInclLenBeyondSnapLenRejected: the declared snaplen is still a
+// hard bound — a record claiming more than the header's snaplen is
+// corruption, not data.
+func TestInclLenBeyondSnapLenRejected(t *testing.T) {
+	raw := writeCustomCapture(1000, 2000, 2000)
+	_, err := Read(bytes.NewReader(raw), "liar")
+	if err == nil {
+		t.Fatal("incl_len beyond header snaplen accepted")
+	}
+	if !strings.Contains(err.Error(), "snaplen") {
+		t.Fatalf("error does not mention the snaplen bound: %v", err)
+	}
+}
+
+// TestZeroSnapLenFallsBack: some tools write snaplen 0 for "maximum";
+// the reader must not treat that as "reject every record".
+func TestZeroSnapLenFallsBack(t *testing.T) {
+	raw := writeCustomCapture(0, 512, 512)
+	tr, err := Read(bytes.NewReader(raw), "zero-snap")
+	if err != nil {
+		t.Fatalf("snaplen-0 capture rejected: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("decoded %d records, want 1", tr.Len())
+	}
+}

@@ -25,6 +25,12 @@ const (
 	// MagicMicros marks a little-endian pcap file with microsecond
 	// resolution.
 	MagicMicros = 0xA1B2C3D4
+	// MagicNanosSwapped and MagicMicrosSwapped are the same magics as
+	// read from a capture written on a big-endian host: every header
+	// and record field in such a file is byte-swapped relative to ours,
+	// and the reader decodes them with big-endian order.
+	MagicNanosSwapped  = 0x4D3CB2A1
+	MagicMicrosSwapped = 0xD4C3B2A1
 	// LinkTypeEthernet is DLT_EN10MB.
 	LinkTypeEthernet = 1
 

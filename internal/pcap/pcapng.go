@@ -265,7 +265,7 @@ func ReadAny(r io.Reader, name string) (*trace.Trace, error) {
 	switch binary.LittleEndian.Uint32(magic) {
 	case blockSHB:
 		return ReadNG(br, name)
-	case MagicNanos, MagicMicros:
+	case MagicNanos, MagicMicros, MagicNanosSwapped, MagicMicrosSwapped:
 		return Read(br, name)
 	default:
 		return nil, fmt.Errorf("pcap: unrecognized capture format (magic %#08x)", binary.LittleEndian.Uint32(magic))

@@ -26,14 +26,26 @@ type Stream struct {
 	br      *bufio.Reader
 	closer  io.Closer
 	name    string
+	bo      binary.ByteOrder
 	tsScale sim.Duration
+	snapLen uint32
 	count   int
 	err     error // sticky terminal error (incl. io.EOF)
 }
 
+// maxSnapLen caps the snaplen a foreign header can declare: record
+// validation (and therefore per-record allocation) never trusts more
+// than this, so a corrupt header cannot ask Next to allocate gigabytes.
+// Real tools write snaplens up to a few hundred KiB; 16 MiB is far
+// beyond any of them.
+const maxSnapLen = 1 << 24
+
 // NewStream parses the global pcap header from r and returns an iterator
-// over its records. Both nanosecond and microsecond little-endian
-// captures are accepted.
+// over its records. Nanosecond and microsecond captures are accepted in
+// either byte order: files written on big-endian hosts carry the
+// byte-swapped magics, and their headers and record fields are decoded
+// with the detected order. Record bodies (the frames) are byte streams
+// and need no swapping.
 func NewStream(r io.Reader, name string) (*Stream, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [24]byte
@@ -44,19 +56,32 @@ func NewStream(r io.Reader, name string) (*Stream, error) {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
 	}
 	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	var bo binary.ByteOrder = binary.LittleEndian
 	var tsScale sim.Duration
 	switch magic {
 	case MagicNanos:
 		tsScale = 1
 	case MagicMicros:
 		tsScale = sim.Microsecond
+	case MagicNanosSwapped:
+		bo, tsScale = binary.BigEndian, 1
+	case MagicMicrosSwapped:
+		bo, tsScale = binary.BigEndian, sim.Microsecond
 	default:
 		return nil, fmt.Errorf("pcap: unsupported magic %#08x", magic)
 	}
-	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
+	if lt := bo.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
 		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
 	}
-	return &Stream{br: br, name: name, tsScale: tsScale}, nil
+	// Honor the writer's declared snaplen when validating records: a
+	// capture written at a larger snaplen than our default is a valid
+	// foreign artifact, not corruption. Zero (written by some tools for
+	// "maximum") and implausibly huge values fall back to the cap.
+	snap := bo.Uint32(hdr[16:20])
+	if snap == 0 || snap > maxSnapLen {
+		snap = maxSnapLen
+	}
+	return &Stream{br: br, name: name, bo: bo, tsScale: tsScale, snapLen: snap}, nil
 }
 
 // OpenStream opens a pcap file for incremental reading. Close the stream
@@ -111,12 +136,12 @@ func (s *Stream) Next() (*packet.Packet, sim.Time, error) {
 		}
 		return nil, 0, s.err
 	}
-	sec := binary.LittleEndian.Uint32(rec[0:4])
-	sub := binary.LittleEndian.Uint32(rec[4:8])
-	inclLen := binary.LittleEndian.Uint32(rec[8:12])
-	origLen := binary.LittleEndian.Uint32(rec[12:16])
-	if inclLen > DefaultSnapLen {
-		s.err = fmt.Errorf("pcap: record %d: implausible incl_len %d", s.count, inclLen)
+	sec := s.bo.Uint32(rec[0:4])
+	sub := s.bo.Uint32(rec[4:8])
+	inclLen := s.bo.Uint32(rec[8:12])
+	origLen := s.bo.Uint32(rec[12:16])
+	if inclLen > s.snapLen {
+		s.err = fmt.Errorf("pcap: record %d: incl_len %d exceeds snaplen %d", s.count, inclLen, s.snapLen)
 		return nil, 0, s.err
 	}
 	buf := make([]byte, inclLen)

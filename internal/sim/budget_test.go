@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestStepBudgetHalts: the engine stops firing events once the budget
+// is reached, deterministically at the same event, and reports it.
+func TestStepBudgetHalts(t *testing.T) {
+	runWithBudget := func(budget uint64) (fired int, now Time) {
+		e := NewEngine(1)
+		e.SetStepBudget(budget)
+		var n int
+		// A self-perpetuating schedule: unlimited, it would never drain
+		// before the RunUntil horizon.
+		var tick func()
+		tick = func() {
+			n++
+			e.PostAfter(10, tick)
+		}
+		e.Post(0, tick)
+		e.RunUntil(Second)
+		return n, e.Now()
+	}
+
+	fired, _ := runWithBudget(25)
+	if fired != 25 {
+		t.Fatalf("fired %d events under a budget of 25", fired)
+	}
+	again, _ := runWithBudget(25)
+	if again != fired {
+		t.Fatalf("budget halt not deterministic: %d vs %d", again, fired)
+	}
+
+	e := NewEngine(1)
+	e.SetStepBudget(3)
+	for i := 0; i < 10; i++ {
+		e.Post(Time(i), func() {})
+	}
+	e.RunUntil(100)
+	if !e.BudgetExhausted() {
+		t.Fatal("BudgetExhausted false after halting")
+	}
+	if e.Executed() != 3 {
+		t.Fatalf("executed %d, want 3", e.Executed())
+	}
+	if e.Step() {
+		t.Fatal("Step fired past an exhausted budget")
+	}
+}
+
+// TestZeroBudgetUnlimited: the default budget never halts anything.
+func TestZeroBudgetUnlimited(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := 0; i < 1000; i++ {
+		e.Post(Time(i), func() { n++ })
+	}
+	e.RunUntil(Second)
+	if n != 1000 || e.BudgetExhausted() {
+		t.Fatalf("unlimited engine fired %d/1000 (exhausted=%v)", n, e.BudgetExhausted())
+	}
+}

@@ -10,10 +10,15 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 )
+
+// ErrStepBudget is the sentinel error callers wrap when a simulation
+// halted because its step budget ran out (see Engine.SetStepBudget).
+var ErrStepBudget = errors.New("sim: step budget exhausted")
 
 // Time is a point in simulated time, in nanoseconds since the start of the
 // simulation. Simulated time is unrelated to host wall-clock time.
@@ -97,6 +102,12 @@ type Engine struct {
 	events   eventHeap
 	seed     int64
 	executed uint64
+
+	// budget, when non-zero, bounds how many events the engine will
+	// fire: the per-trial sim-step budget the campaign runner uses as a
+	// deterministic timeout. Once executed reaches the budget, Step and
+	// RunUntil stop firing events (see SetStepBudget).
+	budget uint64
 
 	// free is the event free list backing Post/PostAfter. Pooled events
 	// are never handed to callers, so recycling one can never confuse a
@@ -205,9 +216,28 @@ func (e *Engine) recycle(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// SetStepBudget bounds the total number of events this engine will ever
+// fire (0 = unlimited, the default). A simulation that reaches the
+// budget stops making progress: Step returns false and RunUntil drains
+// no more events, so a runaway or livelocked trial terminates quickly
+// and deterministically — the same budget always halts at the same
+// event, which is what lets a trial-campaign timeout be replayable.
+// Check BudgetExhausted to distinguish a budget halt from a drained
+// queue.
+func (e *Engine) SetStepBudget(n uint64) { e.budget = n }
+
+// BudgetExhausted reports whether a step budget was set and has been
+// used up.
+func (e *Engine) BudgetExhausted() bool {
+	return e.budget > 0 && e.executed >= e.budget
+}
+
 // Step fires the next pending event. It returns false when no runnable
-// events remain.
+// events remain or the step budget is exhausted.
 func (e *Engine) Step() bool {
+	if e.BudgetExhausted() {
+		return false
+	}
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancelled {
@@ -234,7 +264,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps <= deadline, then advances the
 // clock to deadline (even if the queue drained earlier).
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 {
+	for len(e.events) > 0 && !e.BudgetExhausted() {
 		// Peek cheapest event.
 		next := e.events[0]
 		if next.cancelled {

@@ -2,8 +2,10 @@
 # verify.sh — the repo's check suite: vet, build, race-enabled tests
 # (the obs registry/tracer concurrency tests gate first), a short fuzz
 # smoke over the pcap/metrics fuzz targets, a deterministic-replay gate
-# (the same fault seed twice must render a byte-identical κ report), and
-# the streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
+# (the same fault seed twice must render a byte-identical κ report), a
+# campaign resume gate (a campaign interrupted twice and resumed must
+# render the uninterrupted table byte-for-byte), and the
+# streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
 # guard bounding the overhead of enabled telemetry.
 #
 #	./verify.sh          # vet + build + tests under -race
@@ -41,6 +43,22 @@ go build -o "$replay_tmp/faultsweep" ./cmd/faultsweep
 "$replay_tmp/faultsweep" -seed 7 -packets 8000 >"$replay_tmp/sweep2.txt"
 cmp "$replay_tmp/sweep1.txt" "$replay_tmp/sweep2.txt"
 echo "faultsweep -seed 7: two runs byte-identical ($(wc -c <"$replay_tmp/sweep1.txt") bytes)"
+
+echo "== campaign resume gate (interrupt twice, resume to completion => byte-identical table)"
+go build -o "$replay_tmp/experiments" ./cmd/experiments
+campaign_run() {
+	"$replay_tmp/experiments" -campaign gate -envs "Local Single-Replayer" \
+		-conditions "clean;drop=0.02,jitter=2e3" \
+		-reps 2 -packets 1000 -runs 2 -seed 7 "$@" 2>/dev/null
+}
+# Uninterrupted reference run.
+campaign_run -journal "$replay_tmp/full.journal" >"$replay_tmp/campaign-full.txt"
+# Interrupted run: checkpoint after one trial, twice, then resume to the end.
+campaign_run -journal "$replay_tmp/chunk.journal" -stop-after 1 >"$replay_tmp/campaign-resumed.txt"
+campaign_run -journal "$replay_tmp/chunk.journal" -stop-after 1 -resume >"$replay_tmp/campaign-resumed.txt"
+campaign_run -journal "$replay_tmp/chunk.journal" -resume >"$replay_tmp/campaign-resumed.txt"
+cmp "$replay_tmp/campaign-full.txt" "$replay_tmp/campaign-resumed.txt"
+echo "campaign -seed 7: interrupted-twice-and-resumed table byte-identical ($(wc -c <"$replay_tmp/campaign-full.txt") bytes)"
 
 if [ "${1:-}" = "-bench" ]; then
 	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ, obs on vs off)"
