@@ -1,6 +1,6 @@
 // Command benchreport measures the PR's performance envelope and writes
-// it as a machine-readable JSON artifact (BENCH_PR3.json at the repo
-// root). It exercises three surfaces:
+// it as a machine-readable JSON artifact (BENCH_PR6.json at the repo
+// root). It exercises four surfaces:
 //
 //   - metrics.Compare on a 200k-packet trace pair — ns/op, B/op,
 //     allocs/op and pkts/s, with the pre-overhaul baseline recorded for
@@ -8,30 +8,45 @@
 //   - the streaming κ engine (shards=4) on a 50k-packet pair;
 //   - the Table 2 all-environments fan-out on the parallel trial
 //     scheduler at widths 1/2/4/8, reporting wall-clock and speedup
-//     versus the width-1 sequential baseline.
+//     versus the width-1 sequential baseline;
+//   - the choird consistency service (internal/serve) under 1/8/64
+//     concurrent uploading clients, reporting served-sessions/s,
+//     admitted-bytes/s and the process peak RSS after each level (RSS
+//     is a process-lifetime high-water mark, so the levels are
+//     cumulative).
 //
 // Speedups are honest host measurements: the artifact records num_cpu
 // and gomaxprocs so a single-core CI container's ~1.0x is read as what
-// it is. Differential tests (internal/experiments, internal/metrics)
-// separately prove the parallel results are bit-identical, so the
-// speedup is free of correctness caveats on any host.
+// it is. Differential tests (internal/experiments, internal/metrics,
+// internal/serve) separately prove the parallel and served results are
+// bit-identical, so the numbers are free of correctness caveats on any
+// host.
 //
-//	go run ./cmd/benchreport -out BENCH_PR3.json
+//	go run ./cmd/benchreport -out BENCH_PR6.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/parallel"
+	"repro/internal/pcap"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/testbed"
@@ -84,6 +99,20 @@ type report struct {
 	} `json:"stream_kappa"`
 
 	Table2Parallel []speedupLine `json:"table2_parallel"`
+
+	ChoirdService []serviceLine `json:"choird_service"`
+}
+
+// serviceLine is the service envelope at one client-concurrency level.
+type serviceLine struct {
+	Concurrency         int     `json:"concurrent_sessions"`
+	Sessions            int     `json:"sessions"`
+	WallMs              float64 `json:"wall_ms"`
+	SessionsPerSec      float64 `json:"served_sessions_per_sec"`
+	AdmittedBytesPerSec float64 `json:"admitted_bytes_per_sec"`
+	// PeakRSSBytes is the process high-water mark measured after this
+	// level completed — monotone across levels by construction.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }
 
 func synthTrace(seed int64, n int) *trace.Trace {
@@ -99,7 +128,7 @@ func synthTrace(seed int64, n int) *trace.Trace {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path")
+	out := flag.String("out", "BENCH_PR6.json", "output path")
 	table2Packets := flag.Int("table2-packets", 20_000, "recorded packets per Table 2 environment")
 	flag.Parse()
 
@@ -206,6 +235,18 @@ func main() {
 			workers, wall.Round(time.Millisecond), busy.Round(time.Millisecond), line.Speedup, line.Identical)
 	}
 
+	// --- choird service envelope ---
+	for _, conc := range []int{1, 8, 64} {
+		line, err := benchService(conc)
+		if err != nil {
+			fatal(err)
+		}
+		rep.ChoirdService = append(rep.ChoirdService, line)
+		fmt.Fprintf(os.Stderr, "choird conc=%d sessions=%d wall=%.0fms %.1f sessions/s %.1f MiB/s admitted peakRSS=%.1f MiB\n",
+			line.Concurrency, line.Sessions, line.WallMs, line.SessionsPerSec,
+			line.AdmittedBytesPerSec/(1<<20), float64(line.PeakRSSBytes)/(1<<20))
+	}
+
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -216,6 +257,141 @@ func main() {
 	}
 	fmt.Printf("wrote %s (metrics.Compare: %d allocs/op, −%.1f%% vs seed)\n",
 		*out, rep.MetricsCompare.AllocsPerOp, rep.MetricsCompare.AllocReductionPct)
+}
+
+// benchService drives an in-process choird (internal/serve behind a
+// real HTTP listener) with conc uploading clients, each posting and
+// polling sessions over a 3k-packet capture pair, and reports the
+// service throughput plus the process peak RSS after the level.
+func benchService(conc int) (serviceLine, error) {
+	var line serviceLine
+	dir, err := os.MkdirTemp("", "benchreport-choird")
+	if err != nil {
+		return line, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Fixture pair on disk, then in memory for the multipart bodies.
+	ta, tb := synthTrace(21, 3000), synthTrace(22, 3000)
+	pa := filepath.Join(dir, "A.pcap")
+	pb := filepath.Join(dir, "B.pcap")
+	if err := pcap.WriteFile(pa, ta, 0); err != nil {
+		return line, err
+	}
+	if err := pcap.WriteFile(pb, tb, 0); err != nil {
+		return line, err
+	}
+	rawA, err := os.ReadFile(pa)
+	if err != nil {
+		return line, err
+	}
+	rawB, err := os.ReadFile(pb)
+	if err != nil {
+		return line, err
+	}
+
+	srv, err := serve.New(serve.Config{
+		Dir:          filepath.Join(dir, "state"),
+		GlobalBudget: 1 << 30,
+		TenantBudget: 1 << 30,
+		MaxUpload:    1 << 28,
+		MaxSessions:  2 * conc,
+		Window:       50 * sim.Microsecond,
+	})
+	if err != nil {
+		return line, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := func() (*bytes.Buffer, string, error) {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		for _, p := range []struct {
+			field string
+			data  []byte
+		}{{"a", rawA}, {"b", rawB}} {
+			fw, err := mw.CreateFormFile(p.field, p.field+".pcap")
+			if err != nil {
+				return nil, "", err
+			}
+			if _, err := fw.Write(p.data); err != nil {
+				return nil, "", err
+			}
+		}
+		return &buf, mw.FormDataContentType(), mw.Close()
+	}
+
+	sessions := 4 * conc
+	perClient := sessions / conc
+	var admitted int64
+	var mu sync.Mutex
+	errCh := make(chan error, conc)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				buf, ctype, err := body()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				n := int64(buf.Len())
+				resp, err := http.Post(ts.URL+"/v1/sessions?tenant="+tenant, ctype, buf)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var v struct {
+					ID string `json:"id"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&v)
+				resp.Body.Close()
+				if err != nil || v.ID == "" {
+					errCh <- fmt.Errorf("upload (%s): status %d, decode %v", tenant, resp.StatusCode, err)
+					return
+				}
+				mu.Lock()
+				admitted += n
+				mu.Unlock()
+				for {
+					r, err := http.Get(ts.URL + "/v1/sessions/" + v.ID + "/result")
+					if err != nil {
+						errCh <- err
+						return
+					}
+					code := r.StatusCode
+					r.Body.Close()
+					if code == http.StatusOK {
+						break
+					}
+					if code != http.StatusAccepted {
+						errCh <- fmt.Errorf("session %s: HTTP %d", v.ID, code)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(fmt.Sprintf("bench%02d", c))
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errCh:
+		return line, err
+	default:
+	}
+
+	line.Concurrency = conc
+	line.Sessions = sessions
+	line.WallMs = float64(wall.Microseconds()) / 1e3
+	line.SessionsPerSec = float64(sessions) / wall.Seconds()
+	line.AdmittedBytesPerSec = float64(admitted) / wall.Seconds()
+	line.PeakRSSBytes, _ = obs.PeakRSSBytes()
+	return line, nil
 }
 
 func fatal(err error) {

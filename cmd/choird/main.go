@@ -1,0 +1,125 @@
+// Command choird is the always-on consistency service: κ-scoring for a
+// fleet, not a one-shot CLI. It accepts pcap uploads and live-tap
+// sessions over HTTP, runs many concurrent streaming comparisons under
+// per-tenant admission budgets, and serves windowed κ results that are
+// byte-identical to what `consistency` prints offline for the same
+// captures.
+//
+//	choird -addr :8432 -dir /var/lib/choird
+//
+//	# upload a pair, poll, fetch the report
+//	curl -s -F a=@runA.pcap -F b=@runB.pcap 'http://host:8432/v1/sessions?tenant=team1'
+//	curl -s http://host:8432/v1/sessions/team1-000001
+//	curl -s 'http://host:8432/v1/sessions/team1-000001/result?format=consistency'
+//
+// SIGTERM drains gracefully: running sessions finish, queued ones stay
+// journaled and re-run on the next boot to bit-identical results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "choird: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("choird", flag.ContinueOnError)
+	addr := fs.String("addr", ":8432", "listen address (use :0 for an ephemeral port)")
+	dir := fs.String("dir", "choird-state", "state directory (spooled captures + per-tenant journals)")
+	seed := fs.Int64("seed", 1, "base seed; every session derives its own from it")
+	globalBudget := fs.Int64("global-budget", 0, "global admission budget in bytes (0 = default 256 MiB)")
+	tenantBudget := fs.Int64("tenant-budget", 0, "per-tenant admission budget in bytes (0 = global/4)")
+	maxUpload := fs.Int64("max-upload", 0, "max bytes per capture file (0 = tenant budget/2)")
+	maxSessions := fs.Int("max-sessions", 0, "max queued+running sessions (0 = 4x workers)")
+	workers := fs.Int("workers", 0, "comparison concurrency (0 = GOMAXPROCS)")
+	window := fs.Duration("window", 10*time.Millisecond, "default tumbling-window length")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sessions on SIGTERM")
+	faultSpec := fs.String("fault", "", "fault plan spec threaded into every session's engine (stall storms; results stay bit-identical)")
+	quiet := fs.Bool("quiet", false, "suppress per-session lifecycle lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Dir:          *dir,
+		Seed:         *seed,
+		GlobalBudget: *globalBudget,
+		TenantBudget: *tenantBudget,
+		MaxUpload:    *maxUpload,
+		MaxSessions:  *maxSessions,
+		Workers:      *workers,
+		Window:       sim.Duration(window.Nanoseconds()),
+	}
+	if !*quiet {
+		cfg.Log = func(format string, a ...any) { fmt.Fprintf(stdout, "choird: "+format+"\n", a...) }
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-fault: %w", err)
+		}
+		cfg.Stall = plan.StallHook()
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The listen line is a machine-readable contract: verify.sh and the
+	// bench harness parse the bound address from it.
+	fmt.Fprintf(stdout, "choird: listening on http://%s (state %s)\n", ln.Addr(), *dir)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintf(stdout, "choird: signal received, draining (timeout %v)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	if drainErr != nil {
+		fmt.Fprintf(stdout, "choird: drain timed out; unfinished sessions stay journaled for the next boot\n")
+	} else {
+		fmt.Fprintf(stdout, "choird: drained cleanly\n")
+	}
+	return nil
+}

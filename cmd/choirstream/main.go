@@ -111,6 +111,12 @@ func main() {
 	fmt.Printf("trial B: %s — %d packets\n", flag.Arg(1), sum.PacketsB)
 	if truncated {
 		fmt.Printf("warning: capture truncated mid-record; scored the prefix (%v)\n", err)
+		for _, s := range []*pcap.Stream{a, b} {
+			if d := s.Diag(); d.Reason != "" {
+				fmt.Printf("  %s: %d records (%d bytes) scored, %d torn bytes dropped: %s\n",
+					s.Name(), d.Records, d.Bytes, d.TornBytes, d.Reason)
+			}
+		}
 	}
 	fmt.Printf("aggregate: %v\n", sum.Aggregate)
 	if sum.Aggregate.Windows > 0 {

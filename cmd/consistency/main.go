@@ -19,10 +19,7 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/metrics"
-	"repro/internal/pcap"
-	"repro/internal/stats"
-	"repro/internal/trace"
+	"repro/internal/consistency"
 )
 
 // errUsage distinguishes bad invocations (exit 2, Unix convention) from
@@ -50,47 +47,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if fs.NArg() != 2 {
 		return errUsage
 	}
-
-	load := func(path string) (*trace.Trace, int, error) {
-		tr, err := pcap.ReadAnyFile(path)
-		if err != nil {
-			return nil, 0, fmt.Errorf("%s: %w", path, err)
-		}
-		return tr.DataOnly().Normalize(), tr.Len(), nil
-	}
-	a, totalA, err := load(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	b, totalB, err := load(fs.Arg(1))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "trial A: %s — %d frames, %d tagged data packets, span %.6fs\n",
-		fs.Arg(0), totalA, a.Len(), a.Span().Seconds())
-	fmt.Fprintf(stdout, "trial B: %s — %d frames, %d tagged data packets, span %.6fs\n",
-		fs.Arg(1), totalB, b.Len(), b.Span().Seconds())
-
-	res, err := metrics.Compare(a, b, metrics.Options{KeepDeltas: true})
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintln(stdout)
-	fmt.Fprintf(stdout, "U (uniqueness) = %.6g   (%d common, %d only-A, %d only-B)\n", res.U, res.Common, res.OnlyA, res.OnlyB)
-	fmt.Fprintf(stdout, "O (ordering)   = %.6g   (%d packets moved, %.1f%% of common)\n", res.O, res.MovedPackets, res.MovedFraction()*100)
-	fmt.Fprintf(stdout, "L (latency)    = %.6g\n", res.L)
-	fmt.Fprintf(stdout, "I (IAT)        = %.6g   (%.2f%% within ±%dns)\n", res.I, stats.PercentWithin(res.IATDeltas, *within), *within)
-	fmt.Fprintf(stdout, "κ              = %.4f\n", res.Kappa)
-
-	if *hist {
-		fmt.Fprintln(stdout)
-		hi := stats.NewSymLogHistogram(8)
-		hi.AddAll(res.IATDeltas)
-		fmt.Fprintln(stdout, hi.Render("IAT delta (ns)", 46))
-		hl := stats.NewSymLogHistogram(8)
-		hl.AddAll(res.LatencyDeltas)
-		fmt.Fprintln(stdout, hl.Render("latency delta (ns)", 46))
-	}
-	return nil
+	// The rendering lives in internal/consistency so the always-on
+	// service (cmd/choird) serves the very same bytes for the same pair.
+	return consistency.Report(stdout,
+		consistency.Input{Path: fs.Arg(0), Name: fs.Arg(0)},
+		consistency.Input{Path: fs.Arg(1), Name: fs.Arg(1)},
+		consistency.Options{Hist: *hist, WithinNs: *within})
 }

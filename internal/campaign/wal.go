@@ -1,0 +1,146 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL generalizes the campaign journal into a reusable crash-safety
+// substrate: an append-only JSONL log where every line is a CRC-32
+// (IEEE) checksummed envelope around an arbitrary JSON body, fsync'd
+// per append. It shares the campaign journal's torn-tail discipline —
+// replay stops at the first line that fails its checksum, and Open
+// truncates everything from that byte onward, because a torn or
+// bit-rotted line means every later line's provenance is suspect.
+//
+// The consistency service (internal/serve) journals per-tenant session
+// lifecycles through this type; the campaign runner keeps its own
+// schema-specific journal but both write the same on-disk dialect
+// ("crc32:%08x" sums over the checksummed bytes).
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// walEntry is the on-disk envelope: the body's bytes plus the CRC-32 of
+// exactly those bytes. Verification is byte-precise — the body is kept
+// as RawMessage, so no field-ordering or float-formatting ambiguity can
+// creep in between writer and reader.
+type walEntry struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+	Sum  string          `json:"sum"`
+}
+
+// OpenWAL opens (creating if absent) the log at path for appending,
+// first replaying every intact entry through apply in write order and
+// truncating any torn or corrupt tail. apply receives each entry's kind
+// and raw body; unmarshal into whatever schema the kind implies.
+func OpenWAL(path string, apply func(kind string, body json.RawMessage) error) (*WAL, error) {
+	good := int64(0)
+	if raw, err := os.Open(path); err == nil {
+		br := bufio.NewReaderSize(raw, 1<<16)
+		for {
+			line, err := br.ReadBytes('\n')
+			if err != nil {
+				// io.EOF with a partial line is a torn final record;
+				// either way replay stops at the last good byte.
+				if err != io.EOF {
+					raw.Close()
+					return nil, fmt.Errorf("campaign: reading wal %s: %w", path, err)
+				}
+				break
+			}
+			trimmed := bytes.TrimSpace(line)
+			if len(trimmed) == 0 {
+				good += int64(len(line))
+				continue
+			}
+			var e walEntry
+			if json.Unmarshal(trimmed, &e) != nil || e.Sum != walSum(e.Kind, e.Body) {
+				break
+			}
+			if err := apply(e.Kind, e.Body); err != nil {
+				raw.Close()
+				return nil, fmt.Errorf("campaign: replaying wal %s: %w", path, err)
+			}
+			good += int64(len(line))
+		}
+		raw.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: truncating torn wal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{f: f, path: path}, nil
+}
+
+// walSum derives the envelope checksum over the kind and the body's
+// exact bytes.
+func walSum(kind string, body json.RawMessage) string {
+	h := crc32.NewIEEE()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(body)
+	return fmt.Sprintf("crc32:%08x", h.Sum32())
+}
+
+// Append marshals body, seals it in a checksummed envelope and fsyncs
+// it. The entry is durable before Append returns — a crash immediately
+// after can lose at most work that was never acknowledged.
+func (w *WAL) Append(kind string, body any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(walEntry{Kind: kind, Body: raw, Sum: walSum(kind, raw)})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("campaign: wal %s is closed", w.path)
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("campaign: wal append: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the file. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,84 @@
+// Package consistency renders the canonical §3 metric report for a pair
+// of pcap captures — the exact text `cmd/consistency` prints. It exists
+// as a package so the consistency *service* (internal/serve) can return
+// byte-identical reports over HTTP: the differential gate in verify.sh
+// literally `cmp`s a served report against the CLI's output for the
+// same pair, which is only meaningful if both render through one code
+// path.
+package consistency
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Input names one capture: Path is where the bytes live, Name is what
+// the report calls it (the CLI passes its argument for both; the
+// service passes the spool path and the tenant's uploaded filename).
+type Input struct {
+	Path string
+	Name string
+}
+
+// Options mirrors the CLI's rendering flags.
+type Options struct {
+	// Hist appends IAT/latency delta histograms.
+	Hist bool
+	// WithinNs is the |IAT delta| bucket the I line quotes (the CLI's
+	// -within flag, default 10).
+	WithinNs int64
+}
+
+// Report loads both captures, scores them with the batch §3 pipeline
+// (tagged data packets only, normalized timelines — the paper's
+// evaluation protocol) and writes the deterministic report: the same
+// pair of captures always renders byte-identical text.
+func Report(w io.Writer, a, b Input, opts Options) error {
+	load := func(in Input) (*trace.Trace, int, error) {
+		tr, err := pcap.ReadAnyFile(in.Path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", in.Name, err)
+		}
+		return tr.DataOnly().Normalize(), tr.Len(), nil
+	}
+	ta, totalA, err := load(a)
+	if err != nil {
+		return err
+	}
+	tb, totalB, err := load(b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "trial A: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		a.Name, totalA, ta.Len(), ta.Span().Seconds())
+	fmt.Fprintf(w, "trial B: %s — %d frames, %d tagged data packets, span %.6fs\n",
+		b.Name, totalB, tb.Len(), tb.Span().Seconds())
+
+	res, err := metrics.Compare(ta, tb, metrics.Options{KeepDeltas: true})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "U (uniqueness) = %.6g   (%d common, %d only-A, %d only-B)\n", res.U, res.Common, res.OnlyA, res.OnlyB)
+	fmt.Fprintf(w, "O (ordering)   = %.6g   (%d packets moved, %.1f%% of common)\n", res.O, res.MovedPackets, res.MovedFraction()*100)
+	fmt.Fprintf(w, "L (latency)    = %.6g\n", res.L)
+	fmt.Fprintf(w, "I (IAT)        = %.6g   (%.2f%% within ±%dns)\n", res.I, stats.PercentWithin(res.IATDeltas, opts.WithinNs), opts.WithinNs)
+	fmt.Fprintf(w, "κ              = %.4f\n", res.Kappa)
+
+	if opts.Hist {
+		fmt.Fprintln(w)
+		hi := stats.NewSymLogHistogram(8)
+		hi.AddAll(res.IATDeltas)
+		fmt.Fprintln(w, hi.Render("IAT delta (ns)", 46))
+		hl := stats.NewSymLogHistogram(8)
+		hl.AddAll(res.LatencyDeltas)
+		fmt.Fprintln(w, hl.Render("latency delta (ns)", 46))
+	}
+	return nil
+}

@@ -1,10 +1,11 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/report"
 )
@@ -28,7 +29,7 @@ type CLI struct {
 	Sample  int
 
 	obs *Obs
-	srv *http.Server
+	srv *Server
 }
 
 // BindFlags registers the observability flags on fs (use flag.CommandLine
@@ -101,7 +102,11 @@ func (c *CLI) Finish() error {
 		}))
 	}
 	if c.srv != nil {
-		keep(c.srv.Close())
+		// Graceful stop: let an in-flight /metrics scrape finish rather
+		// than tearing its connection at process exit.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		keep(c.srv.Shutdown(ctx))
+		cancel()
 		c.srv = nil
 	}
 	return first

@@ -1,24 +1,26 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 )
 
-// Serve exposes the observability surface on an opt-in HTTP listener:
+// Handler returns the observability mux:
 //
 //	/metrics        Prometheus text exposition
 //	/metrics.json   JSON snapshot of the same registry
 //	/trace          Chrome trace_event JSON of everything traced so far
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
-// The server runs on its own goroutine; Close the returned server to
-// stop it. Instruments are atomic, so scraping mid-run is safe; values
-// read mid-run are a consistent-enough snapshot for dashboards, and the
+// Exported so long-running daemons (cmd/choird) can mount the fleet
+// surface on their own server instead of opening a second listener.
+// Instruments are atomic, so scraping mid-run is safe; values read
+// mid-run are a consistent-enough snapshot for dashboards, and the
 // sim's own determinism is never affected.
-func Serve(addr string, o *Obs) (*http.Server, error) {
+func Handler(o *Obs) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -37,12 +39,55 @@ func Serve(addr string, o *Obs) (*http.Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// Server is an observability HTTP listener with a graceful stop: unlike
+// a bare http.Server.Close, Shutdown stops accepting new scrapes and
+// waits (up to the context deadline) for in-flight responses — a
+// /metrics scrape racing a daemon's drain gets its full body instead of
+// a torn connection.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Serve exposes the observability surface on an opt-in HTTP listener.
+// The server runs on its own goroutine; call Shutdown (preferred) or
+// Close on the returned server to stop it.
+func Serve(addr string, o *Obs) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{Handler: Handler(o)}
 	go func() { _ = srv.Serve(ln) }()
-	return srv, nil
+	return &Server{srv: srv, addr: ln.Addr().String()}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Shutdown gracefully stops the listener: no new connections are
+// accepted, in-flight scrapes finish, and the listener is released
+// before it returns (or the context expires, whichever is first).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+// Close force-stops the listener, abandoning in-flight scrapes. Prefer
+// Shutdown unless the process is on its way down anyway.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
 }

@@ -2,14 +2,19 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/packet"
 	"repro/internal/sim"
@@ -569,6 +574,50 @@ func TestCLIWiring(t *testing.T) {
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.256.256.256:0", New()); err == nil {
 		t.Fatal("bad listen address accepted")
+	}
+}
+
+// TestServeGracefulShutdown: Serve binds an ephemeral port, serves a
+// scrape, and Shutdown releases the listener so the address can be
+// rebound immediately — the daemon drain path depends on exactly this.
+func TestServeGracefulShutdown(t *testing.T) {
+	o := New()
+	o.Registry().Counter("shutdown_test_total", "t").Inc()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	if addr == "" {
+		t.Fatal("no bound address reported")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "shutdown_test_total") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port must be free again: a leaked listener would fail this bind.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listener leaked after Shutdown: %v", err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+	// Nil-receiver and double-stop paths are tolerated.
+	var nilSrv *Server
+	if nilSrv.Addr() != "" || nilSrv.Shutdown(ctx) != nil || nilSrv.Close() != nil {
+		t.Fatal("nil Server methods not no-ops")
 	}
 }
 

@@ -1,0 +1,89 @@
+package parallel
+
+import "sync"
+
+// Runner is the long-lived counterpart of Do: a persistent executor the
+// always-on consistency service schedules sessions on. Where Do fans a
+// known batch of indexed jobs out and drains, a Runner accepts jobs one
+// at a time for the life of a daemon, executing at most Pool-width
+// concurrently, in strict admission (FIFO) order — so per-session
+// concurrency stays deterministic: a session's comparison pipeline sees
+// the same worker width no matter what else the fleet is doing.
+//
+// Jobs run through the same telemetry path as Do (per-worker busy time,
+// in-flight/queue gauges, task counters), so a WithObs-instrumented
+// pool exposes the service's scheduler exactly like the batch CLIs'.
+type Runner struct {
+	p    *Pool
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// Runner spawns the pool's width of worker goroutines pulling from a
+// queue of the given capacity (minimum 1). Submit blocks once the queue
+// is full — backpressure, not unbounded buffering. Stop the runner with
+// Drain; a pool may host at most one runner at a time (the per-worker
+// busy accounting is shared with Do).
+func (p *Pool) Runner(queue int) *Runner {
+	if queue < 1 {
+		queue = 1
+	}
+	r := &Runner{p: p, jobs: make(chan func(), queue)}
+	w := 1
+	if p != nil {
+		w = p.workers
+	}
+	for wid := 0; wid < w; wid++ {
+		r.wg.Add(1)
+		go func(wid int) {
+			defer r.wg.Done()
+			for job := range r.jobs {
+				job2 := job
+				if p != nil {
+					p.queued.Add(-1)
+					p.gQueue.SetInt(p.queued.Load())
+					_ = p.run(wid, 0, func(int) error { job2(); return nil })
+				} else {
+					job2()
+				}
+			}
+		}(wid)
+	}
+	return r
+}
+
+// Submit enqueues fn, blocking while the queue is full. It reports
+// false — without running fn — once Drain has begun: the caller decides
+// what a refused job means (the service journals it for resume).
+// Submits serialize on the admission lock, which is also what makes the
+// send race-free against Drain's channel close.
+func (r *Runner) Submit(fn func()) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return false
+	}
+	if r.p != nil {
+		r.p.queued.Add(1)
+		r.p.gQueue.SetInt(r.p.queued.Load())
+	}
+	r.jobs <- fn
+	return true
+}
+
+// Drain stops admission and blocks until every accepted job has
+// finished. Idempotent; Submit returns false from the moment Drain
+// begins.
+func (r *Runner) Drain() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		// No sender can be mid-send: sends hold the same lock.
+		close(r.jobs)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunnerExecutesAll: every submitted job runs exactly once, across
+// widths, and the pool's cumulative task counter sees them.
+func TestRunnerExecutesAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := New(workers)
+		r := p.Runner(4)
+		var n atomic.Int64
+		const jobs = 100
+		for i := 0; i < jobs; i++ {
+			if !r.Submit(func() { n.Add(1) }) {
+				t.Fatalf("workers=%d: submit refused before drain", workers)
+			}
+		}
+		r.Drain()
+		if n.Load() != jobs {
+			t.Fatalf("workers=%d: ran %d jobs, want %d", workers, n.Load(), jobs)
+		}
+		if p.Stats().Tasks != jobs {
+			t.Fatalf("workers=%d: pool counted %d tasks, want %d", workers, p.Stats().Tasks, jobs)
+		}
+	}
+}
+
+// TestRunnerConcurrencyBound: at most pool-width jobs execute at once.
+func TestRunnerConcurrencyBound(t *testing.T) {
+	const width = 3
+	p := New(width)
+	r := p.Runner(64)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		r.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				pk := peak.Load()
+				if c <= pk || peak.CompareAndSwap(pk, c) {
+					break
+				}
+			}
+			<-gate
+			cur.Add(-1)
+		})
+	}
+	close(gate)
+	wg.Wait()
+	r.Drain()
+	if pk := peak.Load(); pk > width {
+		t.Fatalf("peak concurrency %d exceeds pool width %d", pk, width)
+	}
+}
+
+// TestRunnerDrainRefusesNewWork: Drain waits for accepted jobs, then
+// Submit reports refusal without running the job; Drain is idempotent.
+func TestRunnerDrainRefusesNewWork(t *testing.T) {
+	p := New(2)
+	r := p.Runner(2)
+	var ran atomic.Bool
+	r.Submit(func() { ran.Store(true) })
+	r.Drain()
+	if !ran.Load() {
+		t.Fatal("accepted job did not run before Drain returned")
+	}
+	if r.Submit(func() { t.Error("refused job executed") }) {
+		t.Fatal("submit accepted after drain")
+	}
+	r.Drain() // second drain is a no-op
+}
+
+// TestRunnerObsGauges: an instrumented pool's queue/in-flight gauges
+// return to zero after drain and the task counter advances — the same
+// instruments Do maintains.
+func TestRunnerObsGauges(t *testing.T) {
+	o := obs.New()
+	p := New(2).WithObs(o.Registry())
+	r := p.Runner(8)
+	for i := 0; i < 10; i++ {
+		r.Submit(func() {})
+	}
+	r.Drain()
+	if v, ok := o.Registry().GaugeValue("parallel_queue_depth"); !ok || v != 0 {
+		t.Fatalf("queue depth gauge = %v (ok=%v), want 0", v, ok)
+	}
+	if v, ok := o.Registry().GaugeValue("parallel_inflight_trials"); !ok || v != 0 {
+		t.Fatalf("in-flight gauge = %v (ok=%v), want 0", v, ok)
+	}
+	if p.Stats().Tasks != 10 {
+		t.Fatalf("tasks = %d, want 10", p.Stats().Tasks)
+	}
+}
+
+// TestRunnerNilPool: a nil pool degrades to a single inline worker.
+func TestRunnerNilPool(t *testing.T) {
+	var p *Pool
+	r := p.Runner(1)
+	var n atomic.Int64
+	for i := 0; i < 5; i++ {
+		if !r.Submit(func() { n.Add(1) }) {
+			t.Fatal("nil-pool runner refused a job")
+		}
+	}
+	r.Drain()
+	if n.Load() != 5 {
+		t.Fatalf("ran %d jobs, want 5", n.Load())
+	}
+}

@@ -18,6 +18,11 @@ import (
 // as a soft end-of-input; batch callers surface it.
 var ErrTruncated = errors.New("pcap: truncated record")
 
+// ErrLimit marks a stream that hit its configured byte budget (SetLimit).
+// Upload paths use it to refuse captures larger than what admission
+// control reserved, without buffering the oversized remainder.
+var ErrLimit = errors.New("pcap: stream exceeds size limit")
+
 // Stream is an incremental pcap reader: one record per Next call, no
 // whole-trace materialization. It is the file-backed Source of the
 // streaming consistency engine (internal/stream), and the batch Read is
@@ -31,7 +36,46 @@ type Stream struct {
 	snapLen uint32
 	count   int
 	err     error // sticky terminal error (incl. io.EOF)
+
+	bytes     int64 // bytes of well-formed input consumed (header + whole records)
+	limit     int64 // 0 = unlimited; checked against bytes before each record body
+	tornBytes int64 // bytes of the torn final record consumed before the cut
+	reason    string
 }
+
+// Diag reports how a stream ended: how much well-formed input was
+// consumed, how many bytes of a torn final record were read and then
+// discarded, and a one-line reason when the stream stopped for anything
+// other than a clean EOF. Callers surfacing a truncation warning (the
+// service upload path, choirstream) render these instead of silently
+// scoring the prefix.
+type Diag struct {
+	// Records is the number of whole records decoded.
+	Records int
+	// Bytes is the well-formed input consumed: the 24-byte global header
+	// plus every complete record (16-byte header + body).
+	Bytes int64
+	// TornBytes counts bytes of the final, incomplete record that were
+	// read before the stream ended — data dropped from scoring.
+	TornBytes int64
+	// Reason is empty for a clean EOF (or a still-active stream);
+	// otherwise a short diagnosis: "torn record header", "torn record
+	// body", "size limit exceeded", or the underlying read error.
+	Reason string
+}
+
+// Diag returns the stream's end-of-input diagnostics (valid any time;
+// final once Next has returned a terminal error).
+func (s *Stream) Diag() Diag {
+	return Diag{Records: s.count, Bytes: s.bytes, TornBytes: s.tornBytes, Reason: s.reason}
+}
+
+// SetLimit bounds the total bytes Next will consume (global header
+// included). Once decoding the next record would cross the limit, Next
+// fails with an error wrapping ErrLimit *before* reading the record
+// body, so an oversized upload costs at most limit+16 bytes of reading.
+// A limit of 0 (the default) is unlimited.
+func (s *Stream) SetLimit(maxBytes int64) { s.limit = maxBytes }
 
 // maxSnapLen caps the snaplen a foreign header can declare: record
 // validation (and therefore per-record allocation) never trusts more
@@ -81,7 +125,7 @@ func NewStream(r io.Reader, name string) (*Stream, error) {
 	if snap == 0 || snap > maxSnapLen {
 		snap = maxSnapLen
 	}
-	return &Stream{br: br, name: name, bo: bo, tsScale: tsScale, snapLen: snap}, nil
+	return &Stream{br: br, name: name, bo: bo, tsScale: tsScale, snapLen: snap, bytes: 24}, nil
 }
 
 // OpenStream opens a pcap file for incremental reading. Close the stream
@@ -126,12 +170,15 @@ func (s *Stream) Next() (*packet.Packet, sim.Time, error) {
 		return nil, 0, s.err
 	}
 	var rec [16]byte
-	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+	if n, err := io.ReadFull(s.br, rec[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			s.err = io.EOF
 		} else if errors.Is(err, io.ErrUnexpectedEOF) {
+			s.tornBytes = int64(n)
+			s.reason = fmt.Sprintf("torn record header (%d of 16 bytes after record %d)", n, s.count)
 			s.err = fmt.Errorf("pcap: record %d header: %w: %w", s.count, ErrTruncated, err)
 		} else {
+			s.reason = err.Error()
 			s.err = fmt.Errorf("pcap: record %d header: %w", s.count, err)
 		}
 		return nil, 0, s.err
@@ -141,14 +188,26 @@ func (s *Stream) Next() (*packet.Packet, sim.Time, error) {
 	inclLen := s.bo.Uint32(rec[8:12])
 	origLen := s.bo.Uint32(rec[12:16])
 	if inclLen > s.snapLen {
+		s.tornBytes = 16
+		s.reason = fmt.Sprintf("record %d declares incl_len %d > snaplen %d", s.count, inclLen, s.snapLen)
 		s.err = fmt.Errorf("pcap: record %d: incl_len %d exceeds snaplen %d", s.count, inclLen, s.snapLen)
 		return nil, 0, s.err
 	}
+	if s.limit > 0 && s.bytes+16+int64(inclLen) > s.limit {
+		s.tornBytes = 16
+		s.reason = fmt.Sprintf("size limit exceeded (record %d would bring the stream to %d bytes, limit %d)",
+			s.count, s.bytes+16+int64(inclLen), s.limit)
+		s.err = fmt.Errorf("pcap: record %d: %w (%d bytes consumed, limit %d)", s.count, ErrLimit, s.bytes, s.limit)
+		return nil, 0, s.err
+	}
 	buf := make([]byte, inclLen)
-	if _, err := io.ReadFull(s.br, buf); err != nil {
+	if n, err := io.ReadFull(s.br, buf); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			s.tornBytes = 16 + int64(n)
+			s.reason = fmt.Sprintf("torn record body (%d of %d bytes in record %d)", n, inclLen, s.count)
 			s.err = fmt.Errorf("pcap: record %d body: %w: %w", s.count, ErrTruncated, err)
 		} else {
+			s.reason = err.Error()
 			s.err = fmt.Errorf("pcap: record %d body: %w", s.count, err)
 		}
 		return nil, 0, s.err
@@ -162,5 +221,6 @@ func (s *Stream) Next() (*packet.Packet, sim.Time, error) {
 		p.FrameLen = int(origLen) + packet.FCSLen
 	}
 	s.count++
+	s.bytes += 16 + int64(inclLen)
 	return p, ts, nil
 }

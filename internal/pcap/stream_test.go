@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/packet"
@@ -140,6 +141,137 @@ func TestStreamTruncatedHeaderSticky(t *testing.T) {
 	}
 	if _, _, err := s.Next(); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("sticky error lost: %v", err)
+	}
+}
+
+// TestStreamDiag pins the truncation diagnostics: a cut mid-body (and
+// mid-header) reports how many torn bytes were consumed and why, while a
+// clean EOF reports nothing — the facts upload paths surface to clients
+// instead of silently scoring the prefix.
+func TestStreamDiag(t *testing.T) {
+	tr := sampleTrace(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	bodyLen := frameBytes(t, tr)
+	recBytes := int64(16 + bodyLen)
+
+	drain := func(s *Stream) error {
+		for {
+			if _, _, err := s.Next(); err != nil {
+				return err
+			}
+		}
+	}
+
+	t.Run("clean EOF", func(t *testing.T) {
+		s, err := NewStream(bytes.NewReader(raw), "clean")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := drain(s); !errors.Is(err, io.EOF) {
+			t.Fatal(err)
+		}
+		d := s.Diag()
+		want := Diag{Records: 10, Bytes: 24 + 10*recBytes}
+		if d != want {
+			t.Fatalf("Diag = %+v, want %+v", d, want)
+		}
+	})
+	t.Run("torn body", func(t *testing.T) {
+		s, err := NewStream(bytes.NewReader(raw[:len(raw)-10]), "torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := drain(s); !errors.Is(err, ErrTruncated) {
+			t.Fatal(err)
+		}
+		d := s.Diag()
+		if d.Records != 9 || d.Bytes != 24+9*recBytes {
+			t.Fatalf("Diag = %+v", d)
+		}
+		if d.TornBytes != recBytes-10 {
+			t.Fatalf("TornBytes = %d, want %d", d.TornBytes, recBytes-10)
+		}
+		if !strings.Contains(d.Reason, "torn record body") {
+			t.Fatalf("Reason = %q", d.Reason)
+		}
+	})
+	t.Run("torn header", func(t *testing.T) {
+		s, err := NewStream(bytes.NewReader(raw[:len(raw)-bodyLen-9]), "torn")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := drain(s); !errors.Is(err, ErrTruncated) {
+			t.Fatal(err)
+		}
+		d := s.Diag()
+		if d.Records != 9 || d.TornBytes != 7 || !strings.Contains(d.Reason, "torn record header") {
+			t.Fatalf("Diag = %+v", d)
+		}
+	})
+}
+
+// TestStreamLimit: the configurable upload-size guard refuses the record
+// that would cross the budget, before reading its body, with a sticky
+// error wrapping ErrLimit; a limit covering the whole capture is
+// invisible.
+func TestStreamLimit(t *testing.T) {
+	tr := sampleTrace(10)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	recBytes := int64(16 + frameBytes(t, tr))
+
+	// Budget for exactly 4 records (plus the 24-byte global header).
+	s, err := NewStream(bytes.NewReader(raw), "lim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLimit(24 + 4*recBytes)
+	n := 0
+	var lastErr error
+	for {
+		if _, _, lastErr = s.Next(); lastErr != nil {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("decoded %d records under limit, want 4", n)
+	}
+	if !errors.Is(lastErr, ErrLimit) {
+		t.Fatalf("error %v does not wrap ErrLimit", lastErr)
+	}
+	if _, _, err := s.Next(); !errors.Is(err, ErrLimit) {
+		t.Fatalf("limit error not sticky: %v", err)
+	}
+	if d := s.Diag(); !strings.Contains(d.Reason, "size limit exceeded") || d.Records != 4 {
+		t.Fatalf("Diag = %+v", d)
+	}
+
+	// Exact-fit limit: the whole capture reads cleanly.
+	s2, err := NewStream(bytes.NewReader(raw), "fit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetLimit(int64(len(raw)))
+	n = 0
+	for {
+		if _, _, err := s2.Next(); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatal(err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("decoded %d records at exact-fit limit, want 10", n)
 	}
 }
 

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrTooLarge marks a request that can never be admitted: its
+// reservation exceeds the per-tenant (or global) budget outright. The
+// HTTP layer maps it to 413 rather than 429 — retrying won't help.
+var ErrTooLarge = errors.New("serve: request exceeds admission budget")
+
+// ErrBusy marks a request shed because budgets are currently exhausted;
+// the HTTP layer maps it to 429 + Retry-After.
+var ErrBusy = errors.New("serve: admission budget exhausted")
+
+// admission is the byte-budget gatekeeper. Every session reserves its
+// bytes (Content-Length for uploads, a declared cap for live taps)
+// before any capture data is spooled; the reservation is released when
+// the session reaches a terminal state. Budgets are bytes of *capture*,
+// which bounds memory because the stream engine's own watermark-lag
+// gate keeps per-session working memory proportional to
+// Shards×Buffer×MaxLag, never to capture length.
+type admission struct {
+	mu          sync.Mutex
+	global      int64
+	perTenant   int64
+	maxSessions int
+
+	used    int64
+	tenants map[string]*tenantState
+
+	reg   *obs.Registry
+	gUsed *obs.Gauge
+}
+
+type tenantState struct {
+	used     int64
+	sessions int
+
+	gActive  *obs.Gauge
+	cBytes   *obs.Counter
+	cShed    *obs.Counter
+	gTenUsed *obs.Gauge
+}
+
+func newAdmission(global, perTenant int64, maxSessions int, reg *obs.Registry) *admission {
+	return &admission{
+		global:      global,
+		perTenant:   perTenant,
+		maxSessions: maxSessions,
+		tenants:     make(map[string]*tenantState),
+		reg:         reg,
+		gUsed:       reg.Gauge("choird_budget_used_bytes", "bytes currently reserved by admitted sessions"),
+	}
+}
+
+// tenant returns (creating on first sight) a tenant's accounting row and
+// its per-tenant fleet-surface instruments.
+func (a *admission) tenant(name string) *tenantState {
+	ts, ok := a.tenants[name]
+	if !ok {
+		lbl := obs.L("tenant", name)
+		ts = &tenantState{
+			gActive:  a.reg.Gauge("choird_tenant_active_sessions", "admitted, non-terminal sessions per tenant", lbl),
+			cBytes:   a.reg.Counter("choird_tenant_admitted_bytes_total", "capture bytes admitted per tenant", lbl),
+			cShed:    a.reg.Counter("choird_tenant_shed_total", "requests shed (429/413) per tenant", lbl),
+			gTenUsed: a.reg.Gauge("choird_tenant_budget_used_bytes", "bytes currently reserved per tenant", lbl),
+		}
+		a.tenants[name] = ts
+	}
+	return ts
+}
+
+// sessionCount is the number of admitted, unreleased sessions.
+func (a *admission) sessionCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, ts := range a.tenants {
+		n += ts.sessions
+	}
+	return n
+}
+
+// admit reserves bytes for one session. On success it returns a release
+// closure (idempotence is the caller's job — Session.finish calls it
+// exactly once). On refusal it returns a Retry-After hint in seconds and
+// an error wrapping ErrTooLarge (never admissible) or ErrBusy (shed).
+func (a *admission) admit(tenant string, bytes int64) (func(), int, error) {
+	if bytes <= 0 {
+		bytes = 1 // a session always costs something
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.tenant(tenant)
+
+	if bytes > a.perTenant || bytes > a.global {
+		ts.cShed.Inc()
+		return nil, 0, fmt.Errorf("%w: need %d bytes, tenant budget %d, global budget %d",
+			ErrTooLarge, bytes, a.perTenant, a.global)
+	}
+	total := 0
+	for _, t := range a.tenants {
+		total += t.sessions
+	}
+	if total >= a.maxSessions {
+		ts.cShed.Inc()
+		return nil, 2, fmt.Errorf("%w: %d sessions in flight (max %d)", ErrBusy, total, a.maxSessions)
+	}
+	if a.used+bytes > a.global {
+		ts.cShed.Inc()
+		return nil, 2, fmt.Errorf("%w: global budget %d, %d reserved, %d requested",
+			ErrBusy, a.global, a.used, bytes)
+	}
+	if ts.used+bytes > a.perTenant {
+		ts.cShed.Inc()
+		return nil, 1, fmt.Errorf("%w: tenant %q budget %d, %d reserved, %d requested",
+			ErrBusy, tenant, a.perTenant, ts.used, bytes)
+	}
+
+	a.used += bytes
+	ts.used += bytes
+	ts.sessions++
+	a.gUsed.SetInt(a.used)
+	ts.gActive.SetInt(int64(ts.sessions))
+	ts.cBytes.Add(bytes)
+	ts.gTenUsed.SetInt(ts.used)
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			a.used -= bytes
+			ts.used -= bytes
+			ts.sessions--
+			a.gUsed.SetInt(a.used)
+			ts.gActive.SetInt(int64(ts.sessions))
+			ts.gTenUsed.SetInt(ts.used)
+		})
+	}
+	return release, 0, nil
+}

@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// tenantRE bounds tenant names to filesystem- and label-safe tokens
+// (they name journal files and metric label values).
+var tenantRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// sessionView is the JSON shape GET /v1/sessions returns per session.
+type sessionView struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	State    State  `json:"state"`
+	Seed     uint64 `json:"seed"`
+	Live     bool   `json:"live,omitempty"`
+	NameA    string `json:"name_a"`
+	NameB    string `json:"name_b"`
+	WindowNs int64  `json:"window_ns"`
+	Bytes    int64  `json:"bytes"`
+	Error    string `json:"error,omitempty"`
+	// Replay is the offline command that reproduces this session's
+	// consistency report byte-for-byte from the spooled captures.
+	Replay string `json:"replay"`
+}
+
+func view(sess *Session) sessionView {
+	st, _, errText := sess.snapshot()
+	return sessionView{
+		ID: sess.ID, Tenant: sess.Tenant, State: st, Seed: sess.Seed,
+		Live: sess.Live, NameA: sess.NameA, NameB: sess.NameB,
+		WindowNs: int64(sess.Window), Bytes: sess.Bytes, Error: errText,
+		Replay: fmt.Sprintf("consistency %s %s", sess.SpoolA, sess.SpoolB),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// shed maps an admission refusal to 413 (never admissible) or 429 with
+// Retry-After (try again once budgets free up).
+func shed(w http.ResponseWriter, retryAfter int, err error) {
+	if errors.Is(err, ErrTooLarge) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	if retryAfter <= 0 {
+		retryAfter = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeErr(w, http.StatusTooManyRequests, "%v", err)
+}
+
+// routes builds the service mux: the /v1 API plus the obs fleet surface.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	oh := obs.Handler(s.cfg.Obs)
+	for _, p := range []string{"/metrics", "/metrics.json", "/trace", "/debug/pprof/"} {
+		mux.Handle(p, oh)
+	}
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/sessions/{id}/tap/{side}", s.handleTap)
+	mux.HandleFunc("POST /v1/admin/pause", func(w http.ResponseWriter, r *http.Request) {
+		s.Pause()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/admin/resume", func(w http.ResponseWriter, r *http.Request) {
+		s.Resume()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"sessions": s.adm.sessionCount(),
+	})
+}
+
+// isDraining reports whether new sessions should be refused.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// sessionWindow parses a ?window= override bounded to sane engine
+// shapes; the default is the server's configured window.
+func (s *Server) sessionWindow(r *http.Request) (sim.Duration, error) {
+	raw := r.URL.Query().Get("window")
+	if raw == "" {
+		return s.cfg.Window, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q: %v", raw, err)
+	}
+	if d < time.Microsecond || d > 10*time.Second {
+		return 0, fmt.Errorf("window %v out of range [1µs, 10s]", d)
+	}
+	return sim.Duration(d.Nanoseconds()), nil
+}
+
+// handleCreate admits a new session: multipart upload by default,
+// ?mode=live for tap-fed sessions.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeErr(w, http.StatusServiceUnavailable, "draining: not accepting sessions")
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	if !tenantRE.MatchString(tenant) {
+		writeErr(w, http.StatusBadRequest, "bad tenant name %q", tenant)
+		return
+	}
+	window, err := s.sessionWindow(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if r.URL.Query().Get("mode") == "live" {
+		s.createLive(w, r, tenant, window)
+		return
+	}
+	s.createUpload(w, r, tenant, window)
+}
+
+// newSession allocates the identity (ID, seq, derived seed) and engine
+// shape for an admitted session. release is attached so finish() can
+// return the reservation.
+func (s *Server) newSession(tenant string, window sim.Duration, live bool, bytes int64, release func()) *Session {
+	s.mu.Lock()
+	if s.seqs == nil {
+		s.seqs = make(map[string]uint64)
+	}
+	if s.seqs[tenant] == 0 {
+		s.seqs[tenant] = s.reg.maxSeq(tenant)
+	}
+	s.seqs[tenant]++
+	seq := s.seqs[tenant]
+	s.mu.Unlock()
+
+	id := fmt.Sprintf("%s-%06d", tenant, seq)
+	sess := &Session{
+		ID: id, Tenant: tenant, Seq: seq,
+		Seed: deriveSeed(s.cfg.Seed, tenant, seq),
+		Live: live, Bytes: bytes,
+		Window: window,
+		Shards: s.cfg.Shards, Buffer: s.cfg.Buffer, MaxLag: s.cfg.MaxLag,
+		state:   StateQueued,
+		release: release,
+	}
+	sess.SpoolA = s.spoolPath(id, "a")
+	sess.SpoolB = s.spoolPath(id, "b")
+	return sess
+}
+
+// createUpload spools a multipart pair ("a" and "b" file parts) and
+// queues the comparison. The admission reservation is the declared
+// Content-Length — taken before a single body byte is read.
+func (s *Server) createUpload(w http.ResponseWriter, r *http.Request, tenant string, window sim.Duration) {
+	if r.ContentLength <= 0 {
+		writeErr(w, http.StatusLengthRequired, "upload requires Content-Length")
+		return
+	}
+	release, retry, err := s.adm.admit(tenant, r.ContentLength)
+	if err != nil {
+		shed(w, retry, err)
+		return
+	}
+	sess := s.newSession(tenant, window, false, r.ContentLength, release)
+
+	cleanup := func() {
+		os.Remove(sess.SpoolA)
+		os.Remove(sess.SpoolB)
+		release()
+	}
+	mr, err := r.MultipartReader()
+	if err != nil {
+		cleanup()
+		writeErr(w, http.StatusBadRequest, "multipart: %v", err)
+		return
+	}
+	got := map[string]bool{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			cleanup()
+			writeErr(w, http.StatusBadRequest, "multipart: %v", err)
+			return
+		}
+		var dst string
+		switch part.FormName() {
+		case "a":
+			dst = sess.SpoolA
+			sess.NameA = part.FileName()
+		case "b":
+			dst = sess.SpoolB
+			sess.NameB = part.FileName()
+		default:
+			continue
+		}
+		n, err := spoolPart(dst, part, s.cfg.MaxUpload)
+		if err != nil {
+			cleanup()
+			if errors.Is(err, errSpoolTooLarge) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "%s: exceeds max upload size %d", part.FormName(), s.cfg.MaxUpload)
+			} else {
+				writeErr(w, http.StatusInternalServerError, "spool: %v", err)
+			}
+			return
+		}
+		_ = n
+		got[part.FormName()] = true
+	}
+	if !got["a"] || !got["b"] {
+		cleanup()
+		writeErr(w, http.StatusBadRequest, `upload needs file parts "a" and "b"`)
+		return
+	}
+	if sess.NameA == "" {
+		sess.NameA = "a.pcap"
+	}
+	if sess.NameB == "" {
+		sess.NameB = "b.pcap"
+	}
+	s.queue(w, sess, cleanup)
+}
+
+// createLive admits a tap-fed session. The reservation defaults to the
+// worst case (two max-size captures) unless the client declares a
+// smaller ?bytes= cap.
+func (s *Server) createLive(w http.ResponseWriter, r *http.Request, tenant string, window sim.Duration) {
+	bytes := 2 * s.cfg.MaxUpload
+	if raw := r.URL.Query().Get("bytes"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad bytes %q", raw)
+			return
+		}
+		bytes = v
+	}
+	release, retry, err := s.adm.admit(tenant, bytes)
+	if err != nil {
+		shed(w, retry, err)
+		return
+	}
+	sess := s.newSession(tenant, window, true, bytes, release)
+	nameOr := func(key, def string) string {
+		if v := r.URL.Query().Get(key); v != "" {
+			return v
+		}
+		return def
+	}
+	sess.NameA = nameOr("a", "tap-a.pcap")
+	sess.NameB = nameOr("b", "tap-b.pcap")
+	sess.taps = newTapPair(sess.NameA, sess.NameB, s.cfg.MaxUpload)
+
+	cleanup := func() {
+		os.Remove(sess.SpoolA)
+		os.Remove(sess.SpoolB)
+		release()
+	}
+	// Pre-create empty spools so a crash before (or between) tap
+	// connects resumes into a well-defined failed state instead of a
+	// missing-file surprise.
+	for _, p := range []string{sess.SpoolA, sess.SpoolB} {
+		f, err := os.Create(p)
+		if err != nil {
+			cleanup()
+			writeErr(w, http.StatusInternalServerError, "spool: %v", err)
+			return
+		}
+		f.Close()
+	}
+	s.queue(w, sess, cleanup)
+}
+
+// queue journals the start record, registers the session and (for
+// uploads) dispatches it. Live sessions dispatch when their second tap
+// connects.
+func (s *Server) queue(w http.ResponseWriter, sess *Session, cleanup func()) {
+	if err := s.jrn.appendStart(sess); err != nil {
+		cleanup()
+		writeErr(w, http.StatusInternalServerError, "journal: %v", err)
+		return
+	}
+	s.reg.put(sess)
+	s.logf("session %s queued (tenant %s, %d bytes reserved, live=%v)", sess.ID, sess.Tenant, sess.Bytes, sess.Live)
+	if !sess.Live {
+		s.dispatch(sess)
+	}
+	writeJSON(w, http.StatusAccepted, view(sess))
+}
+
+// errSpoolTooLarge marks an upload part that outgrew MaxUpload.
+var errSpoolTooLarge = errors.New("serve: upload part too large")
+
+// spoolPart streams one multipart file to disk, capped at limit, and
+// fsyncs it — the journal's start record must never point at a spool the
+// filesystem could lose.
+func spoolPart(dst string, src io.Reader, limit int64) (int64, error) {
+	f, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := io.Copy(f, io.LimitReader(src, limit+1))
+	if err != nil {
+		return n, err
+	}
+	if n > limit {
+		return n, errSpoolTooLarge
+	}
+	return n, f.Sync()
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.list(r.URL.Query().Get("tenant"))
+	views := make([]sessionView, 0, len(sessions))
+	for _, sess := range sessions {
+		views = append(views, view(sess))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, view(sess))
+}
+
+// handleResult serves a finished session's windowed κ result. Formats:
+// json (default), windows (per-window κ lines, choirstream's -windows
+// dialect), consistency (the exact report `consistency spoolA spoolB`
+// prints — re-rendered through the same internal/consistency code path,
+// which is what makes the differential gate a byte-for-byte cmp).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	st, res, errText := sess.snapshot()
+	switch st {
+	case StateFailed:
+		writeJSON(w, http.StatusConflict, map[string]string{"state": string(st), "error": errText})
+		return
+	case StateDone:
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": string(st)})
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, res)
+	case "windows":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		res.renderWindows(w)
+	case "consistency":
+		within := int64(10)
+		if raw := r.URL.Query().Get("within"); raw != "" {
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "bad within %q", raw)
+				return
+			}
+			within = v
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		err := consistency.Report(w,
+			consistency.Input{Path: sess.SpoolA, Name: sess.NameA},
+			consistency.Input{Path: sess.SpoolB, Name: sess.NameB},
+			consistency.Options{Hist: r.URL.Query().Get("hist") == "1", WithinNs: within})
+		if err != nil {
+			// Headers are gone; all we can do is log and cut the body.
+			s.logf("session %s: consistency render: %v", sess.ID, err)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown format %q", r.URL.Query().Get("format"))
+	}
+}
+
+// handleTap feeds one side of a live session. The handler blocks until
+// the engine has consumed (and the spool holds) the whole body — the
+// response confirms durable ingestion.
+func (s *Server) handleTap(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	side := r.PathValue("side")
+	if side != "a" && side != "b" {
+		writeErr(w, http.StatusNotFound, `tap side must be "a" or "b"`)
+		return
+	}
+	if sess.taps == nil {
+		writeErr(w, http.StatusConflict, "session is not live (or was resumed from journal)")
+		return
+	}
+	if st := sess.StateNow(); st == StateDone || st == StateFailed {
+		writeErr(w, http.StatusConflict, "session already %s", st)
+		return
+	}
+	pw, both, err := sess.taps.connect(side)
+	if err != nil {
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	}
+	if both {
+		s.dispatch(sess) // engine must be running before we block on the pipe
+	}
+
+	dst := sess.SpoolA
+	if side == "b" {
+		dst = sess.SpoolB
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		pw.CloseWithError(err)
+		writeErr(w, http.StatusInternalServerError, "spool: %v", err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUpload)
+	n, copyErr := io.Copy(io.MultiWriter(f, pw), body)
+	if syncErr := f.Sync(); copyErr == nil {
+		copyErr = syncErr
+	}
+	f.Close()
+	if copyErr != nil {
+		pw.CloseWithError(copyErr)
+		writeErr(w, http.StatusBadRequest, "tap %s: %v after %d bytes", side, copyErr, n)
+		return
+	}
+	pw.Close()
+	writeJSON(w, http.StatusOK, map[string]any{"side": side, "bytes": n})
+}

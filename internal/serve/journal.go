@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// startRec journals a session's immutable identity at admission time —
+// everything needed to re-create (and re-run) it after a crash.
+type startRec struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Seq    uint64 `json:"seq"`
+	Seed   uint64 `json:"seed"`
+	Live   bool   `json:"live,omitempty"`
+	NameA  string `json:"name_a"`
+	NameB  string `json:"name_b"`
+	SpoolA string `json:"spool_a"`
+	SpoolB string `json:"spool_b"`
+	Bytes  int64  `json:"bytes"`
+
+	WindowNs int64 `json:"window_ns"`
+	Shards   int   `json:"shards"`
+	Buffer   int   `json:"buffer"`
+	MaxLag   int   `json:"max_lag"`
+}
+
+// doneRec journals a session's terminal state. A session with a start
+// record but no done record was in flight when the process died — it is
+// re-queued on the next boot.
+type doneRec struct {
+	ID     string  `json:"id"`
+	Status string  `json:"status"` // "done" | "failed"
+	Err    string  `json:"err,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// journals manages one campaign.WAL per tenant under dir. The WAL gives
+// the service the campaign runner's crash-safety dialect for free:
+// CRC32-sealed JSONL, fsync per record, torn tails truncated on replay.
+type journals struct {
+	dir    string
+	mu     sync.Mutex
+	wals   map[string]*campaign.WAL
+	closed bool
+}
+
+// openJournals replays every per-tenant journal under dir and returns
+// the journal set plus the sessions that were admitted but never reached
+// a terminal state (in deterministic tenant-then-journal order).
+// Finished sessions are installed directly into the server registry so
+// their recorded results keep being served byte-for-byte.
+func openJournals(dir string, s *Server) (*journals, []*Session, error) {
+	j := &journals{dir: dir, wals: make(map[string]*campaign.WAL)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	var tenants []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".wal") {
+			tenants = append(tenants, strings.TrimSuffix(e.Name(), ".wal"))
+		}
+	}
+	sort.Strings(tenants)
+
+	var resumed []*Session
+	for _, tenant := range tenants {
+		byID := make(map[string]*Session)
+		var order []string
+		done := make(map[string]bool)
+		apply := func(kind string, body json.RawMessage) error {
+			switch kind {
+			case "start":
+				var rec startRec
+				if err := json.Unmarshal(body, &rec); err != nil {
+					return err
+				}
+				sess := &Session{
+					ID: rec.ID, Tenant: rec.Tenant, Seq: rec.Seq, Seed: rec.Seed,
+					Live: rec.Live, NameA: rec.NameA, NameB: rec.NameB,
+					SpoolA: rec.SpoolA, SpoolB: rec.SpoolB, Bytes: rec.Bytes,
+					Window: sim.Duration(rec.WindowNs),
+					Shards: rec.Shards, Buffer: rec.Buffer, MaxLag: rec.MaxLag,
+					state: StateQueued,
+				}
+				if _, dup := byID[rec.ID]; !dup {
+					order = append(order, rec.ID)
+				}
+				byID[rec.ID] = sess
+			case "done":
+				var rec doneRec
+				if err := json.Unmarshal(body, &rec); err != nil {
+					return err
+				}
+				sess := byID[rec.ID]
+				if sess == nil {
+					return nil // tolerated: start lost to an earlier torn tail
+				}
+				st := StateDone
+				if rec.Status == "failed" {
+					st = StateFailed
+				}
+				sess.state = st
+				sess.result = rec.Result
+				sess.errText = rec.Err
+				done[rec.ID] = true
+			}
+			return nil
+		}
+		w, err := campaign.OpenWAL(filepath.Join(dir, tenant+".wal"), apply)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: journal %s: %w", tenant, err)
+		}
+		j.wals[tenant] = w
+		for _, id := range order {
+			sess := byID[id]
+			if done[id] {
+				s.reg.put(sess) // terminal: serve the recorded result
+			} else {
+				resumed = append(resumed, sess)
+			}
+		}
+	}
+	return j, resumed, nil
+}
+
+// wal returns (opening on first use) a tenant's journal.
+func (j *journals) wal(tenant string) (*campaign.WAL, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, fmt.Errorf("serve: journals closed")
+	}
+	if w, ok := j.wals[tenant]; ok {
+		return w, nil
+	}
+	// New tenant mid-run: the file does not exist yet, so replay is a
+	// no-op and the apply callback can never fire.
+	w, err := campaign.OpenWAL(filepath.Join(j.dir, tenant+".wal"),
+		func(string, json.RawMessage) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	j.wals[tenant] = w
+	return w, nil
+}
+
+// appendStart seals a session's identity into its tenant journal. It
+// must succeed before the session is dispatched: a session that runs
+// without a start record could not be resumed.
+func (j *journals) appendStart(sess *Session) error {
+	w, err := j.wal(sess.Tenant)
+	if err != nil {
+		return err
+	}
+	return w.Append("start", startRec{
+		ID: sess.ID, Tenant: sess.Tenant, Seq: sess.Seq, Seed: sess.Seed,
+		Live: sess.Live, NameA: sess.NameA, NameB: sess.NameB,
+		SpoolA: sess.SpoolA, SpoolB: sess.SpoolB, Bytes: sess.Bytes,
+		WindowNs: int64(sess.Window),
+		Shards:   sess.Shards, Buffer: sess.Buffer, MaxLag: sess.MaxLag,
+	})
+}
+
+// appendDone seals a terminal state (with its result) into the journal.
+func (j *journals) appendDone(sess *Session, res *Result, errText string) error {
+	w, err := j.wal(sess.Tenant)
+	if err != nil {
+		return err
+	}
+	status := "done"
+	if errText != "" {
+		status = "failed"
+	}
+	return w.Append("done", doneRec{ID: sess.ID, Status: status, Err: errText, Result: res})
+}
+
+// closeAll syncs and closes every tenant journal; further appends fail.
+func (j *journals) closeAll() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var first error
+	for _, w := range j.wals {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/sim"
+)
+
+// tapPair wires two live HTTP taps to one stream engine. Each tap
+// handler tees its request body into the session's spool file (so a
+// crash can re-run the comparison from disk) and into an io.Pipe the
+// engine reads as a pcap byte stream. The pipes are synchronous:
+// backpressure from the engine's bounded buffers propagates all the way
+// to the uploading client's TCP connection — the service never buffers
+// an unbounded capture in memory.
+type tapPair struct {
+	mu        sync.Mutex
+	srcs      [2]*tapSource
+	connected [2]bool
+}
+
+func newTapPair(nameA, nameB string, limit int64) *tapPair {
+	tp := &tapPair{}
+	for i, name := range []string{nameA, nameB} {
+		pr, pw := io.Pipe()
+		tp.srcs[i] = &tapSource{name: name, limit: limit, pr: pr, pw: pw}
+	}
+	return tp
+}
+
+// sources returns the engine-side readers (A, B).
+func (tp *tapPair) sources() (*tapSource, *tapSource) {
+	return tp.srcs[0], tp.srcs[1]
+}
+
+// connect claims one side for a tap handler. The second successful
+// connect reports both=true — the caller dispatches the session before
+// starting its copy, or the first tap's pipe would block forever.
+func (tp *tapPair) connect(side string) (w *io.PipeWriter, both bool, err error) {
+	i := 0
+	if side == "b" {
+		i = 1
+	}
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.connected[i] {
+		return nil, false, fmt.Errorf("tap %q already connected", side)
+	}
+	tp.connected[i] = true
+	return tp.srcs[i].pw, tp.connected[0] && tp.connected[1], nil
+}
+
+// tapSource adapts one pipe to stream.Source. The pcap reader is built
+// lazily on the first Next call, because pcap.NewStream reads the global
+// header and the bytes only start flowing once the tap connects; the
+// engine goroutine is the right place to block on that.
+type tapSource struct {
+	name  string
+	limit int64
+	pr    *io.PipeReader
+	pw    *io.PipeWriter
+
+	ps  *pcap.Stream
+	err error
+}
+
+func (t *tapSource) Next() (*packet.Packet, sim.Time, error) {
+	if t.ps == nil {
+		if t.err == nil {
+			ps, err := pcap.NewStream(t.pr, t.name)
+			if err != nil {
+				t.err = err
+			} else {
+				ps.SetLimit(t.limit)
+				t.ps = ps
+			}
+		}
+		if t.err != nil {
+			return nil, 0, t.err
+		}
+	}
+	return t.ps.Next()
+}
+
+// Diag reports the reader's byte accounting (zero-valued if the tap
+// never produced a valid global header).
+func (t *tapSource) Diag() pcap.Diag {
+	if t.ps == nil {
+		d := pcap.Diag{}
+		if t.err != nil {
+			d.Reason = t.err.Error()
+		}
+		return d
+	}
+	return t.ps.Diag()
+}

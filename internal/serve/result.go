@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/pcap"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// metricsWindow aliases the engine's per-window result type so the
+// OnWindow plumbing in session.go reads cleanly.
+type metricsWindow = metrics.WindowResult
+
+// WindowRow is one closed window's §3 vector, flattened for JSON. Times
+// are trial-relative nanoseconds (the engine's own timeline).
+type WindowRow struct {
+	StartNs int64   `json:"start_ns"`
+	EndNs   int64   `json:"end_ns"`
+	U       float64 `json:"u"`
+	O       float64 `json:"o"`
+	L       float64 `json:"l"`
+	I       float64 `json:"i"`
+	Kappa   float64 `json:"kappa"`
+	Common  int     `json:"common"`
+	OnlyA   int     `json:"only_a"`
+	OnlyB   int     `json:"only_b"`
+}
+
+func windowRow(w metricsWindow) WindowRow {
+	return WindowRow{
+		StartNs: int64(w.Start), EndNs: int64(w.End),
+		U: w.Result.U, O: w.Result.O, L: w.Result.L, I: w.Result.I,
+		Kappa:  w.Result.Kappa,
+		Common: w.Result.Common, OnlyA: w.Result.OnlyA, OnlyB: w.Result.OnlyB,
+	}
+}
+
+// AggregateRow mirrors stream.Aggregate with JSON names.
+type AggregateRow struct {
+	U         float64 `json:"u"`
+	O         float64 `json:"o"`
+	L         float64 `json:"l"`
+	I         float64 `json:"i"`
+	Kappa     float64 `json:"kappa"`
+	MeanKappa float64 `json:"mean_kappa"`
+	Windows   int     `json:"windows"`
+	Common    int64   `json:"common"`
+	OnlyA     int64   `json:"only_a"`
+	OnlyB     int64   `json:"only_b"`
+}
+
+// DiagRow surfaces the pcap reader's truncation accounting per side.
+type DiagRow struct {
+	Records   int    `json:"records"`
+	Bytes     int64  `json:"bytes"`
+	TornBytes int64  `json:"torn_bytes,omitempty"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+func diagRow(d pcap.Diag) DiagRow {
+	return DiagRow{Records: d.Records, Bytes: d.Bytes, TornBytes: d.TornBytes, Reason: d.Reason}
+}
+
+// Result is a finished session's windowed κ outcome. It is journaled as
+// JSON, so every field must marshal deterministically (no maps).
+type Result struct {
+	SessionID string `json:"session_id"`
+	// Seed is the session's derived seed (see deriveSeed): recorded so
+	// the result can be re-derived offline by cmd/consistency tooling.
+	Seed     uint64 `json:"seed"`
+	WindowNs int64  `json:"window_ns"`
+
+	PacketsA int64 `json:"packets_a"`
+	PacketsB int64 `json:"packets_b"`
+	// Truncated marks that at least one side ended in a torn capture;
+	// the engine scored the intact prefix (the paper's §5 convention).
+	Truncated bool    `json:"truncated,omitempty"`
+	DiagA     DiagRow `json:"diag_a"`
+	DiagB     DiagRow `json:"diag_b"`
+
+	Aggregate AggregateRow `json:"aggregate"`
+	Windows   []WindowRow  `json:"windows,omitempty"`
+	// WindowsDropped counts rows past Config.MaxWindowsKept that were
+	// folded into the aggregate but not retained individually.
+	WindowsDropped int `json:"windows_dropped,omitempty"`
+
+	// Memory high-water marks — evidence the admission bound held.
+	PeakShardEntries int `json:"peak_shard_entries"`
+	PeakOpenWindows  int `json:"peak_open_windows"`
+}
+
+// fill copies the engine summary and per-side reader diagnostics.
+func (r *Result) fill(sum *stream.Summary, da, db pcap.Diag) {
+	r.PacketsA = sum.PacketsA
+	r.PacketsB = sum.PacketsB
+	a := sum.Aggregate
+	r.Aggregate = AggregateRow{
+		U: a.U, O: a.O, L: a.L, I: a.I,
+		Kappa: a.Kappa, MeanKappa: a.MeanKappa, Windows: a.Windows,
+		Common: a.Common, OnlyA: a.OnlyA, OnlyB: a.OnlyB,
+	}
+	r.DiagA = diagRow(da)
+	r.DiagB = diagRow(db)
+	r.PeakShardEntries = sum.Stats.PeakShardEntries
+	r.PeakOpenWindows = sum.Stats.PeakOpenWindows
+}
+
+// renderWindows writes the per-window κ lines exactly the way
+// cmd/choirstream's -windows mode prints them.
+func (r *Result) renderWindows(w io.Writer) {
+	for _, row := range r.Windows {
+		fmt.Fprintf(w, "[%v,%v) κ=%.4f\n", sim.Time(row.StartNs), sim.Time(row.EndNs), row.Kappa)
+	}
+	if r.WindowsDropped > 0 {
+		fmt.Fprintf(w, "… %d more windows not retained (aggregate includes them)\n", r.WindowsDropped)
+	}
+}

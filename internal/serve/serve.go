@@ -1,0 +1,338 @@
+// Package serve is the always-on, multi-tenant consistency service
+// behind cmd/choird: κ-scoring as a long-running daemon instead of a
+// one-shot CLI. It accepts pcap uploads and live-tap sessions over
+// HTTP, runs many concurrent internal/stream comparisons on a
+// deterministic internal/parallel runner, and returns windowed κ
+// results — with three production properties the ROADMAP's
+// "millions of users" framing demands:
+//
+//   - Admission control. Every session reserves bytes against a
+//     per-tenant and a global memory budget before a single capture
+//     byte is spooled; when a budget is exhausted the service sheds the
+//     request with 429 + Retry-After instead of OOMing. The per-session
+//     bound is the stream engine's own watermark-lag gate (Config
+//     MaxLag × Buffer), so an admitted session cannot outgrow its
+//     reservation no matter how long its captures are.
+//
+//   - Journaled resumability. Session lifecycles append to a per-tenant
+//     CRC32 JSONL journal (campaign.WAL — the same crash-safety
+//     substrate the campaign runner uses). A crashed or drained daemon
+//     replays its journals on restart: completed sessions serve their
+//     recorded results byte-for-byte, and admitted-but-unfinished
+//     sessions re-run from their spooled captures to bit-identical
+//     results, because the comparison is a pure function of the spooled
+//     bytes and the session's derived seed. Any served result is also
+//     replayable offline: `consistency <spoolA> <spoolB>` renders the
+//     same report the service returns.
+//
+//   - A real fleet surface. The internal/obs registry is mounted on the
+//     service mux (/metrics, /metrics.json, /trace, /debug/pprof/*)
+//     with per-tenant gauges: active sessions, admitted bytes, shed
+//     count, and watermark-lag peaks folded up from every comparison.
+//
+// Lifecycle: a session is queued on admission, running while its
+// pipeline executes, draining if a SIGTERM arrives mid-run (it is
+// allowed to finish), and terminally done or failed.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// Dir is the state directory: spooled captures under Dir/spool,
+	// per-tenant journals under Dir/journal. Required.
+	Dir string
+	// Seed is the base seed from which every session derives its own
+	// seed (a pure function of tenant and sequence number), recorded in
+	// the journal so any result is re-derivable offline.
+	Seed int64
+
+	// GlobalBudget bounds the bytes reserved by all in-flight sessions
+	// together (default 256 MiB). TenantBudget bounds one tenant's
+	// share (default GlobalBudget/4).
+	GlobalBudget int64
+	TenantBudget int64
+	// MaxUpload bounds one capture file (default TenantBudget/2). The
+	// pcap reader enforces it too (pcap.Stream.SetLimit), so a body
+	// that lies about its Content-Length still cannot exceed it.
+	MaxUpload int64
+	// MaxSessions bounds queued+running sessions (default 4×Workers);
+	// beyond it the service sheds with 429 even when byte budgets have
+	// room.
+	MaxSessions int
+
+	// Workers is the comparison concurrency (default GOMAXPROCS).
+	Workers int
+	// Window is the default tumbling-window length for sessions that do
+	// not request one (default 10ms).
+	Window sim.Duration
+	// Shards, Buffer, MaxLag configure each session's stream engine
+	// (defaults: 2 shards, 256-record buffers, lag 4 — small, because
+	// hundreds of sessions multiply them).
+	Shards, Buffer, MaxLag int
+	// MaxWindowsKept caps the per-window rows retained per session
+	// (default 4096); past it only the running aggregate grows.
+	MaxWindowsKept int
+
+	// Obs carries the service registry. When nil a fresh one is
+	// created: the daemon always has a fleet surface.
+	Obs *obs.Obs
+
+	// Stall, when non-nil, is threaded into every session's stream
+	// engine (fault.Plan.StallHook) — the load-shedding and
+	// backpressure tests drive the service through stall storms with
+	// it. Results must be bit-identical with or without it.
+	Stall func(stage string, id int)
+
+	// Log receives one line per lifecycle event; nil discards.
+	Log func(format string, args ...any)
+}
+
+func (c Config) defaults() Config {
+	if c.GlobalBudget <= 0 {
+		c.GlobalBudget = 256 << 20
+	}
+	if c.TenantBudget <= 0 {
+		c.TenantBudget = c.GlobalBudget / 4
+	}
+	if c.MaxUpload <= 0 {
+		c.MaxUpload = c.TenantBudget / 2
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4 * c.Workers
+	}
+	if c.Window <= 0 {
+		c.Window = 10 * sim.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 256
+	}
+	if c.MaxLag <= 0 {
+		c.MaxLag = 4
+	}
+	if c.MaxWindowsKept <= 0 {
+		c.MaxWindowsKept = 4096
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
+	}
+	return c
+}
+
+// Server is one service instance. Create with New (which replays any
+// journals found in the state directory), mount Handler on a listener,
+// and stop with Drain.
+type Server struct {
+	cfg  Config
+	reg  *registry
+	adm  *admission
+	pool *parallel.Pool
+	run  *parallel.Runner
+	jrn  *journals
+
+	mu       sync.Mutex
+	paused   bool       // admission-paused: sessions journal and queue but do not dispatch
+	draining bool       // Drain has begun: every new session is refused
+	pending  []*Session // admitted while paused
+	seqs     map[string]uint64
+
+	mux *http.ServeMux
+
+	lagPeak  map[string]*obs.Gauge // per-tenant watermark-lag fold-up
+	cDone    *obs.Counter
+	cFailed  *obs.Counter
+	gBudget  *obs.Gauge
+	gUsed    *obs.Gauge
+	start    time.Time
+}
+
+// New builds a server over cfg.Dir, creating the directory layout and
+// replaying any per-tenant journals left by a previous process. Replayed
+// unfinished sessions are re-queued (and start running at the first
+// Resume call — typically immediately, unless the server is paused).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.defaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("serve: Config.Dir is required")
+	}
+	for _, sub := range []string{"spool", "journal"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	reg := cfg.Obs.Registry()
+	s := &Server{
+		cfg:     cfg,
+		reg:     newRegistry(),
+		pool:    parallel.New(cfg.Workers).WithObs(reg),
+		lagPeak: make(map[string]*obs.Gauge),
+		start:   time.Now(),
+	}
+	s.adm = newAdmission(cfg.GlobalBudget, cfg.TenantBudget, cfg.MaxSessions, reg)
+	s.run = s.pool.Runner(cfg.MaxSessions)
+	s.cDone = reg.Counter("choird_sessions_completed_total", "sessions finished successfully", obs.L("status", "done"))
+	s.cFailed = reg.Counter("choird_sessions_completed_total", "sessions finished successfully", obs.L("status", "failed"))
+	s.gBudget = reg.Gauge("choird_budget_bytes", "configured global admission budget")
+	s.gUsed = reg.Gauge("choird_budget_used_bytes", "bytes currently reserved by admitted sessions")
+	s.gBudget.SetInt(cfg.GlobalBudget)
+	for _, st := range []State{StateQueued, StateRunning, StateDraining, StateDone, StateFailed} {
+		st := st
+		reg.GaugeFunc("choird_sessions", "sessions by lifecycle state",
+			func() float64 { return float64(s.reg.countState(st)) }, obs.L("state", string(st)))
+	}
+
+	jrn, resumed, err := openJournals(filepath.Join(cfg.Dir, "journal"), s)
+	if err != nil {
+		return nil, err
+	}
+	s.jrn = jrn
+	// Re-admit and re-queue every journaled-but-unfinished session: the
+	// spool still holds its captures, so the re-run is a pure replay.
+	for _, sess := range resumed {
+		if err := s.requeue(sess); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the service mux: the /v1 API plus the observability
+// fleet surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Pool exposes the session scheduler (for end-of-run stats lines).
+func (s *Server) Pool() *parallel.Pool { return s.pool }
+
+// logf emits one lifecycle line.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// Pause stops dispatching new sessions to the runner: admitted sessions
+// journal and queue but do not execute until Resume. Ops/test hook (the
+// drain/resume gate uses it to pin a session mid-flight).
+func (s *Server) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+	s.logf("admission paused")
+}
+
+// Resume dispatches everything queued while paused and re-enables
+// dispatch.
+func (s *Server) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	for _, sess := range pend {
+		s.submit(sess)
+	}
+	s.logf("admission resumed (%d queued sessions dispatched)", len(pend))
+}
+
+// dispatch hands a queued session to the runner, or parks it while the
+// server is paused.
+func (s *Server) dispatch(sess *Session) {
+	s.mu.Lock()
+	if s.paused {
+		s.pending = append(s.pending, sess)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.submit(sess)
+}
+
+func (s *Server) submit(sess *Session) {
+	if !s.run.Submit(func() { s.execute(sess) }) {
+		// Runner already draining: the session stays journaled as
+		// started and will re-run on the next boot.
+		s.logf("session %s parked for resume (drain in progress)", sess.ID)
+	}
+}
+
+// requeue re-admits a journal-replayed unfinished session.
+func (s *Server) requeue(sess *Session) error {
+	release, _, err := s.adm.admit(sess.Tenant, sess.Bytes)
+	if err != nil {
+		// A replayed session fit before; failing now means the budgets
+		// were lowered. Refuse to start rather than silently overrun.
+		return fmt.Errorf("serve: resumed session %s no longer fits its budget: %w", sess.ID, err)
+	}
+	sess.release = release
+	s.reg.put(sess)
+	s.logf("session %s resumed from journal (state %s)", sess.ID, sess.StateNow())
+	s.dispatch(sess)
+	return nil
+}
+
+// Drain gracefully stops the service: admission is closed (new sessions
+// are refused with 503), sessions already running are marked draining
+// and allowed to finish, and the journals are synced and closed. It
+// returns when every accepted session has reached a terminal state or
+// ctx expires (in which case unfinished sessions stay journaled for the
+// next boot — the same contract as a crash, minus the torn tail).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.reg.markDraining()
+	s.logf("drain: admission closed, waiting for in-flight sessions")
+
+	done := make(chan struct{})
+	go func() { s.run.Drain(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if jerr := s.jrn.closeAll(); err == nil {
+		err = jerr
+	}
+	s.logf("drain: complete")
+	return err
+}
+
+// spoolPath names a session's capture file inside the state dir.
+func (s *Server) spoolPath(id string, side string) string {
+	return filepath.Join(s.cfg.Dir, "spool", id+"-"+side+".pcap")
+}
+
+// tenantLagGauge returns (creating on first use) the per-tenant
+// watermark-lag peak gauge.
+func (s *Server) tenantLagGauge(tenant string) *obs.Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.lagPeak[tenant]
+	if !ok {
+		g = s.cfg.Obs.Registry().Gauge("choird_tenant_watermark_lag_peak_windows",
+			"peak stream watermark lag across a tenant's sessions", obs.L("tenant", tenant))
+		s.lagPeak[tenant] = g
+	}
+	return g
+}

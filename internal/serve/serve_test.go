@@ -1,0 +1,597 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/fault"
+	"repro/internal/fault/harness"
+	"repro/internal/pcap"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// writePair materializes the canonical fixture pair: a clean baseline
+// and a fault-perturbed copy (drops, dups, reorders, jitter).
+func writePair(t *testing.T, dir string) (pathA, pathB string) {
+	t.Helper()
+	base := harness.Baseline("A", 3000, 41)
+	plan := fault.Plan{Seed: 42, Drop: 0.04, Dup: 0.02, Reorder: 0.05, Jitter: 300}
+	perturbed := plan.Apply(base)
+	perturbed.Name = "B"
+	pathA = filepath.Join(dir, "runA.pcap")
+	pathB = filepath.Join(dir, "runB.pcap")
+	if err := pcap.WriteFile(pathA, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := pcap.WriteFile(pathB, perturbed, 0); err != nil {
+		t.Fatal(err)
+	}
+	return pathA, pathB
+}
+
+// startServer builds a Server over a state dir plus an httptest front.
+func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postUpload POSTs a multipart pair and returns the raw response.
+func postUpload(t *testing.T, base, query, pathA, pathB string) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, p := range []struct{ field, path string }{{"a", pathA}, {"b", pathB}} {
+		fw, err := mw.CreateFormFile(p.field, filepath.Base(p.path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(p.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	url := base + "/v1/sessions"
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Post(url, mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// mustUpload asserts 202 and returns the session view.
+func mustUpload(t *testing.T, base, query, pathA, pathB string) sessionView {
+	t.Helper()
+	resp, body := postUpload(t, base, query, pathA, pathB)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload: status %d, body %s", resp.StatusCode, body)
+	}
+	var v sessionView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("upload response: %v (%s)", err, body)
+	}
+	return v
+}
+
+// pollResult polls until the session serves a 200 result (or fails).
+func pollResult(t *testing.T, base, id string) ([]byte, *Result) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/sessions/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var res Result
+			if err := json.Unmarshal(body, &res); err != nil {
+				t.Fatalf("result JSON: %v", err)
+			}
+			return body, &res
+		case http.StatusAccepted:
+			if time.Now().After(deadline) {
+				t.Fatalf("session %s did not finish: %s", id, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("session %s: status %d, body %s", id, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServedKappaMatchesStream is the core differential: the service's
+// windowed result must equal a direct internal/stream run over the same
+// files with the same engine shape.
+func TestServedKappaMatchesStream(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	s, ts := startServer(t, Config{Window: 100 * sim.Microsecond})
+	v := mustUpload(t, ts.URL, "tenant=diff", pathA, pathB)
+	_, res := pollResult(t, ts.URL, v.ID)
+
+	srcA, err := pcap.OpenStream(pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcA.Close()
+	srcB, err := pcap.OpenStream(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcB.Close()
+	sum, err := stream.Run(srcA, srcB, stream.Config{
+		Window: 100 * sim.Microsecond,
+		Shards: s.cfg.Shards, Buffer: s.cfg.Buffer, MaxLag: s.cfg.MaxLag,
+		DataOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := AggregateRow{
+		U: sum.Aggregate.U, O: sum.Aggregate.O, L: sum.Aggregate.L, I: sum.Aggregate.I,
+		Kappa: sum.Aggregate.Kappa, MeanKappa: sum.Aggregate.MeanKappa,
+		Windows: sum.Aggregate.Windows,
+		Common:  sum.Aggregate.Common, OnlyA: sum.Aggregate.OnlyA, OnlyB: sum.Aggregate.OnlyB,
+	}
+	if res.Aggregate != want {
+		t.Fatalf("served aggregate %+v != stream aggregate %+v", res.Aggregate, want)
+	}
+	if len(res.Windows) != len(sum.Windows) {
+		t.Fatalf("served %d window rows, stream produced %d", len(res.Windows), len(sum.Windows))
+	}
+	for i, w := range sum.Windows {
+		if got, want := res.Windows[i], windowRow(w); got != want {
+			t.Fatalf("window %d: served %+v != stream %+v", i, got, want)
+		}
+	}
+	if res.PacketsA != sum.PacketsA || res.PacketsB != sum.PacketsB {
+		t.Fatalf("packet counts (%d,%d) != (%d,%d)", res.PacketsA, res.PacketsB, sum.PacketsA, sum.PacketsB)
+	}
+	if res.Aggregate.Windows < 2 {
+		t.Fatalf("fixture produced %d windows; want ≥ 2 for a meaningful test", res.Aggregate.Windows)
+	}
+}
+
+// TestServedConsistencyReportMatchesCLI: the format=consistency body
+// must be byte-identical to what internal/consistency (and therefore
+// cmd/consistency) renders for the served session's spool pair.
+func TestServedConsistencyReportMatchesCLI(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{})
+	v := mustUpload(t, ts.URL, "", pathA, pathB)
+	pollResult(t, ts.URL, v.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + v.ID + "/result?format=consistency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, served)
+	}
+
+	// Render offline from the uploads with the served display names —
+	// the exact code path cmd/consistency's run() uses.
+	var want bytes.Buffer
+	err = consistency.Report(&want,
+		consistency.Input{Path: pathA, Name: "runA.pcap"},
+		consistency.Input{Path: pathB, Name: "runB.pcap"},
+		consistency.Options{WithinNs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want.Bytes()) {
+		t.Fatalf("served consistency report differs from offline render:\n--- served ---\n%s\n--- offline ---\n%s", served, want.Bytes())
+	}
+}
+
+// TestLiveTapsMatchUpload: a live-tap session over the same bytes must
+// produce the same aggregate as an upload session.
+func TestLiveTapsMatchUpload(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{Window: 100 * sim.Microsecond})
+
+	up := mustUpload(t, ts.URL, "tenant=up", pathA, pathB)
+	_, wantRes := pollResult(t, ts.URL, up.ID)
+
+	resp, err := http.Post(ts.URL+"/v1/sessions?tenant=live&mode=live&a=runA.pcap&b=runB.pcap", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("live create: status %d, body %s", resp.StatusCode, body)
+	}
+	var lv sessionView
+	if err := json.Unmarshal(body, &lv); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for side, path := range map[string]string{"a": pathA, "b": pathB} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/sessions/"+lv.ID+"/tap/"+side, "application/octet-stream", bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("tap %s: status %d, body %s", side, resp.StatusCode, b)
+			}
+		}()
+	}
+	wg.Wait()
+	_, liveRes := pollResult(t, ts.URL, lv.ID)
+
+	if liveRes.Aggregate != wantRes.Aggregate {
+		t.Fatalf("live aggregate %+v != upload aggregate %+v", liveRes.Aggregate, wantRes.Aggregate)
+	}
+	if !reflect.DeepEqual(liveRes.Windows, wantRes.Windows) {
+		t.Fatalf("live windows differ from upload windows")
+	}
+	// A second tap connect on a used side must conflict.
+	resp2, err := http.Post(ts.URL+"/v1/sessions/"+lv.ID+"/tap/a", "application/octet-stream", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("tap reconnect: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+// TestLoadShedding drives the service into its budgets with a stall
+// storm pinning the running session, and checks 429 + Retry-After (and
+// 413 for never-admissible requests) instead of budget overrun.
+func TestLoadShedding(t *testing.T) {
+	dir := t.TempDir()
+	pathA, pathB := writePair(t, dir)
+	sz := func(p string) int64 {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	pair := sz(pathA) + sz(pathB)
+
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+
+	// Budget fits two sessions' multipart bodies but not three; one
+	// worker, and the stall hook pins the first comparison mid-run.
+	s, ts := startServer(t, Config{
+		GlobalBudget: 3 * pair,
+		TenantBudget: 3 * pair,
+		MaxUpload:    2 * pair,
+		Workers:      1,
+		MaxSessions:  2,
+		Stall:        func(stage string, id int) { <-gate },
+	})
+
+	v1 := mustUpload(t, ts.URL, "tenant=shed", pathA, pathB) // running, pinned by stall
+	v2 := mustUpload(t, ts.URL, "tenant=shed", pathA, pathB) // queued
+
+	// Third session: MaxSessions exhausted → 429 with Retry-After.
+	resp, body := postUpload(t, ts.URL, "tenant=shed", pathA, pathB)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload POST: status %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	// The reservation ledger never exceeded the budget.
+	if used, ok := s.cfg.Obs.Registry().GaugeValue("choird_budget_used_bytes"); !ok || used > float64(3*pair) {
+		t.Fatalf("budget used %v (ok=%v) exceeds global budget %d", used, ok, 3*pair)
+	}
+	if shed := s.adm.tenants["shed"].cShed.Value(); shed < 1 {
+		t.Fatalf("shed counter = %d, want ≥ 1", shed)
+	}
+
+	// A request that could never fit sheds permanently with 413.
+	respBig, err := http.Post(ts.URL+"/v1/sessions?tenant=shed&mode=live&bytes=999999999999", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, respBig.Body)
+	respBig.Body.Close()
+	if respBig.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST: status %d, want 413", respBig.StatusCode)
+	}
+
+	// Release the storm: both admitted sessions finish and budget
+	// returns to zero, after which admission opens again.
+	release()
+	pollResult(t, ts.URL, v1.ID)
+	pollResult(t, ts.URL, v2.ID)
+	waitFor(t, 5*time.Second, func() bool {
+		used, ok := s.cfg.Obs.Registry().GaugeValue("choird_budget_used_bytes")
+		return ok && used == 0
+	}, "budget not released after sessions finished")
+	v4 := mustUpload(t, ts.URL, "tenant=shed", pathA, pathB)
+	pollResult(t, ts.URL, v4.ID)
+}
+
+// sameScore asserts two results are bit-identical in everything except
+// the memory high-water marks, which depend on goroutine scheduling (the
+// stream package documents Stats as diagnostics, not scores).
+func sameScore(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	g, w := *got, *want
+	g.PeakShardEntries, g.PeakOpenWindows = 0, 0
+	w.PeakShardEntries, w.PeakOpenWindows = 0, 0
+	if !reflect.DeepEqual(&g, &w) {
+		gj, _ := json.MarshalIndent(&g, "", " ")
+		wj, _ := json.MarshalIndent(&w, "", " ")
+		t.Fatalf("%s:\n--- got ---\n%s\n--- want ---\n%s", label, gj, wj)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStallStormBitIdentical: a fault-plan stall storm perturbs
+// scheduling, never results.
+func TestStallStormBitIdentical(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	run := func(stall func(string, int)) *Result {
+		_, ts := startServer(t, Config{Window: 100 * sim.Microsecond, Stall: stall})
+		v := mustUpload(t, ts.URL, "tenant=storm", pathA, pathB)
+		_, res := pollResult(t, ts.URL, v.ID)
+		return res
+	}
+	calm := run(nil)
+	plan := fault.Plan{Seed: 7, Stall: fault.StallPlan{Rate: 0.7, Yields: 3}}
+	stormy := run(plan.StallHook())
+	sameScore(t, "stall storm changed the result", stormy, calm)
+}
+
+// TestDrainResume is the crash-consistency differential: a session
+// admitted (journaled) but interrupted mid-flight must, after a daemon
+// restart over the same state dir, complete with a result byte-identical
+// to an uninterrupted run — and a further restart must serve the
+// recorded result without re-running.
+func TestDrainResume(t *testing.T) {
+	fixDir := t.TempDir()
+	pathA, pathB := writePair(t, fixDir)
+	stateDir := t.TempDir()
+
+	// Reference: uninterrupted run on a fresh server (fresh state dir,
+	// same seed/tenant → same session identity and derived seed).
+	_, tsRef := startServer(t, Config{Seed: 99, Window: 100 * sim.Microsecond})
+	vRef := mustUpload(t, tsRef.URL, "tenant=crash", pathA, pathB)
+	_, refRes := pollResult(t, tsRef.URL, vRef.ID)
+
+	// Server 1: pause dispatch, admit the session, then drain — the
+	// session is journaled as started but never ran.
+	s1, ts1 := startServer(t, Config{Dir: stateDir, Seed: 99, Window: 100 * sim.Microsecond})
+	s1.Pause()
+	v1 := mustUpload(t, ts1.URL, "tenant=crash", pathA, pathB)
+	if v1.ID != vRef.ID || v1.Seed != vRef.Seed {
+		t.Fatalf("identity mismatch: interrupted (%s, %d) vs reference (%s, %d)", v1.ID, v1.Seed, vRef.ID, vRef.Seed)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Draining servers refuse new sessions.
+	resp, _ := postUpload(t, ts1.URL, "tenant=crash", pathA, pathB)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain POST: status %d, want 503", resp.StatusCode)
+	}
+	ts1.Close()
+
+	// Server 2: replays the journal, re-queues, re-runs.
+	_, ts2 := startServer(t, Config{Dir: stateDir, Seed: 99, Window: 100 * sim.Microsecond})
+	gotJSON, gotRes := pollResult(t, ts2.URL, v1.ID)
+	sameScore(t, "resumed result differs from uninterrupted run", gotRes, refRes)
+
+	// Server 3: the session is terminal in the journal now; a restart
+	// serves the recorded result immediately, byte-for-byte.
+	ts2.Close()
+	_, ts3 := startServer(t, Config{Dir: stateDir, Seed: 99, Window: 100 * sim.Microsecond})
+	resp3, err := http.Get(ts3.URL + "/v1/sessions/" + v1.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayJSON, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("replayed result: status %d (journal should already hold it)", resp3.StatusCode)
+	}
+	// The journal replay serves the *recorded* result: byte-for-byte
+	// what server 2 computed, peaks and all.
+	if !bytes.Equal(replayJSON, gotJSON) {
+		t.Fatalf("journal-replayed result differs from the recorded one:\n--- replayed ---\n%s\n--- recorded ---\n%s", replayJSON, gotJSON)
+	}
+}
+
+// TestKillMidSessionResume interrupts a *running* comparison (pinned by
+// a stall gate) with an expiring drain, then resumes it on a second
+// server — exercising the torn-lifecycle path: start record present,
+// done record absent.
+func TestKillMidSessionResume(t *testing.T) {
+	fixDir := t.TempDir()
+	pathA, pathB := writePair(t, fixDir)
+	stateDir := t.TempDir()
+
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	defer release()
+
+	s1, ts1 := startServer(t, Config{
+		Dir: stateDir, Seed: 5, Window: 100 * sim.Microsecond,
+		Workers: 1,
+		Stall:   func(string, int) { <-gate },
+	})
+	v1 := mustUpload(t, ts1.URL, "tenant=kill", pathA, pathB)
+	waitFor(t, 5*time.Second, func() bool {
+		return s1.reg.get(v1.ID).StateNow() == StateRunning
+	}, "session never started running")
+
+	// Drain cannot finish while the engine is pinned: the context
+	// expires, mimicking SIGKILL-after-timeout. Journals close; the
+	// session's lifecycle stays torn (start without done).
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := s1.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error = %v, want deadline exceeded", err)
+	}
+	ts1.Close()
+	release() // let the abandoned engine unwind (its journal append is refused)
+
+	// Server 2 re-runs the torn session from its spools.
+	_, ts2 := startServer(t, Config{Dir: stateDir, Seed: 5, Window: 100 * sim.Microsecond})
+	_, got := pollResult(t, ts2.URL, v1.ID)
+
+	// Reference from a clean server.
+	_, tsRef := startServer(t, Config{Seed: 5, Window: 100 * sim.Microsecond})
+	vRef := mustUpload(t, tsRef.URL, "tenant=kill", pathA, pathB)
+	_, refRes := pollResult(t, tsRef.URL, vRef.ID)
+	sameScore(t, "kill-resumed result differs from clean run", got, refRes)
+	if got.Aggregate.Windows == 0 {
+		t.Fatal("resumed result scored no windows")
+	}
+}
+
+// TestAdmissionLedger exercises the byte/session accounting directly.
+func TestAdmissionLedger(t *testing.T) {
+	s, _ := startServer(t, Config{GlobalBudget: 1000, TenantBudget: 600, MaxSessions: 10})
+	a := s.adm
+
+	rel1, _, err := a.admit("t1", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant budget: t1 has 200 left.
+	if _, _, err := a.admit("t1", 300); !errors.Is(err, ErrBusy) {
+		t.Fatalf("tenant overrun: err = %v, want ErrBusy", err)
+	}
+	// Another tenant still fits under the global budget.
+	rel2, _, err := a.admit("t2", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global budget: 900 reserved, 100 left.
+	if _, _, err := a.admit("t3", 200); !errors.Is(err, ErrBusy) {
+		t.Fatalf("global overrun: err = %v, want ErrBusy", err)
+	}
+	// Never admissible regardless of current load.
+	if _, _, err := a.admit("t3", 700); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized: err = %v, want ErrTooLarge", err)
+	}
+	rel1()
+	rel1() // idempotent
+	rel2()
+	if used, _ := s.cfg.Obs.Registry().GaugeValue("choird_budget_used_bytes"); used != 0 {
+		t.Fatalf("used = %v after all releases, want 0", used)
+	}
+	if a.sessionCount() != 0 {
+		t.Fatalf("sessionCount = %d, want 0", a.sessionCount())
+	}
+	// Session-count ceiling.
+	s2, _ := startServer(t, Config{MaxSessions: 1})
+	relA, _, err := s2.adm.admit("x", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.adm.admit("x", 10); !errors.Is(err, ErrBusy) {
+		t.Fatalf("session ceiling: err = %v, want ErrBusy", err)
+	}
+	relA()
+	if _, _, err := s2.adm.admit("x", 10); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestDeriveSeed: stable, and distinct across tenants and sequences.
+func TestDeriveSeed(t *testing.T) {
+	if deriveSeed(1, "a", 1) != deriveSeed(1, "a", 1) {
+		t.Fatal("seed not deterministic")
+	}
+	seen := map[uint64]string{}
+	for _, tenant := range []string{"a", "b", "ab"} {
+		for seq := uint64(1); seq <= 100; seq++ {
+			k := deriveSeed(7, tenant, seq)
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("seed collision: %s/%d with %s", tenant, seq, prev)
+			}
+			seen[k] = fmt.Sprintf("%s/%d", tenant, seq)
+		}
+	}
+}
+
+// TestTenantValidation rejects path-hostile tenant names.
+func TestTenantValidation(t *testing.T) {
+	_, ts := startServer(t, Config{})
+	for _, bad := range []string{"..", "a/b", ".hidden", "x+y", "-lead"} {
+		resp, err := http.Post(ts.URL+"/v1/sessions?tenant="+bad+"&mode=live", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("tenant %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

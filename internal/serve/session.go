@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/pcap"
+	"repro/internal/sim"
+	"repro/internal/stream"
+)
+
+// State is a session's lifecycle position.
+type State string
+
+const (
+	// StateQueued: admitted, journaled, waiting for a scheduler slot.
+	StateQueued State = "queued"
+	// StateRunning: the comparison pipeline is executing.
+	StateRunning State = "running"
+	// StateDraining: running while the daemon drains; allowed to finish.
+	StateDraining State = "draining"
+	// StateDone: finished; Result is final and journaled.
+	StateDone State = "done"
+	// StateFailed: terminally failed; Err is journaled.
+	StateFailed State = "failed"
+)
+
+// Session is one admitted comparison. Identity fields are immutable
+// after creation; the mutable lifecycle (state, result) is guarded by mu.
+type Session struct {
+	ID     string
+	Tenant string
+	Seq    uint64
+	// Seed is the session's derived seed: a pure function of the
+	// daemon's base seed, the tenant and the sequence number. It is
+	// journaled so a served result can be re-derived offline.
+	Seed uint64
+	// Live marks a tap-fed session (captures streamed while scoring).
+	Live bool
+	// NameA/NameB are the tenant's display names (uploaded filenames);
+	// SpoolA/SpoolB are where the bytes live under the state dir.
+	NameA, NameB   string
+	SpoolA, SpoolB string
+	// Bytes is the admission reservation.
+	Bytes int64
+	// Engine shape (affects results only through the window length).
+	Window                 sim.Duration
+	Shards, Buffer, MaxLag int
+
+	mu      sync.Mutex
+	state   State
+	result  *Result
+	errText string
+	release func() // admission release; nil once returned
+
+	// Live-tap plumbing: sources handed to the engine by the tap
+	// handlers, signalled ready when both sides have connected.
+	taps *tapPair
+}
+
+// StateNow returns the current lifecycle state.
+func (sess *Session) StateNow() State {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.state
+}
+
+// snapshot returns the state triple under one lock acquisition.
+func (sess *Session) snapshot() (State, *Result, string) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.state, sess.result, sess.errText
+}
+
+// setState transitions unless the session is already terminal.
+func (sess *Session) setState(st State) {
+	sess.mu.Lock()
+	if sess.state != StateDone && sess.state != StateFailed {
+		sess.state = st
+	}
+	sess.mu.Unlock()
+}
+
+// finish records the terminal state and releases the admission
+// reservation exactly once.
+func (sess *Session) finish(st State, res *Result, errText string) {
+	sess.mu.Lock()
+	sess.state = st
+	sess.result = res
+	sess.errText = errText
+	rel := sess.release
+	sess.release = nil
+	sess.mu.Unlock()
+	if rel != nil {
+		rel()
+	}
+}
+
+// registry is the in-memory session index.
+type registry struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // insertion order, for stable listings
+}
+
+func newRegistry() *registry {
+	return &registry{sessions: make(map[string]*Session)}
+}
+
+func (r *registry) put(sess *Session) {
+	r.mu.Lock()
+	if _, dup := r.sessions[sess.ID]; !dup {
+		r.order = append(r.order, sess.ID)
+	}
+	r.sessions[sess.ID] = sess
+	r.mu.Unlock()
+}
+
+func (r *registry) get(id string) *Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sessions[id]
+}
+
+// list returns the tenant's sessions (all tenants when tenant == "") in
+// admission order.
+func (r *registry) list(tenant string) []*Session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Session, 0, len(r.order))
+	for _, id := range r.order {
+		sess := r.sessions[id]
+		if tenant == "" || sess.Tenant == tenant {
+			out = append(out, sess)
+		}
+	}
+	return out
+}
+
+func (r *registry) countState(st State) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, sess := range r.sessions {
+		if sess.StateNow() == st {
+			n++
+		}
+	}
+	return n
+}
+
+// maxSeq returns the highest sequence number a tenant has used — resume
+// continues numbering where the journal left off.
+func (r *registry) maxSeq(tenant string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var max uint64
+	for _, sess := range r.sessions {
+		if sess.Tenant == tenant && sess.Seq > max {
+			max = sess.Seq
+		}
+	}
+	return max
+}
+
+// markDraining flips every running session to draining (cosmetic but
+// honest: the fleet surface shows what a SIGTERM is waiting on).
+func (r *registry) markDraining() {
+	r.mu.Lock()
+	sessions := make([]*Session, 0, len(r.sessions))
+	for _, sess := range r.sessions {
+		sessions = append(sessions, sess)
+	}
+	r.mu.Unlock()
+	for _, sess := range sessions {
+		if sess.StateNow() == StateRunning {
+			sess.setState(StateDraining)
+		}
+	}
+}
+
+// deriveSeed mixes the daemon seed, tenant and sequence into a session
+// seed with the same splitmix64 output function the fault layer uses —
+// stateless, so the seed is reconstructible from journaled identity.
+func deriveSeed(base int64, tenant string, seq uint64) uint64 {
+	x := uint64(base) ^ (seq * 0xD1342543DE82EF95)
+	for _, c := range []byte(tenant) {
+		x = (x ^ uint64(c)) * 0x9E3779B97F4A7C15
+	}
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// execute runs one session's comparison on the scheduler. The run is a
+// pure function of the spooled capture bytes and the engine shape, so a
+// journal-resumed re-run reproduces it bit for bit.
+func (s *Server) execute(sess *Session) {
+	sess.setState(StateRunning)
+	s.logf("session %s running (tenant %s, window %v)", sess.ID, sess.Tenant, sess.Window)
+
+	res, runErr := s.compare(sess)
+	if runErr != nil {
+		sess.finish(StateFailed, nil, runErr.Error())
+		s.cFailed.Inc()
+		if err := s.jrn.appendDone(sess, nil, runErr.Error()); err != nil {
+			s.logf("session %s: journal: %v", sess.ID, err)
+		}
+		s.logf("session %s failed: %v", sess.ID, runErr)
+		return
+	}
+	sess.finish(StateDone, res, "")
+	s.cDone.Inc()
+	if err := s.jrn.appendDone(sess, res, ""); err != nil {
+		s.logf("session %s: journal: %v", sess.ID, err)
+	}
+	s.logf("session %s done: κ=%.4f over %d windows", sess.ID, res.Aggregate.Kappa, res.Aggregate.Windows)
+}
+
+// compare executes the streaming pipeline over the session's sources.
+func (s *Server) compare(sess *Session) (*Result, error) {
+	var srcA, srcB stream.Source
+	var diagA, diagB func() pcap.Diag
+	if sess.taps != nil {
+		// Live session: the tap handlers feed pcap byte streams while
+		// we consume; spooling happens in the handlers (TeeReader).
+		a, b := sess.taps.sources()
+		srcA, srcB = a, b
+		diagA, diagB = a.Diag, b.Diag
+	} else {
+		a, err := pcap.OpenStream(sess.SpoolA)
+		if err != nil {
+			return nil, fmt.Errorf("spool A: %w", err)
+		}
+		defer a.Close()
+		b, err := pcap.OpenStream(sess.SpoolB)
+		if err != nil {
+			return nil, fmt.Errorf("spool B: %w", err)
+		}
+		defer b.Close()
+		a.SetLimit(s.cfg.MaxUpload)
+		b.SetLimit(s.cfg.MaxUpload)
+		srcA, srcB = a, b
+		diagA, diagB = a.Diag, b.Diag
+	}
+
+	// Each session gets a private registry: stream_* gauges are
+	// per-run, and hundreds of concurrent engines on one registry would
+	// trample each other. Peaks worth keeping are folded into the
+	// service's per-tenant gauges below.
+	sessObs := obs.New()
+	cfg := stream.Config{
+		Window:   sess.Window,
+		Shards:   sess.Shards,
+		Buffer:   sess.Buffer,
+		MaxLag:   sess.MaxLag,
+		DataOnly: true,
+		Obs:      sessObs,
+		Stall:    s.cfg.Stall,
+	}
+	res := &Result{SessionID: sess.ID, Seed: sess.Seed, WindowNs: int64(sess.Window)}
+	cfg.OnWindow = func(w metricsWindow) {
+		if len(res.Windows) < s.cfg.MaxWindowsKept {
+			res.Windows = append(res.Windows, windowRow(w))
+		} else {
+			res.WindowsDropped++
+		}
+	}
+	cfg.DiscardWindows = true // rows are captured by OnWindow above
+
+	sum, err := stream.Run(srcA, srcB, cfg)
+	if err != nil && !errors.Is(err, pcap.ErrTruncated) {
+		return nil, err
+	}
+	if err != nil {
+		res.Truncated = true
+	}
+	res.fill(sum, diagA(), diagB())
+	sort.SliceStable(res.Windows, func(i, j int) bool { return res.Windows[i].StartNs < res.Windows[j].StartNs })
+
+	// Fold this run's watermark-lag peak into the tenant gauge.
+	lag := 0.0
+	for _, trial := range []string{"A", "B"} {
+		if v, ok := sessObs.Registry().GaugeValue("stream_watermark_lag_peak_windows", obs.L("trial", trial)); ok && v > lag {
+			lag = v
+		}
+	}
+	s.tenantLagGauge(sess.Tenant).Max(lag)
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/fault/harness"
+	"repro/internal/obs"
+)
+
+// TestManyConcurrentEngines is the service-shaped stress test: many
+// engines run at once (the way internal/serve multiplexes sessions),
+// each with a distinct input pair, and every one must (a) reproduce the
+// summary its sequential twin computes, (b) respect its configured
+// memory gate, and (c) keep its private obs registry uncontaminated by
+// its neighbours. Run under -race this doubles as the engine's
+// data-race certificate for multi-tenant use.
+func TestManyConcurrentEngines(t *testing.T) {
+	const engines = 32
+	base := harness.Baseline("A", 2000, 17)
+
+	type job struct {
+		plan fault.Plan
+		cfg  Config
+		want *Summary
+	}
+	jobs := make([]*job, engines)
+	for i := range jobs {
+		j := &job{
+			plan: fault.Plan{Seed: uint64(1000 + i), Drop: 0.03, Dup: 0.01, Reorder: 0.04, Jitter: 250},
+			cfg: Config{
+				Window: 50_000,
+				Shards: 1 + i%4,
+				Buffer: 16 << (i % 3),
+				MaxLag: 1 + i%3,
+			},
+		}
+		jobs[i] = j
+	}
+	pair := func(j *job) (Source, Source) {
+		b := j.plan.Apply(base)
+		b.Name = "B"
+		return NewTraceSource(base), NewTraceSource(b)
+	}
+
+	// Sequential reference pass.
+	for i, j := range jobs {
+		a, b := pair(j)
+		sum, err := Run(a, b, j.cfg)
+		if err != nil {
+			t.Fatalf("engine %d sequential: %v", i, err)
+		}
+		j.want = sum
+	}
+
+	// Concurrent pass: every engine at once, each instrumented with its
+	// own registry.
+	regs := make([]*obs.Obs, engines)
+	sums := make([]*Summary, engines)
+	errs := make([]error, engines)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		regs[i] = obs.New()
+		go func() {
+			defer wg.Done()
+			cfg := j.cfg
+			cfg.Obs = regs[i]
+			a, b := pair(j)
+			sums[i], errs[i] = Run(a, b, cfg)
+		}()
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("engine %d concurrent: %v", i, errs[i])
+		}
+		got, want := sums[i], j.want
+		if got.Aggregate != want.Aggregate {
+			t.Errorf("engine %d: concurrent aggregate %+v != sequential %+v", i, got.Aggregate, want.Aggregate)
+		}
+		if len(got.Windows) != len(want.Windows) {
+			t.Errorf("engine %d: %d windows concurrent vs %d sequential", i, len(got.Windows), len(want.Windows))
+			continue
+		}
+		for w := range got.Windows {
+			gw, ww := got.Windows[w], want.Windows[w]
+			if gw.Result.Kappa != ww.Result.Kappa || gw.Result.U != ww.Result.U ||
+				gw.Result.O != ww.Result.O || gw.Result.L != ww.Result.L || gw.Result.I != ww.Result.I ||
+				gw.Result.Common != ww.Result.Common ||
+				gw.Start != ww.Start || gw.End != ww.End {
+				t.Errorf("engine %d window %d differs between concurrent and sequential", i, w)
+			}
+		}
+		// The watermark-lag gate bounds open windows regardless of
+		// scheduling: MaxLag in-flight plus the one being filled.
+		if got.Stats.PeakOpenWindows > j.cfg.MaxLag+1 {
+			t.Errorf("engine %d: peak open windows %d exceeds MaxLag+1 = %d",
+				i, got.Stats.PeakOpenWindows, j.cfg.MaxLag+1)
+		}
+		// The per-run gauges land in the engine's own registry with the
+		// engine's own peak — neighbours must not bleed in.
+		for _, trial := range []string{"A", "B"} {
+			if _, ok := regs[i].Registry().GaugeValue("stream_watermark_lag_peak_windows", obs.L("trial", trial)); !ok {
+				t.Errorf("engine %d: missing watermark-lag gauge for trial %s", i, trial)
+			}
+		}
+		if v, ok := regs[i].Registry().GaugeValue("stream_running_kappa"); ok {
+			if want := got.Aggregate.Kappa; v != want {
+				t.Errorf("engine %d: final running κ gauge %v != aggregate κ %v", i, v, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentEnginesSharedRegistryIsSafe: sharing one registry across
+// engines is a supported (if noisy) configuration — gauges overwrite
+// but nothing races or panics.
+func TestConcurrentEnginesSharedRegistryIsSafe(t *testing.T) {
+	base := harness.Baseline("A", 500, 3)
+	shared := obs.New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plan := fault.Plan{Seed: uint64(i), Drop: 0.05}
+			b := plan.Apply(base)
+			b.Name = fmt.Sprintf("B%d", i)
+			cfg := Config{Window: 50_000, Shards: 2, Buffer: 16, MaxLag: 2, Obs: shared}
+			if _, err := Run(NewTraceSource(base), NewTraceSource(b), cfg); err != nil {
+				t.Errorf("engine %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -4,7 +4,9 @@
 # smoke over the pcap/metrics fuzz targets, a deterministic-replay gate
 # (the same fault seed twice must render a byte-identical κ report), a
 # campaign resume gate (a campaign interrupted twice and resumed must
-# render the uninterrupted table byte-for-byte), and the
+# render the uninterrupted table byte-for-byte), a choird service gate
+# (a served consistency report must be byte-identical to the offline
+# CLI's, including after a SIGTERM mid-session and journal resume), and the
 # streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
 # guard bounding the overhead of enabled telemetry.
 #
@@ -37,7 +39,7 @@ go test ./internal/metrics -run='^$' -fuzz='^FuzzCompare$' -fuzztime=10s
 
 echo "== deterministic-replay gate (same fault seed twice => byte-identical kappa report)"
 replay_tmp=$(mktemp -d)
-trap 'rm -rf "$replay_tmp"' EXIT
+trap 'kill "${CHOIRD_PID:-}" 2>/dev/null || true; rm -rf "$replay_tmp"' EXIT
 go build -o "$replay_tmp/faultsweep" ./cmd/faultsweep
 "$replay_tmp/faultsweep" -seed 7 -packets 8000 >"$replay_tmp/sweep1.txt"
 "$replay_tmp/faultsweep" -seed 7 -packets 8000 >"$replay_tmp/sweep2.txt"
@@ -59,6 +61,73 @@ campaign_run -journal "$replay_tmp/chunk.journal" -stop-after 1 -resume >"$repla
 campaign_run -journal "$replay_tmp/chunk.journal" -resume >"$replay_tmp/campaign-resumed.txt"
 cmp "$replay_tmp/campaign-full.txt" "$replay_tmp/campaign-resumed.txt"
 echo "campaign -seed 7: interrupted-twice-and-resumed table byte-identical ($(wc -c <"$replay_tmp/campaign-full.txt") bytes)"
+
+echo "== choird service gate (served report ≡ offline consistency; SIGTERM drain + journal resume)"
+go build -o "$replay_tmp/choird" ./cmd/choird
+go build -o "$replay_tmp/consistency" ./cmd/consistency
+go build -o "$replay_tmp/choirsim" ./cmd/choirsim
+mkdir -p "$replay_tmp/caps"
+"$replay_tmp/choirsim" -packets 3000 -runs 2 -seed 11 -out "$replay_tmp/caps" >/dev/null
+set -- "$replay_tmp/caps"/run-*.pcap
+cp "$1" "$replay_tmp/A.pcap"
+cp "$2" "$replay_tmp/B.pcap"
+(cd "$replay_tmp" && ./consistency A.pcap B.pcap >offline.txt)
+
+choird_start() { # $1 = log file
+	"$replay_tmp/choird" -addr 127.0.0.1:0 -dir "$replay_tmp/state" -seed 3 >"$1" 2>&1 &
+	CHOIRD_PID=$!
+	CHOIRD_URL=""
+	i=0
+	while [ $i -lt 100 ]; do
+		CHOIRD_URL=$(sed -n 's|^choird: listening on \(http://[^ ]*\).*|\1|p' "$1")
+		[ -n "$CHOIRD_URL" ] && return 0
+		kill -0 "$CHOIRD_PID" 2>/dev/null || { echo "FAIL: choird exited early"; cat "$1"; exit 1; }
+		sleep 0.1
+		i=$((i + 1))
+	done
+	echo "FAIL: choird never printed its listen address"
+	cat "$1"
+	exit 1
+}
+choird_poll() { # $1 = session id; waits for a 200 result
+	i=0
+	while [ $i -lt 200 ]; do
+		code=$(curl -s -o /dev/null -w '%{http_code}' "$CHOIRD_URL/v1/sessions/$1/result")
+		[ "$code" = 200 ] && return 0
+		[ "$code" = 202 ] || { echo "FAIL: session $1 result returned HTTP $code"; exit 1; }
+		sleep 0.1
+		i=$((i + 1))
+	done
+	echo "FAIL: session $1 never finished"
+	exit 1
+}
+
+choird_start "$replay_tmp/choird1.log"
+sid=$(curl -s -F a=@"$replay_tmp/A.pcap" -F b=@"$replay_tmp/B.pcap" "$CHOIRD_URL/v1/sessions" |
+	sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$sid" ] || { echo "FAIL: upload returned no session id"; exit 1; }
+choird_poll "$sid"
+curl -s "$CHOIRD_URL/v1/sessions/$sid/result?format=consistency" >"$replay_tmp/served.txt"
+cmp "$replay_tmp/served.txt" "$replay_tmp/offline.txt"
+echo "choird session $sid: served consistency report byte-identical to offline CLI"
+
+# Drain/resume: pause dispatch, admit a session (journaled, never run),
+# SIGTERM the daemon, restart over the same state dir — the session must
+# resume and serve the same bytes the CLI renders for the pair.
+curl -s -X POST "$CHOIRD_URL/v1/admin/pause" >/dev/null
+sid2=$(curl -s -F a=@"$replay_tmp/A.pcap" -F b=@"$replay_tmp/B.pcap" "$CHOIRD_URL/v1/sessions" |
+	sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$sid2" ] || { echo "FAIL: pre-drain upload returned no session id"; exit 1; }
+kill -TERM "$CHOIRD_PID"
+wait "$CHOIRD_PID" || { echo "FAIL: choird drain exited non-zero"; cat "$replay_tmp/choird1.log"; exit 1; }
+choird_start "$replay_tmp/choird2.log"
+choird_poll "$sid2"
+curl -s "$CHOIRD_URL/v1/sessions/$sid2/result?format=consistency" >"$replay_tmp/resumed.txt"
+cmp "$replay_tmp/resumed.txt" "$replay_tmp/offline.txt"
+kill -TERM "$CHOIRD_PID"
+wait "$CHOIRD_PID" || true
+CHOIRD_PID=""
+echo "choird session $sid2: SIGTERM-interrupted, journal-resumed, report still byte-identical"
 
 if [ "${1:-}" = "-bench" ]; then
 	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ, obs on vs off)"
