@@ -54,6 +54,8 @@ func run(args []string, stdout io.Writer) error {
 	window := fs.Duration("window", 10*time.Millisecond, "default tumbling-window length")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sessions on SIGTERM")
 	faultSpec := fs.String("fault", "", "fault plan spec threaded into every session's engine (stall storms; results stay bit-identical)")
+	spans := fs.Bool("spans", true, "per-session causal span tracing (GET /v1/sessions/{id}/trace; results stay bit-identical)")
+	spanMax := fs.Int("span-max", 0, "max spans retained per session (0 = default)")
 	quiet := fs.Bool("quiet", false, "suppress per-session lifecycle lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +70,8 @@ func run(args []string, stdout io.Writer) error {
 		MaxSessions:  *maxSessions,
 		Workers:      *workers,
 		Window:       sim.Duration(window.Nanoseconds()),
+		Spans:        *spans,
+		SpanMax:      *spanMax,
 	}
 	if !*quiet {
 		cfg.Log = func(format string, a ...any) { fmt.Fprintf(stdout, "choird: "+format+"\n", a...) }

@@ -1,0 +1,419 @@
+// Command choirtrace is the offline analyzer for causal span traces
+// (internal/obs.SpanTracer exports — the bytes behind choird's
+// GET /v1/sessions/{id}/trace, the obs CLI's -spans FILE, and the
+// service-side /spans endpoint).
+//
+// Where Perfetto draws the trace, choirtrace answers the two questions
+// an on-call engineer actually asks about a slow or wedged session:
+//
+//   - Where did the milliseconds go? For every causal tree (one tenant
+//     session, one campaign trial) it reconstructs the critical path —
+//     the root's stages in causal-counter order, admission → spool →
+//     compare[ingest shard watermark merge] → wal → render — and prints
+//     a top-N table of trees by wall time with per-stage latency.
+//
+//   - Is anything stuck? Spans still open at export older than the
+//     heartbeat threshold (-stall) are flagged as stalled, with their
+//     age and position in the tree — the signature of a wedged pipeline
+//     stage or a live session whose second tap never connected.
+//
+// Multiple input files are analyzed together (each file is its own ID
+// namespace, so per-session trace dumps from one daemon can be laid
+// side by side):
+//
+//	choirtrace session1.json session2.json
+//	choirtrace -top 5 -stall 30s -v campaign-spans.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+	"time"
+)
+
+var errUsage = errors.New("usage: choirtrace [-top N] [-stall D] [-v] trace.json [trace2.json ...]")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != errUsage {
+			fmt.Fprintf(os.Stderr, "choirtrace: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, errUsage.Error())
+		}
+		os.Exit(1)
+	}
+}
+
+// rawEvent is one trace_event record, args left raw: packet-tracer
+// events share the file and are skipped before args are decoded.
+type rawEvent struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+}
+
+// span is one reconstructed node of a causal tree. Times are µs,
+// file-epoch-relative, exactly as exported.
+type span struct {
+	id, parent, root uint64
+	name             string
+	ts, dur          float64
+	seq0             uint64
+	simNs            int64
+	simSet           bool
+	errText          string
+	open             bool
+	attrs            map[string]string
+	children         []*span
+}
+
+// tree is one causal root with its fully linked span tree.
+type tree struct {
+	file  string
+	root  *span
+	spans int
+	errs  int
+	open  []*span
+}
+
+// label names the tree the way operators look it up: the session
+// attribute (choird), the trial key (campaigns), or the root name.
+func (t *tree) label() string {
+	for _, key := range []string{"session", "trial"} {
+		if v, ok := t.root.attrs[key]; ok {
+			return v
+		}
+	}
+	return fmt.Sprintf("%s#%d", t.root.name, t.root.id)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("choirtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "show the N slowest causal trees")
+	stall := fs.Duration("stall", 5*time.Second, "flag spans still open and older than this heartbeat threshold")
+	verbose := fs.Bool("v", false, "per-tree stage breakdown tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return errUsage
+	}
+
+	var trees []*tree
+	total, ended, openCount := 0, 0, 0
+	for _, path := range fs.Args() {
+		ts, err := parseFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, t := range ts {
+			total += t.spans
+			openCount += len(t.open)
+			ended += t.spans - len(t.open)
+			trees = append(trees, t)
+		}
+	}
+
+	stallUS := float64(stall.Microseconds())
+	var stalled []*span
+	stalledIn := make(map[*span]*tree)
+	for _, t := range trees {
+		for _, s := range t.open {
+			if s.dur > stallUS {
+				stalled = append(stalled, s)
+				stalledIn[s] = t
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "choirtrace: %d spans in %d trees (%d ended, %d open, %d stalled > %v)\n",
+		total, len(trees), ended, openCount, len(stalled), *stall)
+
+	// Slowest trees first; label then file breaks wall-time ties so the
+	// table is deterministic for any input.
+	sort.SliceStable(trees, func(i, j int) bool {
+		if trees[i].root.dur != trees[j].root.dur {
+			return trees[i].root.dur > trees[j].root.dur
+		}
+		if trees[i].label() != trees[j].label() {
+			return trees[i].label() < trees[j].label()
+		}
+		return trees[i].file < trees[j].file
+	})
+	shown := trees
+	if *top > 0 && len(shown) > *top {
+		shown = shown[:*top]
+	}
+
+	fmt.Fprintln(stdout)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, " #\tROOT\tTREE\tWALL\tSTATUS\tCRITICAL PATH")
+	for i, t := range shown {
+		fmt.Fprintf(tw, " %d\t%s\t%s\t%s\t%s\t%s\n",
+			i+1, t.label(), t.root.name, fmtUS(t.root.dur), status(t, stallUS), pathString(t.root))
+	}
+	tw.Flush()
+
+	if *verbose {
+		for _, t := range shown {
+			writeStages(stdout, t)
+		}
+	}
+
+	if len(stalled) > 0 {
+		sort.SliceStable(stalled, func(i, j int) bool {
+			a, b := stalled[i], stalled[j]
+			if la, lb := stalledIn[a].label(), stalledIn[b].label(); la != lb {
+				return la < lb
+			}
+			return a.seq0 < b.seq0
+		})
+		fmt.Fprintf(stdout, "\nstalled spans (open > %v):\n", *stall)
+		for _, s := range stalled {
+			fmt.Fprintf(stdout, "  %s/%s span %016x open %s (started +%s)\n",
+				stalledIn[s].label(), s.name, s.id, fmtUS(s.dur), fmtUS(s.ts))
+		}
+	}
+	return nil
+}
+
+// parseFile loads one trace dump and links its causal trees.
+func parseFile(path string) ([]*tree, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var tf traceFile
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+
+	byID := make(map[uint64]*span)
+	var all []*span
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "span" {
+			continue
+		}
+		var args map[string]string
+		if err := json.Unmarshal(ev.Args, &args); err != nil {
+			return nil, fmt.Errorf("span args: %w", err)
+		}
+		s := &span{name: ev.Name, ts: ev.Ts, dur: ev.Dur, attrs: args}
+		var err error
+		if s.id, err = strconv.ParseUint(args["span"], 16, 64); err != nil {
+			return nil, fmt.Errorf("span id %q: %w", args["span"], err)
+		}
+		s.parent, _ = strconv.ParseUint(args["parent"], 16, 64)
+		s.root, _ = strconv.ParseUint(args["root"], 16, 64)
+		s.seq0, _ = strconv.ParseUint(args["seq0"], 10, 64)
+		if v, ok := args["sim_ns"]; ok {
+			s.simNs, _ = strconv.ParseInt(v, 10, 64)
+			s.simSet = true
+		}
+		s.errText = args["error"]
+		s.open = args["open"] == "true"
+		byID[s.id] = s
+		all = append(all, s)
+	}
+
+	roots := make(map[uint64]*tree)
+	var order []uint64
+	for _, s := range all {
+		t := roots[s.root]
+		if t == nil {
+			t = &tree{file: filepath.Base(path)}
+			roots[s.root] = t
+			order = append(order, s.root)
+		}
+		t.spans++
+		if s.errText != "" {
+			t.errs++
+		}
+		if s.open {
+			t.open = append(t.open, s)
+		}
+		if s.id == s.root {
+			t.root = s
+		} else if p := byID[s.parent]; p != nil {
+			p.children = append(p.children, s)
+		}
+	}
+	var out []*tree
+	for _, id := range order {
+		t := roots[id]
+		if t.root == nil {
+			// Root span fell to the tracer's retention cap; synthesize a
+			// placeholder so orphaned children still report.
+			t.root = &span{id: id, root: id, name: "(missing-root)", attrs: map[string]string{}}
+		}
+		sortTree(t.root)
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// sortTree orders every child list by causal counter (allocation ID
+// breaks ties) — the export is ID-sorted, but the path must follow the
+// replay-clock order the spans were actually opened in.
+func sortTree(s *span) {
+	sort.SliceStable(s.children, func(i, j int) bool {
+		if s.children[i].seq0 != s.children[j].seq0 {
+			return s.children[i].seq0 < s.children[j].seq0
+		}
+		return s.children[i].id < s.children[j].id
+	})
+	for _, c := range s.children {
+		sortTree(c)
+	}
+}
+
+// status summarizes a tree: failed beats stalled beats open beats ok.
+func status(t *tree, stallUS float64) string {
+	if t.root.errText != "" {
+		return "error: " + t.root.errText
+	}
+	for _, s := range t.open {
+		if s.dur > stallUS {
+			return "STALLED"
+		}
+	}
+	if t.errs > 0 {
+		return fmt.Sprintf("ok (%d span errors)", t.errs)
+	}
+	if len(t.open) > 0 {
+		return "open"
+	}
+	return "ok"
+}
+
+// pathString renders the root's critical path: its direct children in
+// causal order, consecutive same-name stages collapsed (spool×2), and
+// one level of nesting summarized in brackets — the serving path reads
+// admission → spool×2 → wal → compare[ingest×2 shard×2 watermark×9
+// merge] → wal → render.
+func pathString(root *span) string {
+	if len(root.children) == 0 {
+		return "(no stages)"
+	}
+	return joinStages(root.children, true)
+}
+
+// joinStages collapses a causally ordered child list into the path
+// notation; nested summarizes one level of grandchildren.
+func joinStages(children []*span, nested bool) string {
+	out := ""
+	for i := 0; i < len(children); {
+		c := children[i]
+		n := 1
+		var sub []*span
+		sub = append(sub, c.children...)
+		for i+n < len(children) && children[i+n].name == c.name {
+			sub = append(sub, children[i+n].children...)
+			n++
+		}
+		if out != "" {
+			out += " → "
+		}
+		out += c.name
+		if n > 1 {
+			out += fmt.Sprintf("×%d", n)
+		}
+		if nested && len(sub) > 0 {
+			sortSpans(sub)
+			out += "[" + joinStages(sub, false) + "]"
+		}
+		i += n
+	}
+	return out
+}
+
+func sortSpans(ss []*span) {
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].seq0 != ss[j].seq0 {
+			return ss[i].seq0 < ss[j].seq0
+		}
+		return ss[i].id < ss[j].id
+	})
+}
+
+// writeStages prints one tree's per-stage latency table: where the
+// milliseconds of the critical path actually went.
+func writeStages(w io.Writer, t *tree) {
+	type stage struct {
+		name          string
+		count, errs   int
+		total, max    float64
+		first         uint64
+	}
+	stages := make(map[string]*stage)
+	var order []string
+	var walk func(s *span)
+	walk = func(s *span) {
+		for _, c := range s.children {
+			st := stages[c.name]
+			if st == nil {
+				st = &stage{name: c.name, first: c.seq0}
+				stages[c.name] = st
+				order = append(order, c.name)
+			}
+			st.count++
+			st.total += c.dur
+			if c.dur > st.max {
+				st.max = c.dur
+			}
+			if c.errText != "" {
+				st.errs++
+			}
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.SliceStable(order, func(i, j int) bool { return stages[order[i]].first < stages[order[j]].first })
+
+	fmt.Fprintf(w, "\ntree %s (%s, wall %s):\n", t.label(), t.root.name, fmtUS(t.root.dur))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  STAGE\tCOUNT\tTOTAL\tMAX\tERRORS")
+	for _, name := range order {
+		st := stages[name]
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%d\n", st.name, st.count, fmtUS(st.total), fmtUS(st.max), st.errs)
+	}
+	tw.Flush()
+}
+
+// fmtUS renders a µs quantity the way humans scan latency columns:
+// three significant-ish digits, unit-scaled.
+func fmtUS(us float64) string {
+	switch {
+	case us < 0:
+		return "0µs"
+	case us < 1000:
+		return fmt.Sprintf("%.0fµs", us)
+	case us < 1e6:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	default:
+		return fmt.Sprintf("%.3fs", us/1e6)
+	}
+}

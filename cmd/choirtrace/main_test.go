@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// The testdata traces are recorded from a real choird run with span
+// tracing on (three sessions on one daemon: two completed uploads for
+// tenants acme and globex, plus a live session whose taps never
+// connected — the stalled fixture). The analyzer's output is a pure
+// function of those bytes, so the goldens pin critical-path
+// reconstruction byte for byte.
+var fixtures = []string{
+	"testdata/acme-000001.json",
+	"testdata/globex-000001.json",
+	"testdata/wedged-000001.json",
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutput pins the analyzer's rendering of a recorded
+// multi-session run: the top-N table, the verbose stage breakdown, and
+// stalled-span flagging with a heartbeat below the wedged session's
+// recorded age.
+func TestGoldenOutput(t *testing.T) {
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"default.txt", append([]string{"-stall", "50ms"}, fixtures...)},
+		{"verbose.txt", append([]string{"-stall", "50ms", "-v"}, fixtures...)},
+		{"top1.txt", append([]string{"-stall", "50ms", "-top", "1"}, fixtures...)},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(tc.args, &stdout, &stderr); err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if stderr.Len() != 0 {
+			t.Fatalf("%v wrote to stderr: %q", tc.args, stderr.String())
+		}
+		checkGolden(t, tc.golden, stdout.Bytes())
+	}
+}
+
+// TestCriticalPath asserts the reconstruction independent of the golden
+// bytes: a completed choird session's serving path must read admission
+// → spool → wal → compare (with the engine stages nested under it) →
+// wal → render, in that causal order, and the wedged live session must
+// be flagged stalled.
+func TestCriticalPath(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-stall", "50ms"}, fixtures...), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+
+	var acmeLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "acme-000001") {
+			acmeLine = line
+			break
+		}
+	}
+	if acmeLine == "" {
+		t.Fatalf("no row for acme-000001 in:\n%s", out)
+	}
+	prev := -1
+	for _, stage := range []string{"admission", "spool", "wal", "compare[", "ingest", "shard", "watermark", "render"} {
+		i := strings.Index(acmeLine, stage)
+		if i < 0 {
+			t.Fatalf("stage %q missing from critical path: %s", stage, acmeLine)
+		}
+		if stage == "render" || stage == "admission" || stage == "spool" || stage == "compare[" {
+			if i < prev {
+				t.Fatalf("stage %q out of causal order in: %s", stage, acmeLine)
+			}
+			prev = i
+		}
+	}
+	if !strings.Contains(out, "wedged-000001") || !strings.Contains(out, "STALLED") {
+		t.Fatalf("wedged session not flagged stalled:\n%s", out)
+	}
+}
+
+// TestUsageError: no input files is a usage error.
+func TestUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err != errUsage {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("usage error wrote to stdout: %q", stdout.String())
+	}
+}

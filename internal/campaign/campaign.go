@@ -320,9 +320,18 @@ func Run(cfg Config, journalPath string, resume bool, stop <-chan struct{}) (*Re
 }
 
 // runTrial executes one trial with retries and returns its terminal
-// record plus the number of retry attempts performed.
+// record plus the number of retry attempts performed. With span tracing
+// enabled (Obs.WithSpans) every trial roots its own causal tree — one
+// "attempt" child per try, so a retried trial's backoff and re-runs are
+// visible in the exported trace — and, like every other instrument,
+// the spans never perturb the trial: the table is bit-identical with
+// tracing on or off.
 func (c Config) runTrial(t Trial) (Record, int) {
 	rec := Record{Kind: "trial", Idx: t.Idx, Key: t.Key(), Seed: t.Seed}
+	sp := c.Obs.SpanTrace().Root("trial", "campaign",
+		obs.L("trial", t.Key()), obs.L("env", t.Env.Name), obs.L("cond", t.Cond.Name))
+	sp.AttrInt("seed", t.Seed)
+	defer sp.End()
 	retries := 0
 	var lastErr error
 	for a := 0; a <= c.Retries; a++ {
@@ -335,6 +344,7 @@ func (c Config) runTrial(t Trial) (Record, int) {
 			}
 		}
 		rec.Attempts = a + 1
+		spAtt := sp.Child("attempt", "", obs.L("attempt", fmt.Sprintf("%d", a+1)))
 		env := t.Env
 		if !t.Cond.Plan.IsIdentity() {
 			// Re-seed the plan per trial so each rep sees fresh (but
@@ -350,6 +360,8 @@ func (c Config) runTrial(t Trial) (Record, int) {
 		})
 		if err != nil {
 			lastErr = err
+			spAtt.SetError(err)
+			spAtt.End()
 			continue
 		}
 		if len(out.Traces) == 0 || out.Traces[0].Len() == 0 {
@@ -359,8 +371,11 @@ func (c Config) runTrial(t Trial) (Record, int) {
 			// would report a degenerate, perfect-looking κ = 1, so the
 			// trial is degraded instead of silently scored.
 			lastErr = fmt.Errorf("campaign: %s: empty reference trace — recorder captured 0 of %d recorded packets", t.Key(), out.Recorded)
+			spAtt.SetError(lastErr)
+			spAtt.End()
 			continue
 		}
+		spAtt.End()
 		rec.Status = StatusOK
 		rec.Recorded = out.Recorded
 		for _, m := range out.Missing {
@@ -370,10 +385,12 @@ func (c Config) runTrial(t Trial) (Record, int) {
 		}
 		s := out.Summary()
 		rec.Mean = &s.Mean
+		sp.Attr("kappa", fmt.Sprintf("%.4f", s.Mean.Kappa))
 		return rec, retries
 	}
 	rec.Status = StatusFailed
 	rec.Err = lastErr.Error()
+	sp.SetError(lastErr)
 	return rec, retries
 }
 

@@ -16,8 +16,10 @@ import (
 //	-metrics FILE        Prometheus text snapshot written at exit
 //	-trace FILE          Chrome trace_event JSON written at exit
 //	-trace-sample N      trace 1 in N packets (trailer-tag hash)
-//	-pprof ADDR          live /metrics, /metrics.json, /trace and
-//	                     /debug/pprof/* while the run is in progress
+//	-spans FILE          causal span trace (Chrome trace_event JSON)
+//	                     written at exit — feed it to choirtrace
+//	-pprof ADDR          live /metrics, /metrics.json, /trace, /spans
+//	                     and /debug/pprof/* while the run is in progress
 //
 // Usage: BindFlags before flag.Parse, Obs() for the handle to pass into
 // the run (nil when no flag was given, so instrumentation stays off),
@@ -25,6 +27,7 @@ import (
 type CLI struct {
 	Metrics string
 	Trace   string
+	Spans   string
 	Pprof   string
 	Sample  int
 
@@ -38,20 +41,21 @@ func BindFlags(fs *flag.FlagSet) *CLI {
 	c := &CLI{}
 	fs.StringVar(&c.Metrics, "metrics", "", "write a Prometheus text snapshot of run telemetry to `FILE` at exit")
 	fs.StringVar(&c.Trace, "trace", "", "write Chrome trace_event JSON of sampled packet lifecycles to `FILE` at exit (open in Perfetto)")
-	fs.StringVar(&c.Pprof, "pprof", "", "serve /metrics, /trace and /debug/pprof on `ADDR` (e.g. localhost:6060) during the run")
+	fs.StringVar(&c.Spans, "spans", "", "write the causal span trace to `FILE` at exit (open in Perfetto or analyze with choirtrace)")
+	fs.StringVar(&c.Pprof, "pprof", "", "serve /metrics, /trace, /spans and /debug/pprof on `ADDR` (e.g. localhost:6060) during the run")
 	fs.IntVar(&c.Sample, "trace-sample", DefaultTraceSample, "trace 1 in `N` packets, selected by trailer-tag hash")
 	return c
 }
 
 // Enabled reports whether any observability flag was given.
 func (c *CLI) Enabled() bool {
-	return c != nil && (c.Metrics != "" || c.Trace != "" || c.Pprof != "")
+	return c != nil && (c.Metrics != "" || c.Trace != "" || c.Spans != "" || c.Pprof != "")
 }
 
 // Obs returns the handle implied by the flags: nil when observability is
 // off (so instrumented code keeps its single-branch disabled path), a
-// registry always when on, and a tracer only when -trace or -pprof asked
-// for one.
+// registry always when on, a packet tracer when -trace or -pprof asked
+// for one, and a span tracer when -spans or -pprof did.
 func (c *CLI) Obs() *Obs {
 	if !c.Enabled() {
 		return nil
@@ -61,6 +65,16 @@ func (c *CLI) Obs() *Obs {
 		if c.Trace != "" || c.Pprof != "" {
 			c.obs.WithTracer(c.Sample)
 		}
+		if c.Spans != "" || c.Pprof != "" {
+			c.obs.WithSpans(0)
+		}
+		// The dropped-event total rides the registry so a scrape (or the
+		// end-of-run table) shows when either tracer had to shed — the
+		// signal to raise -trace-sample or the span cap.
+		tr, st := c.obs.Tracer, c.obs.Spans
+		c.obs.Reg.CounterFunc("obs_trace_dropped_total",
+			"trace events discarded after a tracer buffer cap was hit",
+			func() int64 { return tr.Dropped() + st.Dropped() })
 	}
 	return c.obs
 }
@@ -99,6 +113,11 @@ func (c *CLI) Finish() error {
 	if c.Trace != "" {
 		keep(writeFile(c.Trace, func(f *os.File) error {
 			return c.Obs().Trace().WriteJSON(f)
+		}))
+	}
+	if c.Spans != "" {
+		keep(writeFile(c.Spans, func(f *os.File) error {
+			return c.Obs().SpanTrace().WriteJSON(f)
 		}))
 	}
 	if c.srv != nil {

@@ -13,6 +13,7 @@ import (
 //	/metrics        Prometheus text exposition
 //	/metrics.json   JSON snapshot of the same registry
 //	/trace          Chrome trace_event JSON of everything traced so far
+//	/spans          Chrome trace_event JSON of the causal span trees
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // Exported so long-running daemons (cmd/choird) can mount the fleet
@@ -33,6 +34,10 @@ func Handler(o *Obs) *http.ServeMux {
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.Trace().WriteJSON(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.SpanTrace().WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -21,15 +21,17 @@
 //     engine, and can be scraped from an HTTP goroutine mid-run.
 package obs
 
-// Obs bundles the two pillars handed to instrumented subsystems. Either
-// field may be nil to enable only metrics or only tracing; a nil *Obs
-// disables both.
+// Obs bundles the pillars handed to instrumented subsystems: the
+// metrics registry, the packet-lifecycle tracer, and the causal span
+// tracer. Any field may be nil to enable a subset; a nil *Obs disables
+// everything.
 type Obs struct {
 	Reg    *Registry
 	Tracer *Tracer
+	Spans  *SpanTracer
 }
 
-// New returns a handle with a fresh registry and no tracer.
+// New returns a handle with a fresh registry and no tracers.
 func New() *Obs { return &Obs{Reg: NewRegistry()} }
 
 // WithTracer attaches a tracer sampling 1-in-sampleN packets (by trailer
@@ -39,6 +41,16 @@ func (o *Obs) WithTracer(sampleN int) *Obs {
 		return nil
 	}
 	o.Tracer = NewTracer(sampleN)
+	return o
+}
+
+// WithSpans attaches a causal span tracer retaining at most max spans
+// (max <= 0 uses DefaultSpanMax) and returns o for chaining.
+func (o *Obs) WithSpans(max int) *Obs {
+	if o == nil {
+		return nil
+	}
+	o.Spans = NewSpanTracer(max)
 	return o
 }
 
@@ -56,4 +68,12 @@ func (o *Obs) Trace() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// SpanTrace returns the causal span tracer, nil-safely.
+func (o *Obs) SpanTrace() *SpanTracer {
+	if o == nil {
+		return nil
+	}
+	return o.Spans
 }

@@ -56,7 +56,15 @@ func (c *Counter) Value() int64 {
 
 // Gauge is a settable value (stored as float64 bits) with atomic
 // updates. All methods are nil-safe no-ops on a nil receiver.
-type Gauge struct{ bits atomic.Uint64 }
+//
+// A gauge may also carry an *exemplar*: the ID of the causal span that
+// produced its current value (see SpanTracer), linking a metric sample
+// back to the trace explaining it — e.g. choird's per-tenant κ gauges
+// point at the session span tree that scored them.
+type Gauge struct {
+	bits atomic.Uint64
+	ex   atomic.Uint64 // exemplar span ID; 0 = none
+}
 
 // Set stores v.
 func (g *Gauge) Set(v float64) {
@@ -88,6 +96,25 @@ func (g *Gauge) Max(v float64) {
 
 // MaxInt is Max for integer samples.
 func (g *Gauge) MaxInt(v int64) { g.Max(float64(v)) }
+
+// SetExemplar stores v together with the span that produced it. The two
+// stores are separate atomics — an exemplar is a debugging pointer, not
+// part of the sample, so a torn (value, exemplar) pair is acceptable.
+func (g *Gauge) SetExemplar(v float64, span SpanID) {
+	if g == nil {
+		return
+	}
+	g.Set(v)
+	g.ex.Store(uint64(span))
+}
+
+// ExemplarSpan returns the span linked to the current value (0 = none).
+func (g *Gauge) ExemplarSpan() SpanID {
+	if g == nil {
+		return 0
+	}
+	return SpanID(g.ex.Load())
+}
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 {
@@ -142,6 +169,7 @@ type series struct {
 	gauge  *Gauge
 	hist   *Histogram
 	fn     func() float64
+	cfn    func() int64 // callback counter (CounterFunc)
 }
 
 // family groups all series sharing one metric name.
@@ -230,6 +258,24 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	s := &series{labels: append([]Label(nil), labels...), gauge: &Gauge{}}
 	f.ser = append(f.ser, s)
 	return s.gauge
+}
+
+// CounterFunc registers a callback counter evaluated at exposition
+// time — for monotone totals a subsystem already tracks (e.g. a
+// tracer's dropped-event count). The callback must be monotone and safe
+// to invoke from the scraping goroutine.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, kindCounter)
+	if s := f.find(labels); s != nil {
+		s.cfn = fn
+		return
+	}
+	f.ser = append(f.ser, &series{labels: append([]Label(nil), labels...), cfn: fn})
 }
 
 // GaugeFunc registers a callback gauge evaluated at exposition time —
@@ -364,6 +410,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), formatFloat(s.fn())); err != nil {
 					return err
 				}
+			case s.cfn != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), s.cfn()); err != nil {
+					return err
+				}
 			case s.gauge != nil:
 				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), formatFloat(s.gauge.Value())); err != nil {
 					return err
@@ -385,6 +435,9 @@ type SeriesSnapshot struct {
 	Count   *int64            `json:"count,omitempty"`
 	Sum     *int64            `json:"sum,omitempty"`
 	Buckets map[string]int64  `json:"buckets,omitempty"`
+	// ExemplarSpan links a gauge sample to the causal span that
+	// produced it (16 hex digits; see SpanTracer), when one was set.
+	ExemplarSpan string `json:"exemplar_span,omitempty"`
 }
 
 // FamilySnapshot is one metric family's state in a JSON snapshot.
@@ -432,9 +485,15 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			case s.fn != nil:
 				v := s.fn()
 				ss.Value = &v
+			case s.cfn != nil:
+				v := float64(s.cfn())
+				ss.Value = &v
 			case s.gauge != nil:
 				v := s.gauge.Value()
 				ss.Value = &v
+				if ex := s.gauge.ExemplarSpan(); ex != 0 {
+					ss.ExemplarSpan = ex.String()
+				}
 			default:
 				v := float64(s.ctr.Value())
 				ss.Value = &v

@@ -1,0 +1,470 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// This file is the causal span-tracing layer: where tracer.go records
+// *packet* lifecycles on the simulated clock, SpanTracer records
+// *request* lifecycles — the serving path of one tenant session
+// (admission → spool → shard → watermark → WAL → render), or one
+// campaign trial — as a tree of spans.
+//
+// Timestamps follow the replay-clock discipline ("Tracing Distributed
+// Algorithms Using Replay Clocks"): each span carries a compound stamp
+//
+//	wall time        when it happened on the analysis host (latency
+//	                 attribution: where the milliseconds went),
+//	sim time         when it happened on the replayed timeline, if the
+//	                 span touched one (set explicitly via Span.Sim), and
+//	a causal counter a per-root atomic sequence ticked at every span
+//	                 start and end, giving a total order of events
+//	                 within one session tree that survives wall-clock
+//	                 skew and is independent of export order.
+//
+// The discipline that makes the layer bit-replay-safe is inherited from
+// the rest of the package and asserted differentially by the stream and
+// serve tests: spans only *read* (wall clock, counters); they never
+// draw from sim RNG streams, post engine events, or feed anything back
+// into timing-sensitive code. Engine output with span tracing enabled
+// is byte-identical to the same run with it disabled.
+//
+// All methods are nil-safe no-ops on a nil *SpanTracer or nil *Span, so
+// disabled tracing costs one predictable branch per call site.
+
+// SpanID identifies a span within its tracer. IDs are dense and
+// allocation-ordered; 0 is never issued (it marks "no parent").
+type SpanID uint64
+
+// String renders the ID the way exports and exemplars spell it.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// DefaultSpanMax bounds one tracer's retained spans (ended + open).
+// Past it, new spans are counted as dropped rather than recorded — the
+// same contract as the packet tracer's event cap.
+const DefaultSpanMax = 1 << 16
+
+// SpanTracer records causal span trees. Create one per scope that needs
+// an isolated trace (choird makes one per tenant session); export with
+// WriteJSON. Safe for concurrent use from any number of goroutines.
+type SpanTracer struct {
+	max     int
+	epoch   int64 // wall ns at creation: export timestamps are epoch-relative
+	ids     atomic.Uint64
+	dropped atomic.Int64
+
+	mu   sync.Mutex
+	done []spanRec
+	open map[SpanID]*Span
+	tids map[string]int
+	seq  int
+}
+
+// NewSpanTracer creates a tracer retaining at most max spans
+// (max <= 0 uses DefaultSpanMax).
+func NewSpanTracer(max int) *SpanTracer {
+	if max <= 0 {
+		max = DefaultSpanMax
+	}
+	return &SpanTracer{
+		max:   max,
+		epoch: time.Now().UnixNano(),
+		open:  make(map[SpanID]*Span),
+		tids:  make(map[string]int),
+	}
+}
+
+// Span is one node of a causal trace tree. A span is owned by the code
+// path that created it, but Child, Attr and End are safe to call from
+// any goroutine (the stream engine fans children out across workers).
+type Span struct {
+	st     *SpanTracer
+	root   *Span // self for roots
+	causal atomic.Uint64
+
+	id     SpanID
+	parent SpanID
+	name   string
+	track  string
+
+	mu        sync.Mutex
+	startWall int64
+	startSeq  uint64
+	simNs     int64
+	simSet    bool
+	attrs     []Label
+	errText   string
+	ended     bool
+	endWall   int64
+	endSeq    uint64
+}
+
+// spanRec is an ended span flattened for retention and export.
+type spanRec struct {
+	id, parent, root   SpanID
+	name, track        string
+	startWall, endWall int64
+	startSeq, endSeq   uint64
+	simNs              int64
+	simSet             bool
+	attrs              []Label
+	errText            string
+	open               bool
+}
+
+// Dropped returns spans discarded after the retention cap was hit.
+func (st *SpanTracer) Dropped() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.dropped.Load()
+}
+
+// Len returns the number of ended spans retained.
+func (st *SpanTracer) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.done)
+}
+
+// OpenCount returns spans begun but not yet ended.
+func (st *SpanTracer) OpenCount() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.open)
+}
+
+// newSpan allocates and registers a span, or counts a drop and returns
+// nil when the tracer is full (nil spans no-op all the way down, so a
+// saturated tracer quietly stops recording instead of growing).
+func (st *SpanTracer) newSpan(root *Span, parent SpanID, name, track string, attrs []Label) *Span {
+	st.mu.Lock()
+	if len(st.done)+len(st.open) >= st.max {
+		st.mu.Unlock()
+		st.dropped.Add(1)
+		return nil
+	}
+	st.mu.Unlock()
+
+	s := &Span{
+		st:        st,
+		parent:    parent,
+		name:      name,
+		track:     track,
+		id:        SpanID(st.ids.Add(1)),
+		startWall: time.Now().UnixNano(),
+	}
+	if root == nil {
+		s.root = s
+	} else {
+		s.root = root
+	}
+	s.startSeq = s.root.causal.Add(1)
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	st.mu.Lock()
+	st.open[s.id] = s
+	st.mu.Unlock()
+	return s
+}
+
+// Root opens a new root span: the top of one causal tree (one session,
+// one trial). track names the export row (Perfetto thread).
+func (st *SpanTracer) Root(name, track string, attrs ...Label) *Span {
+	if st == nil {
+		return nil
+	}
+	return st.newSpan(nil, 0, name, track, attrs)
+}
+
+// Child opens a sub-span. track == "" inherits the parent's track.
+func (s *Span) Child(name, track string, attrs ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	if track == "" {
+		track = s.track
+	}
+	return s.st.newSpan(s.root, s.id, name, track, attrs)
+}
+
+// ID returns the span's ID (0 on nil — the "no span" value).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// RootID returns the ID of the span's root.
+func (s *Span) RootID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.root.id
+}
+
+// Attr attaches a key/value pair. Later values for the same key win at
+// export; attrs are kept small (they ride in every export record).
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// AttrInt attaches an integer attribute.
+func (s *Span) AttrInt(key string, v int64) { s.Attr(key, fmt.Sprintf("%d", v)) }
+
+// SetError marks the span failed. A nil err is ignored.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errText = err.Error()
+	s.mu.Unlock()
+}
+
+// Sim stamps the span with a position on the replayed timeline (e.g.
+// the watermark that closed, the window being scored). The wall clock
+// says where host time went; this says where *simulated* time was.
+func (s *Span) Sim(at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.simNs = int64(at)
+	s.simSet = true
+	s.mu.Unlock()
+}
+
+// End closes the span: the end stamp (wall + causal) is taken, and the
+// record moves from the tracer's open set to its retained buffer.
+// Idempotent; a span that is never ended exports as open (how the
+// choirtrace analyzer spots stalls).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.endWall = time.Now().UnixNano()
+	s.endSeq = s.root.causal.Add(1)
+	rec := s.record(false)
+	s.mu.Unlock()
+
+	s.st.mu.Lock()
+	delete(s.st.open, s.id)
+	s.st.done = append(s.st.done, rec)
+	s.st.mu.Unlock()
+}
+
+// record flattens the span; the caller holds s.mu.
+func (s *Span) record(open bool) spanRec {
+	return spanRec{
+		id: s.id, parent: s.parent, root: s.root.id,
+		name: s.name, track: s.track,
+		startWall: s.startWall, endWall: s.endWall,
+		startSeq: s.startSeq, endSeq: s.endSeq,
+		simNs: s.simNs, simSet: s.simSet,
+		attrs:   append([]Label(nil), s.attrs...),
+		errText: s.errText,
+		open:    open,
+	}
+}
+
+// snapshot copies ended spans plus the current state of open ones.
+// Open-span end stamps are synthesized at "now" so their exported
+// duration means "age so far". A span that ends mid-snapshot appears
+// exactly once (deduplicated by ID).
+func (st *SpanTracer) snapshot() []spanRec {
+	now := time.Now().UnixNano()
+
+	st.mu.Lock()
+	openList := make([]*Span, 0, len(st.open))
+	for _, s := range st.open {
+		openList = append(openList, s)
+	}
+	recs := make([]spanRec, len(st.done))
+	copy(recs, st.done)
+	st.mu.Unlock()
+
+	seen := make(map[SpanID]bool, len(recs))
+	for i := range recs {
+		seen[recs[i].id] = true
+	}
+	for _, s := range openList {
+		s.mu.Lock()
+		var rec spanRec
+		if s.ended {
+			rec = s.record(false) // ended between the two copies above
+		} else {
+			rec = s.record(true)
+			rec.endWall = now
+			rec.endSeq = s.root.causal.Load()
+		}
+		s.mu.Unlock()
+		if !seen[rec.id] {
+			seen[rec.id] = true
+			recs = append(recs, rec)
+		}
+	}
+	// Allocation order == causal-compatible stable order for export.
+	slices.SortFunc(recs, func(a, b spanRec) int {
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
+	return recs
+}
+
+// tidFor maps a track name to a stable Perfetto thread ID; caller holds
+// st.mu.
+func (st *SpanTracer) tidFor(track string) int {
+	id, ok := st.tids[track]
+	if !ok {
+		st.seq++
+		id = st.seq
+		st.tids[track] = id
+	}
+	return id
+}
+
+// spanProcessPid separates span tracks from the packet tracer's (pid 1)
+// when both land in one Perfetto view.
+const spanProcessPid = 2
+
+// WriteJSON exports the trace as Chrome trace_event JSON — the same
+// dialect tracer.go emits, so a dump opens directly in Perfetto. Every
+// span is a complete ('X') event with epoch-relative wall-µs ts/dur and
+// args carrying the causal identity:
+//
+//	span, parent, root   16-hex-digit span IDs ("0...0" parent = root)
+//	seq0, seq1           the per-root causal counter at start and end
+//	sim_ns               the replay-clock position, when stamped
+//	error                the error text, when failed
+//	open                 "true" for spans still open at export
+//
+// plus every user attribute. cmd/choirtrace consumes exactly this
+// schema.
+func (st *SpanTracer) WriteJSON(w io.Writer) error {
+	if st == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ns"}`)
+		return err
+	}
+	recs := st.snapshot()
+
+	var raw []json.RawMessage
+	appendEv := func(v interface{}) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		raw = append(raw, b)
+		return nil
+	}
+
+	// Resolve track IDs for every record up front (stable first-use
+	// numbering), then emit name metadata in tid order.
+	st.mu.Lock()
+	for _, r := range recs {
+		st.tidFor(r.track)
+	}
+	tids := make(map[string]int, len(st.tids))
+	for k, v := range st.tids {
+		tids[k] = v
+	}
+	st.mu.Unlock()
+
+	if err := appendEv(map[string]interface{}{
+		"name": "process_name", "ph": "M", "pid": spanProcessPid,
+		"args": map[string]string{"name": "choir-spans"},
+	}); err != nil {
+		return err
+	}
+	tracks := make([]string, 0, len(tids))
+	for name := range tids {
+		tracks = append(tracks, name)
+	}
+	slices.SortFunc(tracks, func(a, b string) int { return tids[a] - tids[b] })
+	for _, name := range tracks {
+		if err := appendEv(map[string]interface{}{
+			"name": "thread_name", "ph": "M", "pid": spanProcessPid, "tid": tids[name],
+			"args": map[string]string{"name": name},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range recs {
+		dur := float64(r.endWall-r.startWall) / 1e3
+		if dur < 0 {
+			dur = 0
+		}
+		args := map[string]string{
+			"span":   r.id.String(),
+			"parent": r.parent.String(),
+			"root":   r.root.String(),
+			"seq0":   fmt.Sprintf("%d", r.startSeq),
+			"seq1":   fmt.Sprintf("%d", r.endSeq),
+		}
+		if r.simSet {
+			args["sim_ns"] = fmt.Sprintf("%d", r.simNs)
+		}
+		if r.errText != "" {
+			args["error"] = r.errText
+		}
+		if r.open {
+			args["open"] = "true"
+		}
+		for _, a := range r.attrs {
+			args[a.Key] = a.Value
+		}
+		je := jsonEvent{
+			Name: r.name, Cat: "span", Ph: "X",
+			Ts:  float64(r.startWall-st.epoch) / 1e3,
+			Pid: spanProcessPid, Tid: tids[r.track], Args: args,
+		}
+		je.Dur = &dur
+		if err := appendEv(je); err != nil {
+			return err
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(jsonTrace{TraceEvents: raw, DisplayTimeUnit: "ns"})
+}
+
+// String summarizes the tracer for end-of-run reporting.
+func (st *SpanTracer) String() string {
+	if st == nil {
+		return "spans: disabled"
+	}
+	return fmt.Sprintf("spans: %d ended, %d open, %d dropped", st.Len(), st.OpenCount(), st.Dropped())
+}

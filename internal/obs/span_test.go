@@ -1,0 +1,432 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSpanTreeBasics: IDs, parent/root linkage, causal counters, attrs,
+// errors and sim stamps land in the records.
+func TestSpanTreeBasics(t *testing.T) {
+	st := NewSpanTracer(0)
+	root := st.Root("session", "session", L("tenant", "t1"))
+	if root.ID() == 0 || root.RootID() != root.ID() {
+		t.Fatalf("root identity: id=%v rootID=%v", root.ID(), root.RootID())
+	}
+	child := root.Child("admission", "admission")
+	if child.RootID() != root.ID() {
+		t.Fatalf("child rootID = %v, want %v", child.RootID(), root.ID())
+	}
+	grand := child.Child("inner", "") // inherits track
+	if grand.track != "admission" {
+		t.Fatalf("track inheritance: got %q", grand.track)
+	}
+	child.AttrInt("bytes", 42)
+	child.SetError(fmt.Errorf("refused"))
+	grand.Sim(sim.Time(7_000))
+	grand.End()
+	child.End()
+	root.End()
+
+	if st.Len() != 3 || st.OpenCount() != 0 || st.Dropped() != 0 {
+		t.Fatalf("retention: len=%d open=%d dropped=%d", st.Len(), st.OpenCount(), st.Dropped())
+	}
+	// Causal counters: every start and end ticked the per-root sequence,
+	// so the six events have distinct, ordered stamps.
+	recs := st.snapshot()
+	byName := map[string]spanRec{}
+	for _, r := range recs {
+		byName[r.name] = r
+	}
+	if byName["session"].startSeq >= byName["admission"].startSeq ||
+		byName["admission"].startSeq >= byName["inner"].startSeq ||
+		byName["inner"].endSeq >= byName["admission"].endSeq ||
+		byName["admission"].endSeq >= byName["session"].endSeq {
+		t.Fatalf("causal order violated: %+v", byName)
+	}
+	if !byName["inner"].simSet || byName["inner"].simNs != 7_000 {
+		t.Fatalf("sim stamp: %+v", byName["inner"])
+	}
+	if byName["admission"].errText != "refused" {
+		t.Fatalf("error text: %+v", byName["admission"])
+	}
+}
+
+// TestSpanEndIdempotent: double End records the span once.
+func TestSpanEndIdempotent(t *testing.T) {
+	st := NewSpanTracer(0)
+	s := st.Root("r", "t")
+	s.End()
+	s.End()
+	if st.Len() != 1 {
+		t.Fatalf("len = %d after double End", st.Len())
+	}
+}
+
+// TestSpanCapAndDropped: past the retention cap new spans are counted
+// dropped and return nil (which no-ops all the way down).
+func TestSpanCapAndDropped(t *testing.T) {
+	st := NewSpanTracer(2)
+	a := st.Root("a", "t")
+	b := a.Child("b", "")
+	c := a.Child("c", "") // over cap
+	if c != nil {
+		t.Fatalf("span over cap = %v, want nil", c)
+	}
+	c.Attr("k", "v") // must not panic
+	c.End()
+	if st.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped())
+	}
+	b.End()
+	a.End()
+	if st.Len() != 2 {
+		t.Fatalf("len = %d, want 2", st.Len())
+	}
+}
+
+// TestSpanNilSafety: every method on nil tracers and spans is a no-op.
+func TestSpanNilSafety(t *testing.T) {
+	var st *SpanTracer
+	if st.Dropped() != 0 || st.Len() != 0 || st.OpenCount() != 0 {
+		t.Fatal("nil tracer counters")
+	}
+	s := st.Root("r", "t")
+	if s != nil {
+		t.Fatalf("nil tracer Root = %v", s)
+	}
+	s.Attr("k", "v")
+	s.AttrInt("n", 1)
+	s.SetError(fmt.Errorf("x"))
+	s.Sim(1)
+	s.End()
+	if s.Child("c", "") != nil || s.ID() != 0 || s.RootID() != 0 {
+		t.Fatal("nil span derived values")
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("nil tracer export is not JSON: %v", err)
+	}
+	var o *Obs
+	if o.SpanTrace() != nil {
+		t.Fatal("nil Obs SpanTrace")
+	}
+}
+
+// TestSpanJSONSchema validates the export schema choirtrace consumes:
+// process/thread metadata, complete events with span/parent/root 16-hex
+// IDs, seq0/seq1 counters, sim_ns, error and open markers, user attrs.
+func TestSpanJSONSchema(t *testing.T) {
+	st := NewSpanTracer(0)
+	root := st.Root("session", "session", L("tenant", "t9"))
+	child := root.Child("compare", "compare")
+	child.Sim(sim.Time(123456))
+	child.SetError(fmt.Errorf("boom"))
+	child.End()
+	stuck := root.Child("wal", "wal")
+	_ = stuck // never ended: must export open
+	root.End()
+
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Ts   *float64          `json:"ts"`
+			Dur  *float64          `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+
+	spans := map[string]map[string]string{}
+	sawProcess := false
+	tracks := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" && ev.Args["name"] == "choir-spans" {
+				sawProcess = true
+			}
+			if ev.Name == "thread_name" {
+				tracks[ev.Args["name"]] = true
+			}
+			continue
+		case "X":
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Cat != "span" || ev.Pid != spanProcessPid || ev.Ts == nil || ev.Dur == nil || *ev.Dur < 0 {
+			t.Fatalf("bad span event: %+v", ev)
+		}
+		for _, key := range []string{"span", "parent", "root"} {
+			v := ev.Args[key]
+			if len(v) != 16 {
+				t.Fatalf("%s = %q, want 16 hex digits", key, v)
+			}
+			if _, err := strconv.ParseUint(v, 16, 64); err != nil {
+				t.Fatalf("%s = %q not hex: %v", key, v, err)
+			}
+		}
+		for _, key := range []string{"seq0", "seq1"} {
+			if _, err := strconv.ParseUint(ev.Args[key], 10, 64); err != nil {
+				t.Fatalf("%s = %q: %v", key, ev.Args[key], err)
+			}
+		}
+		spans[ev.Name] = ev.Args
+	}
+	if !sawProcess {
+		t.Fatal("no process_name metadata")
+	}
+	for _, track := range []string{"session", "compare", "wal"} {
+		if !tracks[track] {
+			t.Fatalf("missing thread_name for track %q (have %v)", track, tracks)
+		}
+	}
+	if spans["session"]["tenant"] != "t9" {
+		t.Fatalf("root attrs: %v", spans["session"])
+	}
+	if spans["compare"]["sim_ns"] != "123456" || spans["compare"]["error"] != "boom" {
+		t.Fatalf("compare args: %v", spans["compare"])
+	}
+	if spans["wal"]["open"] != "true" {
+		t.Fatalf("unended span not marked open: %v", spans["wal"])
+	}
+	if spans["compare"]["parent"] != spans["session"]["span"] ||
+		spans["compare"]["root"] != spans["session"]["span"] {
+		t.Fatalf("linkage: compare=%v session=%v", spans["compare"], spans["session"])
+	}
+}
+
+// TestSpanConcurrentEmission hammers one tracer from many goroutines —
+// multi-session span emission under the race detector (the serve path's
+// concurrency shape: roots created concurrently, children fanned out,
+// snapshots taken mid-flight).
+func TestSpanConcurrentEmission(t *testing.T) {
+	st := NewSpanTracer(0)
+	const sessions, stages = 16, 24
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			root := st.Root("session", "session", L("n", fmt.Sprintf("%d", i)))
+			var inner sync.WaitGroup
+			for j := 0; j < stages; j++ {
+				inner.Add(1)
+				go func(j int) {
+					defer inner.Done()
+					c := root.Child("stage", "stage")
+					c.AttrInt("j", int64(j))
+					c.End()
+				}(j)
+			}
+			inner.Wait()
+			root.End()
+		}(i)
+	}
+	// Concurrent export while trees are still being built.
+	var exportWG sync.WaitGroup
+	for k := 0; k < 4; k++ {
+		exportWG.Add(1)
+		go func() {
+			defer exportWG.Done()
+			var buf bytes.Buffer
+			if err := st.WriteJSON(&buf); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	exportWG.Wait()
+
+	want := sessions * (stages + 1)
+	if st.Len() != want || st.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want len=%d dropped=0", st.Len(), st.Dropped(), want)
+	}
+	// Per-root causal counters must be dense: stages+1 spans, 2 ticks
+	// each.
+	ends := map[SpanID]uint64{}
+	for _, r := range st.snapshot() {
+		if r.endSeq > ends[r.root] {
+			ends[r.root] = r.endSeq
+		}
+	}
+	for root, max := range ends {
+		if max != uint64(2*(stages+1)) {
+			t.Fatalf("root %v: max seq %d, want %d", root, max, 2*(stages+1))
+		}
+	}
+}
+
+// TestGaugeExemplar: SetExemplar stores the span link, surfaces it in
+// the JSON snapshot, and keeps the Prometheus text exposition clean
+// (standard parsers must keep working — satellite of the le-bucket
+// contract).
+func TestGaugeExemplar(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("run_kappa", "running kappa")
+	g.SetExemplar(0.875, SpanID(0xabc))
+	if v := g.Value(); v != 0.875 {
+		t.Fatalf("value = %v", v)
+	}
+	if ex := g.ExemplarSpan(); ex != SpanID(0xabc) {
+		t.Fatalf("exemplar = %v", ex)
+	}
+
+	found := false
+	for _, fam := range reg.Snapshot() {
+		if fam.Name != "run_kappa" {
+			continue
+		}
+		for _, s := range fam.Series {
+			if s.ExemplarSpan == SpanID(0xabc).String() {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("exemplar_span missing from snapshot")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "exemplar") || strings.Contains(buf.String(), "abc") {
+		t.Fatalf("exemplar leaked into text exposition:\n%s", buf.String())
+	}
+	// Plain Set clears nothing but updates the value; the exemplar stays
+	// addressable.
+	var nilG *Gauge
+	nilG.SetExemplar(1, 2) // nil-safe
+	if nilG.ExemplarSpan() != 0 {
+		t.Fatal("nil gauge exemplar")
+	}
+}
+
+// TestCounterFunc: callback counters evaluate at exposition time in
+// both text and JSON form.
+func TestCounterFunc(t *testing.T) {
+	reg := NewRegistry()
+	n := int64(3)
+	reg.CounterFunc("obs_trace_dropped_total", "drops", func() int64 { return n })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obs_trace_dropped_total 3") {
+		t.Fatalf("text exposition:\n%s", buf.String())
+	}
+	n = 9
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obs_trace_dropped_total 9") {
+		t.Fatalf("callback not re-evaluated:\n%s", buf.String())
+	}
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == "obs_trace_dropped_total" {
+			if fam.Series[0].Value == nil || *fam.Series[0].Value != 9 {
+				t.Fatalf("snapshot series: %+v", fam.Series[0])
+			}
+			return
+		}
+	}
+	t.Fatal("family missing from snapshot")
+}
+
+// TestPrometheusHistogramCumulativeLE pins the exposition contract that
+// makes histogram_quantile work against /metrics: _bucket series carry
+// cumulative counts keyed by non-decreasing le upper bounds ending in
+// +Inf, with _sum and _count to close the family.
+func TestPrometheusHistogramCumulativeLE(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_ns", "latency", 6)
+	for _, v := range []int64{0, 5, 99, 1_000, 54_321, 999_999, -42} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var les []float64
+	var counts []int64
+	var sum, count int64
+	sawSum, sawCount := false, false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_ns_bucket{"):
+			i := strings.Index(line, `le="`)
+			j := strings.Index(line[i+4:], `"`)
+			leRaw := line[i+4 : i+4+j]
+			var le float64
+			if leRaw == "+Inf" {
+				le = math.Inf(1)
+			} else {
+				var err error
+				le, err = strconv.ParseFloat(leRaw, 64)
+				if err != nil {
+					t.Fatalf("le %q: %v", leRaw, err)
+				}
+			}
+			fields := strings.Fields(line)
+			c, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket count in %q: %v", line, err)
+			}
+			les = append(les, le)
+			counts = append(counts, c)
+		case strings.HasPrefix(line, "lat_ns_sum"):
+			fmt.Sscanf(line, "lat_ns_sum %d", &sum)
+			sawSum = true
+		case strings.HasPrefix(line, "lat_ns_count"):
+			fmt.Sscanf(line, "lat_ns_count %d", &count)
+			sawCount = true
+		}
+	}
+	if len(les) == 0 || !sawSum || !sawCount {
+		t.Fatalf("missing series:\n%s", buf.String())
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Fatalf("last le = %v, want +Inf", les[len(les)-1])
+	}
+	for i := 1; i < len(les); i++ {
+		if les[i] <= les[i-1] {
+			t.Fatalf("le bounds not increasing at %d: %v <= %v", i, les[i], les[i-1])
+		}
+		if counts[i] < counts[i-1] {
+			t.Fatalf("bucket counts not cumulative at %d: %d < %d", i, counts[i], counts[i-1])
+		}
+	}
+	if counts[len(counts)-1] != 7 || count != 7 {
+		t.Fatalf("+Inf bucket %d / count %d, want 7", counts[len(counts)-1], count)
+	}
+}

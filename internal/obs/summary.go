@@ -43,7 +43,13 @@ func SummaryTable(r *Registry) *report.Table {
 				if *s.Value == 0 {
 					continue
 				}
-				t.AddRow(fam.Name, labels, formatFloat(*s.Value))
+				val := formatFloat(*s.Value)
+				if fam.Name == "obs_trace_dropped_total" {
+					// A nonzero drop count means the trace is incomplete —
+					// surface it loudly, not as just another number.
+					val += "  WARNING: trace events dropped (raise -trace-sample or the span cap)"
+				}
+				t.AddRow(fam.Name, labels, val)
 			}
 		}
 	}

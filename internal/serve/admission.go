@@ -75,6 +75,14 @@ func (a *admission) tenant(name string) *tenantState {
 	return ts
 }
 
+// usage reports reserved and total global budget bytes (the /readyz
+// signal).
+func (a *admission) usage() (used, global int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, a.global
+}
+
 // sessionCount is the number of admitted, unreleased sessions.
 func (a *admission) sessionCount() int {
 	a.mu.Lock()

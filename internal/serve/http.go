@@ -81,10 +81,13 @@ func (s *Server) routes() *http.ServeMux {
 		mux.Handle(p, oh)
 	}
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleSessionTrace)
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", s.handleSessionMetrics)
 	mux.HandleFunc("POST /v1/sessions/{id}/tap/{side}", s.handleTap)
 	mux.HandleFunc("POST /v1/admin/pause", func(w http.ResponseWriter, r *http.Request) {
 		s.Pause()
@@ -109,6 +112,72 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"uptime_s": int64(time.Since(s.start).Seconds()),
 		"sessions": s.adm.sessionCount(),
 	})
+}
+
+// handleReady is the load-balancer gate: 200 while the daemon is
+// accepting work, 503 once it is draining or the global admission
+// budget is fully reserved (new sessions would only be shed anyway).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	draining := s.isDraining()
+	used, global := s.adm.usage()
+	body := map[string]any{
+		"ready":             !draining && used < global,
+		"draining":          draining,
+		"budget_used_bytes": used,
+		"budget_bytes":      global,
+	}
+	code := http.StatusOK
+	switch {
+	case draining:
+		body["reason"] = "draining"
+		code = http.StatusServiceUnavailable
+	case used >= global:
+		body["reason"] = "admission budget exhausted"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// handleSessionTrace serves one session's causal span tree as Chrome
+// trace_event JSON (drop the body onto ui.perfetto.dev to see the
+// admission → spool → compare → wal → render critical path;
+// cmd/choirtrace reconstructs it offline from the same bytes).
+func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	st := sess.obs.SpanTrace()
+	if st == nil {
+		writeErr(w, http.StatusNotFound, "span tracing disabled (start choird with -spans)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = st.WriteJSON(w)
+}
+
+// handleSessionMetrics scrapes one session's private registry — the
+// stream_* engine gauges that would trample each other on the fleet
+// registry. ?format=json returns the snapshot (with exemplar span IDs).
+func (s *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) {
+	sess := s.reg.get(r.PathValue("id"))
+	if sess == nil {
+		writeErr(w, http.StatusNotFound, "no such session")
+		return
+	}
+	reg := sess.obs.Registry()
+	if reg == nil {
+		writeErr(w, http.StatusNotFound, "session has no registry")
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = reg.WritePrometheus(w)
 }
 
 // isDraining reports whether new sessions should be refused.
@@ -200,12 +269,25 @@ func (s *Server) createUpload(w http.ResponseWriter, r *http.Request, tenant str
 		writeErr(w, http.StatusLengthRequired, "upload requires Content-Length")
 		return
 	}
+	// The observability bundle exists before the admission decision so
+	// the decision itself is the tree's first traced child. A refused
+	// request's trace has no session to live on and is discarded with it.
+	sessObs, root := s.sessionBundle(tenant)
+	spAdm := root.Child("admission", "admission")
+	spAdm.AttrInt("bytes", r.ContentLength)
 	release, retry, err := s.adm.admit(tenant, r.ContentLength)
 	if err != nil {
+		spAdm.SetError(err)
+		spAdm.End()
+		root.SetError(err)
+		root.End()
 		shed(w, retry, err)
 		return
 	}
+	spAdm.End()
 	sess := s.newSession(tenant, window, false, r.ContentLength, release)
+	sess.obs, sess.span = sessObs, root
+	root.Attr("session", sess.ID)
 
 	cleanup := func() {
 		os.Remove(sess.SpoolA)
@@ -240,7 +322,11 @@ func (s *Server) createUpload(w http.ResponseWriter, r *http.Request, tenant str
 		default:
 			continue
 		}
+		spSpool := root.Child("spool", "spool", obs.L("part", part.FormName()))
 		n, err := spoolPart(dst, part, s.cfg.MaxUpload)
+		spSpool.AttrInt("bytes", n)
+		spSpool.SetError(err)
+		spSpool.End()
 		if err != nil {
 			cleanup()
 			if errors.Is(err, errSpoolTooLarge) {
@@ -250,7 +336,6 @@ func (s *Server) createUpload(w http.ResponseWriter, r *http.Request, tenant str
 			}
 			return
 		}
-		_ = n
 		got[part.FormName()] = true
 	}
 	if !got["a"] || !got["b"] {
@@ -280,12 +365,22 @@ func (s *Server) createLive(w http.ResponseWriter, r *http.Request, tenant strin
 		}
 		bytes = v
 	}
+	sessObs, root := s.sessionBundle(tenant)
+	spAdm := root.Child("admission", "admission")
+	spAdm.AttrInt("bytes", bytes)
 	release, retry, err := s.adm.admit(tenant, bytes)
 	if err != nil {
+		spAdm.SetError(err)
+		spAdm.End()
+		root.SetError(err)
+		root.End()
 		shed(w, retry, err)
 		return
 	}
+	spAdm.End()
 	sess := s.newSession(tenant, window, true, bytes, release)
+	sess.obs, sess.span = sessObs, root
+	root.Attr("session", sess.ID)
 	nameOr := func(key, def string) string {
 		if v := r.URL.Query().Get(key); v != "" {
 			return v
@@ -320,7 +415,11 @@ func (s *Server) createLive(w http.ResponseWriter, r *http.Request, tenant strin
 // uploads) dispatches it. Live sessions dispatch when their second tap
 // connects.
 func (s *Server) queue(w http.ResponseWriter, sess *Session, cleanup func()) {
-	if err := s.jrn.appendStart(sess); err != nil {
+	spWAL := sess.span.Child("wal", "wal")
+	err := s.jrn.appendStart(sess)
+	spWAL.SetError(err)
+	spWAL.End()
+	if err != nil {
 		cleanup()
 		writeErr(w, http.StatusInternalServerError, "journal: %v", err)
 		return
@@ -394,6 +493,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, map[string]string{"state": string(st)})
 		return
 	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "json"
+	}
+	spRender := sess.span.Child("render", "render", obs.L("format", format))
+	defer spRender.End()
 	switch r.URL.Query().Get("format") {
 	case "", "json":
 		writeJSON(w, http.StatusOK, res)
@@ -417,6 +522,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			consistency.Options{Hist: r.URL.Query().Get("hist") == "1", WithinNs: within})
 		if err != nil {
 			// Headers are gone; all we can do is log and cut the body.
+			spRender.SetError(err)
 			s.logf("session %s: consistency render: %v", sess.ID, err)
 		}
 	default:
@@ -465,12 +571,16 @@ func (s *Server) handleTap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "spool: %v", err)
 		return
 	}
+	spSpool := sess.span.Child("spool", "spool", obs.L("side", side))
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUpload)
 	n, copyErr := io.Copy(io.MultiWriter(f, pw), body)
 	if syncErr := f.Sync(); copyErr == nil {
 		copyErr = syncErr
 	}
 	f.Close()
+	spSpool.AttrInt("bytes", n)
+	spSpool.SetError(copyErr)
+	spSpool.End()
 	if copyErr != nil {
 		pw.CloseWithError(copyErr)
 		writeErr(w, http.StatusBadRequest, "tap %s: %v after %d bytes", side, copyErr, n)

@@ -91,6 +91,17 @@ type Config struct {
 	// created: the daemon always has a fleet surface.
 	Obs *obs.Obs
 
+	// Spans enables per-session causal span tracing: each session gets
+	// a private obs.SpanTracer whose tree (admission → spool → compare →
+	// shard/watermark → WAL → render) is served as Perfetto JSON at
+	// GET /v1/sessions/{id}/trace. Tracing is purely observational:
+	// served results are byte-identical with it on or off (asserted by
+	// TestServeSpanDifferential and the verify.sh spans gate).
+	Spans bool
+	// SpanMax caps retained spans per session (default
+	// obs.DefaultSpanMax).
+	SpanMax int
+
 	// Stall, when non-nil, is threaded into every session's stream
 	// engine (fault.Plan.StallHook) — the load-shedding and
 	// backpressure tests drive the service through stall storms with
@@ -157,12 +168,13 @@ type Server struct {
 
 	mux *http.ServeMux
 
-	lagPeak  map[string]*obs.Gauge // per-tenant watermark-lag fold-up
-	cDone    *obs.Counter
-	cFailed  *obs.Counter
-	gBudget  *obs.Gauge
-	gUsed    *obs.Gauge
-	start    time.Time
+	lagPeak   map[string]*obs.Gauge // per-tenant watermark-lag fold-up
+	lastKappa map[string]*obs.Gauge // per-tenant κ, exemplar = session root span
+	cDone     *obs.Counter
+	cFailed   *obs.Counter
+	gBudget   *obs.Gauge
+	gUsed     *obs.Gauge
+	start     time.Time
 }
 
 // New builds a server over cfg.Dir, creating the directory layout and
@@ -181,11 +193,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg := cfg.Obs.Registry()
 	s := &Server{
-		cfg:     cfg,
-		reg:     newRegistry(),
-		pool:    parallel.New(cfg.Workers).WithObs(reg),
-		lagPeak: make(map[string]*obs.Gauge),
-		start:   time.Now(),
+		cfg:       cfg,
+		reg:       newRegistry(),
+		pool:      parallel.New(cfg.Workers).WithObs(reg),
+		lagPeak:   make(map[string]*obs.Gauge),
+		lastKappa: make(map[string]*obs.Gauge),
+		start:     time.Now(),
 	}
 	s.adm = newAdmission(cfg.GlobalBudget, cfg.TenantBudget, cfg.MaxSessions, reg)
 	s.run = s.pool.Runner(cfg.MaxSessions)
@@ -199,6 +212,16 @@ func New(cfg Config) (*Server, error) {
 		reg.GaugeFunc("choird_sessions", "sessions by lifecycle state",
 			func() float64 { return float64(s.reg.countState(st)) }, obs.L("state", string(st)))
 	}
+	// Fleet-level drop accounting: the sum of every session tracer's
+	// dropped-span count, evaluated at scrape time (satisfies the same
+	// contract as the CLI's obs_trace_dropped_total).
+	reg.CounterFunc("obs_trace_dropped_total", "span-trace events dropped across all sessions", func() int64 {
+		var n int64
+		for _, sess := range s.reg.list("") {
+			n += sess.obs.SpanTrace().Dropped()
+		}
+		return n
+	})
 
 	jrn, resumed, err := openJournals(filepath.Join(cfg.Dir, "journal"), s)
 	if err != nil {
@@ -275,6 +298,21 @@ func (s *Server) submit(sess *Session) {
 	}
 }
 
+// sessionBundle creates one session's private observability: a fresh
+// registry (hundreds of concurrent stream engines on the service
+// registry would trample each other's gauges) plus, when tracing is
+// enabled, a span tracer and the root "session" span the whole serving
+// path hangs under. Called before the session becomes visible in the
+// registry, so the fields are immutable afterwards.
+func (s *Server) sessionBundle(tenant string) (*obs.Obs, *obs.Span) {
+	o := obs.New()
+	if !s.cfg.Spans {
+		return o, nil
+	}
+	o.WithSpans(s.cfg.SpanMax)
+	return o, o.SpanTrace().Root("session", "session", obs.L("tenant", tenant))
+}
+
 // requeue re-admits a journal-replayed unfinished session.
 func (s *Server) requeue(sess *Session) error {
 	release, _, err := s.adm.admit(sess.Tenant, sess.Bytes)
@@ -284,6 +322,11 @@ func (s *Server) requeue(sess *Session) error {
 		return fmt.Errorf("serve: resumed session %s no longer fits its budget: %w", sess.ID, err)
 	}
 	sess.release = release
+	sess.obs, sess.span = s.sessionBundle(sess.Tenant)
+	if sess.span != nil {
+		sess.span.Attr("session", sess.ID)
+		sess.span.Attr("resumed", "true")
+	}
 	s.reg.put(sess)
 	s.logf("session %s resumed from journal (state %s)", sess.ID, sess.StateNow())
 	s.dispatch(sess)
@@ -333,6 +376,22 @@ func (s *Server) tenantLagGauge(tenant string) *obs.Gauge {
 		g = s.cfg.Obs.Registry().Gauge("choird_tenant_watermark_lag_peak_windows",
 			"peak stream watermark lag across a tenant's sessions", obs.L("tenant", tenant))
 		s.lagPeak[tenant] = g
+	}
+	return g
+}
+
+// tenantKappaGauge returns (creating on first use) the per-tenant
+// last-session-κ gauge. Its exemplar is the root span of the session
+// that produced the value — a /metrics.json reader can jump from a
+// suspicious κ straight to /v1/sessions/{id}/trace.
+func (s *Server) tenantKappaGauge(tenant string) *obs.Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.lastKappa[tenant]
+	if !ok {
+		g = s.cfg.Obs.Registry().Gauge("choird_tenant_last_kappa",
+			"κ of the tenant's most recently finished session", obs.L("tenant", tenant))
+		s.lastKappa[tenant] = g
 	}
 	return g
 }

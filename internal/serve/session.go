@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"sync"
 
@@ -49,6 +51,14 @@ type Session struct {
 	// Engine shape (affects results only through the window length).
 	Window                 sim.Duration
 	Shards, Buffer, MaxLag int
+
+	// obs is the session's private observability bundle (registry +,
+	// when the server traces, a span tracer); span is the root
+	// "session" span of the causal tree. Both are set before the
+	// session becomes visible in the server registry and are immutable
+	// afterwards; span is nil when tracing is off.
+	obs  *obs.Obs
+	span *obs.Span
 
 	mu      sync.Mutex
 	state   State
@@ -200,26 +210,56 @@ func deriveSeed(base int64, tenant string, seq uint64) uint64 {
 
 // execute runs one session's comparison on the scheduler. The run is a
 // pure function of the spooled capture bytes and the engine shape, so a
-// journal-resumed re-run reproduces it bit for bit.
+// journal-resumed re-run reproduces it bit for bit. The goroutine is
+// pprof-labelled with the tenant and session ID, so a CPU profile from
+// /debug/pprof/profile attributes samples per session.
 func (s *Server) execute(sess *Session) {
+	pprof.Do(context.Background(), pprof.Labels("tenant", sess.Tenant, "session", sess.ID),
+		func(context.Context) { s.executeLabelled(sess) })
+}
+
+// journalDone appends the terminal record under a "wal" span.
+func (s *Server) journalDone(sess *Session, res *Result, errText string) {
+	sp := sess.span.Child("wal", "wal")
+	err := s.jrn.appendDone(sess, res, errText)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
+		s.logf("session %s: journal: %v", sess.ID, err)
+	}
+}
+
+func (s *Server) executeLabelled(sess *Session) {
 	sess.setState(StateRunning)
 	s.logf("session %s running (tenant %s, window %v)", sess.ID, sess.Tenant, sess.Window)
 
+	// Terminal bookkeeping — journal record, span-tree close, gauge
+	// exemplar — lands before finish() flips the state: a client that
+	// sees the 200 must also see the journaled record, the ended root
+	// span and the linked κ gauge.
 	res, runErr := s.compare(sess)
 	if runErr != nil {
-		sess.finish(StateFailed, nil, runErr.Error())
 		s.cFailed.Inc()
-		if err := s.jrn.appendDone(sess, nil, runErr.Error()); err != nil {
-			s.logf("session %s: journal: %v", sess.ID, err)
-		}
+		s.journalDone(sess, nil, runErr.Error())
+		sess.span.SetError(runErr)
+		sess.span.End()
+		sess.finish(StateFailed, nil, runErr.Error())
 		s.logf("session %s failed: %v", sess.ID, runErr)
 		return
 	}
-	sess.finish(StateDone, res, "")
 	s.cDone.Inc()
-	if err := s.jrn.appendDone(sess, res, ""); err != nil {
-		s.logf("session %s: journal: %v", sess.ID, err)
+	s.journalDone(sess, res, "")
+	// Close the session's causal tree and link the tenant's κ gauge to
+	// it: the gauge exemplar is the root span ID.
+	if sess.span != nil {
+		sess.span.Attr("kappa", fmt.Sprintf("%.4f", res.Aggregate.Kappa))
+		sess.span.AttrInt("windows", int64(res.Aggregate.Windows))
+		sess.span.End()
+		s.tenantKappaGauge(sess.Tenant).SetExemplar(res.Aggregate.Kappa, sess.span.RootID())
+	} else {
+		s.tenantKappaGauge(sess.Tenant).Set(res.Aggregate.Kappa)
 	}
+	sess.finish(StateDone, res, "")
 	s.logf("session %s done: κ=%.4f over %d windows", sess.ID, res.Aggregate.Kappa, res.Aggregate.Windows)
 }
 
@@ -250,11 +290,16 @@ func (s *Server) compare(sess *Session) (*Result, error) {
 		diagA, diagB = a.Diag, b.Diag
 	}
 
-	// Each session gets a private registry: stream_* gauges are
-	// per-run, and hundreds of concurrent engines on one registry would
-	// trample each other. Peaks worth keeping are folded into the
-	// service's per-tenant gauges below.
-	sessObs := obs.New()
+	// The session's private registry holds the stream_* gauges:
+	// they are per-run, and hundreds of concurrent engines on one
+	// registry would trample each other. Peaks worth keeping are folded
+	// into the service's per-tenant gauges below; the full registry
+	// stays scrapeable at /v1/sessions/{id}/metrics.
+	sessObs := sess.obs
+	if sessObs == nil {
+		sessObs = obs.New() // tests calling compare directly
+	}
+	spCmp := sess.span.Child("compare", "compare")
 	cfg := stream.Config{
 		Window:   sess.Window,
 		Shards:   sess.Shards,
@@ -262,6 +307,7 @@ func (s *Server) compare(sess *Session) (*Result, error) {
 		MaxLag:   sess.MaxLag,
 		DataOnly: true,
 		Obs:      sessObs,
+		Span:     spCmp,
 		Stall:    s.cfg.Stall,
 	}
 	res := &Result{SessionID: sess.ID, Seed: sess.Seed, WindowNs: int64(sess.Window)}
@@ -275,6 +321,12 @@ func (s *Server) compare(sess *Session) (*Result, error) {
 	cfg.DiscardWindows = true // rows are captured by OnWindow above
 
 	sum, err := stream.Run(srcA, srcB, cfg)
+	if spCmp != nil {
+		spCmp.AttrInt("packets_a", sum.PacketsA)
+		spCmp.AttrInt("packets_b", sum.PacketsB)
+		spCmp.SetError(err)
+		spCmp.End()
+	}
 	if err != nil && !errors.Is(err, pcap.ErrTruncated) {
 		return nil, err
 	}

@@ -1,0 +1,337 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// httpGet fetches a URL and returns status + body.
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body
+}
+
+// fetchFormat fetches a finished session's result in one render format.
+func fetchFormat(t *testing.T, base, id, format string) []byte {
+	t.Helper()
+	code, body := httpGet(t, base+"/v1/sessions/"+id+"/result?format="+format)
+	if code != http.StatusOK {
+		t.Fatalf("result format=%s: status %d, body %s", format, code, body)
+	}
+	return body
+}
+
+// metricFamily mirrors obs.FamilySnapshot for the JSON endpoints.
+type metricFamily struct {
+	Name   string `json:"name"`
+	Series []struct {
+		Labels       map[string]string `json:"labels"`
+		ExemplarSpan string            `json:"exemplar_span"`
+	} `json:"series"`
+}
+
+// traceEventNames parses a Chrome trace_event body and tallies complete
+// ('X') span events by name.
+func traceEventNames(t *testing.T, body []byte) map[string]int {
+	t.Helper()
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, body)
+	}
+	counts := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			counts[ev.Name]++
+		}
+	}
+	return counts
+}
+
+// TestServeSpanDifferential is the bit-replay gate for the tracing
+// layer at the service boundary: two daemons over the same pair and
+// seed, spans on vs off, must serve byte-identical results in every
+// render format. Spans observe the serving path; they must never steer
+// it.
+func TestServeSpanDifferential(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+
+	_, tsOn := startServer(t, Config{Seed: 7, Spans: true})
+	_, tsOff := startServer(t, Config{Seed: 7, Spans: false})
+
+	vOn := mustUpload(t, tsOn.URL, "tenant=diff", pathA, pathB)
+	vOff := mustUpload(t, tsOff.URL, "tenant=diff", pathA, pathB)
+	bodyOn, _ := pollResult(t, tsOn.URL, vOn.ID)
+	bodyOff, _ := pollResult(t, tsOff.URL, vOff.ID)
+
+	if string(bodyOn) != string(bodyOff) {
+		t.Fatalf("result JSON differs spans on vs off:\n--- on ---\n%s\n--- off ---\n%s", bodyOn, bodyOff)
+	}
+	for _, format := range []string{"windows", "consistency"} {
+		on := fetchFormat(t, tsOn.URL, vOn.ID, format)
+		off := fetchFormat(t, tsOff.URL, vOff.ID, format)
+		if string(on) != string(off) {
+			t.Fatalf("format=%s differs spans on vs off:\n--- on ---\n%s\n--- off ---\n%s", format, on, off)
+		}
+	}
+
+	// The spans-off daemon must refuse the trace endpoint, not serve an
+	// empty tree.
+	code, body := httpGet(t, tsOff.URL+"/v1/sessions/"+vOff.ID+"/trace")
+	if code != http.StatusNotFound || !strings.Contains(string(body), "disabled") {
+		t.Fatalf("spans-off trace: status %d, body %s", code, body)
+	}
+}
+
+// TestSessionTraceEndpoint: a completed upload session's trace must
+// contain the full serving path — admission, both spool parts, WAL
+// appends, the compare stage with the engine tree nested under it, and
+// a render span for the result fetch.
+func TestSessionTraceEndpoint(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{Seed: 7, Spans: true, Shards: 2})
+
+	v := mustUpload(t, ts.URL, "tenant=trace", pathA, pathB)
+	pollResult(t, ts.URL, v.ID)
+	fetchFormat(t, ts.URL, v.ID, "consistency") // creates the render span
+
+	code, body := httpGet(t, ts.URL+"/v1/sessions/"+v.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d, body %s", code, body)
+	}
+	counts := traceEventNames(t, body)
+	if counts["session"] != 1 {
+		t.Fatalf("want exactly one session root, got %v", counts)
+	}
+	if counts["admission"] != 1 || counts["spool"] != 2 || counts["wal"] < 2 {
+		t.Fatalf("serving-path spans incomplete: %v", counts)
+	}
+	if counts["compare"] != 1 || counts["ingest"] != 2 || counts["shard"] != 2 || counts["merge"] != 1 || counts["watermark"] < 1 {
+		t.Fatalf("engine spans incomplete: %v", counts)
+	}
+	if counts["render"] < 1 {
+		t.Fatalf("render span missing after result fetch: %v", counts)
+	}
+
+	if code, _ := httpGet(t, ts.URL+"/v1/sessions/no-such-000001/trace"); code != http.StatusNotFound {
+		t.Fatalf("unknown session trace: status %d", code)
+	}
+}
+
+// TestSessionMetricsEndpoint: the per-session registry is scrapeable in
+// both formats, and the JSON snapshot carries the merge span's ID as
+// the κ gauge's exemplar.
+func TestSessionMetricsEndpoint(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{Seed: 7, Spans: true})
+
+	v := mustUpload(t, ts.URL, "tenant=met", pathA, pathB)
+	pollResult(t, ts.URL, v.ID)
+
+	code, body := httpGet(t, ts.URL+"/v1/sessions/"+v.ID+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "stream_running_kappa") {
+		t.Fatalf("session metrics: status %d, body %s", code, body)
+	}
+	code, body = httpGet(t, ts.URL+"/v1/sessions/"+v.ID+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("session metrics json: status %d", code)
+	}
+	var snap []metricFamily
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, f := range snap {
+		if f.Name != "stream_running_kappa" {
+			continue
+		}
+		found = true
+		if len(f.Series) == 0 || f.Series[0].ExemplarSpan == "" {
+			t.Fatalf("stream_running_kappa has no exemplar span: %s", body)
+		}
+	}
+	if !found {
+		t.Fatalf("stream_running_kappa not in session snapshot: %s", body)
+	}
+}
+
+// TestFleetObsSeries: the fleet registry aggregates the span layer —
+// obs_trace_dropped_total sums every session's drops, and
+// choird_tenant_last_kappa carries the finished session's root span as
+// its exemplar.
+func TestFleetObsSeries(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{Seed: 7, Spans: true})
+
+	v := mustUpload(t, ts.URL, "tenant=fleet", pathA, pathB)
+	pollResult(t, ts.URL, v.ID)
+
+	code, body := httpGet(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	text := string(body)
+	if !strings.Contains(text, "obs_trace_dropped_total") {
+		t.Fatalf("obs_trace_dropped_total missing from fleet exposition:\n%s", text)
+	}
+	if !strings.Contains(text, "choird_tenant_last_kappa") {
+		t.Fatalf("choird_tenant_last_kappa missing from fleet exposition:\n%s", text)
+	}
+	// Exemplars are a JSON-snapshot extra; they must not leak into the
+	// Prometheus text format.
+	if strings.Contains(text, "exemplar_span") {
+		t.Fatalf("exemplar leaked into text exposition:\n%s", text)
+	}
+
+	code, body = httpGet(t, ts.URL+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: status %d", code)
+	}
+	var snap []metricFamily
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("fleet snapshot: %v", err)
+	}
+	found := false
+	for _, f := range snap {
+		if f.Name != "choird_tenant_last_kappa" {
+			continue
+		}
+		for _, s := range f.Series {
+			if s.Labels["tenant"] != "fleet" {
+				continue
+			}
+			found = true
+			if s.ExemplarSpan == "" {
+				t.Fatal("choird_tenant_last_kappa has no exemplar span")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("choird_tenant_last_kappa{tenant=fleet} not in fleet snapshot: %s", body)
+	}
+}
+
+// TestHealthz pins the liveness contract: always 200 while the process
+// serves, with a machine-readable status.
+func TestHealthz(t *testing.T) {
+	_, ts := startServer(t, Config{Seed: 1})
+	code, body := httpGet(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz: status %d", code)
+	}
+	var v struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("healthz JSON: %v (%s)", err, body)
+	}
+	if v.Status != "ok" {
+		t.Fatalf("status = %q, want ok", v.Status)
+	}
+}
+
+// TestReadyz pins the readiness gate: 200 while accepting, 503 once
+// draining, 503 while the global admission budget is fully reserved.
+func TestReadyz(t *testing.T) {
+	s, ts := startServer(t, Config{Seed: 1})
+	code, body := httpGet(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("fresh /readyz: status %d, body %s", code, body)
+	}
+	var v struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil || !v.Ready {
+		t.Fatalf("fresh /readyz: ready=%v err=%v (%s)", v.Ready, err, body)
+	}
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	code, body = httpGet(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: status %d, body %s", code, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil || v.Ready || v.Reason != "draining" {
+		t.Fatalf("draining /readyz: %s", body)
+	}
+}
+
+// TestReadyzBudgetExhausted: a live session reserving the whole global
+// budget flips readiness without the daemon being unhealthy.
+func TestReadyzBudgetExhausted(t *testing.T) {
+	const budget = 1 << 20
+	_, ts := startServer(t, Config{Seed: 1, GlobalBudget: budget, TenantBudget: budget})
+
+	resp, err := http.Post(ts.URL+fmt.Sprintf("/v1/sessions?mode=live&tenant=big&bytes=%d", budget), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("live create: status %d", resp.StatusCode)
+	}
+
+	code, body := httpGet(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "budget") {
+		t.Fatalf("exhausted /readyz: status %d, body %s", code, body)
+	}
+	if code, _ := httpGet(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz flipped with budget: status %d", code)
+	}
+}
+
+// TestConcurrentSessionSpans drives many sessions at once on one
+// spans-on daemon (run with -race): every session must end with its own
+// complete, parseable trace and nothing dropped across the fleet.
+func TestConcurrentSessionSpans(t *testing.T) {
+	pathA, pathB := writePair(t, t.TempDir())
+	_, ts := startServer(t, Config{Seed: 7, Spans: true, MaxSessions: 32})
+
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := mustUpload(t, ts.URL, fmt.Sprintf("tenant=c%d", i), pathA, pathB)
+			ids[i] = v.ID
+			pollResult(t, ts.URL, v.ID)
+		}(i)
+	}
+	wg.Wait()
+
+	for _, id := range ids {
+		code, body := httpGet(t, ts.URL+"/v1/sessions/"+id+"/trace")
+		if code != http.StatusOK {
+			t.Fatalf("trace %s: status %d", id, code)
+		}
+		counts := traceEventNames(t, body)
+		if counts["session"] != 1 || counts["compare"] != 1 || counts["admission"] != 1 {
+			t.Fatalf("trace %s incomplete: %v", id, counts)
+		}
+	}
+
+	code, body := httpGet(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(body), "obs_trace_dropped_total 0") {
+		t.Fatalf("expected zero dropped spans fleet-wide:\n%s", body)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -100,6 +101,7 @@ type ingester struct {
 	wmCh    chan<- wmUpdate
 	g       *gate
 	ob      *streamObs
+	span    *obs.Span // per-ingester causal span; nil when tracing is off
 	packets int64
 	err     error
 }
@@ -194,6 +196,12 @@ func (in *ingester) run() {
 	}
 	retire()
 	in.wmCh <- wmUpdate{side: in.side, win: maxWin, metas: metas}
+	if in.span != nil {
+		in.span.AttrInt("packets", in.packets)
+		in.span.Sim(prev) // replay-clock position when this side finished
+		in.span.SetError(in.err)
+		in.span.End()
+	}
 }
 
 // shardOf maps an identity key onto a shard with a splitmix64-style
@@ -211,8 +219,10 @@ func shardOf(k metrics.Key, n int) int {
 
 // coordinate turns the two ingest watermarks into close broadcasts: when
 // both sides have passed a window, every shard is told to flush it, and
-// the backpressure gate advances.
-func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winMeta, g *gate, ob *streamObs) {
+// the backpressure gate advances. With tracing on, every close broadcast
+// becomes a "watermark" span stamped with the simulated close time —
+// the replay-clock anchor choirtrace aligns stages against.
+func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winMeta, g *gate, ob *streamObs, span *obs.Span, window sim.Duration) {
 	wm := [2]int64{0, 0}
 	closed := int64(0)
 	for upd := range wmCh {
@@ -228,11 +238,21 @@ func coordinate(wmCh <-chan wmUpdate, shards []chan shardMsg, metaCh chan<- winM
 		}
 		if min > closed {
 			ob.noteClose(closed, min)
+			var wmSpan *obs.Span
+			if span != nil {
+				wmSpan = span.Child("watermark", "watermark")
+				wmSpan.AttrInt("from", closed)
+				wmSpan.AttrInt("up_to", min)
+				if min != maxWin {
+					wmSpan.Sim(sim.Time(min) * sim.Time(window))
+				}
+			}
 			closed = min
 			for _, ch := range shards {
 				ch <- shardMsg{close: true, upTo: closed}
 			}
 			g.advance(closed)
+			wmSpan.End()
 		}
 		if wm[0] == maxWin && wm[1] == maxWin {
 			break

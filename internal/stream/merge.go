@@ -1,10 +1,12 @@
 package stream
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -87,12 +89,16 @@ func (g *aggState) normalize(a *Aggregate) {
 // merge collects shard partials and ingest metadata, finalizes windows in
 // order as the flush watermark advances, and maintains the running
 // aggregate. It returns when both input channels are closed.
-func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialMsg, ob *streamObs) *Summary {
+func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialMsg, ob *streamObs, span *obs.Span) *Summary {
 	sum := &Summary{Aggregate: Aggregate{Kappa: 1, MeanKappa: 1}}
 	pending := make(map[int64]*winAgg)
 	flushed := make([]int64, shards)
 
 	var agg aggState
+	var ex obs.SpanID
+	if span != nil {
+		ex = span.ID()
+	}
 
 	finalize := func(win int64, wa *winAgg) {
 		s := &wa.sums
@@ -125,7 +131,7 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 			ob.observeClose(win)
 			var running Aggregate
 			agg.normalize(&running)
-			ob.publishAggregate(&running)
+			ob.publishAggregate(&running, ex)
 		}
 
 		// The window is fully scored; its position buffers go back to
@@ -227,7 +233,12 @@ func merge(cfg Config, shards int, metaCh <-chan winMeta, partCh <-chan partialM
 	// Normalize the aggregate with the Eq. 1–5 shapes.
 	agg.normalize(&sum.Aggregate)
 	if ob != nil {
-		ob.publishAggregate(&sum.Aggregate)
+		ob.publishAggregate(&sum.Aggregate, ex)
+	}
+	if span != nil {
+		span.AttrInt("windows", int64(sum.Aggregate.Windows))
+		span.Attr("kappa", fmt.Sprintf("%.4f", sum.Aggregate.Kappa))
+		span.End()
 	}
 	return sum
 }

@@ -119,8 +119,11 @@ func (so *streamObs) observeClose(win int64) {
 	}
 }
 
-// publishAggregate refreshes the running whole-run gauges.
-func (so *streamObs) publishAggregate(a *Aggregate) {
+// publishAggregate refreshes the running whole-run gauges. ex, when
+// nonzero, is the causal span that scored this aggregate (the merge
+// stage's span): the κ gauge carries it as an exemplar so a dashboard
+// sample links straight back to the trace that produced it.
+func (so *streamObs) publishAggregate(a *Aggregate, ex obs.SpanID) {
 	if so == nil {
 		return
 	}
@@ -128,7 +131,11 @@ func (so *streamObs) publishAggregate(a *Aggregate) {
 	so.runO.Set(a.O)
 	so.runL.Set(a.L)
 	so.runI.Set(a.I)
-	so.runKappa.Set(a.Kappa)
+	if ex != 0 {
+		so.runKappa.SetExemplar(a.Kappa, ex)
+	} else {
+		so.runKappa.Set(a.Kappa)
+	}
 	so.runMeanKappa.Set(a.MeanKappa)
 	so.runCommon.SetInt(a.Common)
 	so.runOnlyA.SetInt(a.OnlyA)

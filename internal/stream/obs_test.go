@@ -113,7 +113,7 @@ func TestStreamObsNil(t *testing.T) {
 	var so *streamObs
 	so.noteClose(0, 10)
 	so.observeClose(3)
-	so.publishAggregate(&Aggregate{})
+	so.publishAggregate(&Aggregate{}, 0)
 }
 
 // TestNoteCloseBounded guards the terminal-watermark regression: the

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -53,6 +54,12 @@ type shardWorker struct {
 	// stall is the fault-injection scheduling hook (Config.Stall); it
 	// may yield the worker goroutine but never touches data.
 	stall func(stage string, id int)
+
+	// span is the worker's causal span (nil when tracing is off); ended
+	// with the worker's match counts and memory peaks as attributes.
+	span *obs.Span
+
+	matched int64 // pairs matched, for the span attributes
 }
 
 // freeWinStates bounds the per-shard winState free list; open windows are
@@ -102,6 +109,12 @@ func (w *shardWorker) run() {
 	// Channel closed: a final close{maxWin} always precedes it, so
 	// nothing is left; flush defensively anyway.
 	w.flush(maxWin)
+	if w.span != nil {
+		w.span.AttrInt("matched_pairs", w.matched)
+		w.span.AttrInt("peak_entries", int64(w.peakEntries))
+		w.span.AttrInt("peak_windows", int64(w.peakWindows))
+		w.span.End()
+	}
 }
 
 func (w *shardWorker) ingest(r rec) {
@@ -132,6 +145,7 @@ func (w *shardWorker) ingest(r rec) {
 		}
 		s := &ws.sums
 		s.Common++
+		w.matched++
 		s.PosA = append(s.PosA, posA)
 		s.PosB = append(s.PosB, posB)
 		s.SumAbsLat += absInt64(int64(latB - latA))

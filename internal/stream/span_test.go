@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStreamSpanDifferential: span tracing is the observability layer's
+// strongest promise — attaching a causal span tree to a run must leave
+// every summary byte bit-identical to the uninstrumented run, because
+// spans only read (wall clock, counters) and never touch engine state.
+func TestStreamSpanDifferential(t *testing.T) {
+	a := jitteredTrial("A", 4000, 31)
+	b := jitteredTrial("B", 4000, 32)
+	base := Config{Window: 9_000, Shards: 4, Buffer: 32, MaxLag: 3}
+
+	plain, err := Run(NewTraceSource(a), NewTraceSource(b), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := obs.NewSpanTracer(0)
+	root := st.Root("run", "run")
+	cfg := base
+	cfg.Span = root
+	traced, err := Run(NewTraceSource(a), NewTraceSource(b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	if traced.Aggregate != plain.Aggregate {
+		t.Fatalf("aggregate differs with spans on:\n  plain  %v\n  traced %v", plain.Aggregate, traced.Aggregate)
+	}
+	if traced.PacketsA != plain.PacketsA || traced.PacketsB != plain.PacketsB {
+		t.Fatalf("ingest counts differ: (%d,%d) vs (%d,%d)",
+			traced.PacketsA, traced.PacketsB, plain.PacketsA, plain.PacketsB)
+	}
+	assertWindowsEqual(t, traced.Windows, plain.Windows)
+
+	// The stage tree must be complete and closed: 2 ingest, Shards
+	// shard workers, 1 merge, ≥1 watermark close, all ended.
+	if n := st.OpenCount(); n != 0 {
+		t.Fatalf("%d spans left open", n)
+	}
+	counts := spanNameCounts(t, st)
+	if counts["ingest"] != 2 || counts["shard"] != base.Shards || counts["merge"] != 1 || counts["watermark"] < 1 {
+		t.Fatalf("stage tree incomplete: %v", counts)
+	}
+}
+
+// spanNameCounts exports the tracer and tallies complete events by name.
+func spanNameCounts(t *testing.T, st *obs.SpanTracer) map[string]int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			counts[ev.Name]++
+		}
+	}
+	return counts
+}
+
+// TestStreamSpanNil: a nil Config.Span disables the whole layer — and a
+// run with spans enabled but a saturated tracer must still complete
+// (nil children no-op).
+func TestStreamSpanNil(t *testing.T) {
+	a := jitteredTrial("A", 800, 31)
+	b := jitteredTrial("B", 800, 32)
+	base := Config{Window: 9_000, Shards: 2, Buffer: 16, MaxLag: 3}
+
+	plain, err := Run(NewTraceSource(a), NewTraceSource(b), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracer with room for the root only: every engine child is dropped,
+	// the run must not notice.
+	st := obs.NewSpanTracer(1)
+	root := st.Root("run", "run")
+	cfg := base
+	cfg.Span = root
+	starved, err := Run(NewTraceSource(a), NewTraceSource(b), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	if starved.Aggregate != plain.Aggregate {
+		t.Fatalf("aggregate differs under span starvation:\n  plain   %v\n  starved %v", plain.Aggregate, starved.Aggregate)
+	}
+	if st.Dropped() == 0 {
+		t.Fatal("expected dropped spans with cap 1")
+	}
+}
+
+// TestStreamSpanConcurrentRuns: many engines sharing one tracer under
+// the race detector — the campaign-runner shape (trials fan out across
+// a pool, every trial roots its own tree on the shared tracer).
+func TestStreamSpanConcurrentRuns(t *testing.T) {
+	st := obs.NewSpanTracer(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a := jitteredTrial("A", 600, int64(100+i))
+			b := jitteredTrial("B", 600, int64(200+i))
+			root := st.Root("run", "run", obs.L("i", fmt.Sprintf("%d", i)))
+			_, err := Run(NewTraceSource(a), NewTraceSource(b),
+				Config{Window: 9_000, Shards: 2, Buffer: 16, MaxLag: 3, Span: root})
+			root.End()
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st.OpenCount() != 0 {
+		t.Fatalf("%d spans left open", st.OpenCount())
+	}
+	if st.Dropped() != 0 {
+		t.Fatalf("%d spans dropped", st.Dropped())
+	}
+}

@@ -83,6 +83,13 @@ type Config struct {
 	// Registry.GaugeValue or a /metrics scrape). Summaries are
 	// bit-identical with or without it.
 	Obs *obs.Obs
+	// Span, when non-nil, is the parent causal span the run hangs its
+	// stage tree under: one child per ingester (packets ingested), per
+	// shard worker (records matched, peak state), a merge child, and a
+	// watermark child per close broadcast stamped with the simulated
+	// close time. Spans only observe — summaries are bit-identical with
+	// or without one (asserted by TestStreamSpanDifferential).
+	Span *obs.Span
 	// Stall, when non-nil, is invoked once per message inside the shard
 	// workers (stage "shard", id = shard index) and the merge stage
 	// (stage "merge", id 0). It exists for the fault-injection suite
@@ -211,11 +218,22 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	g := newGate(int64(cfg.MaxLag))
 	ob := newStreamObs(cfg.Obs, n)
 
+	// Causal stage tree: one child per pipeline stage under the caller's
+	// span. All nil when tracing is off — a single branch per stage.
+	var spIng [2]*obs.Span
+	var spMerge *obs.Span
+	if cfg.Span != nil {
+		spIng[sideA] = cfg.Span.Child("ingest", "ingest", obs.L("trial", "A"))
+		spIng[sideB] = cfg.Span.Child("ingest", "ingest", obs.L("trial", "B"))
+		spMerge = cfg.Span.Child("merge", "merge")
+	}
+
 	// Ingest stages.
 	ing := [2]*ingester{
 		newIngester(sideA, a, cfg, shardCh, wmCh, g, ob),
 		newIngester(sideB, b, cfg, shardCh, wmCh, g, ob),
 	}
+	ing[0].span, ing[1].span = spIng[0], spIng[1]
 	var ingWG sync.WaitGroup
 	for _, in := range ing {
 		ingWG.Add(1)
@@ -230,6 +248,9 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	var workWG sync.WaitGroup
 	for i := 0; i < n; i++ {
 		workers[i] = &shardWorker{id: i, in: shardCh[i], out: partCh, stall: cfg.Stall}
+		if cfg.Span != nil {
+			workers[i].span = cfg.Span.Child("shard", "shard", obs.L("shard", fmt.Sprintf("%d", i)))
+		}
 		workWG.Add(1)
 		go func(w *shardWorker) {
 			defer workWG.Done()
@@ -242,10 +263,10 @@ func (e *Engine) Run(a, b Source) (*Summary, error) {
 	}()
 
 	// Coordinator: watermark → window closes.
-	go coordinate(wmCh, shardCh, metaCh, g, ob)
+	go coordinate(wmCh, shardCh, metaCh, g, ob, cfg.Span, cfg.Window)
 
 	// Merge stage runs on the caller's goroutine.
-	sum := merge(cfg, n, metaCh, partCh, ob)
+	sum := merge(cfg, n, metaCh, partCh, ob, spMerge)
 
 	ingWG.Wait()
 	sum.PacketsA = ing[0].packets

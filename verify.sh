@@ -6,9 +6,12 @@
 # campaign resume gate (a campaign interrupted twice and resumed must
 # render the uninterrupted table byte-for-byte), a choird service gate
 # (a served consistency report must be byte-identical to the offline
-# CLI's, including after a SIGTERM mid-session and journal resume), and the
-# streaming-vs-batch κ benchmark (pkts/s and bytes allocated) with a
-# guard bounding the overhead of enabled telemetry.
+# CLI's, including after a SIGTERM mid-session and journal resume), a
+# span-tracing gate (serving with -spans=false must produce the same
+# bytes as the spans-on daemon, and the spans-on trace endpoint must
+# yield a tree choirtrace reconstructs the serving critical path from),
+# and the streaming-vs-batch κ benchmark (pkts/s and bytes allocated)
+# with a guard bounding the overhead of enabled telemetry.
 #
 #	./verify.sh          # vet + build + tests under -race
 #	                     # + fuzz smoke + fault-replay gate
@@ -17,6 +20,8 @@
 #	                     # MetricsCompare and StreamKappa
 set -eu
 cd "$(dirname "$0")"
+# Captured before the choird gate's `set --` clobbers the script args.
+MODE="${1:-}"
 
 echo "== go vet ./..."
 go vet ./...
@@ -73,20 +78,22 @@ cp "$1" "$replay_tmp/A.pcap"
 cp "$2" "$replay_tmp/B.pcap"
 (cd "$replay_tmp" && ./consistency A.pcap B.pcap >offline.txt)
 
-choird_start() { # $1 = log file
-	"$replay_tmp/choird" -addr 127.0.0.1:0 -dir "$replay_tmp/state" -seed 3 >"$1" 2>&1 &
+choird_start() { # $1 = log file; extra args appended (later flags win)
+	log="$1"
+	shift
+	"$replay_tmp/choird" -addr 127.0.0.1:0 -dir "$replay_tmp/state" -seed 3 "$@" >"$log" 2>&1 &
 	CHOIRD_PID=$!
 	CHOIRD_URL=""
 	i=0
 	while [ $i -lt 100 ]; do
-		CHOIRD_URL=$(sed -n 's|^choird: listening on \(http://[^ ]*\).*|\1|p' "$1")
+		CHOIRD_URL=$(sed -n 's|^choird: listening on \(http://[^ ]*\).*|\1|p' "$log")
 		[ -n "$CHOIRD_URL" ] && return 0
-		kill -0 "$CHOIRD_PID" 2>/dev/null || { echo "FAIL: choird exited early"; cat "$1"; exit 1; }
+		kill -0 "$CHOIRD_PID" 2>/dev/null || { echo "FAIL: choird exited early"; cat "$log"; exit 1; }
 		sleep 0.1
 		i=$((i + 1))
 	done
 	echo "FAIL: choird never printed its listen address"
-	cat "$1"
+	cat "$log"
 	exit 1
 }
 choird_poll() { # $1 = session id; waits for a 200 result
@@ -129,7 +136,48 @@ wait "$CHOIRD_PID" || true
 CHOIRD_PID=""
 echo "choird session $sid2: SIGTERM-interrupted, journal-resumed, report still byte-identical"
 
-if [ "${1:-}" = "-bench" ]; then
+echo "== span-tracing gate (spans off => same served bytes; trace endpoint + choirtrace critical path)"
+go build -o "$replay_tmp/choirtrace" ./cmd/choirtrace
+# The gates above ran with tracing on (the default). A -spans=false
+# daemon over the same pair must serve the identical report: spans
+# observe the serving path, they never steer it.
+choird_start "$replay_tmp/choird3.log" -dir "$replay_tmp/state-nospans" -spans=false
+sid3=$(curl -s -F a=@"$replay_tmp/A.pcap" -F b=@"$replay_tmp/B.pcap" "$CHOIRD_URL/v1/sessions" |
+	sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$sid3" ] || { echo "FAIL: spans-off upload returned no session id"; exit 1; }
+choird_poll "$sid3"
+curl -s "$CHOIRD_URL/v1/sessions/$sid3/result?format=consistency" >"$replay_tmp/nospans.txt"
+cmp "$replay_tmp/nospans.txt" "$replay_tmp/offline.txt"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$CHOIRD_URL/v1/sessions/$sid3/trace")
+[ "$code" = 404 ] || { echo "FAIL: spans-off trace endpoint returned HTTP $code, want 404"; exit 1; }
+kill -TERM "$CHOIRD_PID"
+wait "$CHOIRD_PID" || true
+CHOIRD_PID=""
+echo "choird session $sid3: -spans=false report byte-identical to spans-on and offline"
+
+# Spans-on daemon: record the session's causal tree, then reconstruct
+# its critical path offline with choirtrace.
+choird_start "$replay_tmp/choird4.log" -dir "$replay_tmp/state-spans"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$CHOIRD_URL/readyz")
+[ "$code" = 200 ] || { echo "FAIL: /readyz returned HTTP $code on an idle daemon"; exit 1; }
+sid4=$(curl -s -F a=@"$replay_tmp/A.pcap" -F b=@"$replay_tmp/B.pcap" "$CHOIRD_URL/v1/sessions" |
+	sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$sid4" ] || { echo "FAIL: spans-on upload returned no session id"; exit 1; }
+choird_poll "$sid4"
+curl -s "$CHOIRD_URL/v1/sessions/$sid4/result?format=consistency" >"$replay_tmp/spanson.txt"
+cmp "$replay_tmp/spanson.txt" "$replay_tmp/offline.txt"
+curl -s "$CHOIRD_URL/v1/sessions/$sid4/trace" >"$replay_tmp/trace.json"
+kill -TERM "$CHOIRD_PID"
+wait "$CHOIRD_PID" || true
+CHOIRD_PID=""
+"$replay_tmp/choirtrace" "$replay_tmp/trace.json" >"$replay_tmp/choirtrace.txt"
+grep -q "$sid4" "$replay_tmp/choirtrace.txt" || { echo "FAIL: choirtrace lost session $sid4"; cat "$replay_tmp/choirtrace.txt"; exit 1; }
+for stage in admission spool wal 'compare\[' render; do
+	grep -q "$stage" "$replay_tmp/choirtrace.txt" || { echo "FAIL: stage $stage missing from critical path"; cat "$replay_tmp/choirtrace.txt"; exit 1; }
+done
+echo "choird session $sid4: recorded trace reconstructs admission→spool→wal→compare[...]→render"
+
+if [ "$MODE" = "-bench" ]; then
 	echo "== BenchmarkStreamKappa (streaming vs batch windowed κ, obs on vs off)"
 	out=$(go test ./internal/stream -run='^$' -bench=StreamKappa -benchmem)
 	printf '%s\n' "$out"
