@@ -1,6 +1,6 @@
 // Command benchreport measures the PR's performance envelope and writes
-// it as a machine-readable JSON artifact (BENCH_PR6.json at the repo
-// root). It exercises four surfaces:
+// it as a machine-readable JSON artifact (BENCH_PR8.json at the repo
+// root). It exercises six surfaces:
 //
 //   - metrics.Compare on a 200k-packet trace pair — ns/op, B/op,
 //     allocs/op and pkts/s, with the pre-overhaul baseline recorded for
@@ -9,6 +9,14 @@
 //   - the Table 2 all-environments fan-out on the parallel trial
 //     scheduler at widths 1/2/4/8, reporting wall-clock and speedup
 //     versus the width-1 sequential baseline;
+//   - the parallel-in-space simulation core: one experiment run with
+//     its topology partitioned across 1/2/4/8 event domains, reporting
+//     pkts/s and speedup versus the single-engine baseline (domains=1
+//     runs the plain sequential engine) plus an identity check on the
+//     resulting κ;
+//   - the cross-domain handoff path (actor Send → SPSC ring →
+//     Engine.Inject), reporting ns and allocs per crossing — steady
+//     state must not allocate;
 //   - the choird consistency service (internal/serve) under 1/8/64
 //     concurrent uploading clients, reporting served-sessions/s,
 //     admitted-bytes/s and the process peak RSS after each level (RSS
@@ -22,7 +30,7 @@
 // bit-identical, so the numbers are free of correctness caveats on any
 // host.
 //
-//	go run ./cmd/benchreport -out BENCH_PR6.json
+//	go run ./cmd/benchreport -out BENCH_PR8.json
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -46,6 +55,7 @@ import (
 	"repro/internal/packet"
 	"repro/internal/parallel"
 	"repro/internal/pcap"
+	"repro/internal/psim"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -100,7 +110,29 @@ type report struct {
 
 	Table2Parallel []speedupLine `json:"table2_parallel"`
 
+	PsimShards []psimLine `json:"psim_shards"`
+
+	PsimHandoff struct {
+		benchLine
+		HandoffsPerSec float64 `json:"handoffs_per_sec"`
+	} `json:"psim_handoff"`
+
 	ChoirdService []serviceLine `json:"choird_service"`
+}
+
+// psimLine is one experiment run with the simulated topology
+// partitioned across Domains event domains. Domains=1 is the plain
+// sequential engine; pkts/s counts every packet the testbed handles
+// (one recording plus Runs replays). Kappa must be identical across
+// rows — the sharded core's contract is bit-identity, not approximate
+// equivalence.
+type psimLine struct {
+	Domains    int     `json:"domains"`
+	WallMs     float64 `json:"wall_ms"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	Speedup    float64 `json:"speedup_vs_domains1"`
+	Kappa      float64 `json:"kappa"`
+	Identical  bool    `json:"identical_to_sequential"`
 }
 
 // serviceLine is the service envelope at one client-concurrency level.
@@ -127,9 +159,43 @@ func synthTrace(seed int64, n int) *trace.Trace {
 	return tr
 }
 
+// benchHandoff is the cross-domain handoff microbenchmark: two domains
+// ping-ponging pre-bound callbacks through the router, so each op is
+// one actor Send → ring push → drain → Inject → heap insert. It
+// mirrors internal/psim's BenchmarkHandoff.
+func benchHandoff(tb *testing.B) {
+	const la = 100
+	p := psim.New(1, 2, nil)
+	e0, e1 := p.Domain(0), p.Domain(1)
+	p.Link(e0, e1, la)
+	p.Link(e1, e0, la)
+	a0, a1 := e0.NewActor(), e1.NewActor()
+	remaining := tb.N
+	var ping, pong func()
+	ping = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		a0.Send(e1, a0.Now()+la, pong)
+	}
+	pong = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		a1.Send(e0, a1.Now()+la, ping)
+	}
+	a0.Post(0, ping)
+	tb.ReportAllocs()
+	tb.ResetTimer()
+	p.RunUntil(sim.Time(int64(tb.N+2) * la))
+}
+
 func main() {
-	out := flag.String("out", "BENCH_PR6.json", "output path")
+	out := flag.String("out", "BENCH_PR8.json", "output path")
 	table2Packets := flag.Int("table2-packets", 20_000, "recorded packets per Table 2 environment")
+	psimPackets := flag.Int("psim-packets", 20_000, "recorded packets for the sharded-core sweep")
 	flag.Parse()
 
 	var rep report
@@ -233,6 +299,69 @@ func main() {
 		rep.Table2Parallel = append(rep.Table2Parallel, line)
 		fmt.Fprintf(os.Stderr, "table2 workers=%d wall=%v busy=%v speedup=%.2fx identical=%v\n",
 			workers, wall.Round(time.Millisecond), busy.Round(time.Millisecond), line.Speedup, line.Identical)
+	}
+
+	// --- parallel-in-space core across domain counts ---
+	// One experiment, its topology partitioned across 1/2/4/8 event
+	// domains. Domains=1 takes the plain sequential-engine path, so the
+	// first row is the true baseline. On a single-core host the sharded
+	// rows honestly report ~1.0x or below (synchronization overhead with
+	// no parallel hardware); the identity column is the claim that
+	// matters everywhere.
+	psimEnv := testbed.LocalDual()
+	psimCfg := experiments.TrialConfig{Packets: *psimPackets, Runs: 2, Seed: 1}
+	psimRun := func(domains int) (time.Duration, *experiments.RunResult, error) {
+		cfg := psimCfg
+		if domains > 1 {
+			cfg.Shards = domains
+		}
+		start := time.Now()
+		res, err := experiments.Run(psimEnv, cfg)
+		return time.Since(start), res, err
+	}
+	if _, _, err := psimRun(1); err != nil { // warm-up
+		fatal(err)
+	}
+	var psimBaseWall time.Duration
+	var psimBase *experiments.RunResult
+	psimPkts := float64(*psimPackets * (1 + psimCfg.Runs))
+	for _, domains := range []int{1, 2, 4, 8} {
+		wall, res, err := psimRun(domains)
+		if err != nil {
+			fatal(err)
+		}
+		line := psimLine{
+			Domains:    domains,
+			WallMs:     float64(wall.Microseconds()) / 1e3,
+			PktsPerSec: psimPkts / wall.Seconds(),
+			Kappa:      res.Mean.Kappa,
+		}
+		if domains == 1 {
+			psimBaseWall, psimBase = wall, res
+			line.Speedup = 1
+			line.Identical = true
+		} else {
+			line.Speedup = float64(psimBaseWall) / float64(wall)
+			line.Identical = reflect.DeepEqual(res.Results, psimBase.Results) &&
+				reflect.DeepEqual(res.Traces, psimBase.Traces)
+			if !line.Identical {
+				fatal(fmt.Errorf("sharded core domains=%d diverged from sequential", domains))
+			}
+		}
+		rep.PsimShards = append(rep.PsimShards, line)
+		fmt.Fprintf(os.Stderr, "psim domains=%d wall=%v %.0f pkts/s speedup=%.2fx identical=%v\n",
+			domains, wall.Round(time.Millisecond), line.PktsPerSec, line.Speedup, line.Identical)
+	}
+
+	// --- cross-domain handoff path ---
+	rh := testing.Benchmark(benchHandoff)
+	rep.PsimHandoff.NsPerOp = rh.NsPerOp()
+	rep.PsimHandoff.BytesPerOp = rh.AllocedBytesPerOp()
+	rep.PsimHandoff.AllocsPerOp = rh.AllocsPerOp()
+	rep.PsimHandoff.HandoffsPerSec = 1e9 / float64(rh.NsPerOp())
+	fmt.Fprintf(os.Stderr, "psim handoff %d ns/op %d allocs/op\n", rh.NsPerOp(), rh.AllocsPerOp())
+	if rh.AllocsPerOp() > 2 {
+		fatal(fmt.Errorf("handoff path allocates %d allocs/op; steady state must stay at 0 (budget 2)", rh.AllocsPerOp()))
 	}
 
 	// --- choird service envelope ---

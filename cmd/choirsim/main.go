@@ -28,6 +28,7 @@ func main() {
 	packets := flag.Int("packets", 100_000, "packets to record")
 	runs := flag.Int("runs", 5, "replay trials")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	simShards := flag.Int("sim-shards", 1, "partition the simulation across this many event domains (bit-identical to 1)")
 	out := flag.String("out", "", "directory to write per-trial pcap files")
 	snapLen := flag.Int("snaplen", 0, "pcap snap length (0 = full frames)")
 	capture := flag.String("pcap", "", "replay this capture file through the environment instead of generating traffic")
@@ -75,6 +76,7 @@ func main() {
 	} else {
 		res, err = choir.RunExperiment(env, choir.ExperimentConfig{
 			Packets: *packets, Runs: *runs, Seed: *seed, KeepDeltas: true, Obs: ocli.Obs(),
+			Shards: *simShards,
 		})
 	}
 	if err != nil {

@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", runtime.NumCPU(),
 		"trial scheduler width: independent trials/windows run on this many workers (results are bit-identical to -workers 1)")
+	simShards := fs.Int("sim-shards", 1,
+		"partition each simulation across this many event domains (parallel-in-space core; results are bit-identical to -sim-shards 1)")
 	camp := fs.String("campaign", "",
 		"run a crash-safe resumable trial campaign under this name instead of a single artifact (reps × environments × conditions)")
 	journal := fs.String("journal", "campaign.journal", "campaign journal path (checksummed append-only JSONL, fsync'd per trial)")
@@ -90,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ccfg := campaign.Config{
 			Name: *camp, Reps: *reps, Packets: *packets, Runs: *runs,
 			Seed: *seed, Retries: *retries, Backoff: *backoff,
-			MaxSteps: *trialTimeout, Pool: pool, Obs: ocli.Obs(),
+			MaxSteps: *trialTimeout, Pool: pool, Obs: ocli.Obs(), Shards: *simShards,
 			Log: stderr, StopAfter: *stopAfter,
 		}
 		var err error
@@ -106,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return finishObs(stderr, ocli, pool, started)
 	}
 
-	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool}
+	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool, Shards: *simShards}
 	if *full {
 		env := testbed.LocalSingle()
 		cfg.Packets = env.PacketsFor(300 * sim.Millisecond)

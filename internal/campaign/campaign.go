@@ -77,6 +77,10 @@ type Config struct {
 	// per attempt (deterministic in the attempt number; host time never
 	// touches simulated results). 0 retries immediately.
 	Backoff time.Duration
+	// Shards partitions each trial's simulation across this many event
+	// domains (internal/psim); ignored when MaxSteps is set (the step
+	// budget needs the sequential engine). Bit-identical to Shards = 1.
+	Shards int
 	// MaxSteps is the per-trial sim-step budget — the deterministic
 	// trial timeout (0 = unlimited).
 	MaxSteps uint64
@@ -356,7 +360,7 @@ func (c Config) runTrial(t Trial) (Record, int) {
 		}
 		out, err := experiments.Run(env, experiments.TrialConfig{
 			Packets: c.Packets, Runs: c.Runs, Seed: t.Seed,
-			MaxSteps: c.MaxSteps, Obs: c.Obs,
+			MaxSteps: c.MaxSteps, Obs: c.Obs, Shards: c.Shards,
 		})
 		if err != nil {
 			lastErr = err

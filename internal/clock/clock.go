@@ -184,6 +184,7 @@ func StartSync(e *sim.Engine, c *SystemClock, cfg SyncConfig, rng *rand.Rand) *S
 		cfg.Residual = sim.Zero
 	}
 	s := &Synchronizer{cfg: cfg, clock: c, rng: rng}
+	a := e.NewActor()
 	var tick func()
 	tick = func() {
 		if s.stopped {
@@ -191,9 +192,9 @@ func StartSync(e *sim.Engine, c *SystemClock, cfg SyncConfig, rng *rand.Rand) *S
 		}
 		c.SetOffset(cfg.Residual.Sample(rng))
 		s.syncs++
-		e.PostAfter(cfg.Interval, tick)
+		a.PostAfter(cfg.Interval, tick)
 	}
-	e.PostAfter(0, tick)
+	a.PostAfter(0, tick)
 	return s
 }
 

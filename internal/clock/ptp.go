@@ -63,16 +63,17 @@ type PTPClient struct {
 // StartExchange begins the periodic two-step exchange on the engine.
 func StartExchange(e *sim.Engine, c *SystemClock, cfg ExchangeConfig, rng *rand.Rand) *PTPClient {
 	p := &PTPClient{cfg: cfg.defaults(), clock: c, rng: rng}
+	a := e.NewActor()
 	var round func()
 	round = func() {
 		if p.stopped {
 			return
 		}
-		p.exchange(e.Now())
+		p.exchange(a.Now())
 		p.rounds++
-		e.PostAfter(p.cfg.Interval, round)
+		a.PostAfter(p.cfg.Interval, round)
 	}
-	e.PostAfter(0, round)
+	a.PostAfter(0, round)
 	return p
 }
 

@@ -206,6 +206,7 @@ func (f HandlerFunc) HandleCommand(cmd Command, at sim.Time) { f(cmd, at) }
 // sampled latency, independent of the experimental data plane.
 type Bus struct {
 	eng     *sim.Engine
+	act     *sim.Actor
 	latency sim.Dist
 	rng     *rand.Rand
 	sent    uint64
@@ -214,7 +215,22 @@ type Bus struct {
 // NewBus creates a bus whose deliveries take latency (nil means
 // instantaneous).
 func NewBus(eng *sim.Engine, latency sim.Dist) *Bus {
-	return &Bus{eng: eng, latency: latency, rng: eng.Rand("control-bus")}
+	return &Bus{eng: eng, act: eng.NewActor(), latency: latency, rng: eng.Rand("control-bus")}
+}
+
+// Reach declares at wiring time that this bus delivers to the handler,
+// registering the cross-domain link when the handler lives on another
+// engine. The latency distribution's lower bound is the lookahead the
+// bus can promise on that edge. A handler on the bus's own engine (or
+// one that is not sim.Hosted) needs no link.
+func (b *Bus) Reach(to Handler) {
+	eng := sim.EngineOf(to, b.eng)
+	if eng == b.eng {
+		return
+	}
+	if r := b.eng.Router(); r != nil {
+		r.Link(b.eng, eng, sim.DistFloor(b.latency))
+	}
 }
 
 // Send marshals, "transmits" and delivers the command to the handler
@@ -229,12 +245,16 @@ func (b *Bus) Send(to Handler, cmd Command) {
 		}
 	}
 	b.sent++
-	b.eng.PostAfter(d, func() {
+	// The delivery instant is fixed here so the command can cross to the
+	// handler's domain; the handler sees the same timestamp its own
+	// clock would read at delivery.
+	at := b.eng.Now() + d
+	b.act.Send(sim.EngineOf(to, b.eng), at, func() {
 		decoded, err := Unmarshal(raw)
 		if err != nil {
 			panic(fmt.Sprintf("control: self-marshalled command failed to decode: %v", err))
 		}
-		to.HandleCommand(decoded, b.eng.Now())
+		to.HandleCommand(decoded, at)
 	})
 }
 

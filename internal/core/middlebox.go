@@ -71,6 +71,7 @@ type recordedBurst struct {
 type Middlebox struct {
 	cfg Config
 	eng *sim.Engine
+	act *sim.Actor
 	rng *rand.Rand
 
 	// rx staging between polls
@@ -156,9 +157,13 @@ func New(eng *sim.Engine, cfg Config) *Middlebox {
 	return &Middlebox{
 		cfg: cfg,
 		eng: eng,
+		act: eng.NewActor(),
 		rng: eng.Rand(fmt.Sprintf("choir/%d", cfg.ID)),
 	}
 }
+
+// SimEngine reports the engine this middlebox runs on (sim.Hosted).
+func (m *Middlebox) SimEngine() *sim.Engine { return m.eng }
 
 // Receive implements nic.Endpoint: a frame arrived on the bridged
 // ingress. In-band control frames are executed immediately and never
@@ -198,7 +203,7 @@ func (m *Middlebox) armPoll(at sim.Time) {
 	if at < m.eng.Now() {
 		at = m.eng.Now()
 	}
-	m.eng.Post(at, m.poll)
+	m.act.Post(at, m.poll)
 }
 
 // poll drains up to one burst from the RX staging buffer, transmits it,
@@ -288,14 +293,14 @@ func (m *Middlebox) HandleCommand(cmd control.Command, _ sim.Time) {
 			at = m.eng.Now()
 		}
 		maxPkts, rolling := c.MaxPackets, c.Rolling
-		m.eng.Post(at, func() { m.startRecord(maxPkts, rolling) })
+		m.act.Post(at, func() { m.startRecord(maxPkts, rolling) })
 	case control.StopRecord:
 		at := m.cfg.Wall.SimTimeFor(c.At)
 		if at <= m.eng.Now() {
 			m.stopRecord()
 			return
 		}
-		m.eng.Post(at, m.stopRecord)
+		m.act.Post(at, m.stopRecord)
 	case control.StartReplay:
 		m.startReplay(c.At)
 	case control.PauseReplay:
@@ -381,13 +386,13 @@ func (m *Middlebox) startReplay(atWall sim.Time) {
 			m.ob.slip.Observe(int64(at - ideal))
 		}
 	}
-	m.endEvent = m.eng.Schedule(last, func() { m.replaying = false })
+	m.endEvent = m.act.Schedule(last, func() { m.replaying = false })
 }
 
 // scheduleBurst arms the emission of burst i at time at.
 func (m *Middlebox) scheduleBurst(i int, at sim.Time) *sim.Event {
 	pkts := m.bursts[i].pkts
-	return m.eng.Schedule(at, func() {
+	return m.act.Schedule(at, func() {
 		m.cfg.Out.SendBurst(pkts)
 		m.replayedPkts += uint64(len(pkts))
 		m.replayNext = i + 1
@@ -464,7 +469,7 @@ func (m *Middlebox) resumeReplay(atWall sim.Time) {
 		m.replayTimes[i] = at
 		m.replayEvents[i] = m.scheduleBurst(i, at)
 	}
-	m.endEvent = m.eng.Schedule(last, func() { m.replaying = false })
+	m.endEvent = m.act.Schedule(last, func() { m.replaying = false })
 }
 
 // Paused reports whether the current replay is suspended.

@@ -67,6 +67,9 @@ func NewRecorder(eng *sim.Engine, label string, ts nic.Timestamper, dataOnly boo
 	}
 }
 
+// SimEngine reports the engine this recorder runs on (sim.Hosted).
+func (r *Recorder) SimEngine() *sim.Engine { return r.eng }
+
 // Receive implements nic.Endpoint.
 func (r *Recorder) Receive(p *packet.Packet, wire sim.Time) {
 	r.received++

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/psim"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/trace"
@@ -48,6 +49,15 @@ type TrialConfig struct {
 	// pool's telemetry spans a whole invocation); otherwise Workers > 1
 	// creates one per harness call.
 	Pool *parallel.Pool
+	// Shards partitions the simulation itself across this many event
+	// domains, one goroutine each (the parallel-in-space core,
+	// internal/psim); 0 or 1 runs the classic sequential engine. The
+	// captured traces, metrics and observability counters are
+	// bit-identical across shard counts (differential-tested and gated
+	// in verify.sh). Incompatible with MaxSteps — the step budget is a
+	// sequential-engine notion, so a config setting both falls back to
+	// the sequential engine.
+	Shards int
 	// MaxSteps, when non-zero, bounds the number of simulation events
 	// one protocol run may fire — a deterministic per-trial timeout. A
 	// run that exhausts it fails with an error wrapping
@@ -121,9 +131,14 @@ type RunResult struct {
 // Run executes the full protocol for one environment.
 func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	cfg = cfg.defaults()
-	eng := sim.NewEngine(cfg.Seed)
-	eng.SetStepBudget(cfg.MaxSteps)
-	top := testbed.Build(eng, env)
+	var top *testbed.Topology
+	if cfg.Shards > 1 && cfg.MaxSteps == 0 {
+		top = testbed.BuildSharded(psim.New(cfg.Seed, cfg.Shards, cfg.Pool), env)
+	} else {
+		eng := sim.NewEngine(cfg.Seed)
+		eng.SetStepBudget(cfg.MaxSteps)
+		top = testbed.Build(eng, env)
+	}
 	top.EnableObs(cfg.Obs)
 
 	perStream := cfg.Packets / env.Replayers
@@ -134,12 +149,12 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	// --- record phase ---
 	top.Broadcast(control.StartRecord{At: top.WallNow() + sim.Millisecond})
 	top.StartGenerators(perStream, 2*sim.Millisecond)
-	eng.RunUntil(2*sim.Millisecond + recordDur + slack)
+	top.RunUntil(2*sim.Millisecond + recordDur + slack)
 	top.Broadcast(control.StopRecord{At: top.WallNow()})
-	eng.RunUntil(eng.Now() + sim.Millisecond)
-	if eng.BudgetExhausted() {
+	top.RunUntil(top.Now() + sim.Millisecond)
+	if top.BudgetExhausted() {
 		return nil, fmt.Errorf("experiments: %s record phase after %d events: %w",
-			env.Name, eng.Executed(), sim.ErrStepBudget)
+			env.Name, top.Executed(), sim.ErrStepBudget)
 	}
 
 	res := &RunResult{Env: env}
@@ -155,14 +170,14 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 	for r := 0; r < cfg.Runs; r++ {
 		top.Recorder.StartTrial(RunNames[r])
 		if env.Noise {
-			top.StartNoise(eng.Now() + recordDur + 3*slack)
+			top.StartNoise(top.Now() + recordDur + 3*slack)
 		}
 		start := top.WallNow() + 20*sim.Millisecond
 		top.Broadcast(control.StartReplay{At: start})
-		eng.RunUntil(start + recordDur + 2*slack)
-		if eng.BudgetExhausted() {
+		top.RunUntil(start + recordDur + 2*slack)
+		if top.BudgetExhausted() {
 			return nil, fmt.Errorf("experiments: %s replay trial %s after %d events: %w",
-				env.Name, RunNames[r], eng.Executed(), sim.ErrStepBudget)
+				env.Name, RunNames[r], top.Executed(), sim.ErrStepBudget)
 		}
 		raw = append(raw, top.Recorder.StartTrial("scratch"))
 	}

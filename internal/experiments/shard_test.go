@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/testbed"
+)
+
+// These differential tests pin the parallel-in-space claim: partitioning
+// one simulation across event domains (TrialConfig.Shards) produces
+// output byte-identical to the single-engine run, for every shard count,
+// clean and under fault plans. verify.sh runs this file under -race.
+
+func withShards(cfg TrialConfig, n int) TrialConfig {
+	cfg.Shards = n
+	return cfg
+}
+
+// TestRunShardedMatchesSequential compares the full per-environment
+// protocol at 2, 4 and 8 domains against the sequential engine:
+// captured traces, per-run metric vectors, missing counts and the
+// exported Summary JSON.
+func TestRunShardedMatchesSequential(t *testing.T) {
+	for _, env := range []testbed.Env{testbed.LocalSingle(), testbed.LocalDual()} {
+		seq, err := Run(env, diffCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(seq.Summary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 4, 8} {
+			sh, err := Run(env, withShards(diffCfg, shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Traces, sh.Traces) {
+				t.Fatalf("%s shards=%d: traces diverged", env.Name, shards)
+			}
+			if !reflect.DeepEqual(seq.Results, sh.Results) {
+				t.Fatalf("%s shards=%d: results diverged", env.Name, shards)
+			}
+			if !reflect.DeepEqual(seq.Missing, sh.Missing) {
+				t.Fatalf("%s shards=%d: missing counts diverged", env.Name, shards)
+			}
+			jp, err := json.Marshal(sh.Summary())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(js) != string(jp) {
+				t.Fatalf("%s shards=%d: summary JSON diverged:\nseq: %s\nshard: %s", env.Name, shards, js, jp)
+			}
+		}
+	}
+}
+
+// TestRunShardedUnderFaultMatchesSequential drives the sharded core
+// through perturbed environments — the injector lives in the recorder
+// domain, its RNG draws must happen in the same total order — and
+// demands identical traces and metrics.
+func TestRunShardedUnderFaultMatchesSequential(t *testing.T) {
+	plans := []fault.Plan{
+		{Seed: 81, Drop: 0.05, Jitter: 2000},
+		{Seed: 82, Dup: 0.02, Reorder: 0.03},
+	}
+	for _, plan := range plans {
+		env := plan.PerturbEnv(testbed.LocalSingle())
+		seq, err := Run(env, faultCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := Run(env, withShards(faultCfg(), 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Traces, sh.Traces) {
+			t.Fatalf("plan %+v: sharded traces diverged", plan)
+		}
+		if !reflect.DeepEqual(seq.Results, sh.Results) {
+			t.Fatalf("plan %+v: sharded results diverged", plan)
+		}
+	}
+}
+
+// TestShardsFallBackUnderStepBudget: a step budget is a sequential-engine
+// notion (one global event counter), so Shards must be ignored when
+// MaxSteps is set — same output as the plain budgeted run, no panic.
+func TestShardsFallBackUnderStepBudget(t *testing.T) {
+	cfg := diffCfg
+	cfg.MaxSteps = 2_000_000
+	seq, err := Run(testbed.LocalSingle(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Run(testbed.LocalSingle(), withShards(cfg, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Results, sh.Results) {
+		t.Fatal("Shards was not ignored under a step budget")
+	}
+}

@@ -27,6 +27,7 @@ import (
 // component it runs inside engine callbacks.
 type Injector struct {
 	eng  *sim.Engine
+	act  *sim.Actor
 	plan Plan
 	down nic.Endpoint
 
@@ -63,8 +64,11 @@ func NewInjector(eng *sim.Engine, plan Plan, down nic.Endpoint) (*Injector, erro
 	if plan.SkewPPM < 0 {
 		return nil, fmt.Errorf("fault: the sim-path injector cannot apply negative skew (%g ppm); use Plan.Apply", plan.SkewPPM)
 	}
-	return &Injector{eng: eng, plan: plan.withDefaults(), down: down, prev: sim.Time(math.MinInt64)}, nil
+	return &Injector{eng: eng, act: eng.NewActor(), plan: plan.withDefaults(), down: down, prev: sim.Time(math.MinInt64)}, nil
 }
+
+// SimEngine reports the engine this injector runs on (sim.Hosted).
+func (j *Injector) SimEngine() *sim.Engine { return j.eng }
 
 // Stats returns the running fault counts.
 func (j *Injector) Stats() InjectorStats { return j.stats }
@@ -119,7 +123,7 @@ func (j *Injector) Receive(pk *packet.Packet, at sim.Time) {
 // engine — even undelayed frames — so that arrivals at one instant fire
 // in creation order, matching Plan.Apply's (time, rank) sort exactly.
 func (j *Injector) deliver(pk *packet.Packet, at sim.Time) {
-	j.eng.Post(at, func() {
+	j.act.Post(at, func() {
 		j.stats.Delivered++
 		j.down.Receive(pk, at)
 	})

@@ -43,6 +43,7 @@ type CBRConfig struct {
 // Generator emits a packet schedule into a NIC queue.
 type Generator struct {
 	eng     *sim.Engine
+	act     *sim.Actor
 	q       *nic.Queue
 	emitted int
 }
@@ -67,7 +68,7 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 	if burst > nic.BurstSize {
 		burst = nic.BurstSize
 	}
-	g := &Generator{eng: eng, q: q}
+	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
 	var (
 		emCtr *obs.Counter
 		tr    *obs.Tracer
@@ -108,10 +109,10 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 		g.emitted += n
 		emCtr.Add(int64(n))
 		if next := i + n; next < cfg.Count {
-			eng.Post(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
+			g.act.Post(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
 		}
 	}
-	eng.Post(cfg.StartAt, func() { emit(0) })
+	g.act.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }
 
@@ -133,7 +134,7 @@ func StartPoisson(eng *sim.Engine, q *nic.Queue, cfg PoissonConfig) *Generator {
 	if cfg.MeanRatePPS <= 0 {
 		panic("gen: rate must be positive")
 	}
-	g := &Generator{eng: eng, q: q}
+	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
 	rng := eng.Rand(fmt.Sprintf("gen/poisson/%d", cfg.Stream))
 	meanGap := 1e9 / cfg.MeanRatePPS
 	var emit func(i int)
@@ -146,10 +147,10 @@ func StartPoisson(eng *sim.Engine, q *nic.Queue, cfg PoissonConfig) *Generator {
 		}})
 		g.emitted++
 		if i+1 < cfg.Count {
-			eng.PostAfter(sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(i + 1) })
+			g.act.PostAfter(sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(i + 1) })
 		}
 	}
-	eng.Post(cfg.StartAt+sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(0) })
+	g.act.Post(cfg.StartAt+sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(0) })
 	return g
 }
 
@@ -179,7 +180,7 @@ func StartIMIX(eng *sim.Engine, q *nic.Queue, cfg IMIXConfig) *Generator {
 	if cfg.RatePPS <= 0 {
 		panic("gen: rate must be positive")
 	}
-	g := &Generator{eng: eng, q: q}
+	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
 	rng := eng.Rand(fmt.Sprintf("gen/imix/%d", cfg.Stream))
 	gap := sim.Duration(1e9 / cfg.RatePPS)
 	var emit func(i int)
@@ -192,10 +193,10 @@ func StartIMIX(eng *sim.Engine, q *nic.Queue, cfg IMIXConfig) *Generator {
 		}})
 		g.emitted++
 		if i+1 < cfg.Count {
-			eng.PostAfter(gap, func() { emit(i + 1) })
+			g.act.PostAfter(gap, func() { emit(i + 1) })
 		}
 	}
-	eng.Post(cfg.StartAt, func() { emit(0) })
+	g.act.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }
 
@@ -239,7 +240,7 @@ func StartEmpirical(eng *sim.Engine, q *nic.Queue, cfg EmpiricalConfig) *Generat
 	if len(cfg.Gaps) == 0 || len(cfg.FrameLens) == 0 {
 		panic("gen: empirical generator needs gap and frame-size samples")
 	}
-	g := &Generator{eng: eng, q: q}
+	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
 	rng := eng.Rand(fmt.Sprintf("gen/empirical/%d", cfg.Stream))
 	var emit func(i int)
 	emit = func(i int) {
@@ -259,9 +260,9 @@ func StartEmpirical(eng *sim.Engine, q *nic.Queue, cfg EmpiricalConfig) *Generat
 			if gap < 0 {
 				gap = 0
 			}
-			eng.PostAfter(gap, func() { emit(i + 1) })
+			g.act.PostAfter(gap, func() { emit(i + 1) })
 		}
 	}
-	eng.Post(cfg.StartAt, func() { emit(0) })
+	g.act.Post(cfg.StartAt, func() { emit(0) })
 	return g
 }

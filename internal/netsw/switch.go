@@ -63,6 +63,7 @@ func Cisco5700(rateBps int64) Profile {
 // Switch is a statically-routed L2 forwarding element.
 type Switch struct {
 	eng   *sim.Engine
+	act   *sim.Actor
 	prof  Profile
 	label string
 	rng   *rand.Rand
@@ -86,8 +87,11 @@ func New(eng *sim.Engine, prof Profile, label string) *Switch {
 	if prof.PortRateBps <= 0 {
 		panic("netsw: port rate must be positive")
 	}
-	return &Switch{eng: eng, prof: prof, label: label, rng: eng.Rand("switch/" + label)}
+	return &Switch{eng: eng, act: eng.NewActor(), prof: prof, label: label, rng: eng.Rand("switch/" + label)}
 }
+
+// SimEngine reports the engine this switch runs on (sim.Hosted).
+func (s *Switch) SimEngine() *sim.Engine { return s.eng }
 
 // EnableObs attaches metrics and packet-lifecycle tracing: forwarded /
 // egress-drop / failure-loss counters, egress queue depth high-water
@@ -115,6 +119,7 @@ type Port struct {
 	sw        *Switch
 	id        int
 	out       nic.Endpoint
+	outEng    *sim.Engine // engine hosting out; == sw.eng when co-located
 	prop      sim.Duration
 	routeTo   int
 	busyTil   sim.Time
@@ -147,11 +152,22 @@ func (s *Switch) Forward(ingress, egress int) {
 }
 
 // Attach connects the port's egress side to a device with the given
-// propagation delay.
+// propagation delay. The device is probed for sim.Hosted so deliveries
+// route to its engine in a partitioned run; a frame leaves no earlier
+// than the pipeline-latency floor plus prop after its ingress event, so
+// that sum is this wire's lookahead.
 func (p *Port) Attach(dev nic.Endpoint, prop sim.Duration) {
 	p.out = dev
 	p.prop = prop
+	p.outEng = sim.EngineOf(dev, p.sw.eng)
+	if r := p.sw.eng.Router(); r != nil && p.outEng != p.sw.eng {
+		r.Link(p.sw.eng, p.outEng, prop+sim.DistFloor(p.sw.prof.ForwardLatency))
+	}
 }
+
+// SimEngine reports the engine this port's switch runs on (sim.Hosted),
+// so device queues connecting to the port can route frames to it.
+func (p *Port) SimEngine() *sim.Engine { return p.sw.eng }
 
 // Forwarded returns frames sent out of this port.
 func (p *Port) Forwarded() uint64 { return p.forwarded }
@@ -227,15 +243,18 @@ func (p *Port) transmit(pkt *packet.Packet, ready sim.Time) {
 		ob.queuePeak.MaxInt(int64(p.queued))
 	}
 	out, prop := p.out, p.prop
-	p.sw.eng.Post(end, func() {
+	p.sw.act.Post(end, func() {
 		p.queued -= wb
 		if ob != nil && ob.tr != nil {
 			ob.tr.End(pkt.Tag, obs.StageSwitch, end)
 		}
-		if out != nil {
-			p.sw.eng.Post(p.sw.eng.Now()+prop, func() {
-				out.Receive(pkt, end+prop)
-			})
-		}
+	})
+	// The delivery instant is already determined, so the wire event is
+	// issued here rather than from the end-of-serialization callback —
+	// in a partitioned run it may cross to the device's domain, and a
+	// crossing must be sent while the ingress event (whose time the
+	// lookahead promise is anchored to) is still executing.
+	p.sw.act.Send(p.outEng, end+prop, func() {
+		out.Receive(pkt, end+prop)
 	})
 }

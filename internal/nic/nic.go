@@ -94,6 +94,7 @@ func sample(d sim.Dist, rng *rand.Rand) sim.Duration {
 // for a dedicated NIC, several for SR-IOV VFs).
 type NIC struct {
 	eng        *sim.Engine
+	act        *sim.Actor
 	prof       Profile
 	label      string
 	rng        *rand.Rand
@@ -130,6 +131,7 @@ func New(eng *sim.Engine, prof Profile, label string) *NIC {
 	}
 	return &NIC{
 		eng:   eng,
+		act:   eng.NewActor(),
 		prof:  prof,
 		label: label,
 		rng:   eng.Rand("nic/" + label),
@@ -137,6 +139,10 @@ func New(eng *sim.Engine, prof Profile, label string) *NIC {
 		lastUse: -(1 << 62),
 	}
 }
+
+// SimEngine reports the engine this NIC runs on (sim.Hosted), letting
+// far ends of a partitioned topology route deliveries to it.
+func (n *NIC) SimEngine() *sim.Engine { return n.eng }
 
 // EnableObs attaches metrics and packet-lifecycle tracing to this NIC:
 // TX-ring occupancy high-water, doorbell rings, per-pull DMA latency,
@@ -174,6 +180,7 @@ func (n *NIC) Profile() Profile { return n.prof }
 type Queue struct {
 	nic      *NIC
 	peer     Endpoint
+	peerEng  *sim.Engine // engine hosting peer; == nic.eng when co-located
 	prop     sim.Duration
 	capPkts  int
 	bursts   [][]*packet.Packet
@@ -196,11 +203,22 @@ func (n *NIC) NewQueue(capPkts int) *Queue {
 }
 
 // Connect attaches the queue's traffic to a far-end endpoint with the
-// given propagation delay.
+// given propagation delay. The endpoint is probed for sim.Hosted so
+// that, in a partitioned run, deliveries route to its engine; frames
+// leave no earlier than prop after the drain that emits them, so prop
+// is this wire's lookahead.
 func (q *Queue) Connect(peer Endpoint, prop sim.Duration) {
 	q.peer = peer
 	q.prop = prop
+	q.peerEng = sim.EngineOf(peer, q.nic.eng)
+	if r := q.nic.eng.Router(); r != nil && q.peerEng != q.nic.eng {
+		r.Link(q.nic.eng, q.peerEng, prop)
+	}
 }
+
+// SimEngine reports the engine this queue's NIC runs on (sim.Hosted),
+// so traffic sources can schedule alongside the queue they feed.
+func (q *Queue) SimEngine() *sim.Engine { return q.nic.eng }
 
 // Sent returns frames put on the wire from this queue.
 func (q *Queue) Sent() uint64 { return q.sent }
@@ -267,13 +285,18 @@ func (n *NIC) kick() {
 		delay = 0
 	}
 	at := now + delay
+	// The engine may have gone idle with serializations still in
+	// flight; the next pull cannot outrun the line.
+	if at < n.busyTil {
+		at = n.busyTil
+	}
 	if n.stall != nil {
 		at = n.stall.Adjust(at)
 	}
 	if n.ob != nil {
 		n.ob.pullLat.Observe(int64(at - now))
 	}
-	n.eng.Post(at, n.drain)
+	n.act.Post(at, n.drain)
 }
 
 // drain pulls the next unit of work — a whole burst, or a single packet
@@ -353,7 +376,7 @@ func (n *NIC) drain() {
 		}
 		peer, prop := q.peer, q.prop
 		pkt := p
-		n.eng.Post(end+prop, func() {
+		n.act.Send(q.peerEng, end+prop, func() {
 			peer.Receive(pkt, end+prop)
 		})
 	}
@@ -368,7 +391,7 @@ func (n *NIC) drain() {
 	if at < n.eng.Now() {
 		at = n.eng.Now()
 	}
-	n.eng.Post(at, n.drain)
+	n.act.Post(at, n.drain)
 }
 
 // pickDRR selects the next queue by byte-fair deficit round robin and

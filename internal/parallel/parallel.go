@@ -207,6 +207,41 @@ func (p *Pool) DoUntil(n int, stop <-chan struct{}, fn func(i int) error) error 
 	return nil
 }
 
+// Concurrent runs fn(0) … fn(n-1) on n goroutines that all start
+// immediately and returns once every one has finished. Unlike Do, which
+// claims work with at most Workers() goroutines and is therefore only
+// safe for jobs that never wait on each other, Concurrent guarantees
+// every job its own goroutine — which is what mutually synchronizing
+// jobs (psim's domain loops, which block on each other's horizons) need
+// to avoid deadlocking on a width-capped claimer. The pool's width
+// still matters as telemetry and as the GOMAXPROCS-shaped sizing hint;
+// it just doesn't bound concurrency here. Telemetry (busy time, task
+// counts, in-flight gauge) is recorded per job exactly as in Do.
+//
+// A nil pool runs the jobs on bare goroutines with no telemetry.
+func (p *Pool) Concurrent(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		p.run(0, 0, func(i int) error { fn(i); return nil })
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			wid := 0
+			if p != nil {
+				wid = i % p.workers
+			}
+			p.run(wid, i, func(i int) error { fn(i); return nil })
+		}(i)
+	}
+	wg.Wait()
+}
+
 // run executes one job with telemetry.
 func (p *Pool) run(wid, i int, fn func(i int) error) error {
 	if p == nil {

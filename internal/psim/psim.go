@@ -1,0 +1,465 @@
+// Package psim is the parallel-in-space simulation core: it runs one
+// testbed topology across several sim.Engine sub-engines ("domains"),
+// one goroutine each, synchronized conservatively with link propagation
+// latency as lookahead — the classic null-message (Chandy–Misra–Bryant)
+// PDES discipline — while producing output bit-identical to the single
+// sequential engine.
+//
+// # Partition model
+//
+// Components are placed on domains at build time (internal/testbed owns
+// the partitioner); every scheduling component owns a sim.Actor, and
+// all domain engines share one sim.LaneCounter and the root seed, so
+// component lanes, per-lane sequences and every per-label random stream
+// are identical to the sequential run's. Cross-domain packet handoffs
+// travel as timestamped sim.Crossing values through bounded SPSC rings
+// and merge into the destination heap under the same (time, lane, seq)
+// total order the sequential heap uses — which is the whole determinism
+// argument: identical keys, identical per-key behaviour, therefore an
+// identical simulation whatever the domain count.
+//
+// # Synchronization protocol
+//
+// Each ordered domain pair with at least one link carries a static
+// lookahead la ≥ 1ns: a promise that a crossing issued while the source
+// executes an event at time t has At ≥ t + la. Domains advance in
+// exclusive windows: a domain whose in-edges publish horizons ("floors")
+// f_src may safely execute every event strictly below
+//
+//	bound = min(T, max(gf, min over in-edges (f_src + la)))
+//
+// where T = deadline+1 (so the final window includes the deadline
+// exactly like sim.Engine.RunUntil) and gf is the stall-breaker floor
+// below. After running a window the domain publishes floor = bound —
+// valid because every remaining event is ≥ bound, so every future send
+// is ≥ bound + la. Floor publications double as null messages: they are
+// what lets an idle neighbour advance with no packet traffic. Readers
+// load floors before draining rings; producers push before publishing;
+// with Go's sequentially consistent atomics that ordering guarantees a
+// domain entering a window has already received every crossing below
+// its bound.
+//
+// Two liveness refinements keep the conservative loop from stalling:
+//
+//   - A producer blocked on a full ring publishes its current event
+//     time as a partial floor, wakes the consumer, drains its own
+//     in-rings and yields — so back-pressure cannot deadlock a cycle of
+//     full queues.
+//   - When every domain is parked (no window opens anywhere), the last
+//     to park inspects the quiescent partition: if any ring is
+//     non-empty its consumer is woken to drain it; otherwise the
+//     globally earliest pending event GF is found and gf = GF+1 is
+//     raised, waking everyone — no event below GF exists or can ever be
+//     created (events only beget later events), so executing through GF
+//     is safe. This is what lets the partition leap idle phase gaps
+//     (e.g. the 60ms experiment slack) in one hop instead of creeping
+//     by nanosecond lookaheads.
+package psim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// edge is the handoff channel for one ordered pair of distinct domains.
+type edge struct {
+	src, dst *domain
+	la       sim.Duration // lookahead: min link latency over all links on this pair
+	q        ring
+}
+
+// domain is one shard of the partition: a sub-engine, its in/out edges
+// and the horizon it publishes to neighbours.
+type domain struct {
+	p   *Engine
+	id  int
+	eng *sim.Engine
+
+	// floor is the published horizon: a promise that every future
+	// crossing from this domain has At ≥ floor + la(edge). Monotone
+	// within a RunUntil call; reset to the engine clock between calls
+	// (the quiescent main goroutine may post new work at the clock).
+	floor atomic.Int64
+
+	// wake carries at most one pending notification; senders use a
+	// non-blocking send so notifying is wait-free.
+	wake chan struct{}
+
+	in, out []*edge
+
+	// executedTo is the exclusive upper bound of the last window run;
+	// owned by the domain goroutine during a run.
+	executedTo sim.Time
+}
+
+// notify posts the domain's wake token if not already pending.
+func (d *domain) notify() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Engine is a partitioned simulation: n domain engines sharing a lane
+// counter and a seed, synchronized by this type (which is also the
+// sim.Router those engines route crossings through). Construct with
+// New, place components with Domain, then drive it like a sequential
+// engine with RunUntil. Between RunUntil calls the partition is
+// quiescent and the main goroutine may freely post to any domain
+// engine; during RunUntil only the domain goroutines touch them.
+type Engine struct {
+	seed    int64
+	lanes   *sim.LaneCounter
+	domains []*domain
+	byEng   map[*sim.Engine]*domain
+	edges   map[[2]int]*edge // keyed by (src domain id, dst domain id)
+	pool    *parallel.Pool
+
+	running bool // set around the Concurrent call; guards Link/Route misuse
+
+	// gf is the stall-breaker bound floor: a proven statement that no
+	// event below gf exists anywhere in the partition. Monotone within
+	// a run (raised under parkMu, read lock-free).
+	gf atomic.Int64
+
+	// Parking accounting for the all-parked stall breaker.
+	parkMu sync.Mutex
+	parked int
+	active int
+
+	// maxFloor tracks the highest published floor this run, for the
+	// horizon-lag gauge (only maintained when obs is enabled).
+	maxFloor atomic.Int64
+
+	ob obsHooks
+}
+
+// obsHooks are the nil-safe instrumentation points (see EnableObs).
+type obsHooks struct {
+	handoffs   *obs.Counter // crossings carried between domains
+	nullMsgs   *obs.Counter // floor publications (null messages)
+	stalls     *obs.Counter // all-parked stall breaks
+	pushBlocks *obs.Counter // producer stalls on a full ring
+	depthPeak  *obs.Gauge   // peak SPSC ring occupancy
+	lagPeak    *obs.Gauge   // peak horizon lag between domains, ns
+	domains    *obs.Gauge   // partition width
+}
+
+// New returns a partition of n domains (n ≥ 1) whose engines share the
+// root seed and one lane counter. Every per-label random stream on
+// every domain engine is therefore derived from the root seed exactly
+// as on a sequential engine — and internal psim identifiers (domain
+// ids) are stable by construction, so placement cannot perturb a
+// stream. pool supplies goroutine telemetry (may be nil).
+func New(seed int64, n int, pool *parallel.Pool) *Engine {
+	if n < 1 {
+		n = 1
+	}
+	p := &Engine{
+		seed:  seed,
+		lanes: &sim.LaneCounter{},
+		byEng: make(map[*sim.Engine]*domain, n),
+		edges: make(map[[2]int]*edge),
+		pool:  pool,
+	}
+	for i := 0; i < n; i++ {
+		eng := sim.NewEngineWithLanes(seed, p.lanes)
+		eng.SetRouter(p)
+		d := &domain{p: p, id: i, eng: eng, wake: make(chan struct{}, 1)}
+		p.domains = append(p.domains, d)
+		p.byEng[eng] = d
+	}
+	return p
+}
+
+// Seed returns the root seed shared by every domain engine.
+func (p *Engine) Seed() int64 { return p.seed }
+
+// Domains returns the partition width.
+func (p *Engine) Domains() int { return len(p.domains) }
+
+// Domain returns the i'th domain's engine, for component placement.
+func (p *Engine) Domain(i int) *sim.Engine { return p.domains[i].eng }
+
+// Now returns the partition clock. All domain engines agree whenever
+// the partition is quiescent (each RunUntil leaves every engine exactly
+// at the deadline).
+func (p *Engine) Now() sim.Time { return p.domains[0].eng.Now() }
+
+// Executed returns the total events fired across all domains — equal,
+// by the determinism argument, to the sequential engine's count for the
+// same workload.
+func (p *Engine) Executed() uint64 {
+	var n uint64
+	for _, d := range p.domains {
+		n += d.eng.Executed()
+	}
+	return n
+}
+
+// EnableObs registers the partition's instrumentation on ob (nil-safe:
+// a nil ob or registry leaves every hook nil and the hot path free of
+// even the atomic bookkeeping behind the lag gauge).
+func (p *Engine) EnableObs(ob *obs.Obs) {
+	if ob == nil || ob.Reg == nil {
+		return
+	}
+	reg := ob.Reg
+	p.ob = obsHooks{
+		handoffs:   reg.Counter("psim_handoffs_total", "cross-domain event crossings carried through SPSC rings"),
+		nullMsgs:   reg.Counter("psim_null_messages_total", "horizon (floor) publications — conservative null messages"),
+		stalls:     reg.Counter("psim_stall_breaks_total", "all-parked stall breaks (global min-event horizon jumps)"),
+		pushBlocks: reg.Counter("psim_push_blocks_total", "producer stalls on a full inter-domain ring"),
+		depthPeak:  reg.Gauge("psim_queue_depth_peak", "peak inter-domain ring occupancy (crossings)"),
+		lagPeak:    reg.Gauge("psim_horizon_lag_peak_ns", "peak spread between the fastest and slowest domain horizon"),
+		domains:    reg.Gauge("psim_domains", "partition width (number of event domains)"),
+	}
+	p.ob.domains.SetInt(int64(len(p.domains)))
+}
+
+// Link declares a lookahead edge (sim.Router). Wiring helpers call it
+// while the partition is quiescent — during topology construction or
+// between RunUntil calls; linking mid-run panics because domain
+// goroutines read the edge lists lock-free. Same-domain links and
+// engines outside the partition are ignored; repeated links keep the
+// smallest lookahead; lookaheads are floored at 1ns (a zero lookahead
+// could never open a neighbour's window).
+func (p *Engine) Link(src, dst *sim.Engine, lookahead sim.Duration) {
+	if p.running {
+		panic("psim: Link while partition is running")
+	}
+	ds, dd := p.byEng[src], p.byEng[dst]
+	if ds == nil || dd == nil || ds == dd {
+		return
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	key := [2]int{ds.id, dd.id}
+	if e := p.edges[key]; e != nil {
+		if lookahead < e.la {
+			e.la = lookahead
+		}
+		return
+	}
+	e := &edge{src: ds, dst: dd, la: lookahead}
+	p.edges[key] = e
+	ds.out = append(ds.out, e)
+	dd.in = append(dd.in, e)
+}
+
+// Route carries one crossing (sim.Router). Called from the source
+// domain's goroutine while it executes an event; the push-block branch
+// is the back-pressure protocol described in the package comment.
+func (p *Engine) Route(src, dst *sim.Engine, c sim.Crossing) {
+	ds, dd := p.byEng[src], p.byEng[dst]
+	if ds == nil || dd == nil {
+		panic("psim: route between engines outside the partition")
+	}
+	e := p.edges[[2]int{ds.id, dd.id}]
+	if e == nil {
+		panic(fmt.Sprintf("psim: route on unlinked edge %d->%d (missing Link at wiring time)", ds.id, dd.id))
+	}
+	for !e.q.tryPush(c) {
+		p.ob.pushBlocks.Inc()
+		// Publish how far we have actually executed so the consumer
+		// can open a window and drain; every send we still owe is
+		// ≥ now + la, so now is a valid (partial) floor.
+		ds.publish(src.Now())
+		dd.notify()
+		ds.drainInputs()
+		runtime.Gosched()
+	}
+	p.ob.handoffs.Inc()
+	if p.ob.depthPeak != nil {
+		p.ob.depthPeak.MaxInt(int64(e.q.depth()))
+	}
+}
+
+// publish raises the domain's floor to at least f and notifies every
+// downstream neighbour — the null message of the CMB discipline.
+func (d *domain) publish(f sim.Time) {
+	for {
+		cur := d.floor.Load()
+		if int64(f) <= cur {
+			break
+		}
+		if d.floor.CompareAndSwap(cur, int64(f)) {
+			d.p.ob.nullMsgs.Inc()
+			if d.p.ob.lagPeak != nil {
+				// Track horizon spread: how far the fastest domain has
+				// run ahead of this one at publish time.
+				for {
+					m := d.p.maxFloor.Load()
+					if int64(f) <= m {
+						break
+					}
+					if d.p.maxFloor.CompareAndSwap(m, int64(f)) {
+						break
+					}
+				}
+				if lag := d.p.maxFloor.Load() - int64(f); lag > 0 {
+					d.p.ob.lagPeak.MaxInt(lag)
+				}
+			}
+			break
+		}
+	}
+	for _, e := range d.out {
+		e.dst.notify()
+	}
+}
+
+// drainInputs merges every queued crossing into the local heap. Only
+// the domain's own goroutine calls this (in the window loop and inside
+// push-block retries), so ring consumption stays single-consumer.
+func (d *domain) drainInputs() {
+	for _, e := range d.in {
+		for {
+			c, ok := e.q.pop()
+			if !ok {
+				break
+			}
+			d.eng.Inject(c)
+		}
+	}
+}
+
+// bound computes the exclusive window limit: how far this domain may
+// safely execute right now.
+func (d *domain) bound(T sim.Time) sim.Time {
+	lbts := T
+	for _, e := range d.in {
+		if b := sim.Time(e.src.floor.Load()) + e.la; b < lbts {
+			lbts = b
+		}
+	}
+	if gf := sim.Time(d.p.gf.Load()); gf > lbts {
+		lbts = gf
+	}
+	if lbts > T {
+		lbts = T
+	}
+	return lbts
+}
+
+// run is one domain's event loop for a single RunUntil(T-1) call.
+func (d *domain) run(T sim.Time) {
+	p := d.p
+	for {
+		b := d.bound(T) // load floors before draining (see package doc)
+		d.drainInputs()
+		if b > d.executedTo {
+			d.eng.RunUntil(b - 1)
+			d.executedTo = b
+			d.publish(b)
+			if b >= T {
+				p.parkMu.Lock()
+				p.active--
+				if p.active > 0 && p.parked == p.active {
+					p.stallBreak()
+				}
+				p.parkMu.Unlock()
+				return
+			}
+			continue
+		}
+		// No window opens: park until a neighbour publishes. The token
+		// clear + recompute + block sequence cannot lose a wakeup (a
+		// publish after the recompute leaves a token for the block to
+		// consume).
+		select {
+		case <-d.wake:
+			continue
+		default:
+		}
+		if d.bound(T) > d.executedTo {
+			continue
+		}
+		p.parkMu.Lock()
+		p.parked++
+		if p.parked == p.active {
+			p.stallBreak()
+		}
+		p.parkMu.Unlock()
+		<-d.wake
+		p.parkMu.Lock()
+		p.parked--
+		p.parkMu.Unlock()
+	}
+}
+
+// stallBreak fires when every active domain is parked (caller holds
+// parkMu, which also blocks any woken domain from resuming until we
+// return — the partition is observably quiescent). If undrained rings
+// exist their consumers are woken to merge them first (a queued
+// crossing may undercut any horizon we would compute from the heaps
+// alone); otherwise the globally earliest pending event GF is found and
+// the bound floor gf = GF+1 raised: no event below GF exists anywhere,
+// and events only create events at or after their own time, so none
+// ever will.
+func (p *Engine) stallBreak() {
+	woke := false
+	for _, e := range p.edges {
+		if !e.q.empty() {
+			e.dst.notify()
+			woke = true
+		}
+	}
+	if woke {
+		return
+	}
+	gf := int64(math.MaxInt64)
+	for _, d := range p.domains {
+		if at, ok := d.eng.NextEventAt(); ok && int64(at) < gf {
+			gf = int64(at)
+		}
+	}
+	if gf < math.MaxInt64 {
+		gf++
+	}
+	if gf <= p.gf.Load() {
+		// No new information. The last advance already notified every
+		// domain, and the domain owning the global minimum event always
+		// has an open window under the current gf (its executedTo is at
+		// or below GF), so an unconsumed wake token is guaranteed to
+		// exist — notifying again would only let the caller spin-wake
+		// itself and starve the token holder of CPU. Park quietly.
+		return
+	}
+	p.gf.Store(gf) // parkMu serializes stallBreak, so a plain store is a CAS
+	p.ob.stalls.Inc()
+	for _, d := range p.domains {
+		d.notify()
+	}
+}
+
+// RunUntil fires every event with timestamp ≤ deadline across all
+// domains, then leaves every domain clock at deadline — the same
+// contract as sim.Engine.RunUntil, parallel in space. It blocks until
+// the partition is quiescent again, so the caller may inspect or post
+// to any domain engine afterwards.
+func (p *Engine) RunUntil(deadline sim.Time) {
+	T := deadline + 1
+	for _, d := range p.domains {
+		// The quiescent gap since the last call may have posted new
+		// events at the current clock, so the old floors (= last T) are
+		// stale; the clock itself is always a valid floor.
+		d.floor.Store(int64(d.eng.Now()))
+		d.executedTo = d.eng.Now()
+	}
+	p.gf.Store(math.MinInt64)
+	p.maxFloor.Store(math.MinInt64)
+	p.parked = 0
+	p.active = len(p.domains)
+	p.running = true
+	p.pool.Concurrent(len(p.domains), func(i int) { p.domains[i].run(T) })
+	p.running = false
+}

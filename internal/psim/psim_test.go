@@ -1,0 +1,216 @@
+package psim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// meshNode is a toy simulated component: on every tick it logs
+// (time, step), then forwards a tick to the next node after a
+// pseudo-random delay drawn from its own labelled stream. Node state is
+// strictly local, so a run's per-node logs must be identical however
+// the nodes are spread over domains.
+type meshNode struct {
+	a    *sim.Actor
+	id   int
+	rng  *rand.Rand
+	next *meshNode
+	log  [][2]int64
+	step int64
+}
+
+func (n *meshNode) tick() {
+	n.log = append(n.log, [2]int64{int64(n.a.Now()), n.step})
+	n.step++
+	d := sim.Duration(1 + n.rng.Intn(97))
+	at := n.a.Now() + d
+	n.a.Send(n.next.a.Engine(), at, n.next.tick)
+}
+
+// buildMesh wires k nodes in a ring, node i on the engine place(i)
+// returns, and kicks node 0 at t=1.
+func buildMesh(k int, place func(i int) *sim.Engine) []*meshNode {
+	nodes := make([]*meshNode, k)
+	for i := range nodes {
+		eng := place(i)
+		nodes[i] = &meshNode{a: eng.NewActor(), id: i, rng: eng.Rand(fmt.Sprintf("mesh/%d", i))}
+	}
+	for i, n := range nodes {
+		n.next = nodes[(i+1)%k]
+		if r := n.a.Engine().Router(); r != nil {
+			r.Link(n.a.Engine(), n.next.a.Engine(), 1)
+		}
+	}
+	nodes[0].a.Post(1, nodes[0].tick)
+	return nodes
+}
+
+// TestMeshBitIdentical runs the same ring workload sequentially and on
+// 2/4/8-domain partitions and requires identical per-node logs, final
+// clocks and total executed-event counts.
+func TestMeshBitIdentical(t *testing.T) {
+	const k, seed = 9, 42
+	deadline := sim.Time(2_000_000)
+
+	seq := sim.NewEngine(seed)
+	ref := buildMesh(k, func(int) *sim.Engine { return seq })
+	seq.RunUntil(deadline)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := New(seed, shards, nil)
+		got := buildMesh(k, func(i int) *sim.Engine { return p.Domain(i % shards) })
+		p.RunUntil(deadline)
+		if p.Now() != seq.Now() {
+			t.Fatalf("shards=%d: clock %v != sequential %v", shards, p.Now(), seq.Now())
+		}
+		if p.Executed() != seq.Executed() {
+			t.Fatalf("shards=%d: executed %d != sequential %d", shards, p.Executed(), seq.Executed())
+		}
+		for i := range ref {
+			if !reflect.DeepEqual(ref[i].log, got[i].log) {
+				t.Fatalf("shards=%d: node %d log diverged (%d vs %d entries)",
+					shards, i, len(got[i].log), len(ref[i].log))
+			}
+		}
+	}
+}
+
+// TestMeshResumesAcrossCalls drives the partition in several RunUntil
+// hops (the experiment pipeline's shape: run, post control work while
+// quiescent, run again) and checks against a sequential engine doing
+// the same hops.
+func TestMeshResumesAcrossCalls(t *testing.T) {
+	const k, seed = 5, 7
+	hops := []sim.Time{1000, 1001, 500_000, 500_000, 1_500_000}
+
+	seq := sim.NewEngine(seed)
+	ref := buildMesh(k, func(int) *sim.Engine { return seq })
+	p := New(seed, 4, nil)
+	got := buildMesh(k, func(i int) *sim.Engine { return p.Domain(i % 4) })
+
+	for _, d := range hops {
+		seq.RunUntil(d)
+		p.RunUntil(d)
+		// Quiescent gap: post new work at the current clock on both,
+		// exactly like Broadcast between phases.
+		ref[2].a.Post(seq.Now(), ref[2].tick)
+		got[2].a.Post(p.Now(), got[2].tick)
+	}
+	seq.RunUntil(2_000_000)
+	p.RunUntil(2_000_000)
+	for i := range ref {
+		if !reflect.DeepEqual(ref[i].log, got[i].log) {
+			t.Fatalf("node %d log diverged after resumed runs", i)
+		}
+	}
+}
+
+// TestRingBackpressure floods far more crossings out of one event than
+// a ring holds, forcing the push-block path, and checks nothing is
+// lost or reordered.
+func TestRingBackpressure(t *testing.T) {
+	const n = 3 * ringCap
+	p := New(1, 2, nil)
+	src, dst := p.Domain(0), p.Domain(1)
+	a := src.NewActor()
+	sink := dst.NewActor()
+	_ = sink
+	p.Link(src, dst, 1)
+
+	var got []sim.Time
+	a.Post(0, func() {
+		for i := 0; i < n; i++ {
+			at := a.Now() + 1 + sim.Time(i)
+			a.Send(dst, at, func() { got = append(got, dst.Now()) })
+		}
+	})
+	p.RunUntil(n + 10)
+	if len(got) != n {
+		t.Fatalf("delivered %d of %d crossings", len(got), n)
+	}
+	for i, at := range got {
+		if at != sim.Time(1+i) {
+			t.Fatalf("crossing %d delivered at %v, want %v", i, at, sim.Time(1+i))
+		}
+	}
+}
+
+// TestRunUntilBoundary pins RunUntil's deadline semantics — an event
+// exactly at the deadline fires, PostAfter with zero and negative
+// durations at the deadline fire at the clamped current instant — and
+// requires the sharded engine to agree with the sequential one on all
+// of it. (Satellite: boundary semantics pinned identically for both.)
+func TestRunUntilBoundary(t *testing.T) {
+	type runner interface {
+		RunUntil(sim.Time)
+		Now() sim.Time
+	}
+	check := func(t *testing.T, eng *sim.Engine, r runner, peer *sim.Engine) {
+		t.Helper()
+		var fired []string
+		a := eng.NewActor()
+		a.Post(100, func() { fired = append(fired, "at-deadline") })
+		a.Post(101, func() { fired = append(fired, "past-deadline") })
+		r.RunUntil(100)
+		if r.Now() != 100 {
+			t.Fatalf("clock %v after RunUntil(100)", r.Now())
+		}
+		want := []string{"at-deadline"}
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		// At the deadline instant, zero and negative PostAfter clamp to
+		// "now" and fire on the very next run, before the later event.
+		a.PostAfter(0, func() { fired = append(fired, "zero") })
+		a.PostAfter(-50, func() { fired = append(fired, "negative") })
+		r.RunUntil(100) // same deadline again: clamped events are due now
+		want = []string{"at-deadline", "zero", "negative"}
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		r.RunUntil(101)
+		want = append(want, "past-deadline")
+		if !reflect.DeepEqual(fired, want) {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+		if r.Now() != 101 {
+			t.Fatalf("clock %v after RunUntil(101)", r.Now())
+		}
+		_ = peer
+	}
+	t.Run("sequential", func(t *testing.T) {
+		eng := sim.NewEngine(3)
+		check(t, eng, eng, nil)
+	})
+	t.Run("sharded", func(t *testing.T) {
+		p := New(3, 4, nil)
+		check(t, p.Domain(1), p, p.Domain(2))
+	})
+}
+
+// TestPendingExcludesCancelled covers the Pending()/PendingRaw() split:
+// cancelled tombstones still in the heap count only in PendingRaw.
+func TestPendingExcludesCancelled(t *testing.T) {
+	eng := sim.NewEngine(1)
+	var evs []*sim.Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, eng.Schedule(sim.Time(10+i), func() {}))
+	}
+	for _, ev := range evs[:4] {
+		ev.Cancel()
+	}
+	if got := eng.Pending(); got != 6 {
+		t.Fatalf("Pending() = %d, want 6 live events", got)
+	}
+	if got := eng.PendingRaw(); got != 10 {
+		t.Fatalf("PendingRaw() = %d, want 10 heap entries", got)
+	}
+	eng.RunUntil(100)
+	if eng.Pending() != 0 || eng.PendingRaw() != 0 {
+		t.Fatalf("queue not drained: %d/%d", eng.Pending(), eng.PendingRaw())
+	}
+}

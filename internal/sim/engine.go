@@ -47,6 +47,7 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // them out of the heap so they cannot hold memory for the rest of a run.
 type Event struct {
 	at        Time
+	lane      uint32
 	seq       uint64
 	fn        func()
 	eng       *Engine
@@ -78,6 +79,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].lane != h[j].lane {
+		return h[i].lane < h[j].lane
 	}
 	return h[i].seq < h[j].seq
 }
@@ -116,6 +120,13 @@ type Engine struct {
 	// cancelled counts cancelled events still sitting in the heap; when
 	// they dominate, the heap is compacted (see maybeCompact).
 	cancelled int
+
+	// lanes allocates actor lanes (see NewActor). Engines hosting parts
+	// of one partitioned topology share a counter so lanes are globally
+	// unique across the partition; a standalone engine owns its own.
+	lanes *LaneCounter
+	// router, when set, carries cross-engine actor sends (see Router).
+	router Router
 }
 
 // freeListCap bounds the event free list so bursty schedules don't pin
@@ -129,7 +140,19 @@ const compactMinHeap = 64
 // NewEngine returns an engine whose random streams derive from seed.
 // The same seed always produces the same simulation.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed}
+	return &Engine{seed: seed, lanes: &LaneCounter{}}
+}
+
+// NewEngineWithLanes returns an engine drawing actor lanes from a
+// shared counter. All sub-engines of one partitioned topology are
+// created this way with the same counter (and the same seed), which is
+// what makes component lane numbers — and therefore the total event
+// order — independent of how the topology is partitioned.
+func NewEngineWithLanes(seed int64, lanes *LaneCounter) *Engine {
+	if lanes == nil {
+		lanes = &LaneCounter{}
+	}
+	return &Engine{seed: seed, lanes: lanes}
 }
 
 // Seed returns the seed the engine was created with.
@@ -141,10 +164,15 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of events that have fired so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events still queued. Cancelled events
-// count until they are popped or compacted away; compaction guarantees
-// they never exceed half the queue (above a small threshold).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live (non-cancelled) events still
+// queued. Cancelled tombstones awaiting pop or compaction are excluded,
+// so diagnostics built on Pending (campaign degraded rows, psim horizon
+// heuristics) see the work that will actually fire.
+func (e *Engine) Pending() int { return len(e.events) - e.cancelled }
+
+// PendingRaw returns the raw heap length, cancelled tombstones
+// included — the quantity heap-compaction bounds guard.
+func (e *Engine) PendingRaw() int { return len(e.events) }
 
 // Schedule queues fn to run at absolute time at and returns a handle
 // that can be retained and cancelled. Scheduling in the past (before
@@ -193,10 +221,14 @@ func (e *Engine) Post(at Time, fn func()) {
 	} else {
 		ev = &Event{at: at, fn: fn, pooled: true}
 	}
+	ev.lane = 0 // recycled events may carry an actor lane
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.events, ev)
 }
+
+// push heap-inserts an event whose (at, lane, seq) key is already set.
+func (e *Engine) push(ev *Event) { heap.Push(&e.events, ev) }
 
 // PostAfter queues fn to run d nanoseconds from now, handle-free (see
 // Post).
@@ -248,6 +280,10 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.executed++
 		fn := ev.fn
+		// A late Cancel on a fired handle must be a true no-op: the
+		// event is out of the heap, so counting a tombstone for it
+		// would corrupt Pending() and trigger phantom compactions.
+		ev.eng = nil
 		e.recycle(ev)
 		fn()
 		return true

@@ -52,6 +52,7 @@ func (c *Config) defaults() {
 type Flow struct {
 	cfg      Config
 	eng      *sim.Engine
+	act      *sim.Actor
 	q        *nic.Queue
 	cwnd     float64 // in segments
 	ssthresh float64
@@ -72,11 +73,12 @@ func Start(eng *sim.Engine, q *nic.Queue, cfg Config) *Flow {
 	f := &Flow{
 		cfg:      cfg,
 		eng:      eng,
+		act:      eng.NewActor(),
 		q:        q,
 		cwnd:     float64(cfg.InitialCwnd),
 		ssthresh: float64(cfg.MaxCwnd) / 2,
 	}
-	eng.Post(cfg.StartAt, f.pump)
+	f.act.Post(cfg.StartAt, f.pump)
 	return f
 }
 
@@ -146,14 +148,17 @@ func (f *Flow) sendBatch(n int) {
 	for _, p := range pkts {
 		p := p
 		acked := false
-		f.eng.PostAfter(f.cfg.RTT, func() {
-			if p.SentAt != 0 {
+		f.act.PostAfter(f.cfg.RTT, func() {
+			// Acked only if the segment was serialized in time for the
+			// ACK to be back by now; a segment still queued (or pulled
+			// but not yet on the wire) is recovered by the RTO.
+			if p.SentAt != 0 && p.SentAt <= f.eng.Now() {
 				acked = true
 				f.onAck()
 			}
 		})
 		// RTO at 4x RTT.
-		f.eng.PostAfter(4*f.cfg.RTT, func() {
+		f.act.PostAfter(4*f.cfg.RTT, func() {
 			if !acked {
 				f.onTimeout()
 			}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/nic"
 	"repro/internal/obs"
 	"repro/internal/packet"
+	"repro/internal/psim"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
 )
@@ -24,7 +25,14 @@ const linkProp = 50 * sim.Nanosecond
 // middlebox(es) → switch → recorder, plus the optional noise slice.
 type Topology struct {
 	Env Env
+	// Eng is the root engine: the control plane and the experiment
+	// driver's clock live here. Sequential builds place everything on
+	// it; sharded builds place it on one domain of PS.
 	Eng *sim.Engine
+	// PS is the partitioned engine driving a sharded build (nil for a
+	// sequential one). Drive the topology through RunUntil/Now so both
+	// modes behave identically.
+	PS *psim.Engine
 
 	// GenQueues has one TX queue per replayer stream.
 	GenQueues []*nic.Queue
@@ -66,6 +74,47 @@ func (t *Topology) EnableObs(o *obs.Obs) {
 		mb.EnableObs(o)
 	}
 	t.Recorder.EnableObs(o)
+	if t.PS != nil {
+		t.PS.EnableObs(o)
+	}
+}
+
+// RunUntil advances the whole simulation to deadline — the sequential
+// engine or the partition, whichever hosts this topology.
+func (t *Topology) RunUntil(deadline sim.Time) {
+	if t.PS != nil {
+		t.PS.RunUntil(deadline)
+		return
+	}
+	t.Eng.RunUntil(deadline)
+}
+
+// Now returns the simulation clock (all domain clocks agree whenever the
+// topology is quiescent, which is the only time callers may look).
+func (t *Topology) Now() sim.Time {
+	if t.PS != nil {
+		return t.PS.Now()
+	}
+	return t.Eng.Now()
+}
+
+// Executed returns total events fired across the topology's engines.
+func (t *Topology) Executed() uint64 {
+	if t.PS != nil {
+		return t.PS.Executed()
+	}
+	return t.Eng.Executed()
+}
+
+// BudgetExhausted reports whether the sequential engine hit its step
+// budget. Partitioned runs have no budget (psim is incompatible with
+// MaxSteps; the experiments layer falls back to sequential when one is
+// set), so they always report false.
+func (t *Topology) BudgetExhausted() bool {
+	if t.PS != nil {
+		return false
+	}
+	return t.Eng.BudgetExhausted()
 }
 
 // discard terminates noise traffic.
@@ -76,15 +125,51 @@ func (d *discard) Receive(*packet.Packet, sim.Time) { d.n++ }
 // Build wires a topology for env on the engine. The same engine can
 // host only one topology.
 func Build(eng *sim.Engine, env Env) *Topology {
+	return buildOn(eng, nil, env)
+}
+
+// BuildSharded wires the same topology across the domains of a
+// partitioned engine. The partitioner groups components hot-first —
+// the switch (every stream crosses it), then each middlebox with its
+// NIC and clocks, then each generator, then the recorder, with the
+// control plane and driver clock last — and deals groups onto domains
+// round-robin, so any shard count from 1 to the group count balances
+// the heavy event sources before the light ones double up. Every
+// wiring call goes through the exact same code path as Build, so
+// component construction order (and with it every lane and random
+// stream) is independent of the domain count — the root of the
+// bit-identity guarantee.
+func BuildSharded(ps *psim.Engine, env Env) *Topology {
+	return buildOn(nil, ps, env)
+}
+
+// Partition group indices, hottest first (see BuildSharded).
+func groupCount(r int) int { return 2*r + 3 }
+
+func buildOn(root *sim.Engine, ps *psim.Engine, env Env) *Topology {
 	if env.Replayers < 1 {
 		panic("testbed: environment needs at least one replayer")
 	}
-	t := &Topology{Env: env, Eng: eng}
 	r := env.Replayers
+	groupSwitch := 0
+	groupMB := func(i int) int { return 1 + i }
+	groupGen := func(i int) int { return 1 + r + i }
+	groupRecorder := 1 + 2*r
+	groupRoot := 2 + 2*r
+	place := func(group int) *sim.Engine {
+		if ps == nil {
+			return root
+		}
+		return ps.Domain(group % ps.Domains())
+	}
+	if root == nil {
+		root = place(groupRoot)
+	}
+	t := &Topology{Env: env, Eng: root, PS: ps}
 
 	// Switch ports: 2 per replayer stream (gen in / mb out) +1 per
 	// replayer return path, one recorder egress, two for noise.
-	sw := netsw.New(eng, env.Switch, env.Name)
+	sw := netsw.New(place(groupSwitch), env.Switch, env.Name)
 	for i := 0; i < 3*r+3; i++ {
 		sw.AddPort()
 	}
@@ -93,27 +178,31 @@ func Build(eng *sim.Engine, env Env) *Topology {
 
 	// Recorder, optionally behind an environment-supplied interposer
 	// (the fault layer's injection point).
-	t.Recorder = core.NewRecorder(eng, "A", env.RecorderTimestamper(), true)
+	recEng := place(groupRecorder)
+	t.Recorder = core.NewRecorder(recEng, "A", env.RecorderTimestamper(), true)
 	var recIngress nic.Endpoint = t.Recorder
 	if env.WrapRecorder != nil {
-		recIngress = env.WrapRecorder(eng, t.Recorder)
+		// The wrapper shares the recorder's domain (fault injectors are
+		// sim.Hosted, so the switch routes to them there).
+		recIngress = env.WrapRecorder(recEng, t.Recorder)
 	}
 	sw.Port(recorderPort).Attach(recIngress, linkProp)
 
 	// Control plane: sub-millisecond out-of-band delivery.
-	t.Bus = control.NewBus(eng, sim.Uniform{Lo: 20_000, Hi: 120_000})
+	t.Bus = control.NewBus(root, sim.Uniform{Lo: 20_000, Hi: 120_000})
 
-	ppmRng := eng.Rand("testbed/tsc-ppm")
+	ppmRng := root.Rand("testbed/tsc-ppm")
 	for i := 0; i < r; i++ {
 		// Generator stream i.
-		genNIC := nic.New(eng, env.GenNIC, fmt.Sprintf("gen%d", i))
+		genNIC := nic.New(place(groupGen(i)), env.GenNIC, fmt.Sprintf("gen%d", i))
 		genQ := genNIC.NewQueue(0)
 		genQ.Connect(sw.Port(2*i), linkProp)
 		t.GenQueues = append(t.GenQueues, genQ)
 		t.nics = append(t.nics, genNIC)
 
 		// Replayer i hardware.
-		mbNIC := nic.New(eng, env.ReplayerNIC, fmt.Sprintf("replayer%d", i))
+		mbEng := place(groupMB(i))
+		mbNIC := nic.New(mbEng, env.ReplayerNIC, fmt.Sprintf("replayer%d", i))
 		t.nics = append(t.nics, mbNIC)
 		mbQ := mbNIC.NewQueue(env.ReplayerQueuePkts)
 		mbQ.Connect(sw.Port(2*r+i), linkProp)
@@ -122,11 +211,11 @@ func Build(eng *sim.Engine, env Env) *Topology {
 		// wall clock.
 		tsc := clock.NewTSC(2.5e9, env.TSCErrPPM*ppmRng.NormFloat64(), uint64(1000*(i+1)))
 		wall := clock.NewSystemClock(0)
-		clock.StartSync(eng, wall, env.Sync, eng.Rand(fmt.Sprintf("ptp/%d", i)))
+		clock.StartSync(mbEng, wall, env.Sync, mbEng.Rand(fmt.Sprintf("ptp/%d", i)))
 
 		var stall *sim.StallTimeline
 		if env.StallGap != nil && env.StallDur != nil {
-			stall = sim.NewStallTimeline(eng.Rand(fmt.Sprintf("stall/%d", i)), env.StallGap, env.StallDur)
+			stall = sim.NewStallTimeline(mbEng.Rand(fmt.Sprintf("stall/%d", i)), env.StallGap, env.StallDur)
 		}
 
 		var pool *dpdk.MemPool
@@ -134,7 +223,7 @@ func Build(eng *sim.Engine, env Env) *Topology {
 			pool = dpdk.NewMemPool(fmt.Sprintf("replayer%d", i), int64(env.MemPoolMiB)<<20)
 		}
 
-		mb := core.New(eng, core.Config{
+		mb := core.New(mbEng, core.Config{
 			ID:                uint16(i + 1),
 			TSC:               tsc,
 			Wall:              wall,
@@ -145,6 +234,7 @@ func Build(eng *sim.Engine, env Env) *Topology {
 			Pool:              pool,
 		})
 		t.Middleboxes = append(t.Middleboxes, mb)
+		t.Bus.Reach(mb)
 
 		// Wiring: gen i → mb i → recorder.
 		sw.Forward(2*i, 2*i+1)
@@ -172,7 +262,7 @@ func (t *Topology) StartGenerators(count int, startAt sim.Time) []*gen.Generator
 	perStream := packet.Gbps(t.Env.RateGbps / float64(t.Env.Replayers))
 	gens := make([]*gen.Generator, len(t.GenQueues))
 	for i, q := range t.GenQueues {
-		gens[i] = gen.StartCBR(t.Eng, q, gen.CBRConfig{
+		gens[i] = gen.StartCBR(sim.EngineOf(q, t.Eng), q, gen.CBRConfig{
 			RateBps:  perStream,
 			FrameLen: t.Env.FrameLen,
 			Count:    count,
@@ -194,11 +284,11 @@ func (t *Topology) StartNoise(stopAt sim.Time) {
 	if t.NoiseQueue == nil {
 		return
 	}
-	t.NoiseFlows = tcpsim.StartIperf(t.Eng, []*nic.Queue{t.NoiseQueue}, t.Env.NoiseFlows, tcpsim.Config{
+	t.NoiseFlows = tcpsim.StartIperf(sim.EngineOf(t.NoiseQueue, t.Eng), []*nic.Queue{t.NoiseQueue}, t.Env.NoiseFlows, tcpsim.Config{
 		ID:         100,
 		SegmentLen: 9000, // FABRIC L2 services run jumbo MTU
 		RTT:        60 * sim.Microsecond,
-		StartAt:    t.Eng.Now(),
+		StartAt:    t.Now(),
 		StopAt:     stopAt,
 		Flow: packet.FiveTuple{
 			Src: packet.IPForNode(200), Dst: packet.IPForNode(201),
@@ -225,7 +315,7 @@ func (t *Topology) Broadcast(cmd control.Command) {
 // WallNow returns middlebox 0's wall-clock reading — what the
 // experimenter's tooling would use to pick future start times.
 func (t *Topology) WallNow() sim.Time {
-	return t.Eng.Now() // grandmaster time; node clocks are within ns of it
+	return t.Now() // grandmaster time; node clocks are within ns of it
 }
 
 // Statuses polls every middlebox's control-plane status.

@@ -67,6 +67,32 @@ campaign_run -journal "$replay_tmp/chunk.journal" -resume >"$replay_tmp/campaign
 cmp "$replay_tmp/campaign-full.txt" "$replay_tmp/campaign-resumed.txt"
 echo "campaign -seed 7: interrupted-twice-and-resumed table byte-identical ($(wc -c <"$replay_tmp/campaign-full.txt") bytes)"
 
+echo "== parallel-in-space gate (sharded simulation core ≡ sequential engine, byte-for-byte)"
+# The same artifact rendered by the single-engine core and by the
+# 4-domain sharded core must print identical bytes: same traces, same
+# kappa, same obs counters. table2 spans every environment, including
+# noise contention and the dual-replayer merge.
+shard_run() { # $1 = -sim-shards value
+	"$replay_tmp/experiments" -run table2 -packets 2000 -runs 2 -seed 7 \
+		-sim-shards "$1" 2>/dev/null
+}
+shard_run 1 >"$replay_tmp/shards1.txt"
+shard_run 4 >"$replay_tmp/shards4.txt"
+cmp "$replay_tmp/shards1.txt" "$replay_tmp/shards4.txt"
+echo "experiments table2: -sim-shards 4 byte-identical to -sim-shards 1 ($(wc -c <"$replay_tmp/shards1.txt") bytes)"
+# Same equivalence under fault plans, with the race detector watching the
+# domain handoffs (go run -race; the campaign path covers the injector).
+shard_campaign() { # $1 = -sim-shards value
+	go run -race ./cmd/experiments -campaign psimgate -envs "Local Single-Replayer" \
+		-conditions "drop=0.005,jitter=2e3;dup=0.002,reorder=0.01" \
+		-reps 1 -packets 1000 -runs 2 -seed 7 \
+		-journal "$replay_tmp/psim-$1.journal" -sim-shards "$1" 2>/dev/null
+}
+shard_campaign 1 >"$replay_tmp/psim-c1.txt"
+shard_campaign 4 >"$replay_tmp/psim-c4.txt"
+cmp "$replay_tmp/psim-c1.txt" "$replay_tmp/psim-c4.txt"
+echo "fault campaign under -race: sharded core byte-identical to sequential ($(wc -c <"$replay_tmp/psim-c1.txt") bytes)"
+
 echo "== choird service gate (served report ≡ offline consistency; SIGTERM drain + journal resume)"
 go build -o "$replay_tmp/choird" ./cmd/choird
 go build -o "$replay_tmp/consistency" ./cmd/consistency
@@ -210,6 +236,20 @@ if [ "$MODE" = "-bench" ]; then
 			if (allocs == "") { print "FAIL: no allocs/op sample for MetricsCompare"; exit 1 }
 			printf "BenchmarkMetricsCompare: %d allocs/op (budget 1490 = 30%% under the 2128 seed)\n", allocs
 			if (allocs + 0 > 1490) { print "FAIL: MetricsCompare allocs/op regressed past budget"; exit 1 }
+		}'
+	# BenchmarkHandoff: the cross-domain handoff path (actor Send → SPSC
+	# ring → Inject → pooled heap insert) must not allocate in steady
+	# state; budget 2 leaves headroom for runtime noise only.
+	ho_out=$(go test ./internal/psim -run='^$' -bench='Handoff$' -benchmem)
+	printf '%s\n' "$ho_out"
+	printf '%s\n' "$ho_out" | awk '
+		/BenchmarkHandoff/ {
+			for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i-1)
+		}
+		END {
+			if (allocs == "") { print "FAIL: no allocs/op sample for psim Handoff"; exit 1 }
+			printf "BenchmarkHandoff: %d allocs/op (budget 2; steady state is 0)\n", allocs
+			if (allocs + 0 > 2) { print "FAIL: psim handoff path allocates"; exit 1 }
 		}'
 	# BenchmarkStreamKappa shards=4: position-buffer and winState reuse
 	# landed ~4.5k allocs/op on the 50k-packet pair; budget 9000 catches
