@@ -133,6 +133,33 @@ func TestCampaignResumeByteIdenticalCLI(t *testing.T) {
 	}
 }
 
+// federatedArgs returns the flags for a small federated campaign over
+// the same matrix campaignArgs uses.
+func federatedArgs(sites string) []string {
+	return []string{
+		"-federate", "-sites", sites,
+		"-envs", "Local Single-Replayer",
+		"-conditions", "clean;drop=0.02,jitter=2e3",
+		"-reps", "2", "-packets", "1000", "-runs", "2", "-seed", "7",
+	}
+}
+
+// TestFederatedStdoutIndependentOfSites: the federated campaign's
+// stdout is byte-identical across site counts — the κ identity the
+// federation promises, held at the experiments CLI boundary (cmd/fedsim
+// golden-pins the same document and adds membership-fault injection).
+func TestFederatedStdoutIndependentOfSites(t *testing.T) {
+	ref := runCLI(t, federatedArgs("1")...)
+	if !strings.Contains(string(ref), "Federated replay campaign") {
+		t.Fatalf("federated run did not render the federation document:\n%s", ref)
+	}
+	for _, sites := range []string{"2", "4"} {
+		if got := runCLI(t, federatedArgs(sites)...); !bytes.Equal(got, ref) {
+			t.Fatalf("-federate stdout depends on -sites %s:\n--- got ---\n%s\n--- sites=1 ---\n%s", sites, got, ref)
+		}
+	}
+}
+
 // TestCampaignJournalGuardCLI: a fresh run over an existing journal is
 // refused with a pointer at -resume.
 func TestCampaignJournalGuardCLI(t *testing.T) {

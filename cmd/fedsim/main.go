@@ -1,0 +1,172 @@
+// Command fedsim runs a federated replay campaign: N simulated sites
+// coordinated by a ring-membership protocol execute the deterministic
+// (environment × condition × rep) trial matrix in epochs, merge their
+// κ partial sums hierarchically up the ring, and render one document.
+//
+//	fedsim -sites 4                               # clean federated campaign
+//	fedsim -sites 4 -crash site0@1                # crash a site at the epoch-1 barrier
+//	fedsim -sites 6 -partition site2@1 -heal @2   # cut a site off for one epoch
+//
+// The document on stdout is byte-identical across -sites and -workers —
+// the federation's central identity, gated in verify.sh. Membership
+// faults degrade it to annotated rows (lost / unreachable), never an
+// abort. Everything N-dependent — elections, assignments, handoffs,
+// the final coordinator — goes to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/federation"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "fedsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// eventFlag collects repeatable membership-fault flags ("-crash
+// site0@1 -crash site2@2") into a federation schedule.
+type eventFlag struct {
+	kind  federation.EventKind
+	sched *federation.Schedule
+}
+
+func (f eventFlag) String() string { return "" }
+
+func (f eventFlag) Set(spec string) error {
+	ev, err := federation.ParseEvent(f.kind, spec)
+	if err != nil {
+		return err
+	}
+	*f.sched = append(*f.sched, ev)
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	sites := fs.Int("sites", 4, "simulated replay sites in the ring (output is byte-identical across values)")
+	succ := fs.Int("succ", 0, "ring successor-list length (0 = protocol default)")
+	reps := fs.Int("reps", 2, "repetitions per (environment, condition) cell")
+	packets := fs.Int("packets", 0, "recorded packets per trial (0 = default scale)")
+	runs := fs.Int("runs", 3, "replay trials per experiment")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	workers := fs.Int("workers", runtime.NumCPU(), "trial scheduler width within an epoch (bit-identical to 1)")
+	simShards := fs.Int("sim-shards", 1, "event domains per simulation (bit-identical to 1)")
+	envNames := fs.String("envs", "", "comma-separated environment subset (default: all)")
+	conditions := fs.String("conditions", "clean",
+		"semicolon-separated noise conditions, each a fault plan spec like 'drop=0.005,jitter=2e3' ('clean' = none)")
+	quiet := fs.Bool("quiet", false, "suppress federation diagnostics on stderr")
+
+	var sched federation.Schedule
+	for _, ef := range []struct {
+		name, usage string
+		kind        federation.EventKind
+	}{
+		{"crash", "crash a site at an epoch barrier: site@epoch (repeatable)", federation.EventCrash},
+		{"leave", "graceful leave with custody handoff: site@epoch (repeatable)", federation.EventLeave},
+		{"join", "join a new site mid-campaign: site@epoch (repeatable)", federation.EventJoin},
+		{"slow", "site skips stabilization steps: site@epoch:k (repeatable)", federation.EventSlow},
+		{"partition", "cut a site off from the portal group: site@epoch (repeatable)", federation.EventPartition},
+		{"heal", "reunite all partition groups: @epoch (repeatable)", federation.EventHeal},
+	} {
+		fs.Var(eventFlag{ef.kind, &sched}, ef.name, ef.usage)
+	}
+	ocli := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := ocli.Start(); err != nil {
+		return err
+	}
+
+	cfg := federation.Config{
+		Sites: *sites, SuccLen: *succ, Reps: *reps, Packets: *packets,
+		Runs: *runs, Seed: *seed, Shards: *simShards, Events: sched,
+		Pool: parallel.New(*workers).WithObs(ocli.Obs().Registry()),
+		Obs:  ocli.Obs(),
+	}
+	if !*quiet {
+		cfg.Log = stderr
+	}
+	var err error
+	if cfg.Envs, err = selectEnvs(*envNames); err != nil {
+		return err
+	}
+	if cfg.Conditions, err = parseConditions(*conditions); err != nil {
+		return err
+	}
+
+	out, err := federation.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, out.Doc)
+	fmt.Fprintf(stderr, "fedsim: %d trials over %d epochs, %d failed, %d lost, %d unreachable; coordinator %s, alive %s\n",
+		out.Trials, out.Epochs, out.Failed, out.Lost, out.Unreachable,
+		out.Coordinator, strings.Join(out.Alive, ","))
+	if ocli.Enabled() {
+		fmt.Fprintf(stderr, "%s\n", ocli.Summary())
+	}
+	return ocli.Finish()
+}
+
+// selectEnvs resolves a comma-separated environment subset ("" = all).
+func selectEnvs(names string) ([]testbed.Env, error) {
+	if strings.TrimSpace(names) == "" {
+		return nil, nil // federation.Config defaults to all environments
+	}
+	all := testbed.AllEnvironments()
+	var out []testbed.Env
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, e := range all {
+			if strings.EqualFold(e.Name, name) {
+				out = append(out, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown environment %q", name)
+		}
+	}
+	return out, nil
+}
+
+// parseConditions parses the semicolon-separated noise-condition list;
+// each condition is a fault plan spec (fault.ParsePlan) named by its
+// spec text.
+func parseConditions(specs string) ([]campaign.Condition, error) {
+	var out []campaign.Condition
+	for _, spec := range strings.Split(specs, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		plan, err := fault.ParsePlan(spec)
+		if err != nil {
+			return nil, err
+		}
+		name := spec
+		if plan.IsIdentity() {
+			name = "clean"
+		}
+		out = append(out, campaign.Condition{Name: name, Plan: plan})
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// checkGolden byte-compares got against testdata/golden/<name>, or
+// rewrites the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// runCLI invokes the command in-process and returns stdout; stderr (the
+// N-dependent federation diagnostics) is swallowed — only stdout is
+// contractually deterministic.
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// baseArgs is the small two-condition federated campaign every test
+// builds on.
+func baseArgs(extra ...string) []string {
+	args := []string{
+		"-envs", "Local Single-Replayer",
+		"-conditions", "clean;drop=0.02,jitter=2e3",
+		"-reps", "2", "-packets", "800", "-runs", "2", "-seed", "7",
+	}
+	return append(args, extra...)
+}
+
+// TestGoldenClean pins the clean federated document byte-for-byte.
+func TestGoldenClean(t *testing.T) {
+	checkGolden(t, "clean.txt", runCLI(t, baseArgs("-sites", "4")...))
+}
+
+// TestGoldenSiteDrop pins the degraded document after a mid-campaign
+// site crash: surviving rows identical, lost rows annotated, campaign
+// completed rather than aborted.
+func TestGoldenSiteDrop(t *testing.T) {
+	checkGolden(t, "sitedrop.txt",
+		runCLI(t, baseArgs("-sites", "4", "-reps", "4", "-crash", "site0@2")...))
+}
+
+// TestStdoutIndependentOfSites is the federation identity at the CLI
+// boundary: -sites 1/2/8 all render the bytes pinned by the -sites 4
+// golden, across worker widths too.
+func TestStdoutIndependentOfSites(t *testing.T) {
+	ref := runCLI(t, baseArgs("-sites", "4")...)
+	for _, args := range [][]string{
+		baseArgs("-sites", "1"),
+		baseArgs("-sites", "2", "-workers", "1"),
+		baseArgs("-sites", "8", "-workers", "3"),
+	} {
+		if got := runCLI(t, args...); !bytes.Equal(got, ref) {
+			t.Fatalf("stdout depends on site count (%v):\n--- got ---\n%s\n--- sites=4 ---\n%s", args, got, ref)
+		}
+	}
+}
+
+// TestGracefulLeaveMatchesClean: a leave hands custody off, so the
+// document stays byte-identical to the undisturbed golden.
+func TestGracefulLeaveMatchesClean(t *testing.T) {
+	clean := runCLI(t, baseArgs("-sites", "4")...)
+	left := runCLI(t, baseArgs("-sites", "4", "-leave", "site2@1")...)
+	if !bytes.Equal(clean, left) {
+		t.Fatalf("graceful leave changed the document:\n--- leave ---\n%s\n--- clean ---\n%s", left, clean)
+	}
+}
+
+// TestBadFlagSpecs: malformed event and condition specs fail with
+// nothing on stdout.
+func TestBadFlagSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-crash", "site0"},          // missing @epoch
+		{"-slow", "site0@1"},         // missing :k
+		{"-heal", "site0@1"},         // heal takes @epoch only
+		{"-conditions", "warp=0.5"},  // unknown fault field
+		{"-envs", "No Such Testbed"}, // unknown environment
+	} {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) accepted a bad spec", args)
+		} else if stdout.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on error: %q", args, stdout.String())
+		} else if strings.TrimSpace(err.Error()) == "" {
+			t.Errorf("run(%v): empty error", args)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package fabric
+package fabric_test
 
 import (
 	"fmt"
@@ -7,50 +7,20 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/fabric/fabrictest"
 )
 
-func tinyFederation() *Federation {
-	return NewFederation(
-		SiteSpec{Name: "A", Cores: 16, RAMGiB: 64, DiskGiB: 500, SharedVFs: 4, DedicatedNICs: 4, PTP: true},
-		SiteSpec{Name: "B", Cores: 8, RAMGiB: 32, DiskGiB: 200, SharedVFs: 2, DedicatedNICs: 0, PTP: false},
-	)
-}
-
-// paperSlice builds the artifact's three-VM topology on site A.
-func paperSlice(t *testing.T, f *Federation, model NICModel) *Slice {
-	t.Helper()
-	s := f.NewSlice("choir")
-	gen, err := s.AddNode("generator", "A", 4, 16, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, err := s.AddNode("replayer", "A", 4, 16, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rec, err := s.AddNode("recorder", "A", 4, 16, 100)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gi, _ := gen.AddNIC("g0", model)
-	ri, _ := rep.AddNIC("r0", model)
-	ci, _ := rec.AddNIC("c0", model)
-	if _, err := s.AddService("net", L2Bridge, gi, ri, ci); err != nil {
-		t.Fatal(err)
-	}
-	return s
-}
-
 func TestSliceLifecycle(t *testing.T) {
-	f := tinyFederation()
-	s := paperSlice(t, f, DedicatedConnectX6)
-	if s.State() != StateDraft {
+	f := fabrictest.TinyFederation()
+	s := fabrictest.PaperSlice(t, f, fabric.DedicatedConnectX6)
+	if s.State() != fabric.StateDraft {
 		t.Fatalf("state %v", s.State())
 	}
 	if err := s.Submit(); err != nil {
 		t.Fatal(err)
 	}
-	if s.State() != StateActive {
+	if s.State() != fabric.StateActive {
 		t.Fatalf("state %v after submit", s.State())
 	}
 	site, _ := f.Site("A")
@@ -69,12 +39,12 @@ func TestSliceLifecycle(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	empty := f.NewSlice("empty")
 	if err := empty.Submit(); err == nil {
 		t.Fatal("empty slice accepted")
 	}
-	s := paperSlice(t, f, DedicatedConnectX6)
+	s := fabrictest.PaperSlice(t, f, fabric.DedicatedConnectX6)
 	if err := s.Submit(); err != nil {
 		t.Fatal(err)
 	}
@@ -85,19 +55,19 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := s.AddNode("late", "A", 1, 1, 1); err == nil {
 		t.Fatal("AddNode on active slice accepted")
 	}
-	if _, err := s.Nodes()[0].AddNIC("late", SharedNIC); err == nil {
+	if _, err := s.Nodes()[0].AddNIC("late", fabric.SharedNIC); err == nil {
 		t.Fatal("AddNIC on active slice accepted")
 	}
 }
 
 func TestCapacityExhaustion(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	// Site A has 4 dedicated NICs; a slice wanting 5 must fail and
 	// leave no residue.
 	s := f.NewSlice("greedy")
 	n, _ := s.AddNode("n", "A", 4, 16, 100)
 	for i := 0; i < 5; i++ {
-		n.AddNIC(fmt.Sprintf("d%d", i), DedicatedConnectX6)
+		n.AddNIC(fmt.Sprintf("d%d", i), fabric.DedicatedConnectX6)
 	}
 	if err := s.Submit(); err == nil {
 		t.Fatal("over-allocation accepted")
@@ -109,14 +79,14 @@ func TestCapacityExhaustion(t *testing.T) {
 }
 
 func TestRollbackAcrossSites(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	s := f.NewSlice("cross")
 	a, _ := s.AddNode("a", "A", 4, 16, 100)
-	a.AddNIC("x", SharedNIC)
+	a.AddNIC("x", fabric.SharedNIC)
 	b, _ := s.AddNode("b", "B", 4, 16, 100)
 	// Site B has zero dedicated NICs: this demand must fail the whole
 	// submit and roll back site A.
-	b.AddNIC("y", DedicatedConnectX6)
+	b.AddNIC("y", fabric.DedicatedConnectX6)
 	if err := s.Submit(); err == nil {
 		t.Fatal("impossible cross-site slice accepted")
 	}
@@ -127,38 +97,38 @@ func TestRollbackAcrossSites(t *testing.T) {
 }
 
 func TestServiceValidation(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	s := f.NewSlice("svc")
 	na, _ := s.AddNode("na", "A", 1, 4, 10)
 	nb, _ := s.AddNode("nb", "B", 1, 4, 10)
-	ia, _ := na.AddNIC("ia", SharedNIC)
-	ib, _ := nb.AddNIC("ib", SharedNIC)
+	ia, _ := na.AddNIC("ia", fabric.SharedNIC)
+	ib, _ := nb.AddNIC("ib", fabric.SharedNIC)
 
 	// L2Bridge across sites is invalid.
-	if _, err := s.AddService("bad", L2Bridge, ia, ib); err == nil {
+	if _, err := s.AddService("bad", fabric.L2Bridge, ia, ib); err == nil {
 		t.Fatal("cross-site L2Bridge accepted")
 	}
 	// L2PTP wants exactly two interfaces.
-	if _, err := s.AddService("bad2", L2PTP, ia); err == nil {
+	if _, err := s.AddService("bad2", fabric.L2PTP, ia); err == nil {
 		t.Fatal("one-ended L2PTP accepted")
 	}
-	if _, err := s.AddService("ok", L2PTP, ia, ib); err != nil {
+	if _, err := s.AddService("ok", fabric.L2PTP, ia, ib); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AddService("none", FABNetv4); err == nil {
+	if _, err := s.AddService("none", fabric.FABNetv4); err == nil {
 		t.Fatal("service without interfaces accepted")
 	}
 	// Foreign interface rejected.
 	other := f.NewSlice("other")
 	no, _ := other.AddNode("n", "A", 1, 4, 10)
-	io, _ := no.AddNIC("i", SharedNIC)
-	if _, err := s.AddService("foreign", FABNetv4, io); err == nil {
+	io, _ := no.AddNIC("i", fabric.SharedNIC)
+	if _, err := s.AddService("foreign", fabric.FABNetv4, io); err == nil {
 		t.Fatal("foreign interface accepted")
 	}
 }
 
 func TestNodeValidation(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	s := f.NewSlice("v")
 	if _, err := s.AddNode("n", "NOPE", 1, 1, 1); err == nil {
 		t.Fatal("unknown site accepted")
@@ -173,7 +143,7 @@ func TestNodeValidation(t *testing.T) {
 }
 
 func TestLeastUtilizedSite(t *testing.T) {
-	f := tinyFederation()
+	f := fabrictest.TinyFederation()
 	site, err := f.LeastUtilizedSite(true)
 	if err != nil {
 		t.Fatal(err)
@@ -182,7 +152,7 @@ func TestLeastUtilizedSite(t *testing.T) {
 		t.Fatalf("picked %s", site.Spec().Name)
 	}
 	// Fill A; with PTP not required, B becomes least utilized.
-	s := paperSlice(t, f, SharedNIC)
+	s := fabrictest.PaperSlice(t, f, fabric.SharedNIC)
 	if err := s.Submit(); err != nil {
 		t.Fatal(err)
 	}
@@ -194,16 +164,16 @@ func TestLeastUtilizedSite(t *testing.T) {
 		t.Fatalf("picked %s after loading A", site.Spec().Name)
 	}
 	// Require PTP from a federation with none.
-	noPTP := NewFederation(SiteSpec{Name: "X", Cores: 1, RAMGiB: 1, DiskGiB: 1})
+	noPTP := fabric.NewFederation(fabric.SiteSpec{Name: "X", Cores: 1, RAMGiB: 1, DiskGiB: 1})
 	if _, err := noPTP.LeastUtilizedSite(true); err == nil {
 		t.Fatal("PTP requirement not enforced")
 	}
 }
 
 func TestEnvironmentFromSlice(t *testing.T) {
-	f := tinyFederation()
-	s := paperSlice(t, f, DedicatedConnectX6)
-	plan := ExperimentPlan{Generator: "generator", Recorder: "recorder", Replayers: []string{"replayer"}}
+	f := fabrictest.TinyFederation()
+	s := fabrictest.PaperSlice(t, f, fabric.DedicatedConnectX6)
+	plan := fabric.ExperimentPlan{Generator: "generator", Recorder: "recorder", Replayers: []string{"replayer"}}
 	if _, err := s.Environment(plan); err == nil {
 		t.Fatal("draft slice instantiated")
 	}
@@ -227,12 +197,12 @@ func TestEnvironmentFromSlice(t *testing.T) {
 }
 
 func TestEnvironmentSharedAndRate(t *testing.T) {
-	f := tinyFederation()
-	s := paperSlice(t, f, SharedNIC)
+	f := fabrictest.TinyFederation()
+	s := fabrictest.PaperSlice(t, f, fabric.SharedNIC)
 	if err := s.Submit(); err != nil {
 		t.Fatal(err)
 	}
-	env, err := s.Environment(ExperimentPlan{
+	env, err := s.Environment(fabric.ExperimentPlan{
 		Generator: "generator", Recorder: "recorder",
 		Replayers: []string{"replayer"}, RateGbps: 80,
 	})
@@ -245,10 +215,10 @@ func TestEnvironmentSharedAndRate(t *testing.T) {
 }
 
 func TestEnvironmentValidation(t *testing.T) {
-	f := tinyFederation()
-	s := paperSlice(t, f, SharedNIC)
+	f := fabrictest.TinyFederation()
+	s := fabrictest.PaperSlice(t, f, fabric.SharedNIC)
 	s.Submit()
-	cases := []ExperimentPlan{
+	cases := []fabric.ExperimentPlan{
 		{Generator: "nope", Recorder: "recorder", Replayers: []string{"replayer"}},
 		{Generator: "generator", Recorder: "nope", Replayers: []string{"replayer"}},
 		{Generator: "generator", Recorder: "recorder"},
@@ -264,7 +234,7 @@ func TestEnvironmentValidation(t *testing.T) {
 func TestEndToEndSliceExperiment(t *testing.T) {
 	// The artifact workflow in miniature: provision → instantiate →
 	// run → metrics.
-	f := DefaultFederation()
+	f := fabric.DefaultFederation()
 	site, err := f.LeastUtilizedSite(true)
 	if err != nil {
 		t.Fatal(err)
@@ -273,16 +243,16 @@ func TestEndToEndSliceExperiment(t *testing.T) {
 	gen, _ := s.AddNode("generator", site.Spec().Name, 4, 16, 100)
 	rep, _ := s.AddNode("replayer", site.Spec().Name, 4, 16, 100)
 	rec, _ := s.AddNode("recorder", site.Spec().Name, 4, 16, 100)
-	gi, _ := gen.AddNIC("g", DedicatedConnectX6)
-	ri, _ := rep.AddNIC("r", DedicatedConnectX6)
-	ci, _ := rec.AddNIC("c", DedicatedConnectX6)
-	if _, err := s.AddService("net", L2Bridge, gi, ri, ci); err != nil {
+	gi, _ := gen.AddNIC("g", fabric.DedicatedConnectX6)
+	ri, _ := rep.AddNIC("r", fabric.DedicatedConnectX6)
+	ci, _ := rec.AddNIC("c", fabric.DedicatedConnectX6)
+	if _, err := s.AddService("net", fabric.L2Bridge, gi, ri, ci); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Submit(); err != nil {
 		t.Fatal(err)
 	}
-	env, err := s.Environment(ExperimentPlan{
+	env, err := s.Environment(fabric.ExperimentPlan{
 		Generator: "generator", Recorder: "recorder", Replayers: []string{"replayer"},
 	})
 	if err != nil {
@@ -302,35 +272,35 @@ func TestEndToEndSliceExperiment(t *testing.T) {
 
 func TestUtilizationScalesStalls(t *testing.T) {
 	// A busy site must pressure VMs harder than an idle one.
-	f := NewFederation(SiteSpec{Name: "BUSY", Cores: 16, RAMGiB: 100, DiskGiB: 1000, SharedVFs: 10, DedicatedNICs: 5, PTP: true})
+	f := fabric.NewFederation(fabric.SiteSpec{Name: "BUSY", Cores: 16, RAMGiB: 100, DiskGiB: 1000, SharedVFs: 10, DedicatedNICs: 5, PTP: true})
 	// Pre-load the site to ~75% cores with another tenant.
 	tenant := f.NewSlice("tenant")
 	tn, _ := tenant.AddNode("t", "BUSY", 12, 10, 10)
-	tn.AddNIC("t0", SharedNIC)
+	tn.AddNIC("t0", fabric.SharedNIC)
 	if err := tenant.Submit(); err != nil {
 		t.Fatal(err)
 	}
 
-	mk := func(fed *Federation) float64 {
+	mk := func(fed *fabric.Federation) float64 {
 		s := fed.NewSlice("exp")
 		g, _ := s.AddNode("g", fed.SiteNames()[0], 1, 4, 10)
 		r, _ := s.AddNode("r", fed.SiteNames()[0], 1, 4, 10)
 		c, _ := s.AddNode("c", fed.SiteNames()[0], 1, 4, 10)
-		gi, _ := g.AddNIC("g0", DedicatedConnectX6)
-		ri, _ := r.AddNIC("r0", DedicatedConnectX6)
-		ci, _ := c.AddNIC("c0", DedicatedConnectX6)
-		s.AddService("net", L2Bridge, gi, ri, ci)
+		gi, _ := g.AddNIC("g0", fabric.DedicatedConnectX6)
+		ri, _ := r.AddNIC("r0", fabric.DedicatedConnectX6)
+		ci, _ := c.AddNIC("c0", fabric.DedicatedConnectX6)
+		s.AddService("net", fabric.L2Bridge, gi, ri, ci)
 		if err := s.Submit(); err != nil {
 			t.Fatal(err)
 		}
-		env, err := s.Environment(ExperimentPlan{Generator: "g", Recorder: "c", Replayers: []string{"r"}})
+		env, err := s.Environment(fabric.ExperimentPlan{Generator: "g", Recorder: "c", Replayers: []string{"r"}})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return env.StallGap.Mean()
 	}
 
-	idle := NewFederation(SiteSpec{Name: "IDLE", Cores: 1000, RAMGiB: 10000, DiskGiB: 100000, SharedVFs: 10, DedicatedNICs: 5, PTP: true})
+	idle := fabric.NewFederation(fabric.SiteSpec{Name: "IDLE", Cores: 1000, RAMGiB: 10000, DiskGiB: 100000, SharedVFs: 10, DedicatedNICs: 5, PTP: true})
 	busyGap := mk(f)
 	idleGap := mk(idle)
 	if busyGap >= idleGap {

@@ -1,0 +1,65 @@
+// Package fabrictest provides the shared fabric fixtures the fabric
+// and federation test suites build on: a two-site federation with
+// asymmetric capacity (one generous PTP site, one small non-PTP site)
+// and the paper artifact's three-VM slice topology. Promoted out of
+// fabric's own tests so downstream suites reuse the exact fixtures
+// instead of copy-pasting them.
+package fabrictest
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// TinyFederation returns the canonical two-site test federation:
+// site A (16 cores, 4 dedicated NICs, PTP) and site B (8 cores, no
+// dedicated NICs, no PTP). Capacity and rollback tests depend on these
+// exact numbers.
+func TinyFederation() *fabric.Federation {
+	return fabric.NewFederation(
+		fabric.SiteSpec{Name: "A", Cores: 16, RAMGiB: 64, DiskGiB: 500, SharedVFs: 4, DedicatedNICs: 4, PTP: true},
+		fabric.SiteSpec{Name: "B", Cores: 8, RAMGiB: 32, DiskGiB: 200, SharedVFs: 2, DedicatedNICs: 0, PTP: false},
+	)
+}
+
+// PaperSlice builds the artifact's three-VM topology (generator →
+// replayer → recorder on an L2Bridge) on site A, with every NIC of the
+// given model. The slice is left in draft state.
+func PaperSlice(tb testing.TB, f *fabric.Federation, model fabric.NICModel) *fabric.Slice {
+	tb.Helper()
+	s := f.NewSlice("choir")
+	gen, err := s.AddNode("generator", "A", 4, 16, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rep, err := s.AddNode("replayer", "A", 4, 16, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rec, err := s.AddNode("recorder", "A", 4, 16, 100)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gi, _ := gen.AddNIC("g0", model)
+	ri, _ := rep.AddNIC("r0", model)
+	ci, _ := rec.AddNIC("c0", model)
+	if _, err := s.AddService("net", fabric.L2Bridge, gi, ri, ci); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// Wide returns a federation of n uniform generous PTP sites named
+// site0..site<n-1> — the shape federated replay campaigns provision.
+func Wide(n int) *fabric.Federation {
+	specs := make([]fabric.SiteSpec, n)
+	for k := range specs {
+		specs[k] = fabric.SiteSpec{
+			Name: fmt.Sprintf("site%d", k), Cores: 64, RAMGiB: 512, DiskGiB: 4096,
+			SharedVFs: 16, DedicatedNICs: 2, PTP: true,
+		}
+	}
+	return fabric.NewFederation(specs...)
+}

@@ -1,0 +1,52 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/fabric/fabrictest"
+)
+
+// TestAdmitSliceCapacity exercises fabric admission with the shared
+// fabrictest fixtures: the campaign's three-VM replay slice (16 cores,
+// 64 GiB, 3 shared VFs) fits site A of the tiny federation exactly and
+// is rejected by the smaller site B — the admission gate that keeps an
+// under-provisioned site out of the ring.
+func TestAdmitSliceCapacity(t *testing.T) {
+	f := fabrictest.TinyFederation()
+	if err := admitSlice(f, "A"); err != nil {
+		t.Fatalf("site A (16 cores) should admit the replay slice: %v", err)
+	}
+	siteA, ok := f.Site("A")
+	if !ok {
+		t.Fatal("site A missing")
+	}
+	if siteA.Utilization() == 0 {
+		t.Fatal("admission did not allocate on site A")
+	}
+	if err := admitSlice(f, "B"); err == nil {
+		t.Fatal("site B (8 cores) admitted a 16-core slice")
+	}
+	// The failed admission must not leak partial allocations.
+	siteB, ok := f.Site("B")
+	if !ok {
+		t.Fatal("site B missing")
+	}
+	if siteB.Utilization() != 0 {
+		t.Fatal("failed admission leaked resources on site B")
+	}
+	// A second tenant on the now-full site A must also bounce cleanly.
+	if err := admitSlice(f, "A"); err == nil {
+		t.Fatal("site A admitted a second full-size slice at zero headroom")
+	}
+}
+
+// TestWideFederationAdmitsAll: the uniform generous fixture admits the
+// replay slice on every site — the provisioning shape Run assumes.
+func TestWideFederationAdmitsAll(t *testing.T) {
+	f := fabrictest.Wide(8)
+	for _, name := range f.SiteNames() {
+		if err := admitSlice(f, name); err != nil {
+			t.Fatalf("site %s rejected the replay slice: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// expectedLeader returns the name with the smallest ring ID — the
+// protocol's election winner by definition.
+func expectedLeader(names []string) string {
+	best := names[0]
+	for _, n := range names[1:] {
+		if IDOf(n) < IDOf(best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// TestElectionConvergesFromAnyPermutation: whatever order sites join
+// in, stabilization converges every member's belief to the same unique
+// leader — the member with the smallest ring ID.
+func TestElectionConvergesFromAnyPermutation(t *testing.T) {
+	base := make([]string, 7)
+	for i := range base {
+		base[i] = SiteName(i)
+	}
+	want := expectedLeader(base)
+	perms := [][]string{append([]string(nil), base...)}
+	rev := append([]string(nil), base...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	perms = append(perms, rev)
+	rng := rand.New(rand.NewSource(5))
+	for p := 0; p < 40; p++ {
+		perm := append([]string(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		perms = append(perms, perm)
+	}
+	for pi, perm := range perms {
+		pi, perm := pi, perm
+		t.Run(fmt.Sprintf("perm%d", pi), func(t *testing.T) {
+			r := NewRing(RingConfig{})
+			for _, n := range perm {
+				if err := r.Join(n); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !r.RunToFixpoint(64) {
+				t.Fatal("no fixpoint")
+			}
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := r.Coordinator()
+			if !ok {
+				t.Fatalf("no unique leader: %v", r.Leaders())
+			}
+			if got != want {
+				t.Fatalf("leader %q, want %q (min ring ID)", got, want)
+			}
+			// Unanimity, not just agreement at the accessor level.
+			for member, belief := range r.Leaders() {
+				if belief != want {
+					t.Fatalf("member %s believes leader is %s, want %s", member, belief, want)
+				}
+			}
+		})
+	}
+}
+
+// TestReElectionAfterLeaderFailure: crashing the coordinator forces a
+// re-election that converges on the next-smallest ID, with invariants
+// intact throughout the repair.
+func TestReElectionAfterLeaderFailure(t *testing.T) {
+	names := make([]string, 6)
+	r := NewRing(RingConfig{})
+	for i := range names {
+		names[i] = SiteName(i)
+		if err := r.Join(names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !r.RunToFixpoint(64) {
+		t.Fatal("no fixpoint")
+	}
+	leader, ok := r.Coordinator()
+	if !ok {
+		t.Fatal("no initial leader")
+	}
+	if err := r.Crash(leader); err != nil {
+		t.Fatal(err)
+	}
+	var survivors []string
+	for _, n := range names {
+		if n != leader {
+			survivors = append(survivors, n)
+		}
+	}
+	want := expectedLeader(survivors)
+	// Repair step by step, checking invariants after each one; the new
+	// election must settle within bounded rounds.
+	settled := false
+	for round := 0; round < 64 && !settled; round++ {
+		for _, n := range survivors {
+			r.Stabilize(n)
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, ok := r.Coordinator(); ok && got == want {
+			settled = true
+		}
+	}
+	if !settled {
+		t.Fatalf("re-election never settled on %q: %v", want, r.Leaders())
+	}
+}

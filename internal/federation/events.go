@@ -1,0 +1,118 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EventKind enumerates the membership faults a schedule can inject at
+// epoch barriers — fault injection aimed at the control plane itself
+// rather than the data path.
+type EventKind int
+
+const (
+	// EventCrash removes a site abruptly: its held κ partials are lost
+	// and the affected trials degrade to annotated rows.
+	EventCrash EventKind = iota
+	// EventLeave removes a site gracefully: custody hands off to its
+	// effective successor, losing nothing.
+	EventLeave
+	// EventSlow makes a site skip its next K stabilization steps.
+	EventSlow
+	// EventJoin adds a site mid-campaign.
+	EventJoin
+	// EventPartition cuts a site off from the portal group (group 1)
+	// until healed; it keeps its partials but sits out epochs.
+	EventPartition
+	// EventHeal reunites all partition groups.
+	EventHeal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventLeave:
+		return "leave"
+	case EventSlow:
+		return "slow"
+	case EventJoin:
+		return "join"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled membership fault, applied at the barrier
+// before epoch Epoch runs.
+type Event struct {
+	Epoch int
+	Kind  EventKind
+	Site  string // empty for EventHeal
+	K     int    // EventSlow: steps to skip
+}
+
+// Schedule is a set of membership events ordered by epoch (stable for
+// same-epoch events in insertion order).
+type Schedule []Event
+
+// At returns the events scheduled for the barrier before epoch e.
+func (s Schedule) At(e int) []Event {
+	var out []Event
+	for _, ev := range s {
+		if ev.Epoch == e {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Sorted returns the schedule ordered by epoch, stable within.
+func (s Schedule) Sorted() Schedule {
+	out := append(Schedule(nil), s...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
+}
+
+// ParseEvent parses a CLI-style event spec: "site@epoch" for crash /
+// leave / join / partition, "site@epoch:k" for slow, "@epoch" for
+// heal.
+func ParseEvent(kind EventKind, spec string) (Event, error) {
+	ev := Event{Kind: kind}
+	site, rest, ok := strings.Cut(spec, "@")
+	if !ok {
+		return ev, fmt.Errorf("federation: %s spec %q: want site@epoch", kind, spec)
+	}
+	ev.Site = site
+	if kind == EventHeal {
+		if site != "" {
+			return ev, fmt.Errorf("federation: heal spec %q: want @epoch", spec)
+		}
+	} else if site == "" {
+		return ev, fmt.Errorf("federation: %s spec %q: missing site", kind, spec)
+	}
+	if kind == EventSlow {
+		epoch, k, ok := strings.Cut(rest, ":")
+		if !ok {
+			return ev, fmt.Errorf("federation: slow spec %q: want site@epoch:steps", spec)
+		}
+		rest = epoch
+		n, err := strconv.Atoi(k)
+		if err != nil || n < 0 {
+			return ev, fmt.Errorf("federation: slow spec %q: bad step count", spec)
+		}
+		ev.K = n
+	}
+	e, err := strconv.Atoi(rest)
+	if err != nil || e < 0 {
+		return ev, fmt.Errorf("federation: %s spec %q: bad epoch", kind, spec)
+	}
+	ev.Epoch = e
+	return ev, nil
+}

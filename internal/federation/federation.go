@@ -1,0 +1,552 @@
+package federation
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/campaign"
+	"repro/internal/experiments"
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/testbed"
+)
+
+// Config describes a federated replay campaign: the same deterministic
+// (environment × condition × rep) trial matrix as internal/campaign,
+// executed by N ring-coordinated sites in epochs with a membership
+// barrier between epochs. The site count, assignment, and merge tree
+// shape never influence the rendered result — federated output is
+// byte-identical to Sites=1 — so everything N-dependent goes to Log,
+// never the document.
+type Config struct {
+	// Sites is the number of simulated replay sites (default 4). Site
+	// k is named "site<k>" and doubles as a fabric site whose slice
+	// admission gates its membership.
+	Sites int
+	// SuccLen is the ring successor-list length (default 3).
+	SuccLen int
+	// Envs / Conditions / Reps / Packets / Runs / Seed mirror
+	// campaign.Config: the trial matrix is expanded in the identical
+	// deterministic order with the identical per-trial derived seeds.
+	Envs       []testbed.Env
+	Conditions []campaign.Condition
+	Reps       int
+	Packets    int
+	Runs       int
+	Seed       int64
+	// Shards partitions each trial's simulation across psim event
+	// domains (1 = sequential engine). Bit-identical either way.
+	Shards int
+	// Pool fans an epoch's trials out across workers (nil =
+	// sequential); results are index-addressed so width never changes
+	// the output.
+	Pool *parallel.Pool
+	// Obs receives federation counters and spans (nil-safe). The
+	// identity set — trials run, partials lost, merge operations — is
+	// N-independent by construction; per-site gauges are not and are
+	// never part of the differential gates.
+	Obs *obs.Obs
+	// Events is the membership fault schedule, applied at epoch
+	// barriers.
+	Events Schedule
+	// Log receives N-dependent federation diagnostics (elections,
+	// assignments, handoffs); nil is silent. Never part of the
+	// deterministic document.
+	Log io.Writer
+}
+
+func (c Config) defaults() Config {
+	if c.Sites <= 0 {
+		c.Sites = 4
+	}
+	if len(c.Envs) == 0 {
+		c.Envs = testbed.AllEnvironments()
+	}
+	if len(c.Conditions) == 0 {
+		c.Conditions = []campaign.Condition{{Name: "clean"}}
+	}
+	if c.Reps == 0 {
+		c.Reps = 2
+	}
+	if c.Packets == 0 {
+		c.Packets = experiments.DefaultScale
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// seedStride matches campaign's per-trial seed spacing, so trial i of a
+// federated run replays the exact trial i of the equivalent campaign.
+const seedStride = 104729
+
+// SiteName names site k ("site0", "site1", ...).
+func SiteName(k int) string { return fmt.Sprintf("site%d", k) }
+
+// posStride is the width of one comparison's slot in the
+// federation-global position space: generous headroom over any trace
+// the trial can produce (dup faults at most double the packet count).
+func (c Config) posStride() int64 { return int64(8*c.Packets) + 1024 }
+
+type trialSpec struct {
+	Idx  int
+	Env  testbed.Env
+	Cond campaign.Condition
+	Rep  int
+	Seed int64
+}
+
+func (t trialSpec) Key() string {
+	return fmt.Sprintf("%s|%s|rep%d", t.Env.Name, t.Cond.Name, t.Rep)
+}
+
+func (c Config) trials() []trialSpec {
+	out := make([]trialSpec, 0, len(c.Envs)*len(c.Conditions)*c.Reps)
+	for _, env := range c.Envs {
+		for _, cond := range c.Conditions {
+			for rep := 0; rep < c.Reps; rep++ {
+				idx := len(out)
+				out = append(out, trialSpec{
+					Idx: idx, Env: env, Cond: cond, Rep: rep,
+					Seed: c.Seed + int64(idx)*seedStride,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// trialState is a trial's terminal disposition, accumulated as epochs
+// run and custody moves.
+type trialState struct {
+	spec       trialSpec
+	ok         bool
+	err        string
+	mean       metrics.MeanResult
+	maxMissing int
+	sums       []*metrics.Sums
+}
+
+// Outcome is a federated campaign's result.
+type Outcome struct {
+	// Doc is the rendered document — byte-identical across site
+	// counts, merge orders, and (for surviving rows) site failures.
+	Doc string
+	// Merged is the globally merged κ result assembled from every
+	// surviving partial; nil when nothing survived.
+	Merged *metrics.Result
+	// Trials / Failed / Lost / Unreachable count the matrix: total,
+	// failed to execute, partials lost to crashes, and partials
+	// stranded behind an unhealed partition.
+	Trials, Failed, Lost, Unreachable int
+	// Coordinator is the final elected coordinator (diagnostic).
+	Coordinator string
+	// Alive are the sites still in the ring at the end, ring order.
+	Alive []string
+	// Epochs is how many epoch barriers ran.
+	Epochs int
+	// Degraded reports that any trial failed, was lost, or is
+	// unreachable.
+	Degraded bool
+}
+
+// Run executes the federated campaign. Site failures degrade the
+// result (annotated rows, surviving rows intact); only a total
+// federation collapse — no sites left to run a pending epoch — errors.
+func Run(cfg Config) (*Outcome, error) {
+	cfg = cfg.defaults()
+	reg := cfg.Obs.Registry()
+	ctrTrials := reg.Counter("federation_trials_total", "trials executed by the federation")
+	gaugeAlive := reg.Gauge("federation_sites_alive", "sites currently in the ring")
+
+	ledger := NewLedger()
+	ring := NewRing(cfg.ringConfig(ledger))
+
+	// Fabric admission: every site must hold an active slice for the
+	// campaign's artifact topology before it may join the ring. The
+	// trial environments stay the campaign's pinned envs — the slice
+	// models the site's resource admission, not its timing personality
+	// (deriving envs per site would make output depend on N).
+	if err := cfg.admitSites(ring); err != nil {
+		return nil, err
+	}
+
+	if !ring.RunToFixpoint(4 * (cfg.Sites + 1)) {
+		return nil, fmt.Errorf("federation: initial ring failed to stabilize")
+	}
+	if err := ring.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	coord, active, ok := ring.Active()
+	if !ok {
+		return nil, fmt.Errorf("federation: no coordinator elected at start")
+	}
+	cfg.logf("federation: coordinator %s elected; %d sites synchronized for campaign start", coord, len(active))
+	gaugeAlive.SetInt(int64(len(active)))
+
+	all := cfg.trials()
+	states := make([]*trialState, len(all))
+	for i := range all {
+		states[i] = &trialState{spec: all[i]}
+	}
+	cut := map[string]int{} // partitioned sites
+
+	width := cfg.Sites
+	epochs := (len(all) + width - 1) / width
+	for e := 0; e < epochs; e++ {
+		sp := cfg.Obs.SpanTrace().Root("epoch", "federation", obs.L("epoch", fmt.Sprintf("%d", e)))
+		if err := cfg.applyEvents(e, ring, ledger, cut); err != nil {
+			sp.SetError(err)
+			sp.End()
+			return nil, err
+		}
+		// Barrier: stabilize until the portal-side quorum agrees on a
+		// coordinator again (re-election after a leader drop happens
+		// here), then check the ring and custody invariants.
+		coord, active, ok = cfg.barrier(ring)
+		if !ok {
+			err := fmt.Errorf("federation: epoch %d: no quorum (all sites gone or unreachable)", e)
+			sp.SetError(err)
+			sp.End()
+			return nil, err
+		}
+		if err := ring.CheckInvariants(); err != nil {
+			sp.SetError(err)
+			sp.End()
+			return nil, err
+		}
+		if err := ledger.Check(ring.Alive); err != nil {
+			sp.SetError(err)
+			sp.End()
+			return nil, err
+		}
+		gaugeAlive.SetInt(int64(len(active)))
+		lo, hi := e*width, (e+1)*width
+		if hi > len(all) {
+			hi = len(all)
+		}
+		cfg.logf("federation: epoch %d: coordinator %s assigns trials %d..%d across %d sites", e, coord, lo, hi-1, len(active))
+		block := all[lo:hi]
+		outs := make([]*trialState, len(block))
+		perr := cfg.pool().Do(len(block), func(i int) error {
+			outs[i] = cfg.runTrial(block[i])
+			return nil
+		})
+		if perr != nil {
+			sp.SetError(perr)
+			sp.End()
+			return nil, perr
+		}
+		for i, st := range outs {
+			t := block[i]
+			states[t.Idx] = st
+			ctrTrials.Inc()
+			if st.ok {
+				site := active[t.Idx%len(active)]
+				ledger.Assign(site, cfg.partialOf(t, st))
+			}
+		}
+		sp.End()
+	}
+
+	// Final barrier: one more stabilization round so late membership
+	// events (an epoch-indexed event beyond the last epoch is applied
+	// here) settle before aggregation.
+	if err := cfg.applyEvents(epochs, ring, ledger, cut); err != nil {
+		return nil, err
+	}
+	coord, active, ok = cfg.barrier(ring)
+	if !ok {
+		return nil, fmt.Errorf("federation: no quorum at final barrier")
+	}
+	if err := ring.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	if err := ledger.Check(ring.Alive); err != nil {
+		return nil, err
+	}
+
+	return cfg.assemble(ring, ledger, states, coord, active, epochs)
+}
+
+// ringConfig wires the ring's custody hooks into the ledger.
+func (c Config) ringConfig(l *Ledger) RingConfig {
+	return RingConfig{
+		SuccLen: c.SuccLen,
+		OnHandoff: func(from, to string) {
+			c.logf("federation: %s hands %d trial partials to %s", from, l.Held(from), to)
+			l.Handoff(from, to)
+		},
+		OnLost: func(name string) {
+			if n := l.Held(name); n > 0 {
+				c.logf("federation: %s lost %d trial partials", name, n)
+			}
+			l.Lose(name)
+		},
+	}
+}
+
+func (c Config) pool() *parallel.Pool { return c.Pool }
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// admitSites builds the fabric federation and, for every ring site, a
+// generator→replayer→recorder slice whose Submit is the admission
+// gate; a site that cannot get its slice never joins the ring.
+func (c Config) admitSites(ring *Ring) error {
+	specs := make([]fabric.SiteSpec, c.Sites)
+	for k := range specs {
+		specs[k] = fabric.SiteSpec{
+			Name: SiteName(k), Cores: 64, RAMGiB: 512, DiskGiB: 4096,
+			SharedVFs: 16, DedicatedNICs: 2, PTP: true,
+		}
+	}
+	fed := fabric.NewFederation(specs...)
+	for k := 0; k < c.Sites; k++ {
+		name := SiteName(k)
+		if err := admitSlice(fed, name); err != nil {
+			return fmt.Errorf("federation: site %s admission: %w", name, err)
+		}
+		if err := ring.Join(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admitSlice submits the three-VM artifact topology on one site.
+func admitSlice(fed *fabric.Federation, site string) error {
+	sl := fed.NewSlice(site + "/replay")
+	gen, err := sl.AddNode("gen", site, 4, 16, 100)
+	if err != nil {
+		return err
+	}
+	rep, err := sl.AddNode("choir", site, 8, 32, 200)
+	if err != nil {
+		return err
+	}
+	rec, err := sl.AddNode("rec", site, 4, 16, 100)
+	if err != nil {
+		return err
+	}
+	gi, err := gen.AddNIC("gen0", fabric.SharedNIC)
+	if err != nil {
+		return err
+	}
+	ri, err := rep.AddNIC("choir0", fabric.SharedNIC)
+	if err != nil {
+		return err
+	}
+	ci, err := rec.AddNIC("rec0", fabric.SharedNIC)
+	if err != nil {
+		return err
+	}
+	if _, err := sl.AddService("br", fabric.L2Bridge, gi, ri, ci); err != nil {
+		return err
+	}
+	return sl.Submit()
+}
+
+// applyEvents applies the membership events scheduled for epoch e.
+func (c Config) applyEvents(e int, ring *Ring, ledger *Ledger, cut map[string]int) error {
+	for _, ev := range c.Events.At(e) {
+		c.logf("federation: epoch %d: %s %s", e, ev.Kind, ev.Site)
+		switch ev.Kind {
+		case EventCrash:
+			if err := ring.Crash(ev.Site); err != nil {
+				return err
+			}
+			delete(cut, ev.Site)
+		case EventLeave:
+			if err := ring.Leave(ev.Site); err != nil {
+				return err
+			}
+			delete(cut, ev.Site)
+		case EventSlow:
+			if err := ring.SetSlow(ev.Site, ev.K); err != nil {
+				return err
+			}
+		case EventJoin:
+			if err := ring.Join(ev.Site); err != nil {
+				return err
+			}
+		case EventPartition:
+			if !ring.Alive(ev.Site) {
+				return fmt.Errorf("federation: partition target %q not in ring", ev.Site)
+			}
+			cut[ev.Site] = 1
+			ring.Partition(cut)
+		case EventHeal:
+			for s := range cut {
+				delete(cut, s)
+			}
+			ring.Heal()
+		default:
+			return fmt.Errorf("federation: unknown event kind %v", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// barrier stabilizes until the portal-side quorum agrees on a
+// coordinator (bounded rounds).
+func (c Config) barrier(ring *Ring) (coord string, active []string, ok bool) {
+	limit := 4 * (c.Sites + 2)
+	for i := 0; i < limit; i++ {
+		if coord, active, ok = ring.Active(); ok {
+			return coord, active, true
+		}
+		ring.StabilizeAll()
+	}
+	coord, active, ok = ring.Active()
+	return coord, active, ok
+}
+
+// runTrial executes one trial exactly as internal/campaign does: same
+// per-trial fault-plan reseeding, same experiments.Run configuration —
+// so trial i's traces, metrics and κ are bit-identical between a
+// campaign, a 1-site federation, and an N-site federation.
+func (c Config) runTrial(t trialSpec) *trialState {
+	st := &trialState{spec: t}
+	env := t.Env
+	if !t.Cond.Plan.IsIdentity() {
+		plan := t.Cond.Plan
+		plan.Seed ^= uint64(t.Seed)
+		env = plan.PerturbEnv(env)
+	}
+	out, err := experiments.Run(env, experiments.TrialConfig{
+		Packets: c.Packets, Runs: c.Runs, Seed: t.Seed,
+		Obs: c.Obs, Shards: c.Shards,
+	})
+	if err != nil {
+		st.err = err.Error()
+		return st
+	}
+	if len(out.Traces) == 0 || out.Traces[0].Len() == 0 {
+		st.err = fmt.Sprintf("empty reference trace — recorder captured 0 of %d recorded packets", out.Recorded)
+		return st
+	}
+	// Per-comparison partials, offset into the trial's global slots.
+	// Assembling them reproduces out.Results bit for bit (asserted
+	// here: a mismatch would silently corrupt the federated κ).
+	sums := make([]*metrics.Sums, len(out.Results))
+	stride := c.posStride()
+	for i := range out.Results {
+		s, err := metrics.TraceSums(out.Traces[0], out.Traces[i+1])
+		if err != nil {
+			st.err = err.Error()
+			return st
+		}
+		slot := int64(t.Idx)*int64(len(out.Results)) + int64(i)
+		if err := s.Offset(slot * stride); err != nil {
+			st.err = err.Error()
+			return st
+		}
+		if got, want := s.Assemble(), out.Results[i]; got.Kappa != want.Kappa ||
+			got.U != want.U || got.O != want.O || got.L != want.L || got.I != want.I {
+			st.err = fmt.Sprintf("partial-sum assembly diverged from direct comparison (κ %v vs %v)", got.Kappa, want.Kappa)
+			return st
+		}
+		sums[i] = s
+	}
+	st.ok = true
+	st.mean = out.Mean
+	for _, m := range out.Missing {
+		if m > st.maxMissing {
+			st.maxMissing = m
+		}
+	}
+	st.sums = sums
+	return st
+}
+
+func (c Config) partialOf(t trialSpec, st *trialState) TrialPartial {
+	return TrialPartial{Idx: t.Idx, Sums: st.sums}
+}
+
+// assemble merges surviving partials hierarchically up the ring and
+// renders the document.
+func (c Config) assemble(ring *Ring, ledger *Ledger, states []*trialState, coord string, active []string, epochs int) (*Outcome, error) {
+	// Per-site folds in ring order, then a pairwise tree over the site
+	// accumulators — the "up the ring" reduction. Assemble is
+	// order-free over merged partials, so this equals the sequential
+	// fold bit for bit (pinned by the differential tests).
+	merges := 0
+	var tier []*metrics.Sums
+	for _, site := range active {
+		if s := ledger.MergeSite(site, &merges); s != nil {
+			tier = append(tier, s)
+		}
+	}
+	for len(tier) > 1 {
+		var next []*metrics.Sums
+		for i := 0; i < len(tier); i += 2 {
+			if i+1 < len(tier) {
+				tier[i].Merge(tier[i+1])
+				merges++
+			}
+			next = append(next, tier[i])
+		}
+		tier = next
+	}
+	var merged *metrics.Result
+	if len(tier) == 1 {
+		merged = tier[0].Assemble()
+	}
+	c.Obs.Registry().Counter("federation_merges_total", "partial-sum merge operations during aggregation").Add(int64(merges))
+
+	lost := map[int]bool{}
+	for _, idx := range ledger.LostTrials() {
+		lost[idx] = true
+	}
+	c.Obs.Registry().Counter("federation_partials_lost_total", "trial partials lost to site failure").Add(int64(len(lost)))
+
+	// Partials stranded on sites outside the active quorum (unhealed
+	// partition): present, conserved, but unreachable for this render.
+	unreachable := map[int]bool{}
+	activeSet := map[string]bool{}
+	for _, s := range active {
+		activeSet[s] = true
+	}
+	for _, site := range ring.Names() {
+		if activeSet[site] {
+			continue
+		}
+		for _, p := range ledger.heldBy(site) {
+			unreachable[p.Idx] = true
+		}
+	}
+
+	out := &Outcome{
+		Trials:      len(states),
+		Coordinator: coord,
+		Alive:       ring.Names(),
+		Epochs:      epochs,
+		Merged:      merged,
+	}
+	for _, st := range states {
+		if !st.ok {
+			out.Failed++
+		} else if lost[st.spec.Idx] {
+			out.Lost++
+		} else if unreachable[st.spec.Idx] {
+			out.Unreachable++
+		}
+	}
+	out.Degraded = out.Failed+out.Lost+out.Unreachable > 0
+	out.Doc = c.render(states, lost, unreachable, merged)
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/testbed"
+)
+
+func testConfig(sites, reps int) Config {
+	return Config{
+		Sites: sites,
+		Envs:  []testbed.Env{testbed.LocalSingle()},
+		Conditions: []campaign.Condition{
+			{Name: "clean"},
+			{Name: "noisy", Plan: fault.Plan{Seed: 9, Drop: 0.02, Reorder: 0.01}},
+		},
+		Reps:    reps,
+		Packets: 800,
+		Runs:    2,
+		Seed:    7,
+	}
+}
+
+// identityCounters is the N-independent obs identity set the
+// differential gate checks: total trials, lost partials, and merge
+// operations (total partials − 1 regardless of merge tree shape).
+func identityCounters(o *obs.Obs) [3]int64 {
+	reg := o.Registry()
+	return [3]int64{
+		reg.Counter("federation_trials_total", "trials executed by the federation").Value(),
+		reg.Counter("federation_partials_lost_total", "trial partials lost to site failure").Value(),
+		reg.Counter("federation_merges_total", "partial-sum merge operations during aggregation").Value(),
+	}
+}
+
+// TestFederatedMatchesSequential is the tentpole differential: the
+// federated document, merged κ, and obs identity counters at 2/4/8
+// sites are identical to the 1-site sequential run — clean and fault
+// conditions both in the matrix.
+func TestFederatedMatchesSequential(t *testing.T) {
+	var refDoc string
+	var refMerged [3]int64
+	var refKappa float64
+	for _, sites := range []int{1, 2, 4, 8} {
+		cfg := testConfig(sites, 2)
+		o := obs.New()
+		cfg.Obs = o
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		if out.Degraded {
+			t.Fatalf("sites=%d: clean run degraded", sites)
+		}
+		if out.Merged == nil {
+			t.Fatalf("sites=%d: no merged result", sites)
+		}
+		ctr := identityCounters(o)
+		if sites == 1 {
+			refDoc, refMerged, refKappa = out.Doc, ctr, out.Merged.Kappa
+			continue
+		}
+		if out.Doc != refDoc {
+			t.Fatalf("sites=%d: document diverges from sequential run:\n--- got ---\n%s\n--- want ---\n%s", sites, out.Doc, refDoc)
+		}
+		if out.Merged.Kappa != refKappa {
+			t.Fatalf("sites=%d: merged κ %v != sequential %v", sites, out.Merged.Kappa, refKappa)
+		}
+		if ctr != refMerged {
+			t.Fatalf("sites=%d: obs identity counters %v != sequential %v", sites, ctr, refMerged)
+		}
+	}
+}
+
+// tableRows extracts the per-trial rows of the pipe-delimited table as
+// trimmed cell slices keyed by env|cond|rep.
+func tableRows(doc string) map[string][]string {
+	rows := map[string][]string{}
+	for _, line := range strings.Split(doc, "\n") {
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		var cells []string
+		for _, c := range strings.Split(strings.Trim(line, "|"), "|") {
+			cells = append(cells, strings.TrimSpace(c))
+		}
+		switch cells[len(cells)-1] {
+		case "ok", "lost", "failed", "unreachable":
+			rows[strings.Join(cells[:3], "|")] = cells
+		}
+	}
+	return rows
+}
+
+// TestFederatedCoordinatorDropDegrades crashes the elected coordinator
+// mid-campaign: the federation must re-elect, finish, and render the
+// surviving rows with values identical to the undisturbed run, with
+// the coordinator's held trial annotated as lost — not abort.
+func TestFederatedCoordinatorDropDegrades(t *testing.T) {
+	cfg := testConfig(4, 4) // 16 trials → 4 epochs of 4
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded {
+		t.Fatal("undisturbed run degraded")
+	}
+
+	names := make([]string, cfg.Sites)
+	for i := range names {
+		names[i] = SiteName(i)
+	}
+	leader := expectedLeader(names)
+	cfg2 := testConfig(4, 4)
+	cfg2.Events = Schedule{{Epoch: 2, Kind: EventCrash, Site: leader}}
+	dropped, err := Run(cfg2)
+	if err != nil {
+		t.Fatalf("coordinator crash aborted the campaign: %v", err)
+	}
+	if !dropped.Degraded {
+		t.Fatal("coordinator crash did not degrade the result")
+	}
+	if dropped.Lost != 2 {
+		t.Fatalf("lost %d trials, want 2 (one held per completed epoch)", dropped.Lost)
+	}
+	if dropped.Coordinator == leader {
+		t.Fatalf("coordinator still %q after its crash", leader)
+	}
+	if !strings.Contains(dropped.Doc, "partials lost to site failure") {
+		t.Fatalf("degraded document lacks the loss annotation:\n%s", dropped.Doc)
+	}
+
+	cleanRows, dropRows := tableRows(clean.Doc), tableRows(dropped.Doc)
+	if len(cleanRows) != len(dropRows) {
+		t.Fatalf("row count changed: %d vs %d", len(cleanRows), len(dropRows))
+	}
+	lost := 0
+	for key, want := range cleanRows {
+		got, ok := dropRows[key]
+		if !ok {
+			t.Fatalf("row %q missing from degraded table", key)
+		}
+		if got[len(got)-1] == "lost" {
+			lost++
+			continue
+		}
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Fatalf("surviving row %q diverged:\n got %v\nwant %v", key, got, want)
+		}
+	}
+	if lost != 2 {
+		t.Fatalf("%d lost rows in table, want 2", lost)
+	}
+}
+
+// TestFederatedLeaveLosesNothing: a graceful leave hands custody to the
+// successor, so the final document is byte-identical to an undisturbed
+// run — nothing lost, nothing reflowed.
+func TestFederatedLeaveLosesNothing(t *testing.T) {
+	cfg := testConfig(4, 2) // 8 trials → 2 epochs
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(4, 2)
+	cfg2.Events = Schedule{{Epoch: 1, Kind: EventLeave, Site: SiteName(1)}}
+	left, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Degraded || left.Lost != 0 {
+		t.Fatalf("graceful leave lost partials: %+v", left)
+	}
+	if left.Doc != clean.Doc {
+		t.Fatalf("leave changed the document:\n--- got ---\n%s\n--- want ---\n%s", left.Doc, clean.Doc)
+	}
+}
+
+// TestFederatedSlowStabilizerHarmless: a slow stabilizer stretches
+// membership repair but cannot change the rendered result.
+func TestFederatedSlowStabilizerHarmless(t *testing.T) {
+	cfg := testConfig(2, 2)
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(2, 2)
+	cfg2.Events = Schedule{
+		{Epoch: 0, Kind: EventSlow, Site: SiteName(0), K: 3},
+		{Epoch: 1, Kind: EventSlow, Site: SiteName(1), K: 2},
+	}
+	slow, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Doc != clean.Doc {
+		t.Fatal("slow stabilizer changed the document")
+	}
+}

@@ -1,0 +1,151 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckInvariants asserts the ring's structural invariants on the
+// current stored protocol state, per reachability group (a partition
+// is judged only against what its members can see):
+//
+//   - At Most One Ring: the effective-successor graph has exactly one
+//     cycle per group.
+//   - Connected Appendages: every member's successor chain reaches
+//     that cycle within |group| hops.
+//   - Ordered Successors: walking the cycle visits site IDs in
+//     clockwise order (exactly one wrap past the ID-space origin).
+//
+// "Effective successor" is what the member would actually use right
+// now: its first alive reachable stored successor, falling back to a
+// directory rescue — so the check exercises the stored state's
+// staleness, not a directory fantasy. It is safe to call between any
+// two protocol steps; the metamorphic suites call it after every one.
+func (r *Ring) CheckInvariants() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	groups := make(map[int][]*member)
+	for _, m := range r.members {
+		groups[m.group] = append(groups[m.group], m)
+	}
+	gids := make([]int, 0, len(groups))
+	for g := range groups {
+		gids = append(gids, g)
+	}
+	sort.Ints(gids)
+	for _, g := range gids {
+		if err := r.checkGroup(g, groups[g]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Ring) checkGroup(g int, ms []*member) error {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	succ := make(map[SiteID]SiteID, len(ms))
+	for _, m := range ms {
+		succ[m.id] = r.effSuccLocked(m)
+	}
+
+	// Locate cycles in the functional graph with three-color walks.
+	const (
+		white = iota // unvisited
+		gray         // on the current walk
+		black        // settled
+	)
+	color := make(map[SiteID]int, len(ms))
+	onCycle := make(map[SiteID]bool, len(ms))
+	cycles := 0
+	var firstCycle []SiteID
+	for _, m := range ms {
+		if color[m.id] != white {
+			continue
+		}
+		var path []SiteID
+		at := m.id
+		for color[at] == white {
+			color[at] = gray
+			path = append(path, at)
+			at = succ[at]
+		}
+		if color[at] == gray {
+			// Closed a new cycle: the path suffix from `at` onward.
+			cycles++
+			start := 0
+			for i, id := range path {
+				if id == at {
+					start = i
+					break
+				}
+			}
+			cyc := path[start:]
+			for _, id := range cyc {
+				onCycle[id] = true
+			}
+			if cycles == 1 {
+				firstCycle = append([]SiteID(nil), cyc...)
+			}
+		}
+		for _, id := range path {
+			color[id] = black
+		}
+	}
+
+	// At Most One Ring.
+	if cycles > 1 {
+		return fmt.Errorf("federation: group %d: %d rings (want at most one): %v",
+			g, cycles, r.namesOf(onCycle))
+	}
+	if cycles == 0 && len(ms) > 0 {
+		// Impossible for a total functional graph, but the checker
+		// should say so rather than pass vacuously.
+		return fmt.Errorf("federation: group %d: no ring among %d members", g, len(ms))
+	}
+
+	// Connected Appendages: every walk must land on the cycle within
+	// |group| hops.
+	for _, m := range ms {
+		at := m.id
+		for hop := 0; hop <= len(ms); hop++ {
+			if onCycle[at] {
+				break
+			}
+			if hop == len(ms) {
+				return fmt.Errorf("federation: group %d: appendage %q never reaches the ring", g, m.name)
+			}
+			at = succ[at]
+		}
+	}
+
+	// Ordered Successors: clockwise walk wraps the origin exactly once
+	// (a single member's self-ring wraps zero times).
+	if len(firstCycle) > 1 {
+		wraps := 0
+		for i, id := range firstCycle {
+			next := firstCycle[(i+1)%len(firstCycle)]
+			if succ[id] != next {
+				return fmt.Errorf("federation: group %d: cycle bookkeeping broken at %d", g, id)
+			}
+			if next <= id {
+				wraps++
+			}
+		}
+		if wraps != 1 {
+			return fmt.Errorf("federation: group %d: ring visits IDs out of clockwise order (%d wraps): %v",
+				g, wraps, firstCycle)
+		}
+	}
+	return nil
+}
+
+func (r *Ring) namesOf(ids map[SiteID]bool) []string {
+	var names []string
+	for id := range ids {
+		if m := r.members[id]; m != nil {
+			names = append(names, m.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

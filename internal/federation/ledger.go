@@ -1,0 +1,180 @@
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// TrialPartial is one trial's κ evidence in custody form: the
+// per-comparison partial sums, already offset into the trial's disjoint
+// slot of the federation-global position space.
+type TrialPartial struct {
+	Idx  int
+	Sums []*metrics.Sums
+}
+
+// Ledger is the κ-custody book: which site currently holds which
+// trials' partials, and which partials were lost to site failure. It
+// carries the fourth ring invariant — κ-partial conservation: at every
+// instant, held + lost == assigned. The ring's OnHandoff/OnLost hooks
+// drive it, so membership events can never silently duplicate or drop
+// evidence.
+type Ledger struct {
+	mu       sync.Mutex
+	held     map[string][]TrialPartial
+	lost     []int
+	assigned int
+}
+
+// NewLedger builds an empty custody book.
+func NewLedger() *Ledger {
+	return &Ledger{held: make(map[string][]TrialPartial)}
+}
+
+// Assign records that site now holds the partials of trial idx.
+func (l *Ledger) Assign(site string, p TrialPartial) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.held[site] = append(l.held[site], p)
+	l.assigned++
+}
+
+// Handoff moves every partial held by from into to's custody — the
+// graceful-leave path.
+func (l *Ledger) Handoff(from, to string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from == to {
+		return
+	}
+	l.held[to] = append(l.held[to], l.held[from]...)
+	delete(l.held, from)
+}
+
+// Lose marks every partial held by site as lost — the crash path.
+func (l *Ledger) Lose(site string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, p := range l.held[site] {
+		l.lost = append(l.lost, p.Idx)
+	}
+	delete(l.held, site)
+}
+
+// heldBy returns a snapshot of the partials site currently holds.
+func (l *Ledger) heldBy(site string) []TrialPartial {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]TrialPartial(nil), l.held[site]...)
+}
+
+// Held returns how many trials' partials site currently holds.
+func (l *Ledger) Held(site string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.held[site])
+}
+
+// LostTrials returns the trial indices whose partials were lost, in
+// ascending order.
+func (l *Ledger) LostTrials() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]int(nil), l.lost...)
+	sort.Ints(out)
+	return out
+}
+
+// Check asserts conservation against the sites the ring still considers
+// alive: every held partial belongs to an alive site, no trial is both
+// held and lost, and held + lost == assigned.
+func (l *Ledger) Check(alive func(site string) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[int]string)
+	heldCount := 0
+	for site, ps := range l.held {
+		if len(ps) == 0 {
+			continue
+		}
+		if alive != nil && !alive(site) {
+			return fmt.Errorf("federation: dead site %q still holds %d partials", site, len(ps))
+		}
+		for _, p := range ps {
+			if prev, dup := seen[p.Idx]; dup {
+				return fmt.Errorf("federation: trial %d held by both %q and %q", p.Idx, prev, site)
+			}
+			seen[p.Idx] = site
+			heldCount++
+		}
+	}
+	for _, idx := range l.lost {
+		if site, dup := seen[idx]; dup {
+			return fmt.Errorf("federation: trial %d both lost and held by %q", idx, site)
+		}
+	}
+	if heldCount+len(l.lost) != l.assigned {
+		return fmt.Errorf("federation: conservation broken: %d held + %d lost != %d assigned",
+			heldCount, len(l.lost), l.assigned)
+	}
+	return nil
+}
+
+// MergeSite folds one site's held partials (in trial order) into a
+// single partial; nil if the site holds nothing. merges counts the
+// non-trivial Merge operations so aggregation work is auditable and
+// N-independent (total partials − 1 regardless of tree shape).
+func (l *Ledger) MergeSite(site string, merges *int) *metrics.Sums {
+	l.mu.Lock()
+	ps := append([]TrialPartial(nil), l.held[site]...)
+	l.mu.Unlock()
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Idx < ps[j].Idx })
+	var acc *metrics.Sums
+	for _, p := range ps {
+		for _, s := range p.Sums {
+			if acc == nil {
+				acc = s.Clone()
+				continue
+			}
+			acc.Merge(s)
+			if merges != nil {
+				*merges++
+			}
+		}
+	}
+	return acc
+}
+
+// MergeAll folds every held partial across all sites into one global
+// partial (sites in name order, trials in index order within a site);
+// nil if nothing is held. The fold order is immaterial — Assemble is
+// order-free over merged partials — but keeping it canonical makes the
+// intermediate accumulators reproducible too.
+func (l *Ledger) MergeAll(merges *int) *metrics.Sums {
+	l.mu.Lock()
+	sites := make([]string, 0, len(l.held))
+	for site := range l.held {
+		sites = append(sites, site)
+	}
+	l.mu.Unlock()
+	sort.Strings(sites)
+	var acc *metrics.Sums
+	for _, site := range sites {
+		s := l.MergeSite(site, merges)
+		if s == nil {
+			continue
+		}
+		if acc == nil {
+			acc = s
+			continue
+		}
+		acc.Merge(s)
+		if merges != nil {
+			*merges++
+		}
+	}
+	return acc
+}

@@ -1,0 +1,509 @@
+// Package federation runs one replay campaign across N simulated sites
+// coordinated by a ring-membership protocol, merging per-site κ partial
+// sums (metrics.Sums) hierarchically so the federated result is
+// bit-identical to a single site folding the same partials sequentially.
+//
+// The membership layer is a Chord-style ring: every site keeps a short
+// successor list and a predecessor pointer, repaired by per-site
+// stabilization steps. Unlike pure Chord, stabilization is
+// directory-assisted — when a site's entire stored successor list is
+// dead or partitioned away, it rescues by asking the portal directory
+// for the closest clockwise reachable member (the FABRIC-style portal
+// already knows the roster; what the ring adds is the failure-driven
+// repair dynamics in between, which is where the invariants live).
+// That keeps the protocol convergent across partition heal — a case
+// pure predecessor-adoption cannot repair — while still exposing every
+// adversarial intermediate state to the invariant checker.
+//
+// Invariants (checked by CheckInvariants, in the style of
+// compositional-testing network simulators: protocol properties as
+// metamorphic assertions over adversarial schedules):
+//
+//   - At Most One Ring: within each reachable partition group, the
+//     effective-successor graph contains at most one cycle.
+//   - Connected Appendages: every alive member's successor chain
+//     reaches that cycle.
+//   - Ordered Successors: walking the cycle visits site IDs in
+//     clockwise (circular ascending) order.
+//   - κ-partial conservation is the fourth invariant; it lives in the
+//     custody Ledger (ledger.go) fed by the OnHandoff/OnLost hooks.
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// SiteID is a position on the identifier ring. IDs are derived from
+// site names by hashing; the zero ID is reserved as "unset".
+type SiteID uint64
+
+// IDOf maps a site name onto the ring. Deterministic across runs; the
+// reserved zero value is never produced.
+func IDOf(name string) SiteID {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	id := SiteID(h.Sum64())
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// between reports whether x lies strictly inside the clockwise arc
+// (a, b) on the ring. When a == b the arc is the whole circle minus a.
+func between(a, x, b SiteID) bool {
+	switch {
+	case a < b:
+		return a < x && x < b
+	case a > b:
+		return x > a || x < b
+	default:
+		return x != a
+	}
+}
+
+type member struct {
+	name   string
+	id     SiteID
+	succ   []SiteID // stored successor list, nearest-first; may go stale
+	pred   SiteID   // last notifier claiming to precede us (0 = unset)
+	leader SiteID   // current coordinator belief, gossiped via successors
+	group  int      // partition group; members in different groups can't talk
+	slow   int      // pending stabilization steps to skip (slow-stabilizer fault)
+}
+
+// RingConfig parameterizes a Ring.
+type RingConfig struct {
+	// SuccLen is the successor-list length (default 3). Longer lists
+	// survive more simultaneous failures between stabilizations.
+	SuccLen int
+	// OnHandoff fires when a gracefully leaving site transfers its κ
+	// partials to its effective successor.
+	OnHandoff func(from, to string)
+	// OnLost fires when a site's κ partials are lost: a crash, or a
+	// leave with no reachable successor to hand off to.
+	OnLost func(name string)
+}
+
+// Ring is the simulated membership protocol state for all sites. All
+// methods are safe for concurrent use; each Stabilize call is one
+// atomic protocol step, so concurrent stabilizers interleave exactly
+// like the message-level protocol would.
+type Ring struct {
+	mu      sync.Mutex
+	cfg     RingConfig
+	members map[SiteID]*member
+	byName  map[string]SiteID
+	steps   uint64
+}
+
+// NewRing builds an empty ring.
+func NewRing(cfg RingConfig) *Ring {
+	if cfg.SuccLen <= 0 {
+		cfg.SuccLen = 3
+	}
+	return &Ring{
+		cfg:     cfg,
+		members: make(map[SiteID]*member),
+		byName:  make(map[string]SiteID),
+	}
+}
+
+// Steps returns the number of stabilization steps executed so far
+// (skipped slow-stabilizer steps included).
+func (r *Ring) Steps() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.steps
+}
+
+// Join adds a site. The joiner bootstraps its successor list from the
+// directory (one contact: its closest clockwise reachable member), like
+// a portal handing a new site its first neighbor; stabilization fills
+// in the rest. Duplicate names and ID collisions error.
+func (r *Ring) Join(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return fmt.Errorf("federation: site %q already joined", name)
+	}
+	id := IDOf(name)
+	if _, ok := r.members[id]; ok {
+		return fmt.Errorf("federation: site %q collides on ring id %d", name, id)
+	}
+	m := &member{name: name, id: id, leader: id}
+	r.members[id] = m
+	r.byName[name] = id
+	if s := r.rescue(m); s != 0 {
+		m.succ = []SiteID{s}
+	}
+	return nil
+}
+
+// Leave removes a site gracefully: its κ custody is handed to its
+// effective successor (OnHandoff), or declared lost (OnLost) if it is
+// alone or cut off from every other member.
+func (r *Ring) Leave(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.member(name)
+	if m == nil {
+		return fmt.Errorf("federation: site %q not in ring", name)
+	}
+	if s := r.effSuccLocked(m); s != 0 && s != m.id {
+		if r.cfg.OnHandoff != nil {
+			r.cfg.OnHandoff(name, r.members[s].name)
+		}
+	} else if r.cfg.OnLost != nil {
+		r.cfg.OnLost(name)
+	}
+	r.remove(m)
+	return nil
+}
+
+// Crash removes a site abruptly: no handoff, custody lost. Other
+// members' stored successor lists keep the stale ID until
+// stabilization repairs them.
+func (r *Ring) Crash(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.member(name)
+	if m == nil {
+		return fmt.Errorf("federation: site %q not in ring", name)
+	}
+	if r.cfg.OnLost != nil {
+		r.cfg.OnLost(name)
+	}
+	r.remove(m)
+	return nil
+}
+
+func (r *Ring) remove(m *member) {
+	delete(r.members, m.id)
+	delete(r.byName, m.name)
+}
+
+// Partition splits the membership into reachability groups: sites in
+// different groups cannot exchange protocol messages. Unnamed sites
+// stay in group 0.
+func (r *Ring) Partition(groups map[string]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.members {
+		m.group = groups[m.name]
+	}
+}
+
+// Heal merges all partition groups back into one.
+func (r *Ring) Heal() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.members {
+		m.group = 0
+	}
+}
+
+// SetSlow makes a site skip its next k stabilization steps — the
+// slow-stabilizer fault, which stretches the window during which other
+// members see its stale state.
+func (r *Ring) SetSlow(name string, k int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.member(name)
+	if m == nil {
+		return fmt.Errorf("federation: site %q not in ring", name)
+	}
+	m.slow = k
+	return nil
+}
+
+func (r *Ring) member(name string) *member {
+	id, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	return r.members[id]
+}
+
+func (r *Ring) reachable(a, b *member) bool {
+	return a != nil && b != nil && a.group == b.group
+}
+
+// effSuccLocked resolves m's effective successor: the first stored
+// successor that is alive and reachable, else a directory rescue.
+// Returns 0 only when m is nil; returns m.id when m is effectively
+// alone (self-ring).
+func (r *Ring) effSuccLocked(m *member) SiteID {
+	if m == nil {
+		return 0
+	}
+	for _, id := range m.succ {
+		if id == m.id {
+			continue
+		}
+		if s := r.members[id]; s != nil && r.reachable(m, s) {
+			return id
+		}
+	}
+	if s := r.rescue(m); s != 0 {
+		return s
+	}
+	return m.id
+}
+
+// rescue returns the closest clockwise alive reachable member after m,
+// or 0 if m is alone in its group.
+func (r *Ring) rescue(m *member) SiteID {
+	var best SiteID
+	var bestDist uint64
+	found := false
+	for id, o := range r.members {
+		if id == m.id || !r.reachable(m, o) {
+			continue
+		}
+		d := uint64(id) - uint64(m.id) // wraps: clockwise distance
+		if !found || d < bestDist {
+			found, best, bestDist = true, id, d
+		}
+	}
+	if !found {
+		return 0
+	}
+	return best
+}
+
+// Stabilize runs one protocol step for the named site: resolve the
+// effective successor, adopt the successor's predecessor if it sits
+// between, rebuild the successor list from the successor's, notify the
+// successor, and gossip the coordinator belief. Unknown names are
+// no-ops (the site may have crashed since the schedule was drawn).
+func (r *Ring) Stabilize(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.member(name)
+	if m == nil {
+		return
+	}
+	r.steps++
+	if m.slow > 0 {
+		m.slow--
+		return
+	}
+	sid := r.effSuccLocked(m)
+	if sid == 0 || sid == m.id {
+		// Alone: self-ring, self-leader.
+		m.succ = nil
+		m.pred = 0
+		m.leader = m.id
+		return
+	}
+	s := r.members[sid]
+	// Chord rectification: if our successor knows a predecessor between
+	// us and it, that member is our true successor.
+	if p := r.members[s.pred]; p != nil && p.id != m.id && r.reachable(m, p) && between(m.id, p.id, s.id) {
+		sid, s = p.id, p
+	}
+	// Directory sync: the portal roster may know a member strictly
+	// closer clockwise than anything in our stored state — a healed
+	// partition's other half, or a join we never learned about. Pure
+	// successor adoption cannot merge two independently stabilized
+	// rings; this one correction is what makes heal convergent.
+	if d := r.rescue(m); d != 0 && d != sid && between(m.id, d, sid) {
+		sid, s = d, r.members[d]
+	}
+	// Rebuild the successor list: s first, then s's list, deduped.
+	list := make([]SiteID, 0, r.cfg.SuccLen)
+	list = append(list, sid)
+	for _, x := range s.succ {
+		if len(list) >= r.cfg.SuccLen {
+			break
+		}
+		if x == m.id || x == sid {
+			continue
+		}
+		dup := false
+		for _, y := range list {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			list = append(list, x)
+		}
+	}
+	m.succ = list
+	// Notify: claim the predecessor slot if it is unset, stale, or we
+	// sit between the current predecessor and s.
+	if p := r.members[s.pred]; p == nil || !r.reachable(s, p) || between(s.pred, m.id, s.id) {
+		s.pred = m.id
+	}
+	// Drop a stale own-predecessor so rectification can't resurrect it.
+	if p := r.members[m.pred]; p == nil || !r.reachable(m, p) {
+		m.pred = 0
+	}
+	// Coordinator gossip: smallest reachable alive ID wins. Reset a
+	// dead or unreachable belief to self first.
+	if p := r.members[m.leader]; p == nil || !r.reachable(m, p) {
+		m.leader = m.id
+	}
+	if sl := r.members[s.leader]; sl != nil && r.reachable(m, sl) && s.leader < m.leader {
+		m.leader = s.leader
+	}
+	if m.id < m.leader {
+		m.leader = m.id
+	}
+}
+
+// StabilizeAll runs one Stabilize step for every member in ID order.
+func (r *Ring) StabilizeAll() {
+	for _, name := range r.Names() {
+		r.Stabilize(name)
+	}
+}
+
+// RunToFixpoint stabilizes all members repeatedly until a full round
+// changes no protocol state or maxRounds is hit; reports convergence.
+func (r *Ring) RunToFixpoint(maxRounds int) bool {
+	for i := 0; i < maxRounds; i++ {
+		before := r.snapshot()
+		r.StabilizeAll()
+		if r.snapshot() == before {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Ring) snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]SiteID, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s := ""
+	for _, id := range ids {
+		m := r.members[id]
+		s += fmt.Sprintf("%d:%v/%d/%d/%d/%d;", id, m.succ, m.pred, m.leader, m.group, m.slow)
+	}
+	return s
+}
+
+// Names returns the alive site names sorted by ring ID (clockwise from
+// the smallest ID) — the canonical federation order used for trial
+// assignment.
+func (r *Ring) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]SiteID, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = r.members[id].name
+	}
+	return names
+}
+
+// Alive reports whether the named site is currently a member.
+func (r *Ring) Alive(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.member(name) != nil
+}
+
+// Leaders returns every member's current coordinator belief, by name.
+func (r *Ring) Leaders() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.members))
+	for _, m := range r.members {
+		l := r.members[m.leader]
+		if l == nil {
+			l = m
+		}
+		out[m.name] = l.name
+	}
+	return out
+}
+
+// Coordinator returns the unique agreed leader, or ok=false while
+// beliefs still disagree (or the ring is empty). With partitions
+// active it requires global agreement and thus reports false.
+func (r *Ring) Coordinator() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var want SiteID
+	for _, m := range r.members {
+		if want == 0 {
+			want = m.leader
+		} else if m.leader != want {
+			return "", false
+		}
+	}
+	l := r.members[want]
+	if l == nil {
+		return "", false
+	}
+	return l.name, true
+}
+
+// Active returns the portal-side quorum: the members that can reach
+// the directory (partition group 0) in ring order, plus their agreed
+// coordinator. ok is false while those members still disagree on a
+// leader (or the group is empty) — the epoch barrier spins
+// stabilization until it flips true.
+func (r *Ring) Active() (leader string, names []string, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []SiteID
+	var want SiteID
+	agree := true
+	for id, m := range r.members {
+		if m.group != 0 {
+			continue
+		}
+		ids = append(ids, id)
+		if want == 0 {
+			want = m.leader
+		} else if m.leader != want {
+			agree = false
+		}
+	}
+	if len(ids) == 0 {
+		return "", nil, false
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	names = make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = r.members[id].name
+	}
+	l := r.members[want]
+	if !agree || l == nil || l.group != 0 {
+		return "", names, false
+	}
+	return l.name, names, true
+}
+
+// Successor returns the named site's current effective successor name
+// (its own name when alone) — the custody handoff target.
+func (r *Ring) Successor(name string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.member(name)
+	if m == nil {
+		return "", false
+	}
+	s := r.members[r.effSuccLocked(m)]
+	if s == nil {
+		return m.name, true
+	}
+	return s.name, true
+}

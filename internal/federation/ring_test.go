@@ -1,0 +1,299 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// tinyTrace builds a small seeded trace with a few drops so partials
+// carry non-trivial sums.
+func tinyTrace(name string, n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := trace.New(name, n)
+	at := sim.Time(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(10) == 0 {
+			continue
+		}
+		at += sim.Duration(50 + rng.Intn(40))
+		tr.Append(&packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: 64}, at)
+	}
+	return tr
+}
+
+// fakePartial builds trial idx's custody payload: one real TraceSums
+// partial offset into the trial's disjoint slot.
+func fakePartial(t *testing.T, idx int) TrialPartial {
+	t.Helper()
+	a := tinyTrace("A", 24, int64(idx)*7+1)
+	b := tinyTrace("B", 24, int64(idx)*13+5)
+	s, err := metrics.TraceSums(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Offset(int64(idx) * 4096); err != nil {
+		t.Fatal(err)
+	}
+	return TrialPartial{Idx: idx, Sums: []*metrics.Sums{s}}
+}
+
+// custodyHarness wires a ring to a ledger plus an oracle copy of every
+// assigned partial, so conservation can be asserted against ground
+// truth after any interleaving of membership events.
+type custodyHarness struct {
+	ledger *Ledger
+	oracle map[int]*metrics.Sums
+	lost   map[int]bool
+}
+
+func newCustodyHarness() (*custodyHarness, RingConfig) {
+	h := &custodyHarness{
+		ledger: NewLedger(),
+		oracle: map[int]*metrics.Sums{},
+		lost:   map[int]bool{},
+	}
+	cfg := RingConfig{
+		OnHandoff: func(from, to string) { h.ledger.Handoff(from, to) },
+		OnLost: func(name string) {
+			for _, p := range h.ledger.heldBy(name) {
+				h.lost[p.Idx] = true
+			}
+			h.ledger.Lose(name)
+		},
+	}
+	return h, cfg
+}
+
+func (h *custodyHarness) assign(t *testing.T, site string, idx int) {
+	t.Helper()
+	p := fakePartial(t, idx)
+	h.oracle[idx] = p.Sums[0]
+	h.ledger.Assign(site, p)
+}
+
+// checkConservation asserts the fourth ring invariant: the merged held
+// partials assemble to exactly the fold of every assigned-and-not-lost
+// partial — custody moves never duplicate, drop, or corrupt κ evidence.
+func (h *custodyHarness) checkConservation(t *testing.T, r *Ring) {
+	t.Helper()
+	if err := h.ledger.Check(r.Alive); err != nil {
+		t.Fatal(err)
+	}
+	got := h.ledger.MergeAll(nil)
+	var want *metrics.Sums
+	for idx, s := range h.oracle {
+		if h.lost[idx] {
+			continue
+		}
+		if want == nil {
+			want = s.Clone()
+			continue
+		}
+		want.Merge(s)
+	}
+	switch {
+	case got == nil && want == nil:
+		return
+	case got == nil || want == nil:
+		t.Fatalf("conservation: held=%v want=%v", got, want)
+	}
+	g, w := got.Assemble(), want.Assemble()
+	if !sameResult(g, w) {
+		t.Fatalf("conservation: merged partials assemble to %+v, oracle fold to %+v", g, w)
+	}
+}
+
+// sameResult compares every assembled metric field exactly (bitwise on
+// the floats — the federation promises identity, not approximation).
+func sameResult(a, b *metrics.Result) bool {
+	return a.U == b.U && a.O == b.O && a.L == b.L && a.I == b.I &&
+		a.Kappa == b.Kappa && a.PctIATWithin10 == b.PctIATWithin10 &&
+		a.Common == b.Common && a.OnlyA == b.OnlyA && a.OnlyB == b.OnlyB &&
+		a.MovedPackets == b.MovedPackets
+}
+
+// TestRingInvariantsAdversarialSchedules is the metamorphic headline:
+// across seeded adversarial join/leave/crash/slow schedules, the three
+// structural ring invariants and κ-partial conservation hold after
+// every single stabilization step — not just at quiescence.
+func TestRingInvariantsAdversarialSchedules(t *testing.T) {
+	for _, seed := range []int64{3, 17, 29, 101} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			h, cfg := newCustodyHarness()
+			r := NewRing(cfg)
+			nextSite, nextTrial := 0, 0
+			join := func() string {
+				name := SiteName(nextSite)
+				nextSite++
+				if err := r.Join(name); err != nil {
+					t.Fatal(err)
+				}
+				h.assign(t, name, nextTrial)
+				nextTrial++
+				return name
+			}
+			for i := 0; i < 6; i++ {
+				join()
+			}
+			check := func() {
+				if err := r.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				h.checkConservation(t, r)
+			}
+			check()
+			for op := 0; op < 500; op++ {
+				names := r.Names()
+				switch x := rng.Intn(100); {
+				case x < 60: // stabilize a random member
+					r.Stabilize(names[rng.Intn(len(names))])
+				case x < 70: // stabilize a name that may be long gone
+					r.Stabilize(SiteName(rng.Intn(nextSite)))
+				case x < 78:
+					join()
+				case x < 86 && len(names) > 1: // graceful leave
+					if err := r.Leave(names[rng.Intn(len(names))]); err != nil {
+						t.Fatal(err)
+					}
+				case x < 94 && len(names) > 1: // crash
+					if err := r.Crash(names[rng.Intn(len(names))]); err != nil {
+						t.Fatal(err)
+					}
+				default:
+					if err := r.SetSlow(names[rng.Intn(len(names))], 1+rng.Intn(4)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				check()
+			}
+			// The schedule must end convergent: fixpoint, one
+			// coordinator, invariants intact.
+			if !r.RunToFixpoint(64) {
+				t.Fatal("ring did not reach a fixpoint")
+			}
+			check()
+			if _, ok := r.Coordinator(); !ok {
+				t.Fatalf("no coordinator after fixpoint: %v", r.Leaders())
+			}
+		})
+	}
+}
+
+// TestRingPartitionHeal exercises the membership-level partition fault:
+// during the partition each side must keep its own well-formed ring
+// (invariants are checked per reachability group after every step);
+// after heal, directory-assisted stabilization must merge the two
+// rings back into one — the case pure successor adoption cannot repair.
+func TestRingPartitionHeal(t *testing.T) {
+	h, cfg := newCustodyHarness()
+	r := NewRing(cfg)
+	names := make([]string, 6)
+	for i := range names {
+		names[i] = SiteName(i)
+		if err := r.Join(names[i]); err != nil {
+			t.Fatal(err)
+		}
+		h.assign(t, names[i], i)
+	}
+	if !r.RunToFixpoint(64) {
+		t.Fatal("initial ring did not converge")
+	}
+
+	r.Partition(map[string]int{names[1]: 1, names[4]: 1})
+	for round := 0; round < 8; round++ {
+		for _, n := range names {
+			r.Stabilize(n)
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("during partition: %v", err)
+			}
+			h.checkConservation(t, r)
+		}
+	}
+	// Both sides quiesced into separate rings; no coordinator while
+	// beliefs span the cut.
+	if _, ok := r.Coordinator(); ok {
+		t.Fatal("global coordinator agreed across a partition")
+	}
+
+	r.Heal()
+	// Immediately after heal the stored state may describe two rings in
+	// one group — the known Chord merge gap. Directory-assisted
+	// stabilization must close it within bounded rounds.
+	if !r.RunToFixpoint(64) {
+		t.Fatal("healed ring did not converge")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+	h.checkConservation(t, r)
+	if _, ok := r.Coordinator(); !ok {
+		t.Fatalf("no coordinator after heal: %v", r.Leaders())
+	}
+}
+
+// TestRingConcurrentStabilizers runs stabilization from many goroutines
+// with churn, under the race detector: every protocol step is atomic,
+// and the invariants must hold at every observation point.
+func TestRingConcurrentStabilizers(t *testing.T) {
+	h, cfg := newCustodyHarness()
+	r := NewRing(cfg)
+	for i := 0; i < 8; i++ {
+		if err := r.Join(SiteName(i)); err != nil {
+			t.Fatal(err)
+		}
+		h.assign(t, SiteName(i), i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < 300; i++ {
+				r.Stabilize(SiteName(rng.Intn(8)))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Churn racing the stabilizers: crash two, rejoin one.
+		if err := r.Crash(SiteName(2)); err != nil {
+			t.Error(err)
+		}
+		if err := r.Leave(SiteName(5)); err != nil {
+			t.Error(err)
+		}
+		if err := r.Join("late0"); err != nil {
+			t.Error(err)
+		}
+		h.ledger.Assign("late0", fakePartial(t, 100))
+		h.oracle[100] = h.ledger.heldBy("late0")[0].Sums[0]
+	}()
+	// Observe invariants while the stabilizers and churn race.
+	for i := 0; i < 400; i++ {
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if !r.RunToFixpoint(64) {
+		t.Fatal("no fixpoint after concurrent churn")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	h.checkConservation(t, r)
+	if _, ok := r.Coordinator(); !ok {
+		t.Fatalf("no coordinator: %v", r.Leaders())
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTraceSumsAssembleMatchesCompare is the bit-identity anchor for the
+// federation: collapsing a whole trace pair into one partial and
+// assembling it must reproduce Compare exactly, on randomized trials and
+// on degenerate shapes.
+func TestTraceSumsAssembleMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 40 + rng.Intn(400)
+		a := scrambledTrial("A", n, rng)
+		b := scrambledTrial("B", n, rng)
+		want, err := Compare(a, b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := TraceSums(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultEqual(t, s.Assemble(), want)
+
+		// Field-by-field against the batch-derived oracle partial.
+		oracle := sumsOf(a, b)
+		if s.Common != oracle.Common || s.OnlyA != oracle.OnlyA || s.OnlyB != oracle.OnlyB ||
+			s.SumAbsLat != oracle.SumAbsLat || s.SumAbsIAT != oracle.SumAbsIAT ||
+			s.Within10 != oracle.Within10 || s.SpanA != oracle.SpanA || s.SpanB != oracle.SpanB {
+			t.Fatalf("trial %d: TraceSums %+v != oracle %+v", trial, s, oracle)
+		}
+	}
+}
+
+func TestTraceSumsDegenerate(t *testing.T) {
+	empty := trace.New("E", 0)
+	one := scrambledTrial("A", 3, rand.New(rand.NewSource(1)))
+	for i, tc := range []struct{ a, b *trace.Trace }{
+		{empty, empty},
+		{one, empty},
+		{empty, one},
+	} {
+		want, err := Compare(tc.a, tc.b, Options{})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		s, err := TraceSums(tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		assertResultEqual(t, s.Assemble(), want)
+	}
+}
+
+// TestTraceSumsOffsetMergeOrderFree is the federation aggregation
+// theorem: per-trial partials shifted into disjoint position slots merge
+// to the same assembled result regardless of merge order or tree shape —
+// a hierarchical ring reduction is byte-identical to a sequential fold.
+func TestTraceSumsOffsetMergeOrderFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const trials = 9
+	parts := make([]*Sums, trials)
+	const stride = int64(1 << 16)
+	for i := range parts {
+		a := scrambledTrial("A", 80+rng.Intn(200), rng)
+		b := scrambledTrial("B", 80+rng.Intn(200), rng)
+		s, err := TraceSums(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Offset(int64(i) * stride); err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = s
+	}
+
+	// Sequential fold in index order: the single-site reference.
+	seq := &Sums{}
+	for _, p := range parts {
+		seq.Merge(p)
+	}
+	want := seq.Assemble()
+
+	// Pairwise tree reduction (the ring's hierarchical merge).
+	tree := append([]*Sums(nil), parts...)
+	for i := range tree {
+		tree[i] = tree[i].Clone()
+	}
+	for len(tree) > 1 {
+		var next []*Sums
+		for i := 0; i < len(tree); i += 2 {
+			if i+1 < len(tree) {
+				tree[i].Merge(tree[i+1])
+			}
+			next = append(next, tree[i])
+		}
+		tree = next
+	}
+	assertResultEqual(t, tree[0].Assemble(), want)
+
+	// Arbitrary permutations of the fold order.
+	for round := 0; round < 5; round++ {
+		perm := rng.Perm(trials)
+		acc := &Sums{}
+		for _, i := range perm {
+			acc.Merge(parts[i])
+		}
+		assertResultEqual(t, acc.Assemble(), want)
+	}
+}
+
+func TestSumsOffsetErrors(t *testing.T) {
+	s := &Sums{Common: 1, PosA: []int32{5}, PosB: []int32{7}}
+	if err := s.Offset(-1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := s.Offset(math.MaxInt32); err == nil {
+		t.Fatal("overflowing offset accepted")
+	}
+	if err := s.Offset(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.PosA[0] != 15 || s.PosB[0] != 17 {
+		t.Fatalf("offset misapplied: %+v", s)
+	}
+}
+
+func TestSumsCloneIndependent(t *testing.T) {
+	s := &Sums{Common: 2, PosA: []int32{1, 2}, PosB: []int32{3, 4}}
+	c := s.Clone()
+	c.PosA[0] = 99
+	c.PosB[1] = 99
+	c.Common = 7
+	if s.PosA[0] != 1 || s.PosB[1] != 4 || s.Common != 2 {
+		t.Fatalf("Clone aliases donor: %+v", s)
+	}
+}
