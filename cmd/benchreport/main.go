@@ -1,6 +1,6 @@
 // Command benchreport measures the PR's performance envelope and writes
-// it as a machine-readable JSON artifact (BENCH_PR8.json at the repo
-// root). It exercises six surfaces:
+// it as a machine-readable JSON artifact (BENCH_PR10.json at the repo
+// root). It exercises these surfaces:
 //
 //   - metrics.Compare on a 200k-packet trace pair — ns/op, B/op,
 //     allocs/op and pkts/s, with the pre-overhaul baseline recorded for
@@ -28,7 +28,15 @@
 //     width rendered the byte-identical document and merged κ —
 //     epoch barriers and hierarchical merging are coordination
 //     overhead, so the honest claim is bounded overhead with bit
-//     identity, not speedup.
+//     identity, not speedup;
+//   - the application workload library (internal/workload): each
+//     catalogue app emitting a fixed packet budget through a 10G NIC
+//     queue into a sink, reporting emitted pkts/s of simulated
+//     application traffic (model evaluation + event scheduling cost);
+//   - the differentiation detector (experiments.Differentiate): one
+//     neutral-vs-throttled voip pair end to end — two full
+//     record/replay protocols plus the cross-arm κ decomposition —
+//     reporting wall time and asserting the throttle was detected.
 //
 // Speedups are honest host measurements: the artifact records num_cpu
 // and gomaxprocs so a single-core CI container's ~1.0x is read as what
@@ -37,7 +45,7 @@
 // bit-identical, so the numbers are free of correctness caveats on any
 // host.
 //
-//	go run ./cmd/benchreport -out BENCH_PR9.json
+//	go run ./cmd/benchreport -out BENCH_PR10.json
 package main
 
 import (
@@ -61,16 +69,19 @@ import (
 	"repro/internal/fault"
 	"repro/internal/federation"
 	"repro/internal/metrics"
+	"repro/internal/nic"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/parallel"
 	"repro/internal/pcap"
 	"repro/internal/psim"
 	"repro/internal/serve"
+	"repro/internal/shaper"
 	"repro/internal/sim"
 	"repro/internal/stream"
 	"repro/internal/testbed"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // seedAllocsPerOp and seedNsPerOp are BenchmarkMetricsCompare measured
@@ -130,6 +141,33 @@ type report struct {
 	ChoirdService []serviceLine `json:"choird_service"`
 
 	FederationSites []fedLine `json:"federation_sites"`
+
+	WorkloadEmit []workloadEmitLine `json:"workload_emit"`
+
+	DiffDetect diffDetectLine `json:"diffdetect"`
+}
+
+// workloadEmitLine is one catalogue app driving its packet budget into
+// a NIC queue: the cost of simulating the application model itself.
+type workloadEmitLine struct {
+	App        string  `json:"app"`
+	Packets    int     `json:"packets"`
+	WallMs     float64 `json:"wall_ms"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// SimSeconds is how much simulated time the budget spanned — apps
+	// with think times and playback buffers stretch far past wire time.
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+// diffDetectLine is one end-to-end differentiation experiment: two full
+// record/replay protocols (neutral and throttled arms) plus the
+// cross-arm κ decomposition.
+type diffDetectLine struct {
+	Workload string  `json:"workload"`
+	Packets  int     `json:"packets"`
+	WallMs   float64 `json:"wall_ms"`
+	Detected bool    `json:"detected"`
+	Flagged  int     `json:"flagged_components"`
 }
 
 // fedLine is one federated campaign run at a given site count over the
@@ -218,7 +256,7 @@ func benchHandoff(tb *testing.B) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output path")
+	out := flag.String("out", "BENCH_PR10.json", "output path")
 	table2Packets := flag.Int("table2-packets", 20_000, "recorded packets per Table 2 environment")
 	psimPackets := flag.Int("psim-packets", 20_000, "recorded packets for the sharded-core sweep")
 	fedPackets := flag.Int("fed-packets", 4000, "recorded packets per trial for the federated-sites sweep")
@@ -441,6 +479,61 @@ func main() {
 			sites, o.Trials, o.Epochs, wall.Round(time.Millisecond), line.TrialsPerSec, line.Identical)
 	}
 
+	// --- application workload emit throughput ---
+	const nEmit = 30_000
+	for _, app := range workload.Names() {
+		eng := sim.NewEngine(1)
+		nc := nic.New(eng, nic.Profile{Name: "bench", LineRateBps: packet.Gbps(10)}, "bench")
+		q := nc.NewQueue(1 << 20)
+		q.Connect(devNull{}, 0)
+		wr, err := workload.Start(eng, q, app, workload.Config{Count: nEmit})
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		for !wr.Done() {
+			eng.RunUntil(eng.Now() + sim.Second)
+		}
+		wall := time.Since(start)
+		line := workloadEmitLine{
+			App:        app,
+			Packets:    nEmit,
+			WallMs:     float64(wall.Microseconds()) / 1e3,
+			PktsPerSec: float64(nEmit) / wall.Seconds(),
+			SimSeconds: sim.Duration(wr.FinishedAt()).Seconds(),
+		}
+		rep.WorkloadEmit = append(rep.WorkloadEmit, line)
+		fmt.Fprintf(os.Stderr, "workload %s: %d pkts in %v host (%.0f pkts/s, %.2fs simulated)\n",
+			app, nEmit, wall.Round(time.Millisecond), line.PktsPerSec, line.SimSeconds)
+	}
+
+	// --- differentiation detector end to end ---
+	const nDiff = 2000
+	dstart := time.Now()
+	dres, err := experiments.Differentiate(testbed.LocalSingle(), experiments.DiffConfig{
+		Trial:    experiments.TrialConfig{Packets: nDiff, Runs: 2, Seed: 11, Workload: "voip"},
+		Shaper:   shaper.Config{QueuePkts: 64},
+		RateFrac: 0.5,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !dres.Differentiated {
+		fatal(fmt.Errorf("benchmark throttle went undetected: %+v", dres.Components))
+	}
+	dwall := time.Since(dstart)
+	rep.DiffDetect.Workload = "voip"
+	rep.DiffDetect.Packets = nDiff
+	rep.DiffDetect.WallMs = float64(dwall.Microseconds()) / 1e3
+	rep.DiffDetect.Detected = dres.Differentiated
+	for _, c := range dres.Components {
+		if c.Flagged {
+			rep.DiffDetect.Flagged++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "diffdetect voip: %v wall, detected=%v (%d components flagged)\n",
+		dwall.Round(time.Millisecond), rep.DiffDetect.Detected, rep.DiffDetect.Flagged)
+
 	// --- choird service envelope ---
 	for _, conc := range []int{1, 8, 64} {
 		line, err := benchService(conc)
@@ -599,6 +692,11 @@ func benchService(conc int) (serviceLine, error) {
 	line.PeakRSSBytes, _ = obs.PeakRSSBytes()
 	return line, nil
 }
+
+// devNull sinks workload packets at the end of the bench NIC queue.
+type devNull struct{}
+
+func (devNull) Receive(*packet.Packet, sim.Time) {}
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// checkGolden byte-compares got against testdata/golden/<name>, or
+// rewrites the file under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (run go test -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// runCLI invokes the command in-process and returns stdout; only
+// stdout is contractually deterministic.
+func runCLI(t *testing.T, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// TestGoldenList pins the workload catalogue index.
+func TestGoldenList(t *testing.T) {
+	checkGolden(t, "list.txt", runCLI(t, "-list"))
+}
+
+// TestGoldenShaped pins the shaping verdict: voip throttled to half
+// rate through a deep queue must flag timing components.
+func TestGoldenShaped(t *testing.T) {
+	got := runCLI(t, "-workload", "voip", "-rate-frac", "0.5", "-queue", "4096", "-seed", "11")
+	if !bytes.Contains(got, []byte("differentiation: DETECTED")) {
+		t.Fatalf("shaped arm not flagged:\n%s", got)
+	}
+	checkGolden(t, "shaped_voip.txt", got)
+}
+
+// TestGoldenPoliced pins the policing verdict: web traffic policed to
+// 40%% of its rate must show the loss signature (U flagged).
+func TestGoldenPoliced(t *testing.T) {
+	got := runCLI(t, "-workload", "web", "-police", "-rate-frac", "0.4", "-seed", "11")
+	if !bytes.Contains(got, []byte("differentiation: DETECTED")) {
+		t.Fatalf("policed arm not flagged:\n%s", got)
+	}
+	checkGolden(t, "policed_web.txt", got)
+}
+
+// TestGoldenNeutralControl pins the control: with no throttler the two
+// arms are identical simulations and nothing may flag, for any app.
+func TestGoldenNeutralControl(t *testing.T) {
+	got := runCLI(t, "-workload", "all", "-neutral", "-seed", "11")
+	if bytes.Contains(got, []byte("DETECTED")) {
+		t.Fatalf("neutral control flagged differentiation:\n%s", got)
+	}
+	if n := bytes.Count(got, []byte("differentiation: none")); n != 5 {
+		t.Fatalf("want 5 neutral verdicts, got %d:\n%s", n, got)
+	}
+	checkGolden(t, "neutral_all.txt", got)
+}
+
+// TestStdoutIndependentOfShards: the PR's headline determinism claim at
+// the CLI boundary — the verdict table is byte-identical whether the
+// simulation ran sequentially or partitioned across 4 event domains.
+func TestStdoutIndependentOfShards(t *testing.T) {
+	args := []string{"-workload", "rpc", "-rate-frac", "0.5", "-seed", "11"}
+	seq := runCLI(t, args...)
+	sharded := runCLI(t, append(args, "-sim-shards", "4")...)
+	if !bytes.Equal(seq, sharded) {
+		t.Fatalf("stdout depends on -sim-shards:\n--- shards=1 ---\n%s\n--- shards=4 ---\n%s", seq, sharded)
+	}
+}
+
+// TestRerunByteIdentical: same flags, same bytes — the verify.sh gate
+// held in-process.
+func TestRerunByteIdentical(t *testing.T) {
+	args := []string{"-workload", "iot", "-rate-frac", "0.5", "-seed", "7"}
+	a := runCLI(t, args...)
+	b := runCLI(t, args...)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("rerun diverged:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestUnknownWorkloadFails: a catalogue miss is an error naming the
+// known apps, with nothing on stdout.
+func TestUnknownWorkloadFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-workload", "nosuch"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "voip") {
+		t.Fatalf("unknown workload: err=%v", err)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("failed run wrote to stdout: %q", stdout.String())
+	}
+}
+
+// TestUnknownEnvFails mirrors the environment-resolution contract.
+func TestUnknownEnvFails(t *testing.T) {
+	if err := run([]string{"-env", "nosuch"}, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown environment accepted")
+	}
+}

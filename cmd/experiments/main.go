@@ -31,6 +31,7 @@ import (
 	"repro/internal/federation"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/shaper"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -73,6 +74,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	federate := fs.Bool("federate", false,
 		"run the campaign matrix as a federated replay across -sites ring-coordinated sites (see cmd/fedsim for membership-fault injection)")
 	sites := fs.Int("sites", 4, "simulated replay sites for -federate (output is byte-identical across values)")
+	workloadName := fs.String("workload", "",
+		"replace the CBR record-phase traffic with this application model from the workload catalogue (abr, voip, rpc, web, iot)")
+	differentiate := fs.Bool("differentiate", false,
+		"run the traffic-differentiation detector on -workload instead of an artifact: neutral vs throttled arm, κ-component verdict table (see cmd/diffdetect for the full knob set)")
+	throttleFrac := fs.Float64("throttle-frac", 0.5,
+		"-differentiate bucket rate as a fraction of the workload's own offered rate")
+	throttlePolice := fs.Bool("throttle-police", false, "-differentiate polices (drops) instead of shaping (delaying)")
 	ocli := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,11 +141,33 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return finishObs(stderr, ocli, pool, started)
 	}
 
-	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool, Shards: *simShards}
+	cfg := experiments.TrialConfig{Packets: *packets, Runs: *runs, Seed: *seed, Obs: ocli.Obs(), Pool: pool, Shards: *simShards, Workload: *workloadName}
 	if *full {
 		env := testbed.LocalSingle()
 		cfg.Packets = env.PacketsFor(300 * sim.Millisecond)
 		cfg.Runs = 5
+	}
+
+	if *differentiate {
+		if cfg.Workload == "" {
+			return fmt.Errorf("-differentiate needs -workload (abr, voip, rpc, web, iot)")
+		}
+		env := testbed.LocalSingle()
+		if envs, err := selectEnvs(*envNames); err != nil {
+			return err
+		} else if len(envs) > 0 {
+			env = envs[0]
+		}
+		res, err := experiments.Differentiate(env, experiments.DiffConfig{
+			Trial:    cfg,
+			Shaper:   shaper.Config{QueuePkts: 64, Police: *throttlePolice},
+			RateFrac: *throttleFrac,
+		})
+		if err != nil {
+			return err
+		}
+		res.Render(stdout)
+		return finishObs(stderr, ocli, pool, started)
 	}
 
 	if *sweep != "" {

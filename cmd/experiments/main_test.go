@@ -160,6 +160,35 @@ func TestFederatedStdoutIndependentOfSites(t *testing.T) {
 	}
 }
 
+// TestGoldenDifferentiate pins the -differentiate convenience path:
+// the same verdict-table contract cmd/diffdetect carries with the full
+// knob set, here driven off the artifact CLI's shared flags.
+func TestGoldenDifferentiate(t *testing.T) {
+	got := runCLI(t, "-differentiate", "-workload", "voip",
+		"-packets", "1200", "-runs", "2", "-seed", "11", "-workers", "2")
+	if !strings.Contains(string(got), "differentiation: DETECTED") {
+		t.Fatalf("throttled voip not flagged:\n%s", got)
+	}
+	checkGolden(t, "differentiate.txt", got)
+}
+
+// TestDifferentiateNeedsWorkload: -differentiate without an app is an
+// error, not a silent CBR run.
+func TestDifferentiateNeedsWorkload(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-differentiate"}, &stdout, &stderr); err == nil {
+		t.Fatal("-differentiate without -workload accepted")
+	}
+}
+
+// TestGoldenWorkloadArtifact pins an artifact rendered from
+// application traffic instead of CBR: -workload threads through the
+// shared TrialConfig into every harness.
+func TestGoldenWorkloadArtifact(t *testing.T) {
+	checkGolden(t, "fig9_rpc.txt",
+		runCLI(t, "-run", "fig9", "-workload", "rpc", "-packets", "1200", "-runs", "2", "-seed", "7", "-workers", "2"))
+}
+
 // TestCampaignJournalGuardCLI: a fresh run over an existing journal is
 // refused with a pointer at -resume.
 func TestCampaignJournalGuardCLI(t *testing.T) {

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/shaper"
+	"repro/internal/testbed"
+)
+
+// DiffConfig parameterizes one differentiation experiment: the same
+// seeded application workload is driven through a neutral path and a
+// throttled path (a token bucket spliced in front of the capture
+// point), and the κ components that move between the two arms are the
+// throttler's signature.
+type DiffConfig struct {
+	// Trial is the shared protocol scale; Trial.Workload must name a
+	// catalogue app.
+	Trial TrialConfig
+	// Shaper configures the throttled arm's token bucket. RateBps may
+	// be left zero when RateFrac is set.
+	Shaper shaper.Config
+	// RateFrac, when positive, derives the bucket rate from the
+	// workload itself: the neutral baseline trace's mean offered rate
+	// times this fraction (0.5 = throttle to half the app's rate).
+	RateFrac float64
+	// Neutral runs the control experiment: the "throttled" arm gets no
+	// shaper at all, so the two arms are identical simulations and
+	// every observed component must be exactly zero.
+	Neutral bool
+}
+
+// DiffComponent scores one κ component across the two arms.
+type DiffComponent struct {
+	// Name is the κ component letter.
+	Name string `json:"name"`
+	// Signature is the throttling mechanism this component detects.
+	Signature string `json:"signature"`
+	// Control is the component's neutral replay-to-replay mean — the
+	// noise floor differentiation must exceed.
+	Control float64 `json:"control"`
+	// Observed is the component's mean across same-index
+	// neutral-vs-throttled trace pairs, isolating the shaper exactly.
+	Observed float64 `json:"observed"`
+	// Flagged reports Observed clearing both the multiplicative margin
+	// over Control and the absolute floor.
+	Flagged bool `json:"flagged"`
+}
+
+// DiffResult is the outcome of one differentiation experiment.
+type DiffResult struct {
+	App            string          `json:"app"`
+	Environment    string          `json:"environment"`
+	Components     []DiffComponent `json:"components"`
+	Differentiated bool            `json:"differentiated"`
+	// KappaNeutral and KappaCross summarize the two comparison sets:
+	// neutral replay-vs-replay and neutral-vs-throttled.
+	KappaNeutral float64 `json:"kappa_neutral"`
+	KappaCross   float64 `json:"kappa_cross"`
+	// ShaperStats aggregates the throttled arm's bucket counters
+	// (zero-valued for the neutral control).
+	ShaperStats shaper.Stats `json:"shaper_stats"`
+	// Neutral and Throttled are the full per-arm protocol results.
+	Neutral   *RunResult `json:"-"`
+	Throttled *RunResult `json:"-"`
+}
+
+// Differentiation thresholds: a component is flagged when the
+// cross-arm divergence exceeds three times the neutral noise floor and
+// an absolute floor that absorbs exact-zero controls.
+const (
+	diffMargin = 3.0
+	diffFloor  = 1e-6
+)
+
+// Differentiate runs the neutral and throttled arms of one workload
+// and decomposes which κ component moved. Both arms share every seed,
+// so the throttled arm differs from the neutral one only by the token
+// bucket — any divergence beyond replay noise is the shaper's doing.
+func Differentiate(env testbed.Env, cfg DiffConfig) (*DiffResult, error) {
+	if cfg.Trial.Workload == "" {
+		return nil, fmt.Errorf("experiments: Differentiate needs a workload")
+	}
+	cfg.Trial = cfg.Trial.defaults()
+
+	neutral, err := Run(env, cfg.Trial)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: neutral arm: %w", err)
+	}
+
+	throttledEnv := env
+	var made []*shaper.Shaper
+	if !cfg.Neutral {
+		scfg := cfg.Shaper
+		if cfg.RateFrac > 0 {
+			base := neutral.Traces[0]
+			bits := int64(0)
+			for _, p := range base.Packets {
+				bits += int64(packet.WireBytes(p.FrameLen)) * 8
+			}
+			span := base.Span().Seconds()
+			if span <= 0 {
+				return nil, fmt.Errorf("experiments: baseline trace too short to derive a rate")
+			}
+			scfg.RateBps = int64(cfg.RateFrac * float64(bits) / span)
+		}
+		if scfg.RateBps <= 0 {
+			return nil, fmt.Errorf("experiments: throttled arm needs a positive shaper rate")
+		}
+		cfg.Shaper = scfg
+		throttledEnv = shaper.ThrottleEnv(env, scfg, &made)
+	}
+	throttled, err := Run(throttledEnv, cfg.Trial)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: throttled arm: %w", err)
+	}
+	if len(throttled.Traces) != len(neutral.Traces) {
+		return nil, fmt.Errorf("experiments: arm trace counts diverge: %d vs %d",
+			len(neutral.Traces), len(throttled.Traces))
+	}
+
+	// Cross-arm comparisons pair same-index trials: trial i of each arm
+	// ran an identical simulation up to the bucket, so the pair isolates
+	// the shaper with zero replay-phase confound.
+	cross := make([]*metrics.Result, len(neutral.Traces))
+	err = cfg.Trial.pool().Do(len(neutral.Traces), func(i int) error {
+		r, cerr := metrics.Compare(neutral.Traces[i], throttled.Traces[i], metrics.Options{})
+		if cerr != nil {
+			return fmt.Errorf("experiments: cross-arm compare %s: %w", RunNames[i], cerr)
+		}
+		cross[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	crossMean := metrics.Mean(cross)
+
+	res := &DiffResult{
+		App:          cfg.Trial.Workload,
+		Environment:  env.Name,
+		Neutral:      neutral,
+		Throttled:    throttled,
+		KappaNeutral: neutral.Mean.Kappa,
+		KappaCross:   crossMean.Kappa,
+	}
+	for _, s := range made {
+		st := s.Stats()
+		res.ShaperStats.Received += st.Received
+		res.ShaperStats.Delivered += st.Delivered
+		res.ShaperStats.Dropped += st.Dropped
+		res.ShaperStats.Delayed += st.Delayed
+		res.ShaperStats.DelaySum += st.DelaySum
+		if st.DelayMax > res.ShaperStats.DelayMax {
+			res.ShaperStats.DelayMax = st.DelayMax
+		}
+		if st.QueuePeak > res.ShaperStats.QueuePeak {
+			res.ShaperStats.QueuePeak = st.QueuePeak
+		}
+	}
+	for _, c := range []struct {
+		name, sig         string
+		control, observed float64
+	}{
+		{"U", "loss (policer/tail drops)", neutral.Mean.U, crossMean.U},
+		{"O", "reordering (multi-queue throttlers)", neutral.Mean.O, crossMean.O},
+		{"L", "added latency (queueing delay)", neutral.Mean.L, crossMean.L},
+		{"I", "pacing (inter-arrival reshaping)", neutral.Mean.I, crossMean.I},
+	} {
+		comp := DiffComponent{
+			Name:      c.name,
+			Signature: c.sig,
+			Control:   c.control,
+			Observed:  c.observed,
+			Flagged:   c.observed > diffMargin*c.control && c.observed > diffFloor,
+		}
+		res.Components = append(res.Components, comp)
+		if comp.Flagged {
+			res.Differentiated = true
+		}
+	}
+	return res, nil
+}
+
+// Render writes the verdict table in a deterministic, golden-pinnable
+// layout.
+func (d *DiffResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "workload=%s env=%s recorded=%d kappa_neutral=%.6f kappa_cross=%.6f\n",
+		d.App, d.Environment, d.Neutral.Recorded, d.KappaNeutral, d.KappaCross)
+	fmt.Fprintf(w, "%-4s %-38s %12s %12s %9s\n", "comp", "signature", "control", "observed", "verdict")
+	for _, c := range d.Components {
+		verdict := "-"
+		if c.Flagged {
+			verdict = "FLAGGED"
+		}
+		fmt.Fprintf(w, "%-4s %-38s %12.6f %12.6f %9s\n", c.Name, c.Signature, c.Control, c.Observed, verdict)
+	}
+	if d.Differentiated {
+		moved := ""
+		for _, c := range d.Components {
+			if c.Flagged {
+				if moved != "" {
+					moved += ","
+				}
+				moved += c.Name
+			}
+		}
+		fmt.Fprintf(w, "differentiation: DETECTED (%s) dropped=%d delayed=%d delay_max=%v\n",
+			moved, d.ShaperStats.Dropped, d.ShaperStats.Delayed, d.ShaperStats.DelayMax)
+		return
+	}
+	fmt.Fprintf(w, "differentiation: none\n")
+}

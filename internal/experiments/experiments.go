@@ -58,6 +58,14 @@ type TrialConfig struct {
 	// sequential-engine notion, so a config setting both falls back to
 	// the sequential engine.
 	Shards int
+	// Workload, when non-empty, replaces the CBR record-phase traffic
+	// with the named application model from the workload catalogue (one
+	// stream per replayer, Packets/Replayers packets each). Application
+	// pacing is data-dependent, so the recording window is sized
+	// adaptively from the runners' own completion times instead of the
+	// CBR rate formula; the replay protocol is unchanged. Empty keeps
+	// the classic CBR path byte-identical.
+	Workload string
 	// MaxSteps, when non-zero, bounds the number of simulation events
 	// one protocol run may fire — a deterministic per-trial timeout. A
 	// run that exhausts it fails with an error wrapping
@@ -148,8 +156,53 @@ func Run(env testbed.Env, cfg TrialConfig) (*RunResult, error) {
 
 	// --- record phase ---
 	top.Broadcast(control.StartRecord{At: top.WallNow() + sim.Millisecond})
-	top.StartGenerators(perStream, 2*sim.Millisecond)
-	top.RunUntil(2*sim.Millisecond + recordDur + slack)
+	if cfg.Workload != "" {
+		runners, err := top.StartWorkload(cfg.Workload, perStream, 2*sim.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", env.Name, err)
+		}
+		// Application pacing is data-dependent (think times, playback
+		// buffers), so advance the clock in fixed increments until every
+		// runner reports done — a deterministic loop: the deadlines are
+		// pure functions of the iteration count, so every shard layout
+		// sees the same schedule.
+		const step = 250 * sim.Millisecond
+		deadline := 2 * sim.Millisecond
+		for i := 0; ; i++ {
+			if i >= 600 {
+				return nil, fmt.Errorf("experiments: %s workload %s did not finish %d packets within %v",
+					env.Name, cfg.Workload, perStream, deadline)
+			}
+			deadline += step
+			top.RunUntil(deadline)
+			if top.BudgetExhausted() {
+				return nil, fmt.Errorf("experiments: %s record phase after %d events: %w",
+					env.Name, top.Executed(), sim.ErrStepBudget)
+			}
+			done := true
+			for _, r := range runners {
+				if !r.Done() {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+		var last sim.Time
+		for _, r := range runners {
+			if r.FinishedAt() > last {
+				last = r.FinishedAt()
+			}
+		}
+		recordDur = sim.Duration(last - 2*sim.Millisecond)
+		// Let in-flight frames reach the capture point before stopping.
+		top.RunUntil(top.Now() + slack)
+	} else {
+		top.StartGenerators(perStream, 2*sim.Millisecond)
+		top.RunUntil(2*sim.Millisecond + recordDur + slack)
+	}
 	top.Broadcast(control.StopRecord{At: top.WallNow()})
 	top.RunUntil(top.Now() + sim.Millisecond)
 	if top.BudgetExhausted() {

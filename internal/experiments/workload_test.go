@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/shaper"
+	"repro/internal/testbed"
+	"repro/internal/workload"
+)
+
+// Differential bit-identity suites for the application workload
+// library: every catalogue app must produce the same traces, metrics
+// and summaries across -sim-shards counts, under fault plans, and
+// across repeated runs of one seed. verify.sh runs this file under
+// -race.
+
+func workloadCfg(app string) TrialConfig {
+	return TrialConfig{Packets: 1200, Runs: 2, Seed: 11, Workload: app}
+}
+
+func assertRunsEqual(t *testing.T, label string, a, b *RunResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Traces, b.Traces) {
+		t.Fatalf("%s: traces diverged", label)
+	}
+	if !reflect.DeepEqual(a.Results, b.Results) {
+		t.Fatalf("%s: results diverged", label)
+	}
+	if !reflect.DeepEqual(a.Missing, b.Missing) {
+		t.Fatalf("%s: missing counts diverged", label)
+	}
+	ja, err := json.Marshal(a.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("%s: summary JSON diverged:\n%s\n%s", label, ja, jb)
+	}
+}
+
+// TestWorkloadRunCompletes drives the full record/replay/compare
+// protocol for each app and sanity-checks the scores: clean replays of
+// application traffic should be near-perfectly consistent.
+func TestWorkloadRunCompletes(t *testing.T) {
+	for _, app := range workload.Names() {
+		res, err := Run(testbed.LocalSingle(), workloadCfg(app))
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if res.Recorded == 0 {
+			t.Fatalf("%s: recorded nothing", app)
+		}
+		if res.Mean.Kappa < 0.99 {
+			t.Fatalf("%s: clean replay κ %.4f, want ≥0.99", app, res.Mean.Kappa)
+		}
+	}
+}
+
+// TestWorkloadShardedMatchesSequential pins the tentpole determinism
+// claim: every app, sequential vs -sim-shards 1/2/4, bit-identical.
+func TestWorkloadShardedMatchesSequential(t *testing.T) {
+	for _, app := range workload.Names() {
+		t.Run(app, func(t *testing.T) {
+			seq, err := Run(testbed.LocalSingle(), workloadCfg(app))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				sh, err := Run(testbed.LocalSingle(), withShards(workloadCfg(app), shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertRunsEqual(t, app, seq, sh)
+			}
+		})
+	}
+}
+
+// TestWorkloadUnderFaultShardedMatchesSequential composes each app
+// with a drop+reorder plan and demands shard-count invariance of the
+// perturbed run too.
+func TestWorkloadUnderFaultShardedMatchesSequential(t *testing.T) {
+	plan := fault.Plan{Seed: 72, Drop: 0.05, Reorder: 0.04}
+	for _, app := range workload.Names() {
+		t.Run(app, func(t *testing.T) {
+			env := plan.PerturbEnv(testbed.LocalSingle())
+			seq, err := Run(env, workloadCfg(app))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := Run(env, withShards(workloadCfg(app), 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRunsEqual(t, app, seq, sh)
+		})
+	}
+}
+
+// TestWorkloadSameSeedTwice: the whole protocol is replayable — two
+// runs of one seed are bit-identical, and a different seed diverges.
+func TestWorkloadSameSeedTwice(t *testing.T) {
+	for _, app := range workload.Names() {
+		a, err := Run(testbed.LocalSingle(), workloadCfg(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(testbed.LocalSingle(), workloadCfg(app))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRunsEqual(t, app, a, b)
+	}
+	cfg := workloadCfg("web")
+	cfg.Seed = 12
+	a, err := Run(testbed.LocalSingle(), workloadCfg("web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Run(testbed.LocalSingle(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Traces, c.Traces) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestWorkloadUnknownApp surfaces catalogue misses as errors, not
+// panics.
+func TestWorkloadUnknownApp(t *testing.T) {
+	cfg := workloadCfg("nosuch")
+	if _, err := Run(testbed.LocalSingle(), cfg); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestDifferentiateDetectsThrottling: shaping one arm to half the
+// app's own rate must flag at least one κ component, with the timing
+// components (I or L) moving for a deep-queue shaper.
+func TestDifferentiateDetectsThrottling(t *testing.T) {
+	res, err := Differentiate(testbed.LocalSingle(), DiffConfig{
+		Trial:    workloadCfg("voip"),
+		Shaper:   shaper.Config{QueuePkts: 4096},
+		RateFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Differentiated {
+		t.Fatalf("throttled arm not flagged: %+v", res.Components)
+	}
+	timing := false
+	for _, c := range res.Components {
+		if (c.Name == "I" || c.Name == "L") && c.Flagged {
+			timing = true
+		}
+	}
+	if !timing {
+		t.Fatalf("deep-queue shaper did not move a timing component: %+v", res.Components)
+	}
+	if res.KappaCross >= res.KappaNeutral {
+		t.Fatalf("cross-arm κ %.6f not below neutral κ %.6f", res.KappaCross, res.KappaNeutral)
+	}
+	if res.ShaperStats.Delayed == 0 {
+		t.Fatalf("shaper never delayed: %+v", res.ShaperStats)
+	}
+}
+
+// TestDifferentiatePolicerShowsLoss: a policer's signature is loss —
+// U must flag.
+func TestDifferentiatePolicerShowsLoss(t *testing.T) {
+	res, err := Differentiate(testbed.LocalSingle(), DiffConfig{
+		Trial:    workloadCfg("web"),
+		Shaper:   shaper.Config{Police: true},
+		RateFrac: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Differentiated {
+		t.Fatal("policed arm not flagged")
+	}
+	var u DiffComponent
+	for _, c := range res.Components {
+		if c.Name == "U" {
+			u = c
+		}
+	}
+	if !u.Flagged {
+		t.Fatalf("policer loss signature not flagged: %+v", res.Components)
+	}
+	if res.ShaperStats.Dropped == 0 {
+		t.Fatalf("policer never dropped: %+v", res.ShaperStats)
+	}
+}
+
+// TestDifferentiateNeutralControlIsSilent: with no shaper, the two
+// arms are identical simulations — every observed component must be
+// exactly zero and nothing may flag.
+func TestDifferentiateNeutralControlIsSilent(t *testing.T) {
+	for _, app := range workload.Names() {
+		res, err := Differentiate(testbed.LocalSingle(), DiffConfig{
+			Trial:   workloadCfg(app),
+			Neutral: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if res.Differentiated {
+			t.Fatalf("%s: neutral control flagged: %+v", app, res.Components)
+		}
+		for _, c := range res.Components {
+			if c.Observed != 0 {
+				t.Fatalf("%s: neutral control observed %s=%v, want exact zero", app, c.Name, c.Observed)
+			}
+		}
+		if res.KappaCross != 1 {
+			t.Fatalf("%s: neutral cross κ %v, want exactly 1", app, res.KappaCross)
+		}
+	}
+}
+
+// TestDifferentiateShardInvariant: the rendered verdict table — the
+// CLI contract — is byte-identical across shard counts.
+func TestDifferentiateShardInvariant(t *testing.T) {
+	render := func(shards int) string {
+		cfg := DiffConfig{
+			Trial:    withShards(workloadCfg("rpc"), shards),
+			Shaper:   shaper.Config{QueuePkts: 64},
+			RateFrac: 0.5,
+		}
+		res, err := Differentiate(testbed.LocalSingle(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		return buf.String()
+	}
+	seq := render(0)
+	for _, shards := range []int{1, 4} {
+		if got := render(shards); got != seq {
+			t.Fatalf("shards=%d verdict diverged:\n%s\nvs\n%s", shards, got, seq)
+		}
+	}
+}
+
+// TestWorkloadCBRPathUntouched: a config without Workload follows the
+// classic CBR branch — same output as before this feature existed
+// (pinned against the existing diffCfg fixture used across suites).
+func TestWorkloadCBRPathUntouched(t *testing.T) {
+	a, err := Run(testbed.LocalSingle(), diffCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := diffCfg
+	cfg.Workload = ""
+	b, err := Run(testbed.LocalSingle(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsEqual(t, "cbr", a, b)
+}

@@ -17,10 +17,14 @@ import (
 //     clockwise order (exactly one wrap past the ID-space origin).
 //
 // "Effective successor" is what the member would actually use right
-// now: its first alive reachable stored successor, falling back to a
-// directory rescue — so the check exercises the stored state's
-// staleness, not a directory fantasy. It is safe to call between any
-// two protocol steps; the metamorphic suites call it after every one.
+// now: its first alive reachable stored successor, corrected against
+// the directory's closest clockwise member (effSuccLocked). The
+// correction is what lets these invariants hold per-step *through* a
+// partition heal — the stored lists legitimately describe two rings
+// until stabilization rewrites them, but resolution never follows the
+// stale ring past the portal's closer member. It is safe to call
+// between any two protocol steps; the metamorphic suites call it after
+// every one.
 func (r *Ring) CheckInvariants() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -233,25 +233,41 @@ func (r *Ring) reachable(a, b *member) bool {
 }
 
 // effSuccLocked resolves m's effective successor: the first stored
-// successor that is alive and reachable, else a directory rescue.
+// successor that is alive and reachable, corrected against the portal
+// directory — when the directory knows a member strictly closer
+// clockwise (a healed partition's other half, a join m never learned
+// about), that member is the true successor. Without the correction a
+// partition heal leaves the effective-successor graph describing two
+// alive rings in one group until stabilization happens to visit every
+// member — a transient the per-step invariant checks reject. Stabilize
+// converges to the same choice (its successor adoption is bounded by
+// the identical rescue), so hoisting the correction here changes no
+// protocol fixpoint; it makes the resolution — what Leave hands custody
+// to, what Successor reports, what the checker walks — agree with it
+// at every intermediate step.
 // Returns 0 only when m is nil; returns m.id when m is effectively
 // alone (self-ring).
 func (r *Ring) effSuccLocked(m *member) SiteID {
 	if m == nil {
 		return 0
 	}
+	var best SiteID
 	for _, id := range m.succ {
 		if id == m.id {
 			continue
 		}
 		if s := r.members[id]; s != nil && r.reachable(m, s) {
-			return id
+			best = id
+			break
 		}
 	}
-	if s := r.rescue(m); s != 0 {
-		return s
+	if d := r.rescue(m); d != 0 && (best == 0 || between(m.id, d, best)) {
+		best = d
 	}
-	return m.id
+	if best == 0 {
+		return m.id
+	}
+	return best
 }
 
 // rescue returns the closest clockwise alive reachable member after m,
@@ -302,17 +318,12 @@ func (r *Ring) Stabilize(name string) {
 	}
 	s := r.members[sid]
 	// Chord rectification: if our successor knows a predecessor between
-	// us and it, that member is our true successor.
+	// us and it, that member is our true successor. (Directory sync —
+	// the correction that makes partition heal convergent — already
+	// happened inside effSuccLocked, so sid is never farther clockwise
+	// than the portal's closest known member.)
 	if p := r.members[s.pred]; p != nil && p.id != m.id && r.reachable(m, p) && between(m.id, p.id, s.id) {
 		sid, s = p.id, p
-	}
-	// Directory sync: the portal roster may know a member strictly
-	// closer clockwise than anything in our stored state — a healed
-	// partition's other half, or a join we never learned about. Pure
-	// successor adoption cannot merge two independently stabilized
-	// rings; this one correction is what makes heal convergent.
-	if d := r.rescue(m); d != 0 && d != sid && between(m.id, d, sid) {
-		sid, s = d, r.members[d]
 	}
 	// Rebuild the successor list: s first, then s's list, deduped.
 	list := make([]SiteID, 0, r.cfg.SuccLen)

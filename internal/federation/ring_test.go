@@ -164,9 +164,21 @@ func TestRingInvariantsAdversarialSchedules(t *testing.T) {
 					if err := r.Leave(names[rng.Intn(len(names))]); err != nil {
 						t.Fatal(err)
 					}
-				case x < 94 && len(names) > 1: // crash
+				case x < 90 && len(names) > 1: // crash
 					if err := r.Crash(names[rng.Intn(len(names))]); err != nil {
 						t.Fatal(err)
+					}
+				case x < 94: // partition a random subset, or heal one
+					if rng.Intn(3) == 0 {
+						r.Heal()
+					} else {
+						cut := map[string]int{}
+						for _, n := range names {
+							if rng.Intn(3) == 0 {
+								cut[n] = 1
+							}
+						}
+						r.Partition(cut)
 					}
 				default:
 					if err := r.SetSlow(names[rng.Intn(len(names))], 1+rng.Intn(4)); err != nil {
@@ -176,7 +188,11 @@ func TestRingInvariantsAdversarialSchedules(t *testing.T) {
 				check()
 			}
 			// The schedule must end convergent: fixpoint, one
-			// coordinator, invariants intact.
+			// coordinator, invariants intact (heal first — the schedule
+			// may end mid-partition, where no global coordinator can
+			// exist by design).
+			r.Heal()
+			check()
 			if !r.RunToFixpoint(64) {
 				t.Fatal("ring did not reach a fixpoint")
 			}
@@ -225,14 +241,33 @@ func TestRingPartitionHeal(t *testing.T) {
 	}
 
 	r.Heal()
-	// Immediately after heal the stored state may describe two rings in
-	// one group — the known Chord merge gap. Directory-assisted
-	// stabilization must close it within bounded rounds.
-	if !r.RunToFixpoint(64) {
-		t.Fatal("healed ring did not converge")
-	}
+	// Immediately after heal the stored successor lists still describe
+	// two rings — the known Chord merge gap — but resolution is
+	// directory-synced (effSuccLocked), so the effective-successor graph
+	// must be one ordered ring from the very first post-heal instant,
+	// and stay one through every stabilization step of the merge. (This
+	// is the transient the per-step assertions surfaced: before the
+	// directory correction moved into effSuccLocked, both halves' stored
+	// successors were alive and reachable again, so the checker saw two
+	// cycles in one group until stabilization happened to visit every
+	// member.)
 	if err := r.CheckInvariants(); err != nil {
-		t.Fatalf("after heal: %v", err)
+		t.Fatalf("immediately after heal: %v", err)
+	}
+	healed := false
+	for round := 0; round < 64 && !healed; round++ {
+		before := r.snapshot()
+		for _, n := range names {
+			r.Stabilize(n)
+			if err := r.CheckInvariants(); err != nil {
+				t.Fatalf("heal round %d, after stabilizing %s: %v", round, n, err)
+			}
+			h.checkConservation(t, r)
+		}
+		healed = r.snapshot() == before
+	}
+	if !healed {
+		t.Fatal("healed ring did not converge")
 	}
 	h.checkConservation(t, r)
 	if _, ok := r.Coordinator(); !ok {

@@ -14,6 +14,44 @@ import (
 	"repro/internal/sim"
 )
 
+// emitObs bundles the per-stream observability hooks shared by every
+// generator: the gen_emitted_total counter and the `gen` packet-lifecycle
+// instant. A nil *emitObs is inert, so generators call record
+// unconditionally. Purely observational: it never touches the engine's
+// RNG or schedule.
+type emitObs struct {
+	eng   *sim.Engine
+	ctr   *obs.Counter
+	tr    *obs.Tracer
+	track string
+}
+
+// newEmitObs builds the emit hooks for one stream, or nil when o is nil.
+func newEmitObs(eng *sim.Engine, o *obs.Obs, stream uint16) *emitObs {
+	if o == nil {
+		return nil
+	}
+	return &emitObs{
+		eng: eng,
+		ctr: o.Reg.Counter("gen_emitted_total", "packets handed to the generator NIC",
+			obs.L("stream", fmt.Sprintf("%d", stream))),
+		tr:    o.Tracer,
+		track: fmt.Sprintf("gen/%d", stream),
+	}
+}
+
+// record notes a burst of emitted packets at the engine's current time.
+func (e *emitObs) record(pkts []*packet.Packet) {
+	if e == nil {
+		return
+	}
+	now := e.eng.Now()
+	for _, p := range pkts {
+		e.tr.Instant(p.Tag, obs.StageGen, e.track, now)
+	}
+	e.ctr.Add(int64(len(pkts)))
+}
+
 // CBRConfig describes a constant-bit-rate stream of identical frames —
 // "the generator created a 40 Gbps stream of 1,400-byte packets" (§6).
 type CBRConfig struct {
@@ -35,8 +73,7 @@ type CBRConfig struct {
 	// preserving the average rate (1 = perfectly paced).
 	Burst int
 	// Obs, when non-nil, counts emitted packets per stream and opens
-	// the packet-lifecycle `gen` instant for sampled packets. Purely
-	// observational: it never touches the engine's RNG or schedule.
+	// the packet-lifecycle `gen` instant for sampled packets.
 	Obs *obs.Obs
 }
 
@@ -69,17 +106,7 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 		burst = nic.BurstSize
 	}
 	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
-	var (
-		emCtr *obs.Counter
-		tr    *obs.Tracer
-		track string
-	)
-	if cfg.Obs != nil {
-		emCtr = cfg.Obs.Reg.Counter("gen_emitted_total", "packets handed to the generator NIC",
-			obs.L("stream", fmt.Sprintf("%d", cfg.Stream)))
-		tr = cfg.Obs.Tracer
-		track = fmt.Sprintf("gen/%d", cfg.Stream)
-	}
+	eo := newEmitObs(eng, cfg.Obs, cfg.Stream)
 	interval := float64(packet.WireBytes(cfg.FrameLen)*8) * 1e9 / float64(cfg.RateBps)
 	// Self-scheduling emission keeps the event heap small at
 	// million-packet scale; times are computed from the packet index so
@@ -99,15 +126,9 @@ func StartCBR(eng *sim.Engine, q *nic.Queue, cfg CBRConfig) *Generator {
 				Flow:     cfg.Flow,
 			}
 		}
-		if tr != nil {
-			now := eng.Now()
-			for _, p := range pkts {
-				tr.Instant(p.Tag, obs.StageGen, track, now)
-			}
-		}
+		eo.record(pkts)
 		g.q.SendBurst(pkts)
 		g.emitted += n
-		emCtr.Add(int64(n))
 		if next := i + n; next < cfg.Count {
 			g.act.Post(cfg.StartAt+sim.Time(float64(next)*interval), func() { emit(next) })
 		}
@@ -126,6 +147,8 @@ type PoissonConfig struct {
 	StartAt     sim.Time
 	Stream      uint16
 	Flow        packet.FiveTuple
+	// Obs, when non-nil, mirrors the CBR emit instrumentation.
+	Obs *obs.Obs
 }
 
 // StartPoisson schedules a Poisson stream into q using the engine's
@@ -135,16 +158,19 @@ func StartPoisson(eng *sim.Engine, q *nic.Queue, cfg PoissonConfig) *Generator {
 		panic("gen: rate must be positive")
 	}
 	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
+	eo := newEmitObs(eng, cfg.Obs, cfg.Stream)
 	rng := eng.Rand(fmt.Sprintf("gen/poisson/%d", cfg.Stream))
 	meanGap := 1e9 / cfg.MeanRatePPS
 	var emit func(i int)
 	emit = func(i int) {
-		g.q.SendBurst([]*packet.Packet{{
+		pkts := []*packet.Packet{{
 			Tag:      packet.Tag{Stream: cfg.Stream, Seq: uint64(i)},
 			Kind:     packet.KindData,
 			FrameLen: cfg.FrameLen,
 			Flow:     cfg.Flow,
-		}})
+		}}
+		eo.record(pkts)
+		g.q.SendBurst(pkts)
 		g.emitted++
 		if i+1 < cfg.Count {
 			g.act.PostAfter(sim.Duration(rng.ExpFloat64()*meanGap), func() { emit(i + 1) })
@@ -162,6 +188,8 @@ type IMIXConfig struct {
 	StartAt sim.Time
 	Stream  uint16
 	Flow    packet.FiveTuple
+	// Obs, when non-nil, mirrors the CBR emit instrumentation.
+	Obs *obs.Obs
 }
 
 // imixSizes is the classic distribution, adjusted so even the smallest
@@ -175,22 +203,35 @@ var imixSizes = []struct {
 	{1, 1400},
 }
 
+// imixTotal is the summed weight, hoisted so pickIMIX does not rescan
+// the table on every packet.
+var imixTotal = func() int {
+	t := 0
+	for _, e := range imixSizes {
+		t += e.weight
+	}
+	return t
+}()
+
 // StartIMIX schedules an IMIX stream into q.
 func StartIMIX(eng *sim.Engine, q *nic.Queue, cfg IMIXConfig) *Generator {
 	if cfg.RatePPS <= 0 {
 		panic("gen: rate must be positive")
 	}
 	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
+	eo := newEmitObs(eng, cfg.Obs, cfg.Stream)
 	rng := eng.Rand(fmt.Sprintf("gen/imix/%d", cfg.Stream))
 	gap := sim.Duration(1e9 / cfg.RatePPS)
 	var emit func(i int)
 	emit = func(i int) {
-		g.q.SendBurst([]*packet.Packet{{
+		pkts := []*packet.Packet{{
 			Tag:      packet.Tag{Stream: cfg.Stream, Seq: uint64(i)},
 			Kind:     packet.KindData,
 			FrameLen: pickIMIX(rng),
 			Flow:     cfg.Flow,
-		}})
+		}}
+		eo.record(pkts)
+		g.q.SendBurst(pkts)
 		g.emitted++
 		if i+1 < cfg.Count {
 			g.act.PostAfter(gap, func() { emit(i + 1) })
@@ -201,11 +242,7 @@ func StartIMIX(eng *sim.Engine, q *nic.Queue, cfg IMIXConfig) *Generator {
 }
 
 func pickIMIX(rng *rand.Rand) int {
-	total := 0
-	for _, e := range imixSizes {
-		total += e.weight
-	}
-	x := rng.Intn(total)
+	x := rng.Intn(imixTotal)
 	for _, e := range imixSizes {
 		x -= e.weight
 		if x < 0 {
@@ -222,6 +259,10 @@ func pickIMIX(rng *rand.Rand) int {
 // specific packets.
 type EmpiricalConfig struct {
 	// Gaps is the IAT sample to resample from (e.g. Trace.IATs()).
+	// Negative gaps are clamped to zero; the sample must contain at
+	// least one positive gap, otherwise the resampled process has
+	// infinite instantaneous rate and would dump the whole stream into
+	// the NIC ring in a single unbounded synchronous burst.
 	Gaps []sim.Duration
 	// FrameLens is the frame-size sample, resampled independently.
 	FrameLens []int
@@ -233,6 +274,8 @@ type EmpiricalConfig struct {
 	Stream uint16
 	// Flow is the synthesized 5-tuple.
 	Flow packet.FiveTuple
+	// Obs, when non-nil, mirrors the CBR emit instrumentation.
+	Obs *obs.Obs
 }
 
 // StartEmpirical schedules an empirically-shaped stream into q.
@@ -240,7 +283,25 @@ func StartEmpirical(eng *sim.Engine, q *nic.Queue, cfg EmpiricalConfig) *Generat
 	if len(cfg.Gaps) == 0 || len(cfg.FrameLens) == 0 {
 		panic("gen: empirical generator needs gap and frame-size samples")
 	}
+	// Sanitize a copy of the gap sample in place of per-draw clamping:
+	// indices are preserved so valid inputs keep bit-identical schedules,
+	// and a degenerate all-nonpositive sample is rejected up front.
+	gaps := make([]sim.Duration, len(cfg.Gaps))
+	positive := false
+	for i, gp := range cfg.Gaps {
+		if gp < 0 {
+			gp = 0
+		}
+		if gp > 0 {
+			positive = true
+		}
+		gaps[i] = gp
+	}
+	if !positive {
+		panic("gen: empirical gap sample has no positive gaps (infinite instantaneous rate)")
+	}
 	g := &Generator{eng: eng, act: eng.NewActor(), q: q}
+	eo := newEmitObs(eng, cfg.Obs, cfg.Stream)
 	rng := eng.Rand(fmt.Sprintf("gen/empirical/%d", cfg.Stream))
 	var emit func(i int)
 	emit = func(i int) {
@@ -248,19 +309,17 @@ func StartEmpirical(eng *sim.Engine, q *nic.Queue, cfg EmpiricalConfig) *Generat
 		if fl < packet.MinDataFrameLen {
 			fl = packet.MinDataFrameLen
 		}
-		g.q.SendBurst([]*packet.Packet{{
+		pkts := []*packet.Packet{{
 			Tag:      packet.Tag{Stream: cfg.Stream, Seq: uint64(i)},
 			Kind:     packet.KindData,
 			FrameLen: fl,
 			Flow:     cfg.Flow,
-		}})
+		}}
+		eo.record(pkts)
+		g.q.SendBurst(pkts)
 		g.emitted++
 		if i+1 < cfg.Count {
-			gap := cfg.Gaps[rng.Intn(len(cfg.Gaps))]
-			if gap < 0 {
-				gap = 0
-			}
-			g.act.PostAfter(gap, func() { emit(i + 1) })
+			g.act.PostAfter(gaps[rng.Intn(len(gaps))], func() { emit(i + 1) })
 		}
 	}
 	g.act.Post(cfg.StartAt, func() { emit(0) })

@@ -58,11 +58,11 @@ func checkBounds(t *testing.T, label string, r *Result) {
 func FuzzCompare(f *testing.F) {
 	f.Add([]byte{}, []byte{})
 	f.Add([]byte{0}, []byte{})
-	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4, 5})       // identical
-	f.Add([]byte{1, 2, 3, 4, 5}, []byte{5, 4, 3, 2, 1})       // reordered
-	f.Add([]byte{10, 20, 30}, []byte{40, 50, 60})             // disjoint tags
-	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0})                   // all ties, dup tags
-	f.Add([]byte{97, 97, 194}, []byte{97, 1, 97})             // zero gaps mixed in
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{1, 2, 3, 4, 5}) // identical
+	f.Add([]byte{1, 2, 3, 4, 5}, []byte{5, 4, 3, 2, 1}) // reordered
+	f.Add([]byte{10, 20, 30}, []byte{40, 50, 60})       // disjoint tags
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0})             // all ties, dup tags
+	f.Add([]byte{97, 97, 194}, []byte{97, 1, 97})       // zero gaps mixed in
 	f.Add(bytes.Repeat([]byte{7}, 300), bytes.Repeat([]byte{7, 9}, 150))
 
 	f.Fuzz(func(t *testing.T, da, db []byte) {

@@ -357,9 +357,23 @@ func (d *domain) run(T sim.Time) {
 		b := d.bound(T) // load floors before draining (see package doc)
 		d.drainInputs()
 		if b > d.executedTo {
+			before := d.eng.Executed()
 			d.eng.RunUntil(b - 1)
 			d.executedTo = b
-			d.publish(b)
+			// Publish only windows that did real work, plus the final
+			// window (neighbours need the T horizon to finish). An idle
+			// domain that re-published every la-sized increment would
+			// drag its neighbours through the classic CMB ratchet:
+			// floors leapfrogging by nanosecond lookaheads across
+			// second-long gaps. Sparse application workloads (VoIP
+			// silence, ABR buffer pacing, IoT periods) made this the
+			// dominant cost — tens of millions of null messages per
+			// thousand real handoffs. Staying quiet instead parks the
+			// idle neighbourhood, and the all-parked stall break jumps
+			// the partition straight to the globally next event.
+			if d.eng.Executed() != before || b >= T {
+				d.publish(b)
+			}
 			if b >= T {
 				p.parkMu.Lock()
 				p.active--

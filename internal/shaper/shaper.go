@@ -1,0 +1,210 @@
+// Package shaper provides a deterministic token-bucket traffic shaper /
+// policer attachable anywhere a wire terminates, in the same pattern as
+// fault.Injector: it implements nic.Endpoint and splices in front of
+// the recorder via testbed.Env.WrapRecorder. A neutral path and a
+// throttled path differ only by this component, which is what turns a
+// replayed application workload into a traffic-differentiation
+// experiment: the κ component that moves (loss vs timing) is the
+// throttler's signature.
+//
+// The bucket is a GCRA meter in integer nanoseconds: packet k of b
+// on-wire bits needs an emission interval T = b·1e9/RateBps, and the
+// burst allowance τ = BurstBytes·8·1e9/RateBps. A shaper delays
+// out-of-profile frames (FIFO, bounded queue, tail-drop); a policer
+// drops them at arrival. All arithmetic is int64 and all deliveries go
+// through the engine, so the perturbed schedule is bit-identical across
+// runs and across -sim-shards counts.
+package shaper
+
+import (
+	"fmt"
+
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Config parameterizes one token bucket.
+type Config struct {
+	// RateBps is the shaped rate in on-wire bits per second.
+	RateBps int64
+	// BurstBytes is the bucket depth in on-wire bytes (default 16 KiB):
+	// traffic up to this much may pass at line rate.
+	BurstBytes int
+	// QueuePkts bounds the shaper's FIFO; frames arriving with the queue
+	// full are tail-dropped (default 128). Ignored when policing.
+	QueuePkts int
+	// Police drops out-of-profile frames at arrival instead of delaying
+	// them — a pure-loss differentiation signature.
+	Police bool
+	// Obs, when non-nil, publishes delivered/dropped counters.
+	Obs *obs.Obs
+}
+
+func (c Config) withDefaults() Config {
+	if c.BurstBytes <= 0 {
+		c.BurstBytes = 16 * 1024
+	}
+	if c.QueuePkts <= 0 {
+		c.QueuePkts = 128
+	}
+	return c
+}
+
+// Stats counts what the bucket did to the flow.
+type Stats struct {
+	// Received counts frames that reached the shaper.
+	Received int64
+	// Delivered counts frames handed downstream.
+	Delivered int64
+	// Dropped counts policer drops plus shaper tail drops.
+	Dropped int64
+	// Delayed counts frames held back by shaping.
+	Delayed int64
+	// DelaySum and DelayMax aggregate the added queueing delay.
+	DelaySum, DelayMax sim.Duration
+	// QueuePeak is the maximum shaper queue occupancy observed.
+	QueuePeak int
+}
+
+// Shaper is one token bucket in the delivery path.
+type Shaper struct {
+	eng  *sim.Engine
+	act  *sim.Actor
+	cfg  Config
+	down nic.Endpoint
+
+	tat     sim.Time // GCRA theoretical arrival time
+	tauNs   int64    // burst tolerance in ns
+	queued  int
+	stats   Stats
+	deliver *obs.Counter
+	drops   *obs.Counter
+}
+
+// New wires a token bucket in front of down on eng.
+func New(eng *sim.Engine, cfg Config, down nic.Endpoint) (*Shaper, error) {
+	if eng == nil || down == nil {
+		return nil, fmt.Errorf("shaper: needs an engine and a downstream endpoint")
+	}
+	if cfg.RateBps <= 0 {
+		return nil, fmt.Errorf("shaper: rate must be positive, got %d", cfg.RateBps)
+	}
+	cfg = cfg.withDefaults()
+	s := &Shaper{
+		eng:   eng,
+		act:   eng.NewActor(),
+		cfg:   cfg,
+		down:  down,
+		tauNs: int64(cfg.BurstBytes) * 8 * 1e9 / cfg.RateBps,
+	}
+	if cfg.Obs != nil {
+		mode := "shape"
+		if cfg.Police {
+			mode = "police"
+		}
+		s.deliver = cfg.Obs.Reg.Counter("shaper_delivered_total", "frames passed by the token bucket",
+			obs.L("mode", mode))
+		s.drops = cfg.Obs.Reg.Counter("shaper_dropped_total", "frames dropped by the token bucket",
+			obs.L("mode", mode))
+	}
+	return s, nil
+}
+
+// SimEngine reports the engine this shaper runs on (sim.Hosted).
+func (s *Shaper) SimEngine() *sim.Engine { return s.eng }
+
+// Stats returns the running bucket counts.
+func (s *Shaper) Stats() Stats { return s.stats }
+
+// Receive implements nic.Endpoint: meter one arriving frame.
+func (s *Shaper) Receive(pk *packet.Packet, at sim.Time) {
+	s.stats.Received++
+	emission := sim.Time(int64(packet.WireBytes(pk.FrameLen)) * 8 * 1e9 / s.cfg.RateBps)
+	if s.cfg.Police {
+		// Non-conforming iff the frame arrives before TAT - τ.
+		if int64(at) < int64(s.tat)-s.tauNs {
+			s.stats.Dropped++
+			s.drops.Inc()
+			return
+		}
+		if s.tat < at {
+			s.tat = at
+		}
+		s.tat += emission
+		s.post(pk, at)
+		return
+	}
+	// Shaping: hold the frame until the bucket conforms.
+	depart := at
+	if d := sim.Time(int64(s.tat) - s.tauNs); d > depart {
+		depart = d
+	}
+	if depart > at {
+		if s.queued >= s.cfg.QueuePkts {
+			s.stats.Dropped++
+			s.drops.Inc()
+			return
+		}
+		s.queued++
+		if s.queued > s.stats.QueuePeak {
+			s.stats.QueuePeak = s.queued
+		}
+		s.stats.Delayed++
+		delay := sim.Duration(depart - at)
+		s.stats.DelaySum += delay
+		if delay > s.stats.DelayMax {
+			s.stats.DelayMax = delay
+		}
+	}
+	if s.tat < depart {
+		s.tat = depart
+	}
+	s.tat += emission
+	held := depart > at
+	s.act.Post(depart, func() {
+		if held {
+			s.queued--
+		}
+		s.stats.Delivered++
+		s.deliver.Inc()
+		s.down.Receive(pk, depart)
+	})
+}
+
+// post forwards a conforming frame at its arrival instant. Everything
+// goes through the engine — matching fault.Injector — so same-instant
+// arrivals fire in creation order on every shard layout.
+func (s *Shaper) post(pk *packet.Packet, at sim.Time) {
+	s.act.Post(at, func() {
+		s.stats.Delivered++
+		s.deliver.Inc()
+		s.down.Receive(pk, at)
+	})
+}
+
+// ThrottleEnv returns a copy of env with a token bucket spliced in
+// front of the recorder. An existing WrapRecorder is preserved — the
+// bucket stacks in front of it, exactly like fault.Plan.PerturbEnv, so
+// fault plans and throttling compose. Each shaper built is appended to
+// *made (when non-nil) so callers can read Stats after a run.
+func ThrottleEnv(env testbed.Env, cfg Config, made *[]*Shaper) testbed.Env {
+	prev := env.WrapRecorder
+	env.WrapRecorder = func(eng *sim.Engine, down nic.Endpoint) nic.Endpoint {
+		if prev != nil {
+			down = prev(eng, down)
+		}
+		s, err := New(eng, cfg, down)
+		if err != nil {
+			// Unreachable for validated configs: eng/down are non-nil.
+			panic(fmt.Sprintf("shaper: ThrottleEnv: %v", err))
+		}
+		if made != nil {
+			*made = append(*made, s)
+		}
+		return s
+	}
+	return env
+}

@@ -1,0 +1,157 @@
+package shaper
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type collector struct {
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, t sim.Time) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, t)
+}
+
+// feed pushes n frames of frameLen through a bucket at the given
+// inter-arrival gap and returns the sink plus the bucket.
+func feed(t *testing.T, cfg Config, n, frameLen int, gap sim.Duration) (*collector, *Shaper) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	sink := &collector{}
+	s, err := New(e, cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := e.NewActor()
+	for i := 0; i < n; i++ {
+		p := &packet.Packet{Tag: packet.Tag{Seq: uint64(i)}, Kind: packet.KindData, FrameLen: frameLen}
+		at := sim.Time(i) * sim.Time(gap)
+		act.Post(at, func() { s.Receive(p, at) })
+	}
+	e.Run()
+	return sink, s
+}
+
+func TestConformingTrafficPassesUndelayed(t *testing.T) {
+	// 1400B every 1.2ms ≈ 9.5 Mbps, well under a 20 Mbps bucket.
+	sink, s := feed(t, Config{RateBps: 20_000_000}, 500, 1400, 1200*sim.Microsecond)
+	if int(s.Stats().Delivered) != 500 || s.Stats().Dropped != 0 || s.Stats().Delayed != 0 {
+		t.Fatalf("stats %+v", s.Stats())
+	}
+	for i := 1; i < len(sink.times); i++ {
+		if sink.times[i]-sink.times[i-1] != sim.Time(1200*sim.Microsecond) {
+			t.Fatalf("conforming gap perturbed at %d", i)
+		}
+	}
+}
+
+func TestShapingEnforcesRate(t *testing.T) {
+	// Offered ~22.7 Mbps into a 5 Mbps shaper with a deep queue: output
+	// spacing must converge to the shaped serialization time.
+	cfg := Config{RateBps: 5_000_000, BurstBytes: 4 * 1024, QueuePkts: 4096}
+	sink, s := feed(t, cfg, 400, 1400, 500*sim.Microsecond)
+	st := s.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("deep queue dropped: %+v", st)
+	}
+	if st.Delayed == 0 || st.DelayMax == 0 {
+		t.Fatalf("shaper never delayed: %+v", st)
+	}
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.times)-1)
+	want := float64(packet.WireBytes(1400)*8) * 1e9 / 5_000_000
+	if math.Abs(avg-want)/want > 0.05 {
+		t.Fatalf("shaped IAT %.0f ns, want ~%.0f", avg, want)
+	}
+	// FIFO: no reordering.
+	for i, p := range sink.pkts {
+		if p.Tag.Seq != uint64(i) {
+			t.Fatalf("shaper reordered at %d", i)
+		}
+	}
+}
+
+func TestShaperTailDropsWhenQueueFull(t *testing.T) {
+	cfg := Config{RateBps: 5_000_000, BurstBytes: 4 * 1024, QueuePkts: 16}
+	_, s := feed(t, cfg, 400, 1400, 500*sim.Microsecond)
+	st := s.Stats()
+	if st.Dropped == 0 {
+		t.Fatalf("bounded queue never dropped: %+v", st)
+	}
+	if st.QueuePeak > 16 {
+		t.Fatalf("queue exceeded bound: %+v", st)
+	}
+	if st.Delivered+st.Dropped != st.Received {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+func TestPolicerDropsOutOfProfile(t *testing.T) {
+	cfg := Config{RateBps: 5_000_000, BurstBytes: 4 * 1024, Police: true}
+	sink, s := feed(t, cfg, 400, 1400, 500*sim.Microsecond)
+	st := s.Stats()
+	if st.Dropped == 0 || st.Delayed != 0 {
+		t.Fatalf("policer stats %+v", st)
+	}
+	// Surviving frames keep their arrival instants.
+	for i := 1; i < len(sink.times); i++ {
+		if (sink.times[i]-sink.times[i-1])%sim.Time(500*sim.Microsecond) != 0 {
+			t.Fatalf("policer shifted a timestamp at %d", i)
+		}
+	}
+	// Long-run admitted rate ≈ configured rate.
+	admitted := float64(st.Delivered) * float64(packet.WireBytes(1400)*8)
+	span := float64(sink.times[len(sink.times)-1]-sink.times[0]) / 1e9
+	if rate := admitted / span; math.Abs(rate-5_000_000)/5_000_000 > 0.10 {
+		t.Fatalf("policed rate %.0f bps, want ~5M", rate)
+	}
+}
+
+func TestBurstAllowancePassesAtLineRate(t *testing.T) {
+	// A burst smaller than the bucket depth passes with zero delay even
+	// though its instantaneous rate exceeds the shaped rate.
+	cfg := Config{RateBps: 5_000_000, BurstBytes: 32 * 1024}
+	_, s := feed(t, cfg, 20, 1400, 10*sim.Microsecond)
+	if st := s.Stats(); st.Delayed != 0 || st.Dropped != 0 {
+		t.Fatalf("in-burst traffic perturbed: %+v", st)
+	}
+}
+
+func TestShaperDeterministic(t *testing.T) {
+	run := func() []sim.Time {
+		sink, _ := feed(t, Config{RateBps: 5_000_000, QueuePkts: 64}, 300, 1400, 400*sim.Microsecond)
+		return sink.times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	e := sim.NewEngine(1)
+	if _, err := New(e, Config{RateBps: 0}, &collector{}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := New(nil, Config{RateBps: 1e6}, &collector{}); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := New(e, Config{RateBps: 1e6}, nil); err == nil {
+		t.Fatal("nil downstream accepted")
+	}
+}
+
+var _ nic.Endpoint = (*Shaper)(nil)
+var _ sim.Hosted = (*Shaper)(nil)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/psim"
 	"repro/internal/sim"
 	"repro/internal/tcpsim"
+	"repro/internal/workload"
 )
 
 // linkProp is the propagation delay of the short in-rack fibre runs
@@ -276,6 +277,28 @@ func (t *Topology) StartGenerators(count int, startAt sim.Time) []*gen.Generator
 		})
 	}
 	return gens
+}
+
+// StartWorkload launches one stream of the named catalogue app per
+// replayer — the application-shaped analogue of StartGenerators. Each
+// stream carries count packets; the runners report Done/FinishedAt so
+// drivers can size the recording window around the app's own pacing
+// rather than a CBR rate formula.
+func (t *Topology) StartWorkload(name string, count int, startAt sim.Time) ([]*workload.Runner, error) {
+	runners := make([]*workload.Runner, len(t.GenQueues))
+	for i, q := range t.GenQueues {
+		r, err := workload.Start(sim.EngineOf(q, t.Eng), q, name, workload.Config{
+			Count:   count,
+			StartAt: startAt,
+			Stream:  uint16(i),
+			Obs:     t.obs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runners[i] = r
+	}
+	return runners, nil
 }
 
 // StartNoise launches the iperf3-style flows; no-op unless the

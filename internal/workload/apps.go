@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"repro/internal/nic"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// The catalogue mirrors the Wehe app menu (SNIPPETS.md §1): each entry
+// carries the protocol/port a differentiation middlebox would classify
+// on and the burst shape the κ components respond to.
+func init() {
+	Register(&App{
+		Name:        "abr",
+		Proto:       packet.ProtoTCP,
+		Port:        443,
+		Shape:       "ladder segments: dense download bursts, buffer-paced idle",
+		Description: "ABR video (YouTube/Netflix-shaped): bitrate-ladder steps driven by a playback-buffer model",
+		start:       startABR,
+	})
+	Register(&App{
+		Name:        "voip",
+		Proto:       packet.ProtoUDP,
+		Port:        8801,
+		Shape:       "talkspurt/silence: 20ms constant small frames, comfort noise in gaps",
+		Description: "VoIP/conferencing UDP (Zoom/Meet-shaped): exponential talkspurts of isochronous voice frames",
+		start:       startVoIP,
+	})
+	Register(&App{
+		Name:        "rpc",
+		Proto:       packet.ProtoTCP,
+		Port:        443,
+		Shape:       "request/response pairs: small request, short response burst, exp think",
+		Description: "request-response RPC (gRPC-shaped): exponential service and think times",
+		start:       startRPC,
+	})
+	Register(&App{
+		Name:        "web",
+		Proto:       packet.ProtoTCP,
+		Port:        443,
+		Shape:       "page loads: object-burst waves over parallel connections, long exp think",
+		Description: "bursty web page-loads: HTML then waves of parallel object fetches",
+		start:       startWeb,
+	})
+	Register(&App{
+		Name:        "iot",
+		Proto:       packet.ProtoUDP,
+		Port:        5683,
+		Shape:       "fan-in: many devices, one minimal frame per fixed per-device period",
+		Description: "IoT telemetry fan-in (CoAP-shaped): periodic sensor readings from a device fleet",
+		start:       startIoT,
+	})
+}
+
+// startABR models an adaptive-bitrate video session. Segments of
+// playDur media are downloaded as paced frame bursts; the playback
+// buffer gains playDur per completed segment and drains in real time.
+// The ladder rung steps on buffer watermarks, and occasional throughput
+// dips (slower pacing) drain the buffer and force downswitches — the
+// classic ABR ramp-and-adapt shape.
+func startABR(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := newRunner(eng, q, app, cfg)
+	const (
+		frameLen  = 1200
+		playDur   = 500 * sim.Millisecond // media per segment
+		lowWater  = 1 * sim.Second
+		highWater = 2 * sim.Second
+		maxBuf    = 3 * sim.Second
+		group     = 8 // frames emitted per pacing event
+	)
+	ladder := []int64{600_000, 1_200_000, 2_400_000, 4_800_000} // media bits/s
+	downloadBps := int64(8_000_000)                             // access-link share
+	rung := 0
+	buffer := sim.Duration(0)
+	var startSegment func()
+	var pump func(left int, gap sim.Duration, segStart sim.Time)
+	pump = func(left int, gap sim.Duration, segStart sim.Time) {
+		n := group
+		if n > left {
+			n = left
+		}
+		if r.sendBurst(n, frameLen) == 0 {
+			return
+		}
+		if left -= n; left > 0 {
+			r.act.PostAfter(gap*sim.Duration(n), func() { pump(left, gap, segStart) })
+			return
+		}
+		// Segment complete: credit the buffer with the media it carries,
+		// minus the real time the download took.
+		dlTime := sim.Duration(r.eng.Now() - segStart)
+		buffer += playDur - dlTime
+		if buffer < 0 {
+			buffer = 0 // rebuffer: playback stalled
+		}
+		if buffer > maxBuf {
+			buffer = maxBuf
+		}
+		if buffer < lowWater && rung > 0 {
+			rung--
+		} else if buffer > highWater && rung < len(ladder)-1 {
+			rung++
+		}
+		// Steady state: hold the buffer near the high watermark.
+		idle := sim.Duration(0)
+		if buffer > highWater {
+			idle = buffer - highWater
+			buffer = highWater
+		}
+		r.act.PostAfter(idle, startSegment)
+	}
+	startSegment = func() {
+		if r.done {
+			return
+		}
+		segBits := int64(float64(ladder[rung]) * playDur.Seconds())
+		frames := int(segBits / (frameLen * 8))
+		if frames < 1 {
+			frames = 1
+		}
+		gap := packet.SerializationTime(frameLen, downloadBps)
+		// Occasional congestion dip: the same segment downloads at a
+		// third of the rate, draining the playback buffer.
+		if r.rng.Float64() < 0.15 {
+			gap *= 3
+		}
+		pump(frames, gap, r.eng.Now())
+	}
+	r.act.Post(cfg.StartAt, startSegment)
+	return r
+}
+
+// startVoIP models a conferencing session: exponential talkspurts of
+// isochronous 20ms voice frames alternating with silence periods that
+// carry sparse comfort-noise frames.
+func startVoIP(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := newRunner(eng, q, app, cfg)
+	const (
+		ptime       = 20 * sim.Millisecond
+		voiceLen    = 160
+		comfortLen  = 80
+		comfortGap  = 160 * sim.Millisecond
+		talkMean    = 300 * sim.Millisecond
+		silenceMean = 400 * sim.Millisecond
+	)
+	var talk func(framesLeft int)
+	var silence func(framesLeft int)
+	talk = func(framesLeft int) {
+		if r.sendBurst(1, voiceLen) == 0 {
+			return
+		}
+		if framesLeft > 1 {
+			r.act.PostAfter(ptime, func() { talk(framesLeft - 1) })
+			return
+		}
+		frames := int(r.expDur(silenceMean)/comfortGap) + 1
+		r.act.PostAfter(comfortGap, func() { silence(frames) })
+	}
+	silence = func(framesLeft int) {
+		if r.sendBurst(1, comfortLen) == 0 {
+			return
+		}
+		if framesLeft > 1 {
+			r.act.PostAfter(comfortGap, func() { silence(framesLeft - 1) })
+			return
+		}
+		frames := int(r.expDur(talkMean)/ptime) + 1
+		r.act.PostAfter(ptime, func() { talk(frames) })
+	}
+	r.act.Post(cfg.StartAt, func() {
+		frames := int(r.expDur(talkMean)/ptime) + 1
+		talk(frames)
+	})
+	return r
+}
+
+// startRPC models a request-response loop: a small request frame, an
+// exponential service delay, a short response burst, then exponential
+// client think time.
+func startRPC(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := newRunner(eng, q, app, cfg)
+	const (
+		requestLen  = 140
+		responseLen = 1400
+		serviceMean = 1 * sim.Millisecond
+		thinkMean   = 5 * sim.Millisecond
+	)
+	var request func()
+	request = func() {
+		if r.sendBurst(1, requestLen) == 0 {
+			return
+		}
+		respFrames := 1 + r.rng.Intn(6)
+		r.act.PostAfter(r.expDur(serviceMean), func() {
+			if r.sendBurst(respFrames, responseLen) == 0 {
+				return
+			}
+			r.act.PostAfter(r.expDur(thinkMean), request)
+		})
+	}
+	r.act.Post(cfg.StartAt, request)
+	return r
+}
+
+// startWeb models bursty page loads: an HTML burst, then waves of
+// parallel object fetches (six connections per wave), then a long
+// exponential think time before the next page.
+func startWeb(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := newRunner(eng, q, app, cfg)
+	const (
+		objectLen    = 1400
+		connsPerWave = 6
+		waveMean     = 30 * sim.Millisecond
+		thinkMean    = 400 * sim.Millisecond
+	)
+	var page func()
+	var wave func(objectsLeft int)
+	wave = func(objectsLeft int) {
+		conns := connsPerWave
+		if conns > objectsLeft {
+			conns = objectsLeft
+		}
+		frames := 0
+		for c := 0; c < conns; c++ {
+			frames += 1 + r.rng.Intn(12)
+		}
+		if r.sendBurst(frames, objectLen) == 0 {
+			return
+		}
+		if objectsLeft -= conns; objectsLeft > 0 {
+			r.act.PostAfter(r.expDur(waveMean), func() { wave(objectsLeft) })
+			return
+		}
+		r.act.PostAfter(r.expDur(thinkMean), page)
+	}
+	page = func() {
+		if r.sendBurst(3, objectLen) == 0 { // HTML document
+			return
+		}
+		objects := 4 + r.rng.Intn(24)
+		r.act.PostAfter(r.expDur(waveMean), func() { wave(objects) })
+	}
+	r.act.Post(cfg.StartAt, page)
+	return r
+}
+
+// startIoT models telemetry fan-in: a fleet of devices, each with a
+// fixed per-device reporting period and phase drawn once at start,
+// emitting one minimal frame per period into the shared uplink.
+func startIoT(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := newRunner(eng, q, app, cfg)
+	const (
+		devices    = 16
+		readingLen = 78
+		minPeriod  = 20 * sim.Millisecond
+		maxPeriod  = 100 * sim.Millisecond
+	)
+	for d := 0; d < devices; d++ {
+		period := minPeriod + sim.Duration(r.rng.Int63n(int64(maxPeriod-minPeriod)))
+		phase := sim.Duration(r.rng.Int63n(int64(period)))
+		var report func()
+		report = func() {
+			if r.sendBurst(1, readingLen) == 0 {
+				return
+			}
+			r.act.PostAfter(period, report)
+		}
+		r.act.Post(cfg.StartAt+phase, report)
+	}
+	return r
+}

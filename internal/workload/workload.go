@@ -1,0 +1,221 @@
+// Package workload provides deterministic, seedable application-shaped
+// traffic generators on the sim actor/lane substrate: ABR video, VoIP/
+// conferencing UDP, request-response RPC, bursty web page-loads, and IoT
+// telemetry fan-in. Each model is registered in a Wehe-style catalogue
+// (name, protocol, port, burst shape — SNIPPETS.md §1) and emits into a
+// nic.Queue exactly like internal/gen, so the same recording/replay/κ
+// pipeline that scores CBR traffic scores application traffic, and a
+// neutral-vs-throttled replay pair of one app turns κ into a
+// traffic-differentiation detector.
+//
+// Determinism contract: every model draws randomness only from
+// eng.Rand("workload/<app>/<stream>") — a stream seeded purely by
+// (engine seed, label) — and schedules every emission on a single
+// actor, so the emitted schedule is bit-identical across -sim-shards
+// counts and across repeated runs of the same seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// App is one catalogue entry: the Wehe-style identity of an application
+// (protocol and server port, as a differentiation middlebox would match
+// on) plus its burst shape and the model that generates it.
+type App struct {
+	// Name is the catalogue key, e.g. "abr".
+	Name string
+	// Proto is the transport protocol (packet.ProtoUDP / ProtoTCP).
+	Proto uint8
+	// Port is the server-side port a classifier would key on.
+	Port uint16
+	// Shape summarizes the burst structure in one phrase.
+	Shape string
+	// Description names the application family the model mimics.
+	Description string
+	// start builds and schedules a runner for this app.
+	start func(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner
+}
+
+// Config parameterizes one workload stream.
+type Config struct {
+	// Count is the total number of packets to emit, after which the
+	// runner reports Done.
+	Count int
+	// StartAt is the simulated emission start time.
+	StartAt sim.Time
+	// Stream tags the packets' stream field.
+	Stream uint16
+	// Flow overrides the synthesized 5-tuple; when zero it is derived
+	// from the app's catalogue identity (client IPForNode(10+stream) →
+	// server IPForNode(99), server port from the catalogue).
+	Flow packet.FiveTuple
+	// Obs, when non-nil, counts emitted packets per app/stream and opens
+	// the packet-lifecycle `gen` instant. Purely observational.
+	Obs *obs.Obs
+}
+
+var catalogue = map[string]*App{}
+
+// Register adds an app to the catalogue; duplicate names panic.
+func Register(app *App) {
+	if app.Name == "" || app.start == nil {
+		panic("workload: app needs a name and a model")
+	}
+	if _, dup := catalogue[app.Name]; dup {
+		panic("workload: duplicate app " + app.Name)
+	}
+	catalogue[app.Name] = app
+}
+
+// Lookup returns the catalogue entry for name, or nil.
+func Lookup(name string) *App { return catalogue[name] }
+
+// Names lists the registered apps in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(catalogue))
+	for n := range catalogue {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start schedules the named app's traffic into q and returns its runner.
+func Start(eng *sim.Engine, q *nic.Queue, name string, cfg Config) (*Runner, error) {
+	app := Lookup(name)
+	if app == nil {
+		return nil, fmt.Errorf("workload: unknown app %q (have %v)", name, Names())
+	}
+	return app.Start(eng, q, cfg), nil
+}
+
+// Start schedules this app's traffic into q.
+func (a *App) Start(eng *sim.Engine, q *nic.Queue, cfg Config) *Runner {
+	if cfg.Count <= 0 {
+		panic("workload: count must be positive")
+	}
+	if (cfg.Flow == packet.FiveTuple{}) {
+		cfg.Flow = packet.FiveTuple{
+			Src:     packet.IPForNode(10 + cfg.Stream),
+			Dst:     packet.IPForNode(99),
+			SrcPort: 40000 + cfg.Stream,
+			DstPort: a.Port,
+			Proto:   a.Proto,
+		}
+	}
+	return a.start(eng, q, a, cfg)
+}
+
+// Runner tracks one in-flight workload stream.
+type Runner struct {
+	eng        *sim.Engine
+	act        *sim.Actor
+	q          *nic.Queue
+	app        *App
+	cfg        Config
+	rng        *rand.Rand
+	ctr        *obs.Counter
+	tr         *obs.Tracer
+	track      string
+	seq        uint64
+	emitted    int
+	done       bool
+	finishedAt sim.Time
+}
+
+// newRunner builds the shared plumbing for one app model.
+func newRunner(eng *sim.Engine, q *nic.Queue, app *App, cfg Config) *Runner {
+	r := &Runner{
+		eng: eng,
+		act: eng.NewActor(),
+		q:   q,
+		app: app,
+		cfg: cfg,
+		rng: eng.Rand(fmt.Sprintf("workload/%s/%d", app.Name, cfg.Stream)),
+	}
+	if cfg.Obs != nil {
+		r.ctr = cfg.Obs.Reg.Counter("workload_emitted_total", "packets emitted by application workloads",
+			obs.L("app", app.Name), obs.L("stream", fmt.Sprintf("%d", cfg.Stream)))
+		r.tr = cfg.Obs.Tracer
+		r.track = fmt.Sprintf("workload/%s/%d", app.Name, cfg.Stream)
+	}
+	return r
+}
+
+// App returns the catalogue entry this runner is generating.
+func (r *Runner) App() *App { return r.app }
+
+// Emitted returns how many packets have been handed to the NIC so far.
+func (r *Runner) Emitted() int { return r.emitted }
+
+// Done reports whether the packet budget has been fully emitted.
+func (r *Runner) Done() bool { return r.done }
+
+// FinishedAt returns the sim time of the final emission (valid once
+// Done reports true).
+func (r *Runner) FinishedAt() sim.Time { return r.finishedAt }
+
+// sendBurst emits up to n frames of frameLen back-to-back at the
+// current instant (the NIC paces them at line rate), clamped to the
+// remaining packet budget. It returns the number emitted; on budget
+// exhaustion it marks the runner done.
+func (r *Runner) sendBurst(n, frameLen int) int {
+	if r.done || n <= 0 {
+		return 0
+	}
+	if remaining := r.cfg.Count - r.emitted; n > remaining {
+		n = remaining
+	}
+	if frameLen < packet.MinDataFrameLen {
+		frameLen = packet.MinDataFrameLen
+	}
+	sent := 0
+	for sent < n {
+		b := n - sent
+		if b > nic.BurstSize {
+			b = nic.BurstSize
+		}
+		pkts := make([]*packet.Packet, b)
+		for j := 0; j < b; j++ {
+			pkts[j] = &packet.Packet{
+				Tag:      packet.Tag{Stream: r.cfg.Stream, Seq: r.seq},
+				Kind:     packet.KindData,
+				FrameLen: frameLen,
+				Flow:     r.cfg.Flow,
+			}
+			r.seq++
+		}
+		if r.tr != nil {
+			now := r.eng.Now()
+			for _, p := range pkts {
+				r.tr.Instant(p.Tag, obs.StageGen, r.track, now)
+			}
+		}
+		r.q.SendBurst(pkts)
+		r.ctr.Add(int64(b))
+		sent += b
+	}
+	r.emitted += sent
+	if r.emitted >= r.cfg.Count {
+		r.done = true
+		r.finishedAt = r.eng.Now()
+	}
+	return sent
+}
+
+// expDur draws an exponential duration with the given mean.
+func (r *Runner) expDur(mean sim.Duration) sim.Duration {
+	d := sim.Duration(r.rng.ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

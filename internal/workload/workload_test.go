@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type collector struct {
+	pkts  []*packet.Packet
+	times []sim.Time
+}
+
+func (c *collector) Receive(p *packet.Packet, t sim.Time) {
+	c.pkts = append(c.pkts, p)
+	c.times = append(c.times, t)
+}
+
+func setup(seed int64) (*sim.Engine, *nic.Queue, *collector) {
+	e := sim.NewEngine(seed)
+	n := nic.New(e, nic.Profile{Name: "wl", LineRateBps: packet.Gbps(10)}, "wl")
+	q := n.NewQueue(1 << 20)
+	sink := &collector{}
+	q.Connect(sink, 0)
+	return e, q, sink
+}
+
+func TestCatalogueComplete(t *testing.T) {
+	want := []string{"abr", "iot", "rpc", "voip", "web"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalogue %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalogue %v, want %v", got, want)
+		}
+	}
+	for _, n := range want {
+		a := Lookup(n)
+		if a == nil {
+			t.Fatalf("%s missing", n)
+		}
+		if a.Proto != packet.ProtoUDP && a.Proto != packet.ProtoTCP {
+			t.Fatalf("%s proto %d", n, a.Proto)
+		}
+		if a.Port == 0 || a.Shape == "" || a.Description == "" {
+			t.Fatalf("%s catalogue entry incomplete: %+v", n, a)
+		}
+	}
+}
+
+func TestUnknownApp(t *testing.T) {
+	e, q, _ := setup(1)
+	if _, err := Start(e, q, "nosuch", Config{Count: 1}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestEveryAppEmitsExactBudgetAndFinishes(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			e, q, sink := setup(7)
+			r, err := Start(e, q, name, Config{Count: 1500, Stream: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Run()
+			if !r.Done() {
+				t.Fatalf("%s not done after engine drain (emitted %d)", name, r.Emitted())
+			}
+			if r.Emitted() != 1500 || len(sink.pkts) != 1500 {
+				t.Fatalf("%s emitted %d delivered %d, want 1500", name, r.Emitted(), len(sink.pkts))
+			}
+			if r.FinishedAt() <= 0 || r.FinishedAt() > e.Now() {
+				t.Fatalf("%s finishedAt %v now %v", name, r.FinishedAt(), e.Now())
+			}
+			// Sequence numbers dense and in order; flow carries the
+			// catalogue identity.
+			app := Lookup(name)
+			for i, p := range sink.pkts {
+				if p.Tag.Seq != uint64(i) || p.Tag.Stream != 2 {
+					t.Fatalf("%s packet %d tag %v", name, i, p.Tag)
+				}
+				if p.Flow.Proto != app.Proto || p.Flow.DstPort != app.Port {
+					t.Fatalf("%s packet flow %+v does not match catalogue", name, p.Flow)
+				}
+			}
+		})
+	}
+}
+
+func TestEveryAppDeterministicSameSeed(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			run := func() ([]sim.Time, []int) {
+				e, q, sink := setup(42)
+				if _, err := Start(e, q, name, Config{Count: 1200, Stream: 1}); err != nil {
+					t.Fatal(err)
+				}
+				e.Run()
+				sizes := make([]int, len(sink.pkts))
+				for i, p := range sink.pkts {
+					sizes[i] = p.FrameLen
+				}
+				return sink.times, sizes
+			}
+			at, as := run()
+			bt, bs := run()
+			if len(at) != len(bt) {
+				t.Fatalf("lengths differ: %d vs %d", len(at), len(bt))
+			}
+			for i := range at {
+				if at[i] != bt[i] || as[i] != bs[i] {
+					t.Fatalf("%s nondeterministic at %d: (%v,%d) vs (%v,%d)", name, i, at[i], as[i], bt[i], bs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestSeedChangesRNGDrivenSchedules(t *testing.T) {
+	// Models with random structure must actually vary across seeds.
+	for _, name := range []string{"voip", "rpc", "web", "iot"} {
+		t.Run(name, func(t *testing.T) {
+			run := func(seed int64) []sim.Time {
+				e, q, sink := setup(seed)
+				if _, err := Start(e, q, name, Config{Count: 800}); err != nil {
+					t.Fatal(err)
+				}
+				e.Run()
+				return sink.times
+			}
+			a, b := run(1), run(2)
+			same := len(a) == len(b)
+			if same {
+				for i := range a {
+					if a[i] != b[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Fatalf("%s schedule identical across seeds", name)
+			}
+		})
+	}
+}
+
+func TestObsCountsEmissions(t *testing.T) {
+	e, q, _ := setup(3)
+	o := obs.New()
+	r, err := Start(e, q, "rpc", Config{Count: 600, Stream: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	ctr := o.Reg.Counter("workload_emitted_total", "", obs.L("app", "rpc"), obs.L("stream", "4"))
+	if got := ctr.Value(); got != int64(r.Emitted()) || got != 600 {
+		t.Fatalf("workload_emitted_total = %d, emitted %d", got, r.Emitted())
+	}
+}
+
+func TestObsDoesNotPerturbSchedule(t *testing.T) {
+	for _, name := range Names() {
+		run := func(o *obs.Obs) []sim.Time {
+			e, q, sink := setup(9)
+			if _, err := Start(e, q, name, Config{Count: 700, Obs: o}); err != nil {
+				t.Fatal(err)
+			}
+			e.Run()
+			return sink.times
+		}
+		a, b := run(nil), run(obs.New())
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: obs perturbed schedule at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestVoIPShape(t *testing.T) {
+	e, q, sink := setup(5)
+	if _, err := Start(e, q, "voip", Config{Count: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	sizes := map[int]int{}
+	for _, p := range sink.pkts {
+		sizes[p.FrameLen]++
+	}
+	if len(sizes) != 2 || sizes[160] == 0 || sizes[80] == 0 {
+		t.Fatalf("voip sizes %v, want voice(160) + comfort(80)", sizes)
+	}
+	if sizes[160] < sizes[80] {
+		t.Fatalf("voip should be talk-dominated: %v", sizes)
+	}
+}
+
+func TestABRShape(t *testing.T) {
+	e, q, sink := setup(6)
+	if _, err := Start(e, q, "abr", Config{Count: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	// Segment downloads are dense; buffer pacing leaves idle gaps far
+	// longer than the intra-segment pacing gap.
+	var longest sim.Time
+	for i := 1; i < len(sink.times); i++ {
+		if g := sink.times[i] - sink.times[i-1]; g > longest {
+			longest = g
+		}
+	}
+	if longest < sim.Time(50*sim.Millisecond) {
+		t.Fatalf("abr longest gap %v: no buffer-paced idle periods", longest)
+	}
+}
+
+func TestIoTShape(t *testing.T) {
+	e, q, sink := setup(8)
+	if _, err := Start(e, q, "iot", Config{Count: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	for _, p := range sink.pkts {
+		if p.FrameLen != 78 {
+			t.Fatalf("iot frame %d, want minimal 78B readings", p.FrameLen)
+		}
+	}
+	// Fan-in: aggregate IATs much shorter than any single device period.
+	span := sink.times[len(sink.times)-1] - sink.times[0]
+	avg := float64(span) / float64(len(sink.pkts)-1)
+	if avg > float64(10*sim.Millisecond) {
+		t.Fatalf("iot aggregate IAT %.0f ns too sparse for a 16-device fleet", avg)
+	}
+}

@@ -96,6 +96,30 @@ shard_campaign 4 >"$replay_tmp/psim-c4.txt"
 cmp "$replay_tmp/psim-c1.txt" "$replay_tmp/psim-c4.txt"
 echo "fault campaign under -race: sharded core byte-identical to sequential ($(wc -c <"$replay_tmp/psim-c1.txt") bytes)"
 
+echo "== differentiation gate (diffdetect: rerun + sharded byte-identical; throttled flags, neutral control silent)"
+go build -o "$replay_tmp/diffdetect" ./cmd/diffdetect
+diff_run() { # extra diffdetect args appended
+	"$replay_tmp/diffdetect" -workload all -rate-frac 0.5 -seed 11 \
+		-packets 1200 -runs 2 "$@" 2>/dev/null
+}
+# Same seed twice: the verdict tables must be byte-identical.
+diff_run >"$replay_tmp/diff1.txt"
+diff_run >"$replay_tmp/diff2.txt"
+cmp "$replay_tmp/diff1.txt" "$replay_tmp/diff2.txt"
+# Every throttled app must be flagged.
+[ "$(grep -c '^differentiation: DETECTED' "$replay_tmp/diff1.txt")" = 5 ] ||
+	{ echo "FAIL: throttled workloads not all flagged"; cat "$replay_tmp/diff1.txt"; exit 1; }
+# The sharded simulation core must render the same verdicts.
+diff_run -sim-shards 4 >"$replay_tmp/diff4.txt"
+cmp "$replay_tmp/diff1.txt" "$replay_tmp/diff4.txt"
+# Neutral control: no shaper in either arm, nothing may flag.
+diff_run -neutral >"$replay_tmp/diffneutral.txt"
+grep -q "DETECTED" "$replay_tmp/diffneutral.txt" &&
+	{ echo "FAIL: neutral control flagged differentiation"; cat "$replay_tmp/diffneutral.txt"; exit 1; }
+[ "$(grep -c '^differentiation: none' "$replay_tmp/diffneutral.txt")" = 5 ] ||
+	{ echo "FAIL: neutral control missing verdicts"; cat "$replay_tmp/diffneutral.txt"; exit 1; }
+echo "diffdetect -workload all: throttled verdicts deterministic and shard-invariant ($(wc -c <"$replay_tmp/diff1.txt") bytes), neutral control silent"
+
 echo "== federation gate (federated κ ≡ single-site, byte-for-byte; site drop degrades, never aborts)"
 # The same trial matrix run by 1 site and by a 4-site ring must render
 # identical bytes: site count, trial assignment, and merge-tree shape
